@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the five optimization algorithms (pure search
+//! time, estimates precomputed) on the paper's four pattern shapes —
+//! the "Opt." column of Table 1 in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sjos_core::{optimize, Algorithm, CostModel};
+use sjos_datagen::{paper_queries, pers::pers, DataSet, GenConfig};
+use sjos_stats::{Catalog, PatternEstimates};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let doc = pers(GenConfig::sized(5_000));
+    let catalog = Catalog::build(&doc);
+    let model = CostModel::default();
+    let mut group = c.benchmark_group("optimize");
+    for q in paper_queries().into_iter().filter(|q| q.dataset == DataSet::Pers) {
+        let pattern = q.pattern();
+        let est = PatternEstimates::new(&catalog, &doc, &pattern);
+        for alg in [
+            Algorithm::Dp,
+            Algorithm::Dpp { lookahead: false },
+            Algorithm::Dpp { lookahead: true },
+            Algorithm::DpapEb { te: pattern.edge_count() },
+            Algorithm::DpapLd,
+            Algorithm::Fp,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name().replace([' ', '\''], "_"), q.id),
+                &pattern,
+                |b, pattern| {
+                    b.iter(|| optimize(pattern, &est, &model, alg).estimated_cost)
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_estimate_construction(c: &mut Criterion) {
+    // Per-query estimator setup (histogram probing): the fixed
+    // optimization overhead every algorithm shares.
+    let doc = pers(GenConfig::sized(5_000));
+    let catalog = Catalog::build(&doc);
+    let pattern = paper_queries()
+        .into_iter()
+        .find(|q| q.id == "Q.Pers.3.d")
+        .unwrap()
+        .pattern();
+    c.bench_function("pattern_estimates_build", |b| {
+        b.iter(|| PatternEstimates::new(&catalog, &doc, &pattern))
+    });
+}
+
+fn bench_catalog_build(c: &mut Criterion) {
+    // Statistics collection at load time (not on the query path).
+    let doc = pers(GenConfig::sized(20_000));
+    let mut group = c.benchmark_group("catalog_build");
+    group.sample_size(20);
+    group.bench_function("pers_20k", |b| b.iter(|| Catalog::build(&doc)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_estimate_construction,
+    bench_catalog_build
+);
+criterion_main!(benches);

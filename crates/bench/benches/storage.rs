@@ -1,0 +1,54 @@
+//! Storage-layer micro-benchmarks: parsing, loading, index scans and
+//! buffer-pool behavior under different pool sizes — the substrate
+//! whose linear index-access cost (`f_I · n`) the cost model assumes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sjos_datagen::{pers::pers, GenConfig};
+use sjos_storage::{StoreConfig, XmlStore, PAGE_SIZE};
+use sjos_xml::Document;
+
+fn bench_parse(c: &mut Criterion) {
+    let doc = pers(GenConfig::sized(20_000));
+    let text = sjos_xml::serialize::to_xml(&doc);
+    let mut group = c.benchmark_group("xml_parse");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.sample_size(20);
+    group.bench_function("pers_20k", |b| {
+        b.iter(|| Document::parse(&text).unwrap().len())
+    });
+    group.finish();
+}
+
+fn bench_load(c: &mut Criterion) {
+    let doc = pers(GenConfig::sized(20_000));
+    let mut group = c.benchmark_group("store_load");
+    group.sample_size(20);
+    group.bench_function("pers_20k", |b| {
+        b.iter(|| XmlStore::load(doc.clone()).total_pages())
+    });
+    group.finish();
+}
+
+fn bench_index_scan(c: &mut Criterion) {
+    let doc = pers(GenConfig::sized(50_000));
+    let mut group = c.benchmark_group("index_scan");
+    for pool_pages in [4usize, 64, 2048] {
+        let store = XmlStore::load_with(
+            doc.clone(),
+            StoreConfig { buffer_pool_bytes: pool_pages * PAGE_SIZE },
+        );
+        let tag = store.document().tag("employee").unwrap();
+        let n = store.tag_cardinality(tag);
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(
+            BenchmarkId::new("employee", format!("{pool_pages}p")),
+            &store,
+            |b, store| b.iter(|| store.scan_tag(tag).count()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_load, bench_index_scan);
+criterion_main!(benches);

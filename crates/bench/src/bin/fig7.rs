@@ -1,0 +1,14 @@
+//! Figure 7: total query time (optimization + evaluation, stacked) as
+//! the DPAP-EB parameter `T_e` grows from 1 to the pattern size, on
+//! Q.Pers.3.d at folding factor 100 — the "evaluation dominates"
+//! regime where spending more optimization time pays off.
+//!
+//! ```sh
+//! cargo run --release -p sjos-bench --bin fig7
+//! ```
+
+use sjos_bench::figures::te_sweep;
+
+fn main() {
+    te_sweep(100, "Figure 7 (folding factor 100)");
+}

@@ -1,0 +1,14 @@
+//! Figure 8: the same `T_e` sweep as Figure 7 but at folding factor 1
+//! — the "optimization time is a significant fraction" regime where
+//! the paper observes the "U" shape for DPAP-EB and FP winning
+//! overall.
+//!
+//! ```sh
+//! cargo run --release -p sjos-bench --bin fig8
+//! ```
+
+use sjos_bench::figures::te_sweep;
+
+fn main() {
+    te_sweep(1, "Figure 8 (folding factor 1)");
+}

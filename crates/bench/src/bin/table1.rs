@@ -1,0 +1,60 @@
+//! Table 1: query optimization and query plan evaluation times for
+//! the eight benchmark queries under DP, DPP, DPAP-EB, DPAP-LD, FP,
+//! and the worst random ("bad") plan.
+//!
+//! ```sh
+//! cargo run --release -p sjos-bench --bin table1
+//! SJOS_BENCH_FULL=1 cargo run --release -p sjos-bench --bin table1
+//! ```
+
+use sjos_bench::{print_row, resolve_te, table1_algorithms, CorpusCache};
+use sjos_datagen::paper_queries;
+
+fn main() {
+    println!("Table 1: query optimization (Opt., ms) and plan evaluation (Eval., s)");
+    println!(
+        "scale: {} (set SJOS_BENCH_FULL=1 for paper sizes)\n",
+        if sjos_bench::full_scale() { "paper" } else { "reduced" }
+    );
+
+    let algorithms = table1_algorithms();
+    let mut header = vec!["Query".to_string()];
+    for alg in &algorithms {
+        header.push(format!("{} Opt.", alg.name()));
+        header.push(format!("{} Eval.", alg.name()));
+    }
+    header.push("matches".into());
+    let widths: Vec<usize> = std::iter::once(14usize)
+        .chain(std::iter::repeat_n(12, algorithms.len() * 2))
+        .chain(std::iter::once(10))
+        .collect();
+    print_row(&header, &widths);
+
+    let mut cache = CorpusCache::new();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for q in paper_queries() {
+        let pattern = q.pattern();
+        let bench = cache.bench(&q);
+        let mut cells = vec![q.id.to_string()];
+        let mut matches = 0;
+        for &alg in &algorithms {
+            let alg = resolve_te(alg, &pattern);
+            let m = bench.measure(&pattern, alg, 5);
+            cells.push(format!("{:.3}", m.opt_time.as_secs_f64() * 1e3));
+            cells.push(format!("{:.3}", m.eval_time.as_secs_f64()));
+            matches = m.matches;
+        }
+        cells.push(matches.to_string());
+        print_row(&cells, &widths);
+        csv_rows.push(cells);
+    }
+    let csv_header: Vec<&str> = header.iter().map(String::as_str).collect();
+    if let Ok(path) = sjos_bench::write_csv("table1", &csv_header, &csv_rows) {
+        println!("\ncsv: {}", path.display());
+    }
+    println!(
+        "\nShape checks against the paper: DP and DPP evaluate identically (same optimal plan);\n\
+         DPAP-LD evaluation should lag on the larger queries; the bad plan should be one or\n\
+         more orders of magnitude slower; FP optimization time should be the smallest."
+    );
+}

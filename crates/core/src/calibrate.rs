@@ -1,0 +1,261 @@
+//! Cost-model calibration.
+//!
+//! The paper's §2.2.2: "Each implementation of an XML database would
+//! have different constants associated with the cost of each physical
+//! operation" — the `f_I`, `f_s`, `f_IO`, `f_st` factors are
+//! implementation- and machine-specific. This module *measures* them
+//! on the running system by timing the actual operators on data drawn
+//! from a loaded store:
+//!
+//! * `f_I` from draining a tag-index scan (cost = `f_I · n`),
+//! * `f_s` from sorting a shuffled binding list (`n log n · f_s`),
+//! * `f_st` from a Stack-Tree-Desc self-join (`(2(|A|+|B|) + |AB|) ·
+//!   f_st` under the calibrated formula),
+//! * `f_IO` from a Stack-Tree-Anc join (`2|AB| f_IO + 2|A| f_st`),
+//!   solving for `f_IO` with the `f_st` just measured.
+//!
+//! The returned factors are normalized so `f_st = 1`, matching the
+//! convention of [`crate::cost::CostFactors`]'s defaults.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sjos_exec::metrics::ExecMetrics;
+use sjos_exec::ops::{Operator, SortOp, StackTreeJoinOp, VecInput};
+use sjos_exec::tuple::Entry;
+use sjos_exec::JoinAlgo;
+use sjos_pattern::{Axis, PnId};
+use sjos_storage::XmlStore;
+
+use crate::cost::{CostFactors, CostModel, DescCostVariant};
+
+/// Outcome of a calibration run.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationReport {
+    /// Fitted factors, normalized to `f_st = 1`.
+    pub factors: CostFactors,
+    /// Raw per-unit timings in nanoseconds (index, sort, stack, io).
+    pub nanos_per_unit: [f64; 4],
+    /// Number of elements the probes ran over.
+    pub sample_size: usize,
+}
+
+impl CalibrationReport {
+    /// A cost model using the fitted factors (calibrated Desc
+    /// formula, since that is what the fit assumes).
+    pub fn model(&self) -> CostModel {
+        CostModel { factors: self.factors, desc_variant: DescCostVariant::Calibrated }
+    }
+}
+
+/// Measure the cost factors against `store`'s data. Uses the store's
+/// largest tag list (capped at `max_sample` elements) as the probe
+/// input; all probes repeat `reps` times and keep the median.
+pub fn calibrate(store: &XmlStore, max_sample: usize, reps: usize) -> CalibrationReport {
+    let entries = probe_list(store, max_sample);
+    let n = entries.len().max(2);
+    let nf = n as f64;
+
+    // f_I: drain the index scan of the probe tag.
+    let tag = biggest_tag(store);
+    let t_scan = median(reps, || {
+        let mut count = 0usize;
+        for _ in store.scan_tag(tag).take(n) {
+            count += 1;
+        }
+        count
+    });
+    let f_i_ns = t_scan / nf;
+
+    // f_s: sort a shuffled copy.
+    let shuffled = shuffle(&entries);
+    let t_sort = median(reps, || {
+        let m = ExecMetrics::new();
+        let input = VecInput::single(PnId(0), shuffled.clone());
+        let mut op = SortOp::new(Box::new(input), PnId(0), m);
+        let mut count = 0usize;
+        while op.next().is_some() {
+            count += 1;
+        }
+        count
+    });
+    let f_s_ns = t_sort / (nf * nf.log2());
+
+    // f_st: Stack-Tree-Desc self-join of the probe list.
+    let (t_desc, out_desc) = timed_join(&entries, JoinAlgo::StackTreeDesc, reps);
+    let desc_units = 2.0 * (nf + nf) + out_desc;
+    let f_st_ns = (t_desc / desc_units).max(1e-3);
+
+    // f_IO: Stack-Tree-Anc on the same input; solve
+    // t = 2*out*f_io + 2*|A|*f_st for f_io.
+    let (t_anc, out_anc) = timed_join(&entries, JoinAlgo::StackTreeAnc, reps);
+    let residual = (t_anc - 2.0 * nf * f_st_ns).max(0.0);
+    let f_io_ns = if out_anc > 0.0 {
+        (residual / (2.0 * out_anc)).max(f_st_ns)
+    } else {
+        2.0 * f_st_ns
+    };
+
+    let factors = CostFactors {
+        f_i: (f_i_ns / f_st_ns).max(1e-3),
+        f_s: (f_s_ns / f_st_ns).max(1e-3),
+        f_io: (f_io_ns / f_st_ns).max(1e-3),
+        f_st: 1.0,
+    };
+    CalibrationReport {
+        factors,
+        nanos_per_unit: [f_i_ns, f_s_ns, f_st_ns, f_io_ns],
+        sample_size: n,
+    }
+}
+
+/// The store's most populous tag.
+fn biggest_tag(store: &XmlStore) -> sjos_xml::Tag {
+    store
+        .index()
+        .tags()
+        .max_by_key(|t| store.tag_cardinality(*t))
+        .expect("store holds at least one tag")
+}
+
+/// Entries of the probe list, in document order.
+fn probe_list(store: &XmlStore, max_sample: usize) -> Vec<Entry> {
+    let tag = biggest_tag(store);
+    store
+        .scan_tag(tag)
+        .take(max_sample.max(16))
+        .map(|r| Entry { node: r.node, region: r.region })
+        .collect()
+}
+
+/// Deterministic pseudo-shuffle (calibration must not depend on an
+/// RNG seed choice).
+fn shuffle(entries: &[Entry]) -> Vec<Entry> {
+    let mut out: Vec<Entry> = entries.to_vec();
+    let n = out.len();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    for i in (1..n).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Median wall time (ns) of `reps` runs of `f`; `f` returns a count
+/// to keep the work observable.
+fn median(reps: usize, mut f: impl FnMut() -> usize) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let count = f();
+            let dt = t0.elapsed().as_nanos() as f64;
+            // Defeat dead-code elimination on the count.
+            std::hint::black_box(count);
+            dt
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Time one self-join of the probe list; returns (ns, output size).
+fn timed_join(entries: &[Entry], algo: JoinAlgo, reps: usize) -> (f64, f64) {
+    let mut out_size = 0usize;
+    let t = median(reps, || {
+        let m = ExecMetrics::new();
+        let left = VecInput::single(PnId(0), entries.to_vec());
+        let right = VecInput::single(PnId(1), entries.to_vec());
+        let mut op = StackTreeJoinOp::new(
+            Box::new(left),
+            Box::new(right),
+            PnId(0),
+            PnId(1),
+            Axis::Descendant,
+            algo,
+            m,
+        );
+        let mut count = 0usize;
+        while op.next().is_some() {
+            count += 1;
+        }
+        out_size = count;
+        count
+    });
+    (t, out_size as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{optimize, Algorithm};
+    use sjos_pattern::parse_pattern;
+    use sjos_stats::{Catalog, PatternEstimates};
+    use sjos_xml::Document;
+
+    fn nested_store() -> XmlStore {
+        // Nested same-tag structure so the self-join has output.
+        let mut b = sjos_xml::DocumentBuilder::new();
+        b.start_element("root");
+        for _ in 0..40 {
+            b.start_element("m");
+            b.start_element("m");
+            b.leaf("m", "");
+            b.end_element();
+            b.end_element();
+        }
+        b.end_element();
+        XmlStore::load(b.finish())
+    }
+
+    #[test]
+    fn factors_are_positive_and_finite() {
+        let store = nested_store();
+        let report = calibrate(&store, 500, 3);
+        let f = report.factors;
+        for v in [f.f_i, f.f_s, f.f_io, f.f_st] {
+            assert!(v.is_finite() && v > 0.0, "{f:?}");
+        }
+        assert_eq!(f.f_st, 1.0, "normalized to stack ops");
+        assert!(report.sample_size >= 16);
+    }
+
+    #[test]
+    fn sort_factor_reflects_superlinearity() {
+        let store = nested_store();
+        let report = calibrate(&store, 500, 3);
+        // Sorting per-unit work must not be orders of magnitude below
+        // a stack op (it moves whole tuples).
+        assert!(report.factors.f_s > 1e-3, "{:?}", report.factors);
+    }
+
+    #[test]
+    fn calibrated_model_optimizes_correctly() {
+        let store = nested_store();
+        let report = calibrate(&store, 500, 3);
+        let model = report.model();
+        let doc = Document::parse("<a><b><c/></b><b><c/><c/></b></a>").unwrap();
+        let pattern = parse_pattern("//a/b/c").unwrap();
+        let catalog = Catalog::build(&doc);
+        let est = PatternEstimates::new(&catalog, &doc, &pattern);
+        let plan = optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true });
+        plan.plan.validate(&pattern).unwrap();
+        assert!(plan.estimated_cost > 0.0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let store = nested_store();
+        let entries = probe_list(&store, 100);
+        let mut shuffled = shuffle(&entries);
+        assert_ne!(
+            shuffled.iter().map(|e| e.region.start).collect::<Vec<_>>(),
+            entries.iter().map(|e| e.region.start).collect::<Vec<_>>(),
+            "shuffle must actually move things"
+        );
+        shuffled.sort_by_key(|e| e.region.start);
+        let mut orig = entries.clone();
+        orig.sort_by_key(|e| e.region.start);
+        assert_eq!(shuffled, orig);
+    }
+}

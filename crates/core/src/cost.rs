@@ -1,0 +1,243 @@
+//! The cost model (paper §2.2.2).
+//!
+//! Four normalization factors price the physical operations:
+//! `f_I` (index access per item), `f_s` (sort, per `n log n`),
+//! `f_IO` (page I/O per buffered pair), `f_st` (stack operation).
+//! The paper's formulas:
+//!
+//! * index access of `n` items: `f_I · n`
+//! * sort of `n` items: `n log n · f_s`
+//! * Stack-Tree-Anc of A ⋈ B: `2·|AB|·f_IO + 2·|A|·f_st`
+//! * Stack-Tree-Desc of A ⋈ B: `2·|A|·f_st`
+//!
+//! The literal Desc formula charges nothing for reading B or emitting
+//! output, which lets a pathological optimizer treat arbitrarily large
+//! descendant inputs as free. We therefore also provide a *calibrated*
+//! variant (`2(|A|+|B|)·f_st + |AB|·f_st`) that accounts for both
+//! inputs and the emitted pairs; it is the default, the literal
+//! formula is selectable for fidelity experiments, and the ablation
+//! bench compares the two.
+
+use sjos_pattern::{Pattern, PnId};
+use sjos_stats::PatternEstimates;
+use sjos_exec::{JoinAlgo, PlanNode};
+
+/// The four normalization factors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostFactors {
+    /// Index access cost per item retrieved.
+    pub f_i: f64,
+    /// Sort cost per `n·log2(n)` unit.
+    pub f_s: f64,
+    /// I/O cost per buffered/emitted pair (Stack-Tree-Anc term).
+    pub f_io: f64,
+    /// Cost per stack operation.
+    pub f_st: f64,
+}
+
+impl Default for CostFactors {
+    /// Unit-less defaults reflecting the relative expense of the
+    /// operations in our in-memory executor: buffered-pair traffic is
+    /// the priciest, sorting has the `n log n` term doing most of the
+    /// work, scans and stack ops are cheap and comparable.
+    fn default() -> Self {
+        CostFactors { f_i: 1.0, f_s: 1.5, f_io: 2.0, f_st: 1.0 }
+    }
+}
+
+/// Which Stack-Tree-Desc formula the model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DescCostVariant {
+    /// `2|A| f_st`, exactly as printed in the paper.
+    PaperLiteral,
+    /// `2(|A|+|B|) f_st + |AB| f_st`: charges both inputs and output.
+    #[default]
+    Calibrated,
+}
+
+/// A priced cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostModel {
+    /// Normalization factors.
+    pub factors: CostFactors,
+    /// Desc formula variant.
+    pub desc_variant: DescCostVariant,
+}
+
+impl CostModel {
+    /// Model with explicit factors and the calibrated Desc formula.
+    pub fn new(factors: CostFactors) -> CostModel {
+        CostModel { factors, desc_variant: DescCostVariant::Calibrated }
+    }
+
+    /// Model using the paper's literal Desc formula.
+    pub fn paper_literal() -> CostModel {
+        CostModel {
+            factors: CostFactors::default(),
+            desc_variant: DescCostVariant::PaperLiteral,
+        }
+    }
+
+    /// Cost of an index scan retrieving `n` items.
+    pub fn index_access(&self, n: f64) -> f64 {
+        self.factors.f_i * n.max(0.0)
+    }
+
+    /// Cost of sorting `n` items.
+    pub fn sort(&self, n: f64) -> f64 {
+        let n = n.max(0.0);
+        if n <= 1.0 {
+            return self.factors.f_s;
+        }
+        n * n.log2() * self.factors.f_s
+    }
+
+    /// Cost of Stack-Tree-Anc joining |A|=`a` (ancestors) with
+    /// |B|=`b`, producing `out` pairs.
+    pub fn stj_anc(&self, a: f64, b: f64, out: f64) -> f64 {
+        let _ = b;
+        2.0 * out.max(0.0) * self.factors.f_io + 2.0 * a.max(0.0) * self.factors.f_st
+    }
+
+    /// Cost of Stack-Tree-Desc joining |A|=`a` with |B|=`b`, producing
+    /// `out` pairs.
+    pub fn stj_desc(&self, a: f64, b: f64, out: f64) -> f64 {
+        match self.desc_variant {
+            DescCostVariant::PaperLiteral => 2.0 * a.max(0.0) * self.factors.f_st,
+            DescCostVariant::Calibrated => {
+                (2.0 * (a.max(0.0) + b.max(0.0)) + out.max(0.0)) * self.factors.f_st
+            }
+        }
+    }
+
+    /// Cost of MPMGJN joining |A|=`a` with |B|=`b`, producing `out`
+    /// pairs. Charged for both inputs plus a pessimistic rescan term
+    /// proportional to the output (nested ancestors revisit their
+    /// descendants' windows — the inefficiency [1] measured against
+    /// this algorithm; we price it at eight stack-op units per pair
+    /// so it only wins on merge-dominated, low-output joins).
+    pub fn mpmgjn(&self, a: f64, b: f64, out: f64) -> f64 {
+        (a.max(0.0) + b.max(0.0) + 8.0 * out.max(0.0)) * self.factors.f_st
+    }
+
+    /// Join cost under `algo`.
+    pub fn join(&self, algo: JoinAlgo, a: f64, b: f64, out: f64) -> f64 {
+        match algo {
+            JoinAlgo::StackTreeAnc => self.stj_anc(a, b, out),
+            JoinAlgo::StackTreeDesc => self.stj_desc(a, b, out),
+            JoinAlgo::MergeJoin => self.mpmgjn(a, b, out),
+        }
+    }
+
+    /// Estimated total cost of an arbitrary plan (used for random
+    /// plans and cross-checks; the optimizers accumulate the same
+    /// terms incrementally). Returns `(cost, output cardinality)`.
+    pub fn plan_cost(
+        &self,
+        plan: &PlanNode,
+        pattern: &Pattern,
+        estimates: &PatternEstimates,
+    ) -> (f64, f64) {
+        match plan {
+            PlanNode::IndexScan { pnode } => {
+                let scanned = estimates.scan_cardinality(*pnode);
+                let out = estimates.node_cardinality(*pnode);
+                (self.index_access(scanned), out)
+            }
+            PlanNode::Sort { input, .. } => {
+                let (c, n) = self.plan_cost(input, pattern, estimates);
+                (c + self.sort(n), n)
+            }
+            PlanNode::StructuralJoin { left, right, algo, .. } => {
+                let (cl, nl) = self.plan_cost(left, pattern, estimates);
+                let (cr, nr) = self.plan_cost(right, pattern, estimates);
+                let bound: sjos_pattern::NodeSet = plan
+                    .bound_nodes()
+                    .into_iter()
+                    .collect();
+                let out = estimates.cluster_cardinality(pattern, bound);
+                (cl + cr + self.join(*algo, nl, nr, out), out)
+            }
+        }
+    }
+}
+
+/// Helper: the pattern node id of a plan's output order column (mirrors
+/// [`PlanNode::ordered_by`], re-exported here for optimizer use).
+pub fn ordered_by(plan: &PlanNode) -> PnId {
+    plan.ordered_by()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_access_is_linear() {
+        let m = CostModel::default();
+        assert_eq!(m.index_access(0.0), 0.0);
+        assert_eq!(m.index_access(100.0), 2.0 * m.index_access(50.0));
+    }
+
+    #[test]
+    fn sort_is_superlinear() {
+        let m = CostModel::default();
+        let small = m.sort(100.0);
+        let big = m.sort(1000.0);
+        assert!(big > 10.0 * small, "sort must grow faster than linearly");
+        assert!(m.sort(1.0) > 0.0, "degenerate sorts still cost something");
+    }
+
+    #[test]
+    fn paper_literal_desc_ignores_descendant_list() {
+        let m = CostModel::paper_literal();
+        assert_eq!(m.stj_desc(10.0, 1000.0, 500.0), m.stj_desc(10.0, 5.0, 2.0));
+    }
+
+    #[test]
+    fn calibrated_desc_charges_both_inputs_and_output() {
+        let m = CostModel::default();
+        assert!(m.stj_desc(10.0, 1000.0, 0.0) > m.stj_desc(10.0, 10.0, 0.0));
+        assert!(m.stj_desc(10.0, 10.0, 100.0) > m.stj_desc(10.0, 10.0, 0.0));
+    }
+
+    #[test]
+    fn anc_pays_for_output_io() {
+        let m = CostModel::default();
+        let small_out = m.stj_anc(10.0, 10.0, 10.0);
+        let big_out = m.stj_anc(10.0, 10.0, 10_000.0);
+        assert!(big_out > 100.0 * small_out / 10.0);
+        // With equal shapes, Anc costs more than Desc (it buffers).
+        assert!(m.stj_anc(100.0, 100.0, 100.0) > m.stj_desc(100.0, 100.0, 100.0));
+    }
+
+    #[test]
+    fn plan_cost_composes() {
+        use sjos_pattern::parse_pattern;
+        use sjos_stats::{Catalog, PatternEstimates};
+        use sjos_xml::Document;
+
+        let doc =
+            Document::parse("<a><b><c/></b><b><c/><c/></b></a>").unwrap();
+        let pattern = parse_pattern("//a//b/c").unwrap();
+        let catalog = Catalog::build(&doc);
+        let est = PatternEstimates::new(&catalog, &doc, &pattern);
+        let m = CostModel::default();
+
+        let join = PlanNode::StructuralJoin {
+            left: Box::new(PlanNode::IndexScan { pnode: PnId(0) }),
+            right: Box::new(PlanNode::IndexScan { pnode: PnId(1) }),
+            anc: PnId(0),
+            desc: PnId(1),
+            axis: sjos_pattern::Axis::Descendant,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        let (c_join, n_join) = m.plan_cost(&join, &pattern, &est);
+        assert!(c_join > 0.0 && n_join > 0.0);
+
+        let sorted = PlanNode::Sort { input: Box::new(join.clone()), by: PnId(1) };
+        let (c_sorted, n_sorted) = m.plan_cost(&sorted, &pattern, &est);
+        assert_eq!(n_sorted, n_join, "sort preserves cardinality");
+        assert!(c_sorted > c_join, "sort adds cost");
+    }
+}

@@ -1,0 +1,114 @@
+//! Exhaustive dynamic programming (paper §3.1).
+//!
+//! Level-by-level sweep: no status on level `k` is expanded until all
+//! of level `k-1` is done; duplicate statuses (same partition + same
+//! orderings) keep only their cheapest derivation; every surviving
+//! status is expanded, including dead ends and statuses that can no
+//! longer beat the best plan — that indiscriminateness is exactly
+//! what DPP later prunes.
+
+use std::collections::HashMap;
+
+use sjos_exec::PlanNode;
+
+use crate::status::{SearchContext, Status, StatusKey};
+
+/// Run the DP search, returning the optimal plan and its estimated
+/// cost.
+pub fn optimize_dp(ctx: &mut SearchContext<'_>) -> (PlanNode, f64) {
+    let start = ctx.start_status();
+    if start.is_final() {
+        return ctx.finalize(&start);
+    }
+    let mut current: HashMap<StatusKey, Status> = HashMap::new();
+    current.insert(start.key(), start);
+    let levels = ctx.pattern.edge_count();
+    for _lv in 0..levels {
+        let mut next: HashMap<StatusKey, Status> = HashMap::new();
+        for status in current.values() {
+            for succ in ctx.expand_all_orderings(status) {
+                match next.entry(succ.key()) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        if succ.cost < e.get().cost {
+                            e.insert(succ);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(succ);
+                    }
+                }
+            }
+        }
+        current = next;
+    }
+    let best = current
+        .values()
+        .map(|s| ctx.finalize(s))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("a pattern always has at least one evaluation plan");
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use sjos_pattern::parse_pattern;
+    use sjos_stats::{Catalog, PatternEstimates};
+    use sjos_xml::Document;
+
+    fn run(xml: &str, pat: &str) -> (PlanNode, f64, u64) {
+        let doc = Document::parse(xml).unwrap();
+        let pattern = parse_pattern(pat).unwrap();
+        let catalog = Catalog::build(&doc);
+        let est = PatternEstimates::new(&catalog, &doc, &pattern);
+        let model = CostModel::default();
+        let mut ctx = SearchContext::new(&pattern, &est, &model);
+        let (plan, cost) = optimize_dp(&mut ctx);
+        plan.validate(&pattern).unwrap();
+        (plan, cost, ctx.plans_considered)
+    }
+
+    const XML: &str = "<a><b><c/><c/></b><b><c/></b><d/></a>";
+
+    #[test]
+    fn single_node_pattern_is_a_scan() {
+        let (plan, cost, _) = run(XML, "//b");
+        assert!(matches!(plan, PlanNode::IndexScan { .. }));
+        assert!(cost > 0.0);
+    }
+
+    #[test]
+    fn two_node_pattern_joins_once() {
+        let (plan, _, considered) = run(XML, "//a/b");
+        assert_eq!(plan.join_count(), 1);
+        assert!(considered >= 2, "both orderings priced");
+    }
+
+    #[test]
+    fn chain_pattern_finds_valid_three_way_plan() {
+        let (plan, cost, considered) = run(XML, "//a/b/c");
+        assert_eq!(plan.join_count(), 2);
+        assert!(cost > 0.0);
+        assert!(considered > 4);
+    }
+
+    #[test]
+    fn branching_pattern_explores_bushy_space() {
+        let (plan, _, _) = run(XML, "//a[./b/c][./d]");
+        assert_eq!(plan.join_count(), 3);
+    }
+
+    #[test]
+    fn order_by_is_honored() {
+        let doc = Document::parse(XML).unwrap();
+        let mut pattern = parse_pattern("//a/b/c").unwrap();
+        pattern.set_order_by(sjos_pattern::PnId(2));
+        let catalog = Catalog::build(&doc);
+        let est = PatternEstimates::new(&catalog, &doc, &pattern);
+        let model = CostModel::default();
+        let mut ctx = SearchContext::new(&pattern, &est, &model);
+        let (plan, _) = optimize_dp(&mut ctx);
+        assert_eq!(plan.ordered_by(), sjos_pattern::PnId(2));
+    }
+}

@@ -1,0 +1,234 @@
+//! Unified optimizer entry point.
+
+use std::time::{Duration, Instant};
+
+use sjos_exec::PlanNode;
+use sjos_pattern::Pattern;
+use sjos_stats::PatternEstimates;
+
+use crate::cost::CostModel;
+use crate::dp::optimize_dp;
+use crate::dpp::{optimize_dpp, DppConfig};
+use crate::fp::optimize_fp;
+use crate::random::worst_random_plan;
+use crate::status::SearchContext;
+
+/// The structural join order selection algorithms of the paper, plus
+/// the random "bad plan" baseline from its evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Exhaustive level-by-level dynamic programming (§3.1).
+    Dp,
+    /// Dynamic programming with pruning (§3.2); `lookahead: false`
+    /// is the paper's DPP' (Table 2).
+    Dpp {
+        /// Apply the dead-end Lookahead Rule.
+        lookahead: bool,
+    },
+    /// DPAP with an expansion bound of `te` statuses per level
+    /// (§3.3.1).
+    DpapEb {
+        /// The `T_e` tuning parameter.
+        te: usize,
+    },
+    /// DPAP restricted to left-deep plans (§3.3.2).
+    DpapLd,
+    /// Fully-pipelined plans only (§3.4).
+    Fp,
+    /// Worst of `samples` random valid plans (Table 1's "bad plan").
+    WorstRandom {
+        /// Number of random plans to draw.
+        samples: usize,
+        /// RNG seed (deterministic).
+        seed: u64,
+    },
+}
+
+impl Algorithm {
+    /// The paper's name for the algorithm.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Dp => "DP",
+            Algorithm::Dpp { lookahead: true } => "DPP",
+            Algorithm::Dpp { lookahead: false } => "DPP'",
+            Algorithm::DpapEb { .. } => "DPAP-EB",
+            Algorithm::DpapLd => "DPAP-LD",
+            Algorithm::Fp => "FP",
+            Algorithm::WorstRandom { .. } => "bad plan",
+        }
+    }
+}
+
+/// Search-effort counters, plus wall-clock optimization time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimizerStats {
+    /// (Algorithm, ordering) alternatives priced — the paper's
+    /// "# of Plans" in Table 2.
+    pub plans_considered: u64,
+    /// Statuses materialized during the search.
+    pub statuses_generated: u64,
+    /// Statuses whose moves were enumerated.
+    pub statuses_expanded: u64,
+    /// Time spent optimizing.
+    pub elapsed: Duration,
+}
+
+/// The outcome of one optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizedPlan {
+    /// The chosen physical plan (valid for the pattern it was built
+    /// from).
+    pub plan: PlanNode,
+    /// Its estimated cost under the cost model used.
+    pub estimated_cost: f64,
+    /// Search effort.
+    pub stats: OptimizerStats,
+}
+
+/// Optimize `pattern` with `algorithm`.
+///
+/// DP and DPP return the cost-optimal plan; DPAP-EB/DPAP-LD/FP return
+/// their restricted optima; `WorstRandom` returns the *worst* sampled
+/// plan (a baseline, not an optimizer).
+pub fn optimize(
+    pattern: &Pattern,
+    estimates: &PatternEstimates,
+    model: &CostModel,
+    algorithm: Algorithm,
+) -> OptimizedPlan {
+    let started = Instant::now();
+    let mut ctx = SearchContext::new(pattern, estimates, model);
+    let (plan, estimated_cost) = match algorithm {
+        Algorithm::Dp => optimize_dp(&mut ctx),
+        Algorithm::Dpp { lookahead } => {
+            optimize_dpp(&mut ctx, DppConfig { lookahead, ..DppConfig::default() })
+        }
+        Algorithm::DpapEb { te } => optimize_dpp(
+            &mut ctx,
+            DppConfig { expansion_bound: Some(te), ..DppConfig::default() },
+        ),
+        Algorithm::DpapLd => optimize_dpp(
+            &mut ctx,
+            DppConfig { left_deep_only: true, ..DppConfig::default() },
+        ),
+        Algorithm::Fp => optimize_fp(&mut ctx),
+        Algorithm::WorstRandom { samples, seed } => {
+            let (plan, cost) = worst_random_plan(pattern, estimates, model, samples, seed);
+            ctx.plans_considered += samples as u64;
+            (plan, cost)
+        }
+    };
+    debug_assert!(plan.validate(pattern).is_ok(), "optimizer produced invalid plan");
+    OptimizedPlan {
+        plan,
+        estimated_cost,
+        stats: OptimizerStats {
+            plans_considered: ctx.plans_considered,
+            statuses_generated: ctx.statuses_generated,
+            statuses_expanded: ctx.statuses_expanded,
+            elapsed: started.elapsed(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjos_pattern::parse_pattern;
+    use sjos_stats::Catalog;
+    use sjos_xml::Document;
+
+    const XML: &str = "<a>\
+        <b><c>x</c><c>y</c><e/></b>\
+        <b><c>z</c></b>\
+        <d><e/><e/></d>\
+    </a>";
+
+    fn parts(pat: &str) -> (Pattern, PatternEstimates, CostModel) {
+        let doc = Document::parse(XML).unwrap();
+        let pattern = parse_pattern(pat).unwrap();
+        let catalog = Catalog::build(&doc);
+        let est = PatternEstimates::new(&catalog, &doc, &pattern);
+        (pattern, est, CostModel::default())
+    }
+
+    #[test]
+    fn all_algorithms_produce_valid_plans() {
+        let (pattern, est, model) = parts("//a[./b/c][./d/e]");
+        for alg in [
+            Algorithm::Dp,
+            Algorithm::Dpp { lookahead: true },
+            Algorithm::Dpp { lookahead: false },
+            Algorithm::DpapEb { te: 3 },
+            Algorithm::DpapLd,
+            Algorithm::Fp,
+            Algorithm::WorstRandom { samples: 20, seed: 1 },
+        ] {
+            let out = optimize(&pattern, &est, &model, alg);
+            out.plan.validate(&pattern).unwrap();
+            assert!(out.estimated_cost > 0.0, "{}", alg.name());
+            assert!(out.stats.plans_considered > 0, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn exact_algorithms_agree_heuristics_never_beat_them() {
+        let (pattern, est, model) = parts("//a[./b[./c][./e]][./d/e]");
+        let dp = optimize(&pattern, &est, &model, Algorithm::Dp);
+        let dpp = optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true });
+        let dpp_nl = optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: false });
+        assert!((dp.estimated_cost - dpp.estimated_cost).abs() < 1e-6);
+        assert!((dp.estimated_cost - dpp_nl.estimated_cost).abs() < 1e-6);
+        for alg in [Algorithm::DpapEb { te: 2 }, Algorithm::DpapLd, Algorithm::Fp] {
+            let h = optimize(&pattern, &est, &model, alg);
+            assert!(
+                h.estimated_cost >= dp.estimated_cost - 1e-6,
+                "{} beat DP",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_plan_is_much_worse_than_optimal() {
+        let (pattern, est, model) = parts("//a[./b/c][./d/e]");
+        let dp = optimize(&pattern, &est, &model, Algorithm::Dp);
+        let bad = optimize(
+            &pattern,
+            &est,
+            &model,
+            Algorithm::WorstRandom { samples: 100, seed: 9 },
+        );
+        assert!(bad.estimated_cost >= dp.estimated_cost);
+    }
+
+    #[test]
+    fn effort_ordering_matches_the_paper() {
+        // Table 2's qualitative ordering (DP > DPP' > DPP > … > FP).
+        // On a tiny uniform document the cost-based Pruning Rule has
+        // little to bite on (all plans cost nearly the same), so here
+        // we assert the data-independent parts: lookahead can only
+        // shrink the search, and FP explores the least by far. The
+        // full ordering is exercised on realistic data by the Table 2
+        // harness and integration tests.
+        let (pattern, est, model) = parts("//a[./b[./c][./e]][./d/e]");
+        let count = |alg| optimize(&pattern, &est, &model, alg).stats.plans_considered;
+        let dp = count(Algorithm::Dp);
+        let dpp_nl = count(Algorithm::Dpp { lookahead: false });
+        let dpp = count(Algorithm::Dpp { lookahead: true });
+        let fp = count(Algorithm::Fp);
+        assert!(dpp_nl >= dpp, "DPP' {dpp_nl} < DPP {dpp}");
+        assert!(fp < dpp, "FP {fp} >= DPP {dpp}");
+        assert!(fp < dp, "FP {fp} >= DP {dp}");
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(Algorithm::Dp.name(), "DP");
+        assert_eq!(Algorithm::Dpp { lookahead: true }.name(), "DPP");
+        assert_eq!(Algorithm::Dpp { lookahead: false }.name(), "DPP'");
+        assert_eq!(Algorithm::DpapEb { te: 1 }.name(), "DPAP-EB");
+        assert_eq!(Algorithm::DpapLd.name(), "DPAP-LD");
+        assert_eq!(Algorithm::Fp.name(), "FP");
+    }
+}

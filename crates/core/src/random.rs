@@ -1,0 +1,178 @@
+//! Random plan generation — the paper's "bad plan" baseline.
+//!
+//! Table 1's last column quantifies what an optimizer buys: random
+//! (but valid) plans, with the worst of a sample shown. A random plan
+//! joins the pattern's edges in a uniformly random order with random
+//! algorithm choices, inserting input sorts wherever the accumulated
+//! ordering does not match the next join — exactly the plans a naive
+//! or unlucky system might run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sjos_exec::{JoinAlgo, PlanNode};
+use sjos_pattern::{NodeSet, Pattern, PnId};
+use sjos_stats::PatternEstimates;
+
+use crate::cost::CostModel;
+
+/// Generate one uniformly random valid plan for `pattern`.
+pub fn random_plan(pattern: &Pattern, rng: &mut impl Rng) -> PlanNode {
+    struct Part {
+        nodes: NodeSet,
+        plan: PlanNode,
+    }
+    let mut parts: Vec<Part> = pattern
+        .node_ids()
+        .map(|id| Part {
+            nodes: NodeSet::singleton(id),
+            plan: PlanNode::IndexScan { pnode: id },
+        })
+        .collect();
+    let mut remaining: Vec<usize> = (0..pattern.edge_count()).collect();
+    while !remaining.is_empty() {
+        let pick = rng.gen_range(0..remaining.len());
+        let edge_idx = remaining.swap_remove(pick);
+        let edge = pattern.edges()[edge_idx];
+        let iu = parts.iter().position(|p| p.nodes.contains(edge.parent)).unwrap();
+        let iv = parts.iter().position(|p| p.nodes.contains(edge.child)).unwrap();
+        debug_assert_ne!(iu, iv, "tree edges never join a cluster to itself");
+        let (first, second) = (iu.min(iv), iu.max(iv));
+        let pv = parts.swap_remove(second);
+        let pu = parts.swap_remove(first);
+        let (anc_part, desc_part) =
+            if pu.nodes.contains(edge.parent) { (pu, pv) } else { (pv, pu) };
+        // Sort inputs into the order the stack-tree join requires.
+        let left = ensure_order(anc_part.plan, edge.parent);
+        let right = ensure_order(desc_part.plan, edge.child);
+        let algo = if rng.gen_bool(0.5) {
+            JoinAlgo::StackTreeAnc
+        } else {
+            JoinAlgo::StackTreeDesc
+        };
+        parts.push(Part {
+            nodes: anc_part.nodes.union(desc_part.nodes),
+            plan: PlanNode::StructuralJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                anc: edge.parent,
+                desc: edge.child,
+                axis: edge.axis,
+                algo,
+            },
+        });
+    }
+    let mut plan = parts.pop().expect("one part remains").plan;
+    if let Some(w) = pattern.order_by() {
+        plan = ensure_order(plan, w);
+    }
+    plan
+}
+
+fn ensure_order(plan: PlanNode, by: PnId) -> PlanNode {
+    if plan.ordered_by() == by {
+        plan
+    } else {
+        PlanNode::Sort { input: Box::new(plan), by }
+    }
+}
+
+/// Generate `samples` random plans (deterministic in `seed`) and
+/// return the one with the *worst* estimated cost, with that cost.
+pub fn worst_random_plan(
+    pattern: &Pattern,
+    estimates: &PatternEstimates,
+    model: &CostModel,
+    samples: usize,
+    seed: u64,
+) -> (PlanNode, f64) {
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut worst: Option<(PlanNode, f64)> = None;
+    for _ in 0..samples {
+        let plan = random_plan(pattern, &mut rng);
+        let (cost, _) = model.plan_cost(&plan, pattern, estimates);
+        if worst.as_ref().is_none_or(|(_, c)| cost > *c) {
+            worst = Some((plan, cost));
+        }
+    }
+    worst.expect("samples > 0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjos_pattern::parse_pattern;
+    use sjos_stats::Catalog;
+    use sjos_xml::Document;
+
+    const XML: &str = "<a><b><c/><c/></b><b><c/></b><d><e/></d></a>";
+
+    fn parts(pat: &str) -> (Pattern, PatternEstimates) {
+        let doc = Document::parse(XML).unwrap();
+        let pattern = parse_pattern(pat).unwrap();
+        let catalog = Catalog::build(&doc);
+        let est = PatternEstimates::new(&catalog, &doc, &pattern);
+        (pattern, est)
+    }
+
+    #[test]
+    fn random_plans_are_always_valid() {
+        let (pattern, _) = parts("//a[./b/c][./d/e]");
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let plan = random_plan(&pattern, &mut rng);
+            plan.validate(&pattern).unwrap();
+            assert_eq!(plan.join_count(), pattern.edge_count());
+        }
+    }
+
+    #[test]
+    fn random_plans_vary() {
+        let (pattern, _) = parts("//a[./b/c][./d/e]");
+        let mut rng = StdRng::seed_from_u64(11);
+        let plans: Vec<String> =
+            (0..30).map(|_| random_plan(&pattern, &mut rng).to_string()).collect();
+        let mut unique = plans.clone();
+        unique.sort();
+        unique.dedup();
+        assert!(unique.len() > 5, "only {} distinct plans", unique.len());
+    }
+
+    #[test]
+    fn worst_random_is_deterministic_in_seed() {
+        let (pattern, est) = parts("//a/b/c");
+        let model = CostModel::default();
+        let (p1, c1) = worst_random_plan(&pattern, &est, &model, 50, 42);
+        let (p2, c2) = worst_random_plan(&pattern, &est, &model, 50, 42);
+        assert_eq!(p1, p2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn worst_random_is_no_cheaper_than_any_sampled_plan() {
+        let (pattern, est) = parts("//a/b/c");
+        let model = CostModel::default();
+        let (_, worst) = worst_random_plan(&pattern, &est, &model, 100, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let plan = random_plan(&pattern, &mut rng);
+            let (cost, _) = model.plan_cost(&plan, &pattern, &est);
+            assert!(cost <= worst + 1e-9);
+        }
+    }
+
+    #[test]
+    fn order_by_is_respected() {
+        let doc = Document::parse(XML).unwrap();
+        let mut pattern = parse_pattern("//a/b/c").unwrap();
+        pattern.set_order_by(PnId(1));
+        let catalog = Catalog::build(&doc);
+        let _est = PatternEstimates::new(&catalog, &doc, &pattern);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let plan = random_plan(&pattern, &mut rng);
+            assert_eq!(plan.ordered_by(), PnId(1));
+        }
+    }
+}

@@ -1,0 +1,575 @@
+//! The status/move search space (paper §3.1.1).
+//!
+//! A **status** partitions the pattern's nodes into clusters — each a
+//! connected sub-pattern already joined — and records, per cluster,
+//! which pattern node its intermediate result is *ordered by* (stack-
+//! tree joins are order-sensitive) plus the partial plan and estimated
+//! cardinality. A **move** evaluates one remaining pattern edge whose
+//! two clusters are ordered by the edge's endpoints; the join
+//! algorithm choice fixes the output order, and an optional explicit
+//! sort re-orders the output by any merged node that still has
+//! un-joined edges (sorting to any other node is dominated and never
+//! useful). Statuses reached with both endpoints mis-ordered for every
+//! remaining edge are **dead ends** (Definition 6).
+
+use sjos_pattern::{NodeSet, Pattern, PnId};
+use sjos_stats::PatternEstimates;
+use sjos_exec::{JoinAlgo, PlanNode};
+
+use crate::cost::CostModel;
+
+/// One joined sub-pattern inside a status.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Pattern nodes bound by this cluster's intermediate result.
+    pub nodes: NodeSet,
+    /// The node the intermediate result is ordered by.
+    pub ordered_by: PnId,
+    /// Estimated cardinality of the intermediate result.
+    pub card: f64,
+    /// Partial physical plan producing it.
+    pub plan: PlanNode,
+}
+
+/// An intermediate optimization state.
+#[derive(Debug, Clone)]
+pub struct Status {
+    /// Clusters, kept sorted by their node-set bitmask (canonical
+    /// form, so equal partitions+orderings compare equal).
+    pub clusters: Vec<Cluster>,
+    /// Accumulated cost of all operations so far (paper's *Cost*).
+    pub cost: f64,
+}
+
+/// Hashable identity of a status: the sorted `(node-set, ordered-by)`
+/// pairs. Two statuses with the same key are interchangeable except
+/// for cost, and only the cheaper needs to survive.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatusKey(Vec<(u64, u16)>);
+
+impl Status {
+    /// Canonical identity.
+    pub fn key(&self) -> StatusKey {
+        StatusKey(
+            self.clusters
+                .iter()
+                .map(|c| (c.nodes.0, c.ordered_by.0))
+                .collect(),
+        )
+    }
+
+    /// Number of joins performed so far (the paper's *level*).
+    pub fn level(&self, pattern: &Pattern) -> usize {
+        pattern.len() - self.clusters.len()
+    }
+
+    /// True when every edge has been evaluated.
+    pub fn is_final(&self) -> bool {
+        self.clusters.len() == 1
+    }
+
+    /// True when at most one cluster spans multiple pattern nodes
+    /// (the DPAP-LD legality condition; that cluster is the *growing
+    /// node*).
+    pub fn is_left_deep(&self) -> bool {
+        self.clusters.iter().filter(|c| c.nodes.len() > 1).count() <= 1
+    }
+
+    /// Index of the cluster containing `node`.
+    pub fn cluster_of(&self, node: PnId) -> usize {
+        self.clusters
+            .iter()
+            .position(|c| c.nodes.contains(node))
+            .expect("every pattern node lives in some cluster")
+    }
+}
+
+/// Shared context for the DP-family searches: the inputs plus the
+/// counters every algorithm reports (Table 2's "# of Plans").
+pub struct SearchContext<'a> {
+    /// The query pattern.
+    pub pattern: &'a Pattern,
+    /// Cardinality estimates.
+    pub estimates: &'a PatternEstimates,
+    /// Cost model.
+    pub model: &'a CostModel,
+    /// Alternative (join algorithm, output ordering) combinations
+    /// priced during the search.
+    pub plans_considered: u64,
+    /// Statuses materialized (including duplicates later discarded).
+    pub statuses_generated: u64,
+    /// Statuses expanded (their moves enumerated).
+    pub statuses_expanded: u64,
+}
+
+impl<'a> SearchContext<'a> {
+    /// New context over the given inputs.
+    pub fn new(
+        pattern: &'a Pattern,
+        estimates: &'a PatternEstimates,
+        model: &'a CostModel,
+    ) -> Self {
+        SearchContext {
+            pattern,
+            estimates,
+            model,
+            plans_considered: 0,
+            statuses_generated: 0,
+            statuses_expanded: 0,
+        }
+    }
+
+    /// The start status `S_0`: one single-node cluster per pattern
+    /// node, fed by an index scan (document order == ordered by the
+    /// node itself). Its cost is the total index-access cost, which
+    /// every plan pays identically.
+    pub fn start_status(&mut self) -> Status {
+        let mut clusters = Vec::with_capacity(self.pattern.len());
+        let mut cost = 0.0;
+        for id in self.pattern.node_ids() {
+            cost += self.model.index_access(self.estimates.scan_cardinality(id));
+            clusters.push(Cluster {
+                nodes: NodeSet::singleton(id),
+                ordered_by: id,
+                card: self.estimates.node_cardinality(id),
+                plan: PlanNode::IndexScan { pnode: id },
+            });
+        }
+        clusters.sort_by_key(|c| c.nodes.0);
+        self.statuses_generated += 1;
+        Status { clusters, cost }
+    }
+
+    /// Indices (into `pattern.edges()`) of edges not yet evaluated in
+    /// `status` (their endpoints live in different clusters).
+    pub fn remaining_edges(&self, status: &Status) -> Vec<usize> {
+        self.pattern
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| status.cluster_of(e.parent) != status.cluster_of(e.child))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Is `edge_idx` evaluable from `status`? Both clusters must be
+    /// ordered by the edge's endpoints (stack-tree input requirement).
+    pub fn joinable(&self, status: &Status, edge_idx: usize) -> bool {
+        let e = self.pattern.edges()[edge_idx];
+        let iu = status.cluster_of(e.parent);
+        let iv = status.cluster_of(e.child);
+        iu != iv
+            && status.clusters[iu].ordered_by == e.parent
+            && status.clusters[iv].ordered_by == e.child
+    }
+
+    /// Dead end: not final, but no remaining edge is joinable
+    /// (Definition 6).
+    pub fn is_deadend(&self, status: &Status) -> bool {
+        if status.is_final() {
+            return false;
+        }
+        !self
+            .remaining_edges(status)
+            .iter()
+            .any(|&i| self.joinable(status, i))
+    }
+
+    /// All successor statuses of `status` (the paper's `pM(S)`
+    /// applied), generating output-sorts only towards nodes that can
+    /// still drive a future join (a domination argument the DPP family
+    /// uses; plain DP uses [`SearchContext::expand_all_orderings`]).
+    /// When `left_deep_only`, successors that are not left-deep are
+    /// suppressed.
+    pub fn expand(&mut self, status: &Status, left_deep_only: bool) -> Vec<Status> {
+        self.expand_inner(status, left_deep_only, false)
+    }
+
+    /// Successor statuses as the paper's DP enumerates them: a move
+    /// may sort the join output by *any* node of the merged cluster
+    /// (§3.1.1, Definition 4), useful or not — which is how DP floods
+    /// each level with statuses (many of them dead ends) that DPP
+    /// never materializes.
+    pub fn expand_all_orderings(&mut self, status: &Status) -> Vec<Status> {
+        self.expand_inner(status, false, true)
+    }
+
+    fn expand_inner(
+        &mut self,
+        status: &Status,
+        left_deep_only: bool,
+        all_sort_targets: bool,
+    ) -> Vec<Status> {
+        self.statuses_expanded += 1;
+        let mut out = Vec::new();
+        for edge_idx in self.remaining_edges(status) {
+            if !self.joinable(status, edge_idx) {
+                continue;
+            }
+            self.moves_along_edge(status, edge_idx, left_deep_only, all_sort_targets, &mut out);
+        }
+        out
+    }
+
+    /// Generate the successor statuses for one joinable edge.
+    fn moves_along_edge(
+        &mut self,
+        status: &Status,
+        edge_idx: usize,
+        left_deep_only: bool,
+        all_sort_targets: bool,
+        out: &mut Vec<Status>,
+    ) {
+        let edge = self.pattern.edges()[edge_idx];
+        let iu = status.cluster_of(edge.parent);
+        let iv = status.cluster_of(edge.child);
+        let cu = &status.clusters[iu];
+        let cv = &status.clusters[iv];
+        let merged = cu.nodes.union(cv.nodes);
+        let out_card = self.estimates.cluster_cardinality(self.pattern, merged);
+        let is_last_join = status.clusters.len() == 2;
+
+        let mk_join = |algo: JoinAlgo| PlanNode::StructuralJoin {
+            left: Box::new(cu.plan.clone()),
+            right: Box::new(cv.plan.clone()),
+            anc: edge.parent,
+            desc: edge.child,
+            axis: edge.axis,
+            algo,
+        };
+        // Three ancestor-ordered alternatives compete: Stack-Tree-Anc
+        // and MPMGJN directly, or Stack-Tree-Desc plus a sort.
+        let stj_anc_cost = self.model.stj_anc(cu.card, cv.card, out_card);
+        let mj_cost = self.model.mpmgjn(cu.card, cv.card, out_card);
+        let (anc_cost, anc_algo) = if mj_cost < stj_anc_cost {
+            (mj_cost, JoinAlgo::MergeJoin)
+        } else {
+            (stj_anc_cost, JoinAlgo::StackTreeAnc)
+        };
+        let desc_cost = self.model.stj_desc(cu.card, cv.card, out_card);
+        let sort_cost = self.model.sort(out_card);
+        self.plans_considered += 3;
+
+        // Candidate output orderings: the two free ones, plus an
+        // explicit sort to any merged node that can still drive a
+        // future join. For the final join the ordering is resolved in
+        // `finalize`, so only the free orderings are produced
+        // ("we don't care about the ordering any more", Example 3.6).
+        let mut candidates: Vec<(PnId, f64, PlanNode)> = Vec::new();
+        // Ordered by the ancestor endpoint.
+        {
+            let direct = anc_cost;
+            let via_sort = desc_cost + sort_cost;
+            self.plans_considered += 1; // the sort alternative
+            if direct <= via_sort {
+                candidates.push((edge.parent, direct, mk_join(anc_algo)));
+            } else {
+                candidates.push((
+                    edge.parent,
+                    via_sort,
+                    PlanNode::Sort {
+                        input: Box::new(mk_join(JoinAlgo::StackTreeDesc)),
+                        by: edge.parent,
+                    },
+                ));
+            }
+        }
+        // Ordered by the descendant endpoint.
+        {
+            let direct = desc_cost;
+            let via_sort = anc_cost + sort_cost;
+            self.plans_considered += 1;
+            if direct <= via_sort {
+                candidates.push((edge.child, direct, mk_join(JoinAlgo::StackTreeDesc)));
+            } else {
+                candidates.push((
+                    edge.child,
+                    via_sort,
+                    PlanNode::Sort {
+                        input: Box::new(mk_join(anc_algo)),
+                        by: edge.child,
+                    },
+                ));
+            }
+        }
+        if !is_last_join || all_sort_targets {
+            let base_algo = if anc_cost <= desc_cost {
+                anc_algo
+            } else {
+                JoinAlgo::StackTreeDesc
+            };
+            let base_cost = anc_cost.min(desc_cost);
+            for w in merged.iter() {
+                if w == edge.parent || w == edge.child {
+                    continue;
+                }
+                if !all_sort_targets && !self.has_external_edge(status, merged, w) {
+                    continue;
+                }
+                self.plans_considered += 1;
+                candidates.push((
+                    w,
+                    base_cost + sort_cost,
+                    PlanNode::Sort { input: Box::new(mk_join(base_algo)), by: w },
+                ));
+            }
+        }
+
+        for (ordering, move_cost, plan) in candidates {
+            let mut clusters: Vec<Cluster> = status
+                .clusters
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != iu && i != iv)
+                .map(|(_, c)| c.clone())
+                .collect();
+            clusters.push(Cluster {
+                nodes: merged,
+                ordered_by: ordering,
+                card: out_card,
+                plan,
+            });
+            clusters.sort_by_key(|c| c.nodes.0);
+            let succ = Status { clusters, cost: status.cost + move_cost };
+            if left_deep_only && !succ.is_left_deep() {
+                continue;
+            }
+            self.statuses_generated += 1;
+            out.push(succ);
+        }
+    }
+
+    /// Does merged-cluster node `w` have a pattern edge leading
+    /// outside `merged`?
+    fn has_external_edge(&self, _status: &Status, merged: NodeSet, w: PnId) -> bool {
+        self.pattern.neighbors(w).iter().any(|nb| !merged.contains(*nb))
+    }
+
+    /// `ubCost`: a quick estimate of the cost still needed to reach a
+    /// final status — each remaining edge charged as a worst-case join
+    /// of the *current* clusters plus a re-sort of its output. Used
+    /// only to order the DPP priority queue (any estimate preserves
+    /// correctness; see paper §3.2).
+    pub fn ub_cost(&self, status: &Status) -> f64 {
+        let mut ub = 0.0;
+        for edge_idx in self.remaining_edges(status) {
+            let e = self.pattern.edges()[edge_idx];
+            let cu = &status.clusters[status.cluster_of(e.parent)];
+            let cv = &status.clusters[status.cluster_of(e.child)];
+            let merged = cu.nodes.union(cv.nodes);
+            let out = self.estimates.cluster_cardinality(self.pattern, merged);
+            let join = self
+                .model
+                .stj_anc(cu.card, cv.card, out)
+                .max(self.model.stj_desc(cu.card, cv.card, out));
+            ub += join + self.model.sort(out);
+        }
+        ub
+    }
+
+    /// Turn a final status into a complete plan, appending the
+    /// explicit order-by sort when the query demands an ordering the
+    /// plan does not deliver. Returns `(plan, total cost)`.
+    pub fn finalize(&self, status: &Status) -> (PlanNode, f64) {
+        assert!(status.is_final(), "finalize of a non-final status");
+        let cluster = &status.clusters[0];
+        match self.pattern.order_by() {
+            Some(w) if w != cluster.ordered_by => (
+                PlanNode::Sort { input: Box::new(cluster.plan.clone()), by: w },
+                status.cost + self.model.sort(cluster.card),
+            ),
+            _ => (cluster.plan.clone(), status.cost),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjos_pattern::parse_pattern;
+    use sjos_stats::Catalog;
+    use sjos_xml::Document;
+
+    fn setup(
+        xml: &str,
+        pat: &str,
+    ) -> (Document, Pattern, PatternEstimates) {
+        let doc = Document::parse(xml).unwrap();
+        let pattern = parse_pattern(pat).unwrap();
+        let catalog = Catalog::build(&doc);
+        let est = PatternEstimates::new(&catalog, &doc, &pattern);
+        (doc, pattern, est)
+    }
+
+    const XML: &str = "<a><b><c/><c/></b><b><c/></b><d/><d/></a>";
+
+    #[test]
+    fn start_status_is_all_singletons() {
+        let (_d, p, e) = setup(XML, "//a/b/c");
+        let m = CostModel::default();
+        let mut ctx = SearchContext::new(&p, &e, &m);
+        let s = ctx.start_status();
+        assert_eq!(s.clusters.len(), 3);
+        assert!(!s.is_final());
+        assert!(s.is_left_deep());
+        assert_eq!(s.level(&p), 0);
+        assert!(s.cost > 0.0, "index scans are not free");
+        for c in &s.clusters {
+            assert_eq!(c.nodes.len(), 1);
+            assert_eq!(c.ordered_by, c.nodes.first().unwrap());
+        }
+    }
+
+    #[test]
+    fn expand_from_start_covers_every_edge() {
+        let (_d, p, e) = setup(XML, "//a/b/c");
+        let m = CostModel::default();
+        let mut ctx = SearchContext::new(&p, &e, &m);
+        let s = ctx.start_status();
+        let succs = ctx.expand(&s, false);
+        // 2 edges, each with orderings {parent, child} (+ possible
+        // sorted extras).
+        assert!(succs.len() >= 4, "{}", succs.len());
+        for succ in &succs {
+            assert_eq!(succ.level(&p), 1);
+            assert!(succ.cost > s.cost);
+            assert_eq!(succ.clusters.len(), 2);
+        }
+        assert!(ctx.plans_considered >= 4);
+    }
+
+    #[test]
+    fn keys_identify_partition_and_ordering() {
+        let (_d, p, e) = setup(XML, "//a/b/c");
+        let m = CostModel::default();
+        let mut ctx = SearchContext::new(&p, &e, &m);
+        let s = ctx.start_status();
+        let succs = ctx.expand(&s, false);
+        let keys: Vec<StatusKey> = succs.iter().map(|x| x.key()).collect();
+        let mut dedup = keys.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "expansion emits distinct statuses");
+    }
+
+    #[test]
+    fn deadend_detection() {
+        let (_d, p, e) = setup(XML, "//a/b/c");
+        let m = CostModel::default();
+        let mut ctx = SearchContext::new(&p, &e, &m);
+        let s = ctx.start_status();
+        // Join edge (a,b) ordered by a: remaining edge (b,c) then has
+        // cluster(b) ordered by a -> dead end.
+        let succs = ctx.expand(&s, false);
+        let dead: Vec<_> = succs.iter().filter(|x| ctx.is_deadend(x)).collect();
+        let alive: Vec<_> = succs.iter().filter(|x| !ctx.is_deadend(x)).collect();
+        assert!(!dead.is_empty(), "ordering by a after (a,b) is a dead end");
+        assert!(!alive.is_empty());
+        for d in dead {
+            assert!(ctx.expand(&Status::clone(d), false).is_empty());
+        }
+    }
+
+    #[test]
+    fn final_status_reached_and_finalized() {
+        let (_d, p, e) = setup(XML, "//a/b/c");
+        let m = CostModel::default();
+        let mut ctx = SearchContext::new(&p, &e, &m);
+        let mut frontier = vec![ctx.start_status()];
+        let mut finals = vec![];
+        while let Some(s) = frontier.pop() {
+            if s.is_final() {
+                finals.push(s);
+                continue;
+            }
+            frontier.extend(ctx.expand(&s, false));
+        }
+        assert!(!finals.is_empty());
+        for f in &finals {
+            let (plan, cost) = ctx.finalize(f);
+            plan.validate(&p).unwrap();
+            assert!(cost >= f.cost);
+        }
+    }
+
+    #[test]
+    fn finalize_adds_sort_when_order_by_mismatches() {
+        let (_d, mut p, e) = setup(XML, "//a/b/c");
+        p.set_order_by(PnId(2));
+        let m = CostModel::default();
+        let mut ctx = SearchContext::new(&p, &e, &m);
+        let mut frontier = vec![ctx.start_status()];
+        let mut checked = 0;
+        while let Some(s) = frontier.pop() {
+            if s.is_final() {
+                let (plan, cost) = ctx.finalize(&s);
+                if s.clusters[0].ordered_by != PnId(2) {
+                    assert!(matches!(plan, PlanNode::Sort { by: PnId(2), .. }));
+                    assert!(cost > s.cost);
+                } else {
+                    assert_eq!(cost, s.cost);
+                }
+                checked += 1;
+                continue;
+            }
+            frontier.extend(ctx.expand(&s, false));
+        }
+        assert!(checked > 1);
+    }
+
+    #[test]
+    fn left_deep_filter_suppresses_bushy_successors() {
+        // A 4-node pattern where a bushy status is reachable.
+        let (_d, p, e) = setup(
+            "<a><b><c/></b><d/></a>",
+            "//a[./b/c][./d]",
+        );
+        let m = CostModel::default();
+        let mut ctx = SearchContext::new(&p, &e, &m);
+        let s = ctx.start_status();
+        // First join (b,c) -> cluster {b,c}; then joining (a,d) would
+        // make a second multi-node cluster (bushy).
+        let succs = ctx.expand(&s, false);
+        // The {b, c} cluster (pattern nodes 1 and 2) joined first.
+        let bc: Vec<_> = succs
+            .iter()
+            .filter(|x| {
+                x.clusters.iter().any(|c| {
+                    c.nodes.contains(PnId(1)) && c.nodes.contains(PnId(2))
+                })
+            })
+            .cloned()
+            .collect();
+        assert!(!bc.is_empty());
+        // From {bc},{a},{d}: joining edge (a,d) creates a second
+        // multi-node cluster, which only the unrestricted expansion
+        // may produce.
+        let from_bc_all = ctx.expand(&bc[0], false);
+        let from_bc_ld = ctx.expand(&bc[0], true);
+        assert!(
+            from_bc_all.len() > from_bc_ld.len(),
+            "LD must prune bushy moves: all={} ld={}",
+            from_bc_all.len(),
+            from_bc_ld.len()
+        );
+        assert!(from_bc_ld.iter().all(|x| x.is_left_deep()));
+    }
+
+    #[test]
+    fn ub_cost_is_zero_only_at_final() {
+        let (_d, p, e) = setup(XML, "//a/b/c");
+        let m = CostModel::default();
+        let mut ctx = SearchContext::new(&p, &e, &m);
+        let s = ctx.start_status();
+        assert!(ctx.ub_cost(&s) > 0.0);
+        let mut cur = s;
+        while !cur.is_final() {
+            let succs = ctx.expand(&cur, false);
+            cur = succs
+                .into_iter()
+                .find(|x| !ctx.is_deadend(x))
+                .expect("some live successor");
+        }
+        assert_eq!(ctx.ub_cost(&cur), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The DBLP-shaped bibliography: wide and shallow.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sjos_xml::{Document, DocumentBuilder};
+
+use crate::GenConfig;
+
+const VENUES: &[&str] = &[
+    "ICDE", "SIGMOD", "VLDB", "EDBT", "PODS", "CIKM", "WebDB", "TODS", "VLDBJ",
+];
+const TITLE_WORDS: &[&str] = &[
+    "structural", "join", "order", "selection", "xml", "query", "optimization",
+    "pattern", "matching", "index", "histogram", "tree", "algebra", "storage",
+    "containment", "holistic", "twig", "estimation", "cost", "pipeline",
+];
+const AUTHORS: &[&str] = &[
+    "wu", "patel", "jagadish", "al-khalifa", "koudas", "srivastava", "zhang",
+    "naughton", "dewitt", "luo", "lohman", "bruno", "selinger", "chaudhuri",
+    "widom", "mchugh", "liefke", "lakshmanan", "amer-yahia", "cho",
+];
+
+/// Generate a DBLP-shaped document of roughly `config.target_nodes`
+/// elements: a flat sequence of `article` / `inproceedings` records,
+/// each with authors, a title, a year, a venue element, and the
+/// occasional citation list.
+pub fn dblp(config: GenConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = DocumentBuilder::new();
+    b.start_element("dblp");
+    let mut budget = config.target_nodes.saturating_sub(1) as isize;
+    while budget > 0 {
+        budget -= publication(&mut b, &mut rng) as isize;
+    }
+    b.end_element();
+    b.finish()
+}
+
+/// Emit one publication; returns the number of elements created.
+fn publication(b: &mut DocumentBuilder, rng: &mut StdRng) -> usize {
+    let is_article = rng.gen_bool(0.45);
+    let mut count = 1;
+    b.start_element(if is_article { "article" } else { "inproceedings" });
+    let n_authors = rng.gen_range(1..=4);
+    for _ in 0..n_authors {
+        b.leaf("author", AUTHORS[rng.gen_range(0..AUTHORS.len())]);
+        count += 1;
+    }
+    let title: Vec<&str> = (0..rng.gen_range(3..=7))
+        .map(|_| TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())])
+        .collect();
+    b.leaf("title", &title.join(" "));
+    b.leaf("year", &format!("{}", rng.gen_range(1975..=2003)));
+    count += 2;
+    if is_article {
+        b.leaf("journal", VENUES[rng.gen_range(0..VENUES.len())]);
+    } else {
+        b.leaf("booktitle", VENUES[rng.gen_range(0..VENUES.len())]);
+    }
+    count += 1;
+    if rng.gen_bool(0.3) {
+        for _ in 0..rng.gen_range(1..=3) {
+            // Citations carry a structured label child (the one
+            // two-level substructure in this otherwise flat corpus,
+            // needed by the branching benchmark patterns).
+            b.start_element("cite");
+            b.leaf("label", &format!("ref{}", rng.gen_range(0..5_000)));
+            b.end_element();
+            count += 2;
+        }
+    }
+    b.end_element();
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_lands_near_target() {
+        let doc = dblp(GenConfig::sized(10_000));
+        let n = doc.len();
+        assert!((10_000..10_100).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = dblp(GenConfig::sized(3_000));
+        let b = dblp(GenConfig::sized(3_000));
+        assert_eq!(sjos_xml::serialize::to_xml(&a), sjos_xml::serialize::to_xml(&b));
+    }
+
+    #[test]
+    fn shallow_structure() {
+        let doc = dblp(GenConfig::sized(5_000));
+        let max_level = doc.nodes().iter().map(|n| n.region.level).max().unwrap();
+        assert!(max_level <= 3, "DBLP is shallow, got depth {max_level}");
+    }
+
+    #[test]
+    fn expected_tags_present() {
+        let doc = dblp(GenConfig::sized(5_000));
+        for tag in ["dblp", "article", "inproceedings", "author", "title", "year"] {
+            assert!(doc.tag(tag).is_some(), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn publications_have_authors_and_title() {
+        let doc = dblp(GenConfig::sized(2_000));
+        let article = doc.tag("article").unwrap();
+        let author = doc.tag("author").unwrap();
+        let title = doc.tag("title").unwrap();
+        for &a in doc.elements_with_tag(article).iter().take(50) {
+            let mut has_author = false;
+            let mut has_title = false;
+            for c in doc.children(a) {
+                has_author |= doc.node(c).tag == author;
+                has_title |= doc.node(c).tag == title;
+            }
+            assert!(has_author && has_title);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The "folding factor" of the paper's §4.3: replicate a data set
+//! in place to scale it ×10 / ×100 / ×500 without changing its
+//! structural statistics.
+
+use sjos_xml::{Document, DocumentBuilder, NodeId};
+
+/// Produce a document whose root contains `factor` copies of the
+/// input root's content. `factor == 1` is a structural identity copy.
+///
+/// # Panics
+/// Panics if `factor` is zero or the document is empty.
+pub fn fold_document(doc: &Document, factor: usize) -> Document {
+    assert!(factor > 0, "folding factor must be positive");
+    let root = doc.root().expect("cannot fold an empty document");
+    let mut b = DocumentBuilder::new();
+    let root_node = doc.node(root);
+    b.start_element_with_attrs(
+        doc.tag_name(root_node.tag),
+        attrs_of(doc, root),
+    );
+    if !root_node.text.is_empty() {
+        b.text(&root_node.text);
+    }
+    for _ in 0..factor {
+        for child in doc.children(root) {
+            copy_subtree(doc, child, &mut b);
+        }
+    }
+    b.end_element();
+    b.finish()
+}
+
+fn attrs_of(doc: &Document, id: NodeId) -> Vec<(String, String)> {
+    doc.node(id)
+        .attributes
+        .iter()
+        .map(|(t, v)| (doc.tag_name(*t).to_owned(), v.clone()))
+        .collect()
+}
+
+fn copy_subtree(doc: &Document, id: NodeId, b: &mut DocumentBuilder) {
+    let node = doc.node(id);
+    b.start_element_with_attrs(doc.tag_name(node.tag), attrs_of(doc, id));
+    if !node.text.is_empty() {
+        b.text(&node.text);
+    }
+    for child in doc.children(id) {
+        copy_subtree(doc, child, b);
+    }
+    b.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pers::pers;
+    use crate::GenConfig;
+
+    #[test]
+    fn fold_one_is_identity_modulo_ids() {
+        let doc = pers(GenConfig::sized(500));
+        let folded = fold_document(&doc, 1);
+        assert_eq!(doc.len(), folded.len());
+        assert_eq!(
+            sjos_xml::serialize::to_xml(&doc),
+            sjos_xml::serialize::to_xml(&folded)
+        );
+    }
+
+    #[test]
+    fn fold_scales_node_count_linearly() {
+        let doc = pers(GenConfig::sized(500));
+        let base = doc.len();
+        for k in [2usize, 5, 10] {
+            let folded = fold_document(&doc, k);
+            assert_eq!(folded.len(), (base - 1) * k + 1, "factor {k}");
+        }
+    }
+
+    #[test]
+    fn fold_preserves_tag_proportions() {
+        let doc = pers(GenConfig::sized(1_000));
+        let folded = fold_document(&doc, 4);
+        let emp = doc.tag("employee").unwrap();
+        let femp = folded.tag("employee").unwrap();
+        assert_eq!(
+            folded.elements_with_tag(femp).len(),
+            doc.elements_with_tag(emp).len() * 4
+        );
+    }
+
+    #[test]
+    fn fold_preserves_depth() {
+        let doc = pers(GenConfig::sized(1_000));
+        let folded = fold_document(&doc, 3);
+        let d1 = doc.nodes().iter().map(|n| n.region.level).max();
+        let d2 = folded.nodes().iter().map(|n| n.region.level).max();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_panics() {
+        let doc = pers(GenConfig::sized(100));
+        let _ = fold_document(&doc, 0);
+    }
+}

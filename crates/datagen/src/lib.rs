@@ -1,0 +1,68 @@
+//! # sjos-datagen
+//!
+//! Deterministic synthetic data sets reproducing the *shape* of the
+//! paper's three corpora (§4.1), plus the "folding factor"
+//! replication of §4.3 and the catalog of the eight benchmark
+//! queries:
+//!
+//! * [`pers`] — the AT&T personnel set: a recursive manager
+//!   hierarchy (managers supervising employees, departments, and
+//!   other managers). Deep and self-nested, the interesting case for
+//!   structural joins.
+//! * [`dblp`] — the DBLP bibliography: wide and shallow, hundreds of
+//!   thousands of small publication records.
+//! * [`mbench`] — the Michigan benchmark's `eNest` tree: a 16-level
+//!   recursive element with controlled fan-out.
+//!
+//! The originals are not redistributable/available offline; these
+//! generators preserve the structural properties the experiments
+//! exercise (depth, recursion, tag frequencies, value diversity), as
+//! documented in DESIGN.md.
+
+pub mod dblp;
+pub mod fold;
+pub mod mbench;
+pub mod pers;
+pub mod workload;
+
+pub use fold::fold_document;
+pub use workload::{paper_queries, DataSet, Workload};
+
+/// Size/seed knobs shared by the generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Approximate number of elements to generate (the generators
+    /// land within a few percent of this).
+    pub target_nodes: usize,
+    /// RNG seed; equal configs generate byte-identical documents.
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// Config with the given target and a fixed default seed.
+    pub fn sized(target_nodes: usize) -> GenConfig {
+        GenConfig { target_nodes, seed: 0x5105_2003 }
+    }
+}
+
+/// The paper's reported data set sizes (node counts): Mbench 740 K,
+/// DBLP 500 K, Pers 5 K.
+pub mod paper_sizes {
+    /// Mbench node count used in the paper.
+    pub const MBENCH: usize = 740_000;
+    /// DBLP node count used in the paper.
+    pub const DBLP: usize = 500_000;
+    /// Pers node count used in the paper.
+    pub const PERS: usize = 5_000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_compare() {
+        assert_eq!(GenConfig::sized(100), GenConfig::sized(100));
+        assert_ne!(GenConfig::sized(100), GenConfig::sized(200));
+    }
+}

@@ -1,0 +1,111 @@
+//! The Michigan benchmark (Mbench) `eNest` tree.
+//!
+//! MBench's data set is a single recursive element type, `eNest`,
+//! arranged in a 16-level tree with controlled fan-out, so that
+//! queries over it are self-joins with precisely understood
+//! selectivities. We reproduce the structural profile: a deep
+//! recursive `eNest` hierarchy (fan-out 2 near the top, wider at the
+//! bottom levels where most nodes live), a sparse `eOccasional` child
+//! (1 in 6 nodes, as in MBench), and a short string payload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sjos_xml::{Document, DocumentBuilder};
+
+use crate::GenConfig;
+
+/// Maximum nesting depth of `eNest` (MBench uses 16 levels).
+pub const MAX_DEPTH: usize = 16;
+
+/// Generate an Mbench-shaped document of roughly
+/// `config.target_nodes` elements.
+pub fn mbench(config: GenConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = DocumentBuilder::new();
+    let mut budget = config.target_nodes.saturating_sub(1) as isize;
+    b.start_element("mbench");
+    while budget > 0 {
+        e_nest(&mut b, &mut rng, 1, &mut budget);
+    }
+    b.end_element();
+    b.finish()
+}
+
+fn e_nest(b: &mut DocumentBuilder, rng: &mut StdRng, depth: usize, budget: &mut isize) {
+    if *budget <= 0 {
+        return;
+    }
+    *budget -= 1;
+    b.start_element_with_attrs(
+        "eNest",
+        vec![("aLevel".to_owned(), depth.to_string())],
+    );
+    // Sparse companion element, as in MBench's eOccasional (1/6th).
+    if rng.gen_ratio(1, 6) && *budget > 0 {
+        *budget -= 1;
+        b.leaf("eOccasional", &format!("o{}", rng.gen_range(0..1_000)));
+    }
+    if depth < MAX_DEPTH && *budget > 0 {
+        // Fan-out grows with depth so the bottom levels dominate the
+        // node count, like the original's aFanout profile.
+        let fanout = match depth {
+            1..=4 => 2,
+            5..=8 => rng.gen_range(2..=3),
+            _ => rng.gen_range(2..=4),
+        };
+        for _ in 0..fanout {
+            e_nest(b, rng, depth + 1, budget);
+        }
+    }
+    b.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_lands_near_target() {
+        let doc = mbench(GenConfig::sized(20_000));
+        let n = doc.len();
+        assert!((20_000..=20_050).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = mbench(GenConfig::sized(5_000));
+        let b = mbench(GenConfig::sized(5_000));
+        assert_eq!(sjos_xml::serialize::to_xml(&a), sjos_xml::serialize::to_xml(&b));
+    }
+
+    #[test]
+    fn enest_dominates_and_nests_deeply() {
+        let doc = mbench(GenConfig::sized(20_000));
+        let enest = doc.tag("eNest").unwrap();
+        let count = doc.elements_with_tag(enest).len();
+        assert!(count * 10 >= doc.len() * 7, "eNest must dominate: {count}/{}", doc.len());
+        let max_level = doc.nodes().iter().map(|n| n.region.level).max().unwrap();
+        assert!(max_level >= 8, "tree too shallow: {max_level}");
+        assert!(max_level as usize <= MAX_DEPTH + 1);
+    }
+
+    #[test]
+    fn eoccasional_is_sparse() {
+        let doc = mbench(GenConfig::sized(20_000));
+        let occ = doc.tag("eOccasional").unwrap();
+        let n_occ = doc.elements_with_tag(occ).len();
+        let n_nest = doc.elements_with_tag(doc.tag("eNest").unwrap()).len();
+        let ratio = n_occ as f64 / n_nest as f64;
+        assert!((0.1..0.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn level_attribute_matches_region_level() {
+        let doc = mbench(GenConfig::sized(2_000));
+        let enest = doc.tag("eNest").unwrap();
+        for &id in doc.elements_with_tag(enest).iter().take(100) {
+            let attr: usize = doc.attribute(id, "aLevel").unwrap().parse().unwrap();
+            assert_eq!(attr as u16, doc.region(id).level, "aLevel mirrors depth");
+        }
+    }
+}

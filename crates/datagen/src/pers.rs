@@ -1,0 +1,236 @@
+//! The personnel (Pers) data set: a recursive management hierarchy.
+//!
+//! Shape (following the description in Al-Khalifa et al., where the
+//! set originates): a company of managers, each with a name, some
+//! directly supervised employees, optionally departments (with their
+//! own name and employees), and sub-managers — recursively. Both
+//! `manager` and the `manager//manager` self-nesting that the paper's
+//! Fig. 1 query exercises arise naturally.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sjos_xml::{Document, DocumentBuilder};
+
+use crate::GenConfig;
+
+const FIRST_NAMES: &[&str] = &[
+    "ada", "alan", "grace", "edsger", "barbara", "donald", "john", "leslie",
+    "tony", "dana", "ken", "dennis", "niklaus", "frances", "jim", "michael",
+];
+const LAST_NAMES: &[&str] = &[
+    "lovelace", "turing", "hopper", "dijkstra", "liskov", "knuth", "backus",
+    "lamport", "hoare", "scott", "thompson", "ritchie", "wirth", "allen",
+    "gray", "stonebraker",
+];
+const DEPT_NAMES: &[&str] = &[
+    "engineering", "research", "sales", "support", "operations", "finance",
+    "marketing", "quality", "design", "security",
+];
+
+/// Generate a Pers document of roughly `config.target_nodes` elements.
+pub fn pers(config: GenConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = DocumentBuilder::new();
+    // Root element counts too.
+    let mut budget = config.target_nodes.saturating_sub(1) as isize;
+    b.start_element("personnel");
+    while budget > 0 {
+        manager(&mut b, &mut rng, 0, &mut budget);
+    }
+    b.end_element();
+    b.finish()
+}
+
+fn take(budget: &mut isize, n: isize) -> bool {
+    if *budget <= 0 {
+        return false;
+    }
+    *budget -= n;
+    true
+}
+
+fn person_name(rng: &mut StdRng) -> String {
+    format!(
+        "{} {}",
+        FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+        LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())]
+    )
+}
+
+fn manager(b: &mut DocumentBuilder, rng: &mut StdRng, depth: usize, budget: &mut isize) {
+    // manager + name = 2 elements.
+    if !take(budget, 2) {
+        return;
+    }
+    b.start_element("manager");
+    let name = person_name(rng);
+    b.leaf("name", &name);
+    // Directly supervised employees.
+    for _ in 0..rng.gen_range(1..=3) {
+        employee(b, rng, budget);
+    }
+    // Departments under this manager.
+    for _ in 0..rng.gen_range(0..=2) {
+        department(b, rng, budget);
+    }
+    // Sub-managers: deep recursion is the point of this data set.
+    if depth < 12 {
+        let subs = if depth < 2 {
+            rng.gen_range(1..=3)
+        } else {
+            rng.gen_range(0..=2)
+        };
+        for _ in 0..subs {
+            if *budget <= 0 {
+                break;
+            }
+            manager(b, rng, depth + 1, budget);
+        }
+    }
+    b.end_element();
+}
+
+fn employee(b: &mut DocumentBuilder, rng: &mut StdRng, budget: &mut isize) {
+    if !take(budget, 3) {
+        return;
+    }
+    b.start_element("employee");
+    b.leaf("name", &person_name(rng));
+    b.leaf("email", &format!("e{}@example.com", rng.gen_range(0..10_000)));
+    b.end_element();
+}
+
+fn department(b: &mut DocumentBuilder, rng: &mut StdRng, budget: &mut isize) {
+    if !take(budget, 2) {
+        return;
+    }
+    b.start_element("department");
+    b.leaf("name", DEPT_NAMES[rng.gen_range(0..DEPT_NAMES.len())]);
+    for _ in 0..rng.gen_range(1..=2) {
+        employee(b, rng, budget);
+    }
+    b.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_lands_near_target() {
+        for target in [500, 5_000] {
+            let doc = pers(GenConfig::sized(target));
+            let n = doc.len();
+            assert!(
+                n >= target && n <= target + target / 5 + 16,
+                "target {target}, got {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = pers(GenConfig::sized(2_000));
+        let b = pers(GenConfig::sized(2_000));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            sjos_xml::serialize::to_xml(&a),
+            sjos_xml::serialize::to_xml(&b)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = pers(GenConfig { target_nodes: 1_000, seed: 1 });
+        let b = pers(GenConfig { target_nodes: 1_000, seed: 2 });
+        assert_ne!(
+            sjos_xml::serialize::to_xml(&a),
+            sjos_xml::serialize::to_xml(&b)
+        );
+    }
+
+    #[test]
+    fn managers_nest_recursively() {
+        let doc = pers(GenConfig::sized(5_000));
+        let manager = doc.tag("manager").unwrap();
+        let list = doc.elements_with_tag(manager);
+        assert!(!list.is_empty());
+        let nested = list.iter().any(|&m| {
+            doc.ancestors(m).any(|a| doc.node(a).tag == manager)
+        });
+        assert!(nested, "manager//manager pairs must exist");
+    }
+
+    #[test]
+    fn expected_tags_present() {
+        let doc = pers(GenConfig::sized(5_000));
+        for tag in ["personnel", "manager", "employee", "department", "name", "email"] {
+            let t = doc.tag(tag).unwrap_or_else(|| panic!("missing {tag}"));
+            assert!(!doc.elements_with_tag(t).is_empty(), "{tag}");
+        }
+    }
+
+    #[test]
+    fn fig1_query_has_matches() {
+        let doc = pers(GenConfig::sized(5_000));
+        let pattern = sjos_pattern::parse_pattern(
+            "//manager[.//employee/name][.//manager/department/name]",
+        )
+        .unwrap();
+        let rows = sjos_exec_naive_eval(&doc, &pattern);
+        assert!(!rows.is_empty(), "the paper's Fig. 1 query must be non-empty");
+    }
+
+    // Minimal local re-implementation to avoid a dev-dependency cycle
+    // with sjos-exec: counts matches of the pattern naively.
+    fn sjos_exec_naive_eval(
+        doc: &Document,
+        pattern: &sjos_pattern::Pattern,
+    ) -> Vec<Vec<sjos_xml::NodeId>> {
+        fn rec(
+            doc: &Document,
+            pattern: &sjos_pattern::Pattern,
+            order: &[sjos_pattern::PnId],
+            depth: usize,
+            binding: &mut Vec<sjos_xml::NodeId>,
+            rows: &mut Vec<Vec<sjos_xml::NodeId>>,
+        ) {
+            if rows.len() > 10 {
+                return; // existence check only
+            }
+            if depth == order.len() {
+                rows.push(binding.clone());
+                return;
+            }
+            let pn = order[depth];
+            let Some(tag) = doc.tag(&pattern.node(pn).tag) else { return };
+            for &cand in doc.elements_with_tag(tag) {
+                if let Some(parent) = pattern.parent(pn) {
+                    let pr = doc.region(binding[parent.index()]);
+                    let cr = doc.region(cand);
+                    let ok = match pattern.edge_between(parent, pn).unwrap().axis {
+                        sjos_pattern::Axis::Descendant => pr.contains(cr),
+                        sjos_pattern::Axis::Child => pr.is_parent_of(cr),
+                    };
+                    if !ok {
+                        continue;
+                    }
+                }
+                binding[pn.index()] = cand;
+                rec(doc, pattern, order, depth + 1, binding, rows);
+            }
+        }
+        let mut order = vec![];
+        let mut stack = vec![pattern.root()];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            for &c in pattern.children(n) {
+                stack.push(c);
+            }
+        }
+        let mut rows = vec![];
+        let mut binding = vec![sjos_xml::NodeId(0); pattern.len()];
+        rec(doc, pattern, &order, 0, &mut binding, &mut rows);
+        rows
+    }
+}

@@ -1,0 +1,175 @@
+//! The paper's benchmark queries (§4.1, Fig. 6).
+//!
+//! Eight queries named `Q.DataSet.QueryNum.Pattern`, where the
+//! pattern letter refers to the four shapes of Fig. 6:
+//!
+//! * **a** — a 3-node chain,
+//! * **b** — 4 nodes: a root with one leaf branch and one 2-node chain,
+//! * **c** — 5 nodes: a root with two 2-node chains,
+//! * **d** — 6 nodes: a root with a 2-node chain and a 3-node chain
+//!   (the shape of the running example in Fig. 1).
+//!
+//! The paper prints the shapes but not the concrete tag bindings; the
+//! bindings below target each data set's characteristic structure
+//! (recursive `manager` self-joins for Pers, `eNest` self-joins for
+//! Mbench, flat publication records for DBLP) so the optimizer faces
+//! the same kind of choices.
+
+use sjos_pattern::{parse_pattern, Pattern};
+
+/// Which generated corpus a query runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataSet {
+    /// Michigan benchmark (`eNest` tree).
+    Mbench,
+    /// Bibliography.
+    Dblp,
+    /// Personnel hierarchy.
+    Pers,
+}
+
+impl DataSet {
+    /// Data set name as used in query ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataSet::Mbench => "Mbench",
+            DataSet::Dblp => "DBLP",
+            DataSet::Pers => "Pers",
+        }
+    }
+}
+
+/// One benchmark query.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Paper-style id, e.g. `Q.Pers.3.d`.
+    pub id: &'static str,
+    /// Corpus it runs on.
+    pub dataset: DataSet,
+    /// Fig. 6 shape letter.
+    pub shape: char,
+    /// The pattern, in this crate's query syntax.
+    pub query: &'static str,
+}
+
+impl Workload {
+    /// Parse the query text into a [`Pattern`].
+    ///
+    /// # Panics
+    /// Panics if the catalog text is malformed (a bug, covered by
+    /// tests).
+    pub fn pattern(&self) -> Pattern {
+        parse_pattern(self.query).unwrap_or_else(|e| panic!("{}: {e}", self.id))
+    }
+
+    /// Expected node count of the shape letter.
+    pub fn shape_nodes(&self) -> usize {
+        match self.shape {
+            'a' => 3,
+            'b' => 4,
+            'c' => 5,
+            'd' => 6,
+            other => panic!("unknown shape {other}"),
+        }
+    }
+}
+
+/// The eight queries of Table 1.
+pub fn paper_queries() -> Vec<Workload> {
+    vec![
+        Workload {
+            id: "Q.Mbench.1.a",
+            dataset: DataSet::Mbench,
+            shape: 'a',
+            query: "//eNest//eNest/eOccasional",
+        },
+        Workload {
+            id: "Q.Mbench.2.b",
+            dataset: DataSet::Mbench,
+            shape: 'b',
+            query: "//eNest[./eOccasional]/eNest/eNest",
+        },
+        Workload {
+            id: "Q.DBLP.1.b",
+            dataset: DataSet::Dblp,
+            shape: 'b',
+            query: "//dblp/article[./author][./title]",
+        },
+        Workload {
+            id: "Q.DBLP.2.c",
+            dataset: DataSet::Dblp,
+            shape: 'c',
+            query: "//article[./author][./cite/label]/title",
+        },
+        Workload {
+            id: "Q.Pers.1.a",
+            dataset: DataSet::Pers,
+            shape: 'a',
+            query: "//manager//employee/name",
+        },
+        Workload {
+            id: "Q.Pers.2.c",
+            dataset: DataSet::Pers,
+            shape: 'c',
+            query: "//manager[.//employee/name][./department/name]",
+        },
+        Workload {
+            id: "Q.Pers.3.d",
+            dataset: DataSet::Pers,
+            shape: 'd',
+            query: "//manager[.//employee/name][.//manager/department/name]",
+        },
+        Workload {
+            id: "Q.Pers.4.d",
+            dataset: DataSet::Pers,
+            shape: 'd',
+            query: "//manager[.//department/name][.//manager/employee/name]",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_the_papers_eight_queries() {
+        let qs = paper_queries();
+        assert_eq!(qs.len(), 8);
+        assert_eq!(qs.iter().filter(|q| q.dataset == DataSet::Mbench).count(), 2);
+        assert_eq!(qs.iter().filter(|q| q.dataset == DataSet::Dblp).count(), 2);
+        assert_eq!(qs.iter().filter(|q| q.dataset == DataSet::Pers).count(), 4);
+    }
+
+    #[test]
+    fn every_query_parses_with_the_declared_shape_size() {
+        for q in paper_queries() {
+            let p = q.pattern();
+            assert_eq!(p.len(), q.shape_nodes(), "{}", q.id);
+            assert_eq!(p.edge_count(), q.shape_nodes() - 1, "{}", q.id);
+        }
+    }
+
+    #[test]
+    fn ids_follow_paper_convention() {
+        for q in paper_queries() {
+            let parts: Vec<&str> = q.id.split('.').collect();
+            assert_eq!(parts.len(), 4, "{}", q.id);
+            assert_eq!(parts[0], "Q");
+            assert_eq!(parts[1], q.dataset.name());
+            assert_eq!(parts[3], q.shape.to_string());
+        }
+    }
+
+    #[test]
+    fn pers3_is_the_fig1_pattern() {
+        let q = paper_queries()
+            .into_iter()
+            .find(|q| q.id == "Q.Pers.3.d")
+            .unwrap();
+        let p = q.pattern();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.children(p.root()).len(), 2);
+        assert_eq!(p.node(p.root()).tag, "manager");
+    }
+}

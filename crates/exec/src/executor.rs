@@ -1,0 +1,375 @@
+//! Plan execution against an [`XmlStore`].
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sjos_pattern::{Pattern, PnId, ValuePredicate};
+use sjos_storage::record::value_digest;
+use sjos_storage::XmlStore;
+
+use crate::metrics::{ExecMetrics, MetricsSnapshot};
+use crate::ops::{BoxedOperator, IndexScanOp, MergeJoinOp, SortOp, StackTreeJoinOp};
+use crate::plan::PlanNode;
+use crate::tuple::{Schema, Tuple};
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The plan does not correctly evaluate the pattern.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The materialized answer of one query execution.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Column layout of `tuples`.
+    pub schema: Schema,
+    /// All matches, in the order the plan produced them.
+    pub tuples: Vec<Tuple>,
+    /// Operator-level counters.
+    pub metrics: MetricsSnapshot,
+    /// Storage-level counters (delta over this execution).
+    pub io: sjos_storage::iostats::IoSnapshot,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+impl QueryResult {
+    /// Number of matches (valid in counting mode too, where `tuples`
+    /// stays empty).
+    pub fn len(&self) -> usize {
+        self.metrics.output_tuples as usize
+    }
+
+    /// True when the query matched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rows as `(pattern node -> element NodeId)` bindings in
+    /// canonical pattern-node order, sorted — a stable form for
+    /// comparing results across plans.
+    pub fn canonical_rows(&self) -> Vec<Vec<sjos_xml::NodeId>> {
+        let mut order: Vec<usize> = (0..self.schema.width()).collect();
+        order.sort_by_key(|&i| self.schema.columns()[i]);
+        let mut rows: Vec<Vec<sjos_xml::NodeId>> = self
+            .tuples
+            .iter()
+            .map(|t| order.iter().map(|&i| t[i].node).collect())
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+}
+
+/// Execute `plan` for `pattern` against `store`, materializing every
+/// result tuple.
+///
+/// The plan is validated first (every pattern node bound exactly once,
+/// join inputs correctly ordered, axes matching); a malformed plan is
+/// an optimizer bug surfaced as [`ExecError::InvalidPlan`].
+pub fn execute(
+    store: &XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+) -> Result<QueryResult, ExecError> {
+    execute_opts(store, pattern, plan, true)
+}
+
+/// Like [`execute`], but discard tuples as they are produced (the
+/// result's `tuples` is empty; `metrics.output_tuples` still counts
+/// them). Use for measurement runs whose result sets would not fit
+/// comfortably in memory — the plan still performs all its work.
+pub fn execute_counting(
+    store: &XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+) -> Result<QueryResult, ExecError> {
+    execute_opts(store, pattern, plan, false)
+}
+
+fn execute_opts(
+    store: &XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+    materialize: bool,
+) -> Result<QueryResult, ExecError> {
+    plan.validate(pattern).map_err(ExecError::InvalidPlan)?;
+    let metrics = ExecMetrics::new();
+    let io_before = store.stats().snapshot();
+    let started = Instant::now();
+    let mut root = build_operator(store, pattern, plan, &metrics);
+    let mut tuples = Vec::new();
+    let mut count: u64 = 0;
+    while let Some(t) = root.next() {
+        count += 1;
+        if materialize {
+            tuples.push(t);
+        }
+    }
+    let elapsed = started.elapsed();
+    ExecMetrics::add(&metrics.output_tuples, count);
+    let schema = root.schema().clone();
+    drop(root);
+    Ok(QueryResult {
+        schema,
+        tuples,
+        metrics: metrics.snapshot(),
+        io: store.stats().snapshot().since(&io_before),
+        elapsed,
+    })
+}
+
+fn build_operator<'a>(
+    store: &'a XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+    metrics: &Arc<ExecMetrics>,
+) -> BoxedOperator<'a> {
+    match plan {
+        PlanNode::IndexScan { pnode } => {
+            Box::new(build_scan(store, pattern, *pnode, metrics))
+        }
+        PlanNode::Sort { input, by } => {
+            let child = build_operator(store, pattern, input, metrics);
+            Box::new(SortOp::new(child, *by, Arc::clone(metrics)))
+        }
+        PlanNode::StructuralJoin { left, right, anc, desc, axis, algo } => {
+            let l = build_operator(store, pattern, left, metrics);
+            let r = build_operator(store, pattern, right, metrics);
+            match algo {
+                crate::plan::JoinAlgo::MergeJoin => Box::new(MergeJoinOp::new(
+                    l,
+                    r,
+                    *anc,
+                    *desc,
+                    *axis,
+                    Arc::clone(metrics),
+                )),
+                _ => Box::new(StackTreeJoinOp::new(
+                    l,
+                    r,
+                    *anc,
+                    *desc,
+                    *axis,
+                    *algo,
+                    Arc::clone(metrics),
+                )),
+            }
+        }
+    }
+}
+
+fn build_scan<'a>(
+    store: &'a XmlStore,
+    pattern: &Pattern,
+    pnode: PnId,
+    metrics: &Arc<ExecMetrics>,
+) -> IndexScanOp<'a> {
+    let pat_node = pattern.node(pnode);
+    let filter = pat_node.predicate.as_ref().map(|p| match p {
+        ValuePredicate::Equals(v) => value_digest(v),
+    });
+    if pat_node.is_wildcard() {
+        // Wildcard: every element, via the heap file.
+        return IndexScanOp::new(pnode, store.scan_all(), filter, Arc::clone(metrics));
+    }
+    match store.document().tag(&pat_node.tag) {
+        Some(t) => IndexScanOp::new(pnode, store.scan_tag(t), filter, Arc::clone(metrics)),
+        // A tag absent from the document scans an empty list.
+        None => IndexScanOp::new(pnode, std::iter::empty(), filter, Arc::clone(metrics)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::JoinAlgo;
+    use sjos_pattern::{parse_pattern, Axis};
+    use sjos_xml::Document;
+
+    fn store() -> XmlStore {
+        let doc = Document::parse(
+            "<db>\
+               <dept><emp><name>ada</name></emp><emp><name>bob</name></emp></dept>\
+               <dept><emp><name>cat</name></emp></dept>\
+             </db>",
+        )
+        .unwrap();
+        XmlStore::load(doc)
+    }
+
+    fn scan(i: u16) -> PlanNode {
+        PlanNode::IndexScan { pnode: PnId(i) }
+    }
+
+    #[test]
+    fn two_way_join_end_to_end() {
+        let st = store();
+        let pat = parse_pattern("//dept//emp").unwrap();
+        let plan = PlanNode::StructuralJoin {
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            anc: PnId(0),
+            desc: PnId(1),
+            axis: Axis::Descendant,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        let res = execute(&st, &pat, &plan).unwrap();
+        assert_eq!(res.len(), 3);
+        assert_eq!(res.metrics.output_tuples, 3);
+        assert!(res.io.record_reads > 0, "scans must flow through storage");
+    }
+
+    #[test]
+    fn three_way_pipeline_matches_expected_count() {
+        let st = store();
+        let pat = parse_pattern("//dept/emp/name").unwrap();
+        // ((dept ⋈ emp) ordered by emp) ⋈ name
+        let inner = PlanNode::StructuralJoin {
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            anc: PnId(0),
+            desc: PnId(1),
+            axis: Axis::Child,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        let plan = PlanNode::StructuralJoin {
+            left: Box::new(inner),
+            right: Box::new(scan(2)),
+            anc: PnId(1),
+            desc: PnId(2),
+            axis: Axis::Child,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        let res = execute(&st, &pat, &plan).unwrap();
+        assert_eq!(res.len(), 3);
+        assert!(plan.is_fully_pipelined());
+    }
+
+    #[test]
+    fn sort_enables_order_mismatched_join() {
+        let st = store();
+        let pat = parse_pattern("//dept/emp/name").unwrap();
+        // (dept ⋈ emp) ordered by dept (Anc), then SORT by emp, then ⋈ name.
+        let inner = PlanNode::StructuralJoin {
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            anc: PnId(0),
+            desc: PnId(1),
+            axis: Axis::Child,
+            algo: JoinAlgo::StackTreeAnc,
+        };
+        let plan = PlanNode::StructuralJoin {
+            left: Box::new(PlanNode::Sort { input: Box::new(inner), by: PnId(1) }),
+            right: Box::new(scan(2)),
+            anc: PnId(1),
+            desc: PnId(2),
+            axis: Axis::Child,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        let res = execute(&st, &pat, &plan).unwrap();
+        assert_eq!(res.len(), 3);
+        assert_eq!(res.metrics.sort_operations, 1);
+        assert!(!plan.is_fully_pipelined());
+    }
+
+    #[test]
+    fn plans_with_different_shapes_agree() {
+        let st = store();
+        let pat = parse_pattern("//dept/emp/name").unwrap();
+        let pipelined = PlanNode::StructuralJoin {
+            left: Box::new(PlanNode::StructuralJoin {
+                left: Box::new(scan(0)),
+                right: Box::new(scan(1)),
+                anc: PnId(0),
+                desc: PnId(1),
+                axis: Axis::Child,
+                algo: JoinAlgo::StackTreeDesc,
+            }),
+            right: Box::new(scan(2)),
+            anc: PnId(1),
+            desc: PnId(2),
+            axis: Axis::Child,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        // name joined first: (emp ⋈ name) ordered by emp (Anc), then dept.
+        let right_first = PlanNode::StructuralJoin {
+            left: Box::new(scan(0)),
+            right: Box::new(PlanNode::StructuralJoin {
+                left: Box::new(scan(1)),
+                right: Box::new(scan(2)),
+                anc: PnId(1),
+                desc: PnId(2),
+                axis: Axis::Child,
+                algo: JoinAlgo::StackTreeAnc,
+            }),
+            anc: PnId(0),
+            desc: PnId(1),
+            axis: Axis::Child,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        let a = execute(&st, &pat, &pipelined).unwrap();
+        let b = execute(&st, &pat, &right_first).unwrap();
+        assert_eq!(a.canonical_rows(), b.canonical_rows());
+    }
+
+    #[test]
+    fn value_predicate_filters_results() {
+        let st = store();
+        let pat = parse_pattern("//emp/name[text()='ada']").unwrap();
+        let plan = PlanNode::StructuralJoin {
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            anc: PnId(0),
+            desc: PnId(1),
+            axis: Axis::Child,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        let res = execute(&st, &pat, &plan).unwrap();
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn unknown_tag_yields_empty_result() {
+        let st = store();
+        let pat = parse_pattern("//dept//ghost").unwrap();
+        let plan = PlanNode::StructuralJoin {
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            anc: PnId(0),
+            desc: PnId(1),
+            axis: Axis::Descendant,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        let res = execute(&st, &pat, &plan).unwrap();
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected_not_executed() {
+        let st = store();
+        let pat = parse_pattern("//dept/emp/name").unwrap();
+        let plan = PlanNode::StructuralJoin {
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            anc: PnId(0),
+            desc: PnId(1),
+            axis: Axis::Child,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        let err = execute(&st, &pat, &plan).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidPlan(_)));
+    }
+}

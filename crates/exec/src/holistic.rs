@@ -1,0 +1,455 @@
+//! Holistic twig joins (TwigStack).
+//!
+//! The SJOS paper's future work points at "multi-way structural joins
+//! as in [5]" — Bruno, Koudas & Srivastava's *Holistic Twig Joins*
+//! (SIGMOD 2002). Instead of ordering binary structural joins, a
+//! holistic join evaluates the whole twig at once with one linked
+//! stack per pattern node:
+//!
+//! * **Phase 1** (TwigStack proper) advances all node streams in
+//!   document order, pushing an element only when its ancestor chain
+//!   is on the stacks, and emits *root-to-leaf path solutions* from
+//!   the linked stacks whenever a leaf element arrives.
+//! * **Phase 2** merge-joins the per-leaf path solution lists on
+//!   their shared branch prefixes into complete twig matches.
+//!
+//! For patterns with only `//` edges, phase 1 is optimal (every
+//! emitted path participates in some match). Parent-child (`/`)
+//! edges are handled by filtering level adjacency during path
+//! enumeration — correct, but no longer guaranteed
+//! intermediate-result-optimal, exactly the caveat the TwigStack
+//! paper notes.
+
+use std::collections::HashMap;
+
+use sjos_pattern::{Axis, Pattern, PnId, ValuePredicate};
+use sjos_storage::record::value_digest;
+use sjos_storage::XmlStore;
+use sjos_xml::NodeId;
+
+use crate::tuple::Entry;
+
+/// Counters describing one holistic evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TwigMetrics {
+    /// Elements read from the node streams.
+    pub stream_elements: u64,
+    /// Elements pushed onto twig stacks.
+    pub stack_pushes: u64,
+    /// Root-to-leaf path solutions emitted by phase 1.
+    pub path_solutions: u64,
+    /// Complete twig matches produced by phase 2.
+    pub matches: u64,
+}
+
+/// Result of a holistic twig evaluation: canonical rows (one
+/// [`NodeId`] per pattern node, indexed by `PnId`) plus counters.
+#[derive(Debug)]
+pub struct TwigResult {
+    /// Sorted canonical match rows.
+    pub rows: Vec<Vec<NodeId>>,
+    /// Work counters.
+    pub metrics: TwigMetrics,
+}
+
+struct Stream {
+    recs: Vec<Entry>,
+    pos: usize,
+}
+
+impl Stream {
+    fn head(&self) -> Option<Entry> {
+        self.recs.get(self.pos).copied()
+    }
+    fn next_l(&self) -> u32 {
+        self.head().map(|e| e.region.start).unwrap_or(u32::MAX)
+    }
+    fn next_r(&self) -> u32 {
+        self.head().map(|e| e.region.end).unwrap_or(u32::MAX)
+    }
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+    fn eof(&self) -> bool {
+        self.pos >= self.recs.len()
+    }
+}
+
+#[derive(Clone, Copy)]
+struct StackElem {
+    entry: Entry,
+    /// Number of elements on the parent's stack when this was pushed
+    /// (elements `0..parent_len` are candidate ancestors).
+    parent_len: usize,
+}
+
+/// Evaluate `pattern` against `store` holistically.
+pub fn evaluate(store: &XmlStore, pattern: &Pattern) -> TwigResult {
+    let mut metrics = TwigMetrics::default();
+    let n = pattern.len();
+    // Per-node streams: index scans with value predicates applied.
+    let mut streams: Vec<Stream> = pattern
+        .node_ids()
+        .map(|id| {
+            let pnode = pattern.node(id);
+            let filter = pnode.predicate.as_ref().map(|p| match p {
+                ValuePredicate::Equals(v) => value_digest(v),
+            });
+            let keep = |r: &sjos_storage::ElementRecord| {
+                filter.is_none_or(|f| r.value_hash == f)
+            };
+            let recs: Vec<Entry> = if pnode.is_wildcard() {
+                store
+                    .scan_all()
+                    .filter(keep)
+                    .map(|r| Entry { node: r.node, region: r.region })
+                    .collect()
+            } else {
+                match store.document().tag(&pnode.tag) {
+                    Some(tag) => store
+                        .scan_tag(tag)
+                        .filter(keep)
+                        .map(|r| Entry { node: r.node, region: r.region })
+                        .collect(),
+                    None => Vec::new(),
+                }
+            };
+            metrics.stream_elements += recs.len() as u64;
+            Stream { recs, pos: 0 }
+        })
+        .collect();
+    let mut stacks: Vec<Vec<StackElem>> = vec![Vec::new(); n];
+
+    // Root-first node lists of each root-to-leaf pattern path.
+    let leaf_paths: Vec<Vec<PnId>> = root_to_leaf_paths(pattern);
+    let mut path_solutions: Vec<Vec<Vec<Entry>>> = vec![Vec::new(); leaf_paths.len()];
+    let leaf_path_of: HashMap<PnId, usize> = leaf_paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p.last().expect("non-empty path"), i))
+        .collect();
+
+    let root = pattern.root();
+    loop {
+        // End condition: every leaf stream exhausted.
+        if leaf_path_of.keys().all(|&q| streams[q.index()].eof()) {
+            break;
+        }
+        let q_act = get_next(pattern, &mut streams, root);
+        if streams[q_act.index()].eof() {
+            // The chosen subtree is exhausted; no further solutions
+            // can involve it, so nothing else can complete either.
+            break;
+        }
+        let head = streams[q_act.index()].head().expect("not eof");
+        if let Some(parent) = pattern.parent(q_act) {
+            clean_stack(&mut stacks[parent.index()], head.region.start);
+        }
+        let parent_ok = match pattern.parent(q_act) {
+            None => true,
+            Some(parent) => !stacks[parent.index()].is_empty(),
+        };
+        if parent_ok {
+            clean_stack(&mut stacks[q_act.index()], head.region.start);
+            let parent_len = pattern
+                .parent(q_act)
+                .map(|p| stacks[p.index()].len())
+                .unwrap_or(0);
+            if let Some(&path_idx) = leaf_path_of.get(&q_act) {
+                // Leaf: emit path solutions directly; no push needed.
+                let path = &leaf_paths[path_idx];
+                emit_paths(
+                    pattern,
+                    &stacks,
+                    path,
+                    StackElem { entry: head, parent_len },
+                    &mut path_solutions[path_idx],
+                    &mut metrics,
+                );
+            } else {
+                stacks[q_act.index()].push(StackElem { entry: head, parent_len });
+                metrics.stack_pushes += 1;
+            }
+        }
+        streams[q_act.index()].advance();
+    }
+
+    // Phase 2: merge path solutions into twig matches.
+    let rows = merge_paths(pattern, &leaf_paths, path_solutions, &mut metrics);
+    TwigResult { rows, metrics }
+}
+
+/// All root-to-leaf node sequences of the pattern (root first).
+fn root_to_leaf_paths(pattern: &Pattern) -> Vec<Vec<PnId>> {
+    let mut out = Vec::new();
+    let mut stack = vec![vec![pattern.root()]];
+    while let Some(path) = stack.pop() {
+        let last = *path.last().expect("non-empty");
+        let kids = pattern.children(last);
+        if kids.is_empty() {
+            out.push(path);
+        } else {
+            for &k in kids {
+                let mut next = path.clone();
+                next.push(k);
+                stack.push(next);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// TwigStack's `getNext`: the pattern node whose stream head is
+/// guaranteed to be processable next.
+fn get_next(pattern: &Pattern, streams: &mut [Stream], q: PnId) -> PnId {
+    let kids: Vec<PnId> = pattern.children(q).to_vec();
+    if kids.is_empty() {
+        return q;
+    }
+    for &qi in &kids {
+        let ni = get_next(pattern, streams, qi);
+        // A deeper node must be consumed first — unless its stream is
+        // exhausted, in which case that branch can produce nothing
+        // new and the other branches proceed (exhausted streams act
+        // as +infinity below).
+        if ni != qi && !streams[ni.index()].eof() {
+            return ni;
+        }
+    }
+    let n_min = kids
+        .iter()
+        .copied()
+        .min_by_key(|qi| streams[qi.index()].next_l())
+        .expect("kids non-empty");
+    let n_max = kids
+        .iter()
+        .copied()
+        .max_by_key(|qi| streams[qi.index()].next_l())
+        .expect("kids non-empty");
+    while streams[q.index()].next_r() < streams[n_max.index()].next_l() {
+        streams[q.index()].advance();
+    }
+    if streams[q.index()].next_l() < streams[n_min.index()].next_l() {
+        q
+    } else {
+        n_min
+    }
+}
+
+fn clean_stack(stack: &mut Vec<StackElem>, next_l: u32) {
+    while let Some(top) = stack.last() {
+        if top.entry.region.end < next_l {
+            stack.pop();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Enumerate the root-to-leaf solutions ending in `leaf_elem`, using
+/// the linked stacks, applying `/`-edge level filters.
+fn emit_paths(
+    pattern: &Pattern,
+    stacks: &[Vec<StackElem>],
+    path: &[PnId],
+    leaf_elem: StackElem,
+    out: &mut Vec<Vec<Entry>>,
+    metrics: &mut TwigMetrics,
+) {
+    // bindings[i] holds the entry for path[i]; fill from the leaf up.
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        pattern: &Pattern,
+        stacks: &[Vec<StackElem>],
+        path: &[PnId],
+        depth: usize,
+        below: StackElem,
+        bindings: &mut Vec<Entry>,
+        out: &mut Vec<Vec<Entry>>,
+        metrics: &mut TwigMetrics,
+    ) {
+        if depth == 0 {
+            let mut solution = bindings.clone();
+            solution.reverse();
+            metrics.path_solutions += 1;
+            out.push(solution);
+            return;
+        }
+        let parent_node = path[depth - 1];
+        let child_node = path[depth];
+        let axis = pattern
+            .edge_between(parent_node, child_node)
+            .expect("path edge")
+            .axis;
+        let parent_stack = &stacks[parent_node.index()];
+        for cand in parent_stack.iter().take(below.parent_len) {
+            // Strict containment check: with self-joining tags the
+            // same element can sit on adjacent stacks with equal
+            // regions, which must not pair with itself.
+            if !cand.entry.region.contains(below.entry.region) {
+                continue;
+            }
+            if axis == Axis::Child
+                && cand.entry.region.level + 1 != below.entry.region.level
+            {
+                continue;
+            }
+            bindings.push(cand.entry);
+            rec(pattern, stacks, path, depth - 1, *cand, bindings, out, metrics);
+            bindings.pop();
+        }
+    }
+    let mut bindings = vec![leaf_elem.entry];
+    rec(
+        pattern,
+        stacks,
+        path,
+        path.len() - 1,
+        leaf_elem,
+        &mut bindings,
+        out,
+        metrics,
+    );
+}
+
+/// Phase 2: join per-leaf path solution lists on shared prefixes.
+fn merge_paths(
+    pattern: &Pattern,
+    leaf_paths: &[Vec<PnId>],
+    path_solutions: Vec<Vec<Vec<Entry>>>,
+    metrics: &mut TwigMetrics,
+) -> Vec<Vec<NodeId>> {
+    // Accumulated rows: per-pattern-node binding (NodeId), u32::MAX
+    // when unbound.
+    let unbound = NodeId(u32::MAX);
+    let mut acc: Vec<Vec<NodeId>> = vec![vec![unbound; pattern.len()]];
+    let mut bound: Vec<PnId> = Vec::new();
+    for (path, solutions) in leaf_paths.iter().zip(path_solutions) {
+        let shared: Vec<PnId> =
+            path.iter().copied().filter(|p| bound.contains(p)).collect();
+        let fresh: Vec<PnId> =
+            path.iter().copied().filter(|p| !bound.contains(p)).collect();
+        // Hash the new path's solutions by their shared-prefix key.
+        let mut by_key: HashMap<Vec<NodeId>, Vec<Vec<Entry>>> = HashMap::new();
+        for sol in solutions {
+            let key: Vec<NodeId> = shared
+                .iter()
+                .map(|p| {
+                    let idx = path.iter().position(|x| x == p).expect("shared on path");
+                    sol[idx].node
+                })
+                .collect();
+            by_key.entry(key).or_default().push(sol);
+        }
+        let mut next_acc = Vec::new();
+        for row in &acc {
+            let key: Vec<NodeId> = shared.iter().map(|p| row[p.index()]).collect();
+            if let Some(sols) = by_key.get(&key) {
+                for sol in sols {
+                    let mut merged = row.clone();
+                    for p in &fresh {
+                        let idx = path.iter().position(|x| x == p).expect("on path");
+                        merged[p.index()] = sol[idx].node;
+                    }
+                    next_acc.push(merged);
+                }
+            }
+        }
+        acc = next_acc;
+        for p in fresh {
+            bound.push(p);
+        }
+        if acc.is_empty() {
+            break;
+        }
+    }
+    // A single-node pattern has one "path" of length 1 handled above;
+    // rows with any unbound column can only arise from the empty
+    // pattern, which the API excludes.
+    acc.retain(|row| row.iter().all(|&b| b != unbound));
+    acc.sort_unstable();
+    acc.dedup();
+    metrics.matches = acc.len() as u64;
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use sjos_pattern::parse_pattern;
+    use sjos_xml::Document;
+
+    fn check(xml: &str, query: &str) {
+        let doc = Document::parse(xml).unwrap();
+        let expected = naive::evaluate(&doc, &parse_pattern(query).unwrap());
+        let store = XmlStore::load(doc);
+        let pattern = parse_pattern(query).unwrap();
+        let got = evaluate(&store, &pattern);
+        assert_eq!(got.rows, expected, "{query}");
+        assert_eq!(got.metrics.matches as usize, expected.len());
+    }
+
+    const XML: &str = "<db>\
+        <dept><emp><name>a</name></emp><emp><name>b</name><name>c</name></emp></dept>\
+        <dept><emp><name>d</name></emp><note/></dept>\
+    </db>";
+
+    #[test]
+    fn path_patterns() {
+        check(XML, "//dept/emp/name");
+        check(XML, "//db//name");
+        check(XML, "//dept//name");
+    }
+
+    #[test]
+    fn branching_patterns() {
+        check(XML, "//dept[./emp/name][./note]");
+        check(XML, "//db[.//emp][.//note]");
+        check(XML, "//dept[./emp][./emp/name]");
+    }
+
+    #[test]
+    fn value_predicates() {
+        check(XML, "//emp/name[text()='b']");
+        check(XML, "//dept[./emp/name[text()='zzz']]");
+    }
+
+    #[test]
+    fn self_nesting() {
+        check("<m><m><x/><m><x/></m></m></m>", "//m//m//x");
+        check("<m><m><x/><m><x/></m></m></m>", "//m/m/x");
+    }
+
+    #[test]
+    fn single_node_pattern() {
+        check(XML, "//emp");
+    }
+
+    #[test]
+    fn missing_tag() {
+        check(XML, "//dept/ghost");
+    }
+
+    #[test]
+    fn metrics_count_path_solutions() {
+        let doc = Document::parse(XML).unwrap();
+        let store = XmlStore::load(doc);
+        let pattern = parse_pattern("//dept/emp/name").unwrap();
+        let res = evaluate(&store, &pattern);
+        assert!(res.metrics.path_solutions >= res.metrics.matches);
+        assert!(res.metrics.stream_elements > 0);
+    }
+
+    #[test]
+    fn descendant_only_twig_has_no_useless_paths() {
+        // For //-only twigs TwigStack emits only paths that join.
+        let doc = Document::parse(XML).unwrap();
+        let store = XmlStore::load(doc);
+        let pattern = parse_pattern("//db[.//emp][.//note]").unwrap();
+        let res = evaluate(&store, &pattern);
+        // Every emitted path must appear in some final match.
+        assert!(res.metrics.path_solutions <= res.metrics.matches * 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! # sjos-exec
+//!
+//! The physical layer: plan trees, Volcano-style operators, and the
+//! executor that runs a structural-join plan against an
+//! [`sjos_storage::XmlStore`].
+//!
+//! Operators:
+//! * [`ops::IndexScanOp`] — streams one tag's binding list from the
+//!   tag index (document order), applying the node's value predicate.
+//! * [`ops::StackTreeJoinOp`] — the Stack-Tree-Desc and
+//!   Stack-Tree-Anc structural join algorithms of Al-Khalifa et al.
+//!   (ICDE 2002), generalized to tuple inputs: Desc streams output in
+//!   descendant order; Anc buffers (self/inherit lists) to emit in
+//!   ancestor order.
+//! * [`ops::SortOp`] — blocking sort of an intermediate result by any
+//!   bound pattern node.
+//!
+//! [`naive`] holds a navigational evaluator used as ground truth in
+//! tests (and as the paper's Example 2.2 "scan the subtree" cautionary
+//! baseline).
+
+pub mod executor;
+pub mod holistic;
+pub mod metrics;
+pub mod naive;
+pub mod ops;
+pub mod plan;
+pub mod tuple;
+
+pub use executor::{execute, execute_counting, ExecError, QueryResult};
+pub use metrics::ExecMetrics;
+pub use plan::{JoinAlgo, PlanNode};
+pub use tuple::{Entry, Schema, Tuple};

@@ -1,0 +1,88 @@
+//! Execution metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters accumulated while a plan runs. Shared (`Arc`) between all
+/// operators of one execution.
+#[derive(Debug, Default)]
+pub struct ExecMetrics {
+    /// Tuples produced by the plan root.
+    pub output_tuples: AtomicU64,
+    /// Tuples produced by all operators (root included) — the paper's
+    /// "intermediate result sizes" in aggregate.
+    pub produced_tuples: AtomicU64,
+    /// Stack push operations across all structural joins.
+    pub stack_pushes: AtomicU64,
+    /// Stack pop operations across all structural joins.
+    pub stack_pops: AtomicU64,
+    /// Pairs buffered by Stack-Tree-Anc (self/inherit list appends);
+    /// the source of its `2|AB| f_IO` cost term.
+    pub buffered_pairs: AtomicU64,
+    /// Tuples that passed through explicit sort operators.
+    pub sorted_tuples: AtomicU64,
+    /// Number of explicit sort operators executed.
+    pub sort_operations: AtomicU64,
+    /// Records delivered by index scans.
+    pub scanned_records: AtomicU64,
+    /// Descendant-window tuples visited by merge joins (MPMGJN's
+    /// rescan traffic).
+    pub merge_rescans: AtomicU64,
+}
+
+/// Point-in-time copy of [`ExecMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub output_tuples: u64,
+    pub produced_tuples: u64,
+    pub stack_pushes: u64,
+    pub stack_pops: u64,
+    pub buffered_pairs: u64,
+    pub sorted_tuples: u64,
+    pub sort_operations: u64,
+    pub scanned_records: u64,
+    pub merge_rescans: u64,
+}
+
+impl ExecMetrics {
+    /// Fresh shared metrics.
+    pub fn new() -> Arc<ExecMetrics> {
+        Arc::new(ExecMetrics::default())
+    }
+
+    /// Copy current values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            output_tuples: self.output_tuples.load(Ordering::Relaxed),
+            produced_tuples: self.produced_tuples.load(Ordering::Relaxed),
+            stack_pushes: self.stack_pushes.load(Ordering::Relaxed),
+            stack_pops: self.stack_pops.load(Ordering::Relaxed),
+            buffered_pairs: self.buffered_pairs.load(Ordering::Relaxed),
+            sorted_tuples: self.sorted_tuples.load(Ordering::Relaxed),
+            sort_operations: self.sort_operations.load(Ordering::Relaxed),
+            scanned_records: self.scanned_records.load(Ordering::Relaxed),
+            merge_rescans: self.merge_rescans.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_adds() {
+        let m = ExecMetrics::new();
+        ExecMetrics::add(&m.stack_pushes, 3);
+        ExecMetrics::add(&m.output_tuples, 1);
+        let s = m.snapshot();
+        assert_eq!(s.stack_pushes, 3);
+        assert_eq!(s.output_tuples, 1);
+        assert_eq!(s.sort_operations, 0);
+    }
+}

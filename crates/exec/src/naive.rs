@@ -1,0 +1,168 @@
+//! Navigational (non-join) pattern evaluation.
+//!
+//! This is the paper's Example 2.2 cautionary baseline: find
+//! candidates through the tag lists, then check structural
+//! relationships pairwise while enumerating bindings. It is simple
+//! and obviously correct, so the test suite uses it as ground truth
+//! for every structural-join plan.
+
+use sjos_pattern::{Axis, Pattern, PnId, ValuePredicate};
+use sjos_xml::{Document, NodeId};
+
+/// All matches of `pattern` in `doc`, as rows of element ids in
+/// pattern-node order (row `r[i]` binds pattern node `i`), sorted.
+pub fn evaluate(doc: &Document, pattern: &Pattern) -> Vec<Vec<NodeId>> {
+    // Bind nodes in pre-order: each node's parent is bound before it.
+    let mut order = Vec::with_capacity(pattern.len());
+    let mut stack = vec![pattern.root()];
+    while let Some(n) = stack.pop() {
+        order.push(n);
+        for &c in pattern.children(n) {
+            stack.push(c);
+        }
+    }
+    let mut binding = vec![NodeId(u32::MAX); pattern.len()];
+    let mut rows = Vec::new();
+    search(doc, pattern, &order, 0, &mut binding, &mut rows);
+    rows.sort_unstable();
+    rows
+}
+
+fn search(
+    doc: &Document,
+    pattern: &Pattern,
+    order: &[PnId],
+    depth: usize,
+    binding: &mut Vec<NodeId>,
+    rows: &mut Vec<Vec<NodeId>>,
+) {
+    if depth == order.len() {
+        rows.push(binding.clone());
+        return;
+    }
+    let pnode = order[depth];
+    let pat_node = pattern.node(pnode);
+    let all_ids: Vec<NodeId>;
+    let ids: &[NodeId] = if pat_node.is_wildcard() {
+        all_ids = (0..doc.len() as u32).map(NodeId).collect();
+        &all_ids
+    } else {
+        match doc.tag(&pat_node.tag) {
+            Some(tag) => doc.elements_with_tag(tag),
+            None => &[],
+        }
+    };
+    let relation = pattern.parent(pnode).map(|parent| {
+        let axis = pattern.edge_between(parent, pnode).expect("tree edge").axis;
+        (doc.region(binding[parent.index()]), axis)
+    });
+    for &cand in ids {
+        if let Some((parent_region, axis)) = relation {
+            let cand_region = doc.region(cand);
+            let ok = match axis {
+                Axis::Descendant => parent_region.contains(cand_region),
+                Axis::Child => parent_region.is_parent_of(cand_region),
+            };
+            if !ok {
+                continue;
+            }
+        }
+        match &pat_node.predicate {
+            Some(ValuePredicate::Equals(v)) if doc.node(cand).text != *v => continue,
+            _ => {}
+        }
+        binding[pnode.index()] = cand;
+        search(doc, pattern, order, depth + 1, binding, rows);
+        binding[pnode.index()] = NodeId(u32::MAX);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjos_pattern::parse_pattern;
+
+    fn doc() -> Document {
+        Document::parse(
+            "<db>\
+               <dept><emp><name>ada</name></emp><emp><name>bob</name><name>b2</name></emp></dept>\
+               <dept><emp><name>cat</name></emp></dept>\
+             </db>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn simple_chain_counts() {
+        let d = doc();
+        let p = parse_pattern("//dept/emp/name").unwrap();
+        let rows = evaluate(&d, &p);
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn descendant_axis_counts() {
+        let d = doc();
+        let p = parse_pattern("//db//name").unwrap();
+        assert_eq!(evaluate(&d, &p).len(), 4);
+    }
+
+    #[test]
+    fn branching_pattern_counts_all_bindings() {
+        let d = doc();
+        let p = parse_pattern("//dept[./emp/name]").unwrap();
+        assert_eq!(p.len(), 3);
+        // dept1: emp1->ada, emp2->bob, emp2->b2 = 3; dept2: 1.
+        assert_eq!(evaluate(&d, &p).len(), 4);
+    }
+
+    #[test]
+    fn value_predicates_restrict() {
+        let d = doc();
+        let p = parse_pattern("//dept/emp[./name[text()='bob']]").unwrap();
+        assert_eq!(evaluate(&d, &p).len(), 1);
+    }
+
+    #[test]
+    fn missing_tag_no_matches() {
+        let d = doc();
+        let p = parse_pattern("//dept/ghost").unwrap();
+        assert!(evaluate(&d, &p).is_empty());
+    }
+
+    #[test]
+    fn rows_bind_every_pattern_node() {
+        let d = doc();
+        let p = parse_pattern("//dept[./emp/name][./emp]").unwrap();
+        for row in evaluate(&d, &p) {
+            assert_eq!(row.len(), p.len());
+            assert!(row.iter().all(|id| id.0 != u32::MAX));
+        }
+    }
+
+    #[test]
+    fn two_branch_bindings_multiply() {
+        let d = doc();
+        // dept with an emp branch and a name branch (independent).
+        let p = parse_pattern("//dept[./emp][.//name]").unwrap();
+        // dept1: 2 emps x 3 names = 6; dept2: 1 x 1 = 1.
+        assert_eq!(evaluate(&d, &p).len(), 7);
+    }
+
+    #[test]
+    fn self_nesting_pattern() {
+        let d = Document::parse("<m><x/><m><x/><m><x/></m></m></m>").unwrap();
+        let p = parse_pattern("//m//m").unwrap();
+        assert_eq!(evaluate(&d, &p).len(), 3);
+    }
+
+    #[test]
+    fn duplicate_rows_do_not_appear() {
+        let d = doc();
+        let p = parse_pattern("//dept/emp").unwrap();
+        let rows = evaluate(&d, &p);
+        let mut dedup = rows.clone();
+        dedup.dedup();
+        assert_eq!(rows, dedup);
+    }
+}

@@ -1,0 +1,511 @@
+//! Stack-tree structural joins over tuple streams.
+//!
+//! Both algorithms come from Al-Khalifa et al., *Structural Joins: A
+//! Primitive for Efficient XML Query Pattern Matching* (ICDE 2002),
+//! generalized from node lists to tuple lists: the left input binds
+//! the ancestor-side pattern node (and is ordered by it), the right
+//! input binds the descendant-side node (ordered by it). A stack of
+//! left tuples tracks the current ancestor chain.
+//!
+//! * **Stack-Tree-Desc** emits each output pair the moment the
+//!   descendant tuple is consumed — fully streaming, output ordered
+//!   by the descendant node.
+//! * **Stack-Tree-Anc** must emit in ancestor order, so pairs are
+//!   parked on per-stack-entry *self* and *inherit* lists and released
+//!   when the stack bottom pops (the buffering that gives the
+//!   algorithm its extra I/O cost term in the paper's model).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use sjos_pattern::{Axis, PnId};
+
+use crate::metrics::ExecMetrics;
+use crate::ops::{BoxedOperator, Operator};
+use crate::plan::JoinAlgo;
+use crate::tuple::{Schema, Tuple};
+
+/// A structural join operator (either stack-tree variant).
+pub struct StackTreeJoinOp<'a> {
+    left: BoxedOperator<'a>,
+    right: BoxedOperator<'a>,
+    /// Column index of the ancestor-side join node in `left`.
+    left_col: usize,
+    /// Column index of the descendant-side join node in `right`.
+    right_col: usize,
+    axis: Axis,
+    algo: JoinAlgo,
+    schema: Schema,
+    metrics: Arc<ExecMetrics>,
+
+    started: bool,
+    cur_left: Option<Tuple>,
+    cur_right: Option<Tuple>,
+    /// Desc: plain ancestor stack. Anc: stack with pair lists.
+    stack: Vec<StackEntry>,
+    /// Desc: index into `stack` while emitting matches of `cur_right`.
+    emit_idx: usize,
+    emitting: bool,
+    /// Anc: completed output awaiting delivery.
+    ready: VecDeque<Tuple>,
+    /// Debug-only: last start positions seen on each input, to verify
+    /// input ordering.
+    last_left_start: Option<u32>,
+    last_right_start: Option<u32>,
+}
+
+struct StackEntry {
+    tuple: Tuple,
+    /// Pairs with this entry as the ancestor (Anc only).
+    self_list: Vec<Tuple>,
+    /// Ordered pairs inherited from popped descendants (Anc only).
+    inherit_list: Vec<Tuple>,
+}
+
+impl<'a> StackTreeJoinOp<'a> {
+    /// Join `left` (binding/ordered by `anc`) with `right`
+    /// (binding/ordered by `desc`).
+    ///
+    /// # Panics
+    /// Panics if an input does not bind its join node.
+    pub fn new(
+        left: BoxedOperator<'a>,
+        right: BoxedOperator<'a>,
+        anc: PnId,
+        desc: PnId,
+        axis: Axis,
+        algo: JoinAlgo,
+        metrics: Arc<ExecMetrics>,
+    ) -> Self {
+        let left_col = left
+            .schema()
+            .position(anc)
+            .unwrap_or_else(|| panic!("left input does not bind {anc:?}"));
+        let right_col = right
+            .schema()
+            .position(desc)
+            .unwrap_or_else(|| panic!("right input does not bind {desc:?}"));
+        assert!(
+            algo != JoinAlgo::MergeJoin,
+            "MergeJoin is implemented by MergeJoinOp, not the stack-tree operator"
+        );
+        let schema = left.schema().concat(right.schema());
+        StackTreeJoinOp {
+            left,
+            right,
+            left_col,
+            right_col,
+            axis,
+            algo,
+            schema,
+            metrics,
+            started: false,
+            cur_left: None,
+            cur_right: None,
+            stack: Vec::new(),
+            emit_idx: 0,
+            emitting: false,
+            ready: VecDeque::new(),
+            last_left_start: None,
+            last_right_start: None,
+        }
+    }
+
+    #[inline]
+    fn left_start(&self, t: &Tuple) -> u32 {
+        t[self.left_col].region.start
+    }
+
+    #[inline]
+    fn right_start(&self, t: &Tuple) -> u32 {
+        t[self.right_col].region.start
+    }
+
+    fn advance_left(&mut self) -> Option<Tuple> {
+        let next = self.left.next();
+        if let Some(t) = &next {
+            let s = self.left_start(t);
+            debug_assert!(
+                self.last_left_start.is_none_or(|p| p <= s),
+                "left input not ordered by ancestor column"
+            );
+            self.last_left_start = Some(s);
+        }
+        std::mem::replace(&mut self.cur_left, next)
+    }
+
+    fn advance_right(&mut self) -> Option<Tuple> {
+        let next = self.right.next();
+        if let Some(t) = &next {
+            let s = self.right_start(t);
+            debug_assert!(
+                self.last_right_start.is_none_or(|p| p <= s),
+                "right input not ordered by descendant column"
+            );
+            self.last_right_start = Some(s);
+        }
+        std::mem::replace(&mut self.cur_right, next)
+    }
+
+    /// Does the pair (ancestor entry `a`, descendant tuple `d`)
+    /// satisfy the axis?  Containment is implied by stack membership;
+    /// only the level test remains for `/`.
+    #[inline]
+    fn axis_ok(&self, a: &Tuple, d: &Tuple) -> bool {
+        match self.axis {
+            Axis::Descendant => true,
+            Axis::Child => {
+                a[self.left_col].region.level + 1 == d[self.right_col].region.level
+            }
+        }
+    }
+
+    fn concat(&self, a: &Tuple, d: &Tuple) -> Tuple {
+        let mut out = Vec::with_capacity(a.len() + d.len());
+        out.extend_from_slice(a);
+        out.extend_from_slice(d);
+        out
+    }
+
+    /// Pop every stack entry whose interval ends before `pos`.
+    fn pop_before(&mut self, pos: u32) {
+        while let Some(top) = self.stack.last() {
+            if top.tuple[self.left_col].region.end < pos {
+                self.pop_one();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Pop the top entry, routing its buffered pairs (Anc).
+    fn pop_one(&mut self) {
+        let entry = self.stack.pop().expect("pop from empty stack");
+        ExecMetrics::add(&self.metrics.stack_pops, 1);
+        if self.algo == JoinAlgo::StackTreeAnc {
+            let mut pairs = entry.self_list;
+            pairs.extend(entry.inherit_list);
+            match self.stack.last_mut() {
+                Some(below) => {
+                    ExecMetrics::add(&self.metrics.buffered_pairs, pairs.len() as u64);
+                    below.inherit_list.extend(pairs);
+                }
+                None => self.ready.extend(pairs),
+            }
+        }
+    }
+
+    fn push(&mut self, tuple: Tuple) {
+        ExecMetrics::add(&self.metrics.stack_pushes, 1);
+        self.stack.push(StackEntry {
+            tuple,
+            self_list: Vec::new(),
+            inherit_list: Vec::new(),
+        });
+    }
+
+    /// One step of the merge loop. Returns `false` when both inputs
+    /// and the stack are fully drained.
+    fn step(&mut self) -> bool {
+        match (&self.cur_left, &self.cur_right) {
+            (Some(a), Some(d)) => {
+                let (a_start, d_start) = (self.left_start(a), self.right_start(d));
+                if a_start < d_start {
+                    self.pop_before(a_start);
+                    let t = self.advance_left().expect("cur_left present");
+                    self.push(t);
+                } else {
+                    self.consume_right();
+                }
+                true
+            }
+            (None, Some(_)) => {
+                self.consume_right();
+                // Once the stack is empty with the left side done, no
+                // later descendant can match.
+                if self.stack.is_empty() && self.ready.is_empty() && !self.emitting {
+                    self.cur_right = None;
+                    self.drain_stack();
+                    return false;
+                }
+                true
+            }
+            // No descendants left: flush (Anc) and stop.
+            (_, None) => {
+                self.drain_stack();
+                false
+            }
+        }
+    }
+
+    /// Process the current right tuple against the stack.
+    fn consume_right(&mut self) {
+        let d_start = {
+            let d = self.cur_right.as_ref().expect("cur_right present");
+            self.right_start(d)
+        };
+        self.pop_before(d_start);
+        match self.algo {
+            JoinAlgo::StackTreeDesc => {
+                // Emit lazily via `emitting` so output streams.
+                self.emitting = true;
+                self.emit_idx = 0;
+            }
+            JoinAlgo::StackTreeAnc => {
+                let d = self.advance_right().expect("cur_right present");
+                for i in 0..self.stack.len() {
+                    if self.axis_ok(&self.stack[i].tuple, &d) {
+                        let pair = self.concat(&self.stack[i].tuple, &d);
+                        ExecMetrics::add(&self.metrics.buffered_pairs, 1);
+                        self.stack[i].self_list.push(pair);
+                    }
+                }
+            }
+            JoinAlgo::MergeJoin => unreachable!("rejected in the constructor"),
+        }
+    }
+
+    fn drain_stack(&mut self) {
+        while !self.stack.is_empty() {
+            self.pop_one();
+        }
+    }
+
+    fn produce(&self, t: Tuple) -> Tuple {
+        ExecMetrics::add(&self.metrics.produced_tuples, 1);
+        t
+    }
+}
+
+impl Operator for StackTreeJoinOp<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        if !self.started {
+            self.started = true;
+            self.cur_left = self.left.next();
+            if let Some(t) = &self.cur_left {
+                self.last_left_start = Some(self.left_start(t));
+            }
+            self.cur_right = self.right.next();
+            if let Some(t) = &self.cur_right {
+                self.last_right_start = Some(self.right_start(t));
+            }
+        }
+        loop {
+            // Deliver Desc matches for the in-flight right tuple.
+            if self.emitting {
+                let d_matches = loop {
+                    if self.emit_idx >= self.stack.len() {
+                        break None;
+                    }
+                    let i = self.emit_idx;
+                    self.emit_idx += 1;
+                    let d = self.cur_right.as_ref().expect("emitting without right");
+                    if self.axis_ok(&self.stack[i].tuple, d) {
+                        break Some(self.concat(&self.stack[i].tuple, d));
+                    }
+                };
+                match d_matches {
+                    Some(t) => return Some(self.produce(t)),
+                    None => {
+                        self.emitting = false;
+                        self.advance_right();
+                        continue;
+                    }
+                }
+            }
+            // Deliver buffered Anc output.
+            if let Some(t) = self.ready.pop_front() {
+                return Some(self.produce(t));
+            }
+            if !self.step() {
+                // Final flush may have filled `ready`.
+                return self.ready.pop_front().map(|t| self.produce(t));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Entry;
+    use sjos_xml::{NodeId, Region};
+
+    /// A canned single-column input.
+    struct FixedInput {
+        schema: Schema,
+        rows: std::vec::IntoIter<Tuple>,
+    }
+
+    impl FixedInput {
+        fn new(col: PnId, regions: Vec<Region>) -> Self {
+            let rows: Vec<Tuple> = regions
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| vec![Entry { node: NodeId(i as u32), region: r }])
+                .collect();
+            FixedInput { schema: Schema::singleton(col), rows: rows.into_iter() }
+        }
+    }
+
+    impl Operator for FixedInput {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn next(&mut self) -> Option<Tuple> {
+            self.rows.next()
+        }
+    }
+
+    fn r(start: u32, end: u32, level: u16) -> Region {
+        Region { start, end, level }
+    }
+
+    /// Document shape:
+    /// a1=(0,11,0) contains a2=(1,6,1), d1=(2,3,2), d2=(4,5,2), d3=(7,8,1);
+    /// a3=(12,15,0) contains d4=(13,14,1).
+    fn ancestors() -> Vec<Region> {
+        vec![r(0, 11, 0), r(1, 6, 1), r(12, 15, 0)]
+    }
+
+    fn descendants() -> Vec<Region> {
+        vec![r(2, 3, 2), r(4, 5, 2), r(7, 8, 1), r(13, 14, 1)]
+    }
+
+    fn run(algo: JoinAlgo, axis: Axis) -> (Vec<(u32, u32)>, Arc<ExecMetrics>) {
+        let m = ExecMetrics::new();
+        let left = Box::new(FixedInput::new(PnId(0), ancestors()));
+        let right = Box::new(FixedInput::new(PnId(1), descendants()));
+        let mut op =
+            StackTreeJoinOp::new(left, right, PnId(0), PnId(1), axis, algo, Arc::clone(&m));
+        let mut out = vec![];
+        while let Some(t) = op.next() {
+            out.push((t[0].region.start, t[1].region.start));
+        }
+        (out, m)
+    }
+
+    #[test]
+    fn desc_finds_all_ancestor_descendant_pairs() {
+        let (out, _) = run(JoinAlgo::StackTreeDesc, Axis::Descendant);
+        // Expected pairs (anc.start, desc.start):
+        // d1(2): a1, a2; d2(4): a1, a2; d3(7): a1; d4(13): a3.
+        let mut expected = vec![(0, 2), (1, 2), (0, 4), (1, 4), (0, 7), (12, 13)];
+        let mut got = out.clone();
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        // Desc order: primary key = descendant start.
+        let desc_starts: Vec<u32> = out.iter().map(|p| p.1).collect();
+        assert!(desc_starts.windows(2).all(|w| w[0] <= w[1]), "{desc_starts:?}");
+    }
+
+    #[test]
+    fn anc_output_is_ancestor_ordered() {
+        let (out, _) = run(JoinAlgo::StackTreeAnc, Axis::Descendant);
+        let anc_starts: Vec<u32> = out.iter().map(|p| p.0).collect();
+        assert!(anc_starts.windows(2).all(|w| w[0] <= w[1]), "{anc_starts:?}");
+        let mut got = out;
+        got.sort_unstable();
+        assert_eq!(got.len(), 6);
+    }
+
+    #[test]
+    fn anc_and_desc_agree_on_the_pair_set() {
+        let (mut a, _) = run(JoinAlgo::StackTreeAnc, Axis::Descendant);
+        let (mut d, _) = run(JoinAlgo::StackTreeDesc, Axis::Descendant);
+        a.sort_unstable();
+        d.sort_unstable();
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn parent_child_filters_by_level() {
+        let (mut out, _) = run(JoinAlgo::StackTreeDesc, Axis::Child);
+        out.sort_unstable();
+        // Parent pairs: a2(level1)->d1(level2), a2->d2, a1(level0)->d3(level1), a3->d4.
+        assert_eq!(out, vec![(0, 7), (1, 2), (1, 4), (12, 13)]);
+    }
+
+    #[test]
+    fn empty_inputs_produce_nothing() {
+        let m = ExecMetrics::new();
+        let left = Box::new(FixedInput::new(PnId(0), vec![]));
+        let right = Box::new(FixedInput::new(PnId(1), descendants()));
+        let mut op = StackTreeJoinOp::new(
+            left,
+            right,
+            PnId(0),
+            PnId(1),
+            Axis::Descendant,
+            JoinAlgo::StackTreeDesc,
+            m,
+        );
+        assert!(op.next().is_none());
+    }
+
+    #[test]
+    fn metrics_count_stack_traffic() {
+        let (_, m) = run(JoinAlgo::StackTreeDesc, Axis::Descendant);
+        let s = m.snapshot();
+        assert_eq!(s.stack_pushes, 3, "each ancestor pushed once");
+        assert_eq!(s.stack_pops, 3);
+        assert_eq!(s.produced_tuples, 6);
+        assert_eq!(s.buffered_pairs, 0, "Desc never buffers");
+        let (_, m2) = run(JoinAlgo::StackTreeAnc, Axis::Descendant);
+        assert!(m2.snapshot().buffered_pairs >= 6, "Anc buffers every pair");
+    }
+
+    #[test]
+    fn self_join_excludes_identity() {
+        // Same list on both sides (e.g. manager//manager).
+        let regions = vec![r(0, 7, 0), r(1, 6, 1), r(2, 3, 2)];
+        let m = ExecMetrics::new();
+        let left = Box::new(FixedInput::new(PnId(0), regions.clone()));
+        let right = Box::new(FixedInput::new(PnId(1), regions));
+        let mut op = StackTreeJoinOp::new(
+            left,
+            right,
+            PnId(0),
+            PnId(1),
+            Axis::Descendant,
+            JoinAlgo::StackTreeDesc,
+            m,
+        );
+        let mut out = vec![];
+        while let Some(t) = op.next() {
+            out.push((t[0].region.start, t[1].region.start));
+        }
+        out.sort_unstable();
+        assert_eq!(out, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn deep_nesting_keeps_whole_chain_on_stack() {
+        let n = 50u32;
+        let ancs: Vec<Region> =
+            (0..n).map(|i| r(i, 2 * n + 1 - i, i as u16)).collect();
+        let descs = vec![r(n, n + 1, n as u16)];
+        let m = ExecMetrics::new();
+        let left = Box::new(FixedInput::new(PnId(0), ancs));
+        let right = Box::new(FixedInput::new(PnId(1), descs));
+        let mut op = StackTreeJoinOp::new(
+            left,
+            right,
+            PnId(0),
+            PnId(1),
+            Axis::Descendant,
+            JoinAlgo::StackTreeDesc,
+            m,
+        );
+        let mut count = 0;
+        while op.next().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, n, "every ancestor matches the single leaf");
+    }
+}

@@ -1,0 +1,63 @@
+//! Volcano-style physical operators.
+
+pub mod join;
+pub mod merge;
+pub mod scan;
+pub mod sort;
+
+pub use join::StackTreeJoinOp;
+pub use merge::MergeJoinOp;
+pub use scan::IndexScanOp;
+pub use sort::SortOp;
+
+use crate::tuple::{Schema, Tuple};
+
+/// A pull-based operator producing tuples one at a time.
+pub trait Operator {
+    /// Column layout of produced tuples.
+    fn schema(&self) -> &Schema;
+
+    /// Produce the next tuple, or `None` when exhausted.
+    fn next(&mut self) -> Option<Tuple>;
+}
+
+/// Boxed operator with the executor's lifetime.
+pub type BoxedOperator<'a> = Box<dyn Operator + 'a>;
+
+/// An operator over a pre-materialized tuple vector — useful for
+/// testing operators in isolation and for the cost-model calibration
+/// harness (which must time joins without scan overhead).
+pub struct VecInput {
+    schema: Schema,
+    rows: std::vec::IntoIter<Tuple>,
+}
+
+impl VecInput {
+    /// Wrap `rows` (which must already satisfy any ordering the
+    /// consumer expects) with the given schema.
+    pub fn new(schema: Schema, rows: Vec<Tuple>) -> VecInput {
+        VecInput { schema, rows: rows.into_iter() }
+    }
+
+    /// Single-column input from entries.
+    pub fn single(column: sjos_pattern::PnId, entries: Vec<crate::tuple::Entry>) -> VecInput {
+        VecInput {
+            schema: Schema::singleton(column),
+            rows: entries
+                .into_iter()
+                .map(|e| vec![e])
+                .collect::<Vec<_>>()
+                .into_iter(),
+        }
+    }
+}
+
+impl Operator for VecInput {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        self.rows.next()
+    }
+}

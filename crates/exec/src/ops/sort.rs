@@ -1,0 +1,140 @@
+//! Blocking sort operator.
+
+use std::sync::Arc;
+
+use sjos_pattern::PnId;
+
+use crate::metrics::ExecMetrics;
+use crate::ops::{BoxedOperator, Operator};
+use crate::tuple::{Schema, Tuple};
+
+/// Materializes its input and re-orders it by the `by` column's
+/// document position. This is the blocking point the paper's
+/// non-fully-pipelined plans pay for (`n log n * f_s` in the cost
+/// model), and what the FP algorithm avoids entirely.
+pub struct SortOp<'a> {
+    input: Option<BoxedOperator<'a>>,
+    schema: Schema,
+    col: usize,
+    buffer: std::vec::IntoIter<Tuple>,
+    metrics: Arc<ExecMetrics>,
+}
+
+impl<'a> SortOp<'a> {
+    /// Sort `input` by the column binding `by`.
+    ///
+    /// # Panics
+    /// Panics if `input` does not bind `by`.
+    pub fn new(input: BoxedOperator<'a>, by: PnId, metrics: Arc<ExecMetrics>) -> Self {
+        let schema = input.schema().clone();
+        let col = schema
+            .position(by)
+            .unwrap_or_else(|| panic!("sort by unbound column {by:?}"));
+        SortOp {
+            input: Some(input),
+            schema,
+            col,
+            buffer: Vec::new().into_iter(),
+            metrics,
+        }
+    }
+
+    fn materialize(&mut self) {
+        let Some(mut input) = self.input.take() else { return };
+        let mut rows: Vec<Tuple> = Vec::new();
+        while let Some(t) = input.next() {
+            rows.push(t);
+        }
+        let col = self.col;
+        rows.sort_by_key(|t| (t[col].region.start, t[col].region.end));
+        ExecMetrics::add(&self.metrics.sort_operations, 1);
+        ExecMetrics::add(&self.metrics.sorted_tuples, rows.len() as u64);
+        self.buffer = rows.into_iter();
+    }
+}
+
+impl Operator for SortOp<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.input.is_some() {
+            self.materialize();
+        }
+        let t = self.buffer.next()?;
+        ExecMetrics::add(&self.metrics.produced_tuples, 1);
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Entry;
+    use sjos_xml::{NodeId, Region};
+
+    struct FixedInput {
+        schema: Schema,
+        rows: std::vec::IntoIter<Tuple>,
+    }
+
+    impl Operator for FixedInput {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn next(&mut self) -> Option<Tuple> {
+            self.rows.next()
+        }
+    }
+
+    fn two_col_rows(pairs: &[(u32, u32)]) -> FixedInput {
+        let rows: Vec<Tuple> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                vec![
+                    Entry { node: NodeId(i as u32), region: Region { start: a, end: a + 1, level: 0 } },
+                    Entry { node: NodeId(100 + i as u32), region: Region { start: b, end: b + 1, level: 1 } },
+                ]
+            })
+            .collect();
+        FixedInput {
+            schema: Schema::new(vec![PnId(0), PnId(1)]),
+            rows: rows.into_iter(),
+        }
+    }
+
+    #[test]
+    fn sorts_by_requested_column() {
+        let m = ExecMetrics::new();
+        let input = two_col_rows(&[(5, 10), (1, 30), (3, 20)]);
+        let mut op = SortOp::new(Box::new(input), PnId(1), Arc::clone(&m));
+        let mut seen = vec![];
+        while let Some(t) = op.next() {
+            seen.push(t[1].region.start);
+        }
+        assert_eq!(seen, vec![10, 20, 30]);
+        let s = m.snapshot();
+        assert_eq!(s.sort_operations, 1);
+        assert_eq!(s.sorted_tuples, 3);
+        assert_eq!(s.produced_tuples, 3);
+    }
+
+    #[test]
+    fn empty_input_sorts_empty() {
+        let m = ExecMetrics::new();
+        let input = two_col_rows(&[]);
+        let mut op = SortOp::new(Box::new(input), PnId(0), m.clone());
+        assert!(op.next().is_none());
+        assert_eq!(m.snapshot().sort_operations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound column")]
+    fn sorting_unbound_column_panics() {
+        let m = ExecMetrics::new();
+        let input = two_col_rows(&[(1, 2)]);
+        let _ = SortOp::new(Box::new(input), PnId(9), m);
+    }
+}

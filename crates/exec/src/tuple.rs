@@ -1,0 +1,99 @@
+//! Tuples and schemas for intermediate results.
+
+use sjos_pattern::PnId;
+use sjos_xml::{NodeId, Region};
+
+/// One column value: the bound element's identity and region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The bound element.
+    pub node: NodeId,
+    /// Its region encoding (kept inline so joins never chase the
+    /// document).
+    pub region: Region,
+}
+
+/// A row of an intermediate result: one [`Entry`] per schema column.
+pub type Tuple = Vec<Entry>;
+
+/// Column layout of an intermediate result: which pattern node each
+/// column binds.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<PnId>,
+}
+
+impl Schema {
+    /// Single-column schema.
+    pub fn singleton(id: PnId) -> Schema {
+        Schema { columns: vec![id] }
+    }
+
+    /// Build from explicit columns.
+    ///
+    /// # Panics
+    /// Panics if a pattern node repeats.
+    pub fn new(columns: Vec<PnId>) -> Schema {
+        let mut sorted = columns.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), columns.len(), "duplicate column in schema");
+        Schema { columns }
+    }
+
+    /// Concatenation `self ++ other` (as a join produces it).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend_from_slice(&other.columns);
+        Schema::new(columns)
+    }
+
+    /// Columns in layout order.
+    pub fn columns(&self) -> &[PnId] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of the column binding `id`.
+    pub fn position(&self, id: PnId) -> Option<usize> {
+        self.columns.iter().position(|&c| c == id)
+    }
+
+    /// True if the schema binds `id`.
+    pub fn binds(&self, id: PnId) -> bool {
+        self.position(id).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_schema() {
+        let s = Schema::singleton(PnId(3));
+        assert_eq!(s.width(), 1);
+        assert_eq!(s.position(PnId(3)), Some(0));
+        assert!(!s.binds(PnId(0)));
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = Schema::new(vec![PnId(0), PnId(2)]);
+        let b = Schema::new(vec![PnId(1)]);
+        let c = a.concat(&b);
+        assert_eq!(c.columns(), &[PnId(0), PnId(2), PnId(1)]);
+        assert_eq!(c.position(PnId(1)), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_rejected() {
+        let a = Schema::new(vec![PnId(0)]);
+        let _ = a.concat(&Schema::new(vec![PnId(0)]));
+    }
+}

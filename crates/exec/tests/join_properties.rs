@@ -1,0 +1,160 @@
+//! Property tests for the stack-tree join operators: against
+//! arbitrary well-formed documents, both algorithms must produce
+//! exactly the brute-force pair set, in their advertised orders.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use sjos_exec::metrics::ExecMetrics;
+use sjos_exec::ops::{join::StackTreeJoinOp, Operator};
+use sjos_exec::tuple::{Entry, Schema, Tuple};
+use sjos_exec::JoinAlgo;
+use sjos_pattern::{Axis, PnId};
+use sjos_xml::{DocumentBuilder, NodeId, Region};
+
+/// Random tree shape encoded as a preorder fanout list.
+fn doc_strategy() -> impl Strategy<Value = Vec<Region>> {
+    // Build a random document by interpreting a byte string as
+    // open/close decisions; collect all element regions.
+    prop::collection::vec(0u8..4, 1..60).prop_map(|script| {
+        let mut b = DocumentBuilder::new();
+        b.start_element("r");
+        let mut depth = 1;
+        for op in script {
+            if op == 0 && depth > 1 {
+                b.end_element();
+                depth -= 1;
+            } else {
+                b.start_element("x");
+                depth += 1;
+            }
+        }
+        while depth > 0 {
+            b.end_element();
+            depth -= 1;
+        }
+        let doc = b.finish();
+        doc.nodes().iter().map(|n| n.region).collect()
+    })
+}
+
+/// Pick two (sorted) sublists of the document's regions.
+fn two_lists() -> impl Strategy<Value = (Vec<Region>, Vec<Region>)> {
+    (doc_strategy(), any::<u64>(), any::<u64>()).prop_map(|(regions, ma, mb)| {
+        let pick = |mask: u64| -> Vec<Region> {
+            regions
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (mask >> (i % 64)) & 1 == 1)
+                .map(|(_, r)| *r)
+                .collect()
+        };
+        (pick(ma), pick(mb))
+    })
+}
+
+fn input(col: u16, regions: &[Region]) -> FixedInput {
+    FixedInput {
+        schema: Schema::singleton(PnId(col)),
+        rows: regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| vec![Entry { node: NodeId(i as u32), region: *r }])
+            .collect::<Vec<_>>()
+            .into_iter(),
+    }
+}
+
+struct FixedInput {
+    schema: Schema,
+    rows: std::vec::IntoIter<Tuple>,
+}
+
+impl Operator for FixedInput {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+    fn next(&mut self) -> Option<Tuple> {
+        self.rows.next()
+    }
+}
+
+fn run_join(
+    ancs: &[Region],
+    descs: &[Region],
+    algo: JoinAlgo,
+    axis: Axis,
+) -> Vec<(Region, Region)> {
+    let m = ExecMetrics::new();
+    let mut op = StackTreeJoinOp::new(
+        Box::new(input(0, ancs)),
+        Box::new(input(1, descs)),
+        PnId(0),
+        PnId(1),
+        axis,
+        algo,
+        Arc::clone(&m),
+    );
+    let mut out = vec![];
+    while let Some(t) = op.next() {
+        out.push((t[0].region, t[1].region));
+    }
+    out
+}
+
+fn brute_force(ancs: &[Region], descs: &[Region], axis: Axis) -> Vec<(Region, Region)> {
+    let mut out = vec![];
+    for a in ancs {
+        for d in descs {
+            let ok = match axis {
+                Axis::Descendant => a.contains(*d),
+                Axis::Child => a.is_parent_of(*d),
+            };
+            if ok {
+                out.push((*a, *d));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn desc_join_equals_brute_force((ancs, descs) in two_lists()) {
+        for axis in [Axis::Descendant, Axis::Child] {
+            let mut got = run_join(&ancs, &descs, JoinAlgo::StackTreeDesc, axis);
+            got.sort();
+            prop_assert_eq!(&got, &brute_force(&ancs, &descs, axis));
+        }
+    }
+
+    #[test]
+    fn anc_join_equals_brute_force((ancs, descs) in two_lists()) {
+        for axis in [Axis::Descendant, Axis::Child] {
+            let mut got = run_join(&ancs, &descs, JoinAlgo::StackTreeAnc, axis);
+            got.sort();
+            prop_assert_eq!(&got, &brute_force(&ancs, &descs, axis));
+        }
+    }
+
+    #[test]
+    fn desc_output_is_descendant_ordered((ancs, descs) in two_lists()) {
+        let got = run_join(&ancs, &descs, JoinAlgo::StackTreeDesc, Axis::Descendant);
+        prop_assert!(got.windows(2).all(|w| w[0].1.start <= w[1].1.start));
+    }
+
+    #[test]
+    fn anc_output_is_ancestor_ordered((ancs, descs) in two_lists()) {
+        let got = run_join(&ancs, &descs, JoinAlgo::StackTreeAnc, Axis::Descendant);
+        prop_assert!(got.windows(2).all(|w| w[0].0.start <= w[1].0.start));
+    }
+
+    #[test]
+    fn self_join_never_pairs_identity(regions in doc_strategy()) {
+        let got = run_join(&regions, &regions, JoinAlgo::StackTreeDesc, Axis::Descendant);
+        prop_assert!(got.iter().all(|(a, d)| a != d));
+    }
+}

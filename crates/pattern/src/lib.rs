@@ -1,0 +1,30 @@
+//! # sjos-pattern
+//!
+//! Query pattern trees — the logical query representation the paper's
+//! optimizer works on (§2.1): a rooted node-labelled tree whose nodes
+//! carry predicates (tag tests, optional value tests) and whose edges
+//! are labelled parent-child (`/`) or ancestor-descendant (`//`, the
+//! paper's `*`).
+//!
+//! The crate provides the arena pattern model ([`Pattern`]), compact
+//! node sets used by the optimizer's status representation
+//! ([`NodeSet`]), and a parser for an XPath-like subset
+//! ([`parse_pattern`]):
+//!
+//! ```
+//! use sjos_pattern::parse_pattern;
+//!
+//! // Fig. 1 of the paper: manager//employee/name, manager//manager
+//! // (subordinate) /department/name.
+//! let p = parse_pattern("//manager[.//employee/name][.//manager/department/name]").unwrap();
+//! assert_eq!(p.len(), 6);
+//! assert_eq!(p.edge_count(), 5);
+//! ```
+
+pub mod nodeset;
+pub mod parser;
+pub mod pattern;
+
+pub use nodeset::NodeSet;
+pub use parser::{parse_pattern, PatternParseError};
+pub use pattern::{Axis, Pattern, PatternEdge, PatternNode, PnId, ValuePredicate};

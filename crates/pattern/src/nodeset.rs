@@ -1,0 +1,209 @@
+//! Compact sets of pattern nodes.
+//!
+//! Patterns are small (the paper's largest has six nodes; we allow up
+//! to 64), so a `u64` bitset represents any subset of pattern nodes.
+//! The optimizer's statuses, cluster keys, and memo keys are all built
+//! from [`NodeSet`]s.
+
+use crate::pattern::PnId;
+
+/// A set of pattern-node ids, backed by a `u64` bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeSet(pub u64);
+
+/// Maximum pattern size supported by [`NodeSet`].
+pub const MAX_PATTERN_NODES: usize = 64;
+
+impl NodeSet {
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> NodeSet {
+        NodeSet(0)
+    }
+
+    /// The singleton `{id}`.
+    #[inline]
+    pub fn singleton(id: PnId) -> NodeSet {
+        debug_assert!((id.0 as usize) < MAX_PATTERN_NODES);
+        NodeSet(1u64 << id.0)
+    }
+
+    /// `{0, 1, .., n-1}`.
+    #[inline]
+    pub fn full(n: usize) -> NodeSet {
+        assert!(n <= MAX_PATTERN_NODES);
+        if n == MAX_PATTERN_NODES {
+            NodeSet(u64::MAX)
+        } else {
+            NodeSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, id: PnId) -> bool {
+        self.0 & (1u64 << id.0) != 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & other.0)
+    }
+
+    /// Elements of `self` not in `other`.
+    #[inline]
+    pub fn difference(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & !other.0)
+    }
+
+    /// Add one element.
+    #[inline]
+    pub fn insert(&mut self, id: PnId) {
+        self.0 |= 1u64 << id.0;
+    }
+
+    /// Remove one element.
+    #[inline]
+    pub fn remove(&mut self, id: PnId) {
+        self.0 &= !(1u64 << id.0);
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when the sets share no element.
+    #[inline]
+    pub fn is_disjoint(self, other: NodeSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// True when every element of `self` is in `other`.
+    #[inline]
+    pub fn is_subset(self, other: NodeSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterate members in ascending id order.
+    pub fn iter(self) -> NodeSetIter {
+        NodeSetIter(self.0)
+    }
+
+    /// The smallest member, if any.
+    pub fn first(self) -> Option<PnId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(PnId(self.0.trailing_zeros() as u16))
+        }
+    }
+}
+
+impl FromIterator<PnId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = PnId>>(iter: T) -> NodeSet {
+        let mut s = NodeSet::empty();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+/// Iterator over a [`NodeSet`].
+pub struct NodeSetIter(u64);
+
+impl Iterator for NodeSetIter {
+    type Item = PnId;
+
+    fn next(&mut self) -> Option<PnId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let bit = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(PnId(bit as u16))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for NodeSetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u16]) -> NodeSet {
+        ids.iter().map(|&i| PnId(i)).collect()
+    }
+
+    #[test]
+    fn singleton_and_membership() {
+        let s = NodeSet::singleton(PnId(5));
+        assert!(s.contains(PnId(5)));
+        assert!(!s.contains(PnId(4)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(&[0, 1, 2]);
+        let b = set(&[2, 3]);
+        assert_eq!(a.union(b), set(&[0, 1, 2, 3]));
+        assert_eq!(a.intersect(b), set(&[2]));
+        assert_eq!(a.difference(b), set(&[0, 1]));
+        assert!(!a.is_disjoint(b));
+        assert!(set(&[0]).is_disjoint(set(&[1])));
+        assert!(set(&[1, 2]).is_subset(a));
+        assert!(!a.is_subset(b));
+    }
+
+    #[test]
+    fn full_covers_prefix() {
+        let f = NodeSet::full(6);
+        assert_eq!(f.len(), 6);
+        assert!(f.contains(PnId(5)));
+        assert!(!f.contains(PnId(6)));
+        assert_eq!(NodeSet::full(64).len(), 64);
+    }
+
+    #[test]
+    fn iter_is_ascending_and_exact() {
+        let s = set(&[9, 1, 33]);
+        let v: Vec<u16> = s.iter().map(|p| p.0).collect();
+        assert_eq!(v, vec![1, 9, 33]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut s = NodeSet::empty();
+        s.insert(PnId(3));
+        s.insert(PnId(3));
+        assert_eq!(s.len(), 1);
+        s.remove(PnId(3));
+        assert!(s.is_empty());
+        assert_eq!(s.first(), None);
+        s.insert(PnId(7));
+        s.insert(PnId(2));
+        assert_eq!(s.first(), Some(PnId(2)));
+    }
+}

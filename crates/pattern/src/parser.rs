@@ -1,0 +1,396 @@
+//! Parser for an XPath-like pattern syntax.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! pattern   := ('/' | '//')? step (('/' | '//') step)*
+//! step      := name predicate*
+//! predicate := '[' body ']'
+//! body      := value-test | branch
+//! value-test:= ('text()' | '.') '=' quoted-string
+//! branch    := '.'? ('/' | '//')? step (('/' | '//') step)*
+//! ```
+//!
+//! `//` edges assert ancestor-descendant, `/` parent-child. A branch
+//! predicate with no leading axis defaults to child. The leading axis
+//! of the whole pattern is accepted but not interpreted: matches are
+//! found anywhere in the document (tree pattern semantics, as in the
+//! paper; absolute anchoring is a trivial extra root predicate we do
+//! not need for any experiment).
+
+use std::fmt;
+
+use crate::pattern::{Axis, Pattern, PnId, ValuePredicate};
+
+/// Error produced by [`parse_pattern`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where parsing failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for PatternParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for PatternParseError {}
+
+/// Parse `input` into a [`Pattern`].
+///
+/// ```
+/// use sjos_pattern::{parse_pattern, Axis};
+/// let p = parse_pattern("//dept/emp[.//name]").unwrap();
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.edges()[0].axis, Axis::Child);
+/// assert_eq!(p.edges()[1].axis, Axis::Descendant);
+/// ```
+pub fn parse_pattern(input: &str) -> Result<Pattern, PatternParseError> {
+    let mut parser = Parser { input, pos: 0 };
+    parser.skip_ws();
+    // Leading axis is optional and uninterpreted.
+    let _ = parser.axis();
+    let root_tag = parser.name()?;
+    let mut pattern = Pattern::with_root(root_tag);
+    let root = pattern.root();
+    parser.predicates(&mut pattern, root)?;
+    parser.tail(&mut pattern, root)?;
+    parser.order_by(&mut pattern)?;
+    parser.skip_ws();
+    if !parser.at_end() {
+        return Err(parser.error("trailing input"));
+    }
+    if pattern.len() > crate::nodeset::MAX_PATTERN_NODES {
+        return Err(parser.error("pattern exceeds 64 nodes"));
+    }
+    Ok(pattern)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(|c: char| c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.rest().starts_with(lit) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> PatternParseError {
+        PatternParseError { message: message.into(), offset: self.pos }
+    }
+
+    /// Parse `//` or `/` if present.
+    fn axis(&mut self) -> Option<Axis> {
+        self.skip_ws();
+        if self.eat("//") {
+            Some(Axis::Descendant)
+        } else if self.eat("/") {
+            Some(Axis::Child)
+        } else {
+            None
+        }
+    }
+
+    fn name(&mut self) -> Result<String, PatternParseError> {
+        self.skip_ws();
+        if self.eat("*") {
+            return Ok(crate::pattern::WILDCARD.to_owned());
+        }
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        // First character: letter or underscore (XML-name-like).
+        match bytes.get(self.pos) {
+            Some(&b) if (b as char).is_ascii_alphabetic() || b == b'_' => self.pos += 1,
+            _ => return Err(self.error("expected element name")),
+        }
+        while let Some(&b) = bytes.get(self.pos) {
+            let c = b as char;
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    /// Parse the `/step//step...` continuation under `node`.
+    fn tail(&mut self, pattern: &mut Pattern, mut node: PnId) -> Result<(), PatternParseError> {
+        while let Some(axis) = self.axis() {
+            let tag = self.name()?;
+            let child = pattern.add_child(node, axis, tag);
+            self.predicates(pattern, child)?;
+            node = child;
+        }
+        Ok(())
+    }
+
+    /// Parse zero or more `[...]` predicates on `node`.
+    fn predicates(&mut self, pattern: &mut Pattern, node: PnId) -> Result<(), PatternParseError> {
+        loop {
+            self.skip_ws();
+            if !self.eat("[") {
+                return Ok(());
+            }
+            self.skip_ws();
+            if self.eat("text()") || self.rest().starts_with(['.', '=']) && self.peek_value_test() {
+                // `text() = '...'` or `. = '...'`.
+                self.skip_ws();
+                let _ = self.eat(".");
+                self.skip_ws();
+                if !self.eat("=") {
+                    return Err(self.error("expected '=' in value predicate"));
+                }
+                let value = self.quoted_string()?;
+                pattern.set_predicate(node, ValuePredicate::Equals(value));
+            } else {
+                // Branch path. Optional leading '.', optional axis.
+                let _ = self.eat(".");
+                let axis = self.axis().unwrap_or(Axis::Child);
+                let tag = self.name()?;
+                let child = pattern.add_child(node, axis, tag);
+                self.predicates(pattern, child)?;
+                self.tail(pattern, child)?;
+            }
+            self.skip_ws();
+            if !self.eat("]") {
+                return Err(self.error("expected ']'"));
+            }
+        }
+    }
+
+    /// Parse an optional trailing `order by <ref>` clause, where
+    /// `<ref>` is `#<node-index>` or a tag name occurring exactly
+    /// once in the pattern.
+    fn order_by(&mut self, pattern: &mut Pattern) -> Result<(), PatternParseError> {
+        self.skip_ws();
+        let before = self.pos;
+        if !self.eat("order") {
+            return Ok(());
+        }
+        self.skip_ws();
+        if !self.eat("by") {
+            // "order" might have been intended as something else;
+            // report at the clause start for clarity.
+            self.pos = before;
+            return Err(self.error("expected 'by' after 'order'"));
+        }
+        self.skip_ws();
+        if self.eat("#") {
+            let start = self.pos;
+            while self.rest().starts_with(|c: char| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            let idx: usize = self.input[start..self.pos]
+                .parse()
+                .map_err(|_| self.error("expected node index after '#'"))?;
+            if idx >= pattern.len() {
+                return Err(self.error(format!(
+                    "order-by node #{idx} out of range (pattern has {} nodes)",
+                    pattern.len()
+                )));
+            }
+            pattern.set_order_by(PnId(idx as u16));
+            return Ok(());
+        }
+        let tag = self.name()?;
+        let matching: Vec<PnId> = pattern
+            .node_ids()
+            .filter(|id| pattern.node(*id).tag == tag)
+            .collect();
+        match matching.as_slice() {
+            [only] => {
+                pattern.set_order_by(*only);
+                Ok(())
+            }
+            [] => Err(self.error(format!("order-by tag {tag:?} not in pattern"))),
+            _ => Err(self.error(format!(
+                "order-by tag {tag:?} is ambiguous; use #<node-index>"
+            ))),
+        }
+    }
+
+    /// Lookahead: does the bracket body read as `. = '...'`?
+    fn peek_value_test(&self) -> bool {
+        let mut rest = self.rest();
+        if let Some(stripped) = rest.strip_prefix('.') {
+            rest = stripped;
+        }
+        rest.trim_start().starts_with('=')
+    }
+
+    fn quoted_string(&mut self) -> Result<String, PatternParseError> {
+        self.skip_ws();
+        let quote = if self.eat("'") {
+            '\''
+        } else if self.eat("\"") {
+            '"'
+        } else {
+            return Err(self.error("expected quoted string"));
+        };
+        match self.rest().find(quote) {
+            Some(idx) => {
+                let s = self.rest()[..idx].to_owned();
+                self.pos += idx + 1;
+                Ok(s)
+            }
+            None => Err(self.error("unterminated string")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternEdge;
+
+    #[test]
+    fn linear_paths() {
+        let p = parse_pattern("//a/b//c").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(
+            p.edges(),
+            &[
+                PatternEdge { parent: PnId(0), child: PnId(1), axis: Axis::Child },
+                PatternEdge { parent: PnId(1), child: PnId(2), axis: Axis::Descendant },
+            ]
+        );
+    }
+
+    #[test]
+    fn branches_attach_to_the_right_node() {
+        let p = parse_pattern("//a[.//b/c][./d]//e").unwrap();
+        assert_eq!(p.len(), 5);
+        // a -> b (desc), b -> c (child), a -> d (child), a -> e (desc)
+        assert_eq!(p.children(PnId(0)).len(), 3);
+        let be = p.edge_between(PnId(0), PnId(1)).unwrap();
+        assert_eq!(be.axis, Axis::Descendant);
+        let de = p.edge_between(PnId(0), PnId(3)).unwrap();
+        assert_eq!(de.axis, Axis::Child);
+    }
+
+    #[test]
+    fn default_branch_axis_is_child() {
+        let p = parse_pattern("//a[b]").unwrap();
+        assert_eq!(p.edges()[0].axis, Axis::Child);
+    }
+
+    #[test]
+    fn value_predicates() {
+        let p = parse_pattern("//emp/name[text()='Ada']").unwrap();
+        assert_eq!(
+            p.node(PnId(1)).predicate,
+            Some(ValuePredicate::Equals("Ada".into()))
+        );
+        let p2 = parse_pattern("//emp/name[. = \"Ada\"]").unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn nested_branch_predicates() {
+        let p = parse_pattern("//a[.//b[./c][.//d]]").unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.children(PnId(1)), &[PnId(2), PnId(3)]);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let p = parse_pattern("  // a [ .// b ] / c ").unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn fig1_pattern_shape() {
+        let p =
+            parse_pattern("//manager[.//employee/name][.//manager/department/name]").unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.edge_count(), 5);
+        assert_eq!(p.children(p.root()).len(), 2);
+        assert_eq!(p.node(PnId(0)).tag, "manager");
+        assert_eq!(p.node(PnId(3)).tag, "manager");
+    }
+
+    #[test]
+    fn errors_report_position() {
+        for bad in ["", "//", "//a[", "//a[b", "//a]b", "//a[text()=]", "//a[.='x]"] {
+            let err = parse_pattern(bad).unwrap_err();
+            assert!(err.offset <= bad.len(), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_pattern("//a b").is_err());
+        assert!(parse_pattern("//a/").is_err());
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        let p = parse_pattern("//a/*//b[./*]").unwrap();
+        assert_eq!(p.len(), 4);
+        assert!(p.node(PnId(1)).is_wildcard());
+        assert!(p.node(PnId(3)).is_wildcard());
+        assert!(!p.node(PnId(0)).is_wildcard());
+    }
+
+    #[test]
+    fn order_by_index() {
+        let p = parse_pattern("//a/b/c order by #1").unwrap();
+        assert_eq!(p.order_by(), Some(PnId(1)));
+    }
+
+    #[test]
+    fn order_by_unique_tag() {
+        let p = parse_pattern("//a/b/c order by c").unwrap();
+        assert_eq!(p.order_by(), Some(PnId(2)));
+    }
+
+    #[test]
+    fn order_by_ambiguous_tag_rejected() {
+        let err = parse_pattern("//a/b//b order by b").unwrap_err();
+        assert!(err.message.contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn order_by_unknown_tag_rejected() {
+        assert!(parse_pattern("//a/b order by z").is_err());
+        assert!(parse_pattern("//a/b order by #7").is_err());
+    }
+
+    #[test]
+    fn order_as_tag_name_still_parses() {
+        let p = parse_pattern("//order/item").unwrap();
+        assert_eq!(p.node(PnId(0)).tag, "order");
+        assert_eq!(p.order_by(), None);
+    }
+
+    #[test]
+    fn display_roundtrips_order_by() {
+        let p = parse_pattern("//a/b/c order by #2").unwrap();
+        let p2 = parse_pattern(&p.to_string()).unwrap();
+        assert_eq!(p, p2);
+    }
+}

@@ -1,0 +1,368 @@
+//! The pattern-tree model.
+
+use std::fmt;
+
+use crate::nodeset::NodeSet;
+
+/// Id of a node within one [`Pattern`] (dense, root = 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PnId(pub u16);
+
+impl PnId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Edge label: the structural relationship the edge asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Parent-child (`/`).
+    Child,
+    /// Ancestor-descendant (`//`; the paper draws this as `*`).
+    Descendant,
+}
+
+/// Optional value predicate on a pattern node, evaluated against the
+/// element's immediate text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValuePredicate {
+    /// `text() = "literal"`.
+    Equals(String),
+}
+
+/// The wildcard tag: matches every element (`*` in the query syntax).
+pub const WILDCARD: &str = "*";
+
+/// One pattern node: a tag test plus an optional value predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternNode {
+    /// Element tag this node matches; [`WILDCARD`] matches any tag.
+    /// (The paper allows arbitrary boolean predicates; tag/wildcard +
+    /// optional value test covers all of its experiments.)
+    pub tag: String,
+    /// Optional value predicate.
+    pub predicate: Option<ValuePredicate>,
+}
+
+impl PatternNode {
+    /// True when this node matches any element tag.
+    pub fn is_wildcard(&self) -> bool {
+        self.tag == WILDCARD
+    }
+}
+
+/// One pattern edge `parent -> child` with its axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternEdge {
+    /// The ancestor-side node.
+    pub parent: PnId,
+    /// The descendant-side node.
+    pub child: PnId,
+    /// `/` or `//`.
+    pub axis: Axis,
+}
+
+/// A rooted query pattern tree.
+///
+/// Nodes are stored in an arena; node 0 is the root. Edges always
+/// point from ancestor side to descendant side. The optional
+/// `order_by` designates the node the final result must be sorted by
+/// (the paper's *OrderBy node*).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Pattern {
+    nodes: Vec<PatternNode>,
+    edges: Vec<PatternEdge>,
+    /// children[i] = pattern nodes with parent i.
+    children: Vec<Vec<PnId>>,
+    /// parent[i] = Some(parent) unless i is the root.
+    parents: Vec<Option<PnId>>,
+    order_by: Option<PnId>,
+}
+
+impl Pattern {
+    /// Create a pattern containing only a root node.
+    pub fn with_root(tag: impl Into<String>) -> Pattern {
+        let mut p = Pattern::default();
+        p.nodes.push(PatternNode { tag: tag.into(), predicate: None });
+        p.children.push(Vec::new());
+        p.parents.push(None);
+        p
+    }
+
+    /// Add a child of `parent` reached via `axis`, returning its id.
+    ///
+    /// # Panics
+    /// Panics if `parent` is out of range or the pattern would exceed
+    /// [`crate::nodeset::MAX_PATTERN_NODES`] nodes.
+    pub fn add_child(&mut self, parent: PnId, axis: Axis, tag: impl Into<String>) -> PnId {
+        assert!(parent.index() < self.nodes.len(), "bad parent id");
+        assert!(
+            self.nodes.len() < crate::nodeset::MAX_PATTERN_NODES,
+            "pattern too large"
+        );
+        let id = PnId(self.nodes.len() as u16);
+        self.nodes.push(PatternNode { tag: tag.into(), predicate: None });
+        self.children.push(Vec::new());
+        self.parents.push(Some(parent));
+        self.children[parent.index()].push(id);
+        self.edges.push(PatternEdge { parent, child: id, axis });
+        id
+    }
+
+    /// Attach a value predicate to `node`.
+    pub fn set_predicate(&mut self, node: PnId, pred: ValuePredicate) {
+        self.nodes[node.index()].predicate = Some(pred);
+    }
+
+    /// Designate the result-order node.
+    pub fn set_order_by(&mut self, node: PnId) {
+        assert!(node.index() < self.nodes.len(), "bad order-by id");
+        self.order_by = Some(node);
+    }
+
+    /// The result-order node, if the query specifies one.
+    pub fn order_by(&self) -> Option<PnId> {
+        self.order_by
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a pattern with no nodes (only the `Default` value).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of edges (= len - 1 for a non-empty tree).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> PnId {
+        assert!(!self.nodes.is_empty(), "empty pattern has no root");
+        PnId(0)
+    }
+
+    /// Node data.
+    pub fn node(&self, id: PnId) -> &PatternNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = PnId> + '_ {
+        (0..self.nodes.len() as u16).map(PnId)
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[PatternEdge] {
+        &self.edges
+    }
+
+    /// The edge connecting `a` and `b` (either orientation), if any.
+    pub fn edge_between(&self, a: PnId, b: PnId) -> Option<PatternEdge> {
+        self.edges
+            .iter()
+            .find(|e| (e.parent == a && e.child == b) || (e.parent == b && e.child == a))
+            .copied()
+    }
+
+    /// Children of `id` in insertion order.
+    pub fn children(&self, id: PnId) -> &[PnId] {
+        &self.children[id.index()]
+    }
+
+    /// Parent of `id` (`None` for the root).
+    pub fn parent(&self, id: PnId) -> Option<PnId> {
+        self.parents[id.index()]
+    }
+
+    /// All tree neighbors of `id` (parent + children).
+    pub fn neighbors(&self, id: PnId) -> Vec<PnId> {
+        let mut out = Vec::with_capacity(self.children(id).len() + 1);
+        if let Some(p) = self.parent(id) {
+            out.push(p);
+        }
+        out.extend_from_slice(self.children(id));
+        out
+    }
+
+    /// The set of all node ids.
+    pub fn all_nodes(&self) -> NodeSet {
+        NodeSet::full(self.nodes.len())
+    }
+
+    /// Nodes reachable from `start` without entering `blocked`,
+    /// following edges in either direction. Used by the FP algorithm
+    /// to carve sub-patterns when the tree is "picked up" at a node.
+    pub fn component_without(&self, start: PnId, blocked: PnId) -> NodeSet {
+        let mut seen = NodeSet::singleton(start);
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            for nb in self.neighbors(n) {
+                if nb != blocked && !seen.contains(nb) {
+                    seen.insert(nb);
+                    stack.push(nb);
+                }
+            }
+        }
+        seen
+    }
+
+    /// True iff `set` induces a connected subgraph of the pattern.
+    pub fn is_connected(&self, set: NodeSet) -> bool {
+        let Some(first) = set.first() else { return true };
+        let mut seen = NodeSet::singleton(first);
+        let mut stack = vec![first];
+        while let Some(n) = stack.pop() {
+            for nb in self.neighbors(n) {
+                if set.contains(nb) && !seen.contains(nb) {
+                    seen.insert(nb);
+                    stack.push(nb);
+                }
+            }
+        }
+        seen == set
+    }
+
+    /// Distinct tags referenced by the pattern.
+    pub fn tags(&self) -> Vec<&str> {
+        let mut tags: Vec<&str> = self.nodes.iter().map(|n| n.tag.as_str()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        tags
+    }
+}
+
+impl fmt::Display for Pattern {
+    /// Render as a nested path expression (parsable by
+    /// [`crate::parser::parse_pattern`] when no value predicates are
+    /// present beyond equality).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(p: &Pattern, id: PnId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", p.node(id).tag)?;
+            if let Some(ValuePredicate::Equals(v)) = &p.node(id).predicate {
+                write!(f, "[text()='{v}']")?;
+            }
+            let kids = p.children(id);
+            match kids.len() {
+                0 => Ok(()),
+                1 => {
+                    let k = kids[0];
+                    let axis = p.edge_between(id, k).unwrap().axis;
+                    write!(f, "{}", if axis == Axis::Child { "/" } else { "//" })?;
+                    rec(p, k, f)
+                }
+                _ => {
+                    for &k in kids {
+                        let axis = p.edge_between(id, k).unwrap().axis;
+                        write!(f, "[.{}", if axis == Axis::Child { "/" } else { "//" })?;
+                        rec(p, k, f)?;
+                        write!(f, "]")?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        write!(f, "//")?;
+        rec(self, self.root(), f)?;
+        if let Some(w) = self.order_by {
+            write!(f, " order by #{}", w.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 1 pattern: A(manager) with B(employee)/C(name)
+    /// and D(manager)/E(department)/F(name).
+    pub(crate) fn fig1() -> Pattern {
+        let mut p = Pattern::with_root("manager");
+        let b = p.add_child(p.root(), Axis::Descendant, "employee");
+        let _c = p.add_child(b, Axis::Child, "name");
+        let d = p.add_child(p.root(), Axis::Descendant, "manager");
+        let e = p.add_child(d, Axis::Child, "department");
+        let _f = p.add_child(e, Axis::Child, "name");
+        p
+    }
+
+    #[test]
+    fn construction_counts() {
+        let p = fig1();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.edge_count(), 5);
+        assert_eq!(p.children(p.root()).len(), 2);
+    }
+
+    #[test]
+    fn neighbors_include_parent_and_children() {
+        let p = fig1();
+        let b = PnId(1);
+        let nb = p.neighbors(b);
+        assert_eq!(nb, vec![PnId(0), PnId(2)]);
+        let root_nb = p.neighbors(p.root());
+        assert_eq!(root_nb, vec![PnId(1), PnId(3)]);
+    }
+
+    #[test]
+    fn edge_between_is_orientation_free() {
+        let p = fig1();
+        let e1 = p.edge_between(PnId(0), PnId(1)).unwrap();
+        let e2 = p.edge_between(PnId(1), PnId(0)).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(e1.parent, PnId(0));
+        assert_eq!(e1.axis, Axis::Descendant);
+        assert!(p.edge_between(PnId(1), PnId(3)).is_none());
+    }
+
+    #[test]
+    fn component_without_splits_at_cut_node() {
+        let p = fig1();
+        // Removing the root separates {B,C} from {D,E,F}.
+        let left = p.component_without(PnId(1), p.root());
+        assert_eq!(left, [PnId(1), PnId(2)].into_iter().collect());
+        let right = p.component_without(PnId(3), p.root());
+        assert_eq!(right, [PnId(3), PnId(4), PnId(5)].into_iter().collect());
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        let p = fig1();
+        assert!(p.is_connected(p.all_nodes()));
+        assert!(p.is_connected(NodeSet::singleton(PnId(4))));
+        assert!(p.is_connected([PnId(0), PnId(1), PnId(2)].into_iter().collect()));
+        // B and D are not adjacent.
+        assert!(!p.is_connected([PnId(1), PnId(3)].into_iter().collect()));
+        assert!(p.is_connected(NodeSet::empty()));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let p = fig1();
+        let text = p.to_string();
+        let p2 = crate::parser::parse_pattern(&text).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn tags_dedup() {
+        let p = fig1();
+        assert_eq!(p.tags(), vec!["department", "employee", "manager", "name"]);
+    }
+
+    #[test]
+    fn order_by_recorded() {
+        let mut p = fig1();
+        assert_eq!(p.order_by(), None);
+        p.set_order_by(PnId(2));
+        assert_eq!(p.order_by(), Some(PnId(2)));
+    }
+}

@@ -1,0 +1,68 @@
+//! Algebraic property tests for [`sjos_pattern::NodeSet`].
+
+use proptest::prelude::*;
+use sjos_pattern::{NodeSet, PnId};
+
+fn set_strategy() -> impl Strategy<Value = NodeSet> {
+    any::<u64>().prop_map(NodeSet)
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_associative(a in set_strategy(), b in set_strategy(), c in set_strategy()) {
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(a in set_strategy(), b in set_strategy(), c in set_strategy()) {
+        prop_assert_eq!(a.intersect(b.union(c)), a.intersect(b).union(a.intersect(c)));
+    }
+
+    #[test]
+    fn difference_and_intersection_partition(a in set_strategy(), b in set_strategy()) {
+        let inter = a.intersect(b);
+        let diff = a.difference(b);
+        prop_assert!(inter.is_disjoint(diff));
+        prop_assert_eq!(inter.union(diff), a);
+    }
+
+    #[test]
+    fn subset_iff_union_is_identity(a in set_strategy(), b in set_strategy()) {
+        prop_assert_eq!(a.is_subset(b), a.union(b) == b);
+    }
+
+    #[test]
+    fn len_is_cardinality(a in set_strategy()) {
+        prop_assert_eq!(a.len(), a.iter().count());
+        #[allow(clippy::len_zero)]
+        { prop_assert_eq!(a.is_empty(), a.len() == 0); }
+    }
+
+    #[test]
+    fn iter_is_sorted_and_members(a in set_strategy()) {
+        let items: Vec<PnId> = a.iter().collect();
+        prop_assert!(items.windows(2).all(|w| w[0] < w[1]));
+        for id in &items {
+            prop_assert!(a.contains(*id));
+        }
+        prop_assert_eq!(items.first().copied(), a.first());
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(a in set_strategy(), bit in 0u16..64) {
+        let id = PnId(bit);
+        let mut s = a;
+        s.insert(id);
+        prop_assert!(s.contains(id));
+        s.remove(id);
+        prop_assert!(!s.contains(id));
+        prop_assert_eq!(s, a.difference(NodeSet::singleton(id)));
+    }
+
+    #[test]
+    fn collect_roundtrips(a in set_strategy()) {
+        let rebuilt: NodeSet = a.iter().collect();
+        prop_assert_eq!(rebuilt, a);
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-document statistics catalog.
+
+use std::collections::{HashMap, HashSet};
+
+use sjos_pattern::Axis;
+use sjos_xml::{Document, Tag};
+
+use crate::histogram::PositionalHistogram;
+
+/// Default grid resolution. The EDBT paper evaluates grids between
+/// 10×10 and 100×100; 32×32 keeps estimation O(1 k) work per join
+/// while staying well inside the accuracy band the optimizer needs.
+pub const DEFAULT_GRID: usize = 32;
+
+/// Statistics about one tag's element set.
+#[derive(Debug, Clone)]
+pub struct TagStats {
+    /// Positional histogram of the tag's regions.
+    pub histogram: PositionalHistogram,
+    /// Exact cardinality.
+    pub cardinality: u64,
+    /// Number of distinct immediate-text values.
+    pub distinct_values: u64,
+}
+
+/// Per-tag statistics for a document: what a real system would keep in
+/// its system catalog and refresh on load.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    per_tag: HashMap<Tag, TagStats>,
+    /// Statistics over *every* element, used by wildcard (`*`)
+    /// pattern nodes.
+    all: TagStats,
+    grid: usize,
+    max_pos: u32,
+    total_elements: u64,
+}
+
+impl Catalog {
+    /// Build with the default grid.
+    pub fn build(doc: &Document) -> Catalog {
+        Self::build_with_grid(doc, DEFAULT_GRID)
+    }
+
+    /// Build with an explicit grid resolution.
+    pub fn build_with_grid(doc: &Document, grid: usize) -> Catalog {
+        let max_pos = doc
+            .nodes()
+            .iter()
+            .map(|n| n.region.end)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(1);
+        let mut per_tag = HashMap::new();
+        for (tag, ids) in doc.tag_lists() {
+            let mut hist = PositionalHistogram::new(grid, max_pos);
+            let mut values: HashSet<&str> = HashSet::new();
+            for &id in ids {
+                hist.insert(doc.region(id));
+                values.insert(doc.node(id).text.as_str());
+            }
+            per_tag.insert(
+                tag,
+                TagStats {
+                    histogram: hist,
+                    cardinality: ids.len() as u64,
+                    distinct_values: values.len() as u64,
+                },
+            );
+        }
+        let mut all_hist = PositionalHistogram::new(grid, max_pos);
+        let mut all_values: HashSet<&str> = HashSet::new();
+        for node in doc.nodes() {
+            all_hist.insert(node.region);
+            all_values.insert(node.text.as_str());
+        }
+        let all = TagStats {
+            histogram: all_hist,
+            cardinality: doc.len() as u64,
+            distinct_values: all_values.len() as u64,
+        };
+        Catalog { per_tag, all, grid, max_pos, total_elements: doc.len() as u64 }
+    }
+
+    /// Grid resolution used by all histograms in this catalog.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Upper bound (exclusive) of the region-position space.
+    pub fn max_pos(&self) -> u32 {
+        self.max_pos
+    }
+
+    /// Total elements in the document.
+    pub fn total_elements(&self) -> u64 {
+        self.total_elements
+    }
+
+    /// Stats for one tag.
+    pub fn tag_stats(&self, tag: Tag) -> Option<&TagStats> {
+        self.per_tag.get(&tag)
+    }
+
+    /// Statistics over every element (what a wildcard node sees).
+    pub fn all_stats(&self) -> &TagStats {
+        &self.all
+    }
+
+    /// Wildcard-aware stats lookup by pattern tag name.
+    pub fn stats_for_name<'c>(&'c self, doc: &Document, name: &str) -> Option<&'c TagStats> {
+        if name == sjos_pattern::pattern::WILDCARD {
+            Some(&self.all)
+        } else {
+            doc.tag(name).and_then(|t| self.per_tag.get(&t))
+        }
+    }
+
+    /// Estimated joining pairs between two stats entries.
+    pub fn pairs_between(a: &TagStats, d: &TagStats, axis: Axis) -> f64 {
+        match axis {
+            Axis::Descendant => a.histogram.estimate_ancestor_descendant_pairs(&d.histogram),
+            Axis::Child => a.histogram.estimate_parent_child_pairs(&d.histogram),
+        }
+    }
+
+    /// Cardinality of a tag (0 if absent).
+    pub fn cardinality(&self, tag: Tag) -> u64 {
+        self.per_tag.get(&tag).map_or(0, |s| s.cardinality)
+    }
+
+    /// Selectivity of an equality predicate on the tag's text value
+    /// (`1 / distinct values`, the classic uniform assumption).
+    pub fn equality_selectivity(&self, tag: Tag) -> f64 {
+        match self.per_tag.get(&tag) {
+            Some(s) if s.distinct_values > 0 => 1.0 / s.distinct_values as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Estimated number of joining pairs between `anc` and `desc`
+    /// under the given axis.
+    pub fn join_pairs(&self, anc: Tag, desc: Tag, axis: Axis) -> f64 {
+        let (Some(a), Some(d)) = (self.per_tag.get(&anc), self.per_tag.get(&desc)) else {
+            return 0.0;
+        };
+        match axis {
+            Axis::Descendant => a.histogram.estimate_ancestor_descendant_pairs(&d.histogram),
+            Axis::Child => a.histogram.estimate_parent_child_pairs(&d.histogram),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjos_xml::DocumentBuilder;
+
+    fn doc() -> Document {
+        let mut b = DocumentBuilder::new();
+        b.start_element("db");
+        for i in 0..10 {
+            b.start_element("dept");
+            b.leaf("name", if i % 2 == 0 { "even" } else { "odd" });
+            for j in 0..3 {
+                b.start_element("emp");
+                b.leaf("name", &format!("e{}", (i * 3 + j) % 5));
+                b.end_element();
+            }
+            b.end_element();
+        }
+        b.end_element();
+        b.finish()
+    }
+
+    #[test]
+    fn cardinalities_are_exact() {
+        let d = doc();
+        let c = Catalog::build(&d);
+        assert_eq!(c.cardinality(d.tag("dept").unwrap()), 10);
+        assert_eq!(c.cardinality(d.tag("emp").unwrap()), 30);
+        assert_eq!(c.cardinality(d.tag("name").unwrap()), 40);
+        assert_eq!(c.total_elements(), d.len() as u64);
+    }
+
+    #[test]
+    fn unknown_tag_is_zero() {
+        let d = doc();
+        let c = Catalog::build(&d);
+        assert_eq!(c.cardinality(sjos_xml::Tag(999)), 0);
+        assert_eq!(
+            c.join_pairs(sjos_xml::Tag(999), d.tag("emp").unwrap(), Axis::Descendant),
+            0.0
+        );
+    }
+
+    #[test]
+    fn equality_selectivity_uses_distinct_values() {
+        let d = doc();
+        let c = Catalog::build(&d);
+        let name = d.tag("name").unwrap();
+        // name values: even/odd + e0..e4 => 7 distinct.
+        let sel = c.equality_selectivity(name);
+        assert!((sel - 1.0 / 7.0).abs() < 1e-9, "{sel}");
+    }
+
+    #[test]
+    fn join_pairs_roughly_match_truth() {
+        let d = doc();
+        let c = Catalog::build_with_grid(&d, 64);
+        let dept = d.tag("dept").unwrap();
+        let emp = d.tag("emp").unwrap();
+        let est = c.join_pairs(dept, emp, Axis::Descendant);
+        // Exactly 30 (each emp under exactly one dept).
+        assert!((est - 30.0).abs() < 10.0, "est {est}");
+        let pc = c.join_pairs(dept, emp, Axis::Child);
+        assert!((pc - 30.0).abs() < 12.0, "pc {pc}");
+    }
+
+    #[test]
+    fn axis_matters() {
+        let d = doc();
+        let c = Catalog::build_with_grid(&d, 64);
+        let db = d.tag("db").unwrap();
+        let name = d.tag("name").unwrap();
+        let ad = c.join_pairs(db, name, Axis::Descendant);
+        let pc = c.join_pairs(db, name, Axis::Child);
+        assert!(ad > 30.0, "every name is under db: {ad}");
+        assert!(pc < ad / 4.0, "no name is a direct child of db: {pc}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Pattern-level estimates consumed by the optimizer.
+
+use sjos_pattern::{NodeSet, Pattern, PnId, ValuePredicate};
+use sjos_xml::Document;
+
+use crate::catalog::Catalog;
+
+/// Pre-computed cardinality estimates for one pattern against one
+/// document: per-node binding-list sizes (with value-predicate
+/// selectivity applied) and per-edge join selectivities. Cluster
+/// estimates are then pure arithmetic, cheap enough for the optimizer
+/// to call thousands of times.
+#[derive(Debug, Clone)]
+pub struct PatternEstimates {
+    /// Estimated binding-list cardinality per pattern node.
+    node_card: Vec<f64>,
+    /// Raw index-list cardinality per pattern node (before value
+    /// predicates) — what an index scan actually reads.
+    scan_card: Vec<f64>,
+    /// Selectivity per pattern edge (same order as `pattern.edges()`):
+    /// `pairs(u, v) / (|u| * |v|)`.
+    edge_sel: Vec<f64>,
+}
+
+impl PatternEstimates {
+    /// Estimate `pattern` against `catalog` (tags resolved through
+    /// `doc`'s interner; a tag absent from the document estimates to
+    /// zero).
+    pub fn new(catalog: &Catalog, doc: &Document, pattern: &Pattern) -> PatternEstimates {
+        let mut node_card = Vec::with_capacity(pattern.len());
+        let mut scan_card = Vec::with_capacity(pattern.len());
+        for id in pattern.node_ids() {
+            let pnode = pattern.node(id);
+            let (raw, with_pred) = match catalog.stats_for_name(doc, &pnode.tag) {
+                Some(stats) => {
+                    let raw = stats.cardinality as f64;
+                    let sel = match &pnode.predicate {
+                        Some(ValuePredicate::Equals(_)) if stats.distinct_values > 0 => {
+                            1.0 / stats.distinct_values as f64
+                        }
+                        Some(ValuePredicate::Equals(_)) => 0.0,
+                        None => 1.0,
+                    };
+                    (raw, raw * sel)
+                }
+                None => (0.0, 0.0),
+            };
+            scan_card.push(raw);
+            node_card.push(with_pred);
+        }
+        let mut edge_sel = Vec::with_capacity(pattern.edge_count());
+        for edge in pattern.edges() {
+            let (ps, cs) = (
+                catalog.stats_for_name(doc, &pattern.node(edge.parent).tag),
+                catalog.stats_for_name(doc, &pattern.node(edge.child).tag),
+            );
+            let sel = match (ps, cs) {
+                (Some(a), Some(d)) => {
+                    let pairs = Catalog::pairs_between(a, d, edge.axis);
+                    let denom = a.cardinality as f64 * d.cardinality as f64;
+                    if denom > 0.0 {
+                        (pairs / denom).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    }
+                }
+                _ => 0.0,
+            };
+            edge_sel.push(sel);
+        }
+        PatternEstimates { node_card, scan_card, edge_sel }
+    }
+
+    /// Estimated binding-list size of one pattern node (value
+    /// predicates applied).
+    pub fn node_cardinality(&self, id: PnId) -> f64 {
+        self.node_card[id.index()]
+    }
+
+    /// Raw index-scan size of one pattern node (no predicates).
+    pub fn scan_cardinality(&self, id: PnId) -> f64 {
+        self.scan_card[id.index()]
+    }
+
+    /// Selectivity of the pattern edge at `edge_idx` (order of
+    /// `Pattern::edges`).
+    pub fn edge_selectivity(&self, edge_idx: usize) -> f64 {
+        self.edge_sel[edge_idx]
+    }
+
+    /// Estimated size of the intermediate result binding all nodes of
+    /// `cluster` (which must induce a connected subtree): the classic
+    /// independence estimate `Π node_card × Π edge_sel` over the
+    /// cluster's nodes and internal edges.
+    pub fn cluster_cardinality(&self, pattern: &Pattern, cluster: NodeSet) -> f64 {
+        debug_assert!(pattern.is_connected(cluster), "cluster must be connected");
+        let mut est = 1.0;
+        let mut any = false;
+        for id in cluster.iter() {
+            est *= self.node_card[id.index()];
+            any = true;
+        }
+        if !any {
+            return 0.0;
+        }
+        for (i, edge) in pattern.edges().iter().enumerate() {
+            if cluster.contains(edge.parent) && cluster.contains(edge.child) {
+                est *= self.edge_sel[i];
+            }
+        }
+        est
+    }
+
+    /// Estimated size of joining two clusters along `edge_idx` — the
+    /// output cardinality a move in the optimizer's search produces.
+    pub fn join_cardinality(
+        &self,
+        pattern: &Pattern,
+        left: NodeSet,
+        right: NodeSet,
+        edge_idx: usize,
+    ) -> f64 {
+        debug_assert!(left.is_disjoint(right));
+        let merged = left.union(right);
+        let _ = edge_idx;
+        self.cluster_cardinality(pattern, merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjos_pattern::parse_pattern;
+    use sjos_xml::DocumentBuilder;
+
+    fn doc() -> Document {
+        let mut b = DocumentBuilder::new();
+        b.start_element("db");
+        for i in 0..20 {
+            b.start_element("dept");
+            for j in 0..4 {
+                b.start_element("emp");
+                b.leaf("name", &format!("n{}", (i + j) % 10));
+                b.end_element();
+            }
+            b.end_element();
+        }
+        b.end_element();
+        b.finish()
+    }
+
+    fn estimates(pattern: &str) -> (Document, Pattern, PatternEstimates) {
+        let d = doc();
+        let p = parse_pattern(pattern).unwrap();
+        let c = Catalog::build_with_grid(&d, 64);
+        let e = PatternEstimates::new(&c, &d, &p);
+        (d, p, e)
+    }
+
+    #[test]
+    fn node_cardinalities_match_tag_counts() {
+        let (_, p, e) = estimates("//dept/emp/name");
+        assert_eq!(e.node_cardinality(p.root()), 20.0);
+        assert_eq!(e.node_cardinality(PnId(1)), 80.0);
+        assert_eq!(e.node_cardinality(PnId(2)), 80.0);
+    }
+
+    #[test]
+    fn value_predicate_scales_node_cardinality() {
+        let (_, _p, e) = estimates("//emp/name[text()='n3']");
+        // 10 distinct name values.
+        assert!((e.node_cardinality(PnId(1)) - 8.0).abs() < 1e-6);
+        assert_eq!(e.scan_cardinality(PnId(1)), 80.0, "scan reads the whole list");
+    }
+
+    #[test]
+    fn missing_tag_estimates_zero() {
+        let (_doc, p, e) = estimates("//dept/ghost");
+        assert_eq!(e.node_cardinality(PnId(1)), 0.0);
+        assert_eq!(e.cluster_cardinality(&p, p.all_nodes()), 0.0);
+    }
+
+    #[test]
+    fn singleton_cluster_is_node_cardinality() {
+        let (_, p, e) = estimates("//dept/emp");
+        let c = e.cluster_cardinality(&p, NodeSet::singleton(p.root()));
+        assert_eq!(c, e.node_cardinality(p.root()));
+    }
+
+    #[test]
+    fn full_cluster_estimate_tracks_truth() {
+        let (_, p, e) = estimates("//dept/emp/name");
+        // True match count: every emp has exactly 1 name, every emp in
+        // exactly 1 dept => 80 matches.
+        let est = e.cluster_cardinality(&p, p.all_nodes());
+        assert!(est > 20.0 && est < 320.0, "est {est}");
+    }
+
+    #[test]
+    fn join_cardinality_equals_merged_cluster() {
+        let (_, p, e) = estimates("//dept/emp/name");
+        let left = NodeSet::singleton(PnId(0));
+        let right = NodeSet::singleton(PnId(1));
+        let j = e.join_cardinality(&p, left, right, 0);
+        let c = e.cluster_cardinality(&p, left.union(right));
+        assert_eq!(j, c);
+    }
+
+    #[test]
+    fn edge_selectivities_are_probabilities() {
+        let (_, _, e) = estimates("//dept/emp/name");
+        for i in 0..2 {
+            let s = e.edge_selectivity(i);
+            assert!((0.0..=1.0).contains(&s), "{s}");
+        }
+    }
+}

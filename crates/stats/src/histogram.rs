@@ -1,0 +1,355 @@
+//! 2-D positional histograms.
+//!
+//! Every element's region encoding places it at a point `(start, end)`
+//! with `start < end`. A [`PositionalHistogram`] overlays a `g × g`
+//! grid on that triangular plane and counts elements per cell. The key
+//! property (from the EDBT 2002 paper): element `b` is a descendant of
+//! element `a` iff `a.start < b.start && b.end < a.end`, i.e. `b`'s
+//! point lies in the lower-right quadrant anchored at `a`'s point —
+//! so the number of joining pairs is estimable from two histograms
+//! alone, assuming uniformity inside cells.
+
+use sjos_xml::Region;
+
+/// Grid histogram over the `(start, end)` plane of one element set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PositionalHistogram {
+    grid: usize,
+    /// Upper bound (exclusive) of the position space.
+    max_pos: u32,
+    /// Row-major `grid x grid` cell counts; cell `(i, j)` counts
+    /// elements with `start` in bucket `i` and `end` in bucket `j`.
+    cells: Vec<u64>,
+    /// Total elements.
+    count: u64,
+    /// Element counts per tree level (index = level).
+    levels: Vec<u64>,
+}
+
+impl PositionalHistogram {
+    /// Empty histogram with `grid x grid` cells over positions
+    /// `[0, max_pos)`.
+    pub fn new(grid: usize, max_pos: u32) -> Self {
+        assert!(grid > 0, "grid must be positive");
+        assert!(max_pos > 0, "position space must be non-empty");
+        PositionalHistogram {
+            grid,
+            max_pos,
+            cells: vec![0; grid * grid],
+            count: 0,
+            levels: Vec::new(),
+        }
+    }
+
+    /// Build from an iterator of regions.
+    pub fn build(grid: usize, max_pos: u32, regions: impl IntoIterator<Item = Region>) -> Self {
+        let mut h = Self::new(grid, max_pos);
+        for r in regions {
+            h.insert(r);
+        }
+        h
+    }
+
+    /// Record one element.
+    pub fn insert(&mut self, r: Region) {
+        let i = self.bucket(r.start);
+        let j = self.bucket(r.end);
+        self.cells[i * self.grid + j] += 1;
+        self.count += 1;
+        let lvl = r.level as usize;
+        if self.levels.len() <= lvl {
+            self.levels.resize(lvl + 1, 0);
+        }
+        self.levels[lvl] += 1;
+    }
+
+    #[inline]
+    fn bucket(&self, pos: u32) -> usize {
+        let b = (pos as u64 * self.grid as u64 / self.max_pos as u64) as usize;
+        b.min(self.grid - 1)
+    }
+
+    /// Total elements recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Grid resolution.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Per-level element counts (index = level).
+    pub fn level_counts(&self) -> &[u64] {
+        &self.levels
+    }
+
+    /// Estimate the number of (ancestor, descendant) pairs between
+    /// `self` (ancestors) and `desc` (descendants).
+    ///
+    /// Uniformity assumption: within a cell, `start` and `end` are
+    /// independent and uniform, so for elements in the *same* start
+    /// (resp. end) bucket the predicate `a.start < b.start` holds for
+    /// half the pairs.
+    ///
+    /// # Panics
+    /// Panics if the histograms have different grids or position
+    /// spaces.
+    pub fn estimate_ancestor_descendant_pairs(&self, desc: &PositionalHistogram) -> f64 {
+        assert_eq!(self.grid, desc.grid, "grid mismatch");
+        assert_eq!(self.max_pos, desc.max_pos, "position space mismatch");
+        let g = self.grid;
+        // For each ancestor cell (i, j) we need, over descendant cells
+        // (k, l): weight 1 for k > i, 1/2 for k == i, 0 for k < i —
+        // times the analogous weight on l vs j. Precompute suffix sums
+        // of the descendant grid so each ancestor cell is O(1).
+        //
+        // strict[k][l] = sum of desc cells with start-bucket >= k and
+        // end-bucket <= l.
+        let mut suffix = vec![0f64; (g + 1) * (g + 1)];
+        // suffix[(k, l)] with k in 0..=g, l in 0..=g (l is count of
+        // end-buckets <= l-1): build from raw cells.
+        // We'll use: S(k, l) = Σ_{k' >= k, l' < l} desc.cells[k'][l'].
+        for k in (0..g).rev() {
+            for l in 1..=g {
+                let cell = desc.cells[k * g + (l - 1)] as f64;
+                suffix[k * (g + 1) + l] =
+                    cell + suffix[(k + 1) * (g + 1) + l] + suffix[k * (g + 1) + (l - 1)]
+                        - suffix[(k + 1) * (g + 1) + (l - 1)];
+            }
+        }
+        let s = |k: usize, l: usize| -> f64 { suffix[k * (g + 1) + l] };
+        let mut total = 0f64;
+        for i in 0..g {
+            for j in 0..g {
+                let na = self.cells[i * g + j] as f64;
+                if na == 0.0 {
+                    continue;
+                }
+                // Descendants with start-bucket > i and end-bucket < j.
+                let strict = s(i + 1, j);
+                // Same start bucket (k == i), end-bucket < j: half.
+                let same_start = s(i, j) - s(i + 1, j);
+                // Same end bucket (l == j), start-bucket > i: half.
+                let same_end = s(i + 1, j + 1) - s(i + 1, j);
+                // Both equal: quarter.
+                let both =
+                    (s(i, j + 1) - s(i + 1, j + 1)) - (s(i, j) - s(i + 1, j));
+                total += na * (strict + 0.5 * same_start + 0.5 * same_end + 0.25 * both);
+            }
+        }
+        total
+    }
+
+    /// Estimate the number of (parent, child) pairs between `self`
+    /// (parents) and `child` (children).
+    ///
+    /// Positional histograms alone cannot see levels, so we scale the
+    /// ancestor-descendant estimate by the fraction of level-compatible
+    /// combinations: among (ancestor level `la`, descendant level `ld >
+    /// la`) combinations weighted by the level histograms, the weight
+    /// of `ld == la + 1`. (The EDBT paper's "coverage" refinement
+    /// plays the same role; this level-histogram variant is our
+    /// substitution, documented in DESIGN.md.)
+    pub fn estimate_parent_child_pairs(&self, child: &PositionalHistogram) -> f64 {
+        let ad = self.estimate_ancestor_descendant_pairs(child);
+        if ad == 0.0 {
+            return 0.0;
+        }
+        let mut compatible = 0f64;
+        let mut adjacent = 0f64;
+        for (la, &ca) in self.levels.iter().enumerate() {
+            if ca == 0 {
+                continue;
+            }
+            for (ld, &cd) in child.levels.iter().enumerate() {
+                if cd == 0 || ld <= la {
+                    continue;
+                }
+                let w = ca as f64 * cd as f64;
+                compatible += w;
+                if ld == la + 1 {
+                    adjacent += w;
+                }
+            }
+        }
+        if compatible == 0.0 {
+            return 0.0;
+        }
+        ad * (adjacent / compatible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjos_xml::Document;
+
+    /// Build per-tag histograms for a document.
+    fn histograms(doc: &Document, grid: usize) -> impl Fn(&str) -> PositionalHistogram + '_ {
+        let max_pos = doc.nodes().iter().map(|n| n.region.end).max().unwrap() + 1;
+        move |tag: &str| {
+            let t = doc.tag(tag).unwrap();
+            PositionalHistogram::build(
+                grid,
+                max_pos,
+                doc.elements_with_tag(t).iter().map(|&id| doc.region(id)),
+            )
+        }
+    }
+
+    /// Exact ancestor-descendant pair count by brute force.
+    fn exact_ad(doc: &Document, a: &str, d: &str) -> u64 {
+        let ta = doc.tag(a).unwrap();
+        let td = doc.tag(d).unwrap();
+        let mut n = 0;
+        for &x in doc.elements_with_tag(ta) {
+            for &y in doc.elements_with_tag(td) {
+                if doc.region(x).contains(doc.region(y)) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    fn exact_pc(doc: &Document, a: &str, d: &str) -> u64 {
+        let ta = doc.tag(a).unwrap();
+        let td = doc.tag(d).unwrap();
+        let mut n = 0;
+        for &x in doc.elements_with_tag(ta) {
+            for &y in doc.elements_with_tag(td) {
+                if doc.region(x).is_parent_of(doc.region(y)) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// A nested test document: depts containing emps containing names.
+    fn sample_doc() -> Document {
+        let mut b = sjos_xml::DocumentBuilder::new();
+        b.start_element("root");
+        for d in 0..8 {
+            b.start_element("dept");
+            for e in 0..(d % 4 + 1) {
+                b.start_element("emp");
+                for _ in 0..(e % 3 + 1) {
+                    b.leaf("name", "x");
+                }
+                b.end_element();
+            }
+            b.end_element();
+        }
+        b.end_element();
+        b.finish()
+    }
+
+    #[test]
+    fn counts_and_levels_recorded() {
+        let doc = sample_doc();
+        let h = histograms(&doc, 8)("emp");
+        let emp = doc.tag("emp").unwrap();
+        assert_eq!(h.count(), doc.elements_with_tag(emp).len() as u64);
+        assert_eq!(h.level_counts().iter().sum::<u64>(), h.count());
+        // All emps are at level 2.
+        assert_eq!(h.level_counts()[2], h.count());
+    }
+
+    #[test]
+    fn fine_grid_estimate_is_near_exact() {
+        let doc = sample_doc();
+        let mk = histograms(&doc, 64);
+        let est = mk("dept").estimate_ancestor_descendant_pairs(&mk("name"));
+        let exact = exact_ad(&doc, "dept", "name") as f64;
+        assert!(
+            (est - exact).abs() <= exact * 0.25 + 2.0,
+            "est {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn coarse_grid_is_still_sane() {
+        let doc = sample_doc();
+        let mk = histograms(&doc, 4);
+        let est = mk("dept").estimate_ancestor_descendant_pairs(&mk("emp"));
+        let exact = exact_ad(&doc, "dept", "emp") as f64;
+        assert!(est > 0.0);
+        assert!(est < exact * 4.0 + 8.0, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn disjoint_tags_estimate_near_zero() {
+        // Two sibling subtrees with distinct tags: no containment.
+        let mut b = sjos_xml::DocumentBuilder::new();
+        b.start_element("root");
+        b.start_element("left");
+        for _ in 0..10 {
+            b.leaf("a", "");
+        }
+        b.end_element();
+        b.start_element("right");
+        for _ in 0..10 {
+            b.leaf("b", "");
+        }
+        b.end_element();
+        b.end_element();
+        let doc = b.finish();
+        let mk = histograms(&doc, 32);
+        let est = mk("a").estimate_ancestor_descendant_pairs(&mk("b"));
+        assert!(est < 1.0, "est {est}");
+    }
+
+    #[test]
+    fn reversed_roles_estimate_near_zero() {
+        let doc = sample_doc();
+        let mk = histograms(&doc, 32);
+        // names contain no depts.
+        let est = mk("name").estimate_ancestor_descendant_pairs(&mk("dept"));
+        let exact = exact_ad(&doc, "name", "dept") as f64;
+        assert_eq!(exact, 0.0);
+        assert!(est < 2.0, "est {est}");
+    }
+
+    #[test]
+    fn parent_child_scales_down_from_ancestor_descendant() {
+        let doc = sample_doc();
+        let mk = histograms(&doc, 64);
+        let ad = mk("root").estimate_ancestor_descendant_pairs(&mk("name"));
+        let pc = mk("root").estimate_parent_child_pairs(&mk("name"));
+        // root is never a parent of name (names are at level 3).
+        assert_eq!(exact_pc(&doc, "root", "name"), 0);
+        assert_eq!(pc, 0.0);
+        assert!(ad > 0.0);
+    }
+
+    #[test]
+    fn parent_child_estimate_matches_when_all_adjacent() {
+        let doc = sample_doc();
+        let mk = histograms(&doc, 64);
+        // Every emp under a dept is a direct child in this document.
+        let pc = mk("dept").estimate_parent_child_pairs(&mk("emp"));
+        let exact = exact_pc(&doc, "dept", "emp") as f64;
+        assert!(
+            (pc - exact).abs() <= exact * 0.3 + 2.0,
+            "pc {pc} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "grid mismatch")]
+    fn mismatched_grids_panic() {
+        let a = PositionalHistogram::new(4, 100);
+        let b = PositionalHistogram::new(8, 100);
+        let _ = a.estimate_ancestor_descendant_pairs(&b);
+    }
+
+    #[test]
+    fn empty_histograms_estimate_zero() {
+        let a = PositionalHistogram::new(8, 100);
+        let b = PositionalHistogram::new(8, 100);
+        assert_eq!(a.estimate_ancestor_descendant_pairs(&b), 0.0);
+        assert_eq!(a.estimate_parent_child_pairs(&b), 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # sjos-stats
+//!
+//! Cardinality estimation for structural joins, built on the
+//! **positional histograms** of Wu, Patel & Jagadish (EDBT 2002) — the
+//! estimator the SJOS paper says it used ("All estimates for the join
+//! results were made using positional histograms").
+//!
+//! * [`PositionalHistogram`]: a 2-D grid over the `(start, end)`
+//!   region-encoding plane of one tag's elements, answering
+//!   "how many ancestor-descendant pairs do tags A and B form?" in
+//!   O(grid²) independent of data size.
+//! * [`Catalog`]: per-tag histograms + level histograms + distinct
+//!   value counts for a whole document.
+//! * [`PatternEstimates`]: per-pattern-node cardinalities and
+//!   per-edge selectivities, combined into intermediate-result size
+//!   estimates for any connected cluster of pattern nodes (what the
+//!   optimizer's statuses need).
+
+pub mod catalog;
+pub mod estimates;
+pub mod histogram;
+
+pub use catalog::{Catalog, TagStats};
+pub use estimates::PatternEstimates;
+pub use histogram::PositionalHistogram;

@@ -1,0 +1,192 @@
+//! Heap file: all element records in document order.
+//!
+//! The heap file is the substrate for full-document scans (the naive
+//! "walk the subtree" evaluation the paper's Example 2.2 warns about)
+//! and the source the tag index is bulk-built from.
+
+use std::sync::Arc;
+
+use crate::buffer::BufferPool;
+use crate::disk::DiskManager;
+use crate::page::{Page, PageId};
+use crate::record::{
+    page_record_count, set_page_record_count, ElementRecord, RECORDS_PER_PAGE,
+};
+
+/// A sequence of element records packed onto pages in append order.
+#[derive(Debug, Clone)]
+pub struct HeapFile {
+    pages: Vec<PageId>,
+    len: u64,
+}
+
+impl HeapFile {
+    /// Bulk-build a heap file by appending `records` to fresh pages on
+    /// `disk`. This is the load path; it writes straight to disk,
+    /// bypassing the buffer pool (as bulk loaders do).
+    pub fn bulk_build(disk: &dyn DiskManager, records: &[ElementRecord]) -> HeapFile {
+        let mut pages = Vec::new();
+        for chunk in records.chunks(RECORDS_PER_PAGE) {
+            let id = disk.allocate_page();
+            let mut page = Page::zeroed();
+            for (slot, rec) in chunk.iter().enumerate() {
+                rec.encode(&mut page, slot);
+            }
+            set_page_record_count(&mut page, chunk.len());
+            disk.write_page(id, &page);
+            pages.push(id);
+        }
+        HeapFile { pages, len: records.len() as u64 }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the file holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The page ids backing this file, in order.
+    pub fn page_ids(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Scan every record through the buffer pool, in append order.
+    pub fn scan<'a>(&'a self, pool: &'a BufferPool) -> HeapScan<'a> {
+        HeapScan {
+            file: self,
+            pool,
+            page_idx: 0,
+            slot: 0,
+            current: None,
+        }
+    }
+}
+
+/// Iterator over a [`HeapFile`] through a buffer pool.
+pub struct HeapScan<'a> {
+    file: &'a HeapFile,
+    pool: &'a BufferPool,
+    page_idx: usize,
+    slot: usize,
+    /// Decoded records of the current page (small buffer so we don't
+    /// hold page pins across iterator steps).
+    current: Option<Arc<Vec<ElementRecord>>>,
+}
+
+impl HeapScan<'_> {
+    fn load_page(&mut self) -> bool {
+        while self.page_idx < self.file.pages.len() {
+            let pid = self.file.pages[self.page_idx];
+            let page = self.pool.fetch(pid);
+            let n = page_record_count(&page);
+            if n == 0 {
+                self.page_idx += 1;
+                continue;
+            }
+            let mut recs = Vec::with_capacity(n);
+            for slot in 0..n {
+                recs.push(ElementRecord::decode(&page, slot));
+            }
+            self.pool.stats().bump_records(n as u64);
+            self.current = Some(Arc::new(recs));
+            self.slot = 0;
+            return true;
+        }
+        false
+    }
+}
+
+impl Iterator for HeapScan<'_> {
+    type Item = ElementRecord;
+
+    fn next(&mut self) -> Option<ElementRecord> {
+        loop {
+            if let Some(recs) = &self.current {
+                if self.slot < recs.len() {
+                    let rec = recs[self.slot];
+                    self.slot += 1;
+                    return Some(rec);
+                }
+                self.current = None;
+                self.page_idx += 1;
+            }
+            if !self.load_page() {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+    use crate::iostats::IoStats;
+    use sjos_xml::{NodeId, Region, Tag};
+
+    fn records(n: u32) -> Vec<ElementRecord> {
+        (0..n)
+            .map(|i| ElementRecord {
+                node: NodeId(i),
+                region: Region { start: 2 * i, end: 2 * i + 1, level: 1 },
+                tag: Tag(0),
+                value_hash: u64::from(i),
+            })
+            .collect()
+    }
+
+    fn setup(n: u32) -> (HeapFile, BufferPool) {
+        let stats = Arc::new(IoStats::new());
+        let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
+        let heap = HeapFile::bulk_build(disk.as_ref(), &records(n));
+        let pool = BufferPool::new(disk, stats, 64);
+        (heap, pool)
+    }
+
+    #[test]
+    fn scan_returns_all_records_in_order() {
+        let n = RECORDS_PER_PAGE as u32 * 2 + 17;
+        let (heap, pool) = setup(n);
+        let got: Vec<ElementRecord> = heap.scan(&pool).collect();
+        assert_eq!(got.len(), n as usize);
+        assert_eq!(got, records(n));
+    }
+
+    #[test]
+    fn page_count_matches_capacity_math() {
+        let n = RECORDS_PER_PAGE as u32 * 3;
+        let (heap, _pool) = setup(n);
+        assert_eq!(heap.num_pages(), 3);
+        let (heap2, _pool2) = setup(n + 1);
+        assert_eq!(heap2.num_pages(), 4);
+    }
+
+    #[test]
+    fn empty_heap_scans_empty() {
+        let (heap, pool) = setup(0);
+        assert!(heap.is_empty());
+        assert_eq!(heap.scan(&pool).count(), 0);
+    }
+
+    #[test]
+    fn scan_does_physical_io_once_then_hits() {
+        let (heap, pool) = setup(RECORDS_PER_PAGE as u32);
+        let before = pool.stats().snapshot();
+        let _ = heap.scan(&pool).count();
+        let mid = pool.stats().snapshot();
+        assert_eq!(mid.since(&before).disk_reads, 1);
+        let _ = heap.scan(&pool).count();
+        let after = pool.stats().snapshot();
+        assert_eq!(after.since(&mid).disk_reads, 0, "second scan fully cached");
+        assert_eq!(after.since(&mid).buffer_hits, 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Clustered per-tag element index.
+//!
+//! The paper assumes "candidate matches for individual query nodes
+//! can be found efficiently, for instance, through an index scan"
+//! (§2.2.1): for every tag, the index stores that tag's elements —
+//! full records — packed onto contiguous pages in document order.
+//! Scanning a tag therefore yields a binding list already sorted by
+//! region `start`, exactly what the stack-tree joins require, at a
+//! cost linear in the list size (`f_I * n` in the cost model).
+
+use std::collections::HashMap;
+
+use sjos_xml::Tag;
+
+use crate::buffer::BufferPool;
+use crate::disk::DiskManager;
+use crate::heap::HeapFile;
+use crate::page::{Page, PageId};
+use crate::record::{
+    page_record_count, set_page_record_count, ElementRecord, RECORDS_PER_PAGE,
+};
+
+/// Per-tag posting directory.
+#[derive(Debug, Clone, Default)]
+pub struct TagIndex {
+    postings: HashMap<Tag, Posting>,
+}
+
+/// The pages and cardinality of one tag's list.
+#[derive(Debug, Clone)]
+pub struct Posting {
+    pages: Vec<PageId>,
+    count: u64,
+}
+
+impl TagIndex {
+    /// Bulk-build from element records already in document order.
+    /// Records are partitioned by tag, preserving document order
+    /// within each tag, and written to fresh pages on `disk`.
+    pub fn bulk_build(disk: &dyn DiskManager, records: &[ElementRecord]) -> TagIndex {
+        let mut by_tag: HashMap<Tag, Vec<ElementRecord>> = HashMap::new();
+        for rec in records {
+            by_tag.entry(rec.tag).or_default().push(*rec);
+        }
+        let mut postings = HashMap::with_capacity(by_tag.len());
+        // Deterministic page layout: write tags in ascending order.
+        let mut tags: Vec<Tag> = by_tag.keys().copied().collect();
+        tags.sort_unstable();
+        for tag in tags {
+            let recs = &by_tag[&tag];
+            debug_assert!(
+                recs.windows(2).all(|w| w[0].region.start < w[1].region.start),
+                "tag list must be in document order"
+            );
+            let mut pages = Vec::new();
+            for chunk in recs.chunks(RECORDS_PER_PAGE) {
+                let id = disk.allocate_page();
+                let mut page = Page::zeroed();
+                for (slot, rec) in chunk.iter().enumerate() {
+                    rec.encode(&mut page, slot);
+                }
+                set_page_record_count(&mut page, chunk.len());
+                disk.write_page(id, &page);
+                pages.push(id);
+            }
+            postings.insert(tag, Posting { pages, count: recs.len() as u64 });
+        }
+        TagIndex { postings }
+    }
+
+    /// Build from a heap file (reads it through `pool`).
+    pub fn build_from_heap(
+        disk: &dyn DiskManager,
+        pool: &BufferPool,
+        heap: &HeapFile,
+    ) -> TagIndex {
+        let records: Vec<ElementRecord> = heap.scan(pool).collect();
+        Self::bulk_build(disk, &records)
+    }
+
+    /// Cardinality of `tag`'s list (0 if absent).
+    pub fn cardinality(&self, tag: Tag) -> u64 {
+        self.postings.get(&tag).map_or(0, |p| p.count)
+    }
+
+    /// Tags present in the index.
+    pub fn tags(&self) -> impl Iterator<Item = Tag> + '_ {
+        self.postings.keys().copied()
+    }
+
+    /// Pages backing `tag`'s list.
+    pub fn pages(&self, tag: Tag) -> &[PageId] {
+        self.postings.get(&tag).map(|p| p.pages.as_slice()).unwrap_or(&[])
+    }
+
+    /// Scan `tag`'s elements in document order through `pool`.
+    pub fn scan<'a>(&'a self, pool: &'a BufferPool, tag: Tag) -> IndexScanIter<'a> {
+        IndexScanIter {
+            pages: self.pages(tag),
+            pool,
+            page_idx: 0,
+            buffered: Vec::new(),
+            buf_pos: 0,
+        }
+    }
+}
+
+/// Iterator over one tag's posting list.
+pub struct IndexScanIter<'a> {
+    pages: &'a [PageId],
+    pool: &'a BufferPool,
+    page_idx: usize,
+    buffered: Vec<ElementRecord>,
+    buf_pos: usize,
+}
+
+impl Iterator for IndexScanIter<'_> {
+    type Item = ElementRecord;
+
+    fn next(&mut self) -> Option<ElementRecord> {
+        loop {
+            if self.buf_pos < self.buffered.len() {
+                let rec = self.buffered[self.buf_pos];
+                self.buf_pos += 1;
+                return Some(rec);
+            }
+            if self.page_idx >= self.pages.len() {
+                return None;
+            }
+            let pid = self.pages[self.page_idx];
+            self.page_idx += 1;
+            let page = self.pool.fetch(pid);
+            let n = page_record_count(&page);
+            self.buffered.clear();
+            self.buffered.reserve(n);
+            for slot in 0..n {
+                self.buffered.push(ElementRecord::decode(&page, slot));
+            }
+            self.pool.stats().bump_records(n as u64);
+            self.buf_pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+    use crate::iostats::IoStats;
+    use sjos_xml::{NodeId, Region};
+    use std::sync::Arc;
+
+    fn mixed_records(n: u32, tags: u32) -> Vec<ElementRecord> {
+        (0..n)
+            .map(|i| ElementRecord {
+                node: NodeId(i),
+                region: Region { start: 2 * i, end: 2 * i + 1, level: 1 },
+                tag: Tag(i % tags),
+                value_hash: 0,
+            })
+            .collect()
+    }
+
+    fn setup(n: u32, tags: u32) -> (TagIndex, BufferPool) {
+        let stats = Arc::new(IoStats::new());
+        let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
+        let index = TagIndex::bulk_build(disk.as_ref(), &mixed_records(n, tags));
+        let pool = BufferPool::new(disk, stats, 128);
+        (index, pool)
+    }
+
+    #[test]
+    fn scan_is_docorder_and_tag_pure() {
+        let (index, pool) = setup(1000, 3);
+        for t in 0..3u32 {
+            let recs: Vec<_> = index.scan(&pool, Tag(t)).collect();
+            assert!(!recs.is_empty());
+            assert!(recs.iter().all(|r| r.tag == Tag(t)));
+            assert!(recs.windows(2).all(|w| w[0].region.start < w[1].region.start));
+        }
+    }
+
+    #[test]
+    fn cardinalities_partition_the_input() {
+        let (index, _pool) = setup(1000, 3);
+        let total: u64 = (0..3).map(|t| index.cardinality(Tag(t))).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(index.cardinality(Tag(99)), 0);
+    }
+
+    #[test]
+    fn missing_tag_scans_empty() {
+        let (index, pool) = setup(10, 2);
+        assert_eq!(index.scan(&pool, Tag(42)).count(), 0);
+    }
+
+    #[test]
+    fn multi_page_lists_scan_completely() {
+        let n = (RECORDS_PER_PAGE as u32) * 2 + 5;
+        let (index, pool) = setup(n, 1);
+        assert_eq!(index.scan(&pool, Tag(0)).count() as u64, index.cardinality(Tag(0)));
+        assert!(index.pages(Tag(0)).len() >= 3);
+    }
+
+    #[test]
+    fn build_from_heap_matches_bulk_build() {
+        let stats = Arc::new(IoStats::new());
+        let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
+        let records = mixed_records(500, 4);
+        let heap = HeapFile::bulk_build(disk.as_ref(), &records);
+        let pool = BufferPool::new(disk.clone(), stats, 64);
+        let index = TagIndex::build_from_heap(disk.as_ref(), &pool, &heap);
+        for t in 0..4u32 {
+            assert_eq!(index.cardinality(Tag(t)), 125);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Shared I/O and buffer-pool counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing storage traffic. Cheap to share
+/// (`Arc<IoStats>`) and to snapshot; the executor reports deltas of
+/// these around each query.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Pages served from the buffer pool without disk traffic.
+    pub buffer_hits: AtomicU64,
+    /// Pages that had to be read from disk.
+    pub disk_reads: AtomicU64,
+    /// Pages written back to disk (dirty evictions + flushes).
+    pub disk_writes: AtomicU64,
+    /// Frames evicted to make room.
+    pub evictions: AtomicU64,
+    /// Records decoded from pages (logical record reads).
+    pub record_reads: AtomicU64,
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    pub buffer_hits: u64,
+    pub disk_reads: u64,
+    pub disk_writes: u64,
+    pub evictions: u64,
+    pub record_reads: u64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            record_reads: self.record_reads.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump_hit(&self) {
+        self.buffer_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn bump_read(&self) {
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn bump_write(&self) {
+        self.disk_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn bump_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` logical record reads.
+    #[inline]
+    pub fn bump_records(&self, n: u64) {
+        self.record_reads.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl IoSnapshot {
+    /// Counter deltas `self - earlier` (saturating).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            buffer_hits: self.buffer_hits.saturating_sub(earlier.buffer_hits),
+            disk_reads: self.disk_reads.saturating_sub(earlier.disk_reads),
+            disk_writes: self.disk_writes.saturating_sub(earlier.disk_writes),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            record_reads: self.record_reads.saturating_sub(earlier.record_reads),
+        }
+    }
+
+    /// Total physical page transfers (reads + writes).
+    pub fn physical_io(&self) -> u64 {
+        self.disk_reads + self.disk_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_captures_counters() {
+        let s = IoStats::new();
+        s.bump_hit();
+        s.bump_hit();
+        s.bump_read();
+        s.bump_records(10);
+        let snap = s.snapshot();
+        assert_eq!(snap.buffer_hits, 2);
+        assert_eq!(snap.disk_reads, 1);
+        assert_eq!(snap.record_reads, 10);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let s = IoStats::new();
+        s.bump_read();
+        let a = s.snapshot();
+        s.bump_read();
+        s.bump_write();
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.disk_reads, 1);
+        assert_eq!(d.disk_writes, 1);
+        assert_eq!(d.physical_io(), 2);
+    }
+}

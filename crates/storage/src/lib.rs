@@ -1,0 +1,37 @@
+//! # sjos-storage
+//!
+//! A miniature storage manager standing in for SHORE (the storage
+//! layer Timber — and therefore the paper's experiments — ran on):
+//!
+//! * fixed-size [`page::Page`]s on an in-memory [`disk::InMemoryDisk`]
+//!   that counts physical reads/writes,
+//! * an LRU [`buffer::BufferPool`] with pin/unpin and dirty-page
+//!   write-back (default capacity 16 MB, matching the paper's setup),
+//! * a [`heap::HeapFile`] of fixed-width element records in document
+//!   order, and
+//! * a clustered per-tag [`index::TagIndex`] whose scans deliver
+//!   binding lists sorted by document order — the inputs every
+//!   structural join expects.
+//!
+//! The point of the crate is not durability (everything is in memory)
+//! but *cost realism*: every element an operator touches flows through
+//! the buffer pool, so logical/physical I/O counts and buffer-pool
+//! pressure behave the way the paper's cost model assumes.
+
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod index;
+pub mod iostats;
+pub mod page;
+pub mod record;
+pub mod store;
+
+pub use buffer::{BufferPool, PageRef};
+pub use disk::{DiskManager, FileDisk, InMemoryDisk};
+pub use heap::HeapFile;
+pub use index::TagIndex;
+pub use iostats::IoStats;
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use record::ElementRecord;
+pub use store::{StoreConfig, XmlStore};

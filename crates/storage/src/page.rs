@@ -1,0 +1,114 @@
+//! Fixed-size pages.
+
+/// Page size in bytes. 8 KiB, SHORE's default.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifier of a page on disk (dense, starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Dense index of the page.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A page image. Pages are heap-allocated (`Box<Page>` in the disk,
+/// `Arc<Page>` in buffer frames) so moving handles never copies 8 KiB.
+#[derive(Clone)]
+pub struct Page {
+    /// Raw bytes.
+    pub data: [u8; PAGE_SIZE],
+}
+
+impl Page {
+    /// A zeroed page.
+    pub fn zeroed() -> Box<Page> {
+        // Avoid a large stack temporary: allocate zeroed directly.
+        let v = vec![0u8; PAGE_SIZE];
+        let boxed_slice: Box<[u8]> = v.into_boxed_slice();
+        let raw = Box::into_raw(boxed_slice) as *mut [u8; PAGE_SIZE];
+        // SAFETY: the boxed slice has exactly PAGE_SIZE bytes and the
+        // same layout as [u8; PAGE_SIZE].
+        unsafe { Box::from_raw(raw as *mut Page) }
+    }
+
+    /// Read a little-endian u32 at byte offset `off`.
+    #[inline]
+    pub fn read_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
+    }
+
+    /// Write a little-endian u32 at byte offset `off`.
+    #[inline]
+    pub fn write_u32(&mut self, off: usize, v: u32) {
+        self.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read a little-endian u16 at byte offset `off`.
+    #[inline]
+    pub fn read_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.data[off..off + 2].try_into().unwrap())
+    }
+
+    /// Write a little-endian u16 at byte offset `off`.
+    #[inline]
+    pub fn write_u16(&mut self, off: usize, v: u16) {
+        self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read a little-endian u64 at byte offset `off`.
+    #[inline]
+    pub fn read_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
+    }
+
+    /// Write a little-endian u64 at byte offset `off`.
+    #[inline]
+    pub fn write_u64(&mut self, off: usize, v: u64) {
+        self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page({} bytes)", PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_pages_are_all_zero() {
+        let p = Page::zeroed();
+        assert!(p.data.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut p = Page::zeroed();
+        p.write_u32(0, 0xDEADBEEF);
+        p.write_u16(4, 0xABCD);
+        p.write_u64(8, u64::MAX - 7);
+        assert_eq!(p.read_u32(0), 0xDEADBEEF);
+        assert_eq!(p.read_u16(4), 0xABCD);
+        assert_eq!(p.read_u64(8), u64::MAX - 7);
+    }
+
+    #[test]
+    fn writes_do_not_bleed() {
+        let mut p = Page::zeroed();
+        p.write_u32(100, u32::MAX);
+        assert_eq!(p.data[99], 0);
+        assert_eq!(p.data[104], 0);
+    }
+
+    #[test]
+    fn page_id_index() {
+        assert_eq!(PageId(7).index(), 7);
+    }
+}

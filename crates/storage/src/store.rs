@@ -1,0 +1,185 @@
+//! [`XmlStore`]: a loaded document behind the storage stack.
+
+use std::sync::Arc;
+
+use sjos_xml::{Document, Tag};
+
+use crate::buffer::BufferPool;
+use crate::disk::{DiskManager, InMemoryDisk};
+use crate::heap::HeapFile;
+use crate::index::{IndexScanIter, TagIndex};
+use crate::iostats::IoStats;
+use crate::page::PAGE_SIZE;
+use crate::record::{value_digest, ElementRecord};
+
+/// Knobs for building a store.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Buffer pool size in bytes (default 16 MiB as in the paper).
+    pub buffer_pool_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { buffer_pool_bytes: crate::buffer::DEFAULT_CAPACITY_BYTES }
+    }
+}
+
+/// A document loaded into the storage engine: heap file + tag index +
+/// buffer pool + shared I/O counters. The source [`Document`] is kept
+/// for result materialization and value-predicate verification, but
+/// query operators read element records only through the pool.
+pub struct XmlStore {
+    document: Arc<Document>,
+    disk: Arc<InMemoryDisk>,
+    pool: BufferPool,
+    heap: HeapFile,
+    index: TagIndex,
+    stats: Arc<IoStats>,
+}
+
+impl XmlStore {
+    /// Load `document` with default configuration.
+    pub fn load(document: Document) -> XmlStore {
+        Self::load_with(document, StoreConfig::default())
+    }
+
+    /// Load `document` with explicit configuration.
+    pub fn load_with(document: Document, config: StoreConfig) -> XmlStore {
+        let stats = Arc::new(IoStats::new());
+        let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
+        let records: Vec<ElementRecord> = document
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ElementRecord {
+                node: sjos_xml::NodeId(i as u32),
+                region: n.region,
+                tag: n.tag,
+                value_hash: value_digest(&n.text),
+            })
+            .collect();
+        let heap = HeapFile::bulk_build(disk.as_ref(), &records);
+        let index = TagIndex::bulk_build(disk.as_ref(), &records);
+        let frames = (config.buffer_pool_bytes / PAGE_SIZE).max(1);
+        let pool = BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            Arc::clone(&stats),
+            frames,
+        );
+        XmlStore {
+            document: Arc::new(document),
+            disk,
+            pool,
+            heap,
+            index,
+            stats,
+        }
+    }
+
+    /// The stored document.
+    pub fn document(&self) -> &Arc<Document> {
+        &self.document
+    }
+
+    /// Shared I/O counters.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// The buffer pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// The heap file of all elements in document order.
+    pub fn heap(&self) -> &HeapFile {
+        &self.heap
+    }
+
+    /// The tag index.
+    pub fn index(&self) -> &TagIndex {
+        &self.index
+    }
+
+    /// Cardinality of a tag (number of elements).
+    pub fn tag_cardinality(&self, tag: Tag) -> u64 {
+        self.index.cardinality(tag)
+    }
+
+    /// Scan a tag's binding list in document order.
+    pub fn scan_tag(&self, tag: Tag) -> IndexScanIter<'_> {
+        self.index.scan(&self.pool, tag)
+    }
+
+    /// Scan *every* element in document order (the heap file) — the
+    /// access path behind wildcard (`*`) pattern nodes.
+    pub fn scan_all(&self) -> crate::heap::HeapScan<'_> {
+        self.heap.scan(&self.pool)
+    }
+
+    /// Total pages allocated (heap + index).
+    pub fn total_pages(&self) -> usize {
+        self.disk.num_pages()
+    }
+}
+
+impl std::fmt::Debug for XmlStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "XmlStore({} elements, {} pages)",
+            self.document.len(),
+            self.total_pages()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "<dept><emp><name>a</name></emp><emp><name>b</name>\
+                          <name>c</name></emp></dept>";
+
+    #[test]
+    fn load_exposes_tag_lists() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let store = XmlStore::load(doc);
+        let name = store.document().tag("name").unwrap();
+        assert_eq!(store.tag_cardinality(name), 3);
+        let recs: Vec<_> = store.scan_tag(name).collect();
+        assert_eq!(recs.len(), 3);
+        assert!(recs.windows(2).all(|w| w[0].region.start < w[1].region.start));
+    }
+
+    #[test]
+    fn value_digests_survive_storage() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let store = XmlStore::load(doc);
+        let name = store.document().tag("name").unwrap();
+        let recs: Vec<_> = store.scan_tag(name).collect();
+        assert_eq!(recs[0].value_hash, value_digest("a"));
+        assert_ne!(recs[0].value_hash, recs[1].value_hash);
+    }
+
+    #[test]
+    fn node_ids_round_trip_to_document() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let store = XmlStore::load(doc);
+        let emp = store.document().tag("emp").unwrap();
+        for rec in store.scan_tag(emp) {
+            let node = store.document().node(rec.node);
+            assert_eq!(node.tag, emp);
+            assert_eq!(node.region, rec.region);
+        }
+    }
+
+    #[test]
+    fn tiny_pool_still_scans_correctly() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let store = XmlStore::load_with(doc, StoreConfig { buffer_pool_bytes: PAGE_SIZE });
+        let name = store.document().tag("name").unwrap();
+        assert_eq!(store.scan_tag(name).count(), 3);
+    }
+}

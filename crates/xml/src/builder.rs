@@ -1,0 +1,233 @@
+//! Programmatic document construction.
+//!
+//! [`DocumentBuilder`] assigns region numbers while the tree is being
+//! built, so both the parser and the synthetic data generators produce
+//! identically-encoded documents without a second numbering pass.
+
+use std::collections::HashMap;
+
+use crate::document::{Document, Node, NodeId};
+use crate::region::Region;
+use crate::tag::{Tag, TagInterner};
+
+/// Streaming builder: `start_element` / `text` / `end_element` calls
+/// mirror the parser's event stream.
+///
+/// ```
+/// use sjos_xml::DocumentBuilder;
+/// let mut b = DocumentBuilder::new();
+/// b.start_element("a");
+/// b.start_element("b");
+/// b.text("hello");
+/// b.end_element();
+/// b.end_element();
+/// let doc = b.finish();
+/// assert_eq!(doc.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct DocumentBuilder {
+    nodes: Vec<Node>,
+    tags: TagInterner,
+    by_tag: HashMap<Tag, Vec<NodeId>>,
+    /// Stack of open elements; `(node, last_child)`.
+    open: Vec<(NodeId, Option<NodeId>)>,
+    counter: u32,
+}
+
+impl DocumentBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open an element with no attributes.
+    pub fn start_element(&mut self, name: &str) -> NodeId {
+        self.start_element_with_attrs(name, Vec::new())
+    }
+
+    /// Open an element carrying `attrs` (name/value pairs).
+    pub fn start_element_with_attrs(
+        &mut self,
+        name: &str,
+        attrs: Vec<(String, String)>,
+    ) -> NodeId {
+        let tag = self.tags.intern(name);
+        let id = NodeId(self.nodes.len() as u32);
+        let level = self.open.len() as u16;
+        let parent = self.open.last().map(|(p, _)| *p);
+        let start = self.counter;
+        self.counter += 1;
+        let attributes = attrs
+            .into_iter()
+            .map(|(n, v)| (self.tags.intern(&n), v))
+            .collect();
+        self.nodes.push(Node {
+            tag,
+            // `end` is patched in end_element; keep the invariant
+            // start < end provisionally.
+            region: Region { start, end: start + 1, level },
+            parent,
+            first_child: None,
+            next_sibling: None,
+            attributes,
+            text: String::new(),
+        });
+        // Link into the parent's child chain.
+        if let Some((parent_id, last_child)) = self.open.last_mut() {
+            match last_child {
+                Some(prev) => self.nodes[prev.index()].next_sibling = Some(id),
+                None => self.nodes[parent_id.index()].first_child = Some(id),
+            }
+            *last_child = Some(id);
+        }
+        self.by_tag.entry(tag).or_default().push(id);
+        self.open.push((id, None));
+        id
+    }
+
+    /// Append character data to the innermost open element. Ignored
+    /// (after trimming) outside any element.
+    pub fn text(&mut self, text: &str) {
+        if let Some((id, _)) = self.open.last() {
+            self.nodes[id.index()].text.push_str(text);
+        }
+    }
+
+    /// Close the innermost open element.
+    ///
+    /// Whitespace-only immediate text of an element that has element
+    /// children is dropped: it is indentation from pretty-printed
+    /// sources, and keeping it would make every such element carry a
+    /// phantom "value" (skewing value digests and distinct-value
+    /// statistics).
+    ///
+    /// # Panics
+    /// Panics if no element is open (builder misuse, not input error —
+    /// input balance is the parser's job).
+    pub fn end_element(&mut self) {
+        let (id, last_child) = self.open.pop().expect("end_element with no open element");
+        let end = self.counter;
+        self.counter += 1;
+        let node = &mut self.nodes[id.index()];
+        node.region.end = end;
+        if last_child.is_some() && node.text.chars().all(char::is_whitespace) {
+            node.text.clear();
+        }
+    }
+
+    /// Convenience: a leaf element with text content.
+    pub fn leaf(&mut self, name: &str, text: &str) -> NodeId {
+        let id = self.start_element(name);
+        self.text(text);
+        self.end_element();
+        id
+    }
+
+    /// Depth of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Number of elements created so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    /// Panics if elements are still open.
+    pub fn finish(self) -> Document {
+        assert!(
+            self.open.is_empty(),
+            "finish() with {} unclosed element(s)",
+            self.open.len()
+        );
+        Document::from_parts(self.nodes, self.tags, self.by_tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_parser_agree_on_regions() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a");
+        b.start_element("b");
+        b.leaf("c", "x");
+        b.end_element();
+        b.leaf("d", "y");
+        b.end_element();
+        let built = b.finish();
+        let parsed = crate::Document::parse("<a><b><c>x</c></b><d>y</d></a>").unwrap();
+        assert_eq!(built.len(), parsed.len());
+        for (bn, pn) in built.nodes().iter().zip(parsed.nodes()) {
+            assert_eq!(bn.region, pn.region);
+            assert_eq!(built.tag_name(bn.tag), parsed.tag_name(pn.tag));
+        }
+    }
+
+    #[test]
+    fn child_links_follow_document_order() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("r");
+        let c1 = b.leaf("x", "");
+        let c2 = b.leaf("y", "");
+        let c3 = b.leaf("x", "");
+        b.end_element();
+        let doc = b.finish();
+        let kids: Vec<_> = doc.children(doc.root().unwrap()).collect();
+        assert_eq!(kids, vec![c1, c2, c3]);
+    }
+
+    #[test]
+    fn leaf_regions_are_tight() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("r");
+        let leaf = b.leaf("l", "t");
+        b.end_element();
+        let doc = b.finish();
+        let r = doc.region(leaf);
+        assert_eq!(r.width(), 1, "leaf spans exactly one tick");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_panics_on_open_elements() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("a");
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "no open element")]
+    fn end_without_start_panics() {
+        let mut b = DocumentBuilder::new();
+        b.end_element();
+    }
+
+    #[test]
+    fn indentation_whitespace_is_dropped_for_parents_kept_for_leaves() {
+        let doc = crate::Document::parse("<a>\n  <b>  </b>\n  <c>x y</c>\n</a>").unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.node(root).text, "", "parent indentation dropped");
+        let kids: Vec<_> = doc.children(root).collect();
+        assert_eq!(doc.node(kids[0]).text, "  ", "leaf whitespace is real content");
+        assert_eq!(doc.node(kids[1]).text, "x y");
+    }
+
+    #[test]
+    fn counter_is_shared_between_start_and_end() {
+        // <a><b/><c/></a> => a=(0,5) b=(1,2) c=(3,4)
+        let mut b = DocumentBuilder::new();
+        b.start_element("a");
+        b.leaf("b", "");
+        b.leaf("c", "");
+        b.end_element();
+        let doc = b.finish();
+        let regions: Vec<(u32, u32)> = doc.nodes().iter().map(|n| (n.region.start, n.region.end)).collect();
+        assert_eq!(regions, vec![(0, 5), (1, 2), (3, 4)]);
+    }
+}

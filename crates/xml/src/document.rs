@@ -1,0 +1,337 @@
+//! Arena document model with region-encoded elements.
+//!
+//! A [`Document`] holds every element of a parsed XML document in a
+//! flat arena in document order (so a node's arena index doubles as
+//! its document-order rank) together with interned tags, attribute
+//! lists, immediate text content, and the `(start, end, level)`
+//! [`Region`] encoding assigned during parsing.
+
+use std::collections::HashMap;
+
+use crate::error::ParseError;
+use crate::parser::{Attribute, EventReader, XmlEvent};
+use crate::region::Region;
+use crate::tag::{Tag, TagInterner};
+
+/// Arena handle for an element node. Indexes are assigned in document
+/// order: `NodeId(0)` is the root element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Arena index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One element node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Interned element name.
+    pub tag: Tag,
+    /// Region (interval + level) encoding.
+    pub region: Region,
+    /// Parent element; `None` for the root.
+    pub parent: Option<NodeId>,
+    /// First child element in document order.
+    pub first_child: Option<NodeId>,
+    /// Next sibling element in document order.
+    pub next_sibling: Option<NodeId>,
+    /// Attributes in source order (names interned alongside tags).
+    pub attributes: Vec<(Tag, String)>,
+    /// Concatenated *immediate* character data of this element (text
+    /// and CDATA children, not descendants').
+    pub text: String,
+}
+
+/// A parsed XML document.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    nodes: Vec<Node>,
+    tags: TagInterner,
+    /// Document-order element lists per tag, the raw material for the
+    /// storage layer's tag index.
+    by_tag: HashMap<Tag, Vec<NodeId>>,
+}
+
+impl Document {
+    /// Parse `input` into a document. Line endings are normalized
+    /// (`\r\n`/`\r` → `\n`) and a leading BOM is skipped, per the XML
+    /// 1.0 input-processing rules.
+    pub fn parse(input: &str) -> Result<Self, ParseError> {
+        let normalized = crate::parser::normalize_line_ends(input);
+        let mut builder = crate::builder::DocumentBuilder::new();
+        let mut reader = EventReader::new(&normalized);
+        while let Some(ev) = reader.next_event()? {
+            match ev {
+                XmlEvent::StartElement { name, attributes, .. } => {
+                    builder.start_element_with_attrs(name, attrs_to_pairs(attributes));
+                }
+                XmlEvent::EndElement { .. } => {
+                    builder.end_element();
+                }
+                XmlEvent::Text(t) => builder.text(&t),
+                XmlEvent::CData(t) => builder.text(t),
+                XmlEvent::Comment(_)
+                | XmlEvent::ProcessingInstruction { .. }
+                | XmlEvent::Declaration(_)
+                | XmlEvent::DocType(_) => {}
+            }
+        }
+        Ok(builder.finish())
+    }
+
+    /// Construct directly from parts (used by [`crate::builder`]).
+    pub(crate) fn from_parts(
+        nodes: Vec<Node>,
+        tags: TagInterner,
+        by_tag: HashMap<Tag, Vec<NodeId>>,
+    ) -> Self {
+        Document { nodes, tags, by_tag }
+    }
+
+    /// Number of element nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document holds no elements (only possible for the
+    /// `Default` value; parsing rejects empty documents).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root element.
+    pub fn root(&self) -> Option<NodeId> {
+        if self.nodes.is_empty() {
+            None
+        } else {
+            Some(NodeId(0))
+        }
+    }
+
+    /// Access a node.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// A node's region encoding.
+    #[inline]
+    pub fn region(&self, id: NodeId) -> Region {
+        self.nodes[id.index()].region
+    }
+
+    /// All nodes, in document order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The tag interner (shared name space of this document).
+    pub fn tags(&self) -> &TagInterner {
+        &self.tags
+    }
+
+    /// Resolve a tag name.
+    pub fn tag_name(&self, tag: Tag) -> &str {
+        self.tags.name(tag)
+    }
+
+    /// Look up the handle for `name` if any element used it.
+    pub fn tag(&self, name: &str) -> Option<Tag> {
+        self.tags.get(name)
+    }
+
+    /// Document-order list of the elements with tag `tag`.
+    pub fn elements_with_tag(&self, tag: Tag) -> &[NodeId] {
+        self.by_tag.get(&tag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate over `(tag, element list)` pairs.
+    pub fn tag_lists(&self) -> impl Iterator<Item = (Tag, &[NodeId])> {
+        self.by_tag.iter().map(|(t, v)| (*t, v.as_slice()))
+    }
+
+    /// Child elements of `id`, in document order.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children { doc: self, next: self.node(id).first_child }
+    }
+
+    /// Walk ancestors from parent up to the root.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors { doc: self, next: self.node(id).parent }
+    }
+
+    /// All elements in the subtree rooted at `id` (excluding `id`), in
+    /// document order. Relies on the arena being in document order.
+    pub fn descendants(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let region = self.region(id);
+        let first = id.index() + 1;
+        self.nodes[first..]
+            .iter()
+            .take_while(move |n| n.region.end < region.end)
+            .enumerate()
+            .map(move |(i, _)| NodeId((first + i) as u32))
+    }
+
+    /// True iff `anc` is a proper ancestor of `desc`.
+    pub fn is_ancestor(&self, anc: NodeId, desc: NodeId) -> bool {
+        self.region(anc).contains(self.region(desc))
+    }
+
+    /// Attribute value by name, if present.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        let tag = self.tags.get(name)?;
+        self.node(id)
+            .attributes
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn attrs_to_pairs(attrs: Vec<Attribute>) -> Vec<(String, String)> {
+    attrs.into_iter().map(|a| (a.name, a.value)).collect()
+}
+
+/// Iterator over child elements.
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).next_sibling;
+        Some(id)
+    }
+}
+
+/// Iterator over ancestors, nearest first.
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).parent;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "<dept name=\"R&amp;D\">\
+        <emp><name>Ada</name><name>Lovelace</name></emp>\
+        <emp><name>Grace</name></emp>\
+        <note>restructuring</note>\
+    </dept>";
+
+    #[test]
+    fn arena_is_in_document_order() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let starts: Vec<u32> = doc.nodes().iter().map(|n| n.region.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn regions_nest_properly() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let root = doc.root().unwrap();
+        for id in doc.descendants(root) {
+            assert!(doc.region(root).contains(doc.region(id)));
+        }
+    }
+
+    #[test]
+    fn levels_match_tree_depth() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.region(root).level, 0);
+        for child in doc.children(root) {
+            assert_eq!(doc.region(child).level, 1);
+            for gc in doc.children(child) {
+                assert_eq!(doc.region(gc).level, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn tag_lists_are_docorder_and_complete() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let name = doc.tag("name").unwrap();
+        let list = doc.elements_with_tag(name);
+        assert_eq!(list.len(), 3);
+        for w in list.windows(2) {
+            assert!(doc.region(w[0]).start < doc.region(w[1]).start);
+        }
+        let total: usize = doc.tag_lists().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, doc.len());
+    }
+
+    #[test]
+    fn text_is_immediate_only() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let note = doc.tag("note").unwrap();
+        let note_id = doc.elements_with_tag(note)[0];
+        assert_eq!(doc.node(note_id).text, "restructuring");
+        let root = doc.root().unwrap();
+        assert_eq!(doc.node(root).text, "", "root has no immediate text");
+    }
+
+    #[test]
+    fn attributes_are_reachable_by_name() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.attribute(root, "name"), Some("R&D"));
+        assert_eq!(doc.attribute(root, "missing"), None);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let name = doc.tag("name").unwrap();
+        let deepest = doc.elements_with_tag(name)[0];
+        let chain: Vec<_> = doc.ancestors(deepest).collect();
+        assert_eq!(chain.len(), 2); // emp, dept
+        assert_eq!(chain[1], doc.root().unwrap());
+    }
+
+    #[test]
+    fn descendants_match_region_containment() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let emp = doc.tag("emp").unwrap();
+        let first_emp = doc.elements_with_tag(emp)[0];
+        let descs: Vec<_> = doc.descendants(first_emp).collect();
+        assert_eq!(descs.len(), 2);
+        for d in descs {
+            assert!(doc.is_ancestor(first_emp, d));
+        }
+    }
+
+    #[test]
+    fn is_ancestor_agrees_with_parent_links() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        for (i, n) in doc.nodes().iter().enumerate() {
+            if let Some(p) = n.parent {
+                assert!(doc.is_ancestor(p, NodeId(i as u32)));
+                assert!(doc.region(p).is_parent_of(n.region));
+            }
+        }
+    }
+}

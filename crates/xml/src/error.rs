@@ -1,0 +1,125 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// Position of an error within the input text (1-based line/column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in bytes from last newline).
+    pub column: u32,
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// The category of well-formedness violation encountered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar(char),
+    /// `</b>` closed an element opened as `<a>`.
+    MismatchedCloseTag { expected: String, found: String },
+    /// A close tag with no matching open tag.
+    UnmatchedCloseTag(String),
+    /// Document ended while elements were still open.
+    UnclosedElement(String),
+    /// An element name, attribute name, or PI target was empty/invalid.
+    InvalidName(String),
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute(String),
+    /// Malformed entity or character reference.
+    InvalidEntity(String),
+    /// Content found outside the single root element.
+    ContentOutsideRoot,
+    /// More than one root element.
+    MultipleRoots,
+    /// The document has no root element at all.
+    EmptyDocument,
+    /// `--` inside a comment, `]]>` in text, and similar lexical rules.
+    IllegalSequence(&'static str),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::MismatchedCloseTag { expected, found } => {
+                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")
+            }
+            ParseErrorKind::UnmatchedCloseTag(name) => {
+                write!(f, "close tag </{name}> has no matching open tag")
+            }
+            ParseErrorKind::UnclosedElement(name) => {
+                write!(f, "element <{name}> is never closed")
+            }
+            ParseErrorKind::InvalidName(name) => write!(f, "invalid XML name {name:?}"),
+            ParseErrorKind::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute {name:?}")
+            }
+            ParseErrorKind::InvalidEntity(ent) => write!(f, "invalid entity reference {ent:?}"),
+            ParseErrorKind::ContentOutsideRoot => write!(f, "content outside the root element"),
+            ParseErrorKind::MultipleRoots => write!(f, "more than one root element"),
+            ParseErrorKind::EmptyDocument => write!(f, "document has no root element"),
+            ParseErrorKind::IllegalSequence(s) => write!(f, "illegal sequence {s:?}"),
+        }
+    }
+}
+
+/// A well-formedness error, with the position where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Where it went wrong.
+    pub position: Position,
+}
+
+impl ParseError {
+    pub(crate) fn new(kind: ParseErrorKind, position: Position) -> Self {
+        ParseError { kind, position }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}: {}", self.position, self.kind)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_kind() {
+        let err = ParseError::new(
+            ParseErrorKind::UnexpectedChar('<'),
+            Position { offset: 10, line: 2, column: 3 },
+        );
+        let s = err.to_string();
+        assert!(s.contains("2:3"), "{s}");
+        assert!(s.contains("unexpected character"), "{s}");
+    }
+
+    #[test]
+    fn mismatched_close_tag_names_both_tags() {
+        let kind = ParseErrorKind::MismatchedCloseTag {
+            expected: "a".into(),
+            found: "b".into(),
+        };
+        let s = kind.to_string();
+        assert!(s.contains("</a>") && s.contains("</b>"), "{s}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Low-level input scanning for the XML parser.
+//!
+//! [`Scanner`] is a byte cursor over the input with line/column
+//! tracking and the primitive operations the event parser is written
+//! in terms of: peeking, bumping, expecting literals, and reading XML
+//! names. It knows nothing about XML grammar beyond name characters.
+
+use crate::error::{ParseError, ParseErrorKind, Position};
+
+/// Byte cursor over UTF-8 input with position tracking.
+#[derive(Debug, Clone)]
+pub struct Scanner<'a> {
+    input: &'a str,
+    offset: usize,
+    line: u32,
+    /// Byte column within the current line, 1-based.
+    column: u32,
+}
+
+impl<'a> Scanner<'a> {
+    /// Start scanning at the beginning of `input`.
+    pub fn new(input: &'a str) -> Self {
+        Scanner { input, offset: 0, line: 1, column: 1 }
+    }
+
+    /// Current position, for error reporting.
+    pub fn position(&self) -> Position {
+        Position { offset: self.offset, line: self.line, column: self.column }
+    }
+
+    /// True when the whole input has been consumed.
+    pub fn at_eof(&self) -> bool {
+        self.offset >= self.input.len()
+    }
+
+    /// The not-yet-consumed remainder of the input.
+    pub fn rest(&self) -> &'a str {
+        &self.input[self.offset..]
+    }
+
+    /// Peek at the next character without consuming it.
+    pub fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    /// Peek at the byte `n` positions ahead (0 == next byte).
+    pub fn peek_byte_at(&self, n: usize) -> Option<u8> {
+        self.input.as_bytes().get(self.offset + n).copied()
+    }
+
+    /// Consume and return the next character.
+    pub fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.offset += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += c.len_utf8() as u32;
+        }
+        Some(c)
+    }
+
+    /// Consume `lit` if the input starts with it.
+    pub fn eat(&mut self, lit: &str) -> bool {
+        if self.rest().starts_with(lit) {
+            for _ in 0..lit.chars().count() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume `lit` or fail with `UnexpectedChar`/`UnexpectedEof`.
+    pub fn expect(&mut self, lit: &str) -> Result<(), ParseError> {
+        if self.eat(lit) {
+            Ok(())
+        } else {
+            Err(self.err_here())
+        }
+    }
+
+    /// Skip XML whitespace (space, tab, CR, LF); returns how many
+    /// characters were skipped.
+    pub fn skip_whitespace(&mut self) -> usize {
+        let mut n = 0;
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.bump();
+            n += 1;
+        }
+        n
+    }
+
+    /// Consume input until (not including) the first occurrence of
+    /// `delim`, returning the consumed slice. Errors with
+    /// `UnexpectedEof` if `delim` never occurs.
+    pub fn take_until(&mut self, delim: &str) -> Result<&'a str, ParseError> {
+        match self.rest().find(delim) {
+            Some(idx) => {
+                let start = self.offset;
+                let target = self.offset + idx;
+                while self.offset < target {
+                    self.bump();
+                }
+                Ok(&self.input[start..target])
+            }
+            None => Err(ParseError::new(ParseErrorKind::UnexpectedEof, self.position())),
+        }
+    }
+
+    /// Read an XML `Name` (tag, attribute, or PI target).
+    pub fn take_name(&mut self) -> Result<&'a str, ParseError> {
+        let start = self.offset;
+        match self.peek() {
+            Some(c) if is_name_start_char(c) => {
+                self.bump();
+            }
+            Some(c) => {
+                return Err(ParseError::new(
+                    ParseErrorKind::InvalidName(c.to_string()),
+                    self.position(),
+                ))
+            }
+            None => {
+                return Err(ParseError::new(ParseErrorKind::UnexpectedEof, self.position()))
+            }
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(&self.input[start..self.offset])
+    }
+
+    /// An `UnexpectedChar` (or `UnexpectedEof`) error at the current
+    /// position.
+    pub fn err_here(&self) -> ParseError {
+        match self.peek() {
+            Some(c) => ParseError::new(ParseErrorKind::UnexpectedChar(c), self.position()),
+            None => ParseError::new(ParseErrorKind::UnexpectedEof, self.position()),
+        }
+    }
+}
+
+/// XML 1.0 `NameStartChar`, restricted to the common ranges (full
+/// astral ranges included).
+pub fn is_name_start_char(c: char) -> bool {
+    matches!(c,
+        ':' | '_' | 'A'..='Z' | 'a'..='z'
+        | '\u{C0}'..='\u{D6}' | '\u{D8}'..='\u{F6}' | '\u{F8}'..='\u{2FF}'
+        | '\u{370}'..='\u{37D}' | '\u{37F}'..='\u{1FFF}'
+        | '\u{200C}'..='\u{200D}' | '\u{2070}'..='\u{218F}'
+        | '\u{2C00}'..='\u{2FEF}' | '\u{3001}'..='\u{D7FF}'
+        | '\u{F900}'..='\u{FDCF}' | '\u{FDF0}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{EFFFF}')
+}
+
+/// XML 1.0 `NameChar`.
+pub fn is_name_char(c: char) -> bool {
+    is_name_start_char(c)
+        || matches!(c, '-' | '.' | '0'..='9' | '\u{B7}'
+            | '\u{300}'..='\u{36F}' | '\u{203F}'..='\u{2040}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_tracks_lines_and_columns() {
+        let mut s = Scanner::new("ab\ncd");
+        assert_eq!(s.position().line, 1);
+        s.bump();
+        s.bump();
+        s.bump(); // newline
+        assert_eq!(s.position().line, 2);
+        assert_eq!(s.position().column, 1);
+        s.bump();
+        assert_eq!(s.position().column, 2);
+    }
+
+    #[test]
+    fn eat_only_consumes_on_match() {
+        let mut s = Scanner::new("<?xml");
+        assert!(!s.eat("<!"));
+        assert_eq!(s.position().offset, 0);
+        assert!(s.eat("<?"));
+        assert_eq!(s.rest(), "xml");
+    }
+
+    #[test]
+    fn take_until_stops_before_delimiter() {
+        let mut s = Scanner::new("hello--> tail");
+        let got = s.take_until("-->").unwrap();
+        assert_eq!(got, "hello");
+        assert!(s.eat("-->"));
+        assert_eq!(s.rest(), " tail");
+    }
+
+    #[test]
+    fn take_until_missing_delimiter_is_eof_error() {
+        let mut s = Scanner::new("no terminator");
+        let err = s.take_until("]]>").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn names_accept_xml_identifiers() {
+        let mut s = Scanner::new("emp-record_1 rest");
+        assert_eq!(s.take_name().unwrap(), "emp-record_1");
+        assert_eq!(s.rest(), " rest");
+    }
+
+    #[test]
+    fn names_reject_leading_digit() {
+        let mut s = Scanner::new("1abc");
+        assert!(matches!(
+            s.take_name().unwrap_err().kind,
+            ParseErrorKind::InvalidName(_)
+        ));
+    }
+
+    #[test]
+    fn skip_whitespace_counts() {
+        let mut s = Scanner::new(" \t\r\nx");
+        assert_eq!(s.skip_whitespace(), 4);
+        assert_eq!(s.peek(), Some('x'));
+    }
+
+    #[test]
+    fn multibyte_names_supported() {
+        let mut s = Scanner::new("说明>");
+        assert_eq!(s.take_name().unwrap(), "说明");
+        assert_eq!(s.peek(), Some('>'));
+    }
+}

@@ -1,0 +1,44 @@
+//! # sjos-xml
+//!
+//! A from-scratch XML substrate for the SJOS (Structural Join Order
+//! Selection) reproduction: a well-formedness-checking pull parser, an
+//! arena document model, and the pre-order **region encoding**
+//! (`(start, end, level)`) that structural join algorithms rely on.
+//!
+//! The scope follows what a native XML database loader needs:
+//! elements, attributes, character data (including CDATA), comments,
+//! processing instructions, the XML declaration, a tolerated-but-ignored
+//! `DOCTYPE`, and the five predefined entities plus numeric character
+//! references. DTD-defined entities and namespaces-aware processing are
+//! out of scope (Timber's loader in the paper similarly treats names as
+//! plain tags).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use sjos_xml::Document;
+//!
+//! let doc = Document::parse("<dept><emp><name>Ada</name></emp></dept>").unwrap();
+//! let dept = doc.root().unwrap();
+//! let emp = doc.children(dept).next().unwrap();
+//! assert!(doc.region(dept).contains(doc.region(emp)));
+//! assert_eq!(doc.tag_name(doc.node(emp).tag), "emp");
+//! ```
+
+pub mod builder;
+pub mod document;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod region;
+pub mod serialize;
+pub mod tag;
+
+pub use builder::DocumentBuilder;
+pub use document::{Document, Node, NodeId};
+pub use error::{ParseError, ParseErrorKind};
+pub use parser::{
+    normalize_line_ends, parse_declaration, Attribute, Declaration, EventReader, XmlEvent,
+};
+pub use region::Region;
+pub use tag::{Tag, TagInterner};

@@ -1,0 +1,709 @@
+//! Pull-based XML event parser.
+//!
+//! [`EventReader`] turns input text into a stream of [`XmlEvent`]s,
+//! enforcing well-formedness (tag balance, attribute uniqueness, legal
+//! entities, exactly one root). Document construction on top of the
+//! event stream lives in [`crate::document`].
+
+use std::borrow::Cow;
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lexer::Scanner;
+
+/// One attribute on a start tag, with entities in the value resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name as written.
+    pub name: String,
+    /// Attribute value with entity/char references expanded.
+    pub value: String,
+}
+
+/// A parsed XML event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent<'a> {
+    /// `<name a="v" ...>`; `self_closing` for `<name/>`.
+    StartElement {
+        name: &'a str,
+        attributes: Vec<Attribute>,
+        self_closing: bool,
+    },
+    /// `</name>`. Also emitted synthetically after a self-closing
+    /// start element, so start/end events always balance.
+    EndElement { name: &'a str },
+    /// Character data between tags, with entities expanded. Runs of
+    /// pure whitespace between elements are still reported; the
+    /// document builder decides what to keep.
+    Text(Cow<'a, str>),
+    /// `<![CDATA[...]]>` content, verbatim.
+    CData(&'a str),
+    /// `<!-- ... -->` content.
+    Comment(&'a str),
+    /// `<?target data?>`.
+    ProcessingInstruction { target: &'a str, data: &'a str },
+    /// `<?xml version=... ?>` at the very start of the document.
+    Declaration(&'a str),
+    /// `<!DOCTYPE ...>`; the internal subset is skipped, not parsed.
+    DocType(&'a str),
+}
+
+/// Streaming well-formedness-checking parser.
+///
+/// ```
+/// use sjos_xml::{EventReader, XmlEvent};
+/// let mut rd = EventReader::new("<a x='1'><b/></a>");
+/// let mut names = vec![];
+/// while let Some(ev) = rd.next_event().unwrap() {
+///     if let XmlEvent::StartElement { name, .. } = ev { names.push(name.to_owned()); }
+/// }
+/// assert_eq!(names, ["a", "b"]);
+/// ```
+pub struct EventReader<'a> {
+    input: &'a str,
+    scanner: Scanner<'a>,
+    open_stack: Vec<&'a str>,
+    seen_root: bool,
+    /// Set when the previous event was a self-closing start element;
+    /// holds the name for the synthetic end event.
+    pending_end: Option<&'a str>,
+    finished: bool,
+}
+
+impl<'a> EventReader<'a> {
+    /// Parse `input` from the beginning. A leading UTF-8 byte-order
+    /// mark is skipped.
+    pub fn new(input: &'a str) -> Self {
+        let input = input.strip_prefix('\u{FEFF}').unwrap_or(input);
+        EventReader {
+            input,
+            scanner: Scanner::new(input),
+            open_stack: Vec::new(),
+            seen_root: false,
+            pending_end: None,
+            finished: false,
+        }
+    }
+
+    /// Current element nesting depth (root element = depth 1 while
+    /// open).
+    pub fn depth(&self) -> usize {
+        self.open_stack.len()
+    }
+
+    /// Produce the next event, or `Ok(None)` at the end of a
+    /// well-formed document.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent<'a>>, ParseError> {
+        if let Some(name) = self.pending_end.take() {
+            return Ok(Some(XmlEvent::EndElement { name }));
+        }
+        if self.finished {
+            return Ok(None);
+        }
+        loop {
+            if self.scanner.at_eof() {
+                return self.finish();
+            }
+            if self.scanner.rest().starts_with('<') {
+                return self.markup().map(Some);
+            }
+            // Character data run.
+            let ev = self.text()?;
+            match &ev {
+                XmlEvent::Text(t)
+                    if self.open_stack.is_empty()
+                        && t.chars().all(|c| c.is_ascii_whitespace()) =>
+                {
+                    // Whitespace at document level is ignorable.
+                    continue;
+                }
+                _ => return Ok(Some(ev)),
+            }
+        }
+    }
+
+    /// Collect the remaining events into a vector (mainly for tests).
+    pub fn collect_events(mut self) -> Result<Vec<XmlEvent<'a>>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.next_event()? {
+            out.push(ev);
+        }
+        Ok(out)
+    }
+
+    fn finish(&mut self) -> Result<Option<XmlEvent<'a>>, ParseError> {
+        if let Some(open) = self.open_stack.last() {
+            return Err(ParseError::new(
+                ParseErrorKind::UnclosedElement((*open).to_owned()),
+                self.scanner.position(),
+            ));
+        }
+        if !self.seen_root {
+            return Err(ParseError::new(
+                ParseErrorKind::EmptyDocument,
+                self.scanner.position(),
+            ));
+        }
+        self.finished = true;
+        Ok(None)
+    }
+
+    fn markup(&mut self) -> Result<XmlEvent<'a>, ParseError> {
+        if self.scanner.rest().starts_with("<!--") {
+            return self.comment();
+        }
+        if self.scanner.rest().starts_with("<![CDATA[") {
+            return self.cdata();
+        }
+        if self.scanner.rest().starts_with("<!DOCTYPE") {
+            return self.doctype();
+        }
+        if self.scanner.rest().starts_with("<?") {
+            return self.pi_or_declaration();
+        }
+        if self.scanner.rest().starts_with("</") {
+            return self.end_tag();
+        }
+        self.start_tag()
+    }
+
+    fn comment(&mut self) -> Result<XmlEvent<'a>, ParseError> {
+        self.scanner.expect("<!--")?;
+        let body = self.scanner.take_until("-->")?;
+        if body.contains("--") {
+            return Err(ParseError::new(
+                ParseErrorKind::IllegalSequence("-- inside comment"),
+                self.scanner.position(),
+            ));
+        }
+        self.scanner.expect("-->")?;
+        Ok(XmlEvent::Comment(body))
+    }
+
+    fn cdata(&mut self) -> Result<XmlEvent<'a>, ParseError> {
+        if self.open_stack.is_empty() {
+            return Err(ParseError::new(
+                ParseErrorKind::ContentOutsideRoot,
+                self.scanner.position(),
+            ));
+        }
+        self.scanner.expect("<![CDATA[")?;
+        let body = self.scanner.take_until("]]>")?;
+        self.scanner.expect("]]>")?;
+        Ok(XmlEvent::CData(body))
+    }
+
+    fn doctype(&mut self) -> Result<XmlEvent<'a>, ParseError> {
+        self.scanner.expect("<!DOCTYPE")?;
+        // Skip to the closing '>', honoring a bracketed internal subset.
+        let start = self.scanner.position().offset;
+        let mut depth = 0usize;
+        loop {
+            match self.scanner.bump() {
+                Some('[') => depth += 1,
+                Some(']') => depth = depth.saturating_sub(1),
+                Some('>') if depth == 0 => break,
+                Some(_) => {}
+                None => {
+                    return Err(ParseError::new(
+                        ParseErrorKind::UnexpectedEof,
+                        self.scanner.position(),
+                    ))
+                }
+            }
+        }
+        let end = self.scanner.position().offset - 1;
+        Ok(XmlEvent::DocType(self.slice(start, end).trim()))
+    }
+
+    fn slice(&self, start: usize, end: usize) -> &'a str {
+        &self.input[start..end]
+    }
+
+    fn pi_or_declaration(&mut self) -> Result<XmlEvent<'a>, ParseError> {
+        let at_start = self.scanner.position().offset == 0;
+        self.scanner.expect("<?")?;
+        let target = self.scanner.take_name()?;
+        let body = self.scanner.take_until("?>")?;
+        self.scanner.expect("?>")?;
+        if target.eq_ignore_ascii_case("xml") {
+            if !at_start {
+                return Err(ParseError::new(
+                    ParseErrorKind::IllegalSequence("XML declaration not at document start"),
+                    self.scanner.position(),
+                ));
+            }
+            return Ok(XmlEvent::Declaration(body.trim()));
+        }
+        Ok(XmlEvent::ProcessingInstruction { target, data: body.trim() })
+    }
+
+    fn end_tag(&mut self) -> Result<XmlEvent<'a>, ParseError> {
+        self.scanner.expect("</")?;
+        let name = self.scanner.take_name()?;
+        self.scanner.skip_whitespace();
+        self.scanner.expect(">")?;
+        match self.open_stack.pop() {
+            Some(open) if open == name => Ok(XmlEvent::EndElement { name }),
+            Some(open) => Err(ParseError::new(
+                ParseErrorKind::MismatchedCloseTag {
+                    expected: open.to_owned(),
+                    found: name.to_owned(),
+                },
+                self.scanner.position(),
+            )),
+            None => Err(ParseError::new(
+                ParseErrorKind::UnmatchedCloseTag(name.to_owned()),
+                self.scanner.position(),
+            )),
+        }
+    }
+
+    fn start_tag(&mut self) -> Result<XmlEvent<'a>, ParseError> {
+        self.scanner.expect("<")?;
+        if self.open_stack.is_empty() && self.seen_root {
+            return Err(ParseError::new(
+                ParseErrorKind::MultipleRoots,
+                self.scanner.position(),
+            ));
+        }
+        let name = self.scanner.take_name()?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            let skipped = self.scanner.skip_whitespace();
+            match self.scanner.peek() {
+                Some('>') => {
+                    self.scanner.bump();
+                    self.open_stack.push(name);
+                    self.seen_root = true;
+                    return Ok(XmlEvent::StartElement { name, attributes, self_closing: false });
+                }
+                Some('/') => {
+                    self.scanner.expect("/>")?;
+                    self.seen_root = true;
+                    self.pending_end = Some(name);
+                    return Ok(XmlEvent::StartElement { name, attributes, self_closing: true });
+                }
+                Some(_) if skipped == 0 => return Err(self.scanner.err_here()),
+                Some(_) => {
+                    let attr = self.attribute()?;
+                    if attributes.iter().any(|a| a.name == attr.name) {
+                        return Err(ParseError::new(
+                            ParseErrorKind::DuplicateAttribute(attr.name),
+                            self.scanner.position(),
+                        ));
+                    }
+                    attributes.push(attr);
+                }
+                None => {
+                    return Err(ParseError::new(
+                        ParseErrorKind::UnexpectedEof,
+                        self.scanner.position(),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn attribute(&mut self) -> Result<Attribute, ParseError> {
+        let name = self.scanner.take_name()?;
+        self.scanner.skip_whitespace();
+        self.scanner.expect("=")?;
+        self.scanner.skip_whitespace();
+        let quote = match self.scanner.peek() {
+            Some(q @ ('"' | '\'')) => {
+                self.scanner.bump();
+                q
+            }
+            _ => return Err(self.scanner.err_here()),
+        };
+        let raw = self.scanner.take_until(&quote.to_string())?;
+        self.scanner.expect(&quote.to_string())?;
+        if raw.contains('<') {
+            return Err(ParseError::new(
+                ParseErrorKind::IllegalSequence("'<' in attribute value"),
+                self.scanner.position(),
+            ));
+        }
+        // XML 1.0 §3.3.3 attribute-value normalization: *literal*
+        // whitespace becomes a space (before entity expansion, so
+        // character references like `&#10;` survive verbatim).
+        let normalized: String = {
+            let mut out = String::with_capacity(raw.len());
+            let mut chars = raw.chars().peekable();
+            while let Some(c) = chars.next() {
+                match c {
+                    '\r' => {
+                        if chars.peek() == Some(&'\n') {
+                            chars.next();
+                        }
+                        out.push(' ');
+                    }
+                    '\n' | '\t' => out.push(' '),
+                    other => out.push(other),
+                }
+            }
+            out
+        };
+        let value = expand_entities(&normalized, self.scanner.position())?.into_owned();
+        Ok(Attribute { name: name.to_owned(), value })
+    }
+
+    fn text(&mut self) -> Result<XmlEvent<'a>, ParseError> {
+        let rest = self.scanner.rest();
+        let end = rest.find('<').unwrap_or(rest.len());
+        let raw = &rest[..end];
+        if raw.contains("]]>") {
+            return Err(ParseError::new(
+                ParseErrorKind::IllegalSequence("]]> in character data"),
+                self.scanner.position(),
+            ));
+        }
+        if self.open_stack.is_empty()
+            && !raw.chars().all(|c| c.is_ascii_whitespace())
+        {
+            return Err(ParseError::new(
+                ParseErrorKind::ContentOutsideRoot,
+                self.scanner.position(),
+            ));
+        }
+        let pos = self.scanner.position();
+        for _ in raw.chars() {
+            self.scanner.bump();
+        }
+        Ok(XmlEvent::Text(expand_entities(raw, pos)?))
+    }
+}
+
+/// XML 1.0 §2.11 end-of-line normalization: `\r\n` and lone `\r`
+/// become `\n`. [`crate::Document::parse`] applies this to the whole
+/// input before event parsing (the spec's "before parsing"
+/// semantics); direct [`EventReader`] users may call it themselves.
+pub fn normalize_line_ends(input: &str) -> Cow<'_, str> {
+    if !input.contains('\r') {
+        return Cow::Borrowed(input);
+    }
+    let mut out = String::with_capacity(input.len());
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\r' {
+            if chars.peek() == Some(&'\n') {
+                chars.next();
+            }
+            out.push('\n');
+        } else {
+            out.push(c);
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Parsed form of the `<?xml ...?>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Declaration {
+    /// `version` pseudo-attribute (`1.0` or `1.1`).
+    pub version: String,
+    /// `encoding`, if declared.
+    pub encoding: Option<String>,
+    /// `standalone`, if declared.
+    pub standalone: Option<bool>,
+}
+
+/// Parse the body of an XML declaration (the text between `<?xml`
+/// and `?>`), validating the pseudo-attributes.
+pub fn parse_declaration(body: &str) -> Result<Declaration, String> {
+    let mut version = None;
+    let mut encoding = None;
+    let mut standalone = None;
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("bad declaration near {rest:?}"))?;
+        let key = rest[..eq].trim();
+        let after = rest[eq + 1..].trim_start();
+        let quote = after
+            .chars()
+            .next()
+            .filter(|c| *c == '"' || *c == '\'')
+            .ok_or_else(|| format!("unquoted value for {key:?}"))?;
+        let close = after[1..]
+            .find(quote)
+            .ok_or_else(|| format!("unterminated value for {key:?}"))?;
+        let value = &after[1..1 + close];
+        rest = after[close + 2..].trim_start();
+        match key {
+            "version" => {
+                if value != "1.0" && value != "1.1" {
+                    return Err(format!("unsupported XML version {value:?}"));
+                }
+                version = Some(value.to_owned());
+            }
+            "encoding" => encoding = Some(value.to_owned()),
+            "standalone" => {
+                standalone = Some(match value {
+                    "yes" => true,
+                    "no" => false,
+                    other => return Err(format!("bad standalone value {other:?}")),
+                })
+            }
+            other => return Err(format!("unknown declaration attribute {other:?}")),
+        }
+    }
+    let version = version.ok_or("declaration missing version")?;
+    Ok(Declaration { version, encoding, standalone })
+}
+
+/// Expand the predefined entities and numeric character references in
+/// `raw`. Returns a borrowed slice when nothing needed expanding.
+pub fn expand_entities<'a>(
+    raw: &'a str,
+    pos: crate::error::Position,
+) -> Result<Cow<'a, str>, ParseError> {
+    if !raw.contains('&') {
+        return Ok(Cow::Borrowed(raw));
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        let semi = rest.find(';').ok_or_else(|| {
+            ParseError::new(ParseErrorKind::InvalidEntity(clip(rest)), pos)
+        })?;
+        let ent = &rest[1..semi];
+        let expanded: char = match ent {
+            "lt" => '<',
+            "gt" => '>',
+            "amp" => '&',
+            "apos" => '\'',
+            "quot" => '"',
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                char_from_code(u32::from_str_radix(&ent[2..], 16).ok(), ent, pos)?
+            }
+            _ if ent.starts_with('#') => {
+                char_from_code(ent[1..].parse::<u32>().ok(), ent, pos)?
+            }
+            _ => {
+                return Err(ParseError::new(
+                    ParseErrorKind::InvalidEntity(ent.to_owned()),
+                    pos,
+                ))
+            }
+        };
+        out.push(expanded);
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+fn char_from_code(
+    code: Option<u32>,
+    ent: &str,
+    pos: crate::error::Position,
+) -> Result<char, ParseError> {
+    code.and_then(char::from_u32).ok_or_else(|| {
+        ParseError::new(ParseErrorKind::InvalidEntity(ent.to_owned()), pos)
+    })
+}
+
+fn clip(s: &str) -> String {
+    s.chars().take(12).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<XmlEvent<'_>> {
+        EventReader::new(input).collect_events().unwrap()
+    }
+
+    fn parse_err(input: &str) -> ParseErrorKind {
+        EventReader::new(input).collect_events().unwrap_err().kind
+    }
+
+    #[test]
+    fn simple_document_event_stream() {
+        let evs = events("<a><b>hi</b></a>");
+        assert_eq!(evs.len(), 5);
+        assert!(matches!(evs[0], XmlEvent::StartElement { name: "a", .. }));
+        assert!(matches!(evs[2], XmlEvent::Text(ref t) if t == "hi"));
+        assert!(matches!(evs[4], XmlEvent::EndElement { name: "a" }));
+    }
+
+    #[test]
+    fn self_closing_emits_balanced_end() {
+        let evs = events("<a><b/></a>");
+        assert!(matches!(
+            evs[1],
+            XmlEvent::StartElement { name: "b", self_closing: true, .. }
+        ));
+        assert!(matches!(evs[2], XmlEvent::EndElement { name: "b" }));
+    }
+
+    #[test]
+    fn attributes_parse_with_both_quote_styles() {
+        let evs = events(r#"<a x="1" y='two'/>"#);
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0], Attribute { name: "x".into(), value: "1".into() });
+                assert_eq!(attributes[1], Attribute { name: "y".into(), value: "two".into() });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entity_expansion_in_text_and_attributes() {
+        let evs = events(r#"<a t="&lt;&amp;&#65;">x &gt; y &#x41;</a>"#);
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].value, "<&A");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&evs[1], XmlEvent::Text(t) if t == "x > y A"));
+    }
+
+    #[test]
+    fn cdata_is_verbatim() {
+        let evs = events("<a><![CDATA[<not & parsed>]]></a>");
+        assert!(matches!(evs[1], XmlEvent::CData("<not & parsed>")));
+    }
+
+    #[test]
+    fn comments_pis_doctype_and_declaration() {
+        let evs = events("<?xml version=\"1.0\"?><!DOCTYPE root [<!ELEMENT a ANY>]><!-- c --><a><?go fast?></a>");
+        assert!(matches!(evs[0], XmlEvent::Declaration(_)));
+        assert!(matches!(evs[1], XmlEvent::DocType(_)));
+        assert!(matches!(evs[2], XmlEvent::Comment(" c ")));
+        assert!(matches!(
+            evs[4],
+            XmlEvent::ProcessingInstruction { target: "go", data: "fast" }
+        ));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(matches!(
+            parse_err("<a><b></a></b>"),
+            ParseErrorKind::MismatchedCloseTag { .. }
+        ));
+    }
+
+    #[test]
+    fn unclosed_root_rejected() {
+        assert!(matches!(parse_err("<a><b></b>"), ParseErrorKind::UnclosedElement(_)));
+    }
+
+    #[test]
+    fn stray_close_rejected() {
+        assert!(matches!(parse_err("<a/></b>"), ParseErrorKind::UnmatchedCloseTag(_)));
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        assert!(matches!(parse_err("<a/><b/>"), ParseErrorKind::MultipleRoots));
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(matches!(parse_err("<a/>junk"), ParseErrorKind::ContentOutsideRoot));
+        assert!(matches!(parse_err("junk<a/>"), ParseErrorKind::ContentOutsideRoot));
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        assert!(matches!(parse_err("  \n "), ParseErrorKind::EmptyDocument));
+        assert!(matches!(parse_err("<!-- only a comment -->"), ParseErrorKind::EmptyDocument));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(matches!(
+            parse_err(r#"<a x="1" x="2"/>"#),
+            ParseErrorKind::DuplicateAttribute(_)
+        ));
+    }
+
+    #[test]
+    fn bad_entity_rejected() {
+        assert!(matches!(parse_err("<a>&nope;</a>"), ParseErrorKind::InvalidEntity(_)));
+        assert!(matches!(parse_err("<a>&#xZZ;</a>"), ParseErrorKind::InvalidEntity(_)));
+    }
+
+    #[test]
+    fn double_dash_in_comment_rejected() {
+        assert!(matches!(
+            parse_err("<a><!-- bad -- comment --></a>"),
+            ParseErrorKind::IllegalSequence(_)
+        ));
+    }
+
+    #[test]
+    fn cdata_end_in_text_rejected() {
+        assert!(matches!(parse_err("<a>bad ]]> text</a>"), ParseErrorKind::IllegalSequence(_)));
+    }
+
+    #[test]
+    fn lt_in_attribute_rejected() {
+        assert!(matches!(parse_err(r#"<a x="<"/>"#), ParseErrorKind::IllegalSequence(_)));
+    }
+
+    #[test]
+    fn bom_is_skipped() {
+        let evs = events("\u{FEFF}<a/>");
+        assert!(matches!(evs[0], XmlEvent::StartElement { name: "a", .. }));
+    }
+
+    #[test]
+    fn attribute_values_normalize_literal_whitespace() {
+        let evs = events("<a x=\"one\ttwo\nthree\"/>");
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].value, "one two three");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Character references survive normalization.
+        let evs = events("<a x=\"one&#10;two\"/>");
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].value, "one\ntwo");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_end_normalization() {
+        assert_eq!(normalize_line_ends("a\r\nb\rc\nd"), "a\nb\nc\nd");
+        assert!(matches!(normalize_line_ends("plain"), Cow::Borrowed(_)));
+        let doc = crate::Document::parse("<a>x\r\ny\rz</a>").unwrap();
+        assert_eq!(doc.node(doc.root().unwrap()).text, "x\ny\nz");
+    }
+
+    #[test]
+    fn declaration_parsing() {
+        let d = parse_declaration("version=\"1.0\" encoding='UTF-8' standalone=\"yes\"")
+            .unwrap();
+        assert_eq!(d.version, "1.0");
+        assert_eq!(d.encoding.as_deref(), Some("UTF-8"));
+        assert_eq!(d.standalone, Some(true));
+        assert_eq!(
+            parse_declaration("version=\"1.1\"").unwrap(),
+            Declaration { version: "1.1".into(), encoding: None, standalone: None }
+        );
+        assert!(parse_declaration("version=\"2.0\"").is_err());
+        assert!(parse_declaration("encoding=\"UTF-8\"").is_err(), "version required");
+        assert!(parse_declaration("version=1.0").is_err(), "quotes required");
+        assert!(parse_declaration("version=\"1.0\" standalone=\"maybe\"").is_err());
+    }
+
+    #[test]
+    fn whitespace_between_top_level_markup_ok() {
+        let evs = events("  <a>  </a>  ");
+        assert!(matches!(evs[0], XmlEvent::StartElement { name: "a", .. }));
+        // Whitespace inside the root is reported as text.
+        assert!(matches!(&evs[1], XmlEvent::Text(t) if t == "  "));
+    }
+}

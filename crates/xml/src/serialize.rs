@@ -1,0 +1,161 @@
+//! Document -> XML text serialization.
+//!
+//! Round-tripping matters for the data generators (documents are
+//! written to disk once and re-parsed by loading benchmarks) and for
+//! debugging; `Document::parse(serialize(doc))` reproduces an
+//! identical document (modulo comments/PIs, which the model drops).
+
+use std::fmt::Write as _;
+
+use crate::document::{Document, NodeId};
+
+/// Serialize the whole document as XML text (no declaration).
+pub fn to_xml(doc: &Document) -> String {
+    let mut out = String::with_capacity(doc.len() * 16);
+    if let Some(root) = doc.root() {
+        write_element(doc, root, &mut out);
+    }
+    out
+}
+
+/// Serialize with two-space indentation, one element per line. Only
+/// safe for data where text content is not whitespace-sensitive.
+pub fn to_xml_pretty(doc: &Document) -> String {
+    let mut out = String::with_capacity(doc.len() * 24);
+    if let Some(root) = doc.root() {
+        write_element_pretty(doc, root, 0, &mut out);
+    }
+    out
+}
+
+fn write_element(doc: &Document, id: NodeId, out: &mut String) {
+    let node = doc.node(id);
+    let name = doc.tag_name(node.tag);
+    out.push('<');
+    out.push_str(name);
+    for (attr, value) in &node.attributes {
+        let _ = write!(out, " {}=\"{}\"", doc.tag_name(*attr), escape_attr(value));
+    }
+    let has_children = node.first_child.is_some();
+    if !has_children && node.text.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    out.push_str(&escape_text(&node.text));
+    for child in doc.children(id) {
+        write_element(doc, child, out);
+    }
+    let _ = write!(out, "</{name}>");
+}
+
+fn write_element_pretty(doc: &Document, id: NodeId, depth: usize, out: &mut String) {
+    let node = doc.node(id);
+    let name = doc.tag_name(node.tag);
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push('<');
+    out.push_str(name);
+    for (attr, value) in &node.attributes {
+        let _ = write!(out, " {}=\"{}\"", doc.tag_name(*attr), escape_attr(value));
+    }
+    let has_children = node.first_child.is_some();
+    if !has_children {
+        if node.text.is_empty() {
+            out.push_str("/>\n");
+        } else {
+            let _ = writeln!(out, ">{}</{name}>", escape_text(&node.text));
+        }
+        return;
+    }
+    out.push_str(">\n");
+    if !node.text.is_empty() {
+        for _ in 0..=depth {
+            out.push_str("  ");
+        }
+        out.push_str(&escape_text(&node.text));
+        out.push('\n');
+    }
+    for child in doc.children(id) {
+        write_element_pretty(doc, child, depth + 1, out);
+    }
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = writeln!(out, "</{name}>");
+}
+
+/// Escape character data (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value for double-quoted output.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Document;
+
+    #[test]
+    fn roundtrip_preserves_structure_and_regions() {
+        let src = "<a x=\"1\"><b>t&amp;u</b><c/><b><d/></b></a>";
+        let doc = Document::parse(src).unwrap();
+        let text = to_xml(&doc);
+        let doc2 = Document::parse(&text).unwrap();
+        assert_eq!(doc.len(), doc2.len());
+        for (n1, n2) in doc.nodes().iter().zip(doc2.nodes()) {
+            assert_eq!(n1.region, n2.region);
+            assert_eq!(doc.tag_name(n1.tag), doc2.tag_name(n2.tag));
+            assert_eq!(n1.text, n2.text);
+        }
+    }
+
+    #[test]
+    fn empty_elements_self_close() {
+        let doc = Document::parse("<a><b/></a>").unwrap();
+        assert_eq!(to_xml(&doc), "<a><b/></a>");
+    }
+
+    #[test]
+    fn special_chars_escaped() {
+        let doc = Document::parse("<a q=\"&quot;x&quot;\">1 &lt; 2 &amp; 3</a>").unwrap();
+        let text = to_xml(&doc);
+        assert!(text.contains("&lt; 2 &amp; 3"), "{text}");
+        assert!(text.contains("&quot;x&quot;"), "{text}");
+        // And it must re-parse to the same content.
+        let doc2 = Document::parse(&text).unwrap();
+        assert_eq!(doc2.node(doc2.root().unwrap()).text, "1 < 2 & 3");
+    }
+
+    #[test]
+    fn pretty_output_reparses_equivalently() {
+        let doc = Document::parse("<a><b><c/></b><d/></a>").unwrap();
+        let pretty = to_xml_pretty(&doc);
+        assert!(pretty.contains("\n"), "{pretty}");
+        let doc2 = Document::parse(&pretty).unwrap();
+        assert_eq!(doc.len(), doc2.len());
+    }
+}

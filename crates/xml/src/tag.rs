@@ -1,0 +1,125 @@
+//! Interned element/attribute names.
+//!
+//! A database touching millions of elements cannot afford a `String`
+//! per node; tags are interned once into a dense `u32` symbol space
+//! shared by the document, the storage layer's per-tag index, pattern
+//! trees, and the statistics module.
+
+use std::collections::HashMap;
+
+/// A dense handle for an interned name. `Tag(0)` is the first name
+/// interned in a given [`TagInterner`]; handles from different
+/// interners must not be mixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u32);
+
+impl Tag {
+    /// The dense index of this tag, usable to index side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional name <-> [`Tag`] mapping.
+#[derive(Debug, Default, Clone)]
+pub struct TagInterner {
+    by_name: HashMap<String, Tag>,
+    names: Vec<String>,
+}
+
+impl TagInterner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its existing handle if already present.
+    pub fn intern(&mut self, name: &str) -> Tag {
+        if let Some(&tag) = self.by_name.get(name) {
+            return tag;
+        }
+        let tag = Tag(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), tag);
+        tag
+    }
+
+    /// Look up a name without interning it.
+    pub fn get(&self, name: &str) -> Option<Tag> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name behind a handle.
+    ///
+    /// # Panics
+    /// Panics if `tag` did not come from this interner.
+    pub fn name(&self, tag: Tag) -> &str {
+        &self.names[tag.index()]
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(tag, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Tag, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Tag(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = TagInterner::new();
+        let a1 = it.intern("manager");
+        let a2 = it.intern("manager");
+        assert_eq!(a1, a2);
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn handles_are_dense_and_reversible() {
+        let mut it = TagInterner::new();
+        let a = it.intern("a");
+        let b = it.intern("b");
+        assert_eq!(a, Tag(0));
+        assert_eq!(b, Tag(1));
+        assert_eq!(it.name(a), "a");
+        assert_eq!(it.name(b), "b");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut it = TagInterner::new();
+        assert_eq!(it.get("x"), None);
+        assert!(it.is_empty());
+        it.intern("x");
+        assert_eq!(it.get("x"), Some(Tag(0)));
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut it = TagInterner::new();
+        for n in ["dept", "emp", "name"] {
+            it.intern(n);
+        }
+        let collected: Vec<_> = it.iter().map(|(t, n)| (t.0, n.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "dept".into()), (1, "emp".into()), (2, "name".into())]
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Robustness: the parser must never panic — any input either parses
+//! or returns a structured error — and parsing is deterministic.
+
+use proptest::prelude::*;
+use sjos_xml::Document;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup (valid UTF-8) never panics the parser.
+    #[test]
+    fn parser_total_on_arbitrary_strings(input in "\\PC*") {
+        let _ = Document::parse(&input);
+    }
+
+    /// Markup-shaped soup (higher chance of entering deep parser
+    /// paths) never panics either.
+    #[test]
+    fn parser_total_on_markup_like_strings(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<a/>".to_string()),
+                Just("<a x='1'>".to_string()),
+                Just("<!-- c -->".to_string()),
+                Just("<![CDATA[x]]>".to_string()),
+                Just("<?pi d?>".to_string()),
+                Just("&amp;".to_string()),
+                Just("&#65;".to_string()),
+                Just("&bad;".to_string()),
+                Just("text".to_string()),
+                Just("]]>".to_string()),
+                Just("<".to_string()),
+                Just(">".to_string()),
+                Just("\"".to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let input: String = parts.concat();
+        let first = Document::parse(&input);
+        let second = Document::parse(&input);
+        match (first, second) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.len(), b.len()),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "non-deterministic parse"),
+        }
+    }
+
+    /// Every successfully parsed document upholds the region
+    /// invariants.
+    #[test]
+    fn parsed_documents_have_valid_regions(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b/>".to_string()),
+                Just("t".to_string()),
+            ],
+            0..20,
+        )
+    ) {
+        let input: String = parts.concat();
+        if let Ok(doc) = Document::parse(&input) {
+            for n in doc.nodes() {
+                prop_assert!(n.region.start < n.region.end);
+            }
+            for (i, n) in doc.nodes().iter().enumerate() {
+                if let Some(p) = n.parent {
+                    prop_assert!(doc.region(p).contains(n.region));
+                    prop_assert!(p.index() < i, "parents precede children");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! A tour of the optimizer internals: search effort across the five
+//! algorithms, the DPAP-EB `T_e` knob, and how data size moves the
+//! optimum from left-deep to bushy fully-pipelined plans (the paper's
+//! §4.3 observation).
+//!
+//! ```sh
+//! cargo run --release --example optimizer_tour
+//! ```
+
+use sjos::datagen::{fold_document, pers::pers, GenConfig};
+use sjos::{Algorithm, Database};
+
+fn main() {
+    let query = "//manager[.//employee/name][.//manager/department/name]";
+    let pattern = sjos::parse_pattern(query).unwrap();
+    let base = pers(GenConfig::sized(5_000));
+
+    println!("== search effort (Q.Pers.3.d on ~5k nodes) ==");
+    let db = Database::from_document(base.clone());
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>12}",
+        "algo", "plans", "generated", "expanded", "est. cost"
+    );
+    for alg in [
+        Algorithm::Dp,
+        Algorithm::Dpp { lookahead: false },
+        Algorithm::Dpp { lookahead: true },
+        Algorithm::DpapEb { te: 6 },
+        Algorithm::DpapLd,
+        Algorithm::Fp,
+    ] {
+        let o = db.optimize(&pattern, alg);
+        println!(
+            "{:<10} {:>8} {:>10} {:>10} {:>12.0}",
+            alg.name(),
+            o.stats.plans_considered,
+            o.stats.statuses_generated,
+            o.stats.statuses_expanded,
+            o.estimated_cost
+        );
+    }
+
+    println!("\n== the T_e knob (DPAP-EB) ==");
+    println!("{:<6} {:>8} {:>12}", "T_e", "plans", "est. cost");
+    for te in 1..=pattern.len() {
+        let o = db.optimize(&pattern, Algorithm::DpapEb { te });
+        println!("{:<6} {:>8} {:>12.0}", te, o.stats.plans_considered, o.estimated_cost);
+    }
+
+    println!("\n== plan shape vs data size ==");
+    println!("{:<8} {:>10}  best plan (DPP)", "fold", "elements");
+    for fold in [1usize, 4, 16] {
+        let doc = fold_document(&base, fold);
+        let n = doc.len();
+        let db = Database::from_document(doc);
+        let o = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
+        println!(
+            "x{:<7} {:>10}  {} (left-deep: {}, pipelined: {})",
+            fold,
+            n,
+            o.plan,
+            o.plan.is_left_deep(),
+            o.plan.is_fully_pipelined()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: load XML, ask a tree-pattern query, inspect the plan.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sjos::Database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny personnel document in the spirit of the paper's Fig. 1.
+    let db = Database::from_xml(
+        "<company>\
+           <manager><name>grace</name>\
+             <employee><name>ada</name></employee>\
+             <manager><name>alan</name>\
+               <department><name>research</name>\
+                 <employee><name>barbara</name></employee>\
+               </department>\
+             </manager>\
+           </manager>\
+         </company>",
+    )?;
+
+    // The running-example query: managers with a supervised employee's
+    // name, and a department name directly under a subordinate manager.
+    let query = "//manager[.//employee/name][.//manager/department/name]";
+    let outcome = db.query(query)?;
+
+    println!("query    : {query}");
+    println!("plan     : {}", outcome.optimized.plan);
+    println!(
+        "pipelined: {} | est. cost: {:.1} | plans considered: {}",
+        outcome.optimized.plan.is_fully_pipelined(),
+        outcome.optimized.estimated_cost,
+        outcome.optimized.stats.plans_considered,
+    );
+    println!("matches  : {}", outcome.result.len());
+    for row in outcome.result.canonical_rows() {
+        let names: Vec<String> = row
+            .iter()
+            .map(|&id| {
+                let node = db.document().node(id);
+                let tag = db.document().tag_name(node.tag);
+                if node.text.is_empty() {
+                    tag.to_owned()
+                } else {
+                    format!("{tag}({})", node.text)
+                }
+            })
+            .collect();
+        println!("  {}", names.join(" · "));
+    }
+    Ok(())
+}

@@ -1,0 +1,176 @@
+//! Multi-line plan rendering with cardinality estimates — the
+//! `EXPLAIN` half of the CLI and a debugging aid for optimizer work.
+
+use sjos_core::CostModel;
+use sjos_exec::{JoinAlgo, PlanNode};
+use sjos_pattern::{Axis, NodeSet, Pattern};
+use sjos_stats::PatternEstimates;
+
+/// Render `plan` as an indented tree, annotating every operator with
+/// the estimated output cardinality and cost contribution under
+/// `model`, e.g.:
+///
+/// ```text
+/// STJ-D manager//employee            ~9037 rows  ordered by employee
+/// ├─ Scan manager                     ~750 rows
+/// └─ Scan employee                   ~1125 rows
+/// ```
+pub fn explain(
+    plan: &PlanNode,
+    pattern: &Pattern,
+    estimates: &PatternEstimates,
+    model: &CostModel,
+) -> String {
+    let mut out = String::new();
+    render(plan, pattern, estimates, model, "", "", &mut out);
+    out
+}
+
+fn node_label(pattern: &Pattern, id: sjos_pattern::PnId) -> String {
+    format!("{}#{}", pattern.node(id).tag, id.0)
+}
+
+fn render(
+    plan: &PlanNode,
+    pattern: &Pattern,
+    estimates: &PatternEstimates,
+    model: &CostModel,
+    prefix: &str,
+    child_prefix: &str,
+    out: &mut String,
+) {
+    let (cost, rows) = model.plan_cost(plan, pattern, estimates);
+    let line = match plan {
+        PlanNode::IndexScan { pnode } => {
+            let mut s = format!("Scan {}", node_label(pattern, *pnode));
+            if pattern.node(*pnode).predicate.is_some() {
+                s.push_str(" [filtered]");
+            }
+            s
+        }
+        PlanNode::Sort { by, .. } => {
+            format!("Sort by {}", node_label(pattern, *by))
+        }
+        PlanNode::StructuralJoin { anc, desc, axis, algo, .. } => {
+            let alg = match algo {
+                JoinAlgo::StackTreeAnc => "STJ-Anc",
+                JoinAlgo::StackTreeDesc => "STJ-Desc",
+                JoinAlgo::MergeJoin => "MPMGJN",
+            };
+            let ax = match axis {
+                Axis::Child => "/",
+                Axis::Descendant => "//",
+            };
+            format!(
+                "{alg} {}{ax}{}",
+                node_label(pattern, *anc),
+                node_label(pattern, *desc)
+            )
+        }
+    };
+    let ordered = node_label(pattern, plan.ordered_by());
+    out.push_str(&format!(
+        "{prefix}{line:<40} ~{rows:.0} rows  cost {cost:.0}  ordered by {ordered}\n"
+    ));
+    let children: Vec<&PlanNode> = match plan {
+        PlanNode::IndexScan { .. } => vec![],
+        PlanNode::Sort { input, .. } => vec![input],
+        PlanNode::StructuralJoin { left, right, .. } => vec![left, right],
+    };
+    let n = children.len();
+    for (i, child) in children.into_iter().enumerate() {
+        let last = i + 1 == n;
+        let (head, tail) = if last {
+            (format!("{child_prefix}└─ "), format!("{child_prefix}   "))
+        } else {
+            (format!("{child_prefix}├─ "), format!("{child_prefix}│  "))
+        };
+        render(child, pattern, estimates, model, &head, &tail, out);
+    }
+}
+
+/// A one-paragraph summary of an executed query: plan class, work
+/// counters, and storage traffic. The `EXPLAIN ANALYZE` companion to
+/// [`explain`].
+pub fn analyze_summary(result: &sjos_exec::QueryResult) -> String {
+    let m = &result.metrics;
+    format!(
+        "matches: {}  | operator tuples: {} | stack push/pop: {}/{} | \
+         buffered pairs: {} | sorts: {} ({} tuples) | \
+         io: {} hits, {} reads, {} evictions | elapsed: {:.3} ms",
+        m.output_tuples,
+        m.produced_tuples,
+        m.stack_pushes,
+        m.stack_pops,
+        m.buffered_pairs,
+        m.sort_operations,
+        m.sorted_tuples,
+        result.io.buffer_hits,
+        result.io.disk_reads,
+        result.io.evictions,
+        result.elapsed.as_secs_f64() * 1e3,
+    )
+}
+
+/// Sanity helper: estimated rows of the full pattern (what `explain`
+/// shows at the plan root).
+pub fn estimated_matches(pattern: &Pattern, estimates: &PatternEstimates) -> f64 {
+    estimates.cluster_cardinality(pattern, NodeSet::full(pattern.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algorithm, Database};
+
+    fn setup() -> (Database, Pattern) {
+        let db = Database::from_xml(
+            "<dept><emp><name>a</name></emp><emp><name>b</name></emp></dept>",
+        )
+        .unwrap();
+        let pattern = crate::parse_pattern("//dept/emp/name").unwrap();
+        (db, pattern)
+    }
+
+    #[test]
+    fn explain_renders_every_operator() {
+        let (db, pattern) = setup();
+        let optimized = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
+        let est = db.estimates(&pattern);
+        let text = explain(&optimized.plan, &pattern, &est, db.cost_model());
+        assert_eq!(
+            text.matches("Scan").count(),
+            3,
+            "three scans expected:\n{text}"
+        );
+        assert!(text.contains("STJ-"), "{text}");
+        assert!(text.contains("rows"), "{text}");
+        assert!(text.contains("dept#0"), "{text}");
+    }
+
+    #[test]
+    fn explain_marks_filtered_scans() {
+        let db = Database::from_xml("<e><n>x</n><n>y</n></e>").unwrap();
+        let pattern = crate::parse_pattern("//e/n[text()='x']").unwrap();
+        let optimized = db.optimize(&pattern, Algorithm::Fp);
+        let est = db.estimates(&pattern);
+        let text = explain(&optimized.plan, &pattern, &est, db.cost_model());
+        assert!(text.contains("[filtered]"), "{text}");
+    }
+
+    #[test]
+    fn analyze_summary_reports_counters() {
+        let (db, _) = setup();
+        let out = db.query("//dept/emp/name").unwrap();
+        let s = analyze_summary(&out.result);
+        assert!(s.contains("matches: 2"), "{s}");
+        assert!(s.contains("elapsed"), "{s}");
+    }
+
+    #[test]
+    fn estimated_matches_is_positive_for_matching_patterns() {
+        let (db, pattern) = setup();
+        let est = db.estimates(&pattern);
+        assert!(estimated_matches(&pattern, &est) > 0.0);
+    }
+}

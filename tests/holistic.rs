@@ -1,0 +1,137 @@
+//! The holistic twig join must agree with both the naive evaluator
+//! and the binary structural-join plans on every workload query, and
+//! on arbitrary generated documents/patterns.
+
+use proptest::prelude::*;
+
+use sjos::datagen::{dblp::dblp, mbench::mbench, paper_queries, pers::pers, DataSet, GenConfig};
+use sjos::{Algorithm, Database};
+use sjos_exec::naive;
+
+#[test]
+fn holistic_matches_binary_plans_on_all_paper_queries() {
+    let dbs = [
+        (DataSet::Pers, Database::from_document(pers(GenConfig::sized(3_000)))),
+        (DataSet::Dblp, Database::from_document(dblp(GenConfig::sized(3_000)))),
+        (DataSet::Mbench, Database::from_document(mbench(GenConfig::sized(1_500)))),
+    ];
+    for q in paper_queries() {
+        let db = &dbs.iter().find(|(ds, _)| *ds == q.dataset).unwrap().1;
+        let pattern = q.pattern();
+        let binary = db
+            .query_with(q.query, Algorithm::Dpp { lookahead: true })
+            .unwrap()
+            .result
+            .canonical_rows();
+        let twig = db.holistic(&pattern);
+        assert_eq!(twig.rows, binary, "{}", q.id);
+    }
+}
+
+#[test]
+fn holistic_matches_naive_on_edge_cases() {
+    for (xml, query) in [
+        ("<a/>", "//a"),
+        ("<a><b/></a>", "//a/b"),
+        ("<a><b/></a>", "//b/a"),           // no match
+        ("<m><m><m/></m></m>", "//m//m//m"), // deep self-join
+        ("<r><a><b/><c/></a><a><b/></a></r>", "//a[./b][./c]"),
+        ("<r><x>v</x><x>w</x></r>", "//r/x[text()='v']"),
+    ] {
+        let doc = sjos::Document::parse(xml).unwrap();
+        let pattern = sjos::parse_pattern(query).unwrap();
+        let expected = naive::evaluate(&doc, &pattern);
+        let db = Database::from_document(doc);
+        let got = db.holistic(&pattern);
+        assert_eq!(got.rows, expected, "{xml} {query}");
+    }
+}
+
+#[test]
+fn holistic_path_solution_counts_are_consistent() {
+    let db = Database::from_document(pers(GenConfig::sized(3_000)));
+    let pattern = sjos::parse_pattern("//manager[.//employee/name][.//department]").unwrap();
+    let res = db.holistic(&pattern);
+    assert_eq!(res.metrics.matches as usize, res.rows.len());
+    assert!(res.metrics.path_solutions >= res.metrics.matches.min(1));
+    assert!(res.metrics.stream_elements > 0);
+}
+
+const TAGS: &[&str] = &["t0", "t1", "t2"];
+
+#[derive(Debug, Clone)]
+struct TreeNode {
+    tag: usize,
+    children: Vec<TreeNode>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = TreeNode> {
+    let leaf = (0..TAGS.len()).prop_map(|tag| TreeNode { tag, children: vec![] });
+    leaf.prop_recursive(4, 40, 4, |inner| {
+        (0..TAGS.len(), prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, children)| TreeNode { tag, children })
+    })
+}
+
+#[derive(Debug, Clone)]
+struct PatNode {
+    tag: usize,
+    desc_axis: bool,
+    children: Vec<PatNode>,
+}
+
+fn pattern_strategy() -> impl Strategy<Value = PatNode> {
+    let leaf = (0..TAGS.len(), any::<bool>())
+        .prop_map(|(tag, ax)| PatNode { tag, desc_axis: ax, children: vec![] });
+    leaf.prop_recursive(3, 5, 2, |inner| {
+        (0..TAGS.len(), any::<bool>(), prop::collection::vec(inner, 0..3))
+            .prop_map(|(tag, ax, children)| PatNode { tag, desc_axis: ax, children })
+    })
+}
+
+fn build_doc(root: &TreeNode) -> sjos::Document {
+    fn rec(n: &TreeNode, b: &mut sjos::xml::DocumentBuilder) {
+        b.start_element(TAGS[n.tag]);
+        for c in &n.children {
+            rec(c, b);
+        }
+        b.end_element();
+    }
+    let mut b = sjos::xml::DocumentBuilder::new();
+    b.start_element("root");
+    rec(root, &mut b);
+    b.end_element();
+    b.finish()
+}
+
+fn build_pattern(root: &PatNode) -> sjos::Pattern {
+    fn rec(n: &PatNode, parent: sjos::pattern::PnId, p: &mut sjos::Pattern) {
+        for c in &n.children {
+            let axis = if c.desc_axis {
+                sjos::pattern::Axis::Descendant
+            } else {
+                sjos::pattern::Axis::Child
+            };
+            let id = p.add_child(parent, axis, TAGS[c.tag]);
+            rec(c, id, p);
+        }
+    }
+    let mut p = sjos::Pattern::with_root(TAGS[root.tag]);
+    let r = p.root();
+    rec(root, r, &mut p);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn holistic_equals_naive_on_arbitrary_inputs(tree in tree_strategy(), pat in pattern_strategy()) {
+        let doc = build_doc(&tree);
+        let pattern = build_pattern(&pat);
+        let expected = naive::evaluate(&doc, &pattern);
+        let db = Database::from_document(doc);
+        let got = db.holistic(&pattern);
+        prop_assert_eq!(got.rows, expected);
+    }
+}
