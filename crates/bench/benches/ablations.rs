@@ -17,11 +17,7 @@ use sjos_stats::{Catalog, PatternEstimates};
 fn fixture() -> (sjos_pattern::Pattern, PatternEstimates) {
     let doc = pers(GenConfig::sized(5_000));
     let catalog = Catalog::build(&doc);
-    let pattern = paper_queries()
-        .into_iter()
-        .find(|q| q.id == "Q.Pers.3.d")
-        .unwrap()
-        .pattern();
+    let pattern = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").unwrap().pattern();
     let est = PatternEstimates::new(&catalog, &doc, &pattern);
     (pattern, est)
 }
@@ -59,10 +55,9 @@ fn bench_ub_cost(c: &mut Criterion) {
 fn bench_cost_model_variant(c: &mut Criterion) {
     let (pattern, est) = fixture();
     let mut group = c.benchmark_group("ablation_desc_cost_formula");
-    for (label, model) in [
-        ("calibrated", CostModel::default()),
-        ("paper_literal", CostModel::paper_literal()),
-    ] {
+    for (label, model) in
+        [("calibrated", CostModel::default()), ("paper_literal", CostModel::paper_literal())]
+    {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut ctx = SearchContext::new(&pattern, &est, &model);

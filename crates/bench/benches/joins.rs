@@ -42,13 +42,9 @@ fn bench_stack_tree(c: &mut Criterion) {
         group.throughput(Throughput::Elements(nodes as u64));
         for (label, algo) in all_algorithms() {
             let plan = join_plan(algo);
-            group.bench_with_input(
-                BenchmarkId::new(label, nodes),
-                &store,
-                |b, store| {
-                    b.iter(|| execute(store, &pattern, &plan).unwrap().len());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, nodes), &store, |b, store| {
+                b.iter(|| execute(store, &pattern, &plan).unwrap().len());
+            });
         }
     }
     group.finish();
@@ -60,10 +56,8 @@ fn bench_sort_vs_pipelined(c: &mut Criterion) {
     let pattern = parse_pattern("//manager//employee").unwrap();
     let store = store_of(20_000);
     let pipelined = join_plan(JoinAlgo::StackTreeDesc);
-    let sorted = PlanNode::Sort {
-        input: Box::new(join_plan(JoinAlgo::StackTreeDesc)),
-        by: PnId(0),
-    };
+    let sorted =
+        PlanNode::Sort { input: Box::new(join_plan(JoinAlgo::StackTreeDesc)), by: PnId(0) };
     let mut group = c.benchmark_group("pipelined_vs_sorted");
     group.bench_function("pipelined", |b| {
         b.iter(|| execute(&store, &pattern, &pipelined).unwrap().len())
@@ -79,10 +73,7 @@ fn bench_full_query(c: &mut Criterion) {
     // plan — the headline gap of Table 1.
     let store = store_of(10_000);
     let catalog = sjos_stats::Catalog::build(store.document());
-    let pattern = parse_pattern(
-        "//manager[.//employee/name][.//manager/department/name]",
-    )
-    .unwrap();
+    let pattern = parse_pattern("//manager[.//employee/name][.//manager/department/name]").unwrap();
     let est = sjos_stats::PatternEstimates::new(&catalog, store.document(), &pattern);
     let model = sjos_core::CostModel::default();
     let good = sjos_core::optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true });
@@ -109,14 +100,10 @@ fn bench_holistic_vs_binary(c: &mut Criterion) {
     // same twig query.
     let store = store_of(10_000);
     let catalog = sjos_stats::Catalog::build(store.document());
-    let pattern = parse_pattern(
-        "//manager[.//employee/name][.//manager/department/name]",
-    )
-    .unwrap();
+    let pattern = parse_pattern("//manager[.//employee/name][.//manager/department/name]").unwrap();
     let est = sjos_stats::PatternEstimates::new(&catalog, store.document(), &pattern);
     let model = sjos_core::CostModel::default();
-    let plan =
-        sjos_core::optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true }).plan;
+    let plan = sjos_core::optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true }).plan;
     let mut group = c.benchmark_group("holistic_vs_binary");
     group.sample_size(10);
     group.bench_function("binary_optimal", |b| {

@@ -27,9 +27,7 @@ fn bench_algorithms(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(alg.name().replace([' ', '\''], "_"), q.id),
                 &pattern,
-                |b, pattern| {
-                    b.iter(|| optimize(pattern, &est, &model, alg).estimated_cost)
-                },
+                |b, pattern| b.iter(|| optimize(pattern, &est, &model, alg).estimated_cost),
             );
         }
     }
@@ -41,11 +39,7 @@ fn bench_estimate_construction(c: &mut Criterion) {
     // optimization overhead every algorithm shares.
     let doc = pers(GenConfig::sized(5_000));
     let catalog = Catalog::build(&doc);
-    let pattern = paper_queries()
-        .into_iter()
-        .find(|q| q.id == "Q.Pers.3.d")
-        .unwrap()
-        .pattern();
+    let pattern = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").unwrap().pattern();
     c.bench_function("pattern_estimates_build", |b| {
         b.iter(|| PatternEstimates::new(&catalog, &doc, &pattern))
     });
@@ -60,10 +54,5 @@ fn bench_catalog_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_algorithms,
-    bench_estimate_construction,
-    bench_catalog_build
-);
+criterion_group!(benches, bench_algorithms, bench_estimate_construction, bench_catalog_build);
 criterion_main!(benches);

@@ -14,9 +14,7 @@ fn bench_parse(c: &mut Criterion) {
     let mut group = c.benchmark_group("xml_parse");
     group.throughput(Throughput::Bytes(text.len() as u64));
     group.sample_size(20);
-    group.bench_function("pers_20k", |b| {
-        b.iter(|| Document::parse(&text).unwrap().len())
-    });
+    group.bench_function("pers_20k", |b| b.iter(|| Document::parse(&text).unwrap().len()));
     group.finish();
 }
 
@@ -24,9 +22,7 @@ fn bench_load(c: &mut Criterion) {
     let doc = pers(GenConfig::sized(20_000));
     let mut group = c.benchmark_group("store_load");
     group.sample_size(20);
-    group.bench_function("pers_20k", |b| {
-        b.iter(|| XmlStore::load(doc.clone()).total_pages())
-    });
+    group.bench_function("pers_20k", |b| b.iter(|| XmlStore::load(doc.clone()).total_pages()));
     group.finish();
 }
 

@@ -43,11 +43,7 @@ const PATTERNS: &[(&str, &str)] = &[
 fn main() {
     println!("Extended: optimization effort vs pattern size (Pers corpus)\n");
     let bench = Bench::dataset(DataSet::Pers);
-    let algorithms = [
-        Algorithm::Dp,
-        Algorithm::Dpp { lookahead: true },
-        Algorithm::Fp,
-    ];
+    let algorithms = [Algorithm::Dp, Algorithm::Dpp { lookahead: true }, Algorithm::Fp];
     let widths = [6usize, 10, 12, 12, 12, 12];
     print_row(
         &[

@@ -11,10 +11,7 @@ use sjos_core::Algorithm;
 use sjos_datagen::{paper_queries, DataSet};
 
 fn main() {
-    let q = paper_queries()
-        .into_iter()
-        .find(|q| q.id == "Q.Pers.3.d")
-        .expect("catalog query");
+    let q = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").expect("catalog query");
     let pattern = q.pattern();
     println!("Table 2: optimization effort for {} ({})\n", q.id, q.query);
     let bench = Bench::dataset(DataSet::Pers);

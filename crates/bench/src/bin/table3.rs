@@ -13,18 +13,12 @@ use sjos_core::Algorithm;
 use sjos_datagen::{fold_document, paper_queries, pers::pers, DataSet, GenConfig};
 
 fn main() {
-    let q = paper_queries()
-        .into_iter()
-        .find(|q| q.id == "Q.Pers.3.d")
-        .expect("catalog query");
+    let q = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").expect("catalog query");
     let pattern = q.pattern();
     println!("Table 3: data size vs plan execution time (s) for {}\n", q.id);
 
-    let folds: Vec<usize> = if sjos_bench::full_scale() {
-        vec![1, 10, 100, 500]
-    } else {
-        vec![1, 10, 100]
-    };
+    let folds: Vec<usize> =
+        if sjos_bench::full_scale() { vec![1, 10, 100, 500] } else { vec![1, 10, 100] };
     let base = pers(GenConfig::sized(sjos_bench::dataset_size(DataSet::Pers)));
 
     let algorithms = [

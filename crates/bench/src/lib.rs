@@ -15,6 +15,8 @@
 //! sizes so the full suite finishes in minutes; set `SJOS_BENCH_FULL=1`
 //! for the paper's node counts (Mbench 740 K, DBLP 500 K, Pers 5 K)
 //! and the ×500 folding point.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -131,23 +133,13 @@ impl Bench {
     /// Execute a plan once in counting mode (results drained, not
     /// materialized) — what the measurement loops use, since folded
     /// corpora can produce tens of millions of matches.
-    pub fn run_plan_counting(
-        &self,
-        pattern: &Pattern,
-        plan: &sjos_exec::PlanNode,
-    ) -> QueryResult {
-        sjos_exec::execute_counting(&self.store, pattern, plan)
-            .expect("optimizer plans are valid")
+    pub fn run_plan_counting(&self, pattern: &Pattern, plan: &sjos_exec::PlanNode) -> QueryResult {
+        sjos_exec::execute_counting(&self.store, pattern, plan).expect("optimizer plans are valid")
     }
 
     /// One Table-1-style measurement: optimize (median of `reps`) and
     /// execute once.
-    pub fn measure(
-        &self,
-        pattern: &Pattern,
-        algorithm: Algorithm,
-        reps: usize,
-    ) -> Measurement {
+    pub fn measure(&self, pattern: &Pattern, algorithm: Algorithm, reps: usize) -> Measurement {
         let (optimized, opt_time) = self.time_optimize(pattern, algorithm, reps);
         let result = self.run_plan_counting(pattern, &optimized.plan);
         Measurement {
@@ -228,9 +220,7 @@ impl CorpusCache {
 
     /// Get or build the bench for a workload's data set.
     pub fn bench(&mut self, w: &Workload) -> &Bench {
-        self.cache
-            .entry(w.dataset.name())
-            .or_insert_with(|| Bench::dataset(w.dataset))
+        self.cache.entry(w.dataset.name()).or_insert_with(|| Bench::dataset(w.dataset))
     }
 }
 
@@ -244,10 +234,7 @@ pub mod figures {
     /// and total time per configuration plus the fixed algorithms for
     /// comparison.
     pub fn te_sweep(fold: usize, title: &str) {
-        let q = paper_queries()
-            .into_iter()
-            .find(|q| q.id == "Q.Pers.3.d")
-            .expect("catalog query");
+        let q = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").expect("catalog query");
         let pattern = q.pattern();
         println!("{title}: opt/eval/total time for {}\n", q.id);
         eprintln!("loading Pers at fold x{fold} ...");
@@ -270,26 +257,18 @@ pub mod figures {
             let m = bench.measure(&pattern, Algorithm::DpapEb { te }, 9);
             rows.push((format!("DPAP-EB({te})"), m.opt_time, m.eval_time));
         }
-        for alg in [
-            Algorithm::DpapLd,
-            Algorithm::Dpp { lookahead: true },
-            Algorithm::Dp,
-            Algorithm::Fp,
-        ] {
+        for alg in
+            [Algorithm::DpapLd, Algorithm::Dpp { lookahead: true }, Algorithm::Dp, Algorithm::Fp]
+        {
             let m = bench.measure(&pattern, alg, 9);
             rows.push((alg.name().to_string(), m.opt_time, m.eval_time));
         }
-        let max_total = rows
-            .iter()
-            .map(|(_, o, e)| o.as_secs_f64() + e.as_secs_f64())
-            .fold(0.0f64, f64::max);
+        let max_total =
+            rows.iter().map(|(_, o, e)| o.as_secs_f64() + e.as_secs_f64()).fold(0.0f64, f64::max);
         for (name, opt, eval) in rows {
             let total = opt.as_secs_f64() + eval.as_secs_f64();
-            let bar_len = if max_total > 0.0 {
-                ((total / max_total) * 24.0).ceil() as usize
-            } else {
-                0
-            };
+            let bar_len =
+                if max_total > 0.0 { ((total / max_total) * 24.0).ceil() as usize } else { 0 };
             print_row(
                 &[
                     name,
@@ -342,11 +321,8 @@ pub fn write_csv(
 
 /// Render one line of a fixed-width table.
 pub fn print_row(cells: &[String], widths: &[usize]) {
-    let line: Vec<String> = cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = w))
-        .collect();
+    let line: Vec<String> =
+        cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
     println!("{}", line.join("  "));
 }
 
@@ -366,10 +342,7 @@ mod tests {
     fn measure_runs_end_to_end_on_a_small_corpus() {
         let doc = pers(GenConfig::sized(1_000));
         let bench = Bench::load(doc);
-        let q = paper_queries()
-            .into_iter()
-            .find(|q| q.id == "Q.Pers.1.a")
-            .unwrap();
+        let q = paper_queries().into_iter().find(|q| q.id == "Q.Pers.1.a").unwrap();
         let pattern = q.pattern();
         let m = bench.measure(&pattern, Algorithm::Fp, 3);
         assert!(m.matches > 0);
@@ -379,10 +352,7 @@ mod tests {
 
     #[test]
     fn te_placeholder_resolves_to_edge_count() {
-        let q = paper_queries()
-            .into_iter()
-            .find(|q| q.id == "Q.Pers.3.d")
-            .unwrap();
+        let q = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").unwrap();
         let pattern = q.pattern();
         match resolve_te(Algorithm::DpapEb { te: 0 }, &pattern) {
             Algorithm::DpapEb { te } => assert_eq!(te, 5),

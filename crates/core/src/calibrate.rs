@@ -17,7 +17,6 @@
 //! The returned factors are normalized so `f_st = 1`, matching the
 //! convention of [`crate::cost::CostFactors`]'s defaults.
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use sjos_exec::metrics::ExecMetrics;
@@ -90,11 +89,8 @@ pub fn calibrate(store: &XmlStore, max_sample: usize, reps: usize) -> Calibratio
     // t = 2*out*f_io + 2*|A|*f_st for f_io.
     let (t_anc, out_anc) = timed_join(&entries, JoinAlgo::StackTreeAnc, reps);
     let residual = (t_anc - 2.0 * nf * f_st_ns).max(0.0);
-    let f_io_ns = if out_anc > 0.0 {
-        (residual / (2.0 * out_anc)).max(f_st_ns)
-    } else {
-        2.0 * f_st_ns
-    };
+    let f_io_ns =
+        if out_anc > 0.0 { (residual / (2.0 * out_anc)).max(f_st_ns) } else { 2.0 * f_st_ns };
 
     let factors = CostFactors {
         f_i: (f_i_ns / f_st_ns).max(1e-3),

@@ -18,9 +18,9 @@
 //! formula is selectable for fidelity experiments, and the ablation
 //! bench compares the two.
 
+use sjos_exec::{JoinAlgo, PlanNode};
 use sjos_pattern::{Pattern, PnId};
 use sjos_stats::PatternEstimates;
-use sjos_exec::{JoinAlgo, PlanNode};
 
 /// The four normalization factors.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,10 +72,7 @@ impl CostModel {
 
     /// Model using the paper's literal Desc formula.
     pub fn paper_literal() -> CostModel {
-        CostModel {
-            factors: CostFactors::default(),
-            desc_variant: DescCostVariant::PaperLiteral,
-        }
+        CostModel { factors: CostFactors::default(), desc_variant: DescCostVariant::PaperLiteral }
     }
 
     /// Cost of an index scan retrieving `n` items.
@@ -151,10 +148,7 @@ impl CostModel {
             PlanNode::StructuralJoin { left, right, algo, .. } => {
                 let (cl, nl) = self.plan_cost(left, pattern, estimates);
                 let (cr, nr) = self.plan_cost(right, pattern, estimates);
-                let bound: sjos_pattern::NodeSet = plan
-                    .bound_nodes()
-                    .into_iter()
-                    .collect();
+                let bound: sjos_pattern::NodeSet = plan.bound_nodes().into_iter().collect();
                 let out = estimates.cluster_cardinality(pattern, bound);
                 (cl + cr + self.join(*algo, nl, nr, out), out)
             }
@@ -217,8 +211,7 @@ mod tests {
         use sjos_stats::{Catalog, PatternEstimates};
         use sjos_xml::Document;
 
-        let doc =
-            Document::parse("<a><b><c/></b><b><c/><c/></b></a>").unwrap();
+        let doc = Document::parse("<a><b><c/></b><b><c/><c/></b></a>").unwrap();
         let pattern = parse_pattern("//a//b/c").unwrap();
         let catalog = Catalog::build(&doc);
         let est = PatternEstimates::new(&catalog, &doc, &pattern);

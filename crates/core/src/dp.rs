@@ -46,6 +46,11 @@ pub fn optimize_dp(ctx: &mut SearchContext<'_>) -> (PlanNode, f64) {
         .map(|s| ctx.finalize(s))
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .expect("a pattern always has at least one evaluation plan");
+    debug_assert!(
+        best.0.validate(ctx.pattern).is_ok(),
+        "DP produced an invalid plan: {}",
+        best.0.validate(ctx.pattern).unwrap_err()
+    );
     best
 }
 

@@ -82,20 +82,25 @@ pub fn optimize_dpp(ctx: &mut SearchContext<'_>, config: DppConfig) -> (PlanNode
     let mut config = config;
     loop {
         if let Some(found) = optimize_dpp_once(ctx, config) {
+            debug_assert!(
+                found.0.validate(ctx.pattern).is_ok(),
+                "DPP produced an invalid plan: {}",
+                found.0.validate(ctx.pattern).unwrap_err()
+            );
+            debug_assert!(
+                !config.left_deep_only || found.0.is_left_deep(),
+                "DPAP-LD produced a bushy plan: {}",
+                found.0
+            );
             return found;
         }
-        let te = config
-            .expansion_bound
-            .expect("unbounded search always finds a plan");
+        let te = config.expansion_bound.expect("unbounded search always finds a plan");
         // `max(1)` so a degenerate `T_e = 0` still makes progress.
         config.expansion_bound = Some((te * 2).max(1));
     }
 }
 
-fn optimize_dpp_once(
-    ctx: &mut SearchContext<'_>,
-    config: DppConfig,
-) -> Option<(PlanNode, f64)> {
+fn optimize_dpp_once(ctx: &mut SearchContext<'_>, config: DppConfig) -> Option<(PlanNode, f64)> {
     let start = ctx.start_status();
     if start.is_final() {
         return Some(ctx.finalize(&start));
@@ -150,8 +155,7 @@ fn optimize_dpp_once(
                 continue;
             }
             best_cost.insert(key, succ.cost);
-            let priority =
-                succ.cost + if config.use_ub_cost { ctx.ub_cost(&succ) } else { 0.0 };
+            let priority = succ.cost + if config.use_ub_cost { ctx.ub_cost(&succ) } else { 0.0 };
             heap.push(QueueEntry { priority, status: succ });
         }
     }
@@ -174,10 +178,7 @@ mod tests {
         <d><e/></d>\
     </a>";
 
-    fn ctx_parts(
-        xml: &str,
-        pat: &str,
-    ) -> (sjos_pattern::Pattern, PatternEstimates, CostModel) {
+    fn ctx_parts(xml: &str, pat: &str) -> (sjos_pattern::Pattern, PatternEstimates, CostModel) {
         let doc = Document::parse(xml).unwrap();
         let pattern = parse_pattern(pat).unwrap();
         let catalog = Catalog::build(&doc);
@@ -187,12 +188,7 @@ mod tests {
 
     #[test]
     fn dpp_matches_dp_cost_on_several_patterns() {
-        for pat in [
-            "//a/b",
-            "//a/b/c",
-            "//a[./b/c][./d]",
-            "//a[./b[./c][./e]][./d/e]",
-        ] {
+        for pat in ["//a/b", "//a/b/c", "//a[./b/c][./d]", "//a[./b[./c][./e]][./d/e]"] {
             let (pattern, est, model) = ctx_parts(XML, pat);
             let mut dp_ctx = SearchContext::new(&pattern, &est, &model);
             let (_, dp_cost) = optimize_dp(&mut dp_ctx);
@@ -227,10 +223,8 @@ mod tests {
         let mut with = SearchContext::new(&pattern, &est, &model);
         let (_, cost_with) = optimize_dpp(&mut with, DppConfig::default());
         let mut without = SearchContext::new(&pattern, &est, &model);
-        let (_, cost_without) = optimize_dpp(
-            &mut without,
-            DppConfig { lookahead: false, ..DppConfig::default() },
-        );
+        let (_, cost_without) =
+            optimize_dpp(&mut without, DppConfig { lookahead: false, ..DppConfig::default() });
         assert!((cost_with - cost_without).abs() < 1e-9);
         assert!(
             with.statuses_expanded <= without.statuses_expanded,
@@ -272,10 +266,8 @@ mod tests {
         let mut full = SearchContext::new(&pattern, &est, &model);
         let (_, opt) = optimize_dpp(&mut full, DppConfig::default());
         let mut ld = SearchContext::new(&pattern, &est, &model);
-        let (plan, ld_cost) = optimize_dpp(
-            &mut ld,
-            DppConfig { left_deep_only: true, ..DppConfig::default() },
-        );
+        let (plan, ld_cost) =
+            optimize_dpp(&mut ld, DppConfig { left_deep_only: true, ..DppConfig::default() });
         plan.validate(&pattern).unwrap();
         assert!(plan.is_left_deep(), "{plan}");
         assert!(ld_cost >= opt - 1e-9);
@@ -286,10 +278,8 @@ mod tests {
         // Regression: te=0 used to retry forever (0 * 2 == 0).
         let (pattern, est, model) = ctx_parts(XML, "//a/b/c");
         let mut ctx = SearchContext::new(&pattern, &est, &model);
-        let (plan, _) = optimize_dpp(
-            &mut ctx,
-            DppConfig { expansion_bound: Some(0), ..DppConfig::default() },
-        );
+        let (plan, _) =
+            optimize_dpp(&mut ctx, DppConfig { expansion_bound: Some(0), ..DppConfig::default() });
         plan.validate(&pattern).unwrap();
     }
 

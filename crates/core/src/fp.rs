@@ -48,6 +48,11 @@ pub fn optimize_fp(ctx: &mut SearchContext<'_>) -> (PlanNode, f64) {
     }
     let best = best.expect("pattern has at least one node");
     debug_assert!(best.plan.is_fully_pipelined());
+    debug_assert!(
+        best.plan.validate(ctx.pattern).is_ok(),
+        "FP produced an invalid plan: {}",
+        best.plan.validate(ctx.pattern).unwrap_err()
+    );
     (best.plan, best.cost)
 }
 
@@ -64,19 +69,11 @@ fn best_rooted(
     let scan_cost = ctx.model.index_access(ctx.estimates.scan_cardinality(root));
     let root_card = ctx.estimates.node_cardinality(root);
     let result = if component.len() == 1 {
-        SubPlan {
-            plan: PlanNode::IndexScan { pnode: root },
-            cost: scan_cost,
-            card: root_card,
-        }
+        SubPlan { plan: PlanNode::IndexScan { pnode: root }, cost: scan_cost, card: root_card }
     } else {
         // Carve the neighbor subtrees.
-        let neighbors: Vec<PnId> = ctx
-            .pattern
-            .neighbors(root)
-            .into_iter()
-            .filter(|n| component.contains(*n))
-            .collect();
+        let neighbors: Vec<PnId> =
+            ctx.pattern.neighbors(root).into_iter().filter(|n| component.contains(*n)).collect();
         let subs: Vec<(PnId, NodeSet, SubPlan)> = neighbors
             .iter()
             .map(|&u| {
@@ -98,10 +95,7 @@ fn best_rooted(
             let mut total = fixed_cost;
             for &i in perm {
                 let (u, sub_set, sp) = &subs[i];
-                let edge = ctx
-                    .pattern
-                    .edge_between(root, *u)
-                    .expect("neighbor edge exists");
+                let edge = ctx.pattern.edge_between(root, *u).expect("neighbor edge exists");
                 let out_set = acc_set.union(*sub_set);
                 let out_card = ctx.estimates.cluster_cardinality(ctx.pattern, out_set);
                 ctx.plans_considered += 1;

@@ -33,6 +33,8 @@
 //! let best = optimize(&pattern, &est, &CostModel::default(), Algorithm::Dpp { lookahead: true });
 //! assert_eq!(best.plan.join_count(), 2);
 //! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod calibrate;
 pub mod cost;
@@ -46,4 +48,7 @@ pub mod status;
 pub use calibrate::{calibrate, CalibrationReport};
 pub use cost::{CostFactors, CostModel, DescCostVariant};
 pub use optimizer::{optimize, Algorithm, OptimizedPlan, OptimizerStats};
-pub use status::{Cluster, Status, StatusKey};
+pub use random::{
+    mutate_plan, random_plan, random_plan_with, worst_random_plan, PlanMutation, RandomPlanConfig,
+};
+pub use status::{check_status, Cluster, Status, StatusKey, StatusViolation};

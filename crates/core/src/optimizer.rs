@@ -103,14 +103,12 @@ pub fn optimize(
         Algorithm::Dpp { lookahead } => {
             optimize_dpp(&mut ctx, DppConfig { lookahead, ..DppConfig::default() })
         }
-        Algorithm::DpapEb { te } => optimize_dpp(
-            &mut ctx,
-            DppConfig { expansion_bound: Some(te), ..DppConfig::default() },
-        ),
-        Algorithm::DpapLd => optimize_dpp(
-            &mut ctx,
-            DppConfig { left_deep_only: true, ..DppConfig::default() },
-        ),
+        Algorithm::DpapEb { te } => {
+            optimize_dpp(&mut ctx, DppConfig { expansion_bound: Some(te), ..DppConfig::default() })
+        }
+        Algorithm::DpapLd => {
+            optimize_dpp(&mut ctx, DppConfig { left_deep_only: true, ..DppConfig::default() })
+        }
         Algorithm::Fp => optimize_fp(&mut ctx),
         Algorithm::WorstRandom { samples, seed } => {
             let (plan, cost) = worst_random_plan(pattern, estimates, model, samples, seed);
@@ -181,11 +179,7 @@ mod tests {
         assert!((dp.estimated_cost - dpp_nl.estimated_cost).abs() < 1e-6);
         for alg in [Algorithm::DpapEb { te: 2 }, Algorithm::DpapLd, Algorithm::Fp] {
             let h = optimize(&pattern, &est, &model, alg);
-            assert!(
-                h.estimated_cost >= dp.estimated_cost - 1e-6,
-                "{} beat DP",
-                alg.name()
-            );
+            assert!(h.estimated_cost >= dp.estimated_cost - 1e-6, "{} beat DP", alg.name());
         }
     }
 
@@ -193,12 +187,8 @@ mod tests {
     fn bad_plan_is_much_worse_than_optimal() {
         let (pattern, est, model) = parts("//a[./b/c][./d/e]");
         let dp = optimize(&pattern, &est, &model, Algorithm::Dp);
-        let bad = optimize(
-            &pattern,
-            &est,
-            &model,
-            Algorithm::WorstRandom { samples: 100, seed: 9 },
-        );
+        let bad =
+            optimize(&pattern, &est, &model, Algorithm::WorstRandom { samples: 100, seed: 9 });
         assert!(bad.estimated_cost >= dp.estimated_cost);
     }
 

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use sjos_exec::{JoinAlgo, PlanNode};
-use sjos_pattern::{NodeSet, Pattern, PnId};
+use sjos_pattern::{Axis, NodeSet, Pattern, PnId};
 use sjos_stats::PatternEstimates;
 
 use crate::cost::CostModel;
@@ -24,10 +24,7 @@ pub fn random_plan(pattern: &Pattern, rng: &mut impl Rng) -> PlanNode {
     }
     let mut parts: Vec<Part> = pattern
         .node_ids()
-        .map(|id| Part {
-            nodes: NodeSet::singleton(id),
-            plan: PlanNode::IndexScan { pnode: id },
-        })
+        .map(|id| Part { nodes: NodeSet::singleton(id), plan: PlanNode::IndexScan { pnode: id } })
         .collect();
     let mut remaining: Vec<usize> = (0..pattern.edge_count()).collect();
     while !remaining.is_empty() {
@@ -45,11 +42,7 @@ pub fn random_plan(pattern: &Pattern, rng: &mut impl Rng) -> PlanNode {
         // Sort inputs into the order the stack-tree join requires.
         let left = ensure_order(anc_part.plan, edge.parent);
         let right = ensure_order(desc_part.plan, edge.child);
-        let algo = if rng.gen_bool(0.5) {
-            JoinAlgo::StackTreeAnc
-        } else {
-            JoinAlgo::StackTreeDesc
-        };
+        let algo = if rng.gen_bool(0.5) { JoinAlgo::StackTreeAnc } else { JoinAlgo::StackTreeDesc };
         parts.push(Part {
             nodes: anc_part.nodes.union(desc_part.nodes),
             plan: PlanNode::StructuralJoin {
@@ -66,7 +59,230 @@ pub fn random_plan(pattern: &Pattern, rng: &mut impl Rng) -> PlanNode {
     if let Some(w) = pattern.order_by() {
         plan = ensure_order(plan, w);
     }
+    debug_assert!(
+        plan.validate(pattern).is_ok(),
+        "random_plan produced an invalid plan: {}",
+        plan.validate(pattern).unwrap_err()
+    );
     plan
+}
+
+/// A deliberate plan corruption, used to exercise the `planck` lints
+/// (each mutation is caught by a specific rule).
+///
+/// Every variant except [`PlanMutation::WrapRootSort`] produces a plan
+/// that fails [`PlanNode::validate`]; `WrapRootSort` keeps the plan
+/// valid but blocking, which breaks only the fully-pipelined contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanMutation {
+    /// Swap a join's inputs without swapping `anc`/`desc` — the left
+    /// input no longer binds the ancestor node.
+    SwapJoinInputs,
+    /// Swap a join's `anc`/`desc` fields — the edge orientation is
+    /// reversed.
+    FlipOrientation,
+    /// Re-target a join at a node pair with no pattern edge.
+    RewireJoin,
+    /// Flip a join's axis (`/` ↔ `//`).
+    FlipAxis,
+    /// Delete a sort operator, leaving its consumer mis-ordered.
+    DropSort,
+    /// Re-target a sort at a column its input does not bind.
+    RetargetSort,
+    /// Sort a join input by the wrong column.
+    InsertInputSort,
+    /// Replace one index scan's pattern node with another node's,
+    /// breaking the binding partition.
+    DuplicateLeaf,
+    /// Add a redundant blocking sort above the root. The plan stays
+    /// valid but is no longer fully pipelined.
+    WrapRootSort,
+}
+
+impl PlanMutation {
+    /// Every mutation, for exhaustive harnesses.
+    pub const ALL: [PlanMutation; 9] = [
+        PlanMutation::SwapJoinInputs,
+        PlanMutation::FlipOrientation,
+        PlanMutation::RewireJoin,
+        PlanMutation::FlipAxis,
+        PlanMutation::DropSort,
+        PlanMutation::RetargetSort,
+        PlanMutation::InsertInputSort,
+        PlanMutation::DuplicateLeaf,
+        PlanMutation::WrapRootSort,
+    ];
+}
+
+/// Options for [`random_plan_with`]. The default (`mutation: None`)
+/// generates only valid plans; emitting a broken plan requires opting
+/// in explicitly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomPlanConfig {
+    /// When set, the generated plan is corrupted with this mutation.
+    pub mutation: Option<PlanMutation>,
+}
+
+/// Generate one random plan under `config`. With the default config
+/// this is exactly [`random_plan`]; with a mutation set, the plan is
+/// corrupted afterwards (`None` when the mutation does not apply to
+/// the drawn plan, e.g. [`PlanMutation::DropSort`] on a sort-free
+/// plan).
+pub fn random_plan_with(
+    pattern: &Pattern,
+    rng: &mut impl Rng,
+    config: RandomPlanConfig,
+) -> Option<PlanNode> {
+    let plan = random_plan(pattern, rng);
+    match config.mutation {
+        None => Some(plan),
+        Some(m) => mutate_plan(pattern, &plan, m),
+    }
+}
+
+/// Apply `mutation` to (a copy of) `plan`, returning `None` when the
+/// plan has no site the mutation applies to.
+pub fn mutate_plan(pattern: &Pattern, plan: &PlanNode, mutation: PlanMutation) -> Option<PlanNode> {
+    match mutation {
+        PlanMutation::SwapJoinInputs => map_first(plan, &mut |node| match node {
+            PlanNode::StructuralJoin { left, right, anc, desc, axis, algo } => {
+                Some(PlanNode::StructuralJoin {
+                    left: right.clone(),
+                    right: left.clone(),
+                    anc: *anc,
+                    desc: *desc,
+                    axis: *axis,
+                    algo: *algo,
+                })
+            }
+            _ => None,
+        }),
+        PlanMutation::FlipOrientation => map_first(plan, &mut |node| match node {
+            PlanNode::StructuralJoin { left, right, anc, desc, axis, algo } => {
+                Some(PlanNode::StructuralJoin {
+                    left: left.clone(),
+                    right: right.clone(),
+                    anc: *desc,
+                    desc: *anc,
+                    axis: *axis,
+                    algo: *algo,
+                })
+            }
+            _ => None,
+        }),
+        PlanMutation::RewireJoin => map_first(plan, &mut |node| match node {
+            PlanNode::StructuralJoin { left, right, axis, algo, .. } => {
+                // A tree pattern has exactly one edge between the two
+                // input components, so any other cross pair is edgeless.
+                for x in left.bound_nodes() {
+                    for y in right.bound_nodes() {
+                        if pattern.edge_between(x, y).is_none() {
+                            return Some(PlanNode::StructuralJoin {
+                                left: left.clone(),
+                                right: right.clone(),
+                                anc: x,
+                                desc: y,
+                                axis: *axis,
+                                algo: *algo,
+                            });
+                        }
+                    }
+                }
+                None
+            }
+            _ => None,
+        }),
+        PlanMutation::FlipAxis => map_first(plan, &mut |node| match node {
+            PlanNode::StructuralJoin { left, right, anc, desc, axis, algo } => {
+                let flipped = match axis {
+                    Axis::Child => Axis::Descendant,
+                    Axis::Descendant => Axis::Child,
+                };
+                Some(PlanNode::StructuralJoin {
+                    left: left.clone(),
+                    right: right.clone(),
+                    anc: *anc,
+                    desc: *desc,
+                    axis: flipped,
+                    algo: *algo,
+                })
+            }
+            _ => None,
+        }),
+        PlanMutation::DropSort => map_first(plan, &mut |node| match node {
+            PlanNode::Sort { input, .. } => Some(input.as_ref().clone()),
+            _ => None,
+        }),
+        PlanMutation::RetargetSort => map_first(plan, &mut |node| match node {
+            PlanNode::Sort { input, .. } => {
+                let bound = input.bound_nodes();
+                let unbound = pattern.node_ids().find(|id| !bound.contains(id))?;
+                Some(PlanNode::Sort { input: input.clone(), by: unbound })
+            }
+            _ => None,
+        }),
+        PlanMutation::InsertInputSort => map_first(plan, &mut |node| match node {
+            PlanNode::StructuralJoin { left, right, anc, desc, axis, algo } => {
+                let wrong = left.bound_nodes().into_iter().find(|id| id != anc)?;
+                Some(PlanNode::StructuralJoin {
+                    left: Box::new(PlanNode::Sort { input: left.clone(), by: wrong }),
+                    right: right.clone(),
+                    anc: *anc,
+                    desc: *desc,
+                    axis: *axis,
+                    algo: *algo,
+                })
+            }
+            _ => None,
+        }),
+        PlanMutation::DuplicateLeaf => {
+            if pattern.len() < 2 {
+                return None;
+            }
+            map_first(plan, &mut |node| match node {
+                PlanNode::IndexScan { pnode } => {
+                    let other = PnId((pnode.0 + 1) % pattern.len() as u16);
+                    Some(PlanNode::IndexScan { pnode: other })
+                }
+                _ => None,
+            })
+        }
+        PlanMutation::WrapRootSort => {
+            Some(PlanNode::Sort { input: Box::new(plan.clone()), by: plan.ordered_by() })
+        }
+    }
+}
+
+/// Rebuild `plan` with `f` applied to the first node (pre-order) it
+/// accepts; `None` when `f` accepts no node.
+fn map_first(
+    plan: &PlanNode,
+    f: &mut impl FnMut(&PlanNode) -> Option<PlanNode>,
+) -> Option<PlanNode> {
+    if let Some(new) = f(plan) {
+        return Some(new);
+    }
+    match plan {
+        PlanNode::IndexScan { .. } => None,
+        PlanNode::Sort { input, by } => {
+            map_first(input, f).map(|inner| PlanNode::Sort { input: Box::new(inner), by: *by })
+        }
+        PlanNode::StructuralJoin { left, right, anc, desc, axis, algo } => {
+            let rebuild = |l: PlanNode, r: PlanNode| PlanNode::StructuralJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                anc: *anc,
+                desc: *desc,
+                axis: *axis,
+                algo: *algo,
+            };
+            if let Some(nl) = map_first(left, f) {
+                Some(rebuild(nl, right.as_ref().clone()))
+            } else {
+                map_first(right, f).map(|nr| rebuild(left.as_ref().clone(), nr))
+            }
+        }
+    }
 }
 
 fn ensure_order(plan: PlanNode, by: PnId) -> PlanNode {
@@ -159,6 +375,44 @@ mod tests {
             let plan = random_plan(&pattern, &mut rng);
             let (cost, _) = model.plan_cost(&plan, &pattern, &est);
             assert!(cost <= worst + 1e-9);
+        }
+    }
+
+    #[test]
+    fn default_config_emits_only_valid_plans() {
+        let (pattern, _) = parts("//a[./b/c][./d/e]");
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let plan = random_plan_with(&pattern, &mut rng, RandomPlanConfig::default())
+                .expect("default config always yields a plan");
+            plan.validate(&pattern).unwrap();
+        }
+    }
+
+    #[test]
+    fn every_mutation_eventually_applies_and_breaks_the_plan() {
+        let (pattern, _) = parts("//a[./b/c][./d/e]");
+        for mutation in PlanMutation::ALL {
+            let mut rng = StdRng::seed_from_u64(17);
+            let mutated = (0..300)
+                .find_map(|_| {
+                    random_plan_with(
+                        &pattern,
+                        &mut rng,
+                        RandomPlanConfig { mutation: Some(mutation) },
+                    )
+                })
+                .unwrap_or_else(|| panic!("{mutation:?} never applied"));
+            if mutation == PlanMutation::WrapRootSort {
+                // Stays valid, but is no longer pipelined.
+                mutated.validate(&pattern).unwrap();
+                assert!(!mutated.is_fully_pipelined());
+            } else {
+                assert!(
+                    mutated.validate(&pattern).is_err(),
+                    "{mutation:?} left the plan valid: {mutated}"
+                );
+            }
         }
     }
 

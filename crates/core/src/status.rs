@@ -12,11 +12,82 @@
 //! useful). Statuses reached with both endpoints mis-ordered for every
 //! remaining edge are **dead ends** (Definition 6).
 
+use sjos_exec::{JoinAlgo, PlanNode};
 use sjos_pattern::{NodeSet, Pattern, PnId};
 use sjos_stats::PatternEstimates;
-use sjos_exec::{JoinAlgo, PlanNode};
 
 use crate::cost::CostModel;
+
+/// A structural invariant a [`Status`] failed to uphold.
+///
+/// These are the paper's Definition 4 conditions on statuses (§3.1.1):
+/// the clusters partition the pattern's nodes, every cluster is a
+/// connected sub-pattern, and every cluster is ordered by one of its
+/// own nodes. The `planck` crate maps each variant to a stable lint
+/// rule id; inside this crate they back the `debug_assert!` hooks in
+/// the DP-family searches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatusViolation {
+    /// A pattern node appears in no cluster or in more than one.
+    NotPartition {
+        /// Node missing from the partition, if any.
+        missing: Vec<PnId>,
+        /// Node covered by more than one cluster, if any.
+        duplicated: Vec<PnId>,
+    },
+    /// A cluster's node set is not connected in the pattern.
+    DisconnectedCluster {
+        /// Index into `status.clusters`.
+        cluster: usize,
+    },
+    /// A cluster's `ordered_by` node lies outside the cluster.
+    OrderedByOutsideCluster {
+        /// Index into `status.clusters`.
+        cluster: usize,
+    },
+    /// A cost or cardinality is NaN, infinite, or negative.
+    NonFiniteCost {
+        /// Human-readable description of the offending quantity.
+        detail: String,
+    },
+}
+
+/// Check every structural invariant of `status` against `pattern`,
+/// returning all violations (empty ⇔ the status is valid).
+pub fn check_status(pattern: &Pattern, status: &Status) -> Vec<StatusViolation> {
+    let mut out = Vec::new();
+    let mut seen = NodeSet::empty();
+    let mut duplicated = Vec::new();
+    for (i, c) in status.clusters.iter().enumerate() {
+        for node in c.nodes.iter() {
+            if seen.contains(node) && !duplicated.contains(&node) {
+                duplicated.push(node);
+            }
+            seen.insert(node);
+        }
+        if !pattern.is_connected(c.nodes) {
+            out.push(StatusViolation::DisconnectedCluster { cluster: i });
+        }
+        if !c.nodes.contains(c.ordered_by) {
+            out.push(StatusViolation::OrderedByOutsideCluster { cluster: i });
+        }
+        if !c.card.is_finite() || c.card < 0.0 {
+            out.push(StatusViolation::NonFiniteCost {
+                detail: format!("cluster {i} cardinality is {}", c.card),
+            });
+        }
+    }
+    let missing: Vec<PnId> = pattern.node_ids().filter(|id| !seen.contains(*id)).collect();
+    if !missing.is_empty() || !duplicated.is_empty() {
+        out.push(StatusViolation::NotPartition { missing, duplicated });
+    }
+    if !status.cost.is_finite() || status.cost < 0.0 {
+        out.push(StatusViolation::NonFiniteCost {
+            detail: format!("status cost is {}", status.cost),
+        });
+    }
+    out
+}
 
 /// One joined sub-pattern inside a status.
 #[derive(Debug, Clone)]
@@ -50,12 +121,7 @@ pub struct StatusKey(Vec<(u64, u16)>);
 impl Status {
     /// Canonical identity.
     pub fn key(&self) -> StatusKey {
-        StatusKey(
-            self.clusters
-                .iter()
-                .map(|c| (c.nodes.0, c.ordered_by.0))
-                .collect(),
-        )
+        StatusKey(self.clusters.iter().map(|c| (c.nodes.0, c.ordered_by.0)).collect())
     }
 
     /// Number of joins performed so far (the paper's *level*).
@@ -137,7 +203,13 @@ impl<'a> SearchContext<'a> {
         }
         clusters.sort_by_key(|c| c.nodes.0);
         self.statuses_generated += 1;
-        Status { clusters, cost }
+        let start = Status { clusters, cost };
+        debug_assert!(
+            check_status(self.pattern, &start).is_empty(),
+            "start status violates Definition 4: {:?}",
+            check_status(self.pattern, &start)
+        );
+        start
     }
 
     /// Indices (into `pattern.edges()`) of edges not yet evaluated in
@@ -169,10 +241,7 @@ impl<'a> SearchContext<'a> {
         if status.is_final() {
             return false;
         }
-        !self
-            .remaining_edges(status)
-            .iter()
-            .any(|&i| self.joinable(status, i))
+        !self.remaining_edges(status).iter().any(|&i| self.joinable(status, i))
     }
 
     /// All successor statuses of `status` (the paper's `pM(S)`
@@ -207,6 +276,14 @@ impl<'a> SearchContext<'a> {
                 continue;
             }
             self.moves_along_edge(status, edge_idx, left_deep_only, all_sort_targets, &mut out);
+        }
+        #[cfg(debug_assertions)]
+        for succ in &out {
+            let violations = check_status(self.pattern, succ);
+            debug_assert!(
+                violations.is_empty(),
+                "expand produced a status violating Definition 4: {violations:?}"
+            );
         }
         out
     }
@@ -285,19 +362,12 @@ impl<'a> SearchContext<'a> {
                 candidates.push((
                     edge.child,
                     via_sort,
-                    PlanNode::Sort {
-                        input: Box::new(mk_join(anc_algo)),
-                        by: edge.child,
-                    },
+                    PlanNode::Sort { input: Box::new(mk_join(anc_algo)), by: edge.child },
                 ));
             }
         }
         if !is_last_join || all_sort_targets {
-            let base_algo = if anc_cost <= desc_cost {
-                anc_algo
-            } else {
-                JoinAlgo::StackTreeDesc
-            };
+            let base_algo = if anc_cost <= desc_cost { anc_algo } else { JoinAlgo::StackTreeDesc };
             let base_cost = anc_cost.min(desc_cost);
             for w in merged.iter() {
                 if w == edge.parent || w == edge.child {
@@ -323,12 +393,7 @@ impl<'a> SearchContext<'a> {
                 .filter(|&(i, _)| i != iu && i != iv)
                 .map(|(_, c)| c.clone())
                 .collect();
-            clusters.push(Cluster {
-                nodes: merged,
-                ordered_by: ordering,
-                card: out_card,
-                plan,
-            });
+            clusters.push(Cluster { nodes: merged, ordered_by: ordering, card: out_card, plan });
             clusters.sort_by_key(|c| c.nodes.0);
             let succ = Status { clusters, cost: status.cost + move_cost };
             if left_deep_only && !succ.is_left_deep() {
@@ -390,10 +455,7 @@ mod tests {
     use sjos_stats::Catalog;
     use sjos_xml::Document;
 
-    fn setup(
-        xml: &str,
-        pat: &str,
-    ) -> (Document, Pattern, PatternEstimates) {
+    fn setup(xml: &str, pat: &str) -> (Document, Pattern, PatternEstimates) {
         let doc = Document::parse(xml).unwrap();
         let pattern = parse_pattern(pat).unwrap();
         let catalog = Catalog::build(&doc);
@@ -520,10 +582,7 @@ mod tests {
     #[test]
     fn left_deep_filter_suppresses_bushy_successors() {
         // A 4-node pattern where a bushy status is reachable.
-        let (_d, p, e) = setup(
-            "<a><b><c/></b><d/></a>",
-            "//a[./b/c][./d]",
-        );
+        let (_d, p, e) = setup("<a><b><c/></b><d/></a>", "//a[./b/c][./d]");
         let m = CostModel::default();
         let mut ctx = SearchContext::new(&p, &e, &m);
         let s = ctx.start_status();
@@ -534,9 +593,7 @@ mod tests {
         let bc: Vec<_> = succs
             .iter()
             .filter(|x| {
-                x.clusters.iter().any(|c| {
-                    c.nodes.contains(PnId(1)) && c.nodes.contains(PnId(2))
-                })
+                x.clusters.iter().any(|c| c.nodes.contains(PnId(1)) && c.nodes.contains(PnId(2)))
             })
             .cloned()
             .collect();
@@ -565,10 +622,7 @@ mod tests {
         let mut cur = s;
         while !cur.is_final() {
             let succs = ctx.expand(&cur, false);
-            cur = succs
-                .into_iter()
-                .find(|x| !ctx.is_deadend(x))
-                .expect("some live successor");
+            cur = succs.into_iter().find(|x| !ctx.is_deadend(x)).expect("some live successor");
         }
         assert_eq!(ctx.ub_cost(&cur), 0.0);
     }

@@ -133,10 +133,8 @@ fn example_3_7_small_te_may_still_find_the_optimum_here() {
     let mut full = SearchContext::new(&pattern, &est, &model);
     let (_, opt) = optimize_dpp(&mut full, DppConfig::default());
     let mut eb = SearchContext::new(&pattern, &est, &model);
-    let (plan, cost) = optimize_dpp(
-        &mut eb,
-        DppConfig { expansion_bound: Some(2), ..DppConfig::default() },
-    );
+    let (plan, cost) =
+        optimize_dpp(&mut eb, DppConfig { expansion_bound: Some(2), ..DppConfig::default() });
     plan.validate(&pattern).unwrap();
     assert!(cost >= opt - 1e-9);
 }
@@ -160,10 +158,7 @@ fn theorem_3_1_pipelined_plan_exists_for_every_ordering() {
             let est = PatternEstimates::new(&catalog, &doc, &pattern);
             let mut ctx = SearchContext::new(&pattern, &est, &model);
             let (plan, cost) = optimize_fp(&mut ctx);
-            assert!(
-                plan.is_fully_pipelined(),
-                "{query} ordered by {target}: {plan}"
-            );
+            assert!(plan.is_fully_pipelined(), "{query} ordered by {target}: {plan}");
             assert_eq!(plan.ordered_by(), PnId(target as u16));
             plan.validate(&pattern).unwrap();
             assert!(cost.is_finite() && cost > 0.0);

@@ -6,18 +6,51 @@ use sjos_xml::{Document, DocumentBuilder};
 
 use crate::GenConfig;
 
-const VENUES: &[&str] = &[
-    "ICDE", "SIGMOD", "VLDB", "EDBT", "PODS", "CIKM", "WebDB", "TODS", "VLDBJ",
-];
+const VENUES: &[&str] =
+    &["ICDE", "SIGMOD", "VLDB", "EDBT", "PODS", "CIKM", "WebDB", "TODS", "VLDBJ"];
 const TITLE_WORDS: &[&str] = &[
-    "structural", "join", "order", "selection", "xml", "query", "optimization",
-    "pattern", "matching", "index", "histogram", "tree", "algebra", "storage",
-    "containment", "holistic", "twig", "estimation", "cost", "pipeline",
+    "structural",
+    "join",
+    "order",
+    "selection",
+    "xml",
+    "query",
+    "optimization",
+    "pattern",
+    "matching",
+    "index",
+    "histogram",
+    "tree",
+    "algebra",
+    "storage",
+    "containment",
+    "holistic",
+    "twig",
+    "estimation",
+    "cost",
+    "pipeline",
 ];
 const AUTHORS: &[&str] = &[
-    "wu", "patel", "jagadish", "al-khalifa", "koudas", "srivastava", "zhang",
-    "naughton", "dewitt", "luo", "lohman", "bruno", "selinger", "chaudhuri",
-    "widom", "mchugh", "liefke", "lakshmanan", "amer-yahia", "cho",
+    "wu",
+    "patel",
+    "jagadish",
+    "al-khalifa",
+    "koudas",
+    "srivastava",
+    "zhang",
+    "naughton",
+    "dewitt",
+    "luo",
+    "lohman",
+    "bruno",
+    "selinger",
+    "chaudhuri",
+    "widom",
+    "mchugh",
+    "liefke",
+    "lakshmanan",
+    "amer-yahia",
+    "cho",
 ];
 
 /// Generate a DBLP-shaped document of roughly `config.target_nodes`

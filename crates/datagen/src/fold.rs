@@ -14,10 +14,7 @@ pub fn fold_document(doc: &Document, factor: usize) -> Document {
     let root = doc.root().expect("cannot fold an empty document");
     let mut b = DocumentBuilder::new();
     let root_node = doc.node(root);
-    b.start_element_with_attrs(
-        doc.tag_name(root_node.tag),
-        attrs_of(doc, root),
-    );
+    b.start_element_with_attrs(doc.tag_name(root_node.tag), attrs_of(doc, root));
     if !root_node.text.is_empty() {
         b.text(&root_node.text);
     }
@@ -31,11 +28,7 @@ pub fn fold_document(doc: &Document, factor: usize) -> Document {
 }
 
 fn attrs_of(doc: &Document, id: NodeId) -> Vec<(String, String)> {
-    doc.node(id)
-        .attributes
-        .iter()
-        .map(|(t, v)| (doc.tag_name(*t).to_owned(), v.clone()))
-        .collect()
+    doc.node(id).attributes.iter().map(|(t, v)| (doc.tag_name(*t).to_owned(), v.clone())).collect()
 }
 
 fn copy_subtree(doc: &Document, id: NodeId, b: &mut DocumentBuilder) {
@@ -61,10 +54,7 @@ mod tests {
         let doc = pers(GenConfig::sized(500));
         let folded = fold_document(&doc, 1);
         assert_eq!(doc.len(), folded.len());
-        assert_eq!(
-            sjos_xml::serialize::to_xml(&doc),
-            sjos_xml::serialize::to_xml(&folded)
-        );
+        assert_eq!(sjos_xml::serialize::to_xml(&doc), sjos_xml::serialize::to_xml(&folded));
     }
 
     #[test]
@@ -83,10 +73,7 @@ mod tests {
         let folded = fold_document(&doc, 4);
         let emp = doc.tag("employee").unwrap();
         let femp = folded.tag("employee").unwrap();
-        assert_eq!(
-            folded.elements_with_tag(femp).len(),
-            doc.elements_with_tag(emp).len() * 4
-        );
+        assert_eq!(folded.elements_with_tag(femp).len(), doc.elements_with_tag(emp).len() * 4);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! generators preserve the structural properties the experiments
 //! exercise (depth, recursion, tag frequencies, value diversity), as
 //! documented in DESIGN.md.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod dblp;
 pub mod fold;

@@ -36,10 +36,7 @@ fn e_nest(b: &mut DocumentBuilder, rng: &mut StdRng, depth: usize, budget: &mut 
         return;
     }
     *budget -= 1;
-    b.start_element_with_attrs(
-        "eNest",
-        vec![("aLevel".to_owned(), depth.to_string())],
-    );
+    b.start_element_with_attrs("eNest", vec![("aLevel".to_owned(), depth.to_string())]);
     // Sparse companion element, as in MBench's eOccasional (1/6th).
     if rng.gen_ratio(1, 6) && *budget > 0 {
         *budget -= 1;

@@ -14,17 +14,38 @@ use sjos_xml::{Document, DocumentBuilder};
 use crate::GenConfig;
 
 const FIRST_NAMES: &[&str] = &[
-    "ada", "alan", "grace", "edsger", "barbara", "donald", "john", "leslie",
-    "tony", "dana", "ken", "dennis", "niklaus", "frances", "jim", "michael",
+    "ada", "alan", "grace", "edsger", "barbara", "donald", "john", "leslie", "tony", "dana", "ken",
+    "dennis", "niklaus", "frances", "jim", "michael",
 ];
 const LAST_NAMES: &[&str] = &[
-    "lovelace", "turing", "hopper", "dijkstra", "liskov", "knuth", "backus",
-    "lamport", "hoare", "scott", "thompson", "ritchie", "wirth", "allen",
-    "gray", "stonebraker",
+    "lovelace",
+    "turing",
+    "hopper",
+    "dijkstra",
+    "liskov",
+    "knuth",
+    "backus",
+    "lamport",
+    "hoare",
+    "scott",
+    "thompson",
+    "ritchie",
+    "wirth",
+    "allen",
+    "gray",
+    "stonebraker",
 ];
 const DEPT_NAMES: &[&str] = &[
-    "engineering", "research", "sales", "support", "operations", "finance",
-    "marketing", "quality", "design", "security",
+    "engineering",
+    "research",
+    "sales",
+    "support",
+    "operations",
+    "finance",
+    "marketing",
+    "quality",
+    "design",
+    "security",
 ];
 
 /// Generate a Pers document of roughly `config.target_nodes` elements.
@@ -75,11 +96,7 @@ fn manager(b: &mut DocumentBuilder, rng: &mut StdRng, depth: usize, budget: &mut
     }
     // Sub-managers: deep recursion is the point of this data set.
     if depth < 12 {
-        let subs = if depth < 2 {
-            rng.gen_range(1..=3)
-        } else {
-            rng.gen_range(0..=2)
-        };
+        let subs = if depth < 2 { rng.gen_range(1..=3) } else { rng.gen_range(0..=2) };
         for _ in 0..subs {
             if *budget <= 0 {
                 break;
@@ -121,10 +138,7 @@ mod tests {
         for target in [500, 5_000] {
             let doc = pers(GenConfig::sized(target));
             let n = doc.len();
-            assert!(
-                n >= target && n <= target + target / 5 + 16,
-                "target {target}, got {n}"
-            );
+            assert!(n >= target && n <= target + target / 5 + 16, "target {target}, got {n}");
         }
     }
 
@@ -133,20 +147,14 @@ mod tests {
         let a = pers(GenConfig::sized(2_000));
         let b = pers(GenConfig::sized(2_000));
         assert_eq!(a.len(), b.len());
-        assert_eq!(
-            sjos_xml::serialize::to_xml(&a),
-            sjos_xml::serialize::to_xml(&b)
-        );
+        assert_eq!(sjos_xml::serialize::to_xml(&a), sjos_xml::serialize::to_xml(&b));
     }
 
     #[test]
     fn different_seeds_differ() {
         let a = pers(GenConfig { target_nodes: 1_000, seed: 1 });
         let b = pers(GenConfig { target_nodes: 1_000, seed: 2 });
-        assert_ne!(
-            sjos_xml::serialize::to_xml(&a),
-            sjos_xml::serialize::to_xml(&b)
-        );
+        assert_ne!(sjos_xml::serialize::to_xml(&a), sjos_xml::serialize::to_xml(&b));
     }
 
     #[test]
@@ -155,9 +163,7 @@ mod tests {
         let manager = doc.tag("manager").unwrap();
         let list = doc.elements_with_tag(manager);
         assert!(!list.is_empty());
-        let nested = list.iter().any(|&m| {
-            doc.ancestors(m).any(|a| doc.node(a).tag == manager)
-        });
+        let nested = list.iter().any(|&m| doc.ancestors(m).any(|a| doc.node(a).tag == manager));
         assert!(nested, "manager//manager pairs must exist");
     }
 
@@ -173,10 +179,9 @@ mod tests {
     #[test]
     fn fig1_query_has_matches() {
         let doc = pers(GenConfig::sized(5_000));
-        let pattern = sjos_pattern::parse_pattern(
-            "//manager[.//employee/name][.//manager/department/name]",
-        )
-        .unwrap();
+        let pattern =
+            sjos_pattern::parse_pattern("//manager[.//employee/name][.//manager/department/name]")
+                .unwrap();
         let rows = sjos_exec_naive_eval(&doc, &pattern);
         assert!(!rows.is_empty(), "the paper's Fig. 1 query must be non-empty");
     }

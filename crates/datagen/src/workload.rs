@@ -163,10 +163,7 @@ mod tests {
 
     #[test]
     fn pers3_is_the_fig1_pattern() {
-        let q = paper_queries()
-            .into_iter()
-            .find(|q| q.id == "Q.Pers.3.d")
-            .unwrap();
+        let q = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").unwrap();
         let p = q.pattern();
         assert_eq!(p.len(), 6);
         assert_eq!(p.children(p.root()).len(), 2);

@@ -63,11 +63,8 @@ impl QueryResult {
     pub fn canonical_rows(&self) -> Vec<Vec<sjos_xml::NodeId>> {
         let mut order: Vec<usize> = (0..self.schema.width()).collect();
         order.sort_by_key(|&i| self.schema.columns()[i]);
-        let mut rows: Vec<Vec<sjos_xml::NodeId>> = self
-            .tuples
-            .iter()
-            .map(|t| order.iter().map(|&i| t[i].node).collect())
-            .collect();
+        let mut rows: Vec<Vec<sjos_xml::NodeId>> =
+            self.tuples.iter().map(|t| order.iter().map(|&i| t[i].node).collect()).collect();
         rows.sort_unstable();
         rows
     }
@@ -138,9 +135,7 @@ fn build_operator<'a>(
     metrics: &Arc<ExecMetrics>,
 ) -> BoxedOperator<'a> {
     match plan {
-        PlanNode::IndexScan { pnode } => {
-            Box::new(build_scan(store, pattern, *pnode, metrics))
-        }
+        PlanNode::IndexScan { pnode } => Box::new(build_scan(store, pattern, *pnode, metrics)),
         PlanNode::Sort { input, by } => {
             let child = build_operator(store, pattern, input, metrics);
             Box::new(SortOp::new(child, *by, Arc::clone(metrics)))
@@ -149,14 +144,9 @@ fn build_operator<'a>(
             let l = build_operator(store, pattern, left, metrics);
             let r = build_operator(store, pattern, right, metrics);
             match algo {
-                crate::plan::JoinAlgo::MergeJoin => Box::new(MergeJoinOp::new(
-                    l,
-                    r,
-                    *anc,
-                    *desc,
-                    *axis,
-                    Arc::clone(metrics),
-                )),
+                crate::plan::JoinAlgo::MergeJoin => {
+                    Box::new(MergeJoinOp::new(l, r, *anc, *desc, *axis, Arc::clone(metrics)))
+                }
                 _ => Box::new(StackTreeJoinOp::new(
                     l,
                     r,

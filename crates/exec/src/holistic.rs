@@ -95,9 +95,7 @@ pub fn evaluate(store: &XmlStore, pattern: &Pattern) -> TwigResult {
             let filter = pnode.predicate.as_ref().map(|p| match p {
                 ValuePredicate::Equals(v) => value_digest(v),
             });
-            let keep = |r: &sjos_storage::ElementRecord| {
-                filter.is_none_or(|f| r.value_hash == f)
-            };
+            let keep = |r: &sjos_storage::ElementRecord| filter.is_none_or(|f| r.value_hash == f);
             let recs: Vec<Entry> = if pnode.is_wildcard() {
                 store
                     .scan_all()
@@ -151,10 +149,7 @@ pub fn evaluate(store: &XmlStore, pattern: &Pattern) -> TwigResult {
         };
         if parent_ok {
             clean_stack(&mut stacks[q_act.index()], head.region.start);
-            let parent_len = pattern
-                .parent(q_act)
-                .map(|p| stacks[p.index()].len())
-                .unwrap_or(0);
+            let parent_len = pattern.parent(q_act).map(|p| stacks[p.index()].len()).unwrap_or(0);
             if let Some(&path_idx) = leaf_path_of.get(&q_act) {
                 // Leaf: emit path solutions directly; no push needed.
                 let path = &leaf_paths[path_idx];
@@ -217,16 +212,10 @@ fn get_next(pattern: &Pattern, streams: &mut [Stream], q: PnId) -> PnId {
             return ni;
         }
     }
-    let n_min = kids
-        .iter()
-        .copied()
-        .min_by_key(|qi| streams[qi.index()].next_l())
-        .expect("kids non-empty");
-    let n_max = kids
-        .iter()
-        .copied()
-        .max_by_key(|qi| streams[qi.index()].next_l())
-        .expect("kids non-empty");
+    let n_min =
+        kids.iter().copied().min_by_key(|qi| streams[qi.index()].next_l()).expect("kids non-empty");
+    let n_max =
+        kids.iter().copied().max_by_key(|qi| streams[qi.index()].next_l()).expect("kids non-empty");
     while streams[q.index()].next_r() < streams[n_max.index()].next_l() {
         streams[q.index()].advance();
     }
@@ -278,10 +267,7 @@ fn emit_paths(
         }
         let parent_node = path[depth - 1];
         let child_node = path[depth];
-        let axis = pattern
-            .edge_between(parent_node, child_node)
-            .expect("path edge")
-            .axis;
+        let axis = pattern.edge_between(parent_node, child_node).expect("path edge").axis;
         let parent_stack = &stacks[parent_node.index()];
         for cand in parent_stack.iter().take(below.parent_len) {
             // Strict containment check: with self-joining tags the
@@ -290,9 +276,7 @@ fn emit_paths(
             if !cand.entry.region.contains(below.entry.region) {
                 continue;
             }
-            if axis == Axis::Child
-                && cand.entry.region.level + 1 != below.entry.region.level
-            {
+            if axis == Axis::Child && cand.entry.region.level + 1 != below.entry.region.level {
                 continue;
             }
             bindings.push(cand.entry);
@@ -301,16 +285,7 @@ fn emit_paths(
         }
     }
     let mut bindings = vec![leaf_elem.entry];
-    rec(
-        pattern,
-        stacks,
-        path,
-        path.len() - 1,
-        leaf_elem,
-        &mut bindings,
-        out,
-        metrics,
-    );
+    rec(pattern, stacks, path, path.len() - 1, leaf_elem, &mut bindings, out, metrics);
 }
 
 /// Phase 2: join per-leaf path solution lists on shared prefixes.
@@ -326,10 +301,8 @@ fn merge_paths(
     let mut acc: Vec<Vec<NodeId>> = vec![vec![unbound; pattern.len()]];
     let mut bound: Vec<PnId> = Vec::new();
     for (path, solutions) in leaf_paths.iter().zip(path_solutions) {
-        let shared: Vec<PnId> =
-            path.iter().copied().filter(|p| bound.contains(p)).collect();
-        let fresh: Vec<PnId> =
-            path.iter().copied().filter(|p| !bound.contains(p)).collect();
+        let shared: Vec<PnId> = path.iter().copied().filter(|p| bound.contains(p)).collect();
+        let fresh: Vec<PnId> = path.iter().copied().filter(|p| !bound.contains(p)).collect();
         // Hash the new path's solutions by their shared-prefix key.
         let mut by_key: HashMap<Vec<NodeId>, Vec<Vec<Entry>>> = HashMap::new();
         for sol in solutions {

@@ -18,6 +18,8 @@
 //! [`naive`] holds a navigational evaluator used as ground truth in
 //! tests (and as the paper's Example 2.2 "scan the subtree" cautionary
 //! baseline).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod executor;
 pub mod holistic;

@@ -33,14 +33,23 @@ pub struct ExecMetrics {
 /// Point-in-time copy of [`ExecMetrics`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
+    /// Tuples emitted at the plan root.
     pub output_tuples: u64,
+    /// Tuples produced by all operators, including intermediates.
     pub produced_tuples: u64,
+    /// Stack push operations across the stack-tree joins.
     pub stack_pushes: u64,
+    /// Stack pop operations across the stack-tree joins.
     pub stack_pops: u64,
+    /// Pairs buffered by Stack-Tree-Anc for in-order emission.
     pub buffered_pairs: u64,
+    /// Tuples passed through sort operators.
     pub sorted_tuples: u64,
+    /// Number of sort operators executed.
     pub sort_operations: u64,
+    /// Records delivered by index scans.
     pub scanned_records: u64,
+    /// Descendant-window tuples revisited by merge joins.
     pub merge_rescans: u64,
 }
 

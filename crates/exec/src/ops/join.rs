@@ -154,9 +154,7 @@ impl<'a> StackTreeJoinOp<'a> {
     fn axis_ok(&self, a: &Tuple, d: &Tuple) -> bool {
         match self.axis {
             Axis::Descendant => true,
-            Axis::Child => {
-                a[self.left_col].region.level + 1 == d[self.right_col].region.level
-            }
+            Axis::Child => a[self.left_col].region.level + 1 == d[self.right_col].region.level,
         }
     }
 
@@ -197,11 +195,7 @@ impl<'a> StackTreeJoinOp<'a> {
 
     fn push(&mut self, tuple: Tuple) {
         ExecMetrics::add(&self.metrics.stack_pushes, 1);
-        self.stack.push(StackEntry {
-            tuple,
-            self_list: Vec::new(),
-            inherit_list: Vec::new(),
-        });
+        self.stack.push(StackEntry { tuple, self_list: Vec::new(), inherit_list: Vec::new() });
     }
 
     /// One step of the merge loop. Returns `false` when both inputs
@@ -487,8 +481,7 @@ mod tests {
     #[test]
     fn deep_nesting_keeps_whole_chain_on_stack() {
         let n = 50u32;
-        let ancs: Vec<Region> =
-            (0..n).map(|i| r(i, 2 * n + 1 - i, i as u16)).collect();
+        let ancs: Vec<Region> = (0..n).map(|i| r(i, 2 * n + 1 - i, i as u16)).collect();
         let descs = vec![r(n, n + 1, n as u16)];
         let m = ExecMetrics::new();
         let left = Box::new(FixedInput::new(PnId(0), ancs));

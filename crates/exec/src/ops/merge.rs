@@ -81,11 +81,8 @@ impl<'a> MergeJoinOp<'a> {
 
     fn fill_right_until(&mut self, pos: u32) {
         while !self.right_done {
-            let need_more = self
-                .right_buf
-                .last()
-                .map(|t| t[self.right_col].region.start < pos)
-                .unwrap_or(true);
+            let need_more =
+                self.right_buf.last().map(|t| t[self.right_col].region.start < pos).unwrap_or(true);
             if !need_more {
                 break;
             }
@@ -139,15 +136,11 @@ impl Operator for MergeJoinOp<'_> {
                 ExecMetrics::add(&self.metrics.merge_rescans, 1);
                 // Window membership implies containment (regions
                 // nest); only the level test remains for `/`.
-                debug_assert!(
-                    d_region.start <= a_region.start || a_region.contains(d_region)
-                );
+                debug_assert!(d_region.start <= a_region.start || a_region.contains(d_region));
                 if d_region.start <= a_region.start {
                     continue; // same element (self-join edge case)
                 }
-                if self.axis == Axis::Child
-                    && a_region.level + 1 != d_region.level
-                {
+                if self.axis == Axis::Child && a_region.level + 1 != d_region.level {
                     continue;
                 }
                 let mut out = Vec::with_capacity(a.len() + d.len());

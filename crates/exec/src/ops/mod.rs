@@ -43,11 +43,7 @@ impl VecInput {
     pub fn single(column: sjos_pattern::PnId, entries: Vec<crate::tuple::Entry>) -> VecInput {
         VecInput {
             schema: Schema::singleton(column),
-            rows: entries
-                .into_iter()
-                .map(|e| vec![e])
-                .collect::<Vec<_>>()
-                .into_iter(),
+            rows: entries.into_iter().map(|e| vec![e]).collect::<Vec<_>>().into_iter(),
         }
     }
 }

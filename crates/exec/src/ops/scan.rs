@@ -68,10 +68,7 @@ mod tests {
     use sjos_xml::Document;
 
     fn store() -> XmlStore {
-        let doc = Document::parse(
-            "<r><e><n>a</n></e><e><n>b</n></e><e><n>a</n></e></r>",
-        )
-        .unwrap();
+        let doc = Document::parse("<r><e><n>a</n></e><e><n>b</n></e><e><n>a</n></e></r>").unwrap();
         XmlStore::load(doc)
     }
 
@@ -96,12 +93,8 @@ mod tests {
         let st = store();
         let tag = st.document().tag("n").unwrap();
         let m = ExecMetrics::new();
-        let mut op = IndexScanOp::new(
-            PnId(0),
-            st.scan_tag(tag),
-            Some(value_digest("a")),
-            Arc::clone(&m),
-        );
+        let mut op =
+            IndexScanOp::new(PnId(0), st.scan_tag(tag), Some(value_digest("a")), Arc::clone(&m));
         let mut n = 0;
         while op.next().is_some() {
             n += 1;

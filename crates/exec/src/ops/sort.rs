@@ -27,16 +27,8 @@ impl<'a> SortOp<'a> {
     /// Panics if `input` does not bind `by`.
     pub fn new(input: BoxedOperator<'a>, by: PnId, metrics: Arc<ExecMetrics>) -> Self {
         let schema = input.schema().clone();
-        let col = schema
-            .position(by)
-            .unwrap_or_else(|| panic!("sort by unbound column {by:?}"));
-        SortOp {
-            input: Some(input),
-            schema,
-            col,
-            buffer: Vec::new().into_iter(),
-            metrics,
-        }
+        let col = schema.position(by).unwrap_or_else(|| panic!("sort by unbound column {by:?}"));
+        SortOp { input: Some(input), schema, col, buffer: Vec::new().into_iter(), metrics }
     }
 
     fn materialize(&mut self) {
@@ -94,15 +86,18 @@ mod tests {
             .enumerate()
             .map(|(i, &(a, b))| {
                 vec![
-                    Entry { node: NodeId(i as u32), region: Region { start: a, end: a + 1, level: 0 } },
-                    Entry { node: NodeId(100 + i as u32), region: Region { start: b, end: b + 1, level: 1 } },
+                    Entry {
+                        node: NodeId(i as u32),
+                        region: Region { start: a, end: a + 1, level: 0 },
+                    },
+                    Entry {
+                        node: NodeId(100 + i as u32),
+                        region: Region { start: b, end: b + 1, level: 1 },
+                    },
                 ]
             })
             .collect();
-        FixedInput {
-            schema: Schema::new(vec![PnId(0), PnId(1)]),
-            rows: rows.into_iter(),
-        }
+        FixedInput { schema: Schema::new(vec![PnId(0), PnId(1)]), rows: rows.into_iter() }
     }
 
     #[test]

@@ -85,9 +85,7 @@ impl PlanNode {
     pub fn sort_count(&self) -> usize {
         match self {
             PlanNode::IndexScan { .. } => 0,
-            PlanNode::StructuralJoin { left, right, .. } => {
-                left.sort_count() + right.sort_count()
-            }
+            PlanNode::StructuralJoin { left, right, .. } => left.sort_count() + right.sort_count(),
             PlanNode::Sort { input, .. } => 1 + input.sort_count(),
         }
     }
@@ -113,8 +111,7 @@ impl PlanNode {
             PlanNode::StructuralJoin { left, right, .. } => {
                 // Either side may act as the pipeline "spine"; the
                 // other must be a base input.
-                (left.is_left_deep() && is_leaf(right))
-                    || (right.is_left_deep() && is_leaf(left))
+                (left.is_left_deep() && is_leaf(right)) || (right.is_left_deep() && is_leaf(left))
             }
         }
     }
@@ -139,9 +136,7 @@ impl PlanNode {
         bound.sort_unstable();
         let expected: Vec<PnId> = pattern.node_ids().collect();
         if bound != expected {
-            return Err(format!(
-                "plan binds {bound:?}, pattern has {expected:?}"
-            ));
+            return Err(format!("plan binds {bound:?}, pattern has {expected:?}"));
         }
         if let Some(w) = pattern.order_by() {
             if self.ordered_by() != w {
@@ -175,9 +170,7 @@ impl PlanNode {
                     .edge_between(*anc, *desc)
                     .ok_or_else(|| format!("no pattern edge between {anc:?} and {desc:?}"))?;
                 if edge.parent != *anc || edge.child != *desc {
-                    return Err(format!(
-                        "join orientation reversed for edge {anc:?}-{desc:?}"
-                    ));
+                    return Err(format!("join orientation reversed for edge {anc:?}-{desc:?}"));
                 }
                 if edge.axis != *axis {
                     return Err(format!("axis mismatch on edge {anc:?}-{desc:?}"));

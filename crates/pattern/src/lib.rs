@@ -20,6 +20,8 @@
 //! assert_eq!(p.len(), 6);
 //! assert_eq!(p.edge_count(), 5);
 //! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod nodeset;
 pub mod parser;

@@ -217,19 +217,15 @@ impl<'a> Parser<'a> {
             return Ok(());
         }
         let tag = self.name()?;
-        let matching: Vec<PnId> = pattern
-            .node_ids()
-            .filter(|id| pattern.node(*id).tag == tag)
-            .collect();
+        let matching: Vec<PnId> =
+            pattern.node_ids().filter(|id| pattern.node(*id).tag == tag).collect();
         match matching.as_slice() {
             [only] => {
                 pattern.set_order_by(*only);
                 Ok(())
             }
             [] => Err(self.error(format!("order-by tag {tag:?} not in pattern"))),
-            _ => Err(self.error(format!(
-                "order-by tag {tag:?} is ambiguous; use #<node-index>"
-            ))),
+            _ => Err(self.error(format!("order-by tag {tag:?} is ambiguous; use #<node-index>"))),
         }
     }
 
@@ -301,10 +297,7 @@ mod tests {
     #[test]
     fn value_predicates() {
         let p = parse_pattern("//emp/name[text()='Ada']").unwrap();
-        assert_eq!(
-            p.node(PnId(1)).predicate,
-            Some(ValuePredicate::Equals("Ada".into()))
-        );
+        assert_eq!(p.node(PnId(1)).predicate, Some(ValuePredicate::Equals("Ada".into())));
         let p2 = parse_pattern("//emp/name[. = \"Ada\"]").unwrap();
         assert_eq!(p, p2);
     }
@@ -324,8 +317,7 @@ mod tests {
 
     #[test]
     fn fig1_pattern_shape() {
-        let p =
-            parse_pattern("//manager[.//employee/name][.//manager/department/name]").unwrap();
+        let p = parse_pattern("//manager[.//employee/name][.//manager/department/name]").unwrap();
         assert_eq!(p.len(), 6);
         assert_eq!(p.edge_count(), 5);
         assert_eq!(p.children(p.root()).len(), 2);

@@ -99,10 +99,7 @@ impl Pattern {
     /// [`crate::nodeset::MAX_PATTERN_NODES`] nodes.
     pub fn add_child(&mut self, parent: PnId, axis: Axis, tag: impl Into<String>) -> PnId {
         assert!(parent.index() < self.nodes.len(), "bad parent id");
-        assert!(
-            self.nodes.len() < crate::nodeset::MAX_PATTERN_NODES,
-            "pattern too large"
-        );
+        assert!(self.nodes.len() < crate::nodeset::MAX_PATTERN_NODES, "pattern too large");
         let id = PnId(self.nodes.len() as u16);
         self.nodes.push(PatternNode { tag: tag.into(), predicate: None });
         self.children.push(Vec::new());

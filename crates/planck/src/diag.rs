@@ -1,0 +1,368 @@
+//! Lint rules and diagnostic reports.
+
+use std::fmt;
+
+/// A plan/status invariant `planck` checks. Each rule has a stable id
+/// (`PL0xx`) that tests and tooling may match on; ids are never reused
+/// or renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// PL001: the plan binds every pattern node exactly once.
+    BindingPartition,
+    /// PL002: every structural join evaluates a real pattern edge.
+    EdgeExists,
+    /// PL003: join `anc`/`desc` match the edge's parent/child.
+    EdgeOrientation,
+    /// PL004: join axis equals the pattern edge's axis.
+    AxisMatch,
+    /// PL005: each join input arrives ordered by its join node.
+    InputOrder,
+    /// PL006: a sort's column is bound by its input.
+    SortBound,
+    /// PL007: the root output ordering honors the pattern's order-by.
+    OrderBy,
+    /// PL008: a plan claimed fully-pipelined has no blocking operator.
+    Pipelined,
+    /// PL009: a plan claimed left-deep is left-deep.
+    LeftDeep,
+    /// PL010: every operator cost is finite and non-negative.
+    CostFinite,
+    /// PL011: cumulative cost is non-decreasing up the tree.
+    CostMonotone,
+    /// PL012: every cardinality estimate is finite and non-negative.
+    CardFinite,
+    /// PL013: the left join input binds `anc`, the right binds `desc`.
+    JoinInputBinding,
+    /// PL020: a status's clusters partition the pattern's nodes.
+    ClusterPartition,
+    /// PL021: every cluster is a connected sub-pattern.
+    ClusterConnected,
+    /// PL022: every cluster is ordered by one of its own nodes.
+    ClusterOrderMember,
+    /// PL023: status cost and cluster cardinalities are finite and
+    /// non-negative.
+    StatusCostSane,
+    /// PL030: DPP (and DPP') find the same plan cost as exhaustive DP.
+    DppMatchesDp,
+    /// PL031: FP's plan is the cheapest sort-free stack-tree plan.
+    FpCheapestPipelined,
+    /// PL032: no heuristic (DPAP-EB, DPAP-LD, FP) undercuts the DP
+    /// optimum.
+    HeuristicNotBelowOptimal,
+    /// PL033: `ubCost` is finite, non-negative, and zero exactly at
+    /// final statuses; finalizing never reduces cost.
+    UbCostSane,
+}
+
+impl Rule {
+    /// Every rule, in id order.
+    pub const ALL: [Rule; 21] = [
+        Rule::BindingPartition,
+        Rule::EdgeExists,
+        Rule::EdgeOrientation,
+        Rule::AxisMatch,
+        Rule::InputOrder,
+        Rule::SortBound,
+        Rule::OrderBy,
+        Rule::Pipelined,
+        Rule::LeftDeep,
+        Rule::CostFinite,
+        Rule::CostMonotone,
+        Rule::CardFinite,
+        Rule::JoinInputBinding,
+        Rule::ClusterPartition,
+        Rule::ClusterConnected,
+        Rule::ClusterOrderMember,
+        Rule::StatusCostSane,
+        Rule::DppMatchesDp,
+        Rule::FpCheapestPipelined,
+        Rule::HeuristicNotBelowOptimal,
+        Rule::UbCostSane,
+    ];
+
+    /// The stable diagnostic id.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::BindingPartition => "PL001",
+            Rule::EdgeExists => "PL002",
+            Rule::EdgeOrientation => "PL003",
+            Rule::AxisMatch => "PL004",
+            Rule::InputOrder => "PL005",
+            Rule::SortBound => "PL006",
+            Rule::OrderBy => "PL007",
+            Rule::Pipelined => "PL008",
+            Rule::LeftDeep => "PL009",
+            Rule::CostFinite => "PL010",
+            Rule::CostMonotone => "PL011",
+            Rule::CardFinite => "PL012",
+            Rule::JoinInputBinding => "PL013",
+            Rule::ClusterPartition => "PL020",
+            Rule::ClusterConnected => "PL021",
+            Rule::ClusterOrderMember => "PL022",
+            Rule::StatusCostSane => "PL023",
+            Rule::DppMatchesDp => "PL030",
+            Rule::FpCheapestPipelined => "PL031",
+            Rule::HeuristicNotBelowOptimal => "PL032",
+            Rule::UbCostSane => "PL033",
+        }
+    }
+
+    /// Short kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::BindingPartition => "binding-partition",
+            Rule::EdgeExists => "edge-exists",
+            Rule::EdgeOrientation => "edge-orientation",
+            Rule::AxisMatch => "axis-match",
+            Rule::InputOrder => "input-order",
+            Rule::SortBound => "sort-bound",
+            Rule::OrderBy => "order-by",
+            Rule::Pipelined => "pipelined",
+            Rule::LeftDeep => "left-deep",
+            Rule::CostFinite => "cost-finite",
+            Rule::CostMonotone => "cost-monotone",
+            Rule::CardFinite => "card-finite",
+            Rule::JoinInputBinding => "join-input-binding",
+            Rule::ClusterPartition => "cluster-partition",
+            Rule::ClusterConnected => "cluster-connected",
+            Rule::ClusterOrderMember => "cluster-order-member",
+            Rule::StatusCostSane => "status-cost-sane",
+            Rule::DppMatchesDp => "dpp-matches-dp",
+            Rule::FpCheapestPipelined => "fp-cheapest-pipelined",
+            Rule::HeuristicNotBelowOptimal => "heuristic-not-below-optimal",
+            Rule::UbCostSane => "ub-cost-sane",
+        }
+    }
+
+    /// Why the invariant must hold, with the paper reference that
+    /// justifies it (Wu, Patel & Jagadish, ICDE 2003).
+    pub fn explanation(self) -> &'static str {
+        match self {
+            Rule::BindingPartition => {
+                "a plan answers the query only if its output binds every \
+                 pattern node exactly once (§2.3: plans are rooted trees \
+                 over the pattern's nodes)"
+            }
+            Rule::EdgeExists => {
+                "structural joins evaluate pattern edges; joining an \
+                 unrelated node pair computes a different query (§2.3)"
+            }
+            Rule::EdgeOrientation => {
+                "the ancestor/descendant roles of a structural join are \
+                 fixed by the edge's direction in the pattern (§2.1)"
+            }
+            Rule::AxisMatch => {
+                "a parent-child edge evaluated as ancestor-descendant (or \
+                 vice versa) returns wrong results (§2.1)"
+            }
+            Rule::InputOrder => {
+                "stack-tree and MPMGJN joins require both inputs sorted by \
+                 their join nodes (§2.2, the ordering constraint that \
+                 drives the whole status model)"
+            }
+            Rule::SortBound => {
+                "sorting by a column the input does not produce is \
+                 meaningless"
+            }
+            Rule::OrderBy => {
+                "when the query requests results in a specific node's \
+                 order, the plan must deliver that order (§3.1.1, \
+                 Example 3.6)"
+            }
+            Rule::Pipelined => {
+                "FP plans are sort-free by construction (§3.4, Theorem \
+                 3.1); a blocking operator in one is an optimizer bug"
+            }
+            Rule::LeftDeep => {
+                "DPAP-LD searches left-deep statuses only (§3.3.2); a \
+                 bushy result means the restriction leaked"
+            }
+            Rule::CostFinite => {
+                "the cost model's terms (§2.2.2) are sums of non-negative \
+                 products; NaN, infinite or negative costs poison every \
+                 comparison the optimizers make"
+            }
+            Rule::CostMonotone => {
+                "each operator adds non-negative cost, so cumulative cost \
+                 can only grow towards the root — the property the \
+                 Pruning Rule (§3.2) relies on"
+            }
+            Rule::CardFinite => {
+                "cardinality estimates feed every cost term; a negative \
+                 or non-finite estimate breaks cost comparisons"
+            }
+            Rule::JoinInputBinding => {
+                "the left input of a structural join must produce the \
+                 ancestor bindings and the right the descendant bindings \
+                 (§2.2)"
+            }
+            Rule::ClusterPartition => {
+                "a status's clusters partition the pattern's nodes \
+                 (Definition 4, §3.1.1)"
+            }
+            Rule::ClusterConnected => {
+                "every cluster is a connected sub-pattern — joins only \
+                 merge clusters along pattern edges (Definition 4)"
+            }
+            Rule::ClusterOrderMember => {
+                "a cluster's result is ordered by one of its own nodes \
+                 (Definition 4); anything else is unrepresentable"
+            }
+            Rule::StatusCostSane => "status costs accumulate non-negative move costs (§3.1.1)",
+            Rule::DppMatchesDp => {
+                "DPP's pruning rules discard only provably non-optimal \
+                 statuses, so DPP and DP must agree on the optimal cost \
+                 (§3.2, Table 2)"
+            }
+            Rule::FpCheapestPipelined => {
+                "FP returns the cheapest fully-pipelined plan (§3.4); a \
+                 cheaper sort-free stack-tree plan existing means FP's \
+                 enumeration is broken"
+            }
+            Rule::HeuristicNotBelowOptimal => {
+                "DPAP-EB, DPAP-LD and FP search subsets of DP's space; \
+                 costing below the DP optimum means a cost or search bug \
+                 (§3.3-3.4)"
+            }
+            Rule::UbCostSane => {
+                "ubCost orders the DPP priority queue (§3.2); it must be \
+                 finite and non-negative, vanish exactly at final \
+                 statuses, and finalization can only add sort cost"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.id(), self.name())
+    }
+}
+
+/// One rule violation at one plan/status location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Where in the linted object the violation sits (a path like
+    /// `root.left.right`, a cluster index, or an algorithm name).
+    pub location: String,
+    /// What exactly is wrong, with the offending values.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: at {}: {}", self.rule, self.location, self.message)
+    }
+}
+
+/// The outcome of a lint pass: zero or more diagnostics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// All violations found, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when some diagnostic violates `rule`.
+    pub fn violates(&self, rule: Rule) -> bool {
+        self.diagnostics.iter().any(|d| d.rule == rule)
+    }
+
+    /// The distinct rules that fired, in id order.
+    pub fn rules(&self) -> Vec<Rule> {
+        let mut rules: Vec<Rule> = self.diagnostics.iter().map(|d| d.rule).collect();
+        rules.sort();
+        rules.dedup();
+        rules
+    }
+
+    /// Append `diag` to the report.
+    pub fn push(&mut self, rule: Rule, location: impl Into<String>, message: impl Into<String>) {
+        self.diagnostics.push(Diagnostic {
+            rule,
+            location: location.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Merge another report's diagnostics into this one, prefixing
+    /// their locations with `prefix`.
+    pub fn absorb(&mut self, prefix: &str, other: Report) {
+        for mut d in other.diagnostics {
+            d.location = format!("{prefix}:{}", d.location);
+            self.diagnostics.push(d);
+        }
+    }
+
+    /// Multi-line human-readable rendering: one line per diagnostic
+    /// followed by each fired rule's explanation.
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return "clean: no plan invariants violated\n".to_string();
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+        }
+        out.push('\n');
+        for rule in self.rules() {
+            out.push_str(&format!("  {}: {}\n", rule.id(), rule.explanation()));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_stable() {
+        let mut ids: Vec<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate rule id");
+        assert_eq!(Rule::BindingPartition.id(), "PL001");
+        assert_eq!(Rule::ClusterPartition.id(), "PL020");
+        assert_eq!(Rule::DppMatchesDp.id(), "PL030");
+    }
+
+    #[test]
+    fn report_accumulates_and_renders() {
+        let mut r = Report::default();
+        assert!(r.is_clean());
+        assert!(r.render().contains("clean"));
+        r.push(Rule::AxisMatch, "root.left", "axis / but edge is //");
+        assert!(!r.is_clean());
+        assert!(r.violates(Rule::AxisMatch));
+        assert!(!r.violates(Rule::OrderBy));
+        assert_eq!(r.rules(), vec![Rule::AxisMatch]);
+        let rendered = r.render();
+        assert!(rendered.contains("PL004"));
+        assert!(rendered.contains("root.left"));
+        assert!(rendered.contains("wrong results"), "{rendered}");
+    }
+
+    #[test]
+    fn absorb_prefixes_locations() {
+        let mut inner = Report::default();
+        inner.push(Rule::OrderBy, "root", "wrong order");
+        let mut outer = Report::default();
+        outer.absorb("FP", inner);
+        assert_eq!(outer.diagnostics[0].location, "FP:root");
+    }
+}

@@ -1,0 +1,36 @@
+//! # sjos-planck
+//!
+//! A **plan-invariant static analyzer** for the sjos optimizer stack.
+//! Without executing a single join, `planck` verifies that:
+//!
+//! * physical plan trees are structurally sound — the binding
+//!   partition, pattern-edge, orientation, axis, and input-ordering
+//!   rules the stack-tree algorithms assume (PL001–PL007, PL013);
+//! * optimizer-specific claims hold — FP plans are non-blocking,
+//!   DPAP-LD plans are left-deep (PL008–PL009);
+//! * costs are sane — finite, non-negative, monotone up the tree
+//!   (PL010–PL012);
+//! * statuses satisfy the paper's Definition 4 (PL020–PL023, by
+//!   mapping [`sjos_core::check_status`] onto stable rule ids);
+//! * the optimizers agree where theory says they must — DPP equals
+//!   DP, heuristics never undercut the optimum, FP is the cheapest
+//!   sort-free stack-tree plan, `ubCost` is well-shaped (PL030–PL033).
+//!
+//! Every rule carries a stable `PL0xx` id ([`Rule::id`]), a short
+//! name, and a prose explanation citing the paper section that
+//! justifies it — see [`Rule::explanation`]. The `planlint` binary in
+//! the workspace root renders [`Report`]s next to the plan under
+//! analysis; the same checks back the optimizers' `debug_assert!`
+//! hooks through [`sjos_core::check_status`].
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cross;
+pub mod diag;
+pub mod plan_rules;
+pub mod status_rules;
+
+pub use cross::{lint_optimizers, lint_search_space, min_pipelined_cost, MAX_CROSS_CHECK_NODES};
+pub use diag::{Diagnostic, Report, Rule};
+pub use plan_rules::{lint_plan, lint_plan_with, PlanExpectations};
+pub use status_rules::lint_status;

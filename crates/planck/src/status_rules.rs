@@ -1,0 +1,48 @@
+//! Lints over optimizer statuses (rules PL020–PL023).
+//!
+//! The structural conditions themselves live in
+//! [`sjos_core::check_status`] (so the optimizers' `debug_assert!`
+//! hooks can use them without depending on this crate); here each
+//! [`StatusViolation`] is mapped to its stable rule id.
+
+use sjos_core::{check_status, Status, StatusViolation};
+use sjos_pattern::Pattern;
+
+use crate::diag::{Report, Rule};
+
+/// Lint one status against the paper's Definition 4 conditions.
+pub fn lint_status(pattern: &Pattern, status: &Status) -> Report {
+    let mut report = Report::default();
+    for violation in check_status(pattern, status) {
+        match violation {
+            StatusViolation::NotPartition { missing, duplicated } => report.push(
+                Rule::ClusterPartition,
+                "status",
+                format!(
+                    "clusters are not a partition: missing {missing:?}, \
+                     duplicated {duplicated:?}"
+                ),
+            ),
+            StatusViolation::DisconnectedCluster { cluster } => report.push(
+                Rule::ClusterConnected,
+                format!("cluster[{cluster}]"),
+                format!(
+                    "node set {:?} is not connected in the pattern",
+                    status.clusters[cluster].nodes
+                ),
+            ),
+            StatusViolation::OrderedByOutsideCluster { cluster } => report.push(
+                Rule::ClusterOrderMember,
+                format!("cluster[{cluster}]"),
+                format!(
+                    "ordered by {:?}, which is outside the cluster",
+                    status.clusters[cluster].ordered_by
+                ),
+            ),
+            StatusViolation::NonFiniteCost { detail } => {
+                report.push(Rule::StatusCostSane, "status", detail)
+            }
+        }
+    }
+    report
+}

@@ -44,13 +44,7 @@ impl Catalog {
 
     /// Build with an explicit grid resolution.
     pub fn build_with_grid(doc: &Document, grid: usize) -> Catalog {
-        let max_pos = doc
-            .nodes()
-            .iter()
-            .map(|n| n.region.end)
-            .max()
-            .map(|m| m + 1)
-            .unwrap_or(1);
+        let max_pos = doc.nodes().iter().map(|n| n.region.end).max().map(|m| m + 1).unwrap_or(1);
         let mut per_tag = HashMap::new();
         for (tag, ids) in doc.tag_lists() {
             let mut hist = PositionalHistogram::new(grid, max_pos);
@@ -188,10 +182,7 @@ mod tests {
         let d = doc();
         let c = Catalog::build(&d);
         assert_eq!(c.cardinality(sjos_xml::Tag(999)), 0);
-        assert_eq!(
-            c.join_pairs(sjos_xml::Tag(999), d.tag("emp").unwrap(), Axis::Descendant),
-            0.0
-        );
+        assert_eq!(c.join_pairs(sjos_xml::Tag(999), d.tag("emp").unwrap(), Axis::Descendant), 0.0);
     }
 
     #[test]

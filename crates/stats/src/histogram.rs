@@ -133,8 +133,7 @@ impl PositionalHistogram {
                 // Same end bucket (l == j), start-bucket > i: half.
                 let same_end = s(i + 1, j + 1) - s(i + 1, j);
                 // Both equal: quarter.
-                let both =
-                    (s(i, j + 1) - s(i + 1, j + 1)) - (s(i, j) - s(i + 1, j));
+                let both = (s(i, j + 1) - s(i + 1, j + 1)) - (s(i, j) - s(i + 1, j));
                 total += na * (strict + 0.5 * same_start + 0.5 * same_end + 0.25 * both);
             }
         }
@@ -263,10 +262,7 @@ mod tests {
         let mk = histograms(&doc, 64);
         let est = mk("dept").estimate_ancestor_descendant_pairs(&mk("name"));
         let exact = exact_ad(&doc, "dept", "name") as f64;
-        assert!(
-            (est - exact).abs() <= exact * 0.25 + 2.0,
-            "est {est} vs exact {exact}"
-        );
+        assert!((est - exact).abs() <= exact * 0.25 + 2.0, "est {est} vs exact {exact}");
     }
 
     #[test]
@@ -331,10 +327,7 @@ mod tests {
         // Every emp under a dept is a direct child in this document.
         let pc = mk("dept").estimate_parent_child_pairs(&mk("emp"));
         let exact = exact_pc(&doc, "dept", "emp") as f64;
-        assert!(
-            (pc - exact).abs() <= exact * 0.3 + 2.0,
-            "pc {pc} vs exact {exact}"
-        );
+        assert!((pc - exact).abs() <= exact * 0.3 + 2.0, "pc {pc} vs exact {exact}");
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   per-edge selectivities, combined into intermediate-result size
 //!   estimates for any connected cluster of pattern nodes (what the
 //!   optimizer's statuses need).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod catalog;
 pub mod estimates;

@@ -128,8 +128,7 @@ impl BufferPool {
                 }
             }
         }
-        best.map(|(i, _)| i)
-            .expect("buffer pool exhausted: every frame is pinned")
+        best.map(|(i, _)| i).expect("buffer pool exhausted: every frame is pinned")
     }
 
     /// Mutate page `id` in place through the pool, marking it dirty.
@@ -271,10 +270,7 @@ mod tests {
         assert_eq!(p.read_u32(0), 0);
         let snap = pool.stats().snapshot();
         // ids[0] read exactly once from disk in this test.
-        assert_eq!(
-            snap.buffer_hits, 1,
-            "re-fetch of the pinned page must be a hit"
-        );
+        assert_eq!(snap.buffer_hits, 1, "re-fetch of the pinned page must be a hit");
     }
 
     #[test]

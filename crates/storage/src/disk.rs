@@ -49,18 +49,16 @@ impl DiskManager for InMemoryDisk {
     fn read_page(&self, id: PageId) -> Box<Page> {
         self.stats.bump_read();
         let pages = self.pages.read();
-        let page = pages
-            .get(id.index())
-            .unwrap_or_else(|| panic!("read of unallocated page {id:?}"));
+        let page =
+            pages.get(id.index()).unwrap_or_else(|| panic!("read of unallocated page {id:?}"));
         Box::new((**page).clone())
     }
 
     fn write_page(&self, id: PageId, page: &Page) {
         self.stats.bump_write();
         let mut pages = self.pages.write();
-        let slot = pages
-            .get_mut(id.index())
-            .unwrap_or_else(|| panic!("write of unallocated page {id:?}"));
+        let slot =
+            pages.get_mut(id.index()).unwrap_or_else(|| panic!("write of unallocated page {id:?}"));
         **slot = page.clone();
     }
 
@@ -132,10 +130,7 @@ impl FileDisk {
 impl DiskManager for FileDisk {
     fn read_page(&self, id: PageId) -> Box<Page> {
         use std::io::{Read, Seek, SeekFrom};
-        assert!(
-            id.index() < self.len(),
-            "read of unallocated page {id:?}"
-        );
+        assert!(id.index() < self.len(), "read of unallocated page {id:?}");
         self.stats.bump_read();
         let mut page = Page::zeroed();
         let mut file = self.file.lock();
@@ -147,10 +142,7 @@ impl DiskManager for FileDisk {
 
     fn write_page(&self, id: PageId, page: &Page) {
         use std::io::{Seek, SeekFrom, Write};
-        assert!(
-            id.index() < self.len(),
-            "write of unallocated page {id:?}"
-        );
+        assert!(id.index() < self.len(), "write of unallocated page {id:?}");
         self.stats.bump_write();
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id.index() as u64 * crate::page::PAGE_SIZE as u64))

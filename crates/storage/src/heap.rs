@@ -9,9 +9,7 @@ use std::sync::Arc;
 use crate::buffer::BufferPool;
 use crate::disk::DiskManager;
 use crate::page::{Page, PageId};
-use crate::record::{
-    page_record_count, set_page_record_count, ElementRecord, RECORDS_PER_PAGE,
-};
+use crate::record::{page_record_count, set_page_record_count, ElementRecord, RECORDS_PER_PAGE};
 
 /// A sequence of element records packed onto pages in append order.
 #[derive(Debug, Clone)]
@@ -61,13 +59,7 @@ impl HeapFile {
 
     /// Scan every record through the buffer pool, in append order.
     pub fn scan<'a>(&'a self, pool: &'a BufferPool) -> HeapScan<'a> {
-        HeapScan {
-            file: self,
-            pool,
-            page_idx: 0,
-            slot: 0,
-            current: None,
-        }
+        HeapScan { file: self, pool, page_idx: 0, slot: 0, current: None }
     }
 }
 

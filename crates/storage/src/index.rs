@@ -16,9 +16,7 @@ use crate::buffer::BufferPool;
 use crate::disk::DiskManager;
 use crate::heap::HeapFile;
 use crate::page::{Page, PageId};
-use crate::record::{
-    page_record_count, set_page_record_count, ElementRecord, RECORDS_PER_PAGE,
-};
+use crate::record::{page_record_count, set_page_record_count, ElementRecord, RECORDS_PER_PAGE};
 
 /// Per-tag posting directory.
 #[derive(Debug, Clone, Default)]
@@ -69,11 +67,7 @@ impl TagIndex {
     }
 
     /// Build from a heap file (reads it through `pool`).
-    pub fn build_from_heap(
-        disk: &dyn DiskManager,
-        pool: &BufferPool,
-        heap: &HeapFile,
-    ) -> TagIndex {
+    pub fn build_from_heap(disk: &dyn DiskManager, pool: &BufferPool, heap: &HeapFile) -> TagIndex {
         let records: Vec<ElementRecord> = heap.scan(pool).collect();
         Self::bulk_build(disk, &records)
     }

@@ -22,10 +22,15 @@ pub struct IoStats {
 /// A point-in-time copy of [`IoStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IoSnapshot {
+    /// Page requests satisfied from the buffer pool.
     pub buffer_hits: u64,
+    /// Pages fetched from the disk image.
     pub disk_reads: u64,
+    /// Pages written back to the disk image.
     pub disk_writes: u64,
+    /// Frames evicted to make room for a fetch.
     pub evictions: u64,
+    /// Records decoded from pages (logical record reads).
     pub record_reads: u64,
 }
 

@@ -17,6 +17,8 @@
 //! but *cost realism*: every element an operator touches flows through
 //! the buffer pool, so logical/physical I/O counts and buffer-pool
 //! pressure behave the way the paper's cost model assumes.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod buffer;
 pub mod disk;

@@ -24,15 +24,11 @@ pub struct Page {
 }
 
 impl Page {
-    /// A zeroed page.
+    /// A zeroed page. An 8 KiB array briefly lives on the stack here;
+    /// that is well within any thread's stack and the compiler
+    /// routinely elides the copy into the box.
     pub fn zeroed() -> Box<Page> {
-        // Avoid a large stack temporary: allocate zeroed directly.
-        let v = vec![0u8; PAGE_SIZE];
-        let boxed_slice: Box<[u8]> = v.into_boxed_slice();
-        let raw = Box::into_raw(boxed_slice) as *mut [u8; PAGE_SIZE];
-        // SAFETY: the boxed slice has exactly PAGE_SIZE bytes and the
-        // same layout as [u8; PAGE_SIZE].
-        unsafe { Box::from_raw(raw as *mut Page) }
+        Box::new(Page { data: [0u8; PAGE_SIZE] })
     }
 
     /// Read a little-endian u32 at byte offset `off`.

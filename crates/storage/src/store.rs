@@ -62,19 +62,9 @@ impl XmlStore {
         let heap = HeapFile::bulk_build(disk.as_ref(), &records);
         let index = TagIndex::bulk_build(disk.as_ref(), &records);
         let frames = (config.buffer_pool_bytes / PAGE_SIZE).max(1);
-        let pool = BufferPool::new(
-            Arc::clone(&disk) as Arc<dyn DiskManager>,
-            Arc::clone(&stats),
-            frames,
-        );
-        XmlStore {
-            document: Arc::new(document),
-            disk,
-            pool,
-            heap,
-            index,
-            stats,
-        }
+        let pool =
+            BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskManager>, Arc::clone(&stats), frames);
+        XmlStore { document: Arc::new(document), disk, pool, heap, index, stats }
     }
 
     /// The stored document.
@@ -126,12 +116,7 @@ impl XmlStore {
 
 impl std::fmt::Debug for XmlStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "XmlStore({} elements, {} pages)",
-            self.document.len(),
-            self.total_pages()
-        )
+        write!(f, "XmlStore({} elements, {} pages)", self.document.len(), self.total_pages())
     }
 }
 

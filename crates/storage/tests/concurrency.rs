@@ -18,11 +18,7 @@ fn setup(pages: u32, frames: usize) -> (Arc<InMemoryDisk>, Arc<BufferPool>, Vec<
             id
         })
         .collect();
-    let pool = Arc::new(BufferPool::new(
-        Arc::clone(&disk) as Arc<dyn DiskManager>,
-        stats,
-        frames,
-    ));
+    let pool = Arc::new(BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskManager>, stats, frames));
     (disk, pool, ids)
 }
 
@@ -76,11 +72,7 @@ fn concurrent_writers_and_readers_do_not_corrupt() {
                 let page = pool.fetch(ids[idx]);
                 let a = page.read_u32(4);
                 let b = page.read_u32(8);
-                assert_eq!(
-                    b,
-                    a.wrapping_mul(idx as u32 + 1),
-                    "torn page snapshot observed"
-                );
+                assert_eq!(b, a.wrapping_mul(idx as u32 + 1), "torn page snapshot observed");
             }
         })
     };

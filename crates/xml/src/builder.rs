@@ -46,21 +46,14 @@ impl DocumentBuilder {
     }
 
     /// Open an element carrying `attrs` (name/value pairs).
-    pub fn start_element_with_attrs(
-        &mut self,
-        name: &str,
-        attrs: Vec<(String, String)>,
-    ) -> NodeId {
+    pub fn start_element_with_attrs(&mut self, name: &str, attrs: Vec<(String, String)>) -> NodeId {
         let tag = self.tags.intern(name);
         let id = NodeId(self.nodes.len() as u32);
         let level = self.open.len() as u16;
         let parent = self.open.last().map(|(p, _)| *p);
         let start = self.counter;
         self.counter += 1;
-        let attributes = attrs
-            .into_iter()
-            .map(|(n, v)| (self.tags.intern(&n), v))
-            .collect();
+        let attributes = attrs.into_iter().map(|(n, v)| (self.tags.intern(&n), v)).collect();
         self.nodes.push(Node {
             tag,
             // `end` is patched in end_element; keep the invariant
@@ -138,11 +131,7 @@ impl DocumentBuilder {
     /// # Panics
     /// Panics if elements are still open.
     pub fn finish(self) -> Document {
-        assert!(
-            self.open.is_empty(),
-            "finish() with {} unclosed element(s)",
-            self.open.len()
-        );
+        assert!(self.open.is_empty(), "finish() with {} unclosed element(s)", self.open.len());
         Document::from_parts(self.nodes, self.tags, self.by_tag)
     }
 }
@@ -227,7 +216,8 @@ mod tests {
         b.leaf("c", "");
         b.end_element();
         let doc = b.finish();
-        let regions: Vec<(u32, u32)> = doc.nodes().iter().map(|n| (n.region.start, n.region.end)).collect();
+        let regions: Vec<(u32, u32)> =
+            doc.nodes().iter().map(|n| (n.region.start, n.region.end)).collect();
         assert_eq!(regions, vec![(0, 5), (1, 2), (3, 4)]);
     }
 }

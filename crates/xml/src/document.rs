@@ -186,11 +186,7 @@ impl Document {
     /// Attribute value by name, if present.
     pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
         let tag = self.tags.get(name)?;
-        self.node(id)
-            .attributes
-            .iter()
-            .find(|(t, _)| *t == tag)
-            .map(|(_, v)| v.as_str())
+        self.node(id).attributes.iter().find(|(t, _)| *t == tag).map(|(_, v)| v.as_str())
     }
 }
 

@@ -27,7 +27,12 @@ pub enum ParseErrorKind {
     /// A character that cannot start or continue the current construct.
     UnexpectedChar(char),
     /// `</b>` closed an element opened as `<a>`.
-    MismatchedCloseTag { expected: String, found: String },
+    MismatchedCloseTag {
+        /// Tag name of the innermost open element.
+        expected: String,
+        /// Tag name the close tag actually carried.
+        found: String,
+    },
     /// A close tag with no matching open tag.
     UnmatchedCloseTag(String),
     /// Document ended while elements were still open.
@@ -115,10 +120,7 @@ mod tests {
 
     #[test]
     fn mismatched_close_tag_names_both_tags() {
-        let kind = ParseErrorKind::MismatchedCloseTag {
-            expected: "a".into(),
-            found: "b".into(),
-        };
+        let kind = ParseErrorKind::MismatchedCloseTag { expected: "a".into(), found: "b".into() };
         let s = kind.to_string();
         assert!(s.contains("</a>") && s.contains("</b>"), "{s}");
     }

@@ -123,9 +123,7 @@ impl<'a> Scanner<'a> {
                     self.position(),
                 ))
             }
-            None => {
-                return Err(ParseError::new(ParseErrorKind::UnexpectedEof, self.position()))
-            }
+            None => return Err(ParseError::new(ParseErrorKind::UnexpectedEof, self.position())),
         }
         while matches!(self.peek(), Some(c) if is_name_char(c)) {
             self.bump();
@@ -215,10 +213,7 @@ mod tests {
     #[test]
     fn names_reject_leading_digit() {
         let mut s = Scanner::new("1abc");
-        assert!(matches!(
-            s.take_name().unwrap_err().kind,
-            ParseErrorKind::InvalidName(_)
-        ));
+        assert!(matches!(s.take_name().unwrap_err().kind, ParseErrorKind::InvalidName(_)));
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! assert!(doc.region(dept).contains(doc.region(emp)));
 //! assert_eq!(doc.tag_name(doc.node(emp).tag), "emp");
 //! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod builder;
 pub mod document;

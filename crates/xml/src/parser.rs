@@ -24,13 +24,19 @@ pub struct Attribute {
 pub enum XmlEvent<'a> {
     /// `<name a="v" ...>`; `self_closing` for `<name/>`.
     StartElement {
+        /// Element tag name.
         name: &'a str,
+        /// Attributes in document order, duplicates rejected.
         attributes: Vec<Attribute>,
+        /// Whether the element was written `<name/>`.
         self_closing: bool,
     },
     /// `</name>`. Also emitted synthetically after a self-closing
     /// start element, so start/end events always balance.
-    EndElement { name: &'a str },
+    EndElement {
+        /// Element tag name.
+        name: &'a str,
+    },
     /// Character data between tags, with entities expanded. Runs of
     /// pure whitespace between elements are still reported; the
     /// document builder decides what to keep.
@@ -40,7 +46,12 @@ pub enum XmlEvent<'a> {
     /// `<!-- ... -->` content.
     Comment(&'a str),
     /// `<?target data?>`.
-    ProcessingInstruction { target: &'a str, data: &'a str },
+    ProcessingInstruction {
+        /// PI target (the word after `<?`).
+        target: &'a str,
+        /// Everything between the target and `?>`, verbatim.
+        data: &'a str,
+    },
     /// `<?xml version=... ?>` at the very start of the document.
     Declaration(&'a str),
     /// `<!DOCTYPE ...>`; the internal subset is skipped, not parsed.
@@ -110,8 +121,7 @@ impl<'a> EventReader<'a> {
             let ev = self.text()?;
             match &ev {
                 XmlEvent::Text(t)
-                    if self.open_stack.is_empty()
-                        && t.chars().all(|c| c.is_ascii_whitespace()) =>
+                    if self.open_stack.is_empty() && t.chars().all(|c| c.is_ascii_whitespace()) =>
                 {
                     // Whitespace at document level is ignorable.
                     continue;
@@ -138,10 +148,7 @@ impl<'a> EventReader<'a> {
             ));
         }
         if !self.seen_root {
-            return Err(ParseError::new(
-                ParseErrorKind::EmptyDocument,
-                self.scanner.position(),
-            ));
+            return Err(ParseError::new(ParseErrorKind::EmptyDocument, self.scanner.position()));
         }
         self.finished = true;
         Ok(None)
@@ -261,10 +268,7 @@ impl<'a> EventReader<'a> {
     fn start_tag(&mut self) -> Result<XmlEvent<'a>, ParseError> {
         self.scanner.expect("<")?;
         if self.open_stack.is_empty() && self.seen_root {
-            return Err(ParseError::new(
-                ParseErrorKind::MultipleRoots,
-                self.scanner.position(),
-            ));
+            return Err(ParseError::new(ParseErrorKind::MultipleRoots, self.scanner.position()));
         }
         let name = self.scanner.take_name()?;
         let mut attributes: Vec<Attribute> = Vec::new();
@@ -358,9 +362,7 @@ impl<'a> EventReader<'a> {
                 self.scanner.position(),
             ));
         }
-        if self.open_stack.is_empty()
-            && !raw.chars().all(|c| c.is_ascii_whitespace())
-        {
+        if self.open_stack.is_empty() && !raw.chars().all(|c| c.is_ascii_whitespace()) {
             return Err(ParseError::new(
                 ParseErrorKind::ContentOutsideRoot,
                 self.scanner.position(),
@@ -424,9 +426,8 @@ pub fn parse_declaration(body: &str) -> Result<Declaration, String> {
             .next()
             .filter(|c| *c == '"' || *c == '\'')
             .ok_or_else(|| format!("unquoted value for {key:?}"))?;
-        let close = after[1..]
-            .find(quote)
-            .ok_or_else(|| format!("unterminated value for {key:?}"))?;
+        let close =
+            after[1..].find(quote).ok_or_else(|| format!("unterminated value for {key:?}"))?;
         let value = &after[1..1 + close];
         rest = after[close + 2..].trim_start();
         match key {
@@ -465,9 +466,9 @@ pub fn expand_entities<'a>(
     while let Some(idx) = rest.find('&') {
         out.push_str(&rest[..idx]);
         rest = &rest[idx..];
-        let semi = rest.find(';').ok_or_else(|| {
-            ParseError::new(ParseErrorKind::InvalidEntity(clip(rest)), pos)
-        })?;
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| ParseError::new(ParseErrorKind::InvalidEntity(clip(rest)), pos))?;
         let ent = &rest[1..semi];
         let expanded: char = match ent {
             "lt" => '<',
@@ -478,15 +479,8 @@ pub fn expand_entities<'a>(
             _ if ent.starts_with("#x") || ent.starts_with("#X") => {
                 char_from_code(u32::from_str_radix(&ent[2..], 16).ok(), ent, pos)?
             }
-            _ if ent.starts_with('#') => {
-                char_from_code(ent[1..].parse::<u32>().ok(), ent, pos)?
-            }
-            _ => {
-                return Err(ParseError::new(
-                    ParseErrorKind::InvalidEntity(ent.to_owned()),
-                    pos,
-                ))
-            }
+            _ if ent.starts_with('#') => char_from_code(ent[1..].parse::<u32>().ok(), ent, pos)?,
+            _ => return Err(ParseError::new(ParseErrorKind::InvalidEntity(ent.to_owned()), pos)),
         };
         out.push(expanded);
         rest = &rest[semi + 1..];
@@ -500,9 +494,8 @@ fn char_from_code(
     ent: &str,
     pos: crate::error::Position,
 ) -> Result<char, ParseError> {
-    code.and_then(char::from_u32).ok_or_else(|| {
-        ParseError::new(ParseErrorKind::InvalidEntity(ent.to_owned()), pos)
-    })
+    code.and_then(char::from_u32)
+        .ok_or_else(|| ParseError::new(ParseErrorKind::InvalidEntity(ent.to_owned()), pos))
 }
 
 fn clip(s: &str) -> String {
@@ -533,10 +526,7 @@ mod tests {
     #[test]
     fn self_closing_emits_balanced_end() {
         let evs = events("<a><b/></a>");
-        assert!(matches!(
-            evs[1],
-            XmlEvent::StartElement { name: "b", self_closing: true, .. }
-        ));
+        assert!(matches!(evs[1], XmlEvent::StartElement { name: "b", self_closing: true, .. }));
         assert!(matches!(evs[2], XmlEvent::EndElement { name: "b" }));
     }
 
@@ -572,22 +562,18 @@ mod tests {
 
     #[test]
     fn comments_pis_doctype_and_declaration() {
-        let evs = events("<?xml version=\"1.0\"?><!DOCTYPE root [<!ELEMENT a ANY>]><!-- c --><a><?go fast?></a>");
+        let evs = events(
+            "<?xml version=\"1.0\"?><!DOCTYPE root [<!ELEMENT a ANY>]><!-- c --><a><?go fast?></a>",
+        );
         assert!(matches!(evs[0], XmlEvent::Declaration(_)));
         assert!(matches!(evs[1], XmlEvent::DocType(_)));
         assert!(matches!(evs[2], XmlEvent::Comment(" c ")));
-        assert!(matches!(
-            evs[4],
-            XmlEvent::ProcessingInstruction { target: "go", data: "fast" }
-        ));
+        assert!(matches!(evs[4], XmlEvent::ProcessingInstruction { target: "go", data: "fast" }));
     }
 
     #[test]
     fn mismatched_tags_rejected() {
-        assert!(matches!(
-            parse_err("<a><b></a></b>"),
-            ParseErrorKind::MismatchedCloseTag { .. }
-        ));
+        assert!(matches!(parse_err("<a><b></a></b>"), ParseErrorKind::MismatchedCloseTag { .. }));
     }
 
     #[test]
@@ -619,10 +605,7 @@ mod tests {
 
     #[test]
     fn duplicate_attribute_rejected() {
-        assert!(matches!(
-            parse_err(r#"<a x="1" x="2"/>"#),
-            ParseErrorKind::DuplicateAttribute(_)
-        ));
+        assert!(matches!(parse_err(r#"<a x="1" x="2"/>"#), ParseErrorKind::DuplicateAttribute(_)));
     }
 
     #[test]
@@ -684,8 +667,7 @@ mod tests {
 
     #[test]
     fn declaration_parsing() {
-        let d = parse_declaration("version=\"1.0\" encoding='UTF-8' standalone=\"yes\"")
-            .unwrap();
+        let d = parse_declaration("version=\"1.0\" encoding='UTF-8' standalone=\"yes\"").unwrap();
         assert_eq!(d.version, "1.0");
         assert_eq!(d.encoding.as_deref(), Some("UTF-8"));
         assert_eq!(d.standalone, Some(true));

@@ -70,10 +70,7 @@ impl TagInterner {
 
     /// Iterate `(tag, name)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Tag, &str)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (Tag(i as u32), n.as_str()))
+        self.names.iter().enumerate().map(|(i, n)| (Tag(i as u32), n.as_str()))
     }
 }
 
@@ -117,9 +114,6 @@ mod tests {
             it.intern(n);
         }
         let collected: Vec<_> = it.iter().map(|(t, n)| (t.0, n.to_owned())).collect();
-        assert_eq!(
-            collected,
-            vec![(0, "dept".into()), (1, "emp".into()), (2, "name".into())]
-        );
+        assert_eq!(collected, vec![(0, "dept".into()), (1, "emp".into()), (2, "name".into())]);
     }
 }

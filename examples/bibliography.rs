@@ -10,10 +10,7 @@ use sjos::pattern::PnId;
 use sjos::{Algorithm, Database};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let nodes: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50_000);
+    let nodes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50_000);
     let doc = dblp(GenConfig::sized(nodes));
     println!("bibliography with {} elements", doc.len());
     let db = Database::from_document(doc);

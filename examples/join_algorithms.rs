@@ -14,10 +14,7 @@ use sjos::pattern::PnId;
 use sjos::Database;
 
 fn main() {
-    let nodes: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50_000);
+    let nodes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50_000);
     let db = Database::from_document(pers(GenConfig::sized(nodes)));
     let pattern = sjos::parse_pattern("//manager//employee").unwrap();
 

@@ -12,10 +12,7 @@ use sjos::datagen::{pers::pers, GenConfig};
 use sjos::{Algorithm, Database};
 
 fn main() {
-    let nodes: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20_000);
+    let nodes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
     println!("generating Pers with ~{nodes} elements ...");
     let doc = pers(GenConfig::sized(nodes));
     println!("loading {} elements into the store ...", doc.len());

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Workspace lint gate: formatting, clippy (warnings are errors),
+# build, and the full test suite. CI runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --workspace --all-targets"
+cargo build --workspace --all-targets
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> planlint selftest"
+cargo run --quiet --bin planlint -- --query '//a/b/c' --selftest >/dev/null
+
+echo "all checks passed"

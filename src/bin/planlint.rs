@@ -1,0 +1,280 @@
+//! `planlint` — static analysis of structural-join plans.
+//!
+//! Optimizes a tree-pattern query (or corrupts the plan on request),
+//! then lints the plan against the `planck` rule set without executing
+//! it, printing the annotated plan and a diagnostic report:
+//!
+//! ```sh
+//! # lint the DPP plan for a query against a generated corpus
+//! cargo run --bin planlint -- --gen pers:5000 --query '//manager//employee/name'
+//! # prove the linter catches a seeded bug
+//! cargo run --bin planlint -- --query '//a/b/c' --mutate flip-axis
+//! # optimizer cross-checks (DPP==DP, FP optimality, ubCost shape)
+//! cargo run --bin planlint -- --query '//a/b/c' --cross
+//! # the full mutation battery
+//! cargo run --bin planlint -- --query '//a/b/c' --selftest
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any rule fired, 2 on usage
+//! errors.
+
+use sjos::core::{mutate_plan, Algorithm, PlanMutation};
+use sjos::datagen::{dblp::dblp, mbench::mbench, pers::pers, GenConfig};
+use sjos::explain::explain;
+use sjos::{Database, Document};
+use sjos_planck::{lint_optimizers, lint_plan_with, PlanExpectations, Report};
+
+/// Fallback document when neither `--xml` nor `--gen` is given: big
+/// enough that the optimizers make non-trivial choices.
+const SAMPLE: &str = "<a>\
+    <b><c>x</c><c>y</c><e/></b>\
+    <b><c>z</c><e/></b>\
+    <b><c/></b>\
+    <d><e/><e/></d>\
+    <d><e/></d>\
+</a>";
+
+struct Options {
+    xml: Option<String>,
+    gen: Option<String>,
+    query: String,
+    algo: String,
+    mutate: Option<String>,
+    cross: bool,
+    selftest: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: planlint [--xml <file> | --gen pers:<n>|dblp:<n>|mbench:<n>] \
+                 --query <pattern> [--algo dp|dpp|dpp-nl|dpap-eb:<te>|dpap-ld|fp|random:<seed>] \
+                 [--mutate <mutation>] [--cross] [--selftest]"
+            );
+            std::process::exit(2);
+        }
+    };
+    match run(&opts) {
+        Ok(clean) => std::process::exit(if clean { 0 } else { 1 }),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        xml: None,
+        gen: None,
+        query: String::new(),
+        algo: "dpp".to_string(),
+        mutate: None,
+        cross: false,
+        selftest: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--xml" => opts.xml = Some(it.next().ok_or("--xml needs a file")?.clone()),
+            "--gen" => opts.gen = Some(it.next().ok_or("--gen needs a spec")?.clone()),
+            "--query" => opts.query = it.next().ok_or("--query needs a pattern")?.clone(),
+            "--algo" => opts.algo = it.next().ok_or("--algo needs a name")?.clone(),
+            "--mutate" => opts.mutate = Some(it.next().ok_or("--mutate needs a name")?.clone()),
+            "--cross" => opts.cross = true,
+            "--selftest" => opts.selftest = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if opts.query.is_empty() {
+        return Err("--query is required".into());
+    }
+    Ok(opts)
+}
+
+fn load(opts: &Options) -> Result<Database, String> {
+    let doc: Document = match (&opts.xml, &opts.gen) {
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Document::parse(&text).map_err(|e| e.to_string())?
+        }
+        (None, Some(spec)) => {
+            let (kind, n) = spec.split_once(':').ok_or("gen spec is kind:count")?;
+            let n: usize = n.parse().map_err(|_| "bad node count")?;
+            let config = GenConfig::sized(n);
+            match kind {
+                "pers" => pers(config),
+                "dblp" => dblp(config),
+                "mbench" => mbench(config),
+                other => return Err(format!("unknown generator {other}")),
+            }
+        }
+        (None, None) => Document::parse(SAMPLE).expect("sample parses"),
+        _ => return Err("provide at most one of --xml and --gen".into()),
+    };
+    Ok(Database::from_document(doc))
+}
+
+fn parse_algo(name: &str) -> Result<(Algorithm, PlanExpectations), String> {
+    let none = PlanExpectations::default();
+    Ok(match name {
+        "dp" => (Algorithm::Dp, none),
+        "dpp" => (Algorithm::Dpp { lookahead: true }, none),
+        "dpp-nl" => (Algorithm::Dpp { lookahead: false }, none),
+        "dpap-ld" => {
+            (Algorithm::DpapLd, PlanExpectations { left_deep: true, fully_pipelined: false })
+        }
+        "fp" => (Algorithm::Fp, PlanExpectations { fully_pipelined: true, left_deep: false }),
+        other => {
+            if let Some(te) = other.strip_prefix("dpap-eb:") {
+                let te: usize = te.parse().map_err(|_| "bad T_e")?;
+                (Algorithm::DpapEb { te }, none)
+            } else if let Some(seed) = other.strip_prefix("random:") {
+                let seed: u64 = seed.parse().map_err(|_| "bad seed")?;
+                (Algorithm::WorstRandom { samples: 1, seed }, none)
+            } else {
+                return Err(format!("unknown algorithm {other}"));
+            }
+        }
+    })
+}
+
+fn parse_mutation(name: &str) -> Result<PlanMutation, String> {
+    Ok(match name {
+        "swap-join-inputs" => PlanMutation::SwapJoinInputs,
+        "flip-orientation" => PlanMutation::FlipOrientation,
+        "rewire-join" => PlanMutation::RewireJoin,
+        "flip-axis" => PlanMutation::FlipAxis,
+        "drop-sort" => PlanMutation::DropSort,
+        "retarget-sort" => PlanMutation::RetargetSort,
+        "insert-input-sort" => PlanMutation::InsertInputSort,
+        "duplicate-leaf" => PlanMutation::DuplicateLeaf,
+        "wrap-root-sort" => PlanMutation::WrapRootSort,
+        other => return Err(format!("unknown mutation {other}")),
+    })
+}
+
+fn mutation_name(m: PlanMutation) -> &'static str {
+    match m {
+        PlanMutation::SwapJoinInputs => "swap-join-inputs",
+        PlanMutation::FlipOrientation => "flip-orientation",
+        PlanMutation::RewireJoin => "rewire-join",
+        PlanMutation::FlipAxis => "flip-axis",
+        PlanMutation::DropSort => "drop-sort",
+        PlanMutation::RetargetSort => "retarget-sort",
+        PlanMutation::InsertInputSort => "insert-input-sort",
+        PlanMutation::DuplicateLeaf => "duplicate-leaf",
+        PlanMutation::WrapRootSort => "wrap-root-sort",
+    }
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let db = load(opts)?;
+    let pattern = sjos::parse_pattern(&opts.query).map_err(|e| e.to_string())?;
+    let estimates = db.estimates(&pattern);
+    let model = *db.cost_model();
+
+    if opts.selftest {
+        return selftest(&db, &pattern);
+    }
+
+    let (algorithm, mut expect) = parse_algo(&opts.algo)?;
+    let optimized = db.optimize(&pattern, algorithm);
+    let mut plan = optimized.plan;
+    if let Some(name) = &opts.mutate {
+        let mutation = parse_mutation(name)?;
+        plan = mutate_plan(&pattern, &plan, mutation)
+            .ok_or_else(|| format!("mutation {name} does not apply to this plan"))?;
+        if mutation == PlanMutation::WrapRootSort {
+            // The mutated plan is only wrong *as* an FP claim.
+            expect.fully_pipelined = true;
+        }
+        println!("plan ({}, mutated by {name}):", algorithm.name());
+    } else {
+        println!("plan ({}, estimated cost {:.1}):", algorithm.name(), optimized.estimated_cost);
+    }
+
+    // `explain` resolves node labels through the pattern; fall back to
+    // the compact rendering when a corrupted plan references unknown
+    // nodes.
+    let renderable = plan.bound_nodes().iter().all(|id| id.index() < pattern.len());
+    if renderable {
+        print!("{}", explain(&plan, &pattern, &estimates, &model));
+    } else {
+        println!("{plan}");
+    }
+    println!();
+
+    let mut report = lint_plan_with(&pattern, &plan, expect, Some((&estimates, &model)));
+    if opts.cross {
+        let cross = lint_optimizers(&pattern, &estimates, &model);
+        report.absorb("cross", cross);
+    }
+    print!("{}", report.render());
+    Ok(report.is_clean())
+}
+
+/// Lint every optimizer's plan (must be clean), then every mutation of
+/// the DPP plan (must be caught). Returns overall success.
+fn selftest(db: &Database, pattern: &sjos::Pattern) -> Result<bool, String> {
+    let estimates = db.estimates(pattern);
+    let model = *db.cost_model();
+    let mut ok = true;
+
+    let algorithms: [(Algorithm, PlanExpectations); 7] = [
+        (Algorithm::Dp, PlanExpectations::default()),
+        (Algorithm::Dpp { lookahead: true }, PlanExpectations::default()),
+        (Algorithm::Dpp { lookahead: false }, PlanExpectations::default()),
+        (Algorithm::DpapEb { te: 2 }, PlanExpectations::default()),
+        (Algorithm::DpapLd, PlanExpectations { left_deep: true, fully_pipelined: false }),
+        (Algorithm::Fp, PlanExpectations { fully_pipelined: true, left_deep: false }),
+        (Algorithm::WorstRandom { samples: 16, seed: 42 }, PlanExpectations::default()),
+    ];
+    println!("== optimizer plans (expected clean) ==");
+    for (alg, expect) in algorithms {
+        let optimized = db.optimize(pattern, alg);
+        let report = lint_plan_with(pattern, &optimized.plan, expect, Some((&estimates, &model)));
+        let verdict = if report.is_clean() { "clean" } else { "DIRTY" };
+        println!("  {:<12} {verdict}", alg.name());
+        if !report.is_clean() {
+            print!("{}", report.render());
+            ok = false;
+        }
+    }
+
+    println!("== mutated plans (expected caught) ==");
+    let base = db.optimize(pattern, Algorithm::Dpp { lookahead: true }).plan;
+    for mutation in PlanMutation::ALL {
+        let name = mutation_name(mutation);
+        let Some(mutated) = mutate_plan(pattern, &base, mutation) else {
+            println!("  {name:<18} (not applicable to this plan)");
+            continue;
+        };
+        let expect = PlanExpectations {
+            fully_pipelined: mutation == PlanMutation::WrapRootSort,
+            left_deep: false,
+        };
+        let report = lint_plan_with(pattern, &mutated, expect, Some((&estimates, &model)));
+        if report.is_clean() {
+            println!("  {name:<18} MISSED");
+            ok = false;
+        } else {
+            let rules: Vec<&str> = report.rules().iter().map(|r| r.id()).collect();
+            println!("  {name:<18} caught by {}", rules.join(", "));
+        }
+    }
+
+    println!("== optimizer cross-checks ==");
+    let cross: Report = lint_optimizers(pattern, &estimates, &model);
+    if cross.is_clean() {
+        println!("  clean");
+    } else {
+        print!("{}", cross.render());
+        ok = false;
+    }
+    Ok(ok)
+}

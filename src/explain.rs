@@ -61,11 +61,7 @@ fn render(
                 Axis::Child => "/",
                 Axis::Descendant => "//",
             };
-            format!(
-                "{alg} {}{ax}{}",
-                node_label(pattern, *anc),
-                node_label(pattern, *desc)
-            )
+            format!("{alg} {}{ax}{}", node_label(pattern, *anc), node_label(pattern, *desc))
         }
     };
     let ordered = node_label(pattern, plan.ordered_by());
@@ -124,10 +120,9 @@ mod tests {
     use crate::{Algorithm, Database};
 
     fn setup() -> (Database, Pattern) {
-        let db = Database::from_xml(
-            "<dept><emp><name>a</name></emp><emp><name>b</name></emp></dept>",
-        )
-        .unwrap();
+        let db =
+            Database::from_xml("<dept><emp><name>a</name></emp><emp><name>b</name></emp></dept>")
+                .unwrap();
         let pattern = crate::parse_pattern("//dept/emp/name").unwrap();
         (db, pattern)
     }
@@ -138,11 +133,7 @@ mod tests {
         let optimized = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
         let est = db.estimates(&pattern);
         let text = explain(&optimized.plan, &pattern, &est, db.cost_model());
-        assert_eq!(
-            text.matches("Scan").count(),
-            3,
-            "three scans expected:\n{text}"
-        );
+        assert_eq!(text.matches("Scan").count(), 3, "three scans expected:\n{text}");
         assert!(text.contains("STJ-"), "{text}");
         assert!(text.contains("rows"), "{text}");
         assert!(text.contains("dept#0"), "{text}");

@@ -30,6 +30,8 @@
 //! * [`core`] — the cost model and the five optimizers
 //! * [`datagen`] — Pers/DBLP/Mbench-shaped generators and the
 //!   benchmark query catalog
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod explain;
 

@@ -103,12 +103,9 @@ fn order_by_plans_deliver_sorted_output() {
         for alg in [Algorithm::Dpp { lookahead: true }, Algorithm::Fp] {
             let optimized = db.optimize(&pattern, alg);
             let result = db.execute(&pattern, &optimized.plan).unwrap();
-            let col = result
-                .schema
-                .position(sjos::pattern::PnId(target))
-                .expect("order-by column bound");
-            let starts: Vec<u32> =
-                result.tuples.iter().map(|t| t[col].region.start).collect();
+            let col =
+                result.schema.position(sjos::pattern::PnId(target)).expect("order-by column bound");
+            let starts: Vec<u32> = result.tuples.iter().map(|t| t[col].region.start).collect();
             assert!(
                 starts.windows(2).all(|w| w[0] <= w[1]),
                 "{} output not ordered by node {target}",

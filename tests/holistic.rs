@@ -33,7 +33,7 @@ fn holistic_matches_naive_on_edge_cases() {
     for (xml, query) in [
         ("<a/>", "//a"),
         ("<a><b/></a>", "//a/b"),
-        ("<a><b/></a>", "//b/a"),           // no match
+        ("<a><b/></a>", "//b/a"),            // no match
         ("<m><m><m/></m></m>", "//m//m//m"), // deep self-join
         ("<r><a><b/><c/></a><a><b/></a></r>", "//a[./b][./c]"),
         ("<r><x>v</x><x>w</x></r>", "//r/x[text()='v']"),
@@ -81,8 +81,11 @@ struct PatNode {
 }
 
 fn pattern_strategy() -> impl Strategy<Value = PatNode> {
-    let leaf = (0..TAGS.len(), any::<bool>())
-        .prop_map(|(tag, ax)| PatNode { tag, desc_axis: ax, children: vec![] });
+    let leaf = (0..TAGS.len(), any::<bool>()).prop_map(|(tag, ax)| PatNode {
+        tag,
+        desc_axis: ax,
+        children: vec![],
+    });
     leaf.prop_recursive(3, 5, 2, |inner| {
         (0..TAGS.len(), any::<bool>(), prop::collection::vec(inner, 0..3))
             .prop_map(|(tag, ax, children)| PatNode { tag, desc_axis: ax, children })

@@ -78,11 +78,7 @@ fn merge_join_in_larger_plans_agrees_with_stack_tree() {
                     anc: *anc,
                     desc: *desc,
                     axis: *axis,
-                    algo: if *algo == JoinAlgo::StackTreeAnc {
-                        JoinAlgo::MergeJoin
-                    } else {
-                        *algo
-                    },
+                    algo: if *algo == JoinAlgo::StackTreeAnc { JoinAlgo::MergeJoin } else { *algo },
                 }
             }
         }
@@ -104,13 +100,8 @@ fn optimizer_picks_merge_join_when_model_prefers_it() {
         factors: sjos::core::CostFactors { f_i: 1.0, f_s: 1.5, f_io: 1_000.0, f_st: 1.0 },
         desc_variant: Default::default(),
     };
-    let db = Database::from_document_with(
-        doc,
-        sjos::StoreConfig::default(),
-        expensive_io,
-    );
-    let pattern =
-        sjos::parse_pattern("//manager[.//employee/name][./department]").unwrap();
+    let db = Database::from_document_with(doc, sjos::StoreConfig::default(), expensive_io);
+    let pattern = sjos::parse_pattern("//manager[.//employee/name][./department]").unwrap();
     let optimized = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
     let mj = count_algo(&optimized.plan, JoinAlgo::MergeJoin);
     let anc = count_algo(&optimized.plan, JoinAlgo::StackTreeAnc);
@@ -130,15 +121,8 @@ fn default_model_prefers_stack_tree_on_large_outputs() {
     let db = Database::from_document(pers(GenConfig::sized(3_000)));
     // Q.Pers.3.d has large intermediate outputs, where MPMGJN's
     // rescan term dominates; the default model should avoid it.
-    let pattern = sjos::parse_pattern(
-        "//manager[.//employee/name][.//manager/department/name]",
-    )
-    .unwrap();
+    let pattern =
+        sjos::parse_pattern("//manager[.//employee/name][.//manager/department/name]").unwrap();
     let optimized = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
-    assert_eq!(
-        count_algo(&optimized.plan, JoinAlgo::MergeJoin),
-        0,
-        "{}",
-        optimized.plan
-    );
+    assert_eq!(count_algo(&optimized.plan, JoinAlgo::MergeJoin), 0, "{}", optimized.plan);
 }

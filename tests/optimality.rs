@@ -59,11 +59,7 @@ fn search_effort_ordering_on_the_fig1_query() {
     // Table 2's ordering on Q.Pers.3.d: DP > DPP' > DPP > DPAP-EB >
     // DPAP-LD > FP in plans considered.
     let db = pers_db();
-    let pattern = paper_queries()
-        .into_iter()
-        .find(|q| q.id == "Q.Pers.3.d")
-        .unwrap()
-        .pattern();
+    let pattern = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").unwrap().pattern();
     let count = |alg| db.optimize(&pattern, alg).stats.plans_considered;
     let dp = count(Algorithm::Dp);
     let dpp_nl = count(Algorithm::Dpp { lookahead: false });
@@ -80,11 +76,7 @@ fn search_effort_ordering_on_the_fig1_query() {
 #[test]
 fn growing_te_converges_to_dpp() {
     let db = pers_db();
-    let pattern = paper_queries()
-        .into_iter()
-        .find(|q| q.id == "Q.Pers.3.d")
-        .unwrap()
-        .pattern();
+    let pattern = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").unwrap().pattern();
     let opt = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
     let mut costs = vec![];
     for te in 1..=pattern.len() {
@@ -104,10 +96,7 @@ fn bad_plans_are_worse_than_optimized_plans() {
     for q in paper_queries().into_iter().filter(|q| q.dataset == DataSet::Pers) {
         let pattern = q.pattern();
         let opt = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
-        let bad = db.optimize(
-            &pattern,
-            Algorithm::WorstRandom { samples: 64, seed: 2003 },
-        );
+        let bad = db.optimize(&pattern, Algorithm::WorstRandom { samples: 64, seed: 2003 });
         assert!(
             bad.estimated_cost >= opt.estimated_cost,
             "{}: bad {} < opt {}",
@@ -126,11 +115,7 @@ fn optimal_plan_executes_faster_than_bad_plan_at_scale() {
     let base = pers(GenConfig::sized(5_000));
     let doc = fold_document(&base, 4);
     let db = Database::from_document(doc);
-    let pattern = paper_queries()
-        .into_iter()
-        .find(|q| q.id == "Q.Pers.3.d")
-        .unwrap()
-        .pattern();
+    let pattern = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").unwrap().pattern();
     let opt = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
     let bad = db.optimize(&pattern, Algorithm::WorstRandom { samples: 64, seed: 7 });
     let opt_res = db.execute(&pattern, &opt.plan).unwrap();

@@ -22,8 +22,10 @@ struct TreeNode {
 }
 
 fn tree_strategy() -> impl Strategy<Value = TreeNode> {
-    let leaf = (0..TAGS.len(), proptest::option::of(0..3usize)).prop_map(|(tag, text)| {
-        TreeNode { tag, text, children: vec![] }
+    let leaf = (0..TAGS.len(), proptest::option::of(0..3usize)).prop_map(|(tag, text)| TreeNode {
+        tag,
+        text,
+        children: vec![],
     });
     leaf.prop_recursive(4, 48, 4, |inner| {
         (0..TAGS.len(), proptest::option::of(0..3usize), prop::collection::vec(inner, 0..4))
@@ -59,8 +61,11 @@ struct PatNode {
 }
 
 fn pattern_strategy() -> impl Strategy<Value = PatNode> {
-    let leaf = (0..TAGS.len(), any::<bool>())
-        .prop_map(|(tag, ax)| PatNode { tag, axis_from_parent: ax, children: vec![] });
+    let leaf = (0..TAGS.len(), any::<bool>()).prop_map(|(tag, ax)| PatNode {
+        tag,
+        axis_from_parent: ax,
+        children: vec![],
+    });
     leaf.prop_recursive(3, 5, 2, |inner| {
         (0..TAGS.len(), any::<bool>(), prop::collection::vec(inner, 0..3))
             .prop_map(|(tag, ax, children)| PatNode { tag, axis_from_parent: ax, children })

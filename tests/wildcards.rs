@@ -48,10 +48,7 @@ fn wildcard_estimates_use_total_cardinality() {
     let db = db();
     let pattern = sjos::parse_pattern("//*").unwrap();
     let est = db.estimates(&pattern);
-    assert_eq!(
-        est.node_cardinality(sjos::pattern::PnId(0)),
-        db.document().len() as f64
-    );
+    assert_eq!(est.node_cardinality(sjos::pattern::PnId(0)), db.document().len() as f64);
 }
 
 #[test]
@@ -66,28 +63,16 @@ fn order_by_clause_orders_execution_output() {
         assert_eq!(pattern.order_by(), Some(sjos::pattern::PnId(col_pn as u16)));
         for alg in [Algorithm::Dpp { lookahead: true }, Algorithm::Fp] {
             let out = db.query_with(q, alg).unwrap();
-            let col = out
-                .result
-                .schema
-                .position(sjos::pattern::PnId(col_pn as u16))
-                .unwrap();
-            let starts: Vec<u32> =
-                out.result.tuples.iter().map(|t| t[col].region.start).collect();
-            assert!(
-                starts.windows(2).all(|w| w[0] <= w[1]),
-                "{q} via {} not ordered",
-                alg.name()
-            );
+            let col = out.result.schema.position(sjos::pattern::PnId(col_pn as u16)).unwrap();
+            let starts: Vec<u32> = out.result.tuples.iter().map(|t| t[col].region.start).collect();
+            assert!(starts.windows(2).all(|w| w[0] <= w[1]), "{q} via {} not ordered", alg.name());
         }
     }
 }
 
 #[test]
 fn wildcard_with_value_predicate() {
-    let db = Database::from_xml(
-        "<r><a>x</a><b>x</b><c>y</c><d><e>x</e></d></r>",
-    )
-    .unwrap();
+    let db = Database::from_xml("<r><a>x</a><b>x</b><c>y</c><d><e>x</e></d></r>").unwrap();
     let q = "//r/*[text()='x']";
     let pattern = sjos::parse_pattern(q).unwrap();
     let expected = naive::evaluate(db.document(), &pattern);

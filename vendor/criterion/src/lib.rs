@@ -1,0 +1,245 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crate registry, so this shim provides
+//! the API subset the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — on a deliberately simple measurement loop: a short warm-up
+//! followed by timed batches, reporting the best mean as `ns/iter`.
+//! There is no statistical analysis, no HTML report, and no saved
+//! baselines; the numbers are indicative, which is exactly what an
+//! offline smoke-bench can honestly promise.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark (printed, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Benchmark `name` at parameter value `param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", name.into(), param) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs and times the
+/// measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, recording the mean time per call of
+    /// the fastest batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one call, also used to size the batches so that
+        // fast routines get more calls per timing measurement.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let per_batch =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000) as usize;
+        let mut best: Option<Duration> = None;
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let mean = start.elapsed() / per_batch as u32;
+            if best.is_none_or(|b| mean < b) {
+                best = Some(mean);
+            }
+        }
+        self.result = best;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed batches per benchmark (clamped to at least 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        run_one(&label, self.sample_size, throughput, f);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (a no-op here; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher { sample_size, result: None };
+    f(&mut bencher);
+    match bencher.result {
+        Some(best) => {
+            let ns = best.as_nanos();
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!("  ({:.0} elem/s)", n as f64 / best.as_secs_f64())
+                }
+                Throughput::Bytes(n) => {
+                    format!("  ({:.1} MiB/s)", n as f64 / best.as_secs_f64() / (1 << 20) as f64)
+                }
+            });
+            println!("bench: {label:<50} {ns:>12} ns/iter{}", rate.unwrap_or_default());
+        }
+        None => println!("bench: {label:<50} (no measurement — iter() never called)"),
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Accept (and ignore) CLI arguments, for API compatibility with
+    /// `cargo bench -- <filter>` invocations.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        run_one(&label, 10, None, f);
+        self.benchmarks_run += 1;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: 10, throughput: None }
+    }
+
+    /// Number of benchmarks executed through this handle.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Bundle benchmark functions under one group-runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0, "routine was never invoked");
+        assert_eq!(c.benchmarks_run(), 1);
+    }
+
+    #[test]
+    fn groups_run_every_benchmark() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        group.bench_function("a", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("b", 7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        drop(group);
+        assert_eq!(c.benchmarks_run(), 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("algo", 42).to_string(), "algo/42");
+    }
+}

@@ -1,0 +1,26 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.len.clone());
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Vectors of `element` values with length in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(!len.is_empty(), "vec strategy needs a non-empty length range");
+    VecStrategy { element, len }
+}

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crate registry, so this shim
+//! re-implements the slice of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`/`prop_recursive`,
+//! strategies for integer ranges, tuples, constants ([`Just`]),
+//! string patterns, [`collection::vec`] and [`option::of`], the
+//! [`any`] entry point, and the [`proptest!`]/[`prop_oneof!`]/
+//! [`prop_assert!`] macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **no shrinking** — a failing case panics with the assertion
+//!   message but is not minimized;
+//! * **deterministic seeds** — every test runs the same input
+//!   sequence on every invocation (no persisted failure seeds);
+//! * **string strategies ignore the regex** — any `&str` pattern
+//!   produces character soup biased towards markup-ish characters,
+//!   which is what the XML robustness tests want from `"\\PC*"`.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` alias real proptest exposes from its prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Assert inside a [`proptest!`] body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that draws `config.cases` random inputs and
+/// runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        config = $config:expr;
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __proptest_case in 0..config.cases {
+                    let _ = __proptest_case;
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(
+                            &$strat,
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    fn small_tree() -> impl Strategy<Value = Vec<Vec<u8>>> {
+        prop::collection::vec(prop::collection::vec(0u8..4, 0..3), 0..4)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3..17usize, y in 0u16..64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 64);
+        }
+
+        #[test]
+        fn tuples_and_options(pair in (0..4usize, any::<bool>()), o in prop::option::of(0..3usize)) {
+            prop_assert!(pair.0 < 4);
+            if let Some(v) = o {
+                prop_assert!(v < 3);
+            }
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u8..4, 1..60)) {
+            prop_assert!((1..60).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn nested_collections(t in small_tree()) {
+            prop_assert!(t.len() < 4);
+        }
+
+        #[test]
+        fn oneof_picks_each_branch(s in prop_oneof![Just("a".to_string()), Just("b".to_string())]) {
+            prop_assert!(s == "a" || s == "b");
+        }
+
+        #[test]
+        fn string_patterns_produce_strings(s in "\\PC*") {
+            let _: String = s;
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct Node {
+        children: Vec<Node>,
+    }
+
+    fn depth(n: &Node) -> usize {
+        1 + n.children.iter().map(depth).max().unwrap_or(0)
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_structures_are_depth_bounded(
+            root in Just(Node { children: vec![] }).prop_recursive(4, 48, 4, |inner| {
+                prop::collection::vec(inner, 0..4)
+                    .prop_map(|children| Node { children })
+            })
+        ) {
+            prop_assert!(depth(&root) <= 5);
+        }
+    }
+
+    #[test]
+    fn recursion_actually_recurses() {
+        let strat = Just(Node { children: vec![] }).prop_recursive(4, 48, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(|children| Node { children })
+        });
+        let mut rng = TestRng::deterministic("recursion_actually_recurses");
+        let deepest = (0..200).map(|_| depth(&strat.new_value(&mut rng))).max().unwrap();
+        assert!(deepest > 1, "recursive strategy never recursed");
+    }
+}

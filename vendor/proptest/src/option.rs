@@ -1,0 +1,24 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Option<S::Value>`.
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Same bias as real proptest's default: mostly Some.
+        if rng.gen_bool(0.75) {
+            Some(self.0.new_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Some` of the inner strategy three times out of four, else `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
