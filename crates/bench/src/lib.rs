@@ -137,6 +137,20 @@ impl Bench {
         sjos_exec::execute_counting(&self.store, pattern, plan).expect("optimizer plans are valid")
     }
 
+    /// Like [`Bench::run_plan_counting`], but at an explicit batch
+    /// granularity: `batch_rows = 1` reproduces the tuple-at-a-time
+    /// engine this codebase used before vectorization, which is the
+    /// `pipeline` binary's before/after knob.
+    pub fn run_plan_counting_with_batch_rows(
+        &self,
+        pattern: &Pattern,
+        plan: &sjos_exec::PlanNode,
+        batch_rows: usize,
+    ) -> QueryResult {
+        sjos_exec::execute_counting_with_batch_rows(&self.store, pattern, plan, batch_rows)
+            .expect("optimizer plans are valid")
+    }
+
     /// One Table-1-style measurement: optimize (median of `reps`) and
     /// execute once.
     pub fn measure(&self, pattern: &Pattern, algorithm: Algorithm, reps: usize) -> Measurement {

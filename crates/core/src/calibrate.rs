@@ -73,8 +73,8 @@ pub fn calibrate(store: &XmlStore, max_sample: usize, reps: usize) -> Calibratio
         let input = VecInput::single(PnId(0), shuffled.clone());
         let mut op = SortOp::new(Box::new(input), PnId(0), m);
         let mut count = 0usize;
-        while op.next().is_some() {
-            count += 1;
+        while let Some(b) = op.next_batch() {
+            count += b.len();
         }
         count
     });
@@ -172,8 +172,8 @@ fn timed_join(entries: &[Entry], algo: JoinAlgo, reps: usize) -> (f64, f64) {
             m,
         );
         let mut count = 0usize;
-        while op.next().is_some() {
-            count += 1;
+        while let Some(b) = op.next_batch() {
+            count += b.len();
         }
         out_size = count;
         count

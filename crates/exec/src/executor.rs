@@ -9,9 +9,9 @@ use sjos_storage::record::value_digest;
 use sjos_storage::XmlStore;
 
 use crate::metrics::{ExecMetrics, MetricsSnapshot};
-use crate::ops::{BoxedOperator, IndexScanOp, MergeJoinOp, SortOp, StackTreeJoinOp};
+use crate::ops::{BoxedOperator, IndexScanOp, MergeJoinOp, OrderingCheck, SortOp, StackTreeJoinOp};
 use crate::plan::PlanNode;
-use crate::tuple::{Schema, Tuple};
+use crate::tuple::{Schema, Tuple, TupleBatch, BATCH_ROWS};
 
 /// Execution failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +70,19 @@ impl QueryResult {
     }
 }
 
+/// The raw batch stream of one execution, before any row-major
+/// materialization — what planck's executed-plan lint inspects to
+/// verify ordering and row-count invariants at the root boundary.
+#[derive(Debug)]
+pub struct BatchedResult {
+    /// Column layout shared by every batch.
+    pub schema: Arc<Schema>,
+    /// The root operator's batches, in emission order.
+    pub batches: Vec<TupleBatch>,
+    /// Operator-level counters.
+    pub metrics: MetricsSnapshot,
+}
+
 /// Execute `plan` for `pattern` against `store`, materializing every
 /// result tuple.
 ///
@@ -81,7 +94,7 @@ pub fn execute(
     pattern: &Pattern,
     plan: &PlanNode,
 ) -> Result<QueryResult, ExecError> {
-    execute_opts(store, pattern, plan, true)
+    execute_opts(store, pattern, plan, true, BATCH_ROWS)
 }
 
 /// Like [`execute`], but discard tuples as they are produced (the
@@ -93,7 +106,57 @@ pub fn execute_counting(
     pattern: &Pattern,
     plan: &PlanNode,
 ) -> Result<QueryResult, ExecError> {
-    execute_opts(store, pattern, plan, false)
+    execute_opts(store, pattern, plan, false, BATCH_ROWS)
+}
+
+/// [`execute_counting`] with an explicit batch granularity.
+///
+/// `batch_rows = 1` degenerates to the tuple-at-a-time engine this
+/// refactor replaced (one dispatch and one metrics flush per tuple) —
+/// the before/after knob the pipeline benchmark uses. Metrics totals
+/// are identical for every batch size.
+pub fn execute_counting_with_batch_rows(
+    store: &XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+    batch_rows: usize,
+) -> Result<QueryResult, ExecError> {
+    execute_opts(store, pattern, plan, false, batch_rows)
+}
+
+/// [`execute`] with an explicit batch granularity — the materializing
+/// twin of [`execute_counting_with_batch_rows`], used by the
+/// differential tests to prove batching is invisible in the answer.
+pub fn execute_with_batch_rows(
+    store: &XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+    batch_rows: usize,
+) -> Result<QueryResult, ExecError> {
+    execute_opts(store, pattern, plan, true, batch_rows)
+}
+
+/// Execute `plan` and keep the root operator's batches as emitted,
+/// without flattening to row-major tuples. This is the inspection
+/// entry point for planck's `PL034` executed-plan lint.
+pub fn execute_batches(
+    store: &XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+) -> Result<BatchedResult, ExecError> {
+    plan.validate(pattern).map_err(ExecError::InvalidPlan)?;
+    let metrics = ExecMetrics::new();
+    let mut root = build_operator(store, pattern, plan, &metrics, BATCH_ROWS);
+    let mut batches = Vec::new();
+    let mut count: u64 = 0;
+    while let Some(batch) = root.next_batch() {
+        count += batch.len() as u64;
+        batches.push(batch);
+    }
+    ExecMetrics::add(&metrics.output_tuples, count);
+    let schema = root.schema().clone();
+    drop(root);
+    Ok(BatchedResult { schema, batches, metrics: metrics.snapshot() })
 }
 
 fn execute_opts(
@@ -101,23 +164,28 @@ fn execute_opts(
     pattern: &Pattern,
     plan: &PlanNode,
     materialize: bool,
+    batch_rows: usize,
 ) -> Result<QueryResult, ExecError> {
     plan.validate(pattern).map_err(ExecError::InvalidPlan)?;
     let metrics = ExecMetrics::new();
     let io_before = store.stats().snapshot();
     let started = Instant::now();
-    let mut root = build_operator(store, pattern, plan, &metrics);
+    let mut root = build_operator(store, pattern, plan, &metrics, batch_rows);
     let mut tuples = Vec::new();
     let mut count: u64 = 0;
-    while let Some(t) = root.next() {
-        count += 1;
+    let ordered_col = root.ordered_col();
+    let mut check = OrderingCheck::new();
+    while let Some(batch) = root.next_batch() {
+        debug_assert!(!batch.is_empty(), "operators must not emit empty batches");
+        check.check(&batch, ordered_col);
+        count += batch.len() as u64;
         if materialize {
-            tuples.push(t);
+            tuples.extend(batch.into_rows());
         }
     }
     let elapsed = started.elapsed();
     ExecMetrics::add(&metrics.output_tuples, count);
-    let schema = root.schema().clone();
+    let schema = root.schema().as_ref().clone();
     drop(root);
     Ok(QueryResult {
         schema,
@@ -133,29 +201,28 @@ fn build_operator<'a>(
     pattern: &Pattern,
     plan: &PlanNode,
     metrics: &Arc<ExecMetrics>,
+    batch_rows: usize,
 ) -> BoxedOperator<'a> {
     match plan {
-        PlanNode::IndexScan { pnode } => Box::new(build_scan(store, pattern, *pnode, metrics)),
+        PlanNode::IndexScan { pnode } => {
+            Box::new(build_scan(store, pattern, *pnode, metrics).with_batch_rows(batch_rows))
+        }
         PlanNode::Sort { input, by } => {
-            let child = build_operator(store, pattern, input, metrics);
-            Box::new(SortOp::new(child, *by, Arc::clone(metrics)))
+            let child = build_operator(store, pattern, input, metrics, batch_rows);
+            Box::new(SortOp::new(child, *by, Arc::clone(metrics)).with_batch_rows(batch_rows))
         }
         PlanNode::StructuralJoin { left, right, anc, desc, axis, algo } => {
-            let l = build_operator(store, pattern, left, metrics);
-            let r = build_operator(store, pattern, right, metrics);
+            let l = build_operator(store, pattern, left, metrics, batch_rows);
+            let r = build_operator(store, pattern, right, metrics, batch_rows);
             match algo {
-                crate::plan::JoinAlgo::MergeJoin => {
-                    Box::new(MergeJoinOp::new(l, r, *anc, *desc, *axis, Arc::clone(metrics)))
-                }
-                _ => Box::new(StackTreeJoinOp::new(
-                    l,
-                    r,
-                    *anc,
-                    *desc,
-                    *axis,
-                    *algo,
-                    Arc::clone(metrics),
-                )),
+                crate::plan::JoinAlgo::MergeJoin => Box::new(
+                    MergeJoinOp::new(l, r, *anc, *desc, *axis, Arc::clone(metrics))
+                        .with_batch_rows(batch_rows),
+                ),
+                _ => Box::new(
+                    StackTreeJoinOp::new(l, r, *anc, *desc, *axis, *algo, Arc::clone(metrics))
+                        .with_batch_rows(batch_rows),
+                ),
             }
         }
     }
@@ -361,5 +428,53 @@ mod tests {
         };
         let err = execute(&st, &pat, &plan).unwrap_err();
         assert!(matches!(err, ExecError::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn batch_rows_one_matches_default_engine() {
+        let st = store();
+        let pat = parse_pattern("//dept/emp/name").unwrap();
+        let inner = PlanNode::StructuralJoin {
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            anc: PnId(0),
+            desc: PnId(1),
+            axis: Axis::Child,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        let plan = PlanNode::StructuralJoin {
+            left: Box::new(inner),
+            right: Box::new(scan(2)),
+            anc: PnId(1),
+            desc: PnId(2),
+            axis: Axis::Child,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        let wide = execute_counting(&st, &pat, &plan).unwrap();
+        let narrow = execute_counting_with_batch_rows(&st, &pat, &plan, 1).unwrap();
+        assert_eq!(wide.metrics.output_tuples, narrow.metrics.output_tuples);
+        assert_eq!(wide.metrics.produced_tuples, narrow.metrics.produced_tuples);
+        assert_eq!(wide.metrics.stack_pushes, narrow.metrics.stack_pushes);
+        assert_eq!(wide.metrics.stack_pops, narrow.metrics.stack_pops);
+        assert_eq!(wide.metrics.scanned_records, narrow.metrics.scanned_records);
+    }
+
+    #[test]
+    fn execute_batches_exposes_ordered_root_stream() {
+        let st = store();
+        let pat = parse_pattern("//dept//emp").unwrap();
+        let plan = PlanNode::StructuralJoin {
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            anc: PnId(0),
+            desc: PnId(1),
+            axis: Axis::Descendant,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        let res = execute_batches(&st, &pat, &plan).unwrap();
+        let rows: usize = res.batches.iter().map(TupleBatch::len).sum();
+        assert_eq!(rows as u64, res.metrics.output_tuples);
+        let col = res.schema.position(PnId(1)).unwrap();
+        assert!(res.batches.iter().all(|b| b.is_sorted_by(col)));
     }
 }

@@ -21,12 +21,14 @@
 //! paper notes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use sjos_pattern::{Axis, Pattern, PnId, ValuePredicate};
 use sjos_storage::record::value_digest;
 use sjos_storage::XmlStore;
 use sjos_xml::NodeId;
 
+use crate::metrics::ExecMetrics;
 use crate::tuple::Entry;
 
 /// Counters describing one holistic evaluation.
@@ -81,6 +83,36 @@ struct StackElem {
     /// Number of elements on the parent's stack when this was pushed
     /// (elements `0..parent_len` are candidate ancestors).
     parent_len: usize,
+}
+
+/// [`evaluate`], additionally reporting the twig counters through the
+/// shared executor metrics so holistic runs are comparable with join
+/// plans in a [`crate::metrics::MetricsSnapshot`]. The mapping:
+///
+/// * `stream_elements` → `scanned_records` (node-stream reads play
+///   the role of index-scan record reads);
+/// * `stack_pushes` → `stack_pushes` (twig stacks are the same
+///   machinery as the binary join's ancestor stack);
+/// * `path_solutions` → `buffered_pairs` (phase-1 paths are the
+///   intermediate results parked for phase 2, like Stack-Tree-Anc's
+///   self/inherit lists);
+/// * `matches` → `produced_tuples` and `output_tuples`.
+///
+/// `stack_pops`, `sorted_tuples`, `sort_operations`, and
+/// `merge_rescans` stay zero for this path.
+pub fn evaluate_with_metrics(
+    store: &XmlStore,
+    pattern: &Pattern,
+    metrics: &Arc<ExecMetrics>,
+) -> TwigResult {
+    let result = evaluate(store, pattern);
+    let tm = result.metrics;
+    ExecMetrics::add(&metrics.scanned_records, tm.stream_elements);
+    ExecMetrics::add(&metrics.stack_pushes, tm.stack_pushes);
+    ExecMetrics::add(&metrics.buffered_pairs, tm.path_solutions);
+    ExecMetrics::add(&metrics.produced_tuples, tm.matches);
+    ExecMetrics::add(&metrics.output_tuples, tm.matches);
+    result
 }
 
 /// Evaluate `pattern` against `store` holistically.
@@ -413,6 +445,22 @@ mod tests {
         let res = evaluate(&store, &pattern);
         assert!(res.metrics.path_solutions >= res.metrics.matches);
         assert!(res.metrics.stream_elements > 0);
+    }
+
+    #[test]
+    fn exec_metrics_mirror_twig_counters() {
+        let doc = Document::parse(XML).unwrap();
+        let store = XmlStore::load(doc);
+        let pattern = parse_pattern("//dept/emp/name").unwrap();
+        let m = ExecMetrics::new();
+        let res = evaluate_with_metrics(&store, &pattern, &m);
+        let s = m.snapshot();
+        assert_eq!(s.scanned_records, res.metrics.stream_elements);
+        assert_eq!(s.stack_pushes, res.metrics.stack_pushes);
+        assert_eq!(s.buffered_pairs, res.metrics.path_solutions);
+        assert_eq!(s.output_tuples, res.metrics.matches);
+        assert_eq!(s.produced_tuples, res.metrics.matches);
+        assert_eq!(s.merge_rescans, 0);
     }
 
     #[test]

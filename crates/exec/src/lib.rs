@@ -4,6 +4,14 @@
 //! executor that runs a structural-join plan against an
 //! [`sjos_storage::XmlStore`].
 //!
+//! Execution is *vectorized*: operators exchange columnar
+//! [`tuple::TupleBatch`]es (target [`tuple::BATCH_ROWS`] rows) rather
+//! than single tuples, so per-item costs — virtual dispatch, bounds
+//! checks, and above all the shared atomic metric counters — are paid
+//! once per batch. Metric totals are exact and independent of batch
+//! size; `batch_rows = 1` reproduces the original tuple-at-a-time
+//! engine for before/after measurement.
+//!
 //! Operators:
 //! * [`ops::IndexScanOp`] — streams one tag's binding list from the
 //!   tag index (document order), applying the node's value predicate.
@@ -29,7 +37,10 @@ pub mod ops;
 pub mod plan;
 pub mod tuple;
 
-pub use executor::{execute, execute_counting, ExecError, QueryResult};
+pub use executor::{
+    execute, execute_batches, execute_counting, execute_counting_with_batch_rows,
+    execute_with_batch_rows, BatchedResult, ExecError, QueryResult,
+};
 pub use metrics::ExecMetrics;
 pub use plan::{JoinAlgo, PlanNode};
-pub use tuple::{Entry, Schema, Tuple};
+pub use tuple::{Entry, Schema, Tuple, TupleBatch, BATCH_ROWS};

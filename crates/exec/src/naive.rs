@@ -6,12 +6,36 @@
 //! and obviously correct, so the test suite uses it as ground truth
 //! for every structural-join plan.
 
+use std::sync::Arc;
+
 use sjos_pattern::{Axis, Pattern, PnId, ValuePredicate};
 use sjos_xml::{Document, NodeId};
+
+use crate::metrics::ExecMetrics;
 
 /// All matches of `pattern` in `doc`, as rows of element ids in
 /// pattern-node order (row `r[i]` binds pattern node `i`), sorted.
 pub fn evaluate(doc: &Document, pattern: &Pattern) -> Vec<Vec<NodeId>> {
+    evaluate_with_metrics(doc, pattern, &ExecMetrics::new())
+}
+
+/// [`evaluate`], reporting its work through the shared executor
+/// counters so a [`crate::metrics::MetricsSnapshot`] can compare the
+/// navigational baseline against join plans. The mapping:
+///
+/// * `scanned_records` — candidate elements examined during the
+///   binding search (one per tag-list/heap element visited at each
+///   pattern-node depth, so re-visits under different partial
+///   bindings count each time);
+/// * `produced_tuples` / `output_tuples` — complete binding rows.
+///
+/// Stack, sort, buffer, and rescan counters stay zero: the tree walk
+/// has no such machinery.
+pub fn evaluate_with_metrics(
+    doc: &Document,
+    pattern: &Pattern,
+    metrics: &Arc<ExecMetrics>,
+) -> Vec<Vec<NodeId>> {
     // Bind nodes in pre-order: each node's parent is bound before it.
     let mut order = Vec::with_capacity(pattern.len());
     let mut stack = vec![pattern.root()];
@@ -23,11 +47,16 @@ pub fn evaluate(doc: &Document, pattern: &Pattern) -> Vec<Vec<NodeId>> {
     }
     let mut binding = vec![NodeId(u32::MAX); pattern.len()];
     let mut rows = Vec::new();
-    search(doc, pattern, &order, 0, &mut binding, &mut rows);
+    let mut scanned: u64 = 0;
+    search(doc, pattern, &order, 0, &mut binding, &mut rows, &mut scanned);
     rows.sort_unstable();
+    ExecMetrics::add(&metrics.scanned_records, scanned);
+    ExecMetrics::add(&metrics.produced_tuples, rows.len() as u64);
+    ExecMetrics::add(&metrics.output_tuples, rows.len() as u64);
     rows
 }
 
+#[allow(clippy::too_many_arguments)]
 fn search(
     doc: &Document,
     pattern: &Pattern,
@@ -35,6 +64,7 @@ fn search(
     depth: usize,
     binding: &mut Vec<NodeId>,
     rows: &mut Vec<Vec<NodeId>>,
+    scanned: &mut u64,
 ) {
     if depth == order.len() {
         rows.push(binding.clone());
@@ -52,6 +82,7 @@ fn search(
             None => &[],
         }
     };
+    *scanned += ids.len() as u64;
     let relation = pattern.parent(pnode).map(|parent| {
         let axis = pattern.edge_between(parent, pnode).expect("tree edge").axis;
         (doc.region(binding[parent.index()]), axis)
@@ -72,7 +103,7 @@ fn search(
             _ => {}
         }
         binding[pnode.index()] = cand;
-        search(doc, pattern, order, depth + 1, binding, rows);
+        search(doc, pattern, order, depth + 1, binding, rows, scanned);
         binding[pnode.index()] = NodeId(u32::MAX);
     }
 }
@@ -154,6 +185,19 @@ mod tests {
         let d = Document::parse("<m><x/><m><x/><m><x/></m></m></m>").unwrap();
         let p = parse_pattern("//m//m").unwrap();
         assert_eq!(evaluate(&d, &p).len(), 3);
+    }
+
+    #[test]
+    fn metrics_report_search_work() {
+        let d = doc();
+        let p = parse_pattern("//dept/emp/name").unwrap();
+        let m = ExecMetrics::new();
+        let rows = evaluate_with_metrics(&d, &p, &m);
+        let s = m.snapshot();
+        assert_eq!(s.output_tuples as usize, rows.len());
+        assert_eq!(s.produced_tuples, s.output_tuples);
+        assert!(s.scanned_records >= rows.len() as u64);
+        assert_eq!(s.stack_pushes, 0, "the tree walk has no stacks");
     }
 
     #[test]

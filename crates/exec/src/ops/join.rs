@@ -1,4 +1,4 @@
-//! Stack-tree structural joins over tuple streams.
+//! Stack-tree structural joins over batched tuple streams.
 //!
 //! Both algorithms come from Al-Khalifa et al., *Structural Joins: A
 //! Primitive for Efficient XML Query Pattern Matching* (ICDE 2002),
@@ -14,6 +14,13 @@
 //!   parked on per-stack-entry *self* and *inherit* lists and released
 //!   when the stack bottom pops (the buffering that gives the
 //!   algorithm its extra I/O cost term in the paper's model).
+//!
+//! The merge loop itself stays tuple-granular (the algorithms are
+//! inherently cursor-based), but inputs arrive and output leaves in
+//! columnar [`TupleBatch`]es, and the stack/buffer/output metric
+//! counters are accumulated locally and flushed with one atomic add
+//! per counter per batch — the totals are bit-identical to the
+//! tuple-at-a-time engine for every batch size.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -21,37 +28,39 @@ use std::sync::Arc;
 use sjos_pattern::{Axis, PnId};
 
 use crate::metrics::ExecMetrics;
-use crate::ops::{BoxedOperator, Operator};
+use crate::ops::{BoxedOperator, InputCursor, Operator};
 use crate::plan::JoinAlgo;
-use crate::tuple::{Schema, Tuple};
+use crate::tuple::{Entry, Schema, Tuple, TupleBatch, BATCH_ROWS};
 
 /// A structural join operator (either stack-tree variant).
 pub struct StackTreeJoinOp<'a> {
-    left: BoxedOperator<'a>,
-    right: BoxedOperator<'a>,
-    /// Column index of the ancestor-side join node in `left`.
+    left: InputCursor<'a>,
+    right: InputCursor<'a>,
+    /// Column index of the ancestor-side join node in the left input.
     left_col: usize,
-    /// Column index of the descendant-side join node in `right`.
+    /// Column index of the descendant-side join node in the right
+    /// input.
     right_col: usize,
+    /// Width of the left input (offset of right columns in output).
+    left_width: usize,
     axis: Axis,
     algo: JoinAlgo,
-    schema: Schema,
+    schema: Arc<Schema>,
     metrics: Arc<ExecMetrics>,
 
-    started: bool,
-    cur_left: Option<Tuple>,
-    cur_right: Option<Tuple>,
     /// Desc: plain ancestor stack. Anc: stack with pair lists.
     stack: Vec<StackEntry>,
-    /// Desc: index into `stack` while emitting matches of `cur_right`.
-    emit_idx: usize,
-    emitting: bool,
     /// Anc: completed output awaiting delivery.
     ready: VecDeque<Tuple>,
-    /// Debug-only: last start positions seen on each input, to verify
-    /// input ordering.
-    last_left_start: Option<u32>,
-    last_right_start: Option<u32>,
+    /// Reused copy of the right tuple being consumed.
+    scratch_right: Vec<Entry>,
+    done: bool,
+    batch_rows: usize,
+
+    /// Local metric accumulators, flushed once per batch.
+    c_pushes: u64,
+    c_pops: u64,
+    c_buffered: u64,
 }
 
 struct StackEntry {
@@ -89,80 +98,59 @@ impl<'a> StackTreeJoinOp<'a> {
             algo != JoinAlgo::MergeJoin,
             "MergeJoin is implemented by MergeJoinOp, not the stack-tree operator"
         );
-        let schema = left.schema().concat(right.schema());
+        let schema = Arc::new(left.schema().concat(right.schema()));
+        let left_width = left.schema().width();
         StackTreeJoinOp {
-            left,
-            right,
+            left: InputCursor::new(left, left_col),
+            right: InputCursor::new(right, right_col),
             left_col,
             right_col,
+            left_width,
             axis,
             algo,
             schema,
             metrics,
-            started: false,
-            cur_left: None,
-            cur_right: None,
             stack: Vec::new(),
-            emit_idx: 0,
-            emitting: false,
             ready: VecDeque::new(),
-            last_left_start: None,
-            last_right_start: None,
+            scratch_right: Vec::new(),
+            done: false,
+            batch_rows: BATCH_ROWS,
+            c_pushes: 0,
+            c_pops: 0,
+            c_buffered: 0,
         }
     }
 
+    /// Override the batch granularity (default [`BATCH_ROWS`]). A
+    /// batch may overshoot the target by the stack depth because one
+    /// descendant's matches are always emitted together.
+    #[must_use]
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows.max(1);
+        self
+    }
+
+    /// Start of the current left tuple's ancestor-column region.
+    fn left_start(&mut self) -> Option<u32> {
+        let col = self.left_col;
+        self.left.peek().map(|(b, r)| b.entry(col, r).region.start)
+    }
+
+    /// Start of the current right tuple's descendant-column region.
+    fn right_start(&mut self) -> Option<u32> {
+        let col = self.right_col;
+        self.right.peek().map(|(b, r)| b.entry(col, r).region.start)
+    }
+
+    /// Does the pair (ancestor row `a`, descendant row `d`) satisfy
+    /// the axis? Containment is implied by stack membership; only the
+    /// level test remains for `/`.
     #[inline]
-    fn left_start(&self, t: &Tuple) -> u32 {
-        t[self.left_col].region.start
-    }
-
-    #[inline]
-    fn right_start(&self, t: &Tuple) -> u32 {
-        t[self.right_col].region.start
-    }
-
-    fn advance_left(&mut self) -> Option<Tuple> {
-        let next = self.left.next();
-        if let Some(t) = &next {
-            let s = self.left_start(t);
-            debug_assert!(
-                self.last_left_start.is_none_or(|p| p <= s),
-                "left input not ordered by ancestor column"
-            );
-            self.last_left_start = Some(s);
-        }
-        std::mem::replace(&mut self.cur_left, next)
-    }
-
-    fn advance_right(&mut self) -> Option<Tuple> {
-        let next = self.right.next();
-        if let Some(t) = &next {
-            let s = self.right_start(t);
-            debug_assert!(
-                self.last_right_start.is_none_or(|p| p <= s),
-                "right input not ordered by descendant column"
-            );
-            self.last_right_start = Some(s);
-        }
-        std::mem::replace(&mut self.cur_right, next)
-    }
-
-    /// Does the pair (ancestor entry `a`, descendant tuple `d`)
-    /// satisfy the axis?  Containment is implied by stack membership;
-    /// only the level test remains for `/`.
-    #[inline]
-    fn axis_ok(&self, a: &Tuple, d: &Tuple) -> bool {
+    fn axis_ok(&self, a: &[Entry], d: &[Entry]) -> bool {
         match self.axis {
             Axis::Descendant => true,
             Axis::Child => a[self.left_col].region.level + 1 == d[self.right_col].region.level,
         }
-    }
-
-    fn concat(&self, a: &Tuple, d: &Tuple) -> Tuple {
-        let mut out = Vec::with_capacity(a.len() + d.len());
-        out.extend_from_slice(a);
-        out.extend_from_slice(d);
-        out
     }
 
     /// Pop every stack entry whose interval ends before `pos`.
@@ -179,13 +167,13 @@ impl<'a> StackTreeJoinOp<'a> {
     /// Pop the top entry, routing its buffered pairs (Anc).
     fn pop_one(&mut self) {
         let entry = self.stack.pop().expect("pop from empty stack");
-        ExecMetrics::add(&self.metrics.stack_pops, 1);
+        self.c_pops += 1;
         if self.algo == JoinAlgo::StackTreeAnc {
             let mut pairs = entry.self_list;
             pairs.extend(entry.inherit_list);
             match self.stack.last_mut() {
                 Some(below) => {
-                    ExecMetrics::add(&self.metrics.buffered_pairs, pairs.len() as u64);
+                    self.c_buffered += pairs.len() as u64;
                     below.inherit_list.extend(pairs);
                 }
                 None => self.ready.extend(pairs),
@@ -194,63 +182,75 @@ impl<'a> StackTreeJoinOp<'a> {
     }
 
     fn push(&mut self, tuple: Tuple) {
-        ExecMetrics::add(&self.metrics.stack_pushes, 1);
+        self.c_pushes += 1;
         self.stack.push(StackEntry { tuple, self_list: Vec::new(), inherit_list: Vec::new() });
     }
 
-    /// One step of the merge loop. Returns `false` when both inputs
-    /// and the stack are fully drained.
-    fn step(&mut self) -> bool {
-        match (&self.cur_left, &self.cur_right) {
-            (Some(a), Some(d)) => {
-                let (a_start, d_start) = (self.left_start(a), self.right_start(d));
+    /// One step of the merge loop: consume one input tuple, emitting
+    /// Desc pairs into `out`. Sets `done` when no further output can
+    /// exist (buffered Anc output may still be in `ready`).
+    fn step(&mut self, out: &mut TupleBatch) {
+        match (self.left_start(), self.right_start()) {
+            (Some(a_start), Some(d_start)) => {
                 if a_start < d_start {
                     self.pop_before(a_start);
-                    let t = self.advance_left().expect("cur_left present");
+                    let t = self.left.peek_row().expect("left row present");
+                    self.left.advance();
                     self.push(t);
                 } else {
-                    self.consume_right();
+                    self.consume_right(out);
                 }
-                true
             }
             (None, Some(_)) => {
-                self.consume_right();
+                self.consume_right(out);
                 // Once the stack is empty with the left side done, no
-                // later descendant can match.
-                if self.stack.is_empty() && self.ready.is_empty() && !self.emitting {
-                    self.cur_right = None;
-                    self.drain_stack();
-                    return false;
+                // later descendant can match; run the abandoned right
+                // side out so total work is batch-size-independent.
+                if self.stack.is_empty() {
+                    self.right.exhaust();
+                    self.done = true;
                 }
-                true
             }
-            // No descendants left: flush (Anc) and stop.
+            // No descendants left: flush (Anc), run the abandoned
+            // left side out, and stop.
             (_, None) => {
-                self.drain_stack();
-                false
+                while !self.stack.is_empty() {
+                    self.pop_one();
+                }
+                self.left.exhaust();
+                self.done = true;
             }
         }
     }
 
     /// Process the current right tuple against the stack.
-    fn consume_right(&mut self) {
-        let d_start = {
-            let d = self.cur_right.as_ref().expect("cur_right present");
-            self.right_start(d)
-        };
+    fn consume_right(&mut self, out: &mut TupleBatch) {
+        let d_start = self.right_start().expect("right row present");
         self.pop_before(d_start);
+        {
+            let (batch, row) = self.right.peek().expect("right row present");
+            self.scratch_right.clear();
+            self.scratch_right.extend((0..batch.width()).map(|c| batch.entry(c, row)));
+        }
+        self.right.advance();
         match self.algo {
             JoinAlgo::StackTreeDesc => {
-                // Emit lazily via `emitting` so output streams.
-                self.emitting = true;
-                self.emit_idx = 0;
+                // Emit bottom-up so each descendant's pairs leave in
+                // ancestor order, matching the tuple-engine's lazy
+                // stack walk.
+                for i in 0..self.stack.len() {
+                    if self.axis_ok(&self.stack[i].tuple, &self.scratch_right) {
+                        out.push_concat(&self.stack[i].tuple, &self.scratch_right);
+                    }
+                }
             }
             JoinAlgo::StackTreeAnc => {
-                let d = self.advance_right().expect("cur_right present");
                 for i in 0..self.stack.len() {
-                    if self.axis_ok(&self.stack[i].tuple, &d) {
-                        let pair = self.concat(&self.stack[i].tuple, &d);
-                        ExecMetrics::add(&self.metrics.buffered_pairs, 1);
+                    if self.axis_ok(&self.stack[i].tuple, &self.scratch_right) {
+                        let mut pair = Vec::with_capacity(self.schema.width());
+                        pair.extend_from_slice(&self.stack[i].tuple);
+                        pair.extend_from_slice(&self.scratch_right);
+                        self.c_buffered += 1;
                         self.stack[i].self_list.push(pair);
                     }
                 }
@@ -259,100 +259,70 @@ impl<'a> StackTreeJoinOp<'a> {
         }
     }
 
-    fn drain_stack(&mut self) {
-        while !self.stack.is_empty() {
-            self.pop_one();
+    /// Flush local counters to the shared metrics — one atomic add
+    /// per touched counter per batch.
+    fn flush_metrics(&mut self) {
+        if self.c_pushes > 0 {
+            ExecMetrics::add(&self.metrics.stack_pushes, self.c_pushes);
+            self.c_pushes = 0;
         }
-    }
-
-    fn produce(&self, t: Tuple) -> Tuple {
-        ExecMetrics::add(&self.metrics.produced_tuples, 1);
-        t
+        if self.c_pops > 0 {
+            ExecMetrics::add(&self.metrics.stack_pops, self.c_pops);
+            self.c_pops = 0;
+        }
+        if self.c_buffered > 0 {
+            ExecMetrics::add(&self.metrics.buffered_pairs, self.c_buffered);
+            self.c_buffered = 0;
+        }
     }
 }
 
 impl Operator for StackTreeJoinOp<'_> {
-    fn schema(&self) -> &Schema {
+    fn schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
-    fn next(&mut self) -> Option<Tuple> {
-        if !self.started {
-            self.started = true;
-            self.cur_left = self.left.next();
-            if let Some(t) = &self.cur_left {
-                self.last_left_start = Some(self.left_start(t));
-            }
-            self.cur_right = self.right.next();
-            if let Some(t) = &self.cur_right {
-                self.last_right_start = Some(self.right_start(t));
-            }
+    fn ordered_col(&self) -> usize {
+        match self.algo {
+            JoinAlgo::StackTreeDesc => self.left_width + self.right_col,
+            _ => self.left_col,
         }
-        loop {
-            // Deliver Desc matches for the in-flight right tuple.
-            if self.emitting {
-                let d_matches = loop {
-                    if self.emit_idx >= self.stack.len() {
-                        break None;
-                    }
-                    let i = self.emit_idx;
-                    self.emit_idx += 1;
-                    let d = self.cur_right.as_ref().expect("emitting without right");
-                    if self.axis_ok(&self.stack[i].tuple, d) {
-                        break Some(self.concat(&self.stack[i].tuple, d));
-                    }
-                };
-                match d_matches {
-                    Some(t) => return Some(self.produce(t)),
-                    None => {
-                        self.emitting = false;
-                        self.advance_right();
-                        continue;
-                    }
-                }
-            }
-            // Deliver buffered Anc output.
+    }
+
+    fn next_batch(&mut self) -> Option<TupleBatch> {
+        let mut out = TupleBatch::with_capacity(self.schema.clone(), self.batch_rows);
+        while out.len() < self.batch_rows {
             if let Some(t) = self.ready.pop_front() {
-                return Some(self.produce(t));
+                out.push_row(&t);
+                continue;
             }
-            if !self.step() {
-                // Final flush may have filled `ready`.
-                return self.ready.pop_front().map(|t| self.produce(t));
+            if self.done {
+                break;
             }
+            self.step(&mut out);
         }
+        self.flush_metrics();
+        if out.is_empty() {
+            return None;
+        }
+        ExecMetrics::add(&self.metrics.produced_tuples, out.len() as u64);
+        Some(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tuple::Entry;
+    use crate::ops::VecInput;
     use sjos_xml::{NodeId, Region};
 
-    /// A canned single-column input.
-    struct FixedInput {
-        schema: Schema,
-        rows: std::vec::IntoIter<Tuple>,
-    }
-
-    impl FixedInput {
-        fn new(col: PnId, regions: Vec<Region>) -> Self {
-            let rows: Vec<Tuple> = regions
-                .into_iter()
-                .enumerate()
-                .map(|(i, r)| vec![Entry { node: NodeId(i as u32), region: r }])
-                .collect();
-            FixedInput { schema: Schema::singleton(col), rows: rows.into_iter() }
-        }
-    }
-
-    impl Operator for FixedInput {
-        fn schema(&self) -> &Schema {
-            &self.schema
-        }
-        fn next(&mut self) -> Option<Tuple> {
-            self.rows.next()
-        }
+    fn fixed(col: PnId, regions: Vec<Region>) -> VecInput {
+        let entries = regions
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| Entry { node: NodeId(i as u32), region: r })
+            .collect();
+        VecInput::single(col, entries)
     }
 
     fn r(start: u32, end: u32, level: u16) -> Region {
@@ -370,17 +340,33 @@ mod tests {
         vec![r(2, 3, 2), r(4, 5, 2), r(7, 8, 1), r(13, 14, 1)]
     }
 
-    fn run(algo: JoinAlgo, axis: Axis) -> (Vec<(u32, u32)>, Arc<ExecMetrics>) {
-        let m = ExecMetrics::new();
-        let left = Box::new(FixedInput::new(PnId(0), ancestors()));
-        let right = Box::new(FixedInput::new(PnId(1), descendants()));
-        let mut op =
-            StackTreeJoinOp::new(left, right, PnId(0), PnId(1), axis, algo, Arc::clone(&m));
+    fn drain(op: &mut StackTreeJoinOp<'_>) -> Vec<(u32, u32)> {
         let mut out = vec![];
-        while let Some(t) = op.next() {
-            out.push((t[0].region.start, t[1].region.start));
+        while let Some(b) = op.next_batch() {
+            assert!(!b.is_empty(), "batches are never empty");
+            for row in 0..b.len() {
+                out.push((b.entry(0, row).region.start, b.entry(1, row).region.start));
+            }
         }
-        (out, m)
+        out
+    }
+
+    fn run_batched(
+        algo: JoinAlgo,
+        axis: Axis,
+        batch_rows: usize,
+    ) -> (Vec<(u32, u32)>, Arc<ExecMetrics>) {
+        let m = ExecMetrics::new();
+        let left = Box::new(fixed(PnId(0), ancestors()).with_batch_rows(batch_rows));
+        let right = Box::new(fixed(PnId(1), descendants()).with_batch_rows(batch_rows));
+        let mut op =
+            StackTreeJoinOp::new(left, right, PnId(0), PnId(1), axis, algo, Arc::clone(&m))
+                .with_batch_rows(batch_rows);
+        (drain(&mut op), m)
+    }
+
+    fn run(algo: JoinAlgo, axis: Axis) -> (Vec<(u32, u32)>, Arc<ExecMetrics>) {
+        run_batched(algo, axis, BATCH_ROWS)
     }
 
     #[test]
@@ -428,8 +414,8 @@ mod tests {
     #[test]
     fn empty_inputs_produce_nothing() {
         let m = ExecMetrics::new();
-        let left = Box::new(FixedInput::new(PnId(0), vec![]));
-        let right = Box::new(FixedInput::new(PnId(1), descendants()));
+        let left = Box::new(fixed(PnId(0), vec![]));
+        let right = Box::new(fixed(PnId(1), descendants()));
         let mut op = StackTreeJoinOp::new(
             left,
             right,
@@ -439,7 +425,7 @@ mod tests {
             JoinAlgo::StackTreeDesc,
             m,
         );
-        assert!(op.next().is_none());
+        assert!(op.next_batch().is_none());
     }
 
     #[test]
@@ -455,12 +441,29 @@ mod tests {
     }
 
     #[test]
+    fn batch_size_never_changes_output_or_metrics() {
+        for algo in [JoinAlgo::StackTreeDesc, JoinAlgo::StackTreeAnc] {
+            let (base_out, base_m) = run_batched(algo, Axis::Descendant, BATCH_ROWS);
+            let base = base_m.snapshot();
+            for rows in [1, 2, 3] {
+                let (out, m) = run_batched(algo, Axis::Descendant, rows);
+                assert_eq!(out, base_out, "{algo:?} output differs at batch_rows={rows}");
+                let s = m.snapshot();
+                assert_eq!(s.stack_pushes, base.stack_pushes);
+                assert_eq!(s.stack_pops, base.stack_pops);
+                assert_eq!(s.buffered_pairs, base.buffered_pairs);
+                assert_eq!(s.produced_tuples, base.produced_tuples);
+            }
+        }
+    }
+
+    #[test]
     fn self_join_excludes_identity() {
         // Same list on both sides (e.g. manager//manager).
         let regions = vec![r(0, 7, 0), r(1, 6, 1), r(2, 3, 2)];
         let m = ExecMetrics::new();
-        let left = Box::new(FixedInput::new(PnId(0), regions.clone()));
-        let right = Box::new(FixedInput::new(PnId(1), regions));
+        let left = Box::new(fixed(PnId(0), regions.clone()));
+        let right = Box::new(fixed(PnId(1), regions));
         let mut op = StackTreeJoinOp::new(
             left,
             right,
@@ -470,10 +473,7 @@ mod tests {
             JoinAlgo::StackTreeDesc,
             m,
         );
-        let mut out = vec![];
-        while let Some(t) = op.next() {
-            out.push((t[0].region.start, t[1].region.start));
-        }
+        let mut out = drain(&mut op);
         out.sort_unstable();
         assert_eq!(out, vec![(0, 1), (0, 2), (1, 2)]);
     }
@@ -484,8 +484,8 @@ mod tests {
         let ancs: Vec<Region> = (0..n).map(|i| r(i, 2 * n + 1 - i, i as u16)).collect();
         let descs = vec![r(n, n + 1, n as u16)];
         let m = ExecMetrics::new();
-        let left = Box::new(FixedInput::new(PnId(0), ancs));
-        let right = Box::new(FixedInput::new(PnId(1), descs));
+        let left = Box::new(fixed(PnId(0), ancs));
+        let right = Box::new(fixed(PnId(1), descs));
         let mut op = StackTreeJoinOp::new(
             left,
             right,
@@ -495,10 +495,7 @@ mod tests {
             JoinAlgo::StackTreeDesc,
             m,
         );
-        let mut count = 0;
-        while op.next().is_some() {
-            count += 1;
-        }
-        assert_eq!(count, n, "every ancestor matches the single leaf");
+        let count: usize = std::iter::from_fn(|| op.next_batch().map(|b| b.len())).sum();
+        assert_eq!(count as u32, n, "every ancestor matches the single leaf");
     }
 }

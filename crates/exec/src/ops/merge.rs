@@ -9,34 +9,43 @@
 //! behavior that motivated the stack-tree algorithms, reproduced
 //! faithfully here (and priced by the cost model's rescan term).
 //! Output is ordered by the ancestor column.
+//!
+//! The descendant buffer is kept columnar (one `Vec<Entry>` per right
+//! column) so rescans walk a dense region array, and the rescan/output
+//! counters are flushed to the shared metrics once per batch.
 
 use std::sync::Arc;
 
 use sjos_pattern::{Axis, PnId};
 
 use crate::metrics::ExecMetrics;
-use crate::ops::{BoxedOperator, Operator};
-use crate::tuple::{Schema, Tuple};
+use crate::ops::{BoxedOperator, InputCursor, Operator};
+use crate::tuple::{Entry, Schema, Tuple, TupleBatch, BATCH_ROWS};
 
 /// Merge-based structural join; output ordered by the ancestor.
 pub struct MergeJoinOp<'a> {
-    left: BoxedOperator<'a>,
-    right: BoxedOperator<'a>,
+    left: InputCursor<'a>,
+    right: InputCursor<'a>,
     left_col: usize,
     right_col: usize,
+    left_width: usize,
     axis: Axis,
-    schema: Schema,
+    schema: Arc<Schema>,
     metrics: Arc<ExecMetrics>,
 
-    /// Buffered descendant tuples (grows lazily).
-    right_buf: Vec<Tuple>,
+    /// Buffered descendant tuples, column-major (grows lazily).
+    right_buf: Vec<Vec<Entry>>,
     right_done: bool,
-    /// First buffered index that can still join a future ancestor.
+    /// First buffered row that can still join a future ancestor.
     mark: usize,
     /// Scan position within the current ancestor's window.
     scan: usize,
     cur_left: Option<Tuple>,
     started: bool,
+    batch_rows: usize,
+
+    /// Local rescan counter, flushed once per batch.
+    c_rescans: u64,
 }
 
 impl<'a> MergeJoinOp<'a> {
@@ -61,47 +70,75 @@ impl<'a> MergeJoinOp<'a> {
             .schema()
             .position(desc)
             .unwrap_or_else(|| panic!("right input does not bind {desc:?}"));
-        let schema = left.schema().concat(right.schema());
+        let schema = Arc::new(left.schema().concat(right.schema()));
+        let left_width = left.schema().width();
+        let right_width = right.schema().width();
         MergeJoinOp {
-            left,
-            right,
+            left: InputCursor::new(left, left_col),
+            right: InputCursor::new(right, right_col),
             left_col,
             right_col,
+            left_width,
             axis,
             schema,
             metrics,
-            right_buf: Vec::new(),
+            right_buf: (0..right_width).map(|_| Vec::new()).collect(),
             right_done: false,
             mark: 0,
             scan: 0,
             cur_left: None,
             started: false,
+            batch_rows: BATCH_ROWS,
+            c_rescans: 0,
         }
+    }
+
+    /// Override the batch granularity (default [`BATCH_ROWS`]).
+    #[must_use]
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows.max(1);
+        self
+    }
+
+    fn right_len(&self) -> usize {
+        self.right_buf.first().map_or(0, Vec::len)
     }
 
     fn fill_right_until(&mut self, pos: u32) {
         while !self.right_done {
             let need_more =
-                self.right_buf.last().map(|t| t[self.right_col].region.start < pos).unwrap_or(true);
+                self.right_buf[self.right_col].last().map(|e| e.region.start < pos).unwrap_or(true);
             if !need_more {
                 break;
             }
-            match self.right.next() {
-                Some(t) => self.right_buf.push(t),
+            match self.right.peek() {
+                Some((batch, row)) => {
+                    for (c, col) in self.right_buf.iter_mut().enumerate() {
+                        col.push(batch.entry(c, row));
+                    }
+                    self.right.advance();
+                }
                 None => self.right_done = true,
             }
         }
     }
 
     fn advance_left(&mut self) {
-        self.cur_left = self.left.next();
+        self.cur_left = self.left.peek_row();
+        if self.cur_left.is_some() {
+            self.left.advance();
+        } else {
+            // No future ancestor exists; run the abandoned right side
+            // out so total work is batch-size-independent.
+            self.right.exhaust();
+        }
         if let Some(a) = &self.cur_left {
             let a_region = a[self.left_col].region;
             // Move the mark past descendants that precede this (and
             // therefore every later) ancestor.
             self.fill_right_until(a_region.start);
-            while self.mark < self.right_buf.len()
-                && self.right_buf[self.mark][self.right_col].region.start < a_region.start
+            while self.mark < self.right_len()
+                && self.right_buf[self.right_col][self.mark].region.start < a_region.start
             {
                 self.mark += 1;
             }
@@ -114,96 +151,105 @@ impl<'a> MergeJoinOp<'a> {
 }
 
 impl Operator for MergeJoinOp<'_> {
-    fn schema(&self) -> &Schema {
+    fn schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
-    fn next(&mut self) -> Option<Tuple> {
+    fn ordered_col(&self) -> usize {
+        self.left_col
+    }
+
+    fn next_batch(&mut self) -> Option<TupleBatch> {
         if !self.started {
             self.started = true;
             self.advance_left();
         }
-        loop {
-            let a = self.cur_left.as_ref()?;
-            let a_region = a[self.left_col].region;
-            while self.scan < self.right_buf.len() {
-                let d = &self.right_buf[self.scan];
-                let d_region = d[self.right_col].region;
-                if d_region.start >= a_region.end {
-                    break;
-                }
-                self.scan += 1;
-                ExecMetrics::add(&self.metrics.merge_rescans, 1);
-                // Window membership implies containment (regions
-                // nest); only the level test remains for `/`.
-                debug_assert!(d_region.start <= a_region.start || a_region.contains(d_region));
-                if d_region.start <= a_region.start {
-                    continue; // same element (self-join edge case)
-                }
-                if self.axis == Axis::Child && a_region.level + 1 != d_region.level {
-                    continue;
-                }
-                let mut out = Vec::with_capacity(a.len() + d.len());
-                out.extend_from_slice(a);
-                out.extend_from_slice(d);
-                ExecMetrics::add(&self.metrics.produced_tuples, 1);
-                return Some(out);
+        let mut out = TupleBatch::with_capacity(self.schema.clone(), self.batch_rows);
+        while out.len() < self.batch_rows {
+            let Some(a_region) = self.cur_left.as_ref().map(|a| a[self.left_col].region) else {
+                break;
+            };
+            let in_window = self.scan < self.right_len()
+                && self.right_buf[self.right_col][self.scan].region.start < a_region.end;
+            if !in_window {
+                self.advance_left();
+                continue;
             }
-            self.advance_left();
+            let row = self.scan;
+            let d_region = self.right_buf[self.right_col][row].region;
+            self.scan += 1;
+            self.c_rescans += 1;
+            // Window membership implies containment (regions nest);
+            // only the level test remains for `/`.
+            debug_assert!(d_region.start <= a_region.start || a_region.contains(d_region));
+            if d_region.start <= a_region.start {
+                continue; // same element (self-join edge case)
+            }
+            if self.axis == Axis::Child && a_region.level + 1 != d_region.level {
+                continue;
+            }
+            let a = self.cur_left.as_ref().expect("left row present");
+            for (col, &e) in a.iter().enumerate() {
+                out.column_mut(col).push(e);
+            }
+            for (j, src) in self.right_buf.iter().enumerate() {
+                out.column_mut(self.left_width + j).push(src[row]);
+            }
         }
+        if self.c_rescans > 0 {
+            ExecMetrics::add(&self.metrics.merge_rescans, self.c_rescans);
+            self.c_rescans = 0;
+        }
+        if out.is_empty() {
+            return None;
+        }
+        ExecMetrics::add(&self.metrics.produced_tuples, out.len() as u64);
+        Some(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tuple::Entry;
+    use crate::ops::VecInput;
     use sjos_xml::{NodeId, Region};
 
-    struct FixedInput {
-        schema: Schema,
-        rows: std::vec::IntoIter<Tuple>,
-    }
-
-    impl FixedInput {
-        fn new(col: PnId, regions: Vec<Region>) -> Self {
-            let rows: Vec<Tuple> = regions
-                .into_iter()
-                .enumerate()
-                .map(|(i, r)| vec![Entry { node: NodeId(i as u32), region: r }])
-                .collect();
-            FixedInput { schema: Schema::singleton(col), rows: rows.into_iter() }
-        }
-    }
-
-    impl Operator for FixedInput {
-        fn schema(&self) -> &Schema {
-            &self.schema
-        }
-        fn next(&mut self) -> Option<Tuple> {
-            self.rows.next()
-        }
+    fn fixed(col: PnId, regions: Vec<Region>) -> VecInput {
+        let entries = regions
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| Entry { node: NodeId(i as u32), region: r })
+            .collect();
+        VecInput::single(col, entries)
     }
 
     fn r(start: u32, end: u32, level: u16) -> Region {
         Region { start, end, level }
     }
 
+    fn drain(op: &mut MergeJoinOp<'_>) -> Vec<(u32, u32)> {
+        let mut out = vec![];
+        while let Some(b) = op.next_batch() {
+            assert!(!b.is_empty(), "batches are never empty");
+            assert!(b.is_sorted_by(op.ordered_col()));
+            for row in 0..b.len() {
+                out.push((b.entry(0, row).region.start, b.entry(1, row).region.start));
+            }
+        }
+        out
+    }
+
     fn run(ancs: Vec<Region>, descs: Vec<Region>, axis: Axis) -> Vec<(u32, u32)> {
         let m = ExecMetrics::new();
         let mut op = MergeJoinOp::new(
-            Box::new(FixedInput::new(PnId(0), ancs)),
-            Box::new(FixedInput::new(PnId(1), descs)),
+            Box::new(fixed(PnId(0), ancs)),
+            Box::new(fixed(PnId(1), descs)),
             PnId(0),
             PnId(1),
             axis,
             m,
         );
-        let mut out = vec![];
-        while let Some(t) = op.next() {
-            out.push((t[0].region.start, t[1].region.start));
-        }
-        out
+        drain(&mut op)
     }
 
     #[test]
@@ -236,20 +282,40 @@ mod tests {
     }
 
     #[test]
+    fn batch_size_never_changes_output_or_rescans() {
+        let ancs = vec![r(0, 11, 0), r(1, 6, 1), r(12, 15, 0)];
+        let descs = vec![r(2, 3, 2), r(4, 5, 2), r(7, 8, 1), r(13, 14, 1)];
+        let base = run(ancs.clone(), descs.clone(), Axis::Descendant);
+        for rows in [1usize, 2, 3] {
+            let m = ExecMetrics::new();
+            let mut op = MergeJoinOp::new(
+                Box::new(fixed(PnId(0), ancs.clone()).with_batch_rows(rows)),
+                Box::new(fixed(PnId(1), descs.clone()).with_batch_rows(rows)),
+                PnId(0),
+                PnId(1),
+                Axis::Descendant,
+                Arc::clone(&m),
+            )
+            .with_batch_rows(rows);
+            assert_eq!(drain(&mut op), base, "output differs at batch_rows={rows}");
+        }
+    }
+
+    #[test]
     fn rescans_are_counted() {
         // Two nested ancestors re-scan the same descendants.
         let ancs = vec![r(0, 9, 0), r(1, 8, 1)];
         let descs = vec![r(2, 3, 2), r(4, 5, 2)];
         let m = ExecMetrics::new();
         let mut op = MergeJoinOp::new(
-            Box::new(FixedInput::new(PnId(0), ancs)),
-            Box::new(FixedInput::new(PnId(1), descs)),
+            Box::new(fixed(PnId(0), ancs)),
+            Box::new(fixed(PnId(1), descs)),
             PnId(0),
             PnId(1),
             Axis::Descendant,
             Arc::clone(&m),
         );
-        while op.next().is_some() {}
+        while op.next_batch().is_some() {}
         assert_eq!(m.snapshot().merge_rescans, 4, "each ancestor scans both");
     }
 }

@@ -1,4 +1,11 @@
-//! Volcano-style physical operators.
+//! Volcano-style physical operators, vectorized: each pull returns a
+//! columnar [`TupleBatch`] instead of a single tuple.
+//!
+//! Every operator declares via [`Operator::ordered_col`] which output
+//! column it keeps in document order `(region.start, region.end)`.
+//! Debug builds verify that promise on every batch crossing an
+//! operator boundary (see [`OrderingCheck`]); release builds pay
+//! nothing.
 
 pub mod join;
 pub mod merge;
@@ -10,50 +17,187 @@ pub use merge::MergeJoinOp;
 pub use scan::IndexScanOp;
 pub use sort::SortOp;
 
-use crate::tuple::{Schema, Tuple};
+use std::sync::Arc;
 
-/// A pull-based operator producing tuples one at a time.
+use crate::tuple::{Schema, Tuple, TupleBatch, BATCH_ROWS};
+
+/// A pull-based operator producing columnar batches.
+///
+/// Contract: batches are never empty; end-of-stream is `None`. The
+/// column at [`Operator::ordered_col`] is non-decreasing in
+/// `(region.start, region.end)` within each batch and across
+/// consecutive batches.
 pub trait Operator {
-    /// Column layout of produced tuples.
-    fn schema(&self) -> &Schema;
+    /// Column layout of produced batches.
+    fn schema(&self) -> &Arc<Schema>;
 
-    /// Produce the next tuple, or `None` when exhausted.
-    fn next(&mut self) -> Option<Tuple>;
+    /// Index of the output column this operator keeps in document
+    /// order (every physical operator here orders by exactly one
+    /// column — scans and sorts by construction, joins by the
+    /// stack/merge algorithm's emission rule).
+    fn ordered_col(&self) -> usize;
+
+    /// Produce the next batch, or `None` when exhausted.
+    fn next_batch(&mut self) -> Option<TupleBatch>;
 }
 
 /// Boxed operator with the executor's lifetime.
 pub type BoxedOperator<'a> = Box<dyn Operator + 'a>;
 
+/// Debug-only verifier of the ordering contract at one operator
+/// boundary: each batch internally sorted by the ordered column, and
+/// the first row of a batch not before the last row of the previous
+/// one. Compiles to a no-op struct in release builds.
+#[derive(Debug, Default)]
+pub struct OrderingCheck {
+    #[cfg(debug_assertions)]
+    last: Option<(u32, u32)>,
+}
+
+impl OrderingCheck {
+    /// Fresh checker (no batch seen yet).
+    pub fn new() -> OrderingCheck {
+        OrderingCheck::default()
+    }
+
+    /// Assert (debug builds only) that `batch` honours the ordering
+    /// contract on column `col`, continuing from previous batches.
+    #[inline]
+    pub fn check(&mut self, batch: &TupleBatch, col: usize) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(batch.is_sorted_by(col), "batch not sorted by ordered column {col}");
+            if let Some(first) = batch.column(col).first() {
+                let key = (first.region.start, first.region.end);
+                debug_assert!(
+                    self.last.is_none_or(|last| last <= key),
+                    "batch regresses across boundary on ordered column {col}"
+                );
+            }
+            if let Some(last) = batch.column(col).last() {
+                self.last = Some((last.region.start, last.region.end));
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (batch, col);
+        }
+    }
+}
+
+/// Cursor over an operator's batch stream, exposing per-row access so
+/// the join algorithms can keep their tuple-granular control flow
+/// while their inputs move in batches.
+///
+/// `required_col` is the column the *consumer* needs ordered (the
+/// join's own input requirement, derived from the plan) — each pulled
+/// batch is ordering-checked against it in debug builds.
+pub(crate) struct InputCursor<'a> {
+    op: BoxedOperator<'a>,
+    check: OrderingCheck,
+    required_col: usize,
+    batch: Option<TupleBatch>,
+    pos: usize,
+}
+
+impl<'a> InputCursor<'a> {
+    pub(crate) fn new(op: BoxedOperator<'a>, required_col: usize) -> InputCursor<'a> {
+        InputCursor { op, check: OrderingCheck::new(), required_col, batch: None, pos: 0 }
+    }
+
+    /// Current row, pulling the next batch if needed. `None` at
+    /// end-of-stream.
+    pub(crate) fn peek(&mut self) -> Option<(&TupleBatch, usize)> {
+        loop {
+            match &self.batch {
+                Some(b) if self.pos < b.len() => break,
+                _ => {
+                    let next = self.op.next_batch()?;
+                    self.check.check(&next, self.required_col);
+                    self.batch = Some(next);
+                    self.pos = 0;
+                }
+            }
+        }
+        Some((self.batch.as_ref().expect("batch present"), self.pos))
+    }
+
+    /// Copy of the current row, if any.
+    pub(crate) fn peek_row(&mut self) -> Option<Tuple> {
+        self.peek().map(|(b, r)| b.row(r))
+    }
+
+    /// Advance past the current row.
+    pub(crate) fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Drain the rest of the stream, discarding rows.
+    ///
+    /// Called when the consumer terminates early (e.g. a join whose
+    /// other input ran out): the producer still runs to completion, so
+    /// the work every operator performs — and with it every metric
+    /// counter — is identical at every batch granularity. Without
+    /// this, an abandoned producer would have done work rounded up to
+    /// its batch size, making counters drift with `batch_rows`.
+    pub(crate) fn exhaust(&mut self) {
+        self.batch = None;
+        self.pos = 0;
+        while let Some(next) = self.op.next_batch() {
+            self.check.check(&next, self.required_col);
+        }
+    }
+}
+
 /// An operator over a pre-materialized tuple vector — useful for
 /// testing operators in isolation and for the cost-model calibration
 /// harness (which must time joins without scan overhead).
 pub struct VecInput {
-    schema: Schema,
-    rows: std::vec::IntoIter<Tuple>,
+    schema: Arc<Schema>,
+    rows: Vec<Tuple>,
+    next_row: usize,
+    batch_rows: usize,
 }
 
 impl VecInput {
     /// Wrap `rows` (which must already satisfy any ordering the
     /// consumer expects) with the given schema.
     pub fn new(schema: Schema, rows: Vec<Tuple>) -> VecInput {
-        VecInput { schema, rows: rows.into_iter() }
+        VecInput { schema: Arc::new(schema), rows, next_row: 0, batch_rows: BATCH_ROWS }
     }
 
     /// Single-column input from entries.
     pub fn single(column: sjos_pattern::PnId, entries: Vec<crate::tuple::Entry>) -> VecInput {
-        VecInput {
-            schema: Schema::singleton(column),
-            rows: entries.into_iter().map(|e| vec![e]).collect::<Vec<_>>().into_iter(),
-        }
+        VecInput::new(Schema::singleton(column), entries.into_iter().map(|e| vec![e]).collect())
+    }
+
+    /// Override the batch granularity (default [`BATCH_ROWS`]).
+    #[must_use]
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> VecInput {
+        self.batch_rows = batch_rows.max(1);
+        self
     }
 }
 
 impl Operator for VecInput {
-    fn schema(&self) -> &Schema {
+    fn schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
-    fn next(&mut self) -> Option<Tuple> {
-        self.rows.next()
+    fn ordered_col(&self) -> usize {
+        0
+    }
+
+    fn next_batch(&mut self) -> Option<TupleBatch> {
+        if self.next_row >= self.rows.len() {
+            return None;
+        }
+        let end = (self.next_row + self.batch_rows).min(self.rows.len());
+        let mut batch = TupleBatch::with_capacity(self.schema.clone(), end - self.next_row);
+        for row in &self.rows[self.next_row..end] {
+            batch.push_row(row);
+        }
+        self.next_row = end;
+        Some(batch)
     }
 }

@@ -7,19 +7,24 @@ use sjos_storage::ElementRecord;
 
 use crate::metrics::ExecMetrics;
 use crate::ops::Operator;
-use crate::tuple::{Entry, Schema, Tuple};
+use crate::tuple::{Entry, Schema, TupleBatch, BATCH_ROWS};
 
 /// Streams one pattern node's binding list in document order,
 /// optionally filtering by a value digest (equality predicates are
 /// pushed into the scan, as the paper assumes every node predicate is
 /// index-evaluable). The underlying record stream is a tag-index scan
 /// for named nodes or a heap-file scan for wildcard nodes.
+///
+/// Records are packed straight into columnar batches; the two metric
+/// counters (`scanned_records`, `produced_tuples`) are accumulated
+/// locally and flushed with one atomic add each per batch.
 pub struct IndexScanOp<'a> {
     iter: Box<dyn Iterator<Item = ElementRecord> + 'a>,
-    schema: Schema,
+    schema: Arc<Schema>,
     /// Keep-only digest (from [`sjos_storage::record::value_digest`]).
     value_filter: Option<u64>,
     metrics: Arc<ExecMetrics>,
+    batch_rows: usize,
 }
 
 impl<'a> IndexScanOp<'a> {
@@ -33,30 +38,51 @@ impl<'a> IndexScanOp<'a> {
     ) -> Self {
         IndexScanOp {
             iter: Box::new(iter),
-            schema: Schema::singleton(pnode),
+            schema: Arc::new(Schema::singleton(pnode)),
             value_filter,
             metrics,
+            batch_rows: BATCH_ROWS,
         }
+    }
+
+    /// Override the batch granularity (default [`BATCH_ROWS`]).
+    #[must_use]
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows.max(1);
+        self
     }
 }
 
 impl Operator for IndexScanOp<'_> {
-    fn schema(&self) -> &Schema {
+    fn schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
-    fn next(&mut self) -> Option<Tuple> {
-        loop {
-            let rec = self.iter.next()?;
-            ExecMetrics::add(&self.metrics.scanned_records, 1);
+    fn ordered_col(&self) -> usize {
+        0
+    }
+
+    fn next_batch(&mut self) -> Option<TupleBatch> {
+        let mut batch = TupleBatch::with_capacity(self.schema.clone(), self.batch_rows);
+        let mut scanned = 0u64;
+        while batch.len() < self.batch_rows {
+            let Some(rec) = self.iter.next() else { break };
+            scanned += 1;
             if let Some(want) = self.value_filter {
                 if rec.value_hash != want {
                     continue;
                 }
             }
-            ExecMetrics::add(&self.metrics.produced_tuples, 1);
-            return Some(vec![Entry { node: rec.node, region: rec.region }]);
+            batch.push_row(&[Entry { node: rec.node, region: rec.region }]);
         }
+        if scanned > 0 {
+            ExecMetrics::add(&self.metrics.scanned_records, scanned);
+        }
+        if batch.is_empty() {
+            return None;
+        }
+        ExecMetrics::add(&self.metrics.produced_tuples, batch.len() as u64);
+        Some(batch)
     }
 }
 
@@ -79,8 +105,10 @@ mod tests {
         let m = ExecMetrics::new();
         let mut op = IndexScanOp::new(PnId(0), st.scan_tag(tag), None, Arc::clone(&m));
         let mut starts = vec![];
-        while let Some(t) = op.next() {
-            starts.push(t[0].region.start);
+        while let Some(b) = op.next_batch() {
+            assert!(!b.is_empty(), "batches are never empty");
+            assert!(b.is_sorted_by(0));
+            starts.extend(b.column(0).iter().map(|e| e.region.start));
         }
         assert_eq!(starts.len(), 3);
         assert!(starts.windows(2).all(|w| w[0] < w[1]));
@@ -96,12 +124,24 @@ mod tests {
         let mut op =
             IndexScanOp::new(PnId(0), st.scan_tag(tag), Some(value_digest("a")), Arc::clone(&m));
         let mut n = 0;
-        while op.next().is_some() {
-            n += 1;
+        while let Some(b) = op.next_batch() {
+            n += b.len();
         }
         assert_eq!(n, 2);
         let snap = m.snapshot();
         assert_eq!(snap.scanned_records, 3, "filter still reads the list");
         assert_eq!(snap.produced_tuples, 2);
+    }
+
+    #[test]
+    fn small_batches_partition_the_stream() {
+        let st = store();
+        let tag = st.document().tag("n").unwrap();
+        let m = ExecMetrics::new();
+        let mut op =
+            IndexScanOp::new(PnId(0), st.scan_tag(tag), None, Arc::clone(&m)).with_batch_rows(2);
+        let sizes: Vec<usize> = std::iter::from_fn(|| op.next_batch().map(|b| b.len())).collect();
+        assert_eq!(sizes, vec![2, 1]);
+        assert_eq!(m.snapshot().produced_tuples, 3);
     }
 }

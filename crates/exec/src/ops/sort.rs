@@ -6,18 +6,28 @@ use sjos_pattern::PnId;
 
 use crate::metrics::ExecMetrics;
 use crate::ops::{BoxedOperator, Operator};
-use crate::tuple::{Schema, Tuple};
+use crate::tuple::{Entry, Schema, TupleBatch, BATCH_ROWS};
 
 /// Materializes its input and re-orders it by the `by` column's
 /// document position. This is the blocking point the paper's
 /// non-fully-pipelined plans pay for (`n log n * f_s` in the cost
 /// model), and what the FP algorithm avoids entirely.
+///
+/// The buffer is kept columnar: input batches append straight onto
+/// per-column arrays, a sort permutation is computed over the key
+/// column only, and output batches gather through that permutation.
 pub struct SortOp<'a> {
     input: Option<BoxedOperator<'a>>,
-    schema: Schema,
+    schema: Arc<Schema>,
     col: usize,
-    buffer: std::vec::IntoIter<Tuple>,
+    /// Materialized input, column-major.
+    buffer: Vec<Vec<Entry>>,
+    /// Row indices of `buffer` in sorted order.
+    perm: Vec<u32>,
+    /// Next position in `perm` to emit.
+    emitted: usize,
     metrics: Arc<ExecMetrics>,
+    batch_rows: usize,
 }
 
 impl<'a> SortOp<'a> {
@@ -28,59 +38,82 @@ impl<'a> SortOp<'a> {
     pub fn new(input: BoxedOperator<'a>, by: PnId, metrics: Arc<ExecMetrics>) -> Self {
         let schema = input.schema().clone();
         let col = schema.position(by).unwrap_or_else(|| panic!("sort by unbound column {by:?}"));
-        SortOp { input: Some(input), schema, col, buffer: Vec::new().into_iter(), metrics }
+        SortOp {
+            input: Some(input),
+            schema,
+            col,
+            buffer: Vec::new(),
+            perm: Vec::new(),
+            emitted: 0,
+            metrics,
+            batch_rows: BATCH_ROWS,
+        }
+    }
+
+    /// Override the batch granularity (default [`BATCH_ROWS`]).
+    #[must_use]
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows.max(1);
+        self
     }
 
     fn materialize(&mut self) {
         let Some(mut input) = self.input.take() else { return };
-        let mut rows: Vec<Tuple> = Vec::new();
-        while let Some(t) = input.next() {
-            rows.push(t);
+        self.buffer = (0..self.schema.width()).map(|_| Vec::new()).collect();
+        while let Some(batch) = input.next_batch() {
+            for (dst, c) in self.buffer.iter_mut().enumerate() {
+                c.extend_from_slice(batch.column(dst));
+            }
         }
-        let col = self.col;
-        rows.sort_by_key(|t| (t[col].region.start, t[col].region.end));
+        let rows = self.buffer.first().map_or(0, Vec::len);
+        let keys = &self.buffer[self.col];
+        let mut perm: Vec<u32> = (0..rows as u32).collect();
+        perm.sort_by_key(|&r| {
+            let e = keys[r as usize];
+            (e.region.start, e.region.end)
+        });
+        self.perm = perm;
         ExecMetrics::add(&self.metrics.sort_operations, 1);
-        ExecMetrics::add(&self.metrics.sorted_tuples, rows.len() as u64);
-        self.buffer = rows.into_iter();
+        ExecMetrics::add(&self.metrics.sorted_tuples, rows as u64);
     }
 }
 
 impl Operator for SortOp<'_> {
-    fn schema(&self) -> &Schema {
+    fn schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
-    fn next(&mut self) -> Option<Tuple> {
+    fn ordered_col(&self) -> usize {
+        self.col
+    }
+
+    fn next_batch(&mut self) -> Option<TupleBatch> {
         if self.input.is_some() {
             self.materialize();
         }
-        let t = self.buffer.next()?;
-        ExecMetrics::add(&self.metrics.produced_tuples, 1);
-        Some(t)
+        if self.emitted >= self.perm.len() {
+            return None;
+        }
+        let end = (self.emitted + self.batch_rows).min(self.perm.len());
+        let take = &self.perm[self.emitted..end];
+        let mut batch = TupleBatch::with_capacity(self.schema.clone(), take.len());
+        for (dst, src) in (0..self.schema.width()).zip(&self.buffer) {
+            batch.extend_column(dst, take.iter().map(|&r| src[r as usize]));
+        }
+        self.emitted = end;
+        ExecMetrics::add(&self.metrics.produced_tuples, batch.len() as u64);
+        Some(batch)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tuple::Entry;
+    use crate::ops::VecInput;
+    use crate::tuple::Tuple;
     use sjos_xml::{NodeId, Region};
 
-    struct FixedInput {
-        schema: Schema,
-        rows: std::vec::IntoIter<Tuple>,
-    }
-
-    impl Operator for FixedInput {
-        fn schema(&self) -> &Schema {
-            &self.schema
-        }
-        fn next(&mut self) -> Option<Tuple> {
-            self.rows.next()
-        }
-    }
-
-    fn two_col_rows(pairs: &[(u32, u32)]) -> FixedInput {
+    fn two_col_rows(pairs: &[(u32, u32)]) -> VecInput {
         let rows: Vec<Tuple> = pairs
             .iter()
             .enumerate()
@@ -97,7 +130,7 @@ mod tests {
                 ]
             })
             .collect();
-        FixedInput { schema: Schema::new(vec![PnId(0), PnId(1)]), rows: rows.into_iter() }
+        VecInput::new(Schema::new(vec![PnId(0), PnId(1)]), rows)
     }
 
     #[test]
@@ -106,8 +139,9 @@ mod tests {
         let input = two_col_rows(&[(5, 10), (1, 30), (3, 20)]);
         let mut op = SortOp::new(Box::new(input), PnId(1), Arc::clone(&m));
         let mut seen = vec![];
-        while let Some(t) = op.next() {
-            seen.push(t[1].region.start);
+        while let Some(b) = op.next_batch() {
+            assert!(b.is_sorted_by(op.ordered_col()));
+            seen.extend(b.column(1).iter().map(|e| e.region.start));
         }
         assert_eq!(seen, vec![10, 20, 30]);
         let s = m.snapshot();
@@ -117,11 +151,21 @@ mod tests {
     }
 
     #[test]
+    fn sorted_output_respects_batch_granularity() {
+        let m = ExecMetrics::new();
+        let input = two_col_rows(&[(5, 10), (1, 30), (3, 20)]);
+        let mut op = SortOp::new(Box::new(input), PnId(0), Arc::clone(&m)).with_batch_rows(2);
+        let sizes: Vec<usize> = std::iter::from_fn(|| op.next_batch().map(|b| b.len())).collect();
+        assert_eq!(sizes, vec![2, 1]);
+        assert_eq!(m.snapshot().produced_tuples, 3);
+    }
+
+    #[test]
     fn empty_input_sorts_empty() {
         let m = ExecMetrics::new();
         let input = two_col_rows(&[]);
         let mut op = SortOp::new(Box::new(input), PnId(0), m.clone());
-        assert!(op.next().is_none());
+        assert!(op.next_batch().is_none());
         assert_eq!(m.snapshot().sort_operations, 1);
     }
 

@@ -1,7 +1,20 @@
-//! Tuples and schemas for intermediate results.
+//! Tuples, schemas, and columnar batches for intermediate results.
+//!
+//! The executor moves data in [`TupleBatch`]es — column-major arrays
+//! of [`Entry`] values sharing one [`Schema`] — rather than one
+//! heap-allocated row at a time. Row-major [`Tuple`]s remain the
+//! interchange format at the edges (materialized query results, join
+//! stack entries, test fixtures).
+
+use std::sync::Arc;
 
 use sjos_pattern::PnId;
 use sjos_xml::{NodeId, Region};
+
+/// Default number of rows per [`TupleBatch`]: large enough to
+/// amortize virtual dispatch and atomic metric updates over ~1K rows,
+/// small enough that a batch of a few columns stays cache-resident.
+pub const BATCH_ROWS: usize = 1024;
 
 /// One column value: the bound element's identity and region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +82,139 @@ impl Schema {
     }
 }
 
+/// A column-major batch of rows sharing one [`Schema`].
+///
+/// Invariant: every column vector has the same length (`len()`).
+/// Batches produced by operators are never empty — end-of-stream is
+/// signalled by `None` from [`crate::ops::Operator::next_batch`], not
+/// by an empty batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleBatch {
+    schema: Arc<Schema>,
+    columns: Vec<Vec<Entry>>,
+}
+
+impl TupleBatch {
+    /// Empty batch for `schema` with no reserved capacity.
+    pub fn new(schema: Arc<Schema>) -> TupleBatch {
+        TupleBatch::with_capacity(schema, 0)
+    }
+
+    /// Empty batch for `schema`, each column pre-reserving `cap` rows.
+    pub fn with_capacity(schema: Arc<Schema>, cap: usize) -> TupleBatch {
+        let width = schema.width();
+        TupleBatch { schema, columns: (0..width).map(|_| Vec::with_capacity(cap)).collect() }
+    }
+
+    /// Build a batch from row-major tuples (each must match the
+    /// schema width).
+    pub fn from_rows<'a, I>(schema: Arc<Schema>, rows: I) -> TupleBatch
+    where
+        I: IntoIterator<Item = &'a [Entry]>,
+    {
+        let mut batch = TupleBatch::new(schema);
+        for row in rows {
+            batch.push_row(row);
+        }
+        batch
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of columns (schema width).
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column `col` as a contiguous slice.
+    pub fn column(&self, col: usize) -> &[Entry] {
+        &self.columns[col]
+    }
+
+    /// Entry at (`col`, `row`).
+    pub fn entry(&self, col: usize, row: usize) -> Entry {
+        self.columns[col][row]
+    }
+
+    /// Row `row` materialized as a row-major [`Tuple`].
+    pub fn row(&self, row: usize) -> Tuple {
+        self.columns.iter().map(|c| c[row]).collect()
+    }
+
+    /// Append a row-major row.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the schema width.
+    pub fn push_row(&mut self, row: &[Entry]) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        for (col, &e) in self.columns.iter_mut().zip(row) {
+            col.push(e);
+        }
+    }
+
+    /// Append one entry to each column starting at `col_offset`,
+    /// copying row `src_row` of `src` column-by-column. Used by joins
+    /// to splice a source batch's row into a wider output row.
+    pub fn extend_row_from(&mut self, col_offset: usize, src: &TupleBatch, src_row: usize) {
+        for (dst, srccol) in self.columns[col_offset..].iter_mut().zip(&src.columns) {
+            dst.push(srccol[src_row]);
+        }
+    }
+
+    /// Append one row formed by concatenating two row fragments (a
+    /// join's left and right halves) without materializing the
+    /// combined row first.
+    ///
+    /// # Panics
+    /// Panics if the fragments don't add up to the schema width.
+    pub fn push_concat(&mut self, a: &[Entry], b: &[Entry]) {
+        assert_eq!(a.len() + b.len(), self.columns.len(), "row width mismatch");
+        for (col, &e) in self.columns.iter_mut().zip(a.iter().chain(b)) {
+            col.push(e);
+        }
+    }
+
+    /// Bulk-append entries to a single column. The caller must bring
+    /// all columns back to equal lengths before the batch is read —
+    /// this is the gather/emission primitive for sort and joins.
+    pub(crate) fn extend_column<I: IntoIterator<Item = Entry>>(&mut self, col: usize, entries: I) {
+        self.columns[col].extend(entries);
+    }
+
+    /// Mutable access to one column (same caveat as
+    /// [`TupleBatch::extend_column`]).
+    pub(crate) fn column_mut(&mut self, col: usize) -> &mut Vec<Entry> {
+        &mut self.columns[col]
+    }
+
+    /// True if column `col` is non-decreasing in `(region.start,
+    /// region.end)` — the document order every operator boundary
+    /// promises for its `ordered_col`.
+    pub fn is_sorted_by(&self, col: usize) -> bool {
+        self.columns[col]
+            .windows(2)
+            .all(|w| (w[0].region.start, w[0].region.end) <= (w[1].region.start, w[1].region.end))
+    }
+
+    /// Drain the batch into row-major tuples.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        (0..self.len()).map(|r| self.row(r)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +241,51 @@ mod tests {
     fn duplicate_columns_rejected() {
         let a = Schema::new(vec![PnId(0)]);
         let _ = a.concat(&Schema::new(vec![PnId(0)]));
+    }
+
+    fn e(start: u32, end: u32) -> Entry {
+        Entry { node: NodeId(start), region: Region { start, end, level: 1 } }
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let schema = Arc::new(Schema::new(vec![PnId(0), PnId(1)]));
+        let mut b = TupleBatch::with_capacity(schema.clone(), 4);
+        assert!(b.is_empty());
+        b.push_row(&[e(1, 10), e(2, 3)]);
+        b.push_row(&[e(4, 9), e(5, 6)]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.width(), 2);
+        assert_eq!(b.entry(1, 0), e(2, 3));
+        assert_eq!(b.row(1), vec![e(4, 9), e(5, 6)]);
+        assert_eq!(b.column(0), &[e(1, 10), e(4, 9)]);
+        assert_eq!(b.clone().into_rows().len(), 2);
+    }
+
+    #[test]
+    fn batch_extend_row_from() {
+        let left = Arc::new(Schema::singleton(PnId(0)));
+        let right = Arc::new(Schema::singleton(PnId(1)));
+        let out = Arc::new(left.concat(&right));
+        let mut rb = TupleBatch::new(right.clone());
+        rb.push_row(&[e(2, 3)]);
+        let mut ob = TupleBatch::new(out);
+        ob.push_row(&[e(1, 10), e(7, 8)]);
+        // Splice right row 0 into a new output row after a left entry.
+        ob.columns[0].push(e(1, 10));
+        ob.extend_row_from(1, &rb, 0);
+        assert_eq!(ob.row(1), vec![e(1, 10), e(2, 3)]);
+    }
+
+    #[test]
+    fn batch_sortedness_check() {
+        let schema = Arc::new(Schema::singleton(PnId(0)));
+        let mut b = TupleBatch::new(schema);
+        b.push_row(&[e(1, 10)]);
+        b.push_row(&[e(1, 12)]);
+        b.push_row(&[e(4, 9)]);
+        assert!(b.is_sorted_by(0));
+        b.push_row(&[e(2, 3)]);
+        assert!(!b.is_sorted_by(0));
     }
 }

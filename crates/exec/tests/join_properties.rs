@@ -1,14 +1,15 @@
 //! Property tests for the stack-tree join operators: against
 //! arbitrary well-formed documents, both algorithms must produce
-//! exactly the brute-force pair set, in their advertised orders.
+//! exactly the brute-force pair set, in their advertised orders —
+//! at every batch granularity.
 
 use proptest::prelude::*;
 use std::sync::Arc;
 
 use sjos_exec::metrics::ExecMetrics;
-use sjos_exec::ops::{join::StackTreeJoinOp, Operator};
-use sjos_exec::tuple::{Entry, Schema, Tuple};
-use sjos_exec::JoinAlgo;
+use sjos_exec::ops::{join::StackTreeJoinOp, Operator, VecInput};
+use sjos_exec::tuple::Entry;
+use sjos_exec::{JoinAlgo, BATCH_ROWS};
 use sjos_pattern::{Axis, PnId};
 use sjos_xml::{DocumentBuilder, NodeId, Region};
 
@@ -38,45 +39,34 @@ fn doc_strategy() -> impl Strategy<Value = Vec<Region>> {
     })
 }
 
-/// Pick two (sorted) sublists of the document's regions.
-fn two_lists() -> impl Strategy<Value = (Vec<Region>, Vec<Region>)> {
-    (doc_strategy(), any::<u64>(), any::<u64>()).prop_map(|(regions, ma, mb)| {
-        let pick = |mask: u64| -> Vec<Region> {
-            regions
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| (mask >> (i % 64)) & 1 == 1)
-                .map(|(_, r)| *r)
-                .collect()
-        };
-        (pick(ma), pick(mb))
-    })
+/// Pick two (sorted) sublists of the document's regions plus a batch
+/// granularity to run the join at.
+fn two_lists() -> impl Strategy<Value = (Vec<Region>, Vec<Region>, usize)> {
+    (doc_strategy(), any::<u64>(), any::<u64>(), 1usize..5).prop_map(
+        |(regions, ma, mb, batch_rows)| {
+            let pick = |mask: u64| -> Vec<Region> {
+                regions
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| (mask >> (i % 64)) & 1 == 1)
+                    .map(|(_, r)| *r)
+                    .collect()
+            };
+            (pick(ma), pick(mb), batch_rows)
+        },
+    )
 }
 
-fn input(col: u16, regions: &[Region]) -> FixedInput {
-    FixedInput {
-        schema: Schema::singleton(PnId(col)),
-        rows: regions
+fn input(col: u16, regions: &[Region], batch_rows: usize) -> VecInput {
+    VecInput::single(
+        PnId(col),
+        regions
             .iter()
             .enumerate()
-            .map(|(i, r)| vec![Entry { node: NodeId(i as u32), region: *r }])
-            .collect::<Vec<_>>()
-            .into_iter(),
-    }
-}
-
-struct FixedInput {
-    schema: Schema,
-    rows: std::vec::IntoIter<Tuple>,
-}
-
-impl Operator for FixedInput {
-    fn schema(&self) -> &Schema {
-        &self.schema
-    }
-    fn next(&mut self) -> Option<Tuple> {
-        self.rows.next()
-    }
+            .map(|(i, r)| Entry { node: NodeId(i as u32), region: *r })
+            .collect(),
+    )
+    .with_batch_rows(batch_rows)
 }
 
 fn run_join(
@@ -84,20 +74,24 @@ fn run_join(
     descs: &[Region],
     algo: JoinAlgo,
     axis: Axis,
+    batch_rows: usize,
 ) -> Vec<(Region, Region)> {
     let m = ExecMetrics::new();
     let mut op = StackTreeJoinOp::new(
-        Box::new(input(0, ancs)),
-        Box::new(input(1, descs)),
+        Box::new(input(0, ancs, batch_rows)),
+        Box::new(input(1, descs, batch_rows)),
         PnId(0),
         PnId(1),
         axis,
         algo,
         Arc::clone(&m),
-    );
+    )
+    .with_batch_rows(batch_rows);
     let mut out = vec![];
-    while let Some(t) = op.next() {
-        out.push((t[0].region, t[1].region));
+    while let Some(b) = op.next_batch() {
+        for row in 0..b.len() {
+            out.push((b.entry(0, row).region, b.entry(1, row).region));
+        }
     }
     out
 }
@@ -123,38 +117,47 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
-    fn desc_join_equals_brute_force((ancs, descs) in two_lists()) {
+    fn desc_join_equals_brute_force((ancs, descs, batch_rows) in two_lists()) {
         for axis in [Axis::Descendant, Axis::Child] {
-            let mut got = run_join(&ancs, &descs, JoinAlgo::StackTreeDesc, axis);
+            let mut got = run_join(&ancs, &descs, JoinAlgo::StackTreeDesc, axis, batch_rows);
             got.sort();
             prop_assert_eq!(&got, &brute_force(&ancs, &descs, axis));
         }
     }
 
     #[test]
-    fn anc_join_equals_brute_force((ancs, descs) in two_lists()) {
+    fn anc_join_equals_brute_force((ancs, descs, batch_rows) in two_lists()) {
         for axis in [Axis::Descendant, Axis::Child] {
-            let mut got = run_join(&ancs, &descs, JoinAlgo::StackTreeAnc, axis);
+            let mut got = run_join(&ancs, &descs, JoinAlgo::StackTreeAnc, axis, batch_rows);
             got.sort();
             prop_assert_eq!(&got, &brute_force(&ancs, &descs, axis));
         }
     }
 
     #[test]
-    fn desc_output_is_descendant_ordered((ancs, descs) in two_lists()) {
-        let got = run_join(&ancs, &descs, JoinAlgo::StackTreeDesc, Axis::Descendant);
+    fn desc_output_is_descendant_ordered((ancs, descs, batch_rows) in two_lists()) {
+        let got = run_join(&ancs, &descs, JoinAlgo::StackTreeDesc, Axis::Descendant, batch_rows);
         prop_assert!(got.windows(2).all(|w| w[0].1.start <= w[1].1.start));
     }
 
     #[test]
-    fn anc_output_is_ancestor_ordered((ancs, descs) in two_lists()) {
-        let got = run_join(&ancs, &descs, JoinAlgo::StackTreeAnc, Axis::Descendant);
+    fn anc_output_is_ancestor_ordered((ancs, descs, batch_rows) in two_lists()) {
+        let got = run_join(&ancs, &descs, JoinAlgo::StackTreeAnc, Axis::Descendant, batch_rows);
         prop_assert!(got.windows(2).all(|w| w[0].0.start <= w[1].0.start));
     }
 
     #[test]
+    fn batch_granularity_is_invisible((ancs, descs, batch_rows) in two_lists()) {
+        for algo in [JoinAlgo::StackTreeDesc, JoinAlgo::StackTreeAnc] {
+            let narrow = run_join(&ancs, &descs, algo, Axis::Descendant, batch_rows);
+            let wide = run_join(&ancs, &descs, algo, Axis::Descendant, BATCH_ROWS);
+            prop_assert_eq!(&narrow, &wide);
+        }
+    }
+
+    #[test]
     fn self_join_never_pairs_identity(regions in doc_strategy()) {
-        let got = run_join(&regions, &regions, JoinAlgo::StackTreeDesc, Axis::Descendant);
+        let got = run_join(&regions, &regions, JoinAlgo::StackTreeDesc, Axis::Descendant, 3);
         prop_assert!(got.iter().all(|(a, d)| a != d));
     }
 }

@@ -52,11 +52,15 @@ pub enum Rule {
     /// PL033: `ubCost` is finite, non-negative, and zero exactly at
     /// final statuses; finalizing never reduces cost.
     UbCostSane,
+    /// PL034: executed root batches are sorted by the plan's claimed
+    /// ordering column and their row counts reconcile with the
+    /// engine's tuple counters.
+    BatchContract,
 }
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 21] = [
+    pub const ALL: [Rule; 22] = [
         Rule::BindingPartition,
         Rule::EdgeExists,
         Rule::EdgeOrientation,
@@ -78,6 +82,7 @@ impl Rule {
         Rule::FpCheapestPipelined,
         Rule::HeuristicNotBelowOptimal,
         Rule::UbCostSane,
+        Rule::BatchContract,
     ];
 
     /// The stable diagnostic id.
@@ -104,6 +109,7 @@ impl Rule {
             Rule::FpCheapestPipelined => "PL031",
             Rule::HeuristicNotBelowOptimal => "PL032",
             Rule::UbCostSane => "PL033",
+            Rule::BatchContract => "PL034",
         }
     }
 
@@ -131,6 +137,7 @@ impl Rule {
             Rule::FpCheapestPipelined => "fp-cheapest-pipelined",
             Rule::HeuristicNotBelowOptimal => "heuristic-not-below-optimal",
             Rule::UbCostSane => "ub-cost-sane",
+            Rule::BatchContract => "batch-contract",
         }
     }
 
@@ -228,6 +235,14 @@ impl Rule {
                 "ubCost orders the DPP priority queue (§3.2); it must be \
                  finite and non-negative, vanish exactly at final \
                  statuses, and finalization can only add sort cost"
+            }
+            Rule::BatchContract => {
+                "the vectorized engine hands batches around on the \
+                 promise that each is sorted by the plan's claimed \
+                 ordering node (§2.2's ordering constraint) and that \
+                 batch rows sum to the reported tuple counts; a \
+                 violation means an operator broke the contract the \
+                 optimizers costed against"
             }
         }
     }

@@ -1,0 +1,219 @@
+//! Executed-plan checks (PL034): the one lint that runs a plan.
+//!
+//! The static rules (PL001–PL013) prove a plan *claims* the right
+//! invariants; this module executes it through the vectorized engine
+//! and verifies the engine *delivered* them at the root boundary:
+//!
+//! * every root batch is non-empty and internally sorted by the
+//!   column [`PlanNode::ordered_by`] claims orders the output;
+//! * the ordering is monotone *across* batches — batching must be
+//!   invisible to a consumer;
+//! * root batch rows sum exactly to `output_tuples`, operators never
+//!   report fewer `produced_tuples` than reach the root, and the
+//!   engine ran exactly the plan's [`PlanNode::sort_count`] sorts.
+//!
+//! Interior operator boundaries are covered at runtime by the
+//! executor's debug-only ordering checks; this lint is the
+//! release-mode, externally-observable half of the same contract.
+
+use sjos_exec::{execute_batches, BatchedResult, PlanNode};
+use sjos_pattern::Pattern;
+use sjos_storage::XmlStore;
+
+use crate::diag::{Report, Rule};
+
+/// Execute `plan` against `store` and lint the emitted batch stream
+/// (rule PL034). Plans that fail the executor's validation are
+/// reported under PL034 too — an unexecutable plan cannot honor the
+/// batch contract.
+pub fn lint_execution(store: &XmlStore, pattern: &Pattern, plan: &PlanNode) -> Report {
+    match execute_batches(store, pattern, plan) {
+        Ok(result) => lint_batches(&result, plan),
+        Err(e) => {
+            let mut report = Report::default();
+            report.push(Rule::BatchContract, "root", format!("plan failed validation: {e}"));
+            report
+        }
+    }
+}
+
+/// Lint an already-executed batch stream against the plan that
+/// produced it. Split out from [`lint_execution`] so corrupted
+/// streams can be checked directly (the engine itself never emits
+/// one).
+pub fn lint_batches(result: &BatchedResult, plan: &PlanNode) -> Report {
+    let mut report = Report::default();
+    let ordering = plan.ordered_by();
+    let Some(col) = result.schema.position(ordering) else {
+        report.push(
+            Rule::BatchContract,
+            "root",
+            format!("output schema does not bind the claimed ordering node {ordering:?}"),
+        );
+        return report;
+    };
+
+    let mut rows: u64 = 0;
+    let mut prev_last: Option<(u32, u32)> = None;
+    for (i, batch) in result.batches.iter().enumerate() {
+        if batch.is_empty() {
+            report.push(
+                Rule::BatchContract,
+                format!("root.batch[{i}]"),
+                "empty batch emitted (end-of-stream must be None, not an empty batch)",
+            );
+            continue;
+        }
+        if !batch.is_sorted_by(col) {
+            report.push(
+                Rule::BatchContract,
+                format!("root.batch[{i}]"),
+                format!("batch not sorted by claimed ordering column {col} ({ordering:?})"),
+            );
+        }
+        let first = batch.entry(col, 0).region;
+        if let Some(last) = prev_last {
+            if (first.start, first.end) < last {
+                report.push(
+                    Rule::BatchContract,
+                    format!("root.batch[{i}]"),
+                    format!(
+                        "ordering regresses across batches: starts at {:?} after previous \
+                         batch ended at {last:?}",
+                        (first.start, first.end)
+                    ),
+                );
+            }
+        }
+        let end = batch.entry(col, batch.len() - 1).region;
+        prev_last = Some((end.start, end.end));
+        rows += batch.len() as u64;
+    }
+
+    let m = &result.metrics;
+    if rows != m.output_tuples {
+        report.push(
+            Rule::BatchContract,
+            "root",
+            format!("root batches hold {rows} rows but output_tuples reports {}", m.output_tuples),
+        );
+    }
+    if m.produced_tuples < m.output_tuples {
+        report.push(
+            Rule::BatchContract,
+            "root",
+            format!(
+                "produced_tuples {} below output_tuples {} — an operator under-counted",
+                m.produced_tuples, m.output_tuples
+            ),
+        );
+    }
+    let expected_sorts = plan.sort_count() as u64;
+    if m.sort_operations != expected_sorts {
+        report.push(
+            Rule::BatchContract,
+            "root",
+            format!(
+                "plan contains {expected_sorts} sort operators but the engine recorded {}",
+                m.sort_operations
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjos_core::{optimize, Algorithm, CostModel};
+    use sjos_pattern::parse_pattern;
+    use sjos_stats::{Catalog, PatternEstimates};
+    use sjos_xml::Document;
+
+    const XML: &str = "<a>\
+        <b><c>x</c><c>y</c><e/></b>\
+        <b><c>z</c><e/></b>\
+        <d><e/><e/></d>\
+    </a>";
+
+    fn setup(query: &str) -> (XmlStore, Pattern, PlanNode) {
+        let doc = Document::parse(XML).unwrap();
+        let pattern = parse_pattern(query).unwrap();
+        let catalog = Catalog::build(&doc);
+        let est = PatternEstimates::new(&catalog, &doc, &pattern);
+        let model = CostModel::default();
+        let plan = optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true }).plan;
+        (XmlStore::load(doc), pattern, plan)
+    }
+
+    #[test]
+    fn engine_output_is_clean_for_every_optimizer() {
+        let doc = Document::parse(XML).unwrap();
+        let pattern = parse_pattern("//a/b/c").unwrap();
+        let catalog = Catalog::build(&doc);
+        let est = PatternEstimates::new(&catalog, &doc, &pattern);
+        let model = CostModel::default();
+        let store = XmlStore::load(doc);
+        for alg in [
+            Algorithm::Dp,
+            Algorithm::Dpp { lookahead: true },
+            Algorithm::DpapEb { te: 2 },
+            Algorithm::DpapLd,
+            Algorithm::Fp,
+        ] {
+            let plan = optimize(&pattern, &est, &model, alg).plan;
+            let report = lint_execution(&store, &pattern, &plan);
+            assert!(report.is_clean(), "{}: {}", alg.name(), report.render());
+        }
+    }
+
+    #[test]
+    fn invalid_plan_is_reported_not_panicked() {
+        let (store, pattern, _) = setup("//a/b/c");
+        let bogus = PlanNode::IndexScan { pnode: sjos_pattern::PnId(0) };
+        let report = lint_execution(&store, &pattern, &bogus);
+        assert!(report.violates(Rule::BatchContract), "{}", report.render());
+    }
+
+    #[test]
+    fn corrupted_stream_fires_each_check() {
+        let (store, pattern, plan) = setup("//a/b/c");
+        let clean = execute_batches(&store, &pattern, &plan).unwrap();
+        assert!(lint_batches(&clean, &plan).is_clean());
+        assert!(!clean.batches.is_empty(), "fixture query must match");
+
+        // Unsorted within a batch: reverse the rows of the first batch.
+        let mut unsorted = execute_batches(&store, &pattern, &plan).unwrap();
+        let rows: Vec<_> = {
+            let b = &unsorted.batches[0];
+            (0..b.len()).rev().map(|r| b.row(r)).collect()
+        };
+        unsorted.batches[0] = sjos_exec::TupleBatch::from_rows(
+            std::sync::Arc::clone(&unsorted.schema),
+            rows.iter().map(|t| t.as_slice()),
+        );
+        let report = lint_batches(&unsorted, &plan);
+        assert!(report.violates(Rule::BatchContract), "{}", report.render());
+
+        // Row counts out of step with output_tuples.
+        let mut short = execute_batches(&store, &pattern, &plan).unwrap();
+        short.batches.pop();
+        let report = lint_batches(&short, &plan);
+        assert!(
+            report.diagnostics.iter().any(|d| d.message.contains("output_tuples")),
+            "{}",
+            report.render()
+        );
+
+        // Ordering regressing across batches: duplicate the stream.
+        let mut doubled = execute_batches(&store, &pattern, &plan).unwrap();
+        let copy = doubled.batches.clone();
+        doubled.batches.extend(copy);
+        let report = lint_batches(&doubled, &plan);
+        assert!(
+            report.diagnostics.iter().any(|d| d.message.contains("regresses")),
+            "{}",
+            report.render()
+        );
+    }
+}

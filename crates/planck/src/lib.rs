@@ -14,7 +14,11 @@
 //!   mapping [`sjos_core::check_status`] onto stable rule ids);
 //! * the optimizers agree where theory says they must — DPP equals
 //!   DP, heuristics never undercut the optimum, FP is the cheapest
-//!   sort-free stack-tree plan, `ubCost` is well-shaped (PL030–PL033).
+//!   sort-free stack-tree plan, `ubCost` is well-shaped (PL030–PL033);
+//! * the vectorized engine honors its batch contract — one *dynamic*
+//!   rule (PL034, [`lint_execution`]) runs the plan and checks that
+//!   root batches arrive sorted by the claimed ordering node and that
+//!   batch row counts reconcile with the tuple counters.
 //!
 //! Every rule carries a stable `PL0xx` id ([`Rule::id`]), a short
 //! name, and a prose explanation citing the paper section that
@@ -27,10 +31,12 @@
 
 pub mod cross;
 pub mod diag;
+pub mod exec_rules;
 pub mod plan_rules;
 pub mod status_rules;
 
 pub use cross::{lint_optimizers, lint_search_space, min_pipelined_cost, MAX_CROSS_CHECK_NODES};
 pub use diag::{Diagnostic, Report, Rule};
+pub use exec_rules::{lint_batches, lint_execution};
 pub use plan_rules::{lint_plan, lint_plan_with, PlanExpectations};
 pub use status_rules::lint_status;

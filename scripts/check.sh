@@ -16,6 +16,9 @@ cargo build --workspace --all-targets
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+echo "==> cargo bench --no-run (criterion harnesses compile)"
+cargo bench --workspace --no-run --quiet
+
 echo "==> planlint selftest"
 cargo run --quiet --bin planlint -- --query '//a/b/c' --selftest >/dev/null
 

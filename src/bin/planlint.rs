@@ -22,7 +22,7 @@ use sjos::core::{mutate_plan, Algorithm, PlanMutation};
 use sjos::datagen::{dblp::dblp, mbench::mbench, pers::pers, GenConfig};
 use sjos::explain::explain;
 use sjos::{Database, Document};
-use sjos_planck::{lint_optimizers, lint_plan_with, PlanExpectations, Report};
+use sjos_planck::{lint_execution, lint_optimizers, lint_plan_with, PlanExpectations, Report};
 
 /// Fallback document when neither `--xml` nor `--gen` is given: big
 /// enough that the optimizers make non-trivial choices.
@@ -210,6 +210,11 @@ fn run(opts: &Options) -> Result<bool, String> {
     println!();
 
     let mut report = lint_plan_with(&pattern, &plan, expect, Some((&estimates, &model)));
+    if opts.mutate.is_none() {
+        // Dynamic half (PL034): run the plan and verify the batch
+        // stream delivers what the static rules proved it claims.
+        report.absorb("exec", lint_execution(db.store(), &pattern, &plan));
+    }
     if opts.cross {
         let cross = lint_optimizers(&pattern, &estimates, &model);
         report.absorb("cross", cross);
@@ -237,7 +242,9 @@ fn selftest(db: &Database, pattern: &sjos::Pattern) -> Result<bool, String> {
     println!("== optimizer plans (expected clean) ==");
     for (alg, expect) in algorithms {
         let optimized = db.optimize(pattern, alg);
-        let report = lint_plan_with(pattern, &optimized.plan, expect, Some((&estimates, &model)));
+        let mut report =
+            lint_plan_with(pattern, &optimized.plan, expect, Some((&estimates, &model)));
+        report.absorb("exec", lint_execution(db.store(), pattern, &optimized.plan));
         let verdict = if report.is_clean() { "clean" } else { "DIRTY" };
         println!("  {:<12} {verdict}", alg.name());
         if !report.is_clean() {

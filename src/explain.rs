@@ -87,18 +87,21 @@ fn render(
 
 /// A one-paragraph summary of an executed query: plan class, work
 /// counters, and storage traffic. The `EXPLAIN ANALYZE` companion to
-/// [`explain`].
+/// [`explain`]. The counters are flushed batch-at-a-time by the
+/// vectorized operators but their totals are exact per tuple.
 pub fn analyze_summary(result: &sjos_exec::QueryResult) -> String {
     let m = &result.metrics;
     format!(
-        "matches: {}  | operator tuples: {} | stack push/pop: {}/{} | \
-         buffered pairs: {} | sorts: {} ({} tuples) | \
+        "matches: {}  | operator tuples: {} | scanned: {} | stack push/pop: {}/{} | \
+         buffered pairs: {} | rescans: {} | sorts: {} ({} tuples) | \
          io: {} hits, {} reads, {} evictions | elapsed: {:.3} ms",
         m.output_tuples,
         m.produced_tuples,
+        m.scanned_records,
         m.stack_pushes,
         m.stack_pops,
         m.buffered_pairs,
+        m.merge_rescans,
         m.sort_operations,
         m.sorted_tuples,
         result.io.buffer_hits,

@@ -26,7 +26,9 @@
 //! * [`storage`] — pages, buffer pool, heap file, tag index
 //! * [`pattern`] — query pattern trees and the query parser
 //! * [`stats`] — positional histograms and cardinality estimation
-//! * [`exec`] — physical plans, stack-tree joins, the executor
+//! * [`exec`] — physical plans, stack-tree joins, and the vectorized
+//!   executor (operators exchange columnar [`TupleBatch`]es of
+//!   [`BATCH_ROWS`] rows; metric totals stay exact per tuple)
 //! * [`core`] — the cost model and the five optimizers
 //! * [`datagen`] — Pers/DBLP/Mbench-shaped generators and the
 //!   benchmark query catalog
@@ -47,7 +49,7 @@ pub use sjos_storage as storage;
 pub use sjos_xml as xml;
 
 pub use sjos_core::{optimize, Algorithm, CostModel, OptimizedPlan};
-pub use sjos_exec::{execute, PlanNode, QueryResult};
+pub use sjos_exec::{execute, BatchedResult, PlanNode, QueryResult, TupleBatch, BATCH_ROWS};
 pub use sjos_pattern::{parse_pattern, Pattern};
 pub use sjos_stats::{Catalog, PatternEstimates};
 pub use sjos_storage::{StoreConfig, XmlStore};
@@ -166,6 +168,18 @@ impl Database {
     /// Execute an explicit plan for a pattern.
     pub fn execute(&self, pattern: &Pattern, plan: &PlanNode) -> Result<QueryResult, Error> {
         Ok(execute(&self.store, pattern, plan)?)
+    }
+
+    /// Execute an explicit plan, keeping the root operator's columnar
+    /// batches as emitted instead of flattening them to row-major
+    /// tuples — for inspecting the engine's ordering and row-count
+    /// invariants (planck's executed-plan lint builds on this).
+    pub fn execute_batches(
+        &self,
+        pattern: &Pattern,
+        plan: &PlanNode,
+    ) -> Result<BatchedResult, Error> {
+        Ok(sjos_exec::execute_batches(&self.store, pattern, plan)?)
     }
 
     /// Measure this machine's cost factors against the loaded data

@@ -1,0 +1,93 @@
+//! Differential testing of the batched executor: over seeded generated
+//! documents, every optimizer's plan — plus seeded random valid plans —
+//! executed at several batch granularities must return exactly the
+//! bindings the naive navigational evaluator finds, and the stack
+//! traffic counters must not move with the batch size.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sjos::core::random_plan;
+use sjos::datagen::{dblp::dblp, mbench::mbench, pers::pers, GenConfig};
+use sjos::{Algorithm, Database, PlanNode};
+use sjos_exec::{execute_with_batch_rows, naive, BATCH_ROWS};
+
+/// Granularities under test: the tuple-at-a-time degenerate case, an
+/// awkward size that never divides the row counts, and production.
+const BATCH_SIZES: [usize; 3] = [1, 3, BATCH_ROWS];
+
+fn optimizers() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Dp,
+        Algorithm::Dpp { lookahead: true },
+        Algorithm::DpapEb { te: 2 },
+        Algorithm::DpapLd,
+        Algorithm::Fp,
+    ]
+}
+
+fn check(db: &Database, query: &str, seed: u64) {
+    let pattern = sjos::parse_pattern(query).unwrap();
+    let expected = naive::evaluate(db.document(), &pattern);
+
+    let mut plans: Vec<(String, PlanNode)> = optimizers()
+        .into_iter()
+        .map(|alg| (alg.name().to_string(), db.optimize(&pattern, alg).plan))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..2 {
+        plans.push((format!("random#{i}"), random_plan(&pattern, &mut rng)));
+    }
+
+    for (name, plan) in &plans {
+        let mut stack_traffic = Vec::new();
+        for &rows in &BATCH_SIZES {
+            let result = execute_with_batch_rows(db.store(), &pattern, plan, rows)
+                .unwrap_or_else(|e| panic!("{query} via {name}: {e}"));
+            assert_eq!(
+                result.canonical_rows(),
+                expected,
+                "{query} via {name} at batch_rows={rows} (seed {seed})"
+            );
+            stack_traffic.push((result.metrics.stack_pushes, result.metrics.stack_pops));
+        }
+        assert!(
+            stack_traffic.windows(2).all(|w| w[0] == w[1]),
+            "{query} via {name}: stack traffic varies with batch size: {stack_traffic:?}"
+        );
+    }
+}
+
+#[test]
+fn pers_documents_across_seeds() {
+    for seed in [1u64, 7, 42] {
+        let db = Database::from_document(pers(GenConfig { target_nodes: 1_200, seed }));
+        check(&db, "//manager//employee/name", seed);
+        check(&db, "//manager[.//employee/name][./department/name]", seed);
+        check(&db, "//manager//manager//employee", seed);
+    }
+}
+
+#[test]
+fn dblp_documents_across_seeds() {
+    for seed in [3u64, 11] {
+        let db = Database::from_document(dblp(GenConfig { target_nodes: 1_500, seed }));
+        check(&db, "//dblp/article[./author][./title]", seed);
+        check(&db, "//dblp[./article/author][./inproceedings/title]", seed);
+    }
+}
+
+#[test]
+fn mbench_documents_across_seeds() {
+    for seed in [5u64, 23] {
+        let db = Database::from_document(mbench(GenConfig { target_nodes: 1_000, seed }));
+        check(&db, "//eNest/eNest/eOccasional", seed);
+        check(&db, "//mbench/eNest//eOccasional", seed);
+    }
+}
+
+#[test]
+fn value_predicates_across_batch_sizes() {
+    let db = Database::from_document(pers(GenConfig { target_nodes: 1_500, seed: 9 }));
+    check(&db, "//department[./name[text()='sales']]/employee/name", 9);
+}
