@@ -76,13 +76,15 @@ fn bench_full_query(c: &mut Criterion) {
     let pattern = parse_pattern("//manager[.//employee/name][.//manager/department/name]").unwrap();
     let est = sjos_stats::PatternEstimates::new(&catalog, store.document(), &pattern);
     let model = sjos_core::CostModel::default();
-    let good = sjos_core::optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true });
+    let good =
+        sjos_core::optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true }).unwrap();
     let bad = sjos_core::optimize(
         &pattern,
         &est,
         &model,
         Algorithm::WorstRandom { samples: 64, seed: 2003 },
-    );
+    )
+    .unwrap();
     let mut group = c.benchmark_group("q_pers_3d_execution");
     group.sample_size(10);
     group.bench_function("optimal_plan", |b| {
@@ -103,14 +105,16 @@ fn bench_holistic_vs_binary(c: &mut Criterion) {
     let pattern = parse_pattern("//manager[.//employee/name][.//manager/department/name]").unwrap();
     let est = sjos_stats::PatternEstimates::new(&catalog, store.document(), &pattern);
     let model = sjos_core::CostModel::default();
-    let plan = sjos_core::optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true }).plan;
+    let plan = sjos_core::optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true })
+        .unwrap()
+        .plan;
     let mut group = c.benchmark_group("holistic_vs_binary");
     group.sample_size(10);
     group.bench_function("binary_optimal", |b| {
         b.iter(|| sjos_exec::execute_counting(&store, &pattern, &plan).unwrap().len())
     });
     group.bench_function("twigstack", |b| {
-        b.iter(|| sjos_exec::holistic::evaluate(&store, &pattern).rows.len())
+        b.iter(|| sjos_exec::holistic::evaluate(&store, &pattern).unwrap().rows.len())
     });
     group.finish();
 }

@@ -27,7 +27,9 @@ fn bench_algorithms(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(alg.name().replace([' ', '\''], "_"), q.id),
                 &pattern,
-                |b, pattern| b.iter(|| optimize(pattern, &est, &model, alg).estimated_cost),
+                |b, pattern| {
+                    b.iter(|| optimize(pattern, &est, &model, alg).unwrap().estimated_cost)
+                },
             );
         }
     }

@@ -32,7 +32,7 @@ fn bench_index_scan(c: &mut Criterion) {
     for pool_pages in [4usize, 64, 2048] {
         let store = XmlStore::load_with(
             doc.clone(),
-            StoreConfig { buffer_pool_bytes: pool_pages * PAGE_SIZE },
+            StoreConfig { buffer_pool_bytes: pool_pages * PAGE_SIZE, ..StoreConfig::default() },
         );
         let tag = store.document().tag("employee").unwrap();
         let n = store.tag_cardinality(tag);

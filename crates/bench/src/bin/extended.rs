@@ -12,7 +12,9 @@
 //! cargo run --release -p sjos-bench --bin extended
 //! ```
 
-use sjos_bench::{print_row, Bench};
+use std::process::ExitCode;
+
+use sjos_bench::{corpus_override, print_row, Bench};
 use sjos_core::Algorithm;
 use sjos_datagen::DataSet;
 
@@ -40,9 +42,19 @@ const PATTERNS: &[(&str, &str)] = &[
     ),
 ];
 
-fn main() {
+fn main() -> ExitCode {
+    let override_doc = match corpus_override() {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     println!("Extended: optimization effort vs pattern size (Pers corpus)\n");
-    let bench = Bench::dataset(DataSet::Pers);
+    let bench = match override_doc {
+        Some(doc) => Bench::load(doc),
+        None => Bench::dataset(DataSet::Pers),
+    };
     let algorithms = [Algorithm::Dp, Algorithm::Dpp { lookahead: true }, Algorithm::Fp];
     let widths = [6usize, 10, 12, 12, 12, 12];
     print_row(
@@ -57,7 +69,8 @@ fn main() {
         &widths,
     );
     for (label, query) in PATTERNS {
-        let pattern = sjos_pattern::parse_pattern(query).unwrap();
+        // Invariant: PATTERNS above are hard-coded, well-formed queries.
+        let pattern = sjos_pattern::parse_pattern(query).expect("hard-coded pattern parses");
         for alg in algorithms {
             // DP beyond 8 nodes floods memory with statuses; skip it
             // there (that is the finding).
@@ -94,4 +107,5 @@ fn main() {
          while FP stays near-linear; once optimization time rivals evaluation time,\n\
          the paper's recommendation flips from DPP to FP."
     );
+    ExitCode::SUCCESS
 }

@@ -15,9 +15,10 @@
 //! Exit status is non-zero if any query's batched run disagrees with
 //! the tuple-at-a-time run on cardinality or stack traffic.
 
+use std::process::ExitCode;
 use std::time::Duration;
 
-use sjos_bench::{print_row, CorpusCache};
+use sjos_bench::{corpus_override, print_row, CorpusCache};
 use sjos_core::Algorithm;
 use sjos_datagen::paper_queries;
 use sjos_exec::BATCH_ROWS;
@@ -50,14 +51,21 @@ fn median_ms(samples: &mut [Duration]) -> f64 {
     samples[samples.len() / 2].as_secs_f64() * 1e3
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let override_doc = match corpus_override() {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     println!("pipeline: tuple-at-a-time (batch_rows=1) vs vectorized (batch_rows={BATCH_ROWS})");
     println!(
         "scale: {} (set SJOS_BENCH_FULL=1 for paper sizes), {REPS} reps, median\n",
         if sjos_bench::full_scale() { "paper" } else { "reduced" }
     );
 
-    let mut cache = CorpusCache::new();
+    let mut cache = CorpusCache::with_override(override_doc);
     let mut rows: Vec<Row> = Vec::new();
     let mut mismatches = 0usize;
 
@@ -152,14 +160,15 @@ fn main() {
     match std::fs::write(path, json) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => {
-            eprintln!("failed to write {path}: {e}");
-            std::process::exit(1);
+            eprintln!("error: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
         }
     }
     if mismatches > 0 {
         eprintln!("{mismatches} queries disagreed between granularities");
-        std::process::exit(1);
+        return ExitCode::FAILURE;
     }
+    ExitCode::SUCCESS
 }
 
 /// Hand-rolled JSON (the workspace deliberately carries no serde):

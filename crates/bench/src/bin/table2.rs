@@ -4,17 +4,30 @@
 //!
 //! ```sh
 //! cargo run --release -p sjos-bench --bin table2
+//! cargo run --release -p sjos-bench --bin table2 -- --xml corpus.xml
 //! ```
 
-use sjos_bench::{print_row, resolve_te, Bench};
+use std::process::ExitCode;
+
+use sjos_bench::{corpus_override, print_row, resolve_te, Bench};
 use sjos_core::Algorithm;
 use sjos_datagen::{paper_queries, DataSet};
 
-fn main() {
+fn main() -> ExitCode {
+    let override_doc = match corpus_override() {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let q = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").expect("catalog query");
     let pattern = q.pattern();
     println!("Table 2: optimization effort for {} ({})\n", q.id, q.query);
-    let bench = Bench::dataset(DataSet::Pers);
+    let bench = match override_doc {
+        Some(doc) => Bench::load(doc),
+        None => Bench::dataset(DataSet::Pers),
+    };
 
     let algorithms = [
         Algorithm::Dp,
@@ -56,4 +69,5 @@ fn main() {
          Expected shape: effort strictly decreases left to right; optimization time\n\
          tracks the number of plans considered."
     );
+    ExitCode::SUCCESS
 }

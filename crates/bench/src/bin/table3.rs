@@ -8,18 +8,30 @@
 //! SJOS_BENCH_FULL=1 cargo run --release -p sjos-bench --bin table3   # adds 500
 //! ```
 
-use sjos_bench::{print_row, resolve_te, secs, Bench};
+use std::process::ExitCode;
+
+use sjos_bench::{corpus_override, print_row, resolve_te, secs, Bench};
 use sjos_core::Algorithm;
 use sjos_datagen::{fold_document, paper_queries, pers::pers, DataSet, GenConfig};
 
-fn main() {
+fn main() -> ExitCode {
+    let override_doc = match corpus_override() {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let q = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").expect("catalog query");
     let pattern = q.pattern();
     println!("Table 3: data size vs plan execution time (s) for {}\n", q.id);
 
     let folds: Vec<usize> =
         if sjos_bench::full_scale() { vec![1, 10, 100, 500] } else { vec![1, 10, 100] };
-    let base = pers(GenConfig::sized(sjos_bench::dataset_size(DataSet::Pers)));
+    let base = match override_doc {
+        Some(doc) => doc,
+        None => pers(GenConfig::sized(sjos_bench::dataset_size(DataSet::Pers))),
+    };
 
     let algorithms = [
         Algorithm::Dp,
@@ -66,4 +78,5 @@ fn main() {
          grows, DPAP-LD's left-deep plan falls behind the pipelined bushy optimum that\n\
          DP/DPP/FP choose, and the bad plan degrades fastest of all."
     );
+    ExitCode::SUCCESS
 }

@@ -68,6 +68,37 @@ pub fn generate(ds: DataSet) -> Document {
     }
 }
 
+/// The corpus file a bench binary was pointed at, if any.
+///
+/// Binaries default to generating the paper's corpora in memory, but
+/// an operator can aim them at an on-disk document with `--xml <path>`
+/// (or the `SJOS_BENCH_XML` environment variable; the flag wins). The
+/// file is read and parsed eagerly here so a missing, unreadable, or
+/// malformed file comes back as a clean `Err` the binary can print
+/// and turn into a nonzero exit — never a panic halfway through a
+/// benchmark run.
+pub fn corpus_override() -> Result<Option<Document>, String> {
+    let mut path = std::env::var("SJOS_BENCH_XML").ok().filter(|p| !p.is_empty());
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--xml" => {
+                path = Some(args.next().ok_or("--xml requires a file path")?);
+            }
+            other => {
+                return Err(format!(
+                    "unrecognized argument `{other}` (only --xml <file> is accepted)"
+                ));
+            }
+        }
+    }
+    let Some(path) = path else { return Ok(None) };
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read corpus {path}: {e}"))?;
+    let doc = Document::parse(&text).map_err(|e| format!("corrupt corpus {path}: {e}"))?;
+    Ok(Some(doc))
+}
+
 /// A loaded corpus ready for measurement.
 pub struct Bench {
     store: XmlStore,
@@ -118,7 +149,7 @@ impl Bench {
             let t0 = Instant::now();
             let o = optimize(pattern, &est, &self.model, algorithm);
             times.push(t0.elapsed());
-            out = Some(o);
+            out = Some(o.expect("benchmark patterns are well-formed and must optimize"));
         }
         times.sort();
         (out.expect("reps >= 1"), times[times.len() / 2])
@@ -224,6 +255,7 @@ pub fn resolve_te(alg: Algorithm, pattern: &Pattern) -> Algorithm {
 #[derive(Default)]
 pub struct CorpusCache {
     cache: HashMap<&'static str, Bench>,
+    override_bench: Option<Bench>,
 }
 
 impl CorpusCache {
@@ -232,8 +264,18 @@ impl CorpusCache {
         Self::default()
     }
 
+    /// A cache that serves `doc` for *every* workload when given
+    /// `Some` (an operator-supplied corpus, see [`corpus_override`]),
+    /// and behaves like [`CorpusCache::new`] otherwise.
+    pub fn with_override(doc: Option<Document>) -> Self {
+        CorpusCache { cache: HashMap::new(), override_bench: doc.map(Bench::load) }
+    }
+
     /// Get or build the bench for a workload's data set.
     pub fn bench(&mut self, w: &Workload) -> &Bench {
+        if let Some(b) = &self.override_bench {
+            return b;
+        }
         self.cache.entry(w.dataset.name()).or_insert_with(|| Bench::dataset(w.dataset))
     }
 }

@@ -11,14 +11,20 @@ use std::collections::HashMap;
 
 use sjos_exec::PlanNode;
 
+use crate::error::OptimizerError;
 use crate::status::{SearchContext, Status, StatusKey};
 
 /// Run the DP search, returning the optimal plan and its estimated
 /// cost.
-pub fn optimize_dp(ctx: &mut SearchContext<'_>) -> (PlanNode, f64) {
+///
+/// # Errors
+/// [`OptimizerError::NoPlanFound`] if the level sweep strands without
+/// any final status — impossible for a well-formed pattern, reported
+/// instead of panicking.
+pub fn optimize_dp(ctx: &mut SearchContext<'_>) -> Result<(PlanNode, f64), OptimizerError> {
     let start = ctx.start_status();
     if start.is_final() {
-        return ctx.finalize(&start);
+        return Ok(ctx.finalize(&start));
     }
     let mut current: HashMap<StatusKey, Status> = HashMap::new();
     current.insert(start.key(), start);
@@ -45,13 +51,13 @@ pub fn optimize_dp(ctx: &mut SearchContext<'_>) -> (PlanNode, f64) {
         .values()
         .map(|s| ctx.finalize(s))
         .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("a pattern always has at least one evaluation plan");
+        .ok_or(OptimizerError::NoPlanFound { algorithm: "DP" })?;
     debug_assert!(
         best.0.validate(ctx.pattern).is_ok(),
         "DP produced an invalid plan: {}",
         best.0.validate(ctx.pattern).unwrap_err()
     );
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -69,7 +75,7 @@ mod tests {
         let est = PatternEstimates::new(&catalog, &doc, &pattern);
         let model = CostModel::default();
         let mut ctx = SearchContext::new(&pattern, &est, &model);
-        let (plan, cost) = optimize_dp(&mut ctx);
+        let (plan, cost) = optimize_dp(&mut ctx).unwrap();
         plan.validate(&pattern).unwrap();
         (plan, cost, ctx.plans_considered)
     }
@@ -113,7 +119,7 @@ mod tests {
         let est = PatternEstimates::new(&catalog, &doc, &pattern);
         let model = CostModel::default();
         let mut ctx = SearchContext::new(&pattern, &est, &model);
-        let (plan, _) = optimize_dp(&mut ctx);
+        let (plan, _) = optimize_dp(&mut ctx).unwrap();
         assert_eq!(plan.ordered_by(), sjos_pattern::PnId(2));
     }
 }

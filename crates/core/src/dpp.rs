@@ -15,6 +15,7 @@ use std::collections::{BinaryHeap, HashMap};
 
 use sjos_exec::PlanNode;
 
+use crate::error::OptimizerError;
 use crate::status::{SearchContext, Status, StatusKey};
 
 /// Configuration of the pruned search.
@@ -78,7 +79,16 @@ impl Ord for QueueEntry {
 /// search re-runs — the retries' effort still accumulates in the
 /// context's counters, so DPAP-EB pays for a too-aggressive setting,
 /// exactly the trade-off Figure 7/8 of the paper explores.
-pub fn optimize_dpp(ctx: &mut SearchContext<'_>, config: DppConfig) -> (PlanNode, f64) {
+///
+/// # Errors
+/// [`OptimizerError::NoPlanFound`] if an *unbounded* search strands
+/// without reaching a final status — impossible for a well-formed
+/// pattern, reported instead of panicking (bounded searches retry
+/// with a doubled `T_e` instead).
+pub fn optimize_dpp(
+    ctx: &mut SearchContext<'_>,
+    config: DppConfig,
+) -> Result<(PlanNode, f64), OptimizerError> {
     let mut config = config;
     loop {
         if let Some(found) = optimize_dpp_once(ctx, config) {
@@ -92,9 +102,13 @@ pub fn optimize_dpp(ctx: &mut SearchContext<'_>, config: DppConfig) -> (PlanNode
                 "DPAP-LD produced a bushy plan: {}",
                 found.0
             );
-            return found;
+            return Ok(found);
         }
-        let te = config.expansion_bound.expect("unbounded search always finds a plan");
+        // Only an expansion bound can cut off every path to a final
+        // status; an unbounded miss is a search bug.
+        let te = config.expansion_bound.ok_or(OptimizerError::NoPlanFound {
+            algorithm: if config.left_deep_only { "DPAP-LD" } else { "DPP" },
+        })?;
         // `max(1)` so a degenerate `T_e = 0` still makes progress.
         config.expansion_bound = Some((te * 2).max(1));
     }
@@ -191,9 +205,9 @@ mod tests {
         for pat in ["//a/b", "//a/b/c", "//a[./b/c][./d]", "//a[./b[./c][./e]][./d/e]"] {
             let (pattern, est, model) = ctx_parts(XML, pat);
             let mut dp_ctx = SearchContext::new(&pattern, &est, &model);
-            let (_, dp_cost) = optimize_dp(&mut dp_ctx);
+            let (_, dp_cost) = optimize_dp(&mut dp_ctx).unwrap();
             let mut dpp_ctx = SearchContext::new(&pattern, &est, &model);
-            let (plan, dpp_cost) = optimize_dpp(&mut dpp_ctx, DppConfig::default());
+            let (plan, dpp_cost) = optimize_dpp(&mut dpp_ctx, DppConfig::default()).unwrap();
             plan.validate(&pattern).unwrap();
             assert!(
                 (dp_cost - dpp_cost).abs() < 1e-6 * dp_cost.max(1.0),
@@ -206,9 +220,9 @@ mod tests {
     fn dpp_considers_fewer_plans_than_dp() {
         let (pattern, est, model) = ctx_parts(XML, "//a[./b[./c][./e]][./d/e]");
         let mut dp_ctx = SearchContext::new(&pattern, &est, &model);
-        optimize_dp(&mut dp_ctx);
+        optimize_dp(&mut dp_ctx).unwrap();
         let mut dpp_ctx = SearchContext::new(&pattern, &est, &model);
-        optimize_dpp(&mut dpp_ctx, DppConfig::default());
+        optimize_dpp(&mut dpp_ctx, DppConfig::default()).unwrap();
         assert!(
             dpp_ctx.plans_considered < dp_ctx.plans_considered,
             "DPP {} !< DP {}",
@@ -221,10 +235,11 @@ mod tests {
     fn lookahead_reduces_work_without_changing_result() {
         let (pattern, est, model) = ctx_parts(XML, "//a[./b/c][./d/e]");
         let mut with = SearchContext::new(&pattern, &est, &model);
-        let (_, cost_with) = optimize_dpp(&mut with, DppConfig::default());
+        let (_, cost_with) = optimize_dpp(&mut with, DppConfig::default()).unwrap();
         let mut without = SearchContext::new(&pattern, &est, &model);
         let (_, cost_without) =
-            optimize_dpp(&mut without, DppConfig { lookahead: false, ..DppConfig::default() });
+            optimize_dpp(&mut without, DppConfig { lookahead: false, ..DppConfig::default() })
+                .unwrap();
         assert!((cost_with - cost_without).abs() < 1e-9);
         assert!(
             with.statuses_expanded <= without.statuses_expanded,
@@ -236,12 +251,13 @@ mod tests {
     fn expansion_bound_caps_work() {
         let (pattern, est, model) = ctx_parts(XML, "//a[./b[./c][./e]][./d/e]");
         let mut unbounded = SearchContext::new(&pattern, &est, &model);
-        let (_, opt_cost) = optimize_dpp(&mut unbounded, DppConfig::default());
+        let (_, opt_cost) = optimize_dpp(&mut unbounded, DppConfig::default()).unwrap();
         let mut bounded = SearchContext::new(&pattern, &est, &model);
         let (plan, bounded_cost) = optimize_dpp(
             &mut bounded,
             DppConfig { expansion_bound: Some(1), ..DppConfig::default() },
-        );
+        )
+        .unwrap();
         plan.validate(&pattern).unwrap();
         assert!(bounded.statuses_expanded <= unbounded.statuses_expanded);
         assert!(bounded_cost >= opt_cost - 1e-9, "bounded can only be worse");
@@ -251,12 +267,13 @@ mod tests {
     fn large_expansion_bound_recovers_optimum() {
         let (pattern, est, model) = ctx_parts(XML, "//a[./b/c][./d]");
         let mut full = SearchContext::new(&pattern, &est, &model);
-        let (_, opt) = optimize_dpp(&mut full, DppConfig::default());
+        let (_, opt) = optimize_dpp(&mut full, DppConfig::default()).unwrap();
         let mut eb = SearchContext::new(&pattern, &est, &model);
         let (_, eb_cost) = optimize_dpp(
             &mut eb,
             DppConfig { expansion_bound: Some(10_000), ..DppConfig::default() },
-        );
+        )
+        .unwrap();
         assert!((opt - eb_cost).abs() < 1e-9);
     }
 
@@ -264,10 +281,11 @@ mod tests {
     fn left_deep_plans_are_left_deep_and_no_better_than_optimal() {
         let (pattern, est, model) = ctx_parts(XML, "//a[./b[./c][./e]][./d/e]");
         let mut full = SearchContext::new(&pattern, &est, &model);
-        let (_, opt) = optimize_dpp(&mut full, DppConfig::default());
+        let (_, opt) = optimize_dpp(&mut full, DppConfig::default()).unwrap();
         let mut ld = SearchContext::new(&pattern, &est, &model);
         let (plan, ld_cost) =
-            optimize_dpp(&mut ld, DppConfig { left_deep_only: true, ..DppConfig::default() });
+            optimize_dpp(&mut ld, DppConfig { left_deep_only: true, ..DppConfig::default() })
+                .unwrap();
         plan.validate(&pattern).unwrap();
         assert!(plan.is_left_deep(), "{plan}");
         assert!(ld_cost >= opt - 1e-9);
@@ -279,7 +297,8 @@ mod tests {
         let (pattern, est, model) = ctx_parts(XML, "//a/b/c");
         let mut ctx = SearchContext::new(&pattern, &est, &model);
         let (plan, _) =
-            optimize_dpp(&mut ctx, DppConfig { expansion_bound: Some(0), ..DppConfig::default() });
+            optimize_dpp(&mut ctx, DppConfig { expansion_bound: Some(0), ..DppConfig::default() })
+                .unwrap();
         plan.validate(&pattern).unwrap();
     }
 
@@ -287,7 +306,7 @@ mod tests {
     fn single_node_pattern() {
         let (pattern, est, model) = ctx_parts(XML, "//c");
         let mut ctx = SearchContext::new(&pattern, &est, &model);
-        let (plan, _) = optimize_dpp(&mut ctx, DppConfig::default());
+        let (plan, _) = optimize_dpp(&mut ctx, DppConfig::default()).unwrap();
         assert!(matches!(plan, PlanNode::IndexScan { .. }));
     }
 }

@@ -1,0 +1,64 @@
+//! Typed optimizer failures.
+//!
+//! The searches in this crate are total on well-formed inputs — a
+//! parsed pattern always has at least one evaluation plan — so these
+//! errors mark *broken inputs* (an empty pattern, cardinality
+//! estimates that price plans at NaN) or an internal search bug. They
+//! are reported as values instead of panics so a server embedding the
+//! optimizer degrades to a failed query, not a crashed process.
+
+use std::fmt;
+
+/// Why an optimization run produced no usable plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerError {
+    /// The pattern has no nodes, so there is nothing to plan.
+    EmptyPattern,
+    /// The search terminated without reaching any final status — an
+    /// internal invariant violation (every well-formed pattern has a
+    /// plan), surfaced instead of unwrapped so a search bug is
+    /// diagnosable from the algorithm name.
+    NoPlanFound {
+        /// The paper's name for the algorithm that came up empty.
+        algorithm: &'static str,
+    },
+    /// The chosen plan priced at a non-finite cost, which means the
+    /// cardinality estimates fed to the cost model were broken (NaN
+    /// or infinite); comparisons against such costs are meaningless,
+    /// so the plan cannot be trusted.
+    NonFiniteCost {
+        /// The paper's name for the algorithm.
+        algorithm: &'static str,
+        /// The offending cost value.
+        cost: f64,
+    },
+}
+
+impl fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizerError::EmptyPattern => write!(f, "cannot optimize an empty pattern"),
+            OptimizerError::NoPlanFound { algorithm } => {
+                write!(f, "{algorithm} search found no complete plan (internal invariant bug)")
+            }
+            OptimizerError::NonFiniteCost { algorithm, cost } => {
+                write!(f, "{algorithm} chose a plan with non-finite cost {cost} (broken estimates)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimizerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failure() {
+        assert!(OptimizerError::EmptyPattern.to_string().contains("empty pattern"));
+        assert!(OptimizerError::NoPlanFound { algorithm: "DPP" }.to_string().contains("DPP"));
+        let e = OptimizerError::NonFiniteCost { algorithm: "DP", cost: f64::NAN };
+        assert!(e.to_string().contains("NaN"));
+    }
+}

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use sjos_exec::{JoinAlgo, PlanNode};
 use sjos_pattern::{NodeSet, PnId};
 
+use crate::error::OptimizerError;
 use crate::status::SearchContext;
 
 /// A memoized sub-solution: the cheapest fully-pipelined plan for one
@@ -32,7 +33,11 @@ struct SubPlan {
 /// its estimated cost. When the pattern has an order-by node, only
 /// plans producing that order are considered; otherwise every node is
 /// tried as the result ordering.
-pub fn optimize_fp(ctx: &mut SearchContext<'_>) -> (PlanNode, f64) {
+///
+/// # Errors
+/// [`OptimizerError::EmptyPattern`] if the pattern has no nodes to
+/// try as the result ordering.
+pub fn optimize_fp(ctx: &mut SearchContext<'_>) -> Result<(PlanNode, f64), OptimizerError> {
     let full = ctx.pattern.all_nodes();
     let mut memo: HashMap<(u64, u16), SubPlan> = HashMap::new();
     let roots: Vec<PnId> = match ctx.pattern.order_by() {
@@ -46,14 +51,14 @@ pub fn optimize_fp(ctx: &mut SearchContext<'_>) -> (PlanNode, f64) {
             best = Some(sp);
         }
     }
-    let best = best.expect("pattern has at least one node");
+    let best = best.ok_or(OptimizerError::EmptyPattern)?;
     debug_assert!(best.plan.is_fully_pipelined());
     debug_assert!(
         best.plan.validate(ctx.pattern).is_ok(),
         "FP produced an invalid plan: {}",
         best.plan.validate(ctx.pattern).unwrap_err()
     );
-    (best.plan, best.cost)
+    Ok((best.plan, best.cost))
 }
 
 fn best_rooted(
@@ -95,6 +100,8 @@ fn best_rooted(
             let mut total = fixed_cost;
             for &i in perm {
                 let (u, sub_set, sp) = &subs[i];
+                // Invariant: `u` came from `pattern.neighbors(root)`,
+                // so the edge between them exists by construction.
                 let edge = ctx.pattern.edge_between(root, *u).expect("neighbor edge exists");
                 let out_set = acc_set.union(*sub_set);
                 let out_card = ctx.estimates.cluster_cardinality(ctx.pattern, out_set);
@@ -135,6 +142,8 @@ fn best_rooted(
                 best = Some(SubPlan { plan: acc_plan, cost: total, card: acc_card });
             }
         });
+        // Invariant: `permute` always invokes the closure at least
+        // once (even for an empty order list), so `best` is set.
         best.expect("at least one permutation")
     };
     ctx.statuses_generated += 1;
@@ -185,7 +194,7 @@ mod tests {
         for pat in ["//a/b", "//a/b/c", "//a[./b/c][./d]", "//a[./b[./c][./e]][./d/e]"] {
             let (pattern, est, model) = parts(pat);
             let mut ctx = SearchContext::new(&pattern, &est, &model);
-            let (plan, cost) = optimize_fp(&mut ctx);
+            let (plan, cost) = optimize_fp(&mut ctx).unwrap();
             plan.validate(&pattern).unwrap();
             assert!(plan.is_fully_pipelined(), "{pat}: {plan}");
             assert!(cost > 0.0);
@@ -197,9 +206,9 @@ mod tests {
         for pat in ["//a/b/c", "//a[./b/c][./d]"] {
             let (pattern, est, model) = parts(pat);
             let mut dpp_ctx = SearchContext::new(&pattern, &est, &model);
-            let (_, opt) = optimize_dpp(&mut dpp_ctx, DppConfig::default());
+            let (_, opt) = optimize_dpp(&mut dpp_ctx, DppConfig::default()).unwrap();
             let mut fp_ctx = SearchContext::new(&pattern, &est, &model);
-            let (_, fp_cost) = optimize_fp(&mut fp_ctx);
+            let (_, fp_cost) = optimize_fp(&mut fp_ctx).unwrap();
             assert!(fp_cost >= opt - 1e-6, "{pat}: fp {fp_cost} < opt {opt}");
         }
     }
@@ -211,10 +220,10 @@ mod tests {
         // optimum when that optimum happens to be pipelined.
         let (pattern, est, model) = parts("//a/b/c");
         let mut dpp_ctx = SearchContext::new(&pattern, &est, &model);
-        let (opt_plan, opt_cost) = optimize_dpp(&mut dpp_ctx, DppConfig::default());
+        let (opt_plan, opt_cost) = optimize_dpp(&mut dpp_ctx, DppConfig::default()).unwrap();
         if opt_plan.is_fully_pipelined() {
             let mut fp_ctx = SearchContext::new(&pattern, &est, &model);
-            let (_, fp_cost) = optimize_fp(&mut fp_ctx);
+            let (_, fp_cost) = optimize_fp(&mut fp_ctx).unwrap();
             assert!((fp_cost - opt_cost).abs() < 1e-6, "fp {fp_cost} opt {opt_cost}");
         }
     }
@@ -223,9 +232,9 @@ mod tests {
     fn fp_considers_few_plans() {
         let (pattern, est, model) = parts("//a[./b[./c][./e]][./d/e]");
         let mut fp_ctx = SearchContext::new(&pattern, &est, &model);
-        optimize_fp(&mut fp_ctx);
+        optimize_fp(&mut fp_ctx).unwrap();
         let mut dpp_ctx = SearchContext::new(&pattern, &est, &model);
-        optimize_dpp(&mut dpp_ctx, DppConfig::default());
+        optimize_dpp(&mut dpp_ctx, DppConfig::default()).unwrap();
         assert!(
             fp_ctx.plans_considered < dpp_ctx.plans_considered,
             "FP {} !< DPP {}",
@@ -244,7 +253,7 @@ mod tests {
             let est = PatternEstimates::new(&catalog, &doc, &pattern);
             let model = CostModel::default();
             let mut ctx = SearchContext::new(&pattern, &est, &model);
-            let (plan, _) = optimize_fp(&mut ctx);
+            let (plan, _) = optimize_fp(&mut ctx).unwrap();
             assert_eq!(plan.ordered_by(), sjos_pattern::PnId(target));
             assert!(plan.is_fully_pipelined());
             plan.validate(&pattern).unwrap();
@@ -255,7 +264,7 @@ mod tests {
     fn single_node_pattern_is_a_scan() {
         let (pattern, est, model) = parts("//e");
         let mut ctx = SearchContext::new(&pattern, &est, &model);
-        let (plan, _) = optimize_fp(&mut ctx);
+        let (plan, _) = optimize_fp(&mut ctx).unwrap();
         assert!(matches!(plan, PlanNode::IndexScan { .. }));
     }
 }

@@ -30,7 +30,8 @@
 //! let pattern = parse_pattern("//a//b/c").unwrap();
 //! let catalog = Catalog::build(&doc);
 //! let est = PatternEstimates::new(&catalog, &doc, &pattern);
-//! let best = optimize(&pattern, &est, &CostModel::default(), Algorithm::Dpp { lookahead: true });
+//! let best = optimize(&pattern, &est, &CostModel::default(), Algorithm::Dpp { lookahead: true })
+//!     .expect("well-formed pattern optimizes");
 //! assert_eq!(best.plan.join_count(), 2);
 //! ```
 #![forbid(unsafe_code)]
@@ -40,6 +41,7 @@ pub mod calibrate;
 pub mod cost;
 pub mod dp;
 pub mod dpp;
+pub mod error;
 pub mod fp;
 pub mod optimizer;
 pub mod random;
@@ -47,6 +49,7 @@ pub mod status;
 
 pub use calibrate::{calibrate, CalibrationReport};
 pub use cost::{CostFactors, CostModel, DescCostVariant};
+pub use error::OptimizerError;
 pub use optimizer::{optimize, Algorithm, OptimizedPlan, OptimizerStats};
 pub use random::{
     mutate_plan, random_plan, random_plan_with, worst_random_plan, PlanMutation, RandomPlanConfig,

@@ -9,6 +9,7 @@ use sjos_stats::PatternEstimates;
 use crate::cost::CostModel;
 use crate::dp::optimize_dp;
 use crate::dpp::{optimize_dpp, DppConfig};
+use crate::error::OptimizerError;
 use crate::fp::optimize_fp;
 use crate::random::worst_random_plan;
 use crate::status::SearchContext;
@@ -90,34 +91,50 @@ pub struct OptimizedPlan {
 /// DP and DPP return the cost-optimal plan; DPAP-EB/DPAP-LD/FP return
 /// their restricted optima; `WorstRandom` returns the *worst* sampled
 /// plan (a baseline, not an optimizer).
+///
+/// # Errors
+/// [`OptimizerError::NoPlanFound`] if the search strands without a
+/// complete plan (an internal bug — every well-formed pattern has
+/// one, and `WorstRandom` needs `samples > 0`), and
+/// [`OptimizerError::NonFiniteCost`] when the chosen plan prices at
+/// NaN or infinity, which means the cardinality estimates were broken.
 pub fn optimize(
     pattern: &Pattern,
     estimates: &PatternEstimates,
     model: &CostModel,
     algorithm: Algorithm,
-) -> OptimizedPlan {
+) -> Result<OptimizedPlan, OptimizerError> {
     let started = Instant::now();
     let mut ctx = SearchContext::new(pattern, estimates, model);
     let (plan, estimated_cost) = match algorithm {
-        Algorithm::Dp => optimize_dp(&mut ctx),
+        Algorithm::Dp => optimize_dp(&mut ctx)?,
         Algorithm::Dpp { lookahead } => {
-            optimize_dpp(&mut ctx, DppConfig { lookahead, ..DppConfig::default() })
+            optimize_dpp(&mut ctx, DppConfig { lookahead, ..DppConfig::default() })?
         }
         Algorithm::DpapEb { te } => {
-            optimize_dpp(&mut ctx, DppConfig { expansion_bound: Some(te), ..DppConfig::default() })
+            optimize_dpp(&mut ctx, DppConfig { expansion_bound: Some(te), ..DppConfig::default() })?
         }
         Algorithm::DpapLd => {
-            optimize_dpp(&mut ctx, DppConfig { left_deep_only: true, ..DppConfig::default() })
+            optimize_dpp(&mut ctx, DppConfig { left_deep_only: true, ..DppConfig::default() })?
         }
-        Algorithm::Fp => optimize_fp(&mut ctx),
+        Algorithm::Fp => optimize_fp(&mut ctx)?,
         Algorithm::WorstRandom { samples, seed } => {
+            if samples == 0 {
+                return Err(OptimizerError::NoPlanFound { algorithm: "bad plan" });
+            }
             let (plan, cost) = worst_random_plan(pattern, estimates, model, samples, seed);
             ctx.plans_considered += samples as u64;
             (plan, cost)
         }
     };
+    if !estimated_cost.is_finite() {
+        return Err(OptimizerError::NonFiniteCost {
+            algorithm: algorithm.name(),
+            cost: estimated_cost,
+        });
+    }
     debug_assert!(plan.validate(pattern).is_ok(), "optimizer produced invalid plan");
-    OptimizedPlan {
+    Ok(OptimizedPlan {
         plan,
         estimated_cost,
         stats: OptimizerStats {
@@ -126,7 +143,7 @@ pub fn optimize(
             statuses_expanded: ctx.statuses_expanded,
             elapsed: started.elapsed(),
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -162,7 +179,7 @@ mod tests {
             Algorithm::Fp,
             Algorithm::WorstRandom { samples: 20, seed: 1 },
         ] {
-            let out = optimize(&pattern, &est, &model, alg);
+            let out = optimize(&pattern, &est, &model, alg).unwrap();
             out.plan.validate(&pattern).unwrap();
             assert!(out.estimated_cost > 0.0, "{}", alg.name());
             assert!(out.stats.plans_considered > 0, "{}", alg.name());
@@ -172,13 +189,13 @@ mod tests {
     #[test]
     fn exact_algorithms_agree_heuristics_never_beat_them() {
         let (pattern, est, model) = parts("//a[./b[./c][./e]][./d/e]");
-        let dp = optimize(&pattern, &est, &model, Algorithm::Dp);
-        let dpp = optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true });
-        let dpp_nl = optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: false });
+        let dp = optimize(&pattern, &est, &model, Algorithm::Dp).unwrap();
+        let dpp = optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true }).unwrap();
+        let dpp_nl = optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: false }).unwrap();
         assert!((dp.estimated_cost - dpp.estimated_cost).abs() < 1e-6);
         assert!((dp.estimated_cost - dpp_nl.estimated_cost).abs() < 1e-6);
         for alg in [Algorithm::DpapEb { te: 2 }, Algorithm::DpapLd, Algorithm::Fp] {
-            let h = optimize(&pattern, &est, &model, alg);
+            let h = optimize(&pattern, &est, &model, alg).unwrap();
             assert!(h.estimated_cost >= dp.estimated_cost - 1e-6, "{} beat DP", alg.name());
         }
     }
@@ -186,9 +203,10 @@ mod tests {
     #[test]
     fn bad_plan_is_much_worse_than_optimal() {
         let (pattern, est, model) = parts("//a[./b/c][./d/e]");
-        let dp = optimize(&pattern, &est, &model, Algorithm::Dp);
+        let dp = optimize(&pattern, &est, &model, Algorithm::Dp).unwrap();
         let bad =
-            optimize(&pattern, &est, &model, Algorithm::WorstRandom { samples: 100, seed: 9 });
+            optimize(&pattern, &est, &model, Algorithm::WorstRandom { samples: 100, seed: 9 })
+                .unwrap();
         assert!(bad.estimated_cost >= dp.estimated_cost);
     }
 
@@ -202,7 +220,7 @@ mod tests {
         // full ordering is exercised on realistic data by the Table 2
         // harness and integration tests.
         let (pattern, est, model) = parts("//a[./b[./c][./e]][./d/e]");
-        let count = |alg| optimize(&pattern, &est, &model, alg).stats.plans_considered;
+        let count = |alg| optimize(&pattern, &est, &model, alg).unwrap().stats.plans_considered;
         let dp = count(Algorithm::Dp);
         let dpp_nl = count(Algorithm::Dpp { lookahead: false });
         let dpp = count(Algorithm::Dpp { lookahead: true });
@@ -210,6 +228,14 @@ mod tests {
         assert!(dpp_nl >= dpp, "DPP' {dpp_nl} < DPP {dpp}");
         assert!(fp < dpp, "FP {fp} >= DPP {dpp}");
         assert!(fp < dp, "FP {fp} >= DP {dp}");
+    }
+
+    #[test]
+    fn zero_random_samples_is_a_typed_error() {
+        let (pattern, est, model) = parts("//a/b");
+        let err = optimize(&pattern, &est, &model, Algorithm::WorstRandom { samples: 0, seed: 1 })
+            .unwrap_err();
+        assert!(matches!(err, crate::error::OptimizerError::NoPlanFound { .. }));
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Plan execution against an [`XmlStore`].
 
-use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -8,27 +7,12 @@ use sjos_pattern::{Pattern, PnId, ValuePredicate};
 use sjos_storage::record::value_digest;
 use sjos_storage::XmlStore;
 
+use crate::error::EngineError;
+use crate::guard::{GuardedOp, QueryGuard};
 use crate::metrics::{ExecMetrics, MetricsSnapshot};
 use crate::ops::{BoxedOperator, IndexScanOp, MergeJoinOp, OrderingCheck, SortOp, StackTreeJoinOp};
 use crate::plan::PlanNode;
 use crate::tuple::{Schema, Tuple, TupleBatch, BATCH_ROWS};
-
-/// Execution failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ExecError {
-    /// The plan does not correctly evaluate the pattern.
-    InvalidPlan(String),
-}
-
-impl fmt::Display for ExecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ExecError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for ExecError {}
 
 /// The materialized answer of one query execution.
 #[derive(Debug)]
@@ -88,13 +72,29 @@ pub struct BatchedResult {
 ///
 /// The plan is validated first (every pattern node bound exactly once,
 /// join inputs correctly ordered, axes matching); a malformed plan is
-/// an optimizer bug surfaced as [`ExecError::InvalidPlan`].
+/// an optimizer bug surfaced as [`EngineError::InvalidPlan`]. A
+/// storage fault that survives the buffer pool's retries surfaces as
+/// [`EngineError::Storage`] — never a panic, never a silently wrong
+/// answer.
 pub fn execute(
     store: &XmlStore,
     pattern: &Pattern,
     plan: &PlanNode,
-) -> Result<QueryResult, ExecError> {
-    execute_opts(store, pattern, plan, true, BATCH_ROWS)
+) -> Result<QueryResult, EngineError> {
+    execute_opts(store, pattern, plan, true, BATCH_ROWS, &Arc::new(QueryGuard::unlimited()))
+}
+
+/// [`execute`] under an explicit resource [`QueryGuard`]: deadline,
+/// batch budget, memory budget, and cancellation are checked at every
+/// batch boundary of the operator tree. On a breach the returned
+/// [`EngineError::Guard`] carries the metrics accumulated so far.
+pub fn execute_guarded(
+    store: &XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+    guard: &Arc<QueryGuard>,
+) -> Result<QueryResult, EngineError> {
+    execute_opts(store, pattern, plan, true, BATCH_ROWS, guard)
 }
 
 /// Like [`execute`], but discard tuples as they are produced (the
@@ -105,8 +105,18 @@ pub fn execute_counting(
     store: &XmlStore,
     pattern: &Pattern,
     plan: &PlanNode,
-) -> Result<QueryResult, ExecError> {
-    execute_opts(store, pattern, plan, false, BATCH_ROWS)
+) -> Result<QueryResult, EngineError> {
+    execute_opts(store, pattern, plan, false, BATCH_ROWS, &Arc::new(QueryGuard::unlimited()))
+}
+
+/// [`execute_counting`] under an explicit resource [`QueryGuard`].
+pub fn execute_counting_guarded(
+    store: &XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+    guard: &Arc<QueryGuard>,
+) -> Result<QueryResult, EngineError> {
+    execute_opts(store, pattern, plan, false, BATCH_ROWS, guard)
 }
 
 /// [`execute_counting`] with an explicit batch granularity.
@@ -120,8 +130,8 @@ pub fn execute_counting_with_batch_rows(
     pattern: &Pattern,
     plan: &PlanNode,
     batch_rows: usize,
-) -> Result<QueryResult, ExecError> {
-    execute_opts(store, pattern, plan, false, batch_rows)
+) -> Result<QueryResult, EngineError> {
+    execute_opts(store, pattern, plan, false, batch_rows, &Arc::new(QueryGuard::unlimited()))
 }
 
 /// [`execute`] with an explicit batch granularity — the materializing
@@ -132,8 +142,8 @@ pub fn execute_with_batch_rows(
     pattern: &Pattern,
     plan: &PlanNode,
     batch_rows: usize,
-) -> Result<QueryResult, ExecError> {
-    execute_opts(store, pattern, plan, true, batch_rows)
+) -> Result<QueryResult, EngineError> {
+    execute_opts(store, pattern, plan, true, batch_rows, &Arc::new(QueryGuard::unlimited()))
 }
 
 /// Execute `plan` and keep the root operator's batches as emitted,
@@ -143,20 +153,41 @@ pub fn execute_batches(
     store: &XmlStore,
     pattern: &Pattern,
     plan: &PlanNode,
-) -> Result<BatchedResult, ExecError> {
-    plan.validate(pattern).map_err(ExecError::InvalidPlan)?;
+) -> Result<BatchedResult, EngineError> {
+    plan.validate(pattern).map_err(EngineError::InvalidPlan)?;
     let metrics = ExecMetrics::new();
-    let mut root = build_operator(store, pattern, plan, &metrics, BATCH_ROWS);
+    let guard = Arc::new(QueryGuard::unlimited());
+    let mut root = build_operator(store, pattern, plan, &metrics, BATCH_ROWS, &guard)?;
     let mut batches = Vec::new();
     let mut count: u64 = 0;
-    while let Some(batch) = root.next_batch() {
-        count += batch.len() as u64;
-        batches.push(batch);
+    loop {
+        match root.next_batch() {
+            Ok(Some(batch)) => {
+                count += batch.len() as u64;
+                batches.push(batch);
+            }
+            Ok(None) => break,
+            Err(e) => {
+                ExecMetrics::add(&metrics.output_tuples, count);
+                return Err(attach_partial(e, &metrics));
+            }
+        }
     }
     ExecMetrics::add(&metrics.output_tuples, count);
     let schema = root.schema().clone();
     drop(root);
     Ok(BatchedResult { schema, batches, metrics: metrics.snapshot() })
+}
+
+/// Replace a guard breach's placeholder snapshot with the real
+/// counters, so callers see how far the plan got before the stop.
+fn attach_partial(e: EngineError, metrics: &ExecMetrics) -> EngineError {
+    match e {
+        EngineError::Guard { breach, .. } => {
+            EngineError::Guard { breach, partial: metrics.snapshot() }
+        }
+        other => other,
+    }
 }
 
 fn execute_opts(
@@ -165,22 +196,32 @@ fn execute_opts(
     plan: &PlanNode,
     materialize: bool,
     batch_rows: usize,
-) -> Result<QueryResult, ExecError> {
-    plan.validate(pattern).map_err(ExecError::InvalidPlan)?;
+    guard: &Arc<QueryGuard>,
+) -> Result<QueryResult, EngineError> {
+    plan.validate(pattern).map_err(EngineError::InvalidPlan)?;
     let metrics = ExecMetrics::new();
     let io_before = store.stats().snapshot();
     let started = Instant::now();
-    let mut root = build_operator(store, pattern, plan, &metrics, batch_rows);
+    let mut root = build_operator(store, pattern, plan, &metrics, batch_rows, guard)?;
     let mut tuples = Vec::new();
     let mut count: u64 = 0;
     let ordered_col = root.ordered_col();
     let mut check = OrderingCheck::new();
-    while let Some(batch) = root.next_batch() {
-        debug_assert!(!batch.is_empty(), "operators must not emit empty batches");
-        check.check(&batch, ordered_col);
-        count += batch.len() as u64;
-        if materialize {
-            tuples.extend(batch.into_rows());
+    loop {
+        match root.next_batch() {
+            Ok(Some(batch)) => {
+                debug_assert!(!batch.is_empty(), "operators must not emit empty batches");
+                check.check(&batch, ordered_col);
+                count += batch.len() as u64;
+                if materialize {
+                    tuples.extend(batch.into_rows());
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                ExecMetrics::add(&metrics.output_tuples, count);
+                return Err(attach_partial(e, &metrics));
+            }
         }
     }
     let elapsed = started.elapsed();
@@ -196,36 +237,50 @@ fn execute_opts(
     })
 }
 
+/// Build the physical tree for `plan`, wrapping every operator in a
+/// [`GuardedOp`] so guard checks run at each batch boundary (a
+/// blocking sort's *input* pulls are guarded too — a runaway plan
+/// stops within one batch even while materializing). Buffering
+/// operators additionally report their growth to the guard's memory
+/// budget.
 fn build_operator<'a>(
     store: &'a XmlStore,
     pattern: &Pattern,
     plan: &PlanNode,
     metrics: &Arc<ExecMetrics>,
     batch_rows: usize,
-) -> BoxedOperator<'a> {
-    match plan {
+    guard: &Arc<QueryGuard>,
+) -> Result<BoxedOperator<'a>, EngineError> {
+    let op: BoxedOperator<'a> = match plan {
         PlanNode::IndexScan { pnode } => {
             Box::new(build_scan(store, pattern, *pnode, metrics).with_batch_rows(batch_rows))
         }
         PlanNode::Sort { input, by } => {
-            let child = build_operator(store, pattern, input, metrics, batch_rows);
-            Box::new(SortOp::new(child, *by, Arc::clone(metrics)).with_batch_rows(batch_rows))
+            let child = build_operator(store, pattern, input, metrics, batch_rows, guard)?;
+            Box::new(
+                SortOp::new(child, *by, Arc::clone(metrics))?
+                    .with_batch_rows(batch_rows)
+                    .with_guard(Arc::clone(guard)),
+            )
         }
         PlanNode::StructuralJoin { left, right, anc, desc, axis, algo } => {
-            let l = build_operator(store, pattern, left, metrics, batch_rows);
-            let r = build_operator(store, pattern, right, metrics, batch_rows);
+            let l = build_operator(store, pattern, left, metrics, batch_rows, guard)?;
+            let r = build_operator(store, pattern, right, metrics, batch_rows, guard)?;
             match algo {
                 crate::plan::JoinAlgo::MergeJoin => Box::new(
-                    MergeJoinOp::new(l, r, *anc, *desc, *axis, Arc::clone(metrics))
-                        .with_batch_rows(batch_rows),
+                    MergeJoinOp::new(l, r, *anc, *desc, *axis, Arc::clone(metrics))?
+                        .with_batch_rows(batch_rows)
+                        .with_guard(Arc::clone(guard)),
                 ),
                 _ => Box::new(
-                    StackTreeJoinOp::new(l, r, *anc, *desc, *axis, *algo, Arc::clone(metrics))
-                        .with_batch_rows(batch_rows),
+                    StackTreeJoinOp::new(l, r, *anc, *desc, *axis, *algo, Arc::clone(metrics))?
+                        .with_batch_rows(batch_rows)
+                        .with_guard(Arc::clone(guard)),
                 ),
             }
         }
-    }
+    };
+    Ok(Box::new(GuardedOp::new(op, Arc::clone(guard))))
 }
 
 fn build_scan<'a>(
@@ -252,6 +307,7 @@ fn build_scan<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::GuardBreach;
     use crate::plan::JoinAlgo;
     use sjos_pattern::{parse_pattern, Axis};
     use sjos_xml::Document;
@@ -271,19 +327,22 @@ mod tests {
         PlanNode::IndexScan { pnode: PnId(i) }
     }
 
-    #[test]
-    fn two_way_join_end_to_end() {
-        let st = store();
-        let pat = parse_pattern("//dept//emp").unwrap();
-        let plan = PlanNode::StructuralJoin {
+    fn two_way_plan() -> PlanNode {
+        PlanNode::StructuralJoin {
             left: Box::new(scan(0)),
             right: Box::new(scan(1)),
             anc: PnId(0),
             desc: PnId(1),
             axis: Axis::Descendant,
             algo: JoinAlgo::StackTreeDesc,
-        };
-        let res = execute(&st, &pat, &plan).unwrap();
+        }
+    }
+
+    #[test]
+    fn two_way_join_end_to_end() {
+        let st = store();
+        let pat = parse_pattern("//dept//emp").unwrap();
+        let res = execute(&st, &pat, &two_way_plan()).unwrap();
         assert_eq!(res.len(), 3);
         assert_eq!(res.metrics.output_tuples, 3);
         assert!(res.io.record_reads > 0, "scans must flow through storage");
@@ -402,15 +461,7 @@ mod tests {
     fn unknown_tag_yields_empty_result() {
         let st = store();
         let pat = parse_pattern("//dept//ghost").unwrap();
-        let plan = PlanNode::StructuralJoin {
-            left: Box::new(scan(0)),
-            right: Box::new(scan(1)),
-            anc: PnId(0),
-            desc: PnId(1),
-            axis: Axis::Descendant,
-            algo: JoinAlgo::StackTreeDesc,
-        };
-        let res = execute(&st, &pat, &plan).unwrap();
+        let res = execute(&st, &pat, &two_way_plan()).unwrap();
         assert!(res.is_empty());
     }
 
@@ -427,7 +478,7 @@ mod tests {
             algo: JoinAlgo::StackTreeDesc,
         };
         let err = execute(&st, &pat, &plan).unwrap_err();
-        assert!(matches!(err, ExecError::InvalidPlan(_)));
+        assert!(matches!(err, EngineError::InvalidPlan(_)));
     }
 
     #[test]
@@ -463,18 +514,73 @@ mod tests {
     fn execute_batches_exposes_ordered_root_stream() {
         let st = store();
         let pat = parse_pattern("//dept//emp").unwrap();
-        let plan = PlanNode::StructuralJoin {
-            left: Box::new(scan(0)),
-            right: Box::new(scan(1)),
-            anc: PnId(0),
-            desc: PnId(1),
-            axis: Axis::Descendant,
-            algo: JoinAlgo::StackTreeDesc,
-        };
-        let res = execute_batches(&st, &pat, &plan).unwrap();
+        let res = execute_batches(&st, &pat, &two_way_plan()).unwrap();
         let rows: usize = res.batches.iter().map(TupleBatch::len).sum();
         assert_eq!(rows as u64, res.metrics.output_tuples);
         let col = res.schema.position(PnId(1)).unwrap();
         assert!(res.batches.iter().all(|b| b.is_sorted_by(col)));
+    }
+
+    #[test]
+    fn batch_budget_halts_plan_with_partial_metrics() {
+        let st = store();
+        let pat = parse_pattern("//dept//emp").unwrap();
+        // Budget of 1: the first join pull (which itself pulls scans)
+        // exceeds it within one batch.
+        let guard = Arc::new(QueryGuard::unlimited().with_batch_budget(1));
+        let err = execute_guarded(&st, &pat, &two_way_plan(), &guard).unwrap_err();
+        match err {
+            EngineError::Guard { breach: GuardBreach::BatchBudget { limit }, .. } => {
+                assert_eq!(limit, 1);
+            }
+            other => panic!("expected a batch-budget breach, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_execution_and_reports_partial_metrics() {
+        let st = store();
+        let pat = parse_pattern("//dept//emp").unwrap();
+        let guard = Arc::new(QueryGuard::unlimited());
+        guard.cancel_token().cancel();
+        let err = execute_guarded(&st, &pat, &two_way_plan(), &guard).unwrap_err();
+        assert!(matches!(err, EngineError::Guard { breach: GuardBreach::Cancelled, .. }));
+    }
+
+    #[test]
+    fn expired_deadline_stops_execution() {
+        let st = store();
+        let pat = parse_pattern("//dept//emp").unwrap();
+        let guard = Arc::new(QueryGuard::unlimited().with_deadline(Duration::ZERO));
+        let err = execute_guarded(&st, &pat, &two_way_plan(), &guard).unwrap_err();
+        assert!(matches!(err, EngineError::Guard { breach: GuardBreach::Deadline { .. }, .. }));
+    }
+
+    #[test]
+    fn unlimited_guard_matches_plain_execution() {
+        let st = store();
+        let pat = parse_pattern("//dept//emp").unwrap();
+        let guard = Arc::new(QueryGuard::unlimited());
+        let guarded = execute_guarded(&st, &pat, &two_way_plan(), &guard).unwrap();
+        let plain = execute(&st, &pat, &two_way_plan()).unwrap();
+        assert_eq!(guarded.canonical_rows(), plain.canonical_rows());
+        assert!(guard.batches_pulled() > 0, "guard observed the batch traffic");
+    }
+
+    #[test]
+    fn guarded_faulty_store_reports_storage_error_not_panic() {
+        use sjos_storage::{FaultPlan, RetryPolicy, StoreConfig};
+        let doc = Document::parse(
+            "<db><dept><emp><name>ada</name></emp><emp><name>bob</name></emp></dept></db>",
+        )
+        .unwrap();
+        let st = XmlStore::load_faulty(
+            doc,
+            StoreConfig { retry: RetryPolicy::no_backoff(2), ..StoreConfig::default() },
+            FaultPlan { seed: 11, sticky_corrupt: 1.0, ..FaultPlan::none() },
+        );
+        let pat = parse_pattern("//dept//emp").unwrap();
+        let err = execute(&st, &pat, &two_way_plan()).unwrap_err();
+        assert!(matches!(err, EngineError::Storage(_)), "got {err:?}");
     }
 }

@@ -1,0 +1,260 @@
+//! Resource governance for plan execution.
+//!
+//! A [`QueryGuard`] bounds one execution by wall-clock deadline,
+//! batch-pull budget, and memory-reservation budget, and carries a
+//! cooperative [`CancelToken`]. The executor wraps every physical
+//! operator in a [`GuardedOp`], so the guard is consulted at *every*
+//! [`TupleBatch`] boundary in the tree — a runaway plan stops within
+//! one batch of the breach even when the root is blocked inside a
+//! materializing operator (the blocking sort's input pulls are
+//! guarded too). Buffering operators additionally call
+//! [`QueryGuard::reserve`] as their buffers grow, so an
+//! intermediate-result explosion trips the memory budget long before
+//! the process feels it.
+//!
+//! All checks are lock-free reads/adds; an unlimited guard costs a
+//! few relaxed atomic operations per batch.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{EngineError, GuardBreach};
+use crate::ops::{BoxedOperator, Operator};
+use crate::tuple::{Schema, TupleBatch};
+
+/// Shared cancellation flag. Clone it, hand it to another thread, and
+/// call [`CancelToken::cancel`]; the running query observes the flag
+/// at its next batch boundary and stops with
+/// [`GuardBreach::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Limits governing one execution, checked at batch boundaries.
+///
+/// Build with [`QueryGuard::unlimited`] and narrow with the `with_*`
+/// methods, then share behind an `Arc`:
+///
+/// ```
+/// use std::time::Duration;
+/// use sjos_exec::QueryGuard;
+/// let guard = std::sync::Arc::new(
+///     QueryGuard::unlimited()
+///         .with_deadline(Duration::from_secs(5))
+///         .with_batch_budget(10_000),
+/// );
+/// # let _ = guard;
+/// ```
+#[derive(Debug)]
+pub struct QueryGuard {
+    /// Absolute deadline plus the limit it was derived from (the
+    /// limit is reported in the breach).
+    deadline: Option<(Instant, Duration)>,
+    batch_budget: Option<u64>,
+    memory_budget: Option<usize>,
+    cancel: CancelToken,
+    /// Batches pulled across all guarded operator boundaries.
+    batches: AtomicU64,
+    /// High-water reservation in bytes — reservations are never
+    /// released, so this bounds the *total* buffering of the query,
+    /// not the instantaneous footprint (a deliberate, conservative
+    /// simplification).
+    reserved: AtomicUsize,
+}
+
+impl Default for QueryGuard {
+    fn default() -> QueryGuard {
+        QueryGuard::unlimited()
+    }
+}
+
+impl QueryGuard {
+    /// A guard with no limits: every check passes, only the counters
+    /// accumulate. This is what the plain `execute` entry points use.
+    pub fn unlimited() -> QueryGuard {
+        QueryGuard {
+            deadline: None,
+            batch_budget: None,
+            memory_budget: None,
+            cancel: CancelToken::new(),
+            batches: AtomicU64::new(0),
+            reserved: AtomicUsize::new(0),
+        }
+    }
+
+    /// Stop the query once `limit` wall-clock time has elapsed
+    /// (measured from this call).
+    #[must_use]
+    pub fn with_deadline(mut self, limit: Duration) -> QueryGuard {
+        // A limit so large the Instant overflows is no limit at all.
+        self.deadline = Instant::now().checked_add(limit).map(|at| (at, limit));
+        self
+    }
+
+    /// Stop the query after `limit` batch pulls across all operator
+    /// boundaries (engine-wide, not per operator).
+    #[must_use]
+    pub fn with_batch_budget(mut self, limit: u64) -> QueryGuard {
+        self.batch_budget = Some(limit.max(1));
+        self
+    }
+
+    /// Stop the query once buffering operators have reserved more
+    /// than `limit_bytes` in total.
+    #[must_use]
+    pub fn with_memory_budget(mut self, limit_bytes: usize) -> QueryGuard {
+        self.memory_budget = Some(limit_bytes);
+        self
+    }
+
+    /// Use `token` for cancellation instead of a fresh one.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> QueryGuard {
+        self.cancel = token;
+        self
+    }
+
+    /// The guard's cancellation token (clone it to another thread).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Batches pulled so far across guarded boundaries.
+    pub fn batches_pulled(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes reserved so far by buffering operators.
+    pub fn bytes_reserved(&self) -> usize {
+        self.reserved.load(Ordering::Relaxed)
+    }
+
+    /// One batch-boundary check: cancellation, deadline, batch
+    /// budget. Called by [`GuardedOp`] before every pull.
+    pub fn check_batch(&self) -> Result<(), GuardBreach> {
+        if self.cancel.is_cancelled() {
+            return Err(GuardBreach::Cancelled);
+        }
+        if let Some((at, limit)) = self.deadline {
+            if Instant::now() >= at {
+                return Err(GuardBreach::Deadline { limit });
+            }
+        }
+        let pulled = self.batches.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(limit) = self.batch_budget {
+            if pulled > limit {
+                return Err(GuardBreach::BatchBudget { limit });
+            }
+        }
+        Ok(())
+    }
+
+    /// Account `bytes` of operator buffering against the memory
+    /// budget. Reservations are cumulative and never released.
+    pub fn reserve(&self, bytes: usize) -> Result<(), GuardBreach> {
+        let total = self.reserved.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if let Some(limit) = self.memory_budget {
+            if total > limit {
+                return Err(GuardBreach::MemoryBudget {
+                    limit_bytes: limit,
+                    requested_bytes: total,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wraps an operator so every `next_batch` pull first passes
+/// [`QueryGuard::check_batch`]. The executor inserts one around each
+/// node of the physical tree.
+pub struct GuardedOp<'a> {
+    inner: BoxedOperator<'a>,
+    guard: Arc<QueryGuard>,
+}
+
+impl<'a> GuardedOp<'a> {
+    /// Guard `inner` with `guard`.
+    pub fn new(inner: BoxedOperator<'a>, guard: Arc<QueryGuard>) -> GuardedOp<'a> {
+        GuardedOp { inner, guard }
+    }
+}
+
+impl Operator for GuardedOp<'_> {
+    fn schema(&self) -> &Arc<Schema> {
+        self.inner.schema()
+    }
+
+    fn ordered_col(&self) -> usize {
+        self.inner.ordered_col()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>, EngineError> {
+        self.guard.check_batch()?;
+        self.inner.next_batch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_always_passes() {
+        let g = QueryGuard::unlimited();
+        for _ in 0..10_000 {
+            g.check_batch().unwrap();
+        }
+        g.reserve(usize::MAX / 2).unwrap();
+        assert_eq!(g.batches_pulled(), 10_000);
+    }
+
+    #[test]
+    fn batch_budget_trips_after_limit() {
+        let g = QueryGuard::unlimited().with_batch_budget(3);
+        for _ in 0..3 {
+            g.check_batch().unwrap();
+        }
+        assert_eq!(g.check_batch().unwrap_err(), GuardBreach::BatchBudget { limit: 3 });
+    }
+
+    #[test]
+    fn memory_budget_trips_on_overshoot() {
+        let g = QueryGuard::unlimited().with_memory_budget(100);
+        g.reserve(60).unwrap();
+        let err = g.reserve(60).unwrap_err();
+        assert_eq!(err, GuardBreach::MemoryBudget { limit_bytes: 100, requested_bytes: 120 });
+    }
+
+    #[test]
+    fn expired_deadline_trips_immediately() {
+        let g = QueryGuard::unlimited().with_deadline(Duration::ZERO);
+        assert!(matches!(g.check_batch().unwrap_err(), GuardBreach::Deadline { .. }));
+    }
+
+    #[test]
+    fn cancellation_is_observed_cross_handle() {
+        let g = QueryGuard::unlimited();
+        let token = g.cancel_token();
+        g.check_batch().unwrap();
+        token.cancel();
+        assert_eq!(g.check_batch().unwrap_err(), GuardBreach::Cancelled);
+    }
+}

@@ -28,6 +28,7 @@ use sjos_storage::record::value_digest;
 use sjos_storage::XmlStore;
 use sjos_xml::NodeId;
 
+use crate::error::EngineError;
 use crate::metrics::ExecMetrics;
 use crate::tuple::Entry;
 
@@ -104,50 +105,58 @@ pub fn evaluate_with_metrics(
     store: &XmlStore,
     pattern: &Pattern,
     metrics: &Arc<ExecMetrics>,
-) -> TwigResult {
-    let result = evaluate(store, pattern);
+) -> Result<TwigResult, EngineError> {
+    let result = evaluate(store, pattern)?;
     let tm = result.metrics;
     ExecMetrics::add(&metrics.scanned_records, tm.stream_elements);
     ExecMetrics::add(&metrics.stack_pushes, tm.stack_pushes);
     ExecMetrics::add(&metrics.buffered_pairs, tm.path_solutions);
     ExecMetrics::add(&metrics.produced_tuples, tm.matches);
     ExecMetrics::add(&metrics.output_tuples, tm.matches);
-    result
+    Ok(result)
+}
+
+/// Collect one node stream, propagating any storage fault.
+fn collect_stream<'a>(
+    scan: impl Iterator<Item = Result<sjos_storage::ElementRecord, sjos_storage::StorageError>> + 'a,
+    filter: Option<u64>,
+) -> Result<Vec<Entry>, EngineError> {
+    let mut recs = Vec::new();
+    for rec in scan {
+        let r = rec?;
+        if filter.is_none_or(|f| r.value_hash == f) {
+            recs.push(Entry { node: r.node, region: r.region });
+        }
+    }
+    Ok(recs)
 }
 
 /// Evaluate `pattern` against `store` holistically.
-pub fn evaluate(store: &XmlStore, pattern: &Pattern) -> TwigResult {
+///
+/// # Errors
+/// [`EngineError::Storage`] when a node-stream scan hits a storage
+/// fault that survived the buffer pool's retries.
+pub fn evaluate(store: &XmlStore, pattern: &Pattern) -> Result<TwigResult, EngineError> {
     let mut metrics = TwigMetrics::default();
     let n = pattern.len();
     // Per-node streams: index scans with value predicates applied.
-    let mut streams: Vec<Stream> = pattern
-        .node_ids()
-        .map(|id| {
-            let pnode = pattern.node(id);
-            let filter = pnode.predicate.as_ref().map(|p| match p {
-                ValuePredicate::Equals(v) => value_digest(v),
-            });
-            let keep = |r: &sjos_storage::ElementRecord| filter.is_none_or(|f| r.value_hash == f);
-            let recs: Vec<Entry> = if pnode.is_wildcard() {
-                store
-                    .scan_all()
-                    .filter(keep)
-                    .map(|r| Entry { node: r.node, region: r.region })
-                    .collect()
-            } else {
-                match store.document().tag(&pnode.tag) {
-                    Some(tag) => store
-                        .scan_tag(tag)
-                        .filter(keep)
-                        .map(|r| Entry { node: r.node, region: r.region })
-                        .collect(),
-                    None => Vec::new(),
-                }
-            };
-            metrics.stream_elements += recs.len() as u64;
-            Stream { recs, pos: 0 }
-        })
-        .collect();
+    let mut streams: Vec<Stream> = Vec::with_capacity(n);
+    for id in pattern.node_ids() {
+        let pnode = pattern.node(id);
+        let filter = pnode.predicate.as_ref().map(|p| match p {
+            ValuePredicate::Equals(v) => value_digest(v),
+        });
+        let recs: Vec<Entry> = if pnode.is_wildcard() {
+            collect_stream(store.scan_all(), filter)?
+        } else {
+            match store.document().tag(&pnode.tag) {
+                Some(tag) => collect_stream(store.scan_tag(tag), filter)?,
+                None => Vec::new(),
+            }
+        };
+        metrics.stream_elements += recs.len() as u64;
+        streams.push(Stream { recs, pos: 0 });
+    }
     let mut stacks: Vec<Vec<StackElem>> = vec![Vec::new(); n];
 
     // Root-first node lists of each root-to-leaf pattern path.
@@ -203,7 +212,7 @@ pub fn evaluate(store: &XmlStore, pattern: &Pattern) -> TwigResult {
 
     // Phase 2: merge path solutions into twig matches.
     let rows = merge_paths(pattern, &leaf_paths, path_solutions, &mut metrics);
-    TwigResult { rows, metrics }
+    Ok(TwigResult { rows, metrics })
 }
 
 /// All root-to-leaf node sequences of the pattern (root first).
@@ -391,7 +400,7 @@ mod tests {
         let expected = naive::evaluate(&doc, &parse_pattern(query).unwrap());
         let store = XmlStore::load(doc);
         let pattern = parse_pattern(query).unwrap();
-        let got = evaluate(&store, &pattern);
+        let got = evaluate(&store, &pattern).unwrap();
         assert_eq!(got.rows, expected, "{query}");
         assert_eq!(got.metrics.matches as usize, expected.len());
     }
@@ -442,7 +451,7 @@ mod tests {
         let doc = Document::parse(XML).unwrap();
         let store = XmlStore::load(doc);
         let pattern = parse_pattern("//dept/emp/name").unwrap();
-        let res = evaluate(&store, &pattern);
+        let res = evaluate(&store, &pattern).unwrap();
         assert!(res.metrics.path_solutions >= res.metrics.matches);
         assert!(res.metrics.stream_elements > 0);
     }
@@ -453,7 +462,7 @@ mod tests {
         let store = XmlStore::load(doc);
         let pattern = parse_pattern("//dept/emp/name").unwrap();
         let m = ExecMetrics::new();
-        let res = evaluate_with_metrics(&store, &pattern, &m);
+        let res = evaluate_with_metrics(&store, &pattern, &m).unwrap();
         let s = m.snapshot();
         assert_eq!(s.scanned_records, res.metrics.stream_elements);
         assert_eq!(s.stack_pushes, res.metrics.stack_pushes);
@@ -469,7 +478,7 @@ mod tests {
         let doc = Document::parse(XML).unwrap();
         let store = XmlStore::load(doc);
         let pattern = parse_pattern("//db[.//emp][.//note]").unwrap();
-        let res = evaluate(&store, &pattern);
+        let res = evaluate(&store, &pattern).unwrap();
         // Every emitted path must appear in some final match.
         assert!(res.metrics.path_solutions <= res.metrics.matches * 2);
     }

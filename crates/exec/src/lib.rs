@@ -29,7 +29,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod executor;
+pub mod guard;
 pub mod holistic;
 pub mod metrics;
 pub mod naive;
@@ -37,10 +39,13 @@ pub mod ops;
 pub mod plan;
 pub mod tuple;
 
+pub use error::{EngineError, ExecError, GuardBreach};
 pub use executor::{
-    execute, execute_batches, execute_counting, execute_counting_with_batch_rows,
-    execute_with_batch_rows, BatchedResult, ExecError, QueryResult,
+    execute, execute_batches, execute_counting, execute_counting_guarded,
+    execute_counting_with_batch_rows, execute_guarded, execute_with_batch_rows, BatchedResult,
+    QueryResult,
 };
+pub use guard::{CancelToken, GuardedOp, QueryGuard};
 pub use metrics::ExecMetrics;
 pub use plan::{JoinAlgo, PlanNode};
 pub use tuple::{Entry, Schema, Tuple, TupleBatch, BATCH_ROWS};

@@ -27,6 +27,8 @@ use std::sync::Arc;
 
 use sjos_pattern::{Axis, PnId};
 
+use crate::error::EngineError;
+use crate::guard::QueryGuard;
 use crate::metrics::ExecMetrics;
 use crate::ops::{BoxedOperator, InputCursor, Operator};
 use crate::plan::JoinAlgo;
@@ -47,6 +49,7 @@ pub struct StackTreeJoinOp<'a> {
     algo: JoinAlgo,
     schema: Arc<Schema>,
     metrics: Arc<ExecMetrics>,
+    guard: Option<Arc<QueryGuard>>,
 
     /// Desc: plain ancestor stack. Anc: stack with pair lists.
     stack: Vec<StackEntry>,
@@ -61,6 +64,10 @@ pub struct StackTreeJoinOp<'a> {
     c_pushes: u64,
     c_pops: u64,
     c_buffered: u64,
+    /// Anc pairs created over the operator's lifetime / already
+    /// reported to the guard — the delta is reserved once per batch.
+    pairs_created: u64,
+    pairs_reserved: u64,
 }
 
 struct StackEntry {
@@ -75,8 +82,11 @@ impl<'a> StackTreeJoinOp<'a> {
     /// Join `left` (binding/ordered by `anc`) with `right`
     /// (binding/ordered by `desc`).
     ///
-    /// # Panics
-    /// Panics if an input does not bind its join node.
+    /// # Errors
+    /// [`EngineError::InvalidPlan`] if an input does not bind its
+    /// join node, or if `algo` is [`JoinAlgo::MergeJoin`] (which is
+    /// implemented by `MergeJoinOp`) — optimizer bugs, reported
+    /// instead of panicking.
     pub fn new(
         left: BoxedOperator<'a>,
         right: BoxedOperator<'a>,
@@ -85,22 +95,21 @@ impl<'a> StackTreeJoinOp<'a> {
         axis: Axis,
         algo: JoinAlgo,
         metrics: Arc<ExecMetrics>,
-    ) -> Self {
-        let left_col = left
-            .schema()
-            .position(anc)
-            .unwrap_or_else(|| panic!("left input does not bind {anc:?}"));
-        let right_col = right
-            .schema()
-            .position(desc)
-            .unwrap_or_else(|| panic!("right input does not bind {desc:?}"));
-        assert!(
-            algo != JoinAlgo::MergeJoin,
-            "MergeJoin is implemented by MergeJoinOp, not the stack-tree operator"
-        );
+    ) -> Result<Self, EngineError> {
+        let left_col = left.schema().position(anc).ok_or_else(|| {
+            EngineError::InvalidPlan(format!("left join input does not bind {anc:?}"))
+        })?;
+        let right_col = right.schema().position(desc).ok_or_else(|| {
+            EngineError::InvalidPlan(format!("right join input does not bind {desc:?}"))
+        })?;
+        if algo == JoinAlgo::MergeJoin {
+            return Err(EngineError::InvalidPlan(
+                "MergeJoin is implemented by MergeJoinOp, not the stack-tree operator".into(),
+            ));
+        }
         let schema = Arc::new(left.schema().concat(right.schema()));
         let left_width = left.schema().width();
-        StackTreeJoinOp {
+        Ok(StackTreeJoinOp {
             left: InputCursor::new(left, left_col),
             right: InputCursor::new(right, right_col),
             left_col,
@@ -110,6 +119,7 @@ impl<'a> StackTreeJoinOp<'a> {
             algo,
             schema,
             metrics,
+            guard: None,
             stack: Vec::new(),
             ready: VecDeque::new(),
             scratch_right: Vec::new(),
@@ -118,7 +128,9 @@ impl<'a> StackTreeJoinOp<'a> {
             c_pushes: 0,
             c_pops: 0,
             c_buffered: 0,
-        }
+            pairs_created: 0,
+            pairs_reserved: 0,
+        })
     }
 
     /// Override the batch granularity (default [`BATCH_ROWS`]). A
@@ -130,16 +142,23 @@ impl<'a> StackTreeJoinOp<'a> {
         self
     }
 
+    /// Report Anc pair-buffer growth to `guard`'s memory budget.
+    #[must_use]
+    pub fn with_guard(mut self, guard: Arc<QueryGuard>) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
     /// Start of the current left tuple's ancestor-column region.
-    fn left_start(&mut self) -> Option<u32> {
+    fn left_start(&mut self) -> Result<Option<u32>, EngineError> {
         let col = self.left_col;
-        self.left.peek().map(|(b, r)| b.entry(col, r).region.start)
+        Ok(self.left.peek()?.map(|(b, r)| b.entry(col, r).region.start))
     }
 
     /// Start of the current right tuple's descendant-column region.
-    fn right_start(&mut self) -> Option<u32> {
+    fn right_start(&mut self) -> Result<Option<u32>, EngineError> {
         let col = self.right_col;
-        self.right.peek().map(|(b, r)| b.entry(col, r).region.start)
+        Ok(self.right.peek()?.map(|(b, r)| b.entry(col, r).region.start))
     }
 
     /// Does the pair (ancestor row `a`, descendant row `d`) satisfy
@@ -166,6 +185,8 @@ impl<'a> StackTreeJoinOp<'a> {
 
     /// Pop the top entry, routing its buffered pairs (Anc).
     fn pop_one(&mut self) {
+        // Invariant: both call sites check the stack is non-empty
+        // (`pop_before` peeks the top, `step` loops on `!is_empty`).
         let entry = self.stack.pop().expect("pop from empty stack");
         self.c_pops += 1;
         if self.algo == JoinAlgo::StackTreeAnc {
@@ -189,25 +210,26 @@ impl<'a> StackTreeJoinOp<'a> {
     /// One step of the merge loop: consume one input tuple, emitting
     /// Desc pairs into `out`. Sets `done` when no further output can
     /// exist (buffered Anc output may still be in `ready`).
-    fn step(&mut self, out: &mut TupleBatch) {
-        match (self.left_start(), self.right_start()) {
+    fn step(&mut self, out: &mut TupleBatch) -> Result<(), EngineError> {
+        match (self.left_start()?, self.right_start()?) {
             (Some(a_start), Some(d_start)) => {
                 if a_start < d_start {
                     self.pop_before(a_start);
-                    let t = self.left.peek_row().expect("left row present");
+                    // Invariant: `left_start` above peeked this row.
+                    let t = self.left.peek_row()?.expect("left row present");
                     self.left.advance();
                     self.push(t);
                 } else {
-                    self.consume_right(out);
+                    self.consume_right(out)?;
                 }
             }
             (None, Some(_)) => {
-                self.consume_right(out);
+                self.consume_right(out)?;
                 // Once the stack is empty with the left side done, no
                 // later descendant can match; run the abandoned right
                 // side out so total work is batch-size-independent.
                 if self.stack.is_empty() {
-                    self.right.exhaust();
+                    self.right.exhaust()?;
                     self.done = true;
                 }
             }
@@ -217,18 +239,20 @@ impl<'a> StackTreeJoinOp<'a> {
                 while !self.stack.is_empty() {
                     self.pop_one();
                 }
-                self.left.exhaust();
+                self.left.exhaust()?;
                 self.done = true;
             }
         }
+        Ok(())
     }
 
     /// Process the current right tuple against the stack.
-    fn consume_right(&mut self, out: &mut TupleBatch) {
-        let d_start = self.right_start().expect("right row present");
+    fn consume_right(&mut self, out: &mut TupleBatch) -> Result<(), EngineError> {
+        // Invariant: every caller has just peeked a right row.
+        let d_start = self.right_start()?.expect("right row present");
         self.pop_before(d_start);
         {
-            let (batch, row) = self.right.peek().expect("right row present");
+            let (batch, row) = self.right.peek()?.expect("right row present");
             self.scratch_right.clear();
             self.scratch_right.extend((0..batch.width()).map(|c| batch.entry(c, row)));
         }
@@ -251,12 +275,14 @@ impl<'a> StackTreeJoinOp<'a> {
                         pair.extend_from_slice(&self.stack[i].tuple);
                         pair.extend_from_slice(&self.scratch_right);
                         self.c_buffered += 1;
+                        self.pairs_created += 1;
                         self.stack[i].self_list.push(pair);
                     }
                 }
             }
             JoinAlgo::MergeJoin => unreachable!("rejected in the constructor"),
         }
+        Ok(())
     }
 
     /// Flush local counters to the shared metrics — one atomic add
@@ -275,6 +301,22 @@ impl<'a> StackTreeJoinOp<'a> {
             self.c_buffered = 0;
         }
     }
+
+    /// Account newly created Anc pairs against the guard's memory
+    /// budget (once per output batch). Pairs moving between inherit
+    /// lists and `ready` are not counted again — only creation
+    /// allocates.
+    fn reserve_buffered(&mut self) -> Result<(), EngineError> {
+        if self.pairs_created > self.pairs_reserved {
+            if let Some(guard) = &self.guard {
+                let pair_bytes = self.schema.width() * std::mem::size_of::<Entry>();
+                let fresh = (self.pairs_created - self.pairs_reserved) as usize;
+                guard.reserve(fresh * pair_bytes)?;
+            }
+            self.pairs_reserved = self.pairs_created;
+        }
+        Ok(())
+    }
 }
 
 impl Operator for StackTreeJoinOp<'_> {
@@ -289,7 +331,7 @@ impl Operator for StackTreeJoinOp<'_> {
         }
     }
 
-    fn next_batch(&mut self) -> Option<TupleBatch> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>, EngineError> {
         let mut out = TupleBatch::with_capacity(self.schema.clone(), self.batch_rows);
         while out.len() < self.batch_rows {
             if let Some(t) = self.ready.pop_front() {
@@ -299,14 +341,20 @@ impl Operator for StackTreeJoinOp<'_> {
             if self.done {
                 break;
             }
-            self.step(&mut out);
+            if let Err(e) = self.step(&mut out) {
+                // Flush before propagating so partial metrics are
+                // accurate at the moment of failure.
+                self.flush_metrics();
+                return Err(e);
+            }
         }
         self.flush_metrics();
+        self.reserve_buffered()?;
         if out.is_empty() {
-            return None;
+            return Ok(None);
         }
         ExecMetrics::add(&self.metrics.produced_tuples, out.len() as u64);
-        Some(out)
+        Ok(Some(out))
     }
 }
 
@@ -342,7 +390,7 @@ mod tests {
 
     fn drain(op: &mut StackTreeJoinOp<'_>) -> Vec<(u32, u32)> {
         let mut out = vec![];
-        while let Some(b) = op.next_batch() {
+        while let Some(b) = op.next_batch().unwrap() {
             assert!(!b.is_empty(), "batches are never empty");
             for row in 0..b.len() {
                 out.push((b.entry(0, row).region.start, b.entry(1, row).region.start));
@@ -361,6 +409,7 @@ mod tests {
         let right = Box::new(fixed(PnId(1), descendants()).with_batch_rows(batch_rows));
         let mut op =
             StackTreeJoinOp::new(left, right, PnId(0), PnId(1), axis, algo, Arc::clone(&m))
+                .unwrap()
                 .with_batch_rows(batch_rows);
         (drain(&mut op), m)
     }
@@ -424,8 +473,60 @@ mod tests {
             Axis::Descendant,
             JoinAlgo::StackTreeDesc,
             m,
-        );
-        assert!(op.next_batch().is_none());
+        )
+        .unwrap();
+        assert!(op.next_batch().unwrap().is_none());
+    }
+
+    #[test]
+    fn unbound_join_column_is_a_typed_error() {
+        let m = ExecMetrics::new();
+        let err = StackTreeJoinOp::new(
+            Box::new(fixed(PnId(0), ancestors())),
+            Box::new(fixed(PnId(1), descendants())),
+            PnId(0),
+            PnId(9),
+            Axis::Descendant,
+            JoinAlgo::StackTreeDesc,
+            m,
+        )
+        .err()
+        .expect("unbound descendant column");
+        assert!(matches!(err, EngineError::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn anc_memory_budget_bounds_pair_buffering() {
+        use crate::error::GuardBreach;
+        // Nested ancestors make Anc buffer every pair; a tiny budget
+        // trips once the self-lists grow.
+        let guard = Arc::new(QueryGuard::unlimited().with_memory_budget(64));
+        let m = ExecMetrics::new();
+        let mut op = StackTreeJoinOp::new(
+            Box::new(fixed(PnId(0), ancestors())),
+            Box::new(fixed(PnId(1), descendants())),
+            PnId(0),
+            PnId(1),
+            Axis::Descendant,
+            JoinAlgo::StackTreeAnc,
+            m,
+        )
+        .unwrap()
+        .with_batch_rows(1)
+        .with_guard(guard);
+        let mut saw_breach = false;
+        loop {
+            match op.next_batch() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(EngineError::Guard { breach: GuardBreach::MemoryBudget { .. }, .. }) => {
+                    saw_breach = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(saw_breach, "pair buffering must trip the memory budget");
     }
 
     #[test]
@@ -472,7 +573,8 @@ mod tests {
             Axis::Descendant,
             JoinAlgo::StackTreeDesc,
             m,
-        );
+        )
+        .unwrap();
         let mut out = drain(&mut op);
         out.sort_unstable();
         assert_eq!(out, vec![(0, 1), (0, 2), (1, 2)]);
@@ -494,8 +596,9 @@ mod tests {
             Axis::Descendant,
             JoinAlgo::StackTreeDesc,
             m,
-        );
-        let count: usize = std::iter::from_fn(|| op.next_batch().map(|b| b.len())).sum();
+        )
+        .unwrap();
+        let count: usize = std::iter::from_fn(|| op.next_batch().unwrap().map(|b| b.len())).sum();
         assert_eq!(count as u32, n, "every ancestor matches the single leaf");
     }
 }

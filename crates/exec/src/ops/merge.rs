@@ -12,12 +12,16 @@
 //!
 //! The descendant buffer is kept columnar (one `Vec<Entry>` per right
 //! column) so rescans walk a dense region array, and the rescan/output
-//! counters are flushed to the shared metrics once per batch.
+//! counters are flushed to the shared metrics once per batch. Buffer
+//! growth is reported to the attached [`QueryGuard`] (if any) at the
+//! same per-batch granularity.
 
 use std::sync::Arc;
 
 use sjos_pattern::{Axis, PnId};
 
+use crate::error::EngineError;
+use crate::guard::QueryGuard;
 use crate::metrics::ExecMetrics;
 use crate::ops::{BoxedOperator, InputCursor, Operator};
 use crate::tuple::{Entry, Schema, Tuple, TupleBatch, BATCH_ROWS};
@@ -32,6 +36,7 @@ pub struct MergeJoinOp<'a> {
     axis: Axis,
     schema: Arc<Schema>,
     metrics: Arc<ExecMetrics>,
+    guard: Option<Arc<QueryGuard>>,
 
     /// Buffered descendant tuples, column-major (grows lazily).
     right_buf: Vec<Vec<Entry>>,
@@ -46,14 +51,17 @@ pub struct MergeJoinOp<'a> {
 
     /// Local rescan counter, flushed once per batch.
     c_rescans: u64,
+    /// Buffered rows already reported to the guard.
+    reserved_rows: usize,
 }
 
 impl<'a> MergeJoinOp<'a> {
     /// Join `left` (binding/ordered by `anc`) with `right`
     /// (binding/ordered by `desc`).
     ///
-    /// # Panics
-    /// Panics if an input does not bind its join node.
+    /// # Errors
+    /// [`EngineError::InvalidPlan`] if an input does not bind its
+    /// join node — an optimizer bug, reported instead of panicking.
     pub fn new(
         left: BoxedOperator<'a>,
         right: BoxedOperator<'a>,
@@ -61,19 +69,17 @@ impl<'a> MergeJoinOp<'a> {
         desc: PnId,
         axis: Axis,
         metrics: Arc<ExecMetrics>,
-    ) -> Self {
-        let left_col = left
-            .schema()
-            .position(anc)
-            .unwrap_or_else(|| panic!("left input does not bind {anc:?}"));
-        let right_col = right
-            .schema()
-            .position(desc)
-            .unwrap_or_else(|| panic!("right input does not bind {desc:?}"));
+    ) -> Result<Self, EngineError> {
+        let left_col = left.schema().position(anc).ok_or_else(|| {
+            EngineError::InvalidPlan(format!("left merge-join input does not bind {anc:?}"))
+        })?;
+        let right_col = right.schema().position(desc).ok_or_else(|| {
+            EngineError::InvalidPlan(format!("right merge-join input does not bind {desc:?}"))
+        })?;
         let schema = Arc::new(left.schema().concat(right.schema()));
         let left_width = left.schema().width();
         let right_width = right.schema().width();
-        MergeJoinOp {
+        Ok(MergeJoinOp {
             left: InputCursor::new(left, left_col),
             right: InputCursor::new(right, right_col),
             left_col,
@@ -82,6 +88,7 @@ impl<'a> MergeJoinOp<'a> {
             axis,
             schema,
             metrics,
+            guard: None,
             right_buf: (0..right_width).map(|_| Vec::new()).collect(),
             right_done: false,
             mark: 0,
@@ -90,7 +97,8 @@ impl<'a> MergeJoinOp<'a> {
             started: false,
             batch_rows: BATCH_ROWS,
             c_rescans: 0,
-        }
+            reserved_rows: 0,
+        })
     }
 
     /// Override the batch granularity (default [`BATCH_ROWS`]).
@@ -100,18 +108,25 @@ impl<'a> MergeJoinOp<'a> {
         self
     }
 
+    /// Report descendant-buffer growth to `guard`'s memory budget.
+    #[must_use]
+    pub fn with_guard(mut self, guard: Arc<QueryGuard>) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
     fn right_len(&self) -> usize {
         self.right_buf.first().map_or(0, Vec::len)
     }
 
-    fn fill_right_until(&mut self, pos: u32) {
+    fn fill_right_until(&mut self, pos: u32) -> Result<(), EngineError> {
         while !self.right_done {
             let need_more =
                 self.right_buf[self.right_col].last().map(|e| e.region.start < pos).unwrap_or(true);
             if !need_more {
                 break;
             }
-            match self.right.peek() {
+            match self.right.peek()? {
                 Some((batch, row)) => {
                     for (c, col) in self.right_buf.iter_mut().enumerate() {
                         col.push(batch.entry(c, row));
@@ -121,22 +136,23 @@ impl<'a> MergeJoinOp<'a> {
                 None => self.right_done = true,
             }
         }
+        Ok(())
     }
 
-    fn advance_left(&mut self) {
-        self.cur_left = self.left.peek_row();
+    fn advance_left(&mut self) -> Result<(), EngineError> {
+        self.cur_left = self.left.peek_row()?;
         if self.cur_left.is_some() {
             self.left.advance();
         } else {
             // No future ancestor exists; run the abandoned right side
             // out so total work is batch-size-independent.
-            self.right.exhaust();
+            self.right.exhaust()?;
         }
         if let Some(a) = &self.cur_left {
             let a_region = a[self.left_col].region;
             // Move the mark past descendants that precede this (and
             // therefore every later) ancestor.
-            self.fill_right_until(a_region.start);
+            self.fill_right_until(a_region.start)?;
             while self.mark < self.right_len()
                 && self.right_buf[self.right_col][self.mark].region.start < a_region.start
             {
@@ -145,8 +161,32 @@ impl<'a> MergeJoinOp<'a> {
             // Rescan from the mark: nested ancestors revisit tuples.
             self.scan = self.mark;
             // Make sure the whole window is buffered.
-            self.fill_right_until(a_region.end);
+            self.fill_right_until(a_region.end)?;
         }
+        Ok(())
+    }
+
+    fn flush_rescans(&mut self) {
+        if self.c_rescans > 0 {
+            ExecMetrics::add(&self.metrics.merge_rescans, self.c_rescans);
+            self.c_rescans = 0;
+        }
+    }
+
+    /// Account newly buffered descendant rows against the guard's
+    /// memory budget (once per output batch).
+    fn reserve_buffer(&mut self) -> Result<(), EngineError> {
+        let rows = self.right_len();
+        if rows > self.reserved_rows {
+            if let Some(guard) = &self.guard {
+                let bytes = (rows - self.reserved_rows)
+                    * self.right_buf.len()
+                    * std::mem::size_of::<Entry>();
+                guard.reserve(bytes)?;
+            }
+            self.reserved_rows = rows;
+        }
+        Ok(())
     }
 }
 
@@ -159,10 +199,13 @@ impl Operator for MergeJoinOp<'_> {
         self.left_col
     }
 
-    fn next_batch(&mut self) -> Option<TupleBatch> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>, EngineError> {
         if !self.started {
             self.started = true;
-            self.advance_left();
+            if let Err(e) = self.advance_left() {
+                self.flush_rescans();
+                return Err(e);
+            }
         }
         let mut out = TupleBatch::with_capacity(self.schema.clone(), self.batch_rows);
         while out.len() < self.batch_rows {
@@ -172,7 +215,10 @@ impl Operator for MergeJoinOp<'_> {
             let in_window = self.scan < self.right_len()
                 && self.right_buf[self.right_col][self.scan].region.start < a_region.end;
             if !in_window {
-                self.advance_left();
+                if let Err(e) = self.advance_left() {
+                    self.flush_rescans();
+                    return Err(e);
+                }
                 continue;
             }
             let row = self.scan;
@@ -188,6 +234,8 @@ impl Operator for MergeJoinOp<'_> {
             if self.axis == Axis::Child && a_region.level + 1 != d_region.level {
                 continue;
             }
+            // Invariant: `a_region` was read from `cur_left` above and
+            // nothing in this iteration cleared it.
             let a = self.cur_left.as_ref().expect("left row present");
             for (col, &e) in a.iter().enumerate() {
                 out.column_mut(col).push(e);
@@ -196,21 +244,20 @@ impl Operator for MergeJoinOp<'_> {
                 out.column_mut(self.left_width + j).push(src[row]);
             }
         }
-        if self.c_rescans > 0 {
-            ExecMetrics::add(&self.metrics.merge_rescans, self.c_rescans);
-            self.c_rescans = 0;
-        }
+        self.flush_rescans();
+        self.reserve_buffer()?;
         if out.is_empty() {
-            return None;
+            return Ok(None);
         }
         ExecMetrics::add(&self.metrics.produced_tuples, out.len() as u64);
-        Some(out)
+        Ok(Some(out))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::GuardBreach;
     use crate::ops::VecInput;
     use sjos_xml::{NodeId, Region};
 
@@ -229,7 +276,7 @@ mod tests {
 
     fn drain(op: &mut MergeJoinOp<'_>) -> Vec<(u32, u32)> {
         let mut out = vec![];
-        while let Some(b) = op.next_batch() {
+        while let Some(b) = op.next_batch().unwrap() {
             assert!(!b.is_empty(), "batches are never empty");
             assert!(b.is_sorted_by(op.ordered_col()));
             for row in 0..b.len() {
@@ -248,7 +295,8 @@ mod tests {
             PnId(1),
             axis,
             m,
-        );
+        )
+        .unwrap();
         drain(&mut op)
     }
 
@@ -296,6 +344,7 @@ mod tests {
                 Axis::Descendant,
                 Arc::clone(&m),
             )
+            .unwrap()
             .with_batch_rows(rows);
             assert_eq!(drain(&mut op), base, "output differs at batch_rows={rows}");
         }
@@ -314,8 +363,58 @@ mod tests {
             PnId(1),
             Axis::Descendant,
             Arc::clone(&m),
-        );
-        while op.next_batch().is_some() {}
+        )
+        .unwrap();
+        while op.next_batch().unwrap().is_some() {}
         assert_eq!(m.snapshot().merge_rescans, 4, "each ancestor scans both");
+    }
+
+    #[test]
+    fn unbound_join_column_is_a_typed_error() {
+        let m = ExecMetrics::new();
+        let err = MergeJoinOp::new(
+            Box::new(fixed(PnId(0), vec![r(0, 3, 0)])),
+            Box::new(fixed(PnId(1), vec![r(1, 2, 1)])),
+            PnId(7),
+            PnId(1),
+            Axis::Descendant,
+            m,
+        )
+        .err()
+        .expect("unbound ancestor column");
+        assert!(matches!(err, EngineError::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn memory_budget_bounds_descendant_buffer() {
+        // One wide ancestor forces the whole descendant list into the
+        // buffer; a 32-byte budget stops that almost immediately.
+        let ancs = vec![r(0, 100, 0)];
+        let descs: Vec<Region> = (0..20).map(|i| r(2 * i + 1, 2 * i + 2, 1)).collect();
+        let m = ExecMetrics::new();
+        let guard = Arc::new(QueryGuard::unlimited().with_memory_budget(32));
+        let mut op = MergeJoinOp::new(
+            Box::new(fixed(PnId(0), ancs)),
+            Box::new(fixed(PnId(1), descs)),
+            PnId(0),
+            PnId(1),
+            Axis::Descendant,
+            m,
+        )
+        .unwrap()
+        .with_guard(guard);
+        let mut saw_breach = false;
+        loop {
+            match op.next_batch() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(EngineError::Guard { breach: GuardBreach::MemoryBudget { .. }, .. }) => {
+                    saw_breach = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(saw_breach, "buffer growth must trip the memory budget");
     }
 }

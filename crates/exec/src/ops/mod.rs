@@ -19,14 +19,16 @@ pub use sort::SortOp;
 
 use std::sync::Arc;
 
+use crate::error::EngineError;
 use crate::tuple::{Schema, Tuple, TupleBatch, BATCH_ROWS};
 
 /// A pull-based operator producing columnar batches.
 ///
-/// Contract: batches are never empty; end-of-stream is `None`. The
+/// Contract: batches are never empty; end-of-stream is `Ok(None)`. The
 /// column at [`Operator::ordered_col`] is non-decreasing in
 /// `(region.start, region.end)` within each batch and across
-/// consecutive batches.
+/// consecutive batches. An `Err` is terminal: a storage fault or a
+/// guard breach propagated up the tree — callers must not pull again.
 pub trait Operator {
     /// Column layout of produced batches.
     fn schema(&self) -> &Arc<Schema>;
@@ -37,8 +39,9 @@ pub trait Operator {
     /// stack/merge algorithm's emission rule).
     fn ordered_col(&self) -> usize;
 
-    /// Produce the next batch, or `None` when exhausted.
-    fn next_batch(&mut self) -> Option<TupleBatch>;
+    /// Produce the next batch, `Ok(None)` when exhausted, or a
+    /// typed error when storage or a resource guard fails the pull.
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>, EngineError>;
 }
 
 /// Boxed operator with the executor's lifetime.
@@ -105,26 +108,28 @@ impl<'a> InputCursor<'a> {
         InputCursor { op, check: OrderingCheck::new(), required_col, batch: None, pos: 0 }
     }
 
-    /// Current row, pulling the next batch if needed. `None` at
-    /// end-of-stream.
-    pub(crate) fn peek(&mut self) -> Option<(&TupleBatch, usize)> {
+    /// Current row, pulling the next batch if needed. `Ok(None)` at
+    /// end-of-stream; a pull failure propagates.
+    pub(crate) fn peek(&mut self) -> Result<Option<(&TupleBatch, usize)>, EngineError> {
         loop {
             match &self.batch {
                 Some(b) if self.pos < b.len() => break,
-                _ => {
-                    let next = self.op.next_batch()?;
-                    self.check.check(&next, self.required_col);
-                    self.batch = Some(next);
-                    self.pos = 0;
-                }
+                _ => match self.op.next_batch()? {
+                    Some(next) => {
+                        self.check.check(&next, self.required_col);
+                        self.batch = Some(next);
+                        self.pos = 0;
+                    }
+                    None => return Ok(None),
+                },
             }
         }
-        Some((self.batch.as_ref().expect("batch present"), self.pos))
+        Ok(Some((self.batch.as_ref().expect("batch present"), self.pos)))
     }
 
     /// Copy of the current row, if any.
-    pub(crate) fn peek_row(&mut self) -> Option<Tuple> {
-        self.peek().map(|(b, r)| b.row(r))
+    pub(crate) fn peek_row(&mut self) -> Result<Option<Tuple>, EngineError> {
+        Ok(self.peek()?.map(|(b, r)| b.row(r)))
     }
 
     /// Advance past the current row.
@@ -140,12 +145,13 @@ impl<'a> InputCursor<'a> {
     /// counter — is identical at every batch granularity. Without
     /// this, an abandoned producer would have done work rounded up to
     /// its batch size, making counters drift with `batch_rows`.
-    pub(crate) fn exhaust(&mut self) {
+    pub(crate) fn exhaust(&mut self) -> Result<(), EngineError> {
         self.batch = None;
         self.pos = 0;
-        while let Some(next) = self.op.next_batch() {
+        while let Some(next) = self.op.next_batch()? {
             self.check.check(&next, self.required_col);
         }
+        Ok(())
     }
 }
 
@@ -188,9 +194,9 @@ impl Operator for VecInput {
         0
     }
 
-    fn next_batch(&mut self) -> Option<TupleBatch> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>, EngineError> {
         if self.next_row >= self.rows.len() {
-            return None;
+            return Ok(None);
         }
         let end = (self.next_row + self.batch_rows).min(self.rows.len());
         let mut batch = TupleBatch::with_capacity(self.schema.clone(), end - self.next_row);
@@ -198,6 +204,6 @@ impl Operator for VecInput {
             batch.push_row(row);
         }
         self.next_row = end;
-        Some(batch)
+        Ok(Some(batch))
     }
 }

@@ -3,8 +3,9 @@
 use std::sync::Arc;
 
 use sjos_pattern::PnId;
-use sjos_storage::ElementRecord;
+use sjos_storage::{ElementRecord, StorageError};
 
+use crate::error::EngineError;
 use crate::metrics::ExecMetrics;
 use crate::ops::Operator;
 use crate::tuple::{Entry, Schema, TupleBatch, BATCH_ROWS};
@@ -17,9 +18,13 @@ use crate::tuple::{Entry, Schema, TupleBatch, BATCH_ROWS};
 ///
 /// Records are packed straight into columnar batches; the two metric
 /// counters (`scanned_records`, `produced_tuples`) are accumulated
-/// locally and flushed with one atomic add each per batch.
+/// locally and flushed with one atomic add each per batch. A storage
+/// fault in the underlying scan (a page read that survived the buffer
+/// pool's retries) surfaces as [`EngineError::Storage`]; the counters
+/// for records read before the fault are still flushed, so partial
+/// metrics stay honest.
 pub struct IndexScanOp<'a> {
-    iter: Box<dyn Iterator<Item = ElementRecord> + 'a>,
+    iter: Box<dyn Iterator<Item = Result<ElementRecord, StorageError>> + 'a>,
     schema: Arc<Schema>,
     /// Keep-only digest (from [`sjos_storage::record::value_digest`]).
     value_filter: Option<u64>,
@@ -32,7 +37,7 @@ impl<'a> IndexScanOp<'a> {
     /// document order).
     pub fn new(
         pnode: PnId,
-        iter: impl Iterator<Item = ElementRecord> + 'a,
+        iter: impl Iterator<Item = Result<ElementRecord, StorageError>> + 'a,
         value_filter: Option<u64>,
         metrics: Arc<ExecMetrics>,
     ) -> Self {
@@ -62,11 +67,19 @@ impl Operator for IndexScanOp<'_> {
         0
     }
 
-    fn next_batch(&mut self) -> Option<TupleBatch> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>, EngineError> {
         let mut batch = TupleBatch::with_capacity(self.schema.clone(), self.batch_rows);
         let mut scanned = 0u64;
+        let mut fault: Option<StorageError> = None;
         while batch.len() < self.batch_rows {
-            let Some(rec) = self.iter.next() else { break };
+            let rec = match self.iter.next() {
+                Some(Ok(rec)) => rec,
+                Some(Err(e)) => {
+                    fault = Some(e);
+                    break;
+                }
+                None => break,
+            };
             scanned += 1;
             if let Some(want) = self.value_filter {
                 if rec.value_hash != want {
@@ -78,11 +91,14 @@ impl Operator for IndexScanOp<'_> {
         if scanned > 0 {
             ExecMetrics::add(&self.metrics.scanned_records, scanned);
         }
+        if let Some(e) = fault {
+            return Err(EngineError::Storage(e));
+        }
         if batch.is_empty() {
-            return None;
+            return Ok(None);
         }
         ExecMetrics::add(&self.metrics.produced_tuples, batch.len() as u64);
-        Some(batch)
+        Ok(Some(batch))
     }
 }
 
@@ -105,7 +121,7 @@ mod tests {
         let m = ExecMetrics::new();
         let mut op = IndexScanOp::new(PnId(0), st.scan_tag(tag), None, Arc::clone(&m));
         let mut starts = vec![];
-        while let Some(b) = op.next_batch() {
+        while let Some(b) = op.next_batch().unwrap() {
             assert!(!b.is_empty(), "batches are never empty");
             assert!(b.is_sorted_by(0));
             starts.extend(b.column(0).iter().map(|e| e.region.start));
@@ -124,7 +140,7 @@ mod tests {
         let mut op =
             IndexScanOp::new(PnId(0), st.scan_tag(tag), Some(value_digest("a")), Arc::clone(&m));
         let mut n = 0;
-        while let Some(b) = op.next_batch() {
+        while let Some(b) = op.next_batch().unwrap() {
             n += b.len();
         }
         assert_eq!(n, 2);
@@ -140,8 +156,22 @@ mod tests {
         let m = ExecMetrics::new();
         let mut op =
             IndexScanOp::new(PnId(0), st.scan_tag(tag), None, Arc::clone(&m)).with_batch_rows(2);
-        let sizes: Vec<usize> = std::iter::from_fn(|| op.next_batch().map(|b| b.len())).collect();
+        let sizes: Vec<usize> =
+            std::iter::from_fn(|| op.next_batch().unwrap().map(|b| b.len())).collect();
         assert_eq!(sizes, vec![2, 1]);
         assert_eq!(m.snapshot().produced_tuples, 3);
+    }
+
+    #[test]
+    fn storage_fault_surfaces_as_typed_error() {
+        let st = store();
+        let tag = st.document().tag("n").unwrap();
+        let m = ExecMetrics::new();
+        let fail = StorageError::PoolExhausted { capacity: 0 };
+        let iter = st.scan_tag(tag).take(1).chain(std::iter::once(Err(fail.clone())));
+        let mut op = IndexScanOp::new(PnId(0), iter, None, Arc::clone(&m)).with_batch_rows(8);
+        let err = op.next_batch().unwrap_err();
+        assert_eq!(err, EngineError::Storage(fail));
+        assert_eq!(m.snapshot().scanned_records, 1, "pre-fault records still counted");
     }
 }

@@ -4,6 +4,8 @@ use std::sync::Arc;
 
 use sjos_pattern::PnId;
 
+use crate::error::EngineError;
+use crate::guard::QueryGuard;
 use crate::metrics::ExecMetrics;
 use crate::ops::{BoxedOperator, Operator};
 use crate::tuple::{Entry, Schema, TupleBatch, BATCH_ROWS};
@@ -16,6 +18,11 @@ use crate::tuple::{Entry, Schema, TupleBatch, BATCH_ROWS};
 /// The buffer is kept columnar: input batches append straight onto
 /// per-column arrays, a sort permutation is computed over the key
 /// column only, and output batches gather through that permutation.
+///
+/// As an unboundedly-buffering operator, the sort reports its
+/// materialization to the [`QueryGuard`] (when one is attached) one
+/// input batch at a time, so a memory budget trips mid-
+/// materialization rather than after the fact.
 pub struct SortOp<'a> {
     input: Option<BoxedOperator<'a>>,
     schema: Arc<Schema>,
@@ -27,18 +34,26 @@ pub struct SortOp<'a> {
     /// Next position in `perm` to emit.
     emitted: usize,
     metrics: Arc<ExecMetrics>,
+    guard: Option<Arc<QueryGuard>>,
     batch_rows: usize,
 }
 
 impl<'a> SortOp<'a> {
     /// Sort `input` by the column binding `by`.
     ///
-    /// # Panics
-    /// Panics if `input` does not bind `by`.
-    pub fn new(input: BoxedOperator<'a>, by: PnId, metrics: Arc<ExecMetrics>) -> Self {
+    /// # Errors
+    /// [`EngineError::InvalidPlan`] if `input` does not bind `by` —
+    /// an optimizer bug, reported instead of panicking.
+    pub fn new(
+        input: BoxedOperator<'a>,
+        by: PnId,
+        metrics: Arc<ExecMetrics>,
+    ) -> Result<Self, EngineError> {
         let schema = input.schema().clone();
-        let col = schema.position(by).unwrap_or_else(|| panic!("sort by unbound column {by:?}"));
-        SortOp {
+        let col = schema
+            .position(by)
+            .ok_or_else(|| EngineError::InvalidPlan(format!("sort by unbound column {by:?}")))?;
+        Ok(SortOp {
             input: Some(input),
             schema,
             col,
@@ -46,8 +61,9 @@ impl<'a> SortOp<'a> {
             perm: Vec::new(),
             emitted: 0,
             metrics,
+            guard: None,
             batch_rows: BATCH_ROWS,
-        }
+        })
     }
 
     /// Override the batch granularity (default [`BATCH_ROWS`]).
@@ -57,10 +73,21 @@ impl<'a> SortOp<'a> {
         self
     }
 
-    fn materialize(&mut self) {
-        let Some(mut input) = self.input.take() else { return };
+    /// Report buffer growth to `guard`'s memory budget.
+    #[must_use]
+    pub fn with_guard(mut self, guard: Arc<QueryGuard>) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    fn materialize(&mut self) -> Result<(), EngineError> {
+        let Some(mut input) = self.input.take() else { return Ok(()) };
         self.buffer = (0..self.schema.width()).map(|_| Vec::new()).collect();
-        while let Some(batch) = input.next_batch() {
+        let row_bytes = self.schema.width() * std::mem::size_of::<Entry>();
+        while let Some(batch) = input.next_batch()? {
+            if let Some(guard) = &self.guard {
+                guard.reserve(batch.len() * row_bytes)?;
+            }
             for (dst, c) in self.buffer.iter_mut().enumerate() {
                 c.extend_from_slice(batch.column(dst));
             }
@@ -75,6 +102,7 @@ impl<'a> SortOp<'a> {
         self.perm = perm;
         ExecMetrics::add(&self.metrics.sort_operations, 1);
         ExecMetrics::add(&self.metrics.sorted_tuples, rows as u64);
+        Ok(())
     }
 }
 
@@ -87,12 +115,12 @@ impl Operator for SortOp<'_> {
         self.col
     }
 
-    fn next_batch(&mut self) -> Option<TupleBatch> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>, EngineError> {
         if self.input.is_some() {
-            self.materialize();
+            self.materialize()?;
         }
         if self.emitted >= self.perm.len() {
-            return None;
+            return Ok(None);
         }
         let end = (self.emitted + self.batch_rows).min(self.perm.len());
         let take = &self.perm[self.emitted..end];
@@ -102,13 +130,14 @@ impl Operator for SortOp<'_> {
         }
         self.emitted = end;
         ExecMetrics::add(&self.metrics.produced_tuples, batch.len() as u64);
-        Some(batch)
+        Ok(Some(batch))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::GuardBreach;
     use crate::ops::VecInput;
     use crate::tuple::Tuple;
     use sjos_xml::{NodeId, Region};
@@ -137,9 +166,9 @@ mod tests {
     fn sorts_by_requested_column() {
         let m = ExecMetrics::new();
         let input = two_col_rows(&[(5, 10), (1, 30), (3, 20)]);
-        let mut op = SortOp::new(Box::new(input), PnId(1), Arc::clone(&m));
+        let mut op = SortOp::new(Box::new(input), PnId(1), Arc::clone(&m)).unwrap();
         let mut seen = vec![];
-        while let Some(b) = op.next_batch() {
+        while let Some(b) = op.next_batch().unwrap() {
             assert!(b.is_sorted_by(op.ordered_col()));
             seen.extend(b.column(1).iter().map(|e| e.region.start));
         }
@@ -154,8 +183,10 @@ mod tests {
     fn sorted_output_respects_batch_granularity() {
         let m = ExecMetrics::new();
         let input = two_col_rows(&[(5, 10), (1, 30), (3, 20)]);
-        let mut op = SortOp::new(Box::new(input), PnId(0), Arc::clone(&m)).with_batch_rows(2);
-        let sizes: Vec<usize> = std::iter::from_fn(|| op.next_batch().map(|b| b.len())).collect();
+        let mut op =
+            SortOp::new(Box::new(input), PnId(0), Arc::clone(&m)).unwrap().with_batch_rows(2);
+        let sizes: Vec<usize> =
+            std::iter::from_fn(|| op.next_batch().unwrap().map(|b| b.len())).collect();
         assert_eq!(sizes, vec![2, 1]);
         assert_eq!(m.snapshot().produced_tuples, 3);
     }
@@ -164,16 +195,27 @@ mod tests {
     fn empty_input_sorts_empty() {
         let m = ExecMetrics::new();
         let input = two_col_rows(&[]);
-        let mut op = SortOp::new(Box::new(input), PnId(0), m.clone());
-        assert!(op.next_batch().is_none());
+        let mut op = SortOp::new(Box::new(input), PnId(0), m.clone()).unwrap();
+        assert!(op.next_batch().unwrap().is_none());
         assert_eq!(m.snapshot().sort_operations, 1);
     }
 
     #[test]
-    #[should_panic(expected = "unbound column")]
-    fn sorting_unbound_column_panics() {
+    fn sorting_unbound_column_is_a_typed_error() {
         let m = ExecMetrics::new();
         let input = two_col_rows(&[(1, 2)]);
-        let _ = SortOp::new(Box::new(input), PnId(9), m);
+        let err = SortOp::new(Box::new(input), PnId(9), m).err().expect("unbound column");
+        assert!(matches!(err, EngineError::InvalidPlan(msg) if msg.contains("unbound column")));
+    }
+
+    #[test]
+    fn memory_budget_stops_materialization() {
+        let m = ExecMetrics::new();
+        let guard = Arc::new(QueryGuard::unlimited().with_memory_budget(16));
+        let input = two_col_rows(&[(5, 10), (1, 30), (3, 20)]).with_batch_rows(1);
+        let mut op =
+            SortOp::new(Box::new(input), PnId(0), m).unwrap().with_batch_rows(1).with_guard(guard);
+        let err = op.next_batch().unwrap_err();
+        assert!(matches!(err, EngineError::Guard { breach: GuardBreach::MemoryBudget { .. }, .. }));
     }
 }

@@ -86,9 +86,10 @@ fn run_join(
         algo,
         Arc::clone(&m),
     )
+    .expect("valid join inputs")
     .with_batch_rows(batch_rows);
     let mut out = vec![];
-    while let Some(b) = op.next_batch() {
+    while let Some(b) = op.next_batch().expect("unguarded in-memory join cannot fail") {
         for row in 0..b.len() {
             out.push((b.entry(0, row).region, b.entry(1, row).region));
         }

@@ -46,17 +46,32 @@ pub fn lint_optimizers(
     let small = pattern.len() <= MAX_CROSS_CHECK_NODES;
 
     let dp_cost = if small {
-        let dp = optimize(pattern, estimates, model, Algorithm::Dp);
-        report
-            .absorb("DP", lint_plan_with(pattern, &dp.plan, PlanExpectations::default(), costing));
-        Some(dp.estimated_cost)
+        match optimize(pattern, estimates, model, Algorithm::Dp) {
+            Ok(dp) => {
+                report.absorb(
+                    "DP",
+                    lint_plan_with(pattern, &dp.plan, PlanExpectations::default(), costing),
+                );
+                Some(dp.estimated_cost)
+            }
+            Err(e) => {
+                report.push(Rule::ErrorSurfaced, "DP", format!("optimizer failed: {e}"));
+                None
+            }
+        }
     } else {
         None
     };
 
     for lookahead in [true, false] {
-        let dpp = optimize(pattern, estimates, model, Algorithm::Dpp { lookahead });
         let name = if lookahead { "DPP" } else { "DPP'" };
+        let dpp = match optimize(pattern, estimates, model, Algorithm::Dpp { lookahead }) {
+            Ok(dpp) => dpp,
+            Err(e) => {
+                report.push(Rule::ErrorSurfaced, name, format!("optimizer failed: {e}"));
+                continue;
+            }
+        };
         report
             .absorb(name, lint_plan_with(pattern, &dpp.plan, PlanExpectations::default(), costing));
         if let Some(dp_cost) = dp_cost {
@@ -80,7 +95,13 @@ pub fn lint_optimizers(
         (Algorithm::Fp, "FP", PlanExpectations { fully_pipelined: true, left_deep: false }),
     ];
     for (alg, name, expect) in heuristics {
-        let h = optimize(pattern, estimates, model, alg);
+        let h = match optimize(pattern, estimates, model, alg) {
+            Ok(h) => h,
+            Err(e) => {
+                report.push(Rule::ErrorSurfaced, name, format!("optimizer failed: {e}"));
+                continue;
+            }
+        };
         report.absorb(name, lint_plan_with(pattern, &h.plan, expect, costing));
         if let Some(dp_cost) = dp_cost {
             if h.estimated_cost < dp_cost - tol(dp_cost) {
@@ -111,9 +132,11 @@ pub fn lint_optimizers(
         }
     }
 
-    let bad =
-        optimize(pattern, estimates, model, Algorithm::WorstRandom { samples: 8, seed: 0xC0FFEE });
-    report.absorb("bad-plan", lint_plan(pattern, &bad.plan));
+    match optimize(pattern, estimates, model, Algorithm::WorstRandom { samples: 8, seed: 0xC0FFEE })
+    {
+        Ok(bad) => report.absorb("bad-plan", lint_plan(pattern, &bad.plan)),
+        Err(e) => report.push(Rule::ErrorSurfaced, "bad-plan", format!("optimizer failed: {e}")),
+    }
 
     if small {
         report.absorb("search", lint_search_space(pattern, estimates, model));

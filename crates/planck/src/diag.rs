@@ -56,11 +56,16 @@ pub enum Rule {
     /// ordering column and their row counts reconcile with the
     /// engine's tuple counters.
     BatchContract,
+    /// PL035: a failing component surfaces a typed error — a storage
+    /// fault that defeats the buffer pool's retries must turn the
+    /// query into an `Err`, never a panic or a silently wrong answer,
+    /// and an optimizer that cannot produce a plan must say so.
+    ErrorSurfaced,
 }
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 22] = [
+    pub const ALL: [Rule; 23] = [
         Rule::BindingPartition,
         Rule::EdgeExists,
         Rule::EdgeOrientation,
@@ -83,6 +88,7 @@ impl Rule {
         Rule::HeuristicNotBelowOptimal,
         Rule::UbCostSane,
         Rule::BatchContract,
+        Rule::ErrorSurfaced,
     ];
 
     /// The stable diagnostic id.
@@ -110,6 +116,7 @@ impl Rule {
             Rule::HeuristicNotBelowOptimal => "PL032",
             Rule::UbCostSane => "PL033",
             Rule::BatchContract => "PL034",
+            Rule::ErrorSurfaced => "PL035",
         }
     }
 
@@ -138,6 +145,7 @@ impl Rule {
             Rule::HeuristicNotBelowOptimal => "heuristic-not-below-optimal",
             Rule::UbCostSane => "ub-cost-sane",
             Rule::BatchContract => "batch-contract",
+            Rule::ErrorSurfaced => "error-surfaced",
         }
     }
 
@@ -243,6 +251,13 @@ impl Rule {
                  batch rows sum to the reported tuple counts; a \
                  violation means an operator broke the contract the \
                  optimizers costed against"
+            }
+            Rule::ErrorSurfaced => {
+                "a database must degrade to a failed query, never a \
+                 crashed process or a silently wrong answer: storage \
+                 faults that survive the buffer pool's retries must \
+                 surface as typed execution errors, and an optimizer \
+                 that cannot plan must report why"
             }
         }
     }

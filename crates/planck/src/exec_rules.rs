@@ -1,4 +1,4 @@
-//! Executed-plan checks (PL034): the one lint that runs a plan.
+//! Executed-plan checks (PL034, PL035): the lints that run a plan.
 //!
 //! The static rules (PL001–PL013) prove a plan *claims* the right
 //! invariants; this module executes it through the vectorized engine
@@ -16,9 +16,9 @@
 //! executor's debug-only ordering checks; this lint is the
 //! release-mode, externally-observable half of the same contract.
 
-use sjos_exec::{execute_batches, BatchedResult, PlanNode};
+use sjos_exec::{execute, execute_batches, BatchedResult, EngineError, PlanNode};
 use sjos_pattern::Pattern;
-use sjos_storage::XmlStore;
+use sjos_storage::{FaultPlan, RetryPolicy, StoreConfig, XmlStore};
 
 use crate::diag::{Report, Rule};
 
@@ -35,6 +35,54 @@ pub fn lint_execution(store: &XmlStore, pattern: &Pattern, plan: &PlanNode) -> R
             report
         }
     }
+}
+
+/// Execute `plan` twice — once against `store`, once against a copy
+/// whose every page read stays corrupt past the retry budget — and
+/// check the engine's error discipline (rule PL035): the clean run
+/// must succeed, and the fault-armed run must report a typed storage
+/// error rather than succeeding silently or failing with something
+/// unrelated. Plans that touch no storage at all (the clean run scans
+/// zero records) are skipped — there is nothing to corrupt.
+pub fn lint_error_surfacing(store: &XmlStore, pattern: &Pattern, plan: &PlanNode) -> Report {
+    let mut report = Report::default();
+    let clean = match execute(store, pattern, plan) {
+        Ok(r) => r,
+        Err(e) => {
+            report.push(
+                Rule::ErrorSurfaced,
+                "root",
+                format!("baseline run failed on a healthy store: {e}"),
+            );
+            return report;
+        }
+    };
+    if clean.metrics.scanned_records == 0 {
+        return report;
+    }
+    let faulty = XmlStore::load_faulty(
+        (**store.document()).clone(),
+        StoreConfig { retry: RetryPolicy::no_backoff(2), ..StoreConfig::default() },
+        FaultPlan { seed: 0x51_05, sticky_corrupt: 1.0, ..FaultPlan::none() },
+    );
+    match execute(&faulty, pattern, plan) {
+        Err(EngineError::Storage(_)) => {}
+        Err(e) => report.push(
+            Rule::ErrorSurfaced,
+            "root",
+            format!("fault-armed run failed, but not with a storage error: {e}"),
+        ),
+        Ok(r) => report.push(
+            Rule::ErrorSurfaced,
+            "root",
+            format!(
+                "fault-armed store produced {} rows with no error — the engine \
+                 swallowed a storage fault",
+                r.len()
+            ),
+        ),
+    }
+    report
 }
 
 /// Lint an already-executed batch stream against the plan that
@@ -142,7 +190,8 @@ mod tests {
         let catalog = Catalog::build(&doc);
         let est = PatternEstimates::new(&catalog, &doc, &pattern);
         let model = CostModel::default();
-        let plan = optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true }).plan;
+        let plan =
+            optimize(&pattern, &est, &model, Algorithm::Dpp { lookahead: true }).unwrap().plan;
         (XmlStore::load(doc), pattern, plan)
     }
 
@@ -161,10 +210,28 @@ mod tests {
             Algorithm::DpapLd,
             Algorithm::Fp,
         ] {
-            let plan = optimize(&pattern, &est, &model, alg).plan;
+            let plan = optimize(&pattern, &est, &model, alg).unwrap().plan;
             let report = lint_execution(&store, &pattern, &plan);
             assert!(report.is_clean(), "{}: {}", alg.name(), report.render());
         }
+    }
+
+    #[test]
+    fn error_surfacing_is_clean_for_the_real_engine() {
+        let (store, pattern, plan) = setup("//a/b/c");
+        let report = lint_error_surfacing(&store, &pattern, &plan);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn error_surfacing_skips_planless_storage() {
+        // A pattern whose tag never occurs scans nothing, so there is
+        // no fault to surface and the lint must not fire.
+        let (store, _, _) = setup("//a/b/c");
+        let pattern = parse_pattern("//zzz").unwrap();
+        let plan = PlanNode::IndexScan { pnode: sjos_pattern::PnId(0) };
+        let report = lint_error_surfacing(&store, &pattern, &plan);
+        assert!(report.is_clean(), "{}", report.render());
     }
 
     #[test]

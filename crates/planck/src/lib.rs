@@ -37,6 +37,6 @@ pub mod status_rules;
 
 pub use cross::{lint_optimizers, lint_search_space, min_pipelined_cost, MAX_CROSS_CHECK_NODES};
 pub use diag::{Diagnostic, Report, Rule};
-pub use exec_rules::{lint_batches, lint_execution};
+pub use exec_rules::{lint_batches, lint_error_surfacing, lint_execution};
 pub use plan_rules::{lint_plan, lint_plan_with, PlanExpectations};
 pub use status_rules::lint_status;

@@ -89,7 +89,7 @@ fn optimizer_plans_lint_clean() {
             Algorithm::Fp,
             Algorithm::WorstRandom { samples: 8, seed: 99 },
         ] {
-            let optimized = optimize(&fx.pattern, &fx.estimates, &fx.model, alg);
+            let optimized = optimize(&fx.pattern, &fx.estimates, &fx.model, alg).unwrap();
             let report = lint_plan_with(
                 &fx.pattern,
                 &optimized.plan,
@@ -194,7 +194,7 @@ fn each_mutation_is_caught_by_its_rule() {
 #[test]
 fn nan_cost_factor_fires_cost_finite() {
     let fx = fixture("//a/b/c");
-    let plan = optimize(&fx.pattern, &fx.estimates, &fx.model, Algorithm::Dp).plan;
+    let plan = optimize(&fx.pattern, &fx.estimates, &fx.model, Algorithm::Dp).unwrap().plan;
     let broken = CostModel::new(CostFactors { f_st: f64::NAN, ..CostFactors::default() });
     let report = lint_plan_with(
         &fx.pattern,
@@ -211,7 +211,7 @@ fn nan_cost_factor_fires_cost_finite() {
 #[test]
 fn negative_cost_factor_fires_cost_monotone() {
     let fx = fixture("//a/b/c");
-    let plan = optimize(&fx.pattern, &fx.estimates, &fx.model, Algorithm::Dp).plan;
+    let plan = optimize(&fx.pattern, &fx.estimates, &fx.model, Algorithm::Dp).unwrap().plan;
     let broken = CostModel::new(CostFactors { f_io: -10.0, f_st: -10.0, ..CostFactors::default() });
     let report = lint_plan_with(
         &fx.pattern,
@@ -228,7 +228,7 @@ fn negative_cost_factor_fires_cost_monotone() {
 #[test]
 fn expectation_rules_are_opt_in() {
     let fx = fixture("//a[./b/c][.//e]");
-    let dp = optimize(&fx.pattern, &fx.estimates, &fx.model, Algorithm::Dp).plan;
+    let dp = optimize(&fx.pattern, &fx.estimates, &fx.model, Algorithm::Dp).unwrap().plan;
     let plain = lint_plan(&fx.pattern, &dp);
     assert!(plain.is_clean(), "{}", plain.render());
     if !dp.is_left_deep() {
@@ -342,7 +342,7 @@ fn cross_checks_clean_on_real_optimizers() {
 fn fp_matches_pipelined_enumeration() {
     for query in QUERIES {
         let fx = fixture(query);
-        let fp = optimize(&fx.pattern, &fx.estimates, &fx.model, Algorithm::Fp);
+        let fp = optimize(&fx.pattern, &fx.estimates, &fx.model, Algorithm::Fp).unwrap();
         let best = min_pipelined_cost(&fx.pattern, &fx.estimates, &fx.model)
             .expect("tree patterns always admit a sort-free plan");
         assert!(

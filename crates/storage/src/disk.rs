@@ -2,22 +2,23 @@
 
 use std::sync::Arc;
 
+use crate::error::StorageError;
 use crate::iostats::IoStats;
 use crate::page::{Page, PageId};
 
-/// Page-granular storage device.
+/// Page-granular storage device. All methods are fallible: real
+/// devices fail, and the fault-injection harness
+/// ([`crate::fault::FaultyDisk`]) exercises exactly these error
+/// paths.
 pub trait DiskManager: Send + Sync {
     /// Read page `id` into a fresh boxed page.
-    ///
-    /// # Panics
-    /// Panics if `id` was never allocated.
-    fn read_page(&self, id: PageId) -> Box<Page>;
+    fn read_page(&self, id: PageId) -> Result<Box<Page>, StorageError>;
 
     /// Write `page` at `id` (must be allocated).
-    fn write_page(&self, id: PageId, page: &Page);
+    fn write_page(&self, id: PageId, page: &Page) -> Result<(), StorageError>;
 
-    /// Allocate a new zeroed page, returning its id.
-    fn allocate_page(&self) -> PageId;
+    /// Allocate a new zeroed (checksum-stamped) page, returning its id.
+    fn allocate_page(&self) -> Result<PageId, StorageError>;
 
     /// Number of allocated pages.
     fn num_pages(&self) -> usize;
@@ -46,27 +47,31 @@ impl InMemoryDisk {
 }
 
 impl DiskManager for InMemoryDisk {
-    fn read_page(&self, id: PageId) -> Box<Page> {
+    fn read_page(&self, id: PageId) -> Result<Box<Page>, StorageError> {
         self.stats.bump_read();
         let pages = self.pages.read();
-        let page =
-            pages.get(id.index()).unwrap_or_else(|| panic!("read of unallocated page {id:?}"));
-        Box::new((**page).clone())
+        let page = pages.get(id.index()).ok_or(StorageError::Unallocated { id, op: "read" })?;
+        Ok(Box::new((**page).clone()))
     }
 
-    fn write_page(&self, id: PageId, page: &Page) {
+    fn write_page(&self, id: PageId, page: &Page) -> Result<(), StorageError> {
         self.stats.bump_write();
         let mut pages = self.pages.write();
         let slot =
-            pages.get_mut(id.index()).unwrap_or_else(|| panic!("write of unallocated page {id:?}"));
+            pages.get_mut(id.index()).ok_or(StorageError::Unallocated { id, op: "write" })?;
         **slot = page.clone();
+        Ok(())
     }
 
-    fn allocate_page(&self) -> PageId {
+    fn allocate_page(&self) -> Result<PageId, StorageError> {
         let mut pages = self.pages.write();
         let id = PageId(pages.len() as u32);
-        pages.push(Page::zeroed());
-        id
+        let mut page = Page::zeroed();
+        // Fresh pages are stamped so any later corruption of them is
+        // detectable; bulk loaders re-stamp after filling them.
+        page.stamp_checksum();
+        pages.push(page);
+        Ok(id)
     }
 
     fn num_pages(&self) -> usize {
@@ -125,42 +130,56 @@ impl FileDisk {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    fn io_err(page: PageId, e: std::io::Error) -> StorageError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StorageError::ShortRead { page }
+        } else {
+            StorageError::Io { page: Some(page), kind: e.kind(), detail: e.to_string() }
+        }
+    }
 }
 
 impl DiskManager for FileDisk {
-    fn read_page(&self, id: PageId) -> Box<Page> {
+    fn read_page(&self, id: PageId) -> Result<Box<Page>, StorageError> {
         use std::io::{Read, Seek, SeekFrom};
-        assert!(id.index() < self.len(), "read of unallocated page {id:?}");
+        if id.index() >= self.len() {
+            return Err(StorageError::Unallocated { id, op: "read" });
+        }
         self.stats.bump_read();
         let mut page = Page::zeroed();
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id.index() as u64 * crate::page::PAGE_SIZE as u64))
-            .expect("seek");
-        file.read_exact(&mut page.data).expect("page read");
-        page
+            .map_err(|e| Self::io_err(id, e))?;
+        file.read_exact(&mut page.data).map_err(|e| Self::io_err(id, e))?;
+        Ok(page)
     }
 
-    fn write_page(&self, id: PageId, page: &Page) {
+    fn write_page(&self, id: PageId, page: &Page) -> Result<(), StorageError> {
         use std::io::{Seek, SeekFrom, Write};
-        assert!(id.index() < self.len(), "write of unallocated page {id:?}");
+        if id.index() >= self.len() {
+            return Err(StorageError::Unallocated { id, op: "write" });
+        }
         self.stats.bump_write();
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id.index() as u64 * crate::page::PAGE_SIZE as u64))
-            .expect("seek");
-        file.write_all(&page.data).expect("page write");
+            .map_err(|e| Self::io_err(id, e))?;
+        file.write_all(&page.data).map_err(|e| Self::io_err(id, e))?;
+        Ok(())
     }
 
-    fn allocate_page(&self) -> PageId {
+    fn allocate_page(&self) -> Result<PageId, StorageError> {
         use std::io::{Seek, SeekFrom, Write};
         let id = PageId(self.pages.fetch_add(1, std::sync::atomic::Ordering::SeqCst));
-        // Extend the file with a zero page so reads of fresh pages
-        // are well-defined.
-        let zero = Page::zeroed();
+        // Extend the file with a stamped zero page so reads of fresh
+        // pages are well-defined and checksum-verifiable.
+        let mut zero = Page::zeroed();
+        zero.stamp_checksum();
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id.index() as u64 * crate::page::PAGE_SIZE as u64))
-            .expect("seek");
-        file.write_all(&zero.data).expect("page extend");
-        id
+            .map_err(|e| Self::io_err(id, e))?;
+        file.write_all(&zero.data).map_err(|e| Self::io_err(id, e))?;
+        Ok(id)
     }
 
     fn num_pages(&self) -> usize {
@@ -179,39 +198,60 @@ mod tests {
     #[test]
     fn allocate_read_write_roundtrip() {
         let d = disk();
-        let id = d.allocate_page();
+        let id = d.allocate_page().unwrap();
         let mut p = Page::zeroed();
         p.write_u32(0, 42);
-        d.write_page(id, &p);
-        let back = d.read_page(id);
+        d.write_page(id, &p).unwrap();
+        let back = d.read_page(id).unwrap();
         assert_eq!(back.read_u32(0), 42);
     }
 
     #[test]
     fn allocation_is_dense() {
         let d = disk();
-        assert_eq!(d.allocate_page(), PageId(0));
-        assert_eq!(d.allocate_page(), PageId(1));
+        assert_eq!(d.allocate_page().unwrap(), PageId(0));
+        assert_eq!(d.allocate_page().unwrap(), PageId(1));
         assert_eq!(d.num_pages(), 2);
+    }
+
+    #[test]
+    fn fresh_pages_are_checksum_stamped() {
+        let d = disk();
+        let id = d.allocate_page().unwrap();
+        let p = d.read_page(id).unwrap();
+        assert!(p.verify_checksum());
+        assert_ne!(p.read_u32(crate::page::CHECKSUM_OFFSET), 0, "stamped, not merely zero");
     }
 
     #[test]
     fn transfers_are_counted() {
         let d = disk();
-        let id = d.allocate_page();
+        let id = d.allocate_page().unwrap();
         let p = Page::zeroed();
-        d.write_page(id, &p);
-        d.read_page(id);
-        d.read_page(id);
+        d.write_page(id, &p).unwrap();
+        d.read_page(id).unwrap();
+        d.read_page(id).unwrap();
         let snap = d.stats().snapshot();
         assert_eq!(snap.disk_writes, 1);
         assert_eq!(snap.disk_reads, 2);
     }
 
     #[test]
-    #[should_panic(expected = "unallocated")]
-    fn reading_unallocated_page_panics() {
-        disk().read_page(PageId(3));
+    fn reading_unallocated_page_is_a_typed_error() {
+        match disk().read_page(PageId(3)) {
+            Err(StorageError::Unallocated { id, op }) => {
+                assert_eq!(id, PageId(3));
+                assert_eq!(op, "read");
+            }
+            other => panic!("expected Unallocated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writing_unallocated_page_is_a_typed_error() {
+        let e = disk().write_page(PageId(9), &Page::zeroed()).unwrap_err();
+        assert!(matches!(e, StorageError::Unallocated { op: "write", .. }));
+        assert!(!e.is_transient(), "caller bug, not retried");
     }
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -226,50 +266,40 @@ mod tests {
         let stats = Arc::new(IoStats::new());
         {
             let d = FileDisk::create(&path, Arc::clone(&stats)).unwrap();
-            let a = d.allocate_page();
-            let b = d.allocate_page();
+            let a = d.allocate_page().unwrap();
+            let b = d.allocate_page().unwrap();
             let mut p = Page::zeroed();
             p.write_u64(0, 0xFEEDFACE);
-            d.write_page(a, &p);
+            d.write_page(a, &p).unwrap();
             p.write_u64(0, 42);
-            d.write_page(b, &p);
-            assert_eq!(d.read_page(a).read_u64(0), 0xFEEDFACE);
+            d.write_page(b, &p).unwrap();
+            assert_eq!(d.read_page(a).unwrap().read_u64(0), 0xFEEDFACE);
             assert_eq!(d.num_pages(), 2);
         }
         // Reopen: data survives the handle.
         let d = FileDisk::open(&path, stats).unwrap();
         assert_eq!(d.num_pages(), 2);
-        assert_eq!(d.read_page(PageId(1)).read_u64(0), 42);
+        assert_eq!(d.read_page(PageId(1)).unwrap().read_u64(0), 42);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn file_disk_fresh_pages_read_zero() {
+    fn file_disk_fresh_pages_verify() {
         let path = temp_path("zero");
         let d = FileDisk::create(&path, Arc::new(IoStats::new())).unwrap();
-        let id = d.allocate_page();
-        assert!(d.read_page(id).data.iter().all(|&b| b == 0));
+        let id = d.allocate_page().unwrap();
+        let p = d.read_page(id).unwrap();
+        assert!(p.verify_checksum());
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    #[should_panic(expected = "unallocated")]
     fn file_disk_rejects_unallocated_reads() {
         let path = temp_path("reject");
         let d = FileDisk::create(&path, Arc::new(IoStats::new())).unwrap();
-        let _cleanup = scopeguard(&path);
-        d.read_page(PageId(0));
-    }
-
-    /// Tiny RAII cleanup so the panicking test still removes its file.
-    fn scopeguard(path: &std::path::Path) -> impl Drop {
-        struct G(std::path::PathBuf);
-        impl Drop for G {
-            fn drop(&mut self) {
-                std::fs::remove_file(&self.0).ok();
-            }
-        }
-        G(path.to_owned())
+        let e = d.read_page(PageId(0)).unwrap_err();
+        assert!(matches!(e, StorageError::Unallocated { .. }));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -277,9 +307,9 @@ mod tests {
         let path = temp_path("stats");
         let stats = Arc::new(IoStats::new());
         let d = FileDisk::create(&path, Arc::clone(&stats)).unwrap();
-        let id = d.allocate_page();
-        d.write_page(id, &Page::zeroed());
-        d.read_page(id);
+        let id = d.allocate_page().unwrap();
+        d.write_page(id, &Page::zeroed()).unwrap();
+        d.read_page(id).unwrap();
         let snap = stats.snapshot();
         assert_eq!(snap.disk_writes, 1);
         assert_eq!(snap.disk_reads, 1);
@@ -293,16 +323,16 @@ mod tests {
         let disk = Arc::new(FileDisk::create(&path, Arc::clone(&stats)).unwrap());
         let ids: Vec<PageId> = (0..4)
             .map(|i| {
-                let id = disk.allocate_page();
+                let id = disk.allocate_page().unwrap();
                 let mut p = Page::zeroed();
                 p.write_u32(0, i);
-                disk.write_page(id, &p);
+                disk.write_page(id, &p).unwrap();
                 id
             })
             .collect();
         let pool = crate::buffer::BufferPool::new(disk, stats, 2);
         for (i, id) in ids.iter().enumerate() {
-            assert_eq!(pool.fetch(*id).read_u32(0), i as u32);
+            assert_eq!(pool.fetch(*id).unwrap().read_u32(0), i as u32);
         }
         std::fs::remove_file(&path).ok();
     }

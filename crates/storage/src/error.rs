@@ -1,0 +1,146 @@
+//! Typed storage-layer errors.
+//!
+//! Every fallible path in this crate — disk I/O, buffer-pool fetches,
+//! page-checksum verification — reports a [`StorageError`] instead of
+//! panicking. The split between *transient* faults (worth retrying:
+//! see [`crate::buffer::RetryPolicy`]) and *permanent* ones (logic or
+//! corruption errors that will not heal) drives the buffer pool's
+//! retry loop.
+
+use std::fmt;
+
+use crate::page::PageId;
+
+/// Anything the storage layer can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id outside the allocated range was read or written —
+    /// always a caller bug, never retried.
+    Unallocated {
+        /// The offending page.
+        id: PageId,
+        /// What was attempted (`"read"` / `"write"`).
+        op: &'static str,
+    },
+    /// An operating-system I/O error (file-backed disks only).
+    Io {
+        /// The page involved, when known.
+        page: Option<PageId>,
+        /// The `std::io` error kind.
+        kind: std::io::ErrorKind,
+        /// The rendered OS error.
+        detail: String,
+    },
+    /// A fault-injection harness made this read fail (see
+    /// [`crate::fault::FaultPlan::transient_read`]).
+    InjectedIo {
+        /// The page whose read was failed.
+        page: PageId,
+    },
+    /// A read returned fewer bytes than a full page.
+    ShortRead {
+        /// The page whose read came up short.
+        page: PageId,
+    },
+    /// A page image failed checksum verification on load.
+    ChecksumMismatch {
+        /// The corrupt page.
+        page: PageId,
+    },
+    /// The buffer pool's retry budget ran out; `last` names the fault
+    /// observed on the final attempt.
+    RetriesExhausted {
+        /// Attempts performed (including the first).
+        attempts: u32,
+        /// The error seen on the last attempt.
+        last: Box<StorageError>,
+    },
+    /// Every buffer-pool frame is pinned — no victim available.
+    PoolExhausted {
+        /// Number of frames in the pool.
+        capacity: usize,
+    },
+}
+
+impl StorageError {
+    /// Whether a retry of the failed operation could plausibly
+    /// succeed. Injected faults, short reads, OS errors, and checksum
+    /// mismatches are retried (a transient corruption heals on
+    /// re-read; a sticky one exhausts the budget and surfaces as
+    /// [`StorageError::RetriesExhausted`]). Unallocated accesses and
+    /// pool exhaustion are deterministic caller-visible states.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::InjectedIo { .. }
+            | StorageError::ShortRead { .. }
+            | StorageError::Io { .. }
+            | StorageError::ChecksumMismatch { .. } => true,
+            StorageError::Unallocated { .. }
+            | StorageError::RetriesExhausted { .. }
+            | StorageError::PoolExhausted { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Unallocated { id, op } => {
+                write!(f, "{op} of unallocated page {id:?}")
+            }
+            StorageError::Io { page, kind, detail } => match page {
+                Some(p) => write!(f, "i/o error on page {p:?} ({kind:?}): {detail}"),
+                None => write!(f, "i/o error ({kind:?}): {detail}"),
+            },
+            StorageError::InjectedIo { page } => {
+                write!(f, "injected transient read failure on page {page:?}")
+            }
+            StorageError::ShortRead { page } => {
+                write!(f, "short read of page {page:?}")
+            }
+            StorageError::ChecksumMismatch { page } => {
+                write!(f, "checksum mismatch on page {page:?}")
+            }
+            StorageError::RetriesExhausted { attempts, last } => {
+                write!(f, "read failed after {attempts} attempts: {last}")
+            }
+            StorageError::PoolExhausted { capacity } => {
+                write!(f, "buffer pool exhausted: all {capacity} frames pinned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io { page: None, kind: e.kind(), detail: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_classification() {
+        assert!(StorageError::InjectedIo { page: PageId(1) }.is_transient());
+        assert!(StorageError::ShortRead { page: PageId(1) }.is_transient());
+        assert!(StorageError::ChecksumMismatch { page: PageId(1) }.is_transient());
+        assert!(!StorageError::Unallocated { id: PageId(1), op: "read" }.is_transient());
+        assert!(!StorageError::PoolExhausted { capacity: 4 }.is_transient());
+        let exhausted = StorageError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(StorageError::ChecksumMismatch { page: PageId(7) }),
+        };
+        assert!(!exhausted.is_transient());
+        assert!(exhausted.to_string().contains("page PageId(7)"));
+    }
+
+    #[test]
+    fn display_names_the_page() {
+        let e = StorageError::InjectedIo { page: PageId(3) };
+        assert!(e.to_string().contains("PageId(3)"));
+    }
+}

@@ -1,0 +1,339 @@
+//! Deterministic fault injection for the storage layer.
+//!
+//! [`FaultyDisk`] wraps any [`DiskManager`] and, once armed, makes a
+//! seeded fraction of physical page reads fail: transiently (an
+//! [`StorageError::InjectedIo`] that succeeds on retry), with a short
+//! read, or with a corrupted page image that the buffer pool's
+//! checksum verification catches. A *sticky* corruption mode poisons
+//! chosen pages permanently, modeling unrecoverable media damage.
+//!
+//! Everything is driven by [`FaultPlan`] — a seed plus per-fault
+//! probabilities — so a chaos run is exactly reproducible from its
+//! plan. The RNG is a hand-rolled SplitMix64 (the workspace carries
+//! no random-number dependency).
+//!
+//! Write and allocate paths pass through untouched: the harness
+//! models a load path that succeeded followed by a degrading read
+//! path, which is why stores arm the disk only *after* bulk load (see
+//! [`crate::store::XmlStore::load_faulty`]).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::disk::DiskManager;
+use crate::error::StorageError;
+use crate::page::{Page, PageId};
+
+/// SplitMix64: tiny, seedable, and statistically fine for picking
+/// which I/Os fail.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One stateless hash draw in `[0, 1)` for (seed, page) pairs —
+/// sticky faults must not depend on read order.
+fn page_draw(seed: u64, page: PageId, salt: u64) -> f64 {
+    let mut rng = SplitMix64::new(seed ^ salt ^ (u64::from(page.0) << 32 | u64::from(page.0)));
+    rng.next_f64()
+}
+
+/// A seeded schedule of injected storage faults.
+///
+/// Probabilities are per *physical read call*; retries draw afresh,
+/// so a transient fault usually heals within the buffer pool's retry
+/// budget while sticky corruption never does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed; two runs with the same plan see the same faults in
+    /// the same order.
+    pub seed: u64,
+    /// Probability a read fails with [`StorageError::InjectedIo`].
+    pub transient_read: f64,
+    /// Probability a read fails with [`StorageError::ShortRead`].
+    pub short_read: f64,
+    /// Probability a read returns a bit-flipped page image (caught by
+    /// checksum verification; heals on re-read).
+    pub corrupt_read: f64,
+    /// Per-page probability the page is *permanently* corrupt: every
+    /// read of it returns a damaged image, exhausting the retry
+    /// budget with [`StorageError::ChecksumMismatch`] as the final
+    /// fault.
+    pub sticky_corrupt: f64,
+}
+
+impl FaultPlan {
+    /// No faults at all (the disk behaves normally even when armed).
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            transient_read: 0.0,
+            short_read: 0.0,
+            corrupt_read: 0.0,
+            sticky_corrupt: 0.0,
+        }
+    }
+
+    /// Mild weather: occasional transient failures and corrupt reads
+    /// that the retry policy should fully absorb.
+    pub fn light(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            transient_read: 0.05,
+            short_read: 0.02,
+            corrupt_read: 0.02,
+            sticky_corrupt: 0.0,
+        }
+    }
+
+    /// Hostile weather: frequent transient faults plus a sprinkling
+    /// of permanently corrupt pages — some queries must fail, and
+    /// they must fail with a typed error.
+    pub fn heavy(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            transient_read: 0.25,
+            short_read: 0.10,
+            corrupt_read: 0.10,
+            sticky_corrupt: 0.02,
+        }
+    }
+}
+
+/// A [`DiskManager`] decorator that injects the faults of a
+/// [`FaultPlan`] into the read path.
+pub struct FaultyDisk {
+    inner: Arc<dyn DiskManager>,
+    plan: Mutex<FaultPlan>,
+    rng: Mutex<SplitMix64>,
+    armed: AtomicBool,
+    injected: AtomicU64,
+}
+
+impl FaultyDisk {
+    /// Wrap `inner`; starts *disarmed* (no faults) so the load path
+    /// runs clean.
+    pub fn new(inner: Arc<dyn DiskManager>, plan: FaultPlan) -> FaultyDisk {
+        FaultyDisk {
+            inner,
+            rng: Mutex::new(SplitMix64::new(plan.seed)),
+            plan: Mutex::new(plan),
+            armed: AtomicBool::new(false),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Start injecting faults.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop injecting faults (reads pass through again).
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Swap in a new plan and reset the RNG and fault counter — lets
+    /// a chaos harness reuse one loaded store across many seeds.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.rng.lock() = SplitMix64::new(plan.seed);
+        *self.plan.lock() = plan;
+        self.injected.store(0, Ordering::SeqCst);
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> FaultPlan {
+        *self.plan.lock()
+    }
+
+    /// Number of faults injected since the last [`FaultyDisk::set_plan`].
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    fn bump(&self) {
+        self.injected.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Flip one payload byte, deterministically per page, leaving the
+    /// stamped checksum in place so verification fails.
+    fn corrupt(page: &mut Page, id: PageId) {
+        // Stay clear of the 8-byte header so the damage hits record
+        // bytes, the checksum stays stale, and `page_record_count`
+        // cannot be driven out of range.
+        let off = 8 + (id.index() * 37) % (crate::page::PAGE_SIZE - 8);
+        page.data[off] ^= 0x5A;
+    }
+}
+
+impl DiskManager for FaultyDisk {
+    fn read_page(&self, id: PageId) -> Result<Box<Page>, StorageError> {
+        if !self.armed.load(Ordering::SeqCst) {
+            return self.inner.read_page(id);
+        }
+        let plan = *self.plan.lock();
+        // Sticky corruption is a property of the page, not the read.
+        if plan.sticky_corrupt > 0.0 && page_draw(plan.seed, id, 0xC0FFEE) < plan.sticky_corrupt {
+            let mut page = self.inner.read_page(id)?;
+            Self::corrupt(&mut page, id);
+            self.bump();
+            return Ok(page);
+        }
+        let draw = self.rng.lock().next_f64();
+        if draw < plan.transient_read {
+            self.bump();
+            return Err(StorageError::InjectedIo { page: id });
+        }
+        if draw < plan.transient_read + plan.short_read {
+            self.bump();
+            return Err(StorageError::ShortRead { page: id });
+        }
+        if draw < plan.transient_read + plan.short_read + plan.corrupt_read {
+            let mut page = self.inner.read_page(id)?;
+            Self::corrupt(&mut page, id);
+            self.bump();
+            return Ok(page);
+        }
+        self.inner.read_page(id)
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> Result<(), StorageError> {
+        self.inner.write_page(id, page)
+    }
+
+    fn allocate_page(&self) -> Result<PageId, StorageError> {
+        self.inner.allocate_page()
+    }
+
+    fn num_pages(&self) -> usize {
+        self.inner.num_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+    use crate::iostats::IoStats;
+
+    fn stamped_disk(npages: usize) -> Arc<InMemoryDisk> {
+        let disk = Arc::new(InMemoryDisk::new(Arc::new(IoStats::new())));
+        for i in 0..npages {
+            let id = disk.allocate_page().unwrap();
+            let mut p = Page::zeroed();
+            p.write_u64(64, i as u64);
+            p.stamp_checksum();
+            disk.write_page(id, &p).unwrap();
+        }
+        disk
+    }
+
+    #[test]
+    fn disarmed_disk_is_transparent() {
+        let faulty = FaultyDisk::new(stamped_disk(4), FaultPlan::heavy(1));
+        for i in 0..4u32 {
+            let p = faulty.read_page(PageId(i)).unwrap();
+            assert!(p.verify_checksum());
+            assert_eq!(p.read_u64(64), u64::from(i));
+        }
+        assert_eq!(faulty.injected(), 0);
+    }
+
+    #[test]
+    fn armed_disk_injects_deterministically() {
+        let run = |seed: u64| {
+            let faulty = FaultyDisk::new(stamped_disk(8), FaultPlan::heavy(seed));
+            faulty.arm();
+            let mut outcomes = Vec::new();
+            for _ in 0..4 {
+                for i in 0..8u32 {
+                    outcomes.push(match faulty.read_page(PageId(i)) {
+                        Ok(p) => {
+                            if p.verify_checksum() {
+                                'o'
+                            } else {
+                                'c'
+                            }
+                        }
+                        Err(StorageError::InjectedIo { .. }) => 't',
+                        Err(StorageError::ShortRead { .. }) => 's',
+                        Err(e) => panic!("unexpected error {e}"),
+                    });
+                }
+            }
+            outcomes
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault sequence");
+        assert_ne!(run(7), run(8), "different seeds diverge");
+        assert!(run(7).iter().any(|&o| o != 'o'), "heavy plan injects something");
+    }
+
+    #[test]
+    fn sticky_pages_fail_every_read() {
+        // Find a seed/page combination that is sticky, then confirm
+        // every read of it is corrupt while the plan is armed.
+        let plan = FaultPlan { sticky_corrupt: 0.3, ..FaultPlan::none() };
+        let faulty = FaultyDisk::new(stamped_disk(16), FaultPlan { seed: 11, ..plan });
+        faulty.arm();
+        let mut sticky = None;
+        for i in 0..16u32 {
+            let p = faulty.read_page(PageId(i)).unwrap();
+            if !p.verify_checksum() {
+                sticky = Some(PageId(i));
+                break;
+            }
+        }
+        let sticky = sticky.expect("with p=0.3 over 16 pages some page is sticky");
+        for _ in 0..5 {
+            let p = faulty.read_page(sticky).unwrap();
+            assert!(!p.verify_checksum(), "sticky corruption never heals");
+        }
+    }
+
+    #[test]
+    fn set_plan_rearms_reproducibly() {
+        let faulty = FaultyDisk::new(stamped_disk(4), FaultPlan::light(3));
+        faulty.arm();
+        let seq = |f: &FaultyDisk| {
+            (0..32).map(|i| f.read_page(PageId(i % 4)).is_ok()).collect::<Vec<_>>()
+        };
+        let a = seq(&faulty);
+        faulty.set_plan(FaultPlan::light(3));
+        let b = seq(&faulty);
+        assert_eq!(a, b, "set_plan resets the RNG stream");
+        assert!(faulty.injected() > 0 || a.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn corruption_spares_the_page_header() {
+        let disk = stamped_disk(1);
+        let clean = disk.read_page(PageId(0)).unwrap();
+        let faulty =
+            FaultyDisk::new(disk, FaultPlan { seed: 1, corrupt_read: 1.0, ..FaultPlan::none() });
+        faulty.arm();
+        let bad = faulty.read_page(PageId(0)).unwrap();
+        assert!(!bad.verify_checksum());
+        assert_eq!(bad.data[..8], clean.data[..8], "header untouched");
+    }
+}

@@ -8,6 +8,7 @@ use std::sync::Arc;
 
 use crate::buffer::BufferPool;
 use crate::disk::DiskManager;
+use crate::error::StorageError;
 use crate::page::{Page, PageId};
 use crate::record::{page_record_count, set_page_record_count, ElementRecord, RECORDS_PER_PAGE};
 
@@ -21,20 +22,25 @@ pub struct HeapFile {
 impl HeapFile {
     /// Bulk-build a heap file by appending `records` to fresh pages on
     /// `disk`. This is the load path; it writes straight to disk,
-    /// bypassing the buffer pool (as bulk loaders do).
-    pub fn bulk_build(disk: &dyn DiskManager, records: &[ElementRecord]) -> HeapFile {
+    /// bypassing the buffer pool (as bulk loaders do). Pages are
+    /// checksum-stamped as written.
+    pub fn bulk_build(
+        disk: &dyn DiskManager,
+        records: &[ElementRecord],
+    ) -> Result<HeapFile, StorageError> {
         let mut pages = Vec::new();
         for chunk in records.chunks(RECORDS_PER_PAGE) {
-            let id = disk.allocate_page();
+            let id = disk.allocate_page()?;
             let mut page = Page::zeroed();
             for (slot, rec) in chunk.iter().enumerate() {
                 rec.encode(&mut page, slot);
             }
             set_page_record_count(&mut page, chunk.len());
-            disk.write_page(id, &page);
+            page.stamp_checksum();
+            disk.write_page(id, &page)?;
             pages.push(id);
         }
-        HeapFile { pages, len: records.len() as u64 }
+        Ok(HeapFile { pages, len: records.len() as u64 })
     }
 
     /// Number of records.
@@ -58,8 +64,10 @@ impl HeapFile {
     }
 
     /// Scan every record through the buffer pool, in append order.
+    /// The iterator yields `Err` once and then fuses if a page read
+    /// fails beyond recovery.
     pub fn scan<'a>(&'a self, pool: &'a BufferPool) -> HeapScan<'a> {
-        HeapScan { file: self, pool, page_idx: 0, slot: 0, current: None }
+        HeapScan { file: self, pool, page_idx: 0, slot: 0, current: None, failed: false }
     }
 }
 
@@ -72,13 +80,15 @@ pub struct HeapScan<'a> {
     /// Decoded records of the current page (small buffer so we don't
     /// hold page pins across iterator steps).
     current: Option<Arc<Vec<ElementRecord>>>,
+    /// Set after yielding an error; the iterator then fuses.
+    failed: bool,
 }
 
 impl HeapScan<'_> {
-    fn load_page(&mut self) -> bool {
+    fn load_page(&mut self) -> Result<bool, StorageError> {
         while self.page_idx < self.file.pages.len() {
             let pid = self.file.pages[self.page_idx];
-            let page = self.pool.fetch(pid);
+            let page = self.pool.fetch(pid)?;
             let n = page_record_count(&page);
             if n == 0 {
                 self.page_idx += 1;
@@ -91,28 +101,36 @@ impl HeapScan<'_> {
             self.pool.stats().bump_records(n as u64);
             self.current = Some(Arc::new(recs));
             self.slot = 0;
-            return true;
+            return Ok(true);
         }
-        false
+        Ok(false)
     }
 }
 
 impl Iterator for HeapScan<'_> {
-    type Item = ElementRecord;
+    type Item = Result<ElementRecord, StorageError>;
 
-    fn next(&mut self) -> Option<ElementRecord> {
+    fn next(&mut self) -> Option<Result<ElementRecord, StorageError>> {
+        if self.failed {
+            return None;
+        }
         loop {
             if let Some(recs) = &self.current {
                 if self.slot < recs.len() {
                     let rec = recs[self.slot];
                     self.slot += 1;
-                    return Some(rec);
+                    return Some(Ok(rec));
                 }
                 self.current = None;
                 self.page_idx += 1;
             }
-            if !self.load_page() {
-                return None;
+            match self.load_page() {
+                Ok(true) => continue,
+                Ok(false) => return None,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
             }
         }
     }
@@ -139,16 +157,20 @@ mod tests {
     fn setup(n: u32) -> (HeapFile, BufferPool) {
         let stats = Arc::new(IoStats::new());
         let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
-        let heap = HeapFile::bulk_build(disk.as_ref(), &records(n));
+        let heap = HeapFile::bulk_build(disk.as_ref(), &records(n)).unwrap();
         let pool = BufferPool::new(disk, stats, 64);
         (heap, pool)
+    }
+
+    fn collect(scan: HeapScan<'_>) -> Vec<ElementRecord> {
+        scan.collect::<Result<Vec<_>, _>>().unwrap()
     }
 
     #[test]
     fn scan_returns_all_records_in_order() {
         let n = RECORDS_PER_PAGE as u32 * 2 + 17;
         let (heap, pool) = setup(n);
-        let got: Vec<ElementRecord> = heap.scan(&pool).collect();
+        let got = collect(heap.scan(&pool));
         assert_eq!(got.len(), n as usize);
         assert_eq!(got, records(n));
     }
@@ -180,5 +202,37 @@ mod tests {
         let after = pool.stats().snapshot();
         assert_eq!(after.since(&mid).disk_reads, 0, "second scan fully cached");
         assert_eq!(after.since(&mid).buffer_hits, 1);
+    }
+
+    #[test]
+    fn bulk_built_pages_are_stamped() {
+        let stats = Arc::new(IoStats::new());
+        let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
+        let heap = HeapFile::bulk_build(disk.as_ref(), &records(10)).unwrap();
+        for pid in heap.page_ids() {
+            let page = disk.read_page(*pid).unwrap();
+            assert!(page.verify_checksum());
+            assert_ne!(page.read_u32(crate::page::CHECKSUM_OFFSET), 0);
+        }
+    }
+
+    #[test]
+    fn scan_surfaces_read_failure_once_then_fuses() {
+        use crate::buffer::RetryPolicy;
+        use crate::fault::{FaultPlan, FaultyDisk};
+        let stats = Arc::new(IoStats::new());
+        let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
+        let heap =
+            HeapFile::bulk_build(disk.as_ref(), &records(RECORDS_PER_PAGE as u32 * 2)).unwrap();
+        let faulty = Arc::new(FaultyDisk::new(
+            disk,
+            FaultPlan { seed: 5, sticky_corrupt: 1.0, ..FaultPlan::none() },
+        ));
+        faulty.arm();
+        let pool = BufferPool::new(faulty as Arc<dyn DiskManager>, stats, 8)
+            .with_retry_policy(RetryPolicy::no_backoff(2));
+        let items: Vec<_> = heap.scan(&pool).collect();
+        assert_eq!(items.len(), 1, "one error, then fused");
+        assert!(matches!(items[0], Err(StorageError::RetriesExhausted { .. })));
     }
 }

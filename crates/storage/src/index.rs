@@ -14,6 +14,7 @@ use sjos_xml::Tag;
 
 use crate::buffer::BufferPool;
 use crate::disk::DiskManager;
+use crate::error::StorageError;
 use crate::heap::HeapFile;
 use crate::page::{Page, PageId};
 use crate::record::{page_record_count, set_page_record_count, ElementRecord, RECORDS_PER_PAGE};
@@ -34,8 +35,12 @@ pub struct Posting {
 impl TagIndex {
     /// Bulk-build from element records already in document order.
     /// Records are partitioned by tag, preserving document order
-    /// within each tag, and written to fresh pages on `disk`.
-    pub fn bulk_build(disk: &dyn DiskManager, records: &[ElementRecord]) -> TagIndex {
+    /// within each tag, and written (checksum-stamped) to fresh pages
+    /// on `disk`.
+    pub fn bulk_build(
+        disk: &dyn DiskManager,
+        records: &[ElementRecord],
+    ) -> Result<TagIndex, StorageError> {
         let mut by_tag: HashMap<Tag, Vec<ElementRecord>> = HashMap::new();
         for rec in records {
             by_tag.entry(rec.tag).or_default().push(*rec);
@@ -52,23 +57,28 @@ impl TagIndex {
             );
             let mut pages = Vec::new();
             for chunk in recs.chunks(RECORDS_PER_PAGE) {
-                let id = disk.allocate_page();
+                let id = disk.allocate_page()?;
                 let mut page = Page::zeroed();
                 for (slot, rec) in chunk.iter().enumerate() {
                     rec.encode(&mut page, slot);
                 }
                 set_page_record_count(&mut page, chunk.len());
-                disk.write_page(id, &page);
+                page.stamp_checksum();
+                disk.write_page(id, &page)?;
                 pages.push(id);
             }
             postings.insert(tag, Posting { pages, count: recs.len() as u64 });
         }
-        TagIndex { postings }
+        Ok(TagIndex { postings })
     }
 
     /// Build from a heap file (reads it through `pool`).
-    pub fn build_from_heap(disk: &dyn DiskManager, pool: &BufferPool, heap: &HeapFile) -> TagIndex {
-        let records: Vec<ElementRecord> = heap.scan(pool).collect();
+    pub fn build_from_heap(
+        disk: &dyn DiskManager,
+        pool: &BufferPool,
+        heap: &HeapFile,
+    ) -> Result<TagIndex, StorageError> {
+        let records: Vec<ElementRecord> = heap.scan(pool).collect::<Result<_, _>>()?;
         Self::bulk_build(disk, &records)
     }
 
@@ -87,7 +97,9 @@ impl TagIndex {
         self.postings.get(&tag).map(|p| p.pages.as_slice()).unwrap_or(&[])
     }
 
-    /// Scan `tag`'s elements in document order through `pool`.
+    /// Scan `tag`'s elements in document order through `pool`. The
+    /// iterator yields `Err` once and then fuses if a page read fails
+    /// beyond recovery.
     pub fn scan<'a>(&'a self, pool: &'a BufferPool, tag: Tag) -> IndexScanIter<'a> {
         IndexScanIter {
             pages: self.pages(tag),
@@ -95,6 +107,7 @@ impl TagIndex {
             page_idx: 0,
             buffered: Vec::new(),
             buf_pos: 0,
+            failed: false,
         }
     }
 }
@@ -106,24 +119,34 @@ pub struct IndexScanIter<'a> {
     page_idx: usize,
     buffered: Vec<ElementRecord>,
     buf_pos: usize,
+    failed: bool,
 }
 
 impl Iterator for IndexScanIter<'_> {
-    type Item = ElementRecord;
+    type Item = Result<ElementRecord, StorageError>;
 
-    fn next(&mut self) -> Option<ElementRecord> {
+    fn next(&mut self) -> Option<Result<ElementRecord, StorageError>> {
+        if self.failed {
+            return None;
+        }
         loop {
             if self.buf_pos < self.buffered.len() {
                 let rec = self.buffered[self.buf_pos];
                 self.buf_pos += 1;
-                return Some(rec);
+                return Some(Ok(rec));
             }
             if self.page_idx >= self.pages.len() {
                 return None;
             }
             let pid = self.pages[self.page_idx];
             self.page_idx += 1;
-            let page = self.pool.fetch(pid);
+            let page = match self.pool.fetch(pid) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            };
             let n = page_record_count(&page);
             self.buffered.clear();
             self.buffered.reserve(n);
@@ -158,16 +181,20 @@ mod tests {
     fn setup(n: u32, tags: u32) -> (TagIndex, BufferPool) {
         let stats = Arc::new(IoStats::new());
         let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
-        let index = TagIndex::bulk_build(disk.as_ref(), &mixed_records(n, tags));
+        let index = TagIndex::bulk_build(disk.as_ref(), &mixed_records(n, tags)).unwrap();
         let pool = BufferPool::new(disk, stats, 128);
         (index, pool)
+    }
+
+    fn collect(iter: IndexScanIter<'_>) -> Vec<ElementRecord> {
+        iter.collect::<Result<Vec<_>, _>>().unwrap()
     }
 
     #[test]
     fn scan_is_docorder_and_tag_pure() {
         let (index, pool) = setup(1000, 3);
         for t in 0..3u32 {
-            let recs: Vec<_> = index.scan(&pool, Tag(t)).collect();
+            let recs = collect(index.scan(&pool, Tag(t)));
             assert!(!recs.is_empty());
             assert!(recs.iter().all(|r| r.tag == Tag(t)));
             assert!(recs.windows(2).all(|w| w[0].region.start < w[1].region.start));
@@ -201,11 +228,30 @@ mod tests {
         let stats = Arc::new(IoStats::new());
         let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
         let records = mixed_records(500, 4);
-        let heap = HeapFile::bulk_build(disk.as_ref(), &records);
+        let heap = HeapFile::bulk_build(disk.as_ref(), &records).unwrap();
         let pool = BufferPool::new(disk.clone(), stats, 64);
-        let index = TagIndex::build_from_heap(disk.as_ref(), &pool, &heap);
+        let index = TagIndex::build_from_heap(disk.as_ref(), &pool, &heap).unwrap();
         for t in 0..4u32 {
             assert_eq!(index.cardinality(Tag(t)), 125);
         }
+    }
+
+    #[test]
+    fn scan_surfaces_read_failure_once_then_fuses() {
+        use crate::buffer::RetryPolicy;
+        use crate::fault::{FaultPlan, FaultyDisk};
+        let stats = Arc::new(IoStats::new());
+        let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
+        let index = TagIndex::bulk_build(disk.as_ref(), &mixed_records(100, 1)).unwrap();
+        let faulty = Arc::new(FaultyDisk::new(
+            disk,
+            FaultPlan { seed: 3, sticky_corrupt: 1.0, ..FaultPlan::none() },
+        ));
+        faulty.arm();
+        let pool = BufferPool::new(faulty as Arc<dyn DiskManager>, stats, 8)
+            .with_retry_policy(RetryPolicy::no_backoff(2));
+        let items: Vec<_> = index.scan(&pool, Tag(0)).collect();
+        assert_eq!(items.len(), 1, "one error, then fused");
+        assert!(matches!(items[0], Err(StorageError::RetriesExhausted { .. })));
     }
 }

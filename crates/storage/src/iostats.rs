@@ -17,6 +17,8 @@ pub struct IoStats {
     pub evictions: AtomicU64,
     /// Records decoded from pages (logical record reads).
     pub record_reads: AtomicU64,
+    /// Page-read attempts beyond the first (buffer-pool retry loop).
+    pub read_retries: AtomicU64,
 }
 
 /// A point-in-time copy of [`IoStats`].
@@ -32,6 +34,8 @@ pub struct IoSnapshot {
     pub evictions: u64,
     /// Records decoded from pages (logical record reads).
     pub record_reads: u64,
+    /// Page-read attempts beyond the first (retries on faults).
+    pub read_retries: u64,
 }
 
 impl IoStats {
@@ -48,6 +52,7 @@ impl IoStats {
             disk_writes: self.disk_writes.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             record_reads: self.record_reads.load(Ordering::Relaxed),
+            read_retries: self.read_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -76,6 +81,11 @@ impl IoStats {
     pub fn bump_records(&self, n: u64) {
         self.record_reads.fetch_add(n, Ordering::Relaxed);
     }
+
+    #[inline]
+    pub(crate) fn bump_retry(&self) {
+        self.read_retries.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl IoSnapshot {
@@ -87,6 +97,7 @@ impl IoSnapshot {
             disk_writes: self.disk_writes.saturating_sub(earlier.disk_writes),
             evictions: self.evictions.saturating_sub(earlier.evictions),
             record_reads: self.record_reads.saturating_sub(earlier.record_reads),
+            read_retries: self.read_retries.saturating_sub(earlier.read_retries),
         }
     }
 

@@ -17,11 +17,19 @@
 //! but *cost realism*: every element an operator touches flows through
 //! the buffer pool, so logical/physical I/O counts and buffer-pool
 //! pressure behave the way the paper's cost model assumes.
+//!
+//! Robustness: every fallible path reports a typed
+//! [`error::StorageError`]; pages carry checksums verified on load;
+//! the pool retries transient faults under a [`buffer::RetryPolicy`];
+//! and [`fault::FaultyDisk`] injects seeded, reproducible faults for
+//! chaos testing.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod buffer;
 pub mod disk;
+pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod index;
 pub mod iostats;
@@ -29,8 +37,10 @@ pub mod page;
 pub mod record;
 pub mod store;
 
-pub use buffer::{BufferPool, PageRef};
+pub use buffer::{BufferPool, PageRef, RetryPolicy};
 pub use disk::{DiskManager, FileDisk, InMemoryDisk};
+pub use error::StorageError;
+pub use fault::{FaultPlan, FaultyDisk};
 pub use heap::HeapFile;
 pub use index::TagIndex;
 pub use iostats::IoStats;

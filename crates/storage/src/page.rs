@@ -3,6 +3,12 @@
 /// Page size in bytes. 8 KiB, SHORE's default.
 pub const PAGE_SIZE: usize = 8192;
 
+/// Byte offset of the page checksum inside the page header. The
+/// record-page header is 8 bytes (`u16` record count at offset 0,
+/// rest reserved — see [`crate::record`]); the checksum claims the
+/// reserved `u32` at bytes 4..8.
+pub const CHECKSUM_OFFSET: usize = 4;
+
 /// Identifier of a page on disk (dense, starting at 0).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
@@ -34,6 +40,7 @@ impl Page {
     /// Read a little-endian u32 at byte offset `off`.
     #[inline]
     pub fn read_u32(&self, off: usize) -> u32 {
+        // Invariant: the slice is exactly 4 bytes, so try_into cannot fail.
         u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
     }
 
@@ -46,6 +53,7 @@ impl Page {
     /// Read a little-endian u16 at byte offset `off`.
     #[inline]
     pub fn read_u16(&self, off: usize) -> u16 {
+        // Invariant: the slice is exactly 2 bytes, so try_into cannot fail.
         u16::from_le_bytes(self.data[off..off + 2].try_into().unwrap())
     }
 
@@ -58,6 +66,7 @@ impl Page {
     /// Read a little-endian u64 at byte offset `off`.
     #[inline]
     pub fn read_u64(&self, off: usize) -> u64 {
+        // Invariant: the slice is exactly 8 bytes, so try_into cannot fail.
         u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
     }
 
@@ -65,6 +74,42 @@ impl Page {
     #[inline]
     pub fn write_u64(&mut self, off: usize, v: u64) {
         self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// FNV-1a over every byte except the checksum field itself,
+    /// mapped away from 0 (0 is reserved to mean "unstamped").
+    pub fn compute_checksum(&self) -> u32 {
+        let mut h: u32 = 0x811c_9dc5;
+        for (i, &b) in self.data.iter().enumerate() {
+            if (CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4).contains(&i) {
+                continue;
+            }
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        }
+        if h == 0 {
+            1
+        } else {
+            h
+        }
+    }
+
+    /// Stamp the page's checksum field from its current contents.
+    /// Done by the bulk loaders at build time and by the buffer pool
+    /// on dirty write-back, so every page image the disk holds
+    /// verifies.
+    pub fn stamp_checksum(&mut self) {
+        let sum = self.compute_checksum();
+        self.write_u32(CHECKSUM_OFFSET, sum);
+    }
+
+    /// Verify the stamped checksum. A stored value of 0 means the
+    /// page was never stamped (raw test pages written straight to a
+    /// disk image) and is accepted; any nonzero stored value must
+    /// match the recomputed one.
+    pub fn verify_checksum(&self) -> bool {
+        let stored = self.read_u32(CHECKSUM_OFFSET);
+        stored == 0 || stored == self.compute_checksum()
     }
 }
 
@@ -106,5 +151,41 @@ mod tests {
     #[test]
     fn page_id_index() {
         assert_eq!(PageId(7).index(), 7);
+    }
+
+    #[test]
+    fn unstamped_pages_verify() {
+        let mut p = Page::zeroed();
+        assert!(p.verify_checksum(), "fresh zero page is unstamped, accepted");
+        p.write_u64(100, 12345);
+        assert!(p.verify_checksum(), "raw writes leave the page unstamped");
+    }
+
+    #[test]
+    fn stamped_pages_verify_and_detect_corruption() {
+        let mut p = Page::zeroed();
+        p.write_u64(64, 0xABCD);
+        p.stamp_checksum();
+        assert!(p.verify_checksum());
+        p.data[64] ^= 0xFF;
+        assert!(!p.verify_checksum(), "bit flip must be detected");
+        p.data[64] ^= 0xFF;
+        assert!(p.verify_checksum(), "restoring the byte restores validity");
+    }
+
+    #[test]
+    fn checksum_is_never_zero() {
+        let p = Page::zeroed();
+        assert_ne!(p.compute_checksum(), 0);
+    }
+
+    #[test]
+    fn restamping_after_mutation_keeps_pages_valid() {
+        let mut p = Page::zeroed();
+        p.stamp_checksum();
+        p.write_u32(200, 7);
+        assert!(!p.verify_checksum());
+        p.stamp_checksum();
+        assert!(p.verify_checksum());
     }
 }

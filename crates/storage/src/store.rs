@@ -4,8 +4,9 @@ use std::sync::Arc;
 
 use sjos_xml::{Document, Tag};
 
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, RetryPolicy};
 use crate::disk::{DiskManager, InMemoryDisk};
+use crate::fault::{FaultPlan, FaultyDisk};
 use crate::heap::HeapFile;
 use crate::index::{IndexScanIter, TagIndex};
 use crate::iostats::IoStats;
@@ -17,11 +18,16 @@ use crate::record::{value_digest, ElementRecord};
 pub struct StoreConfig {
     /// Buffer pool size in bytes (default 16 MiB as in the paper).
     pub buffer_pool_bytes: usize,
+    /// Buffer-pool reaction to transient read faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { buffer_pool_bytes: crate::buffer::DEFAULT_CAPACITY_BYTES }
+        StoreConfig {
+            buffer_pool_bytes: crate::buffer::DEFAULT_CAPACITY_BYTES,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -31,7 +37,9 @@ impl Default for StoreConfig {
 /// query operators read element records only through the pool.
 pub struct XmlStore {
     document: Arc<Document>,
-    disk: Arc<InMemoryDisk>,
+    disk: Arc<dyn DiskManager>,
+    /// Present when the store was built with [`XmlStore::load_faulty`].
+    fault: Option<Arc<FaultyDisk>>,
     pool: BufferPool,
     heap: HeapFile,
     index: TagIndex,
@@ -46,8 +54,30 @@ impl XmlStore {
 
     /// Load `document` with explicit configuration.
     pub fn load_with(document: Document, config: StoreConfig) -> XmlStore {
+        let disk = Arc::new(InMemoryDisk::new(Arc::new(IoStats::new())));
+        Self::build(document, config, disk, None)
+    }
+
+    /// Load `document` onto a fault-injected in-memory disk. The bulk
+    /// load runs clean (the harness arms only afterwards), so faults
+    /// hit exactly the query read path — the scenario the chaos suite
+    /// exercises. Use [`XmlStore::fault`] to re-seed between runs.
+    pub fn load_faulty(document: Document, config: StoreConfig, plan: FaultPlan) -> XmlStore {
+        let inner = Arc::new(InMemoryDisk::new(Arc::new(IoStats::new())));
+        let faulty = Arc::new(FaultyDisk::new(inner, plan));
+        let disk: Arc<dyn DiskManager> = Arc::clone(&faulty) as Arc<dyn DiskManager>;
+        let store = Self::build(document, config, disk, Some(Arc::clone(&faulty)));
+        faulty.arm();
+        store
+    }
+
+    fn build(
+        document: Document,
+        config: StoreConfig,
+        disk: Arc<dyn DiskManager>,
+        fault: Option<Arc<FaultyDisk>>,
+    ) -> XmlStore {
         let stats = Arc::new(IoStats::new());
-        let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
         let records: Vec<ElementRecord> = document
             .nodes()
             .iter()
@@ -59,12 +89,17 @@ impl XmlStore {
                 value_hash: value_digest(&n.text),
             })
             .collect();
-        let heap = HeapFile::bulk_build(disk.as_ref(), &records);
-        let index = TagIndex::bulk_build(disk.as_ref(), &records);
+        // Invariant: the load path writes to an in-memory disk that is
+        // not yet armed for fault injection, so bulk builds cannot
+        // fail here; a failure would be a programming error.
+        let heap = HeapFile::bulk_build(disk.as_ref(), &records)
+            .expect("bulk load on an unarmed in-memory disk is infallible");
+        let index = TagIndex::bulk_build(disk.as_ref(), &records)
+            .expect("bulk load on an unarmed in-memory disk is infallible");
         let frames = (config.buffer_pool_bytes / PAGE_SIZE).max(1);
-        let pool =
-            BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskManager>, Arc::clone(&stats), frames);
-        XmlStore { document: Arc::new(document), disk, pool, heap, index, stats }
+        let pool = BufferPool::new(Arc::clone(&disk), Arc::clone(&stats), frames)
+            .with_retry_policy(config.retry);
+        XmlStore { document: Arc::new(document), disk, fault, pool, heap, index, stats }
     }
 
     /// The stored document.
@@ -80,6 +115,12 @@ impl XmlStore {
     /// The buffer pool.
     pub fn pool(&self) -> &BufferPool {
         &self.pool
+    }
+
+    /// The fault-injection handle, when the store was built with
+    /// [`XmlStore::load_faulty`].
+    pub fn fault(&self) -> Option<&Arc<FaultyDisk>> {
+        self.fault.as_ref()
     }
 
     /// The heap file of all elements in document order.
@@ -127,13 +168,17 @@ mod tests {
     const SAMPLE: &str = "<dept><emp><name>a</name></emp><emp><name>b</name>\
                           <name>c</name></emp></dept>";
 
+    fn collect(iter: IndexScanIter<'_>) -> Vec<ElementRecord> {
+        iter.collect::<Result<Vec<_>, _>>().unwrap()
+    }
+
     #[test]
     fn load_exposes_tag_lists() {
         let doc = Document::parse(SAMPLE).unwrap();
         let store = XmlStore::load(doc);
         let name = store.document().tag("name").unwrap();
         assert_eq!(store.tag_cardinality(name), 3);
-        let recs: Vec<_> = store.scan_tag(name).collect();
+        let recs = collect(store.scan_tag(name));
         assert_eq!(recs.len(), 3);
         assert!(recs.windows(2).all(|w| w[0].region.start < w[1].region.start));
     }
@@ -143,7 +188,7 @@ mod tests {
         let doc = Document::parse(SAMPLE).unwrap();
         let store = XmlStore::load(doc);
         let name = store.document().tag("name").unwrap();
-        let recs: Vec<_> = store.scan_tag(name).collect();
+        let recs = collect(store.scan_tag(name));
         assert_eq!(recs[0].value_hash, value_digest("a"));
         assert_ne!(recs[0].value_hash, recs[1].value_hash);
     }
@@ -153,7 +198,7 @@ mod tests {
         let doc = Document::parse(SAMPLE).unwrap();
         let store = XmlStore::load(doc);
         let emp = store.document().tag("emp").unwrap();
-        for rec in store.scan_tag(emp) {
+        for rec in collect(store.scan_tag(emp)) {
             let node = store.document().node(rec.node);
             assert_eq!(node.tag, emp);
             assert_eq!(node.region, rec.region);
@@ -163,8 +208,32 @@ mod tests {
     #[test]
     fn tiny_pool_still_scans_correctly() {
         let doc = Document::parse(SAMPLE).unwrap();
-        let store = XmlStore::load_with(doc, StoreConfig { buffer_pool_bytes: PAGE_SIZE });
+        let store = XmlStore::load_with(
+            doc,
+            StoreConfig { buffer_pool_bytes: PAGE_SIZE, ..StoreConfig::default() },
+        );
         let name = store.document().tag("name").unwrap();
+        assert_eq!(store.scan_tag(name).count(), 3);
+    }
+
+    #[test]
+    fn faulty_store_loads_clean_then_injects() {
+        let doc = Document::parse(SAMPLE).unwrap();
+        let store = XmlStore::load_faulty(
+            doc,
+            StoreConfig { retry: RetryPolicy::no_backoff(4), ..StoreConfig::default() },
+            FaultPlan { seed: 9, transient_read: 0.5, ..FaultPlan::none() },
+        );
+        let fault = store.fault().expect("fault handle present").clone();
+        let name = store.document().tag("name").unwrap();
+        // Retries absorb 50% transient failures (4 attempts each).
+        let recs: Vec<_> = store.scan_tag(name).collect::<Result<Vec<_>, _>>().unwrap();
+        assert_eq!(recs.len(), 3);
+        assert!(fault.injected() > 0 || store.stats().snapshot().read_retries == 0);
+        // Re-seed and clear the cache: physical reads (and faults)
+        // come back.
+        fault.set_plan(FaultPlan::none());
+        store.pool().reset_cache().unwrap();
         assert_eq!(store.scan_tag(name).count(), 3);
     }
 }

@@ -11,10 +11,10 @@ fn setup(pages: u32, frames: usize) -> (Arc<InMemoryDisk>, Arc<BufferPool>, Vec<
     let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
     let ids: Vec<PageId> = (0..pages)
         .map(|i| {
-            let id = disk.allocate_page();
+            let id = disk.allocate_page().unwrap();
             let mut p = Page::zeroed();
             p.write_u32(0, i * 31 + 7);
-            disk.write_page(id, &p);
+            disk.write_page(id, &p).unwrap();
             id
         })
         .collect();
@@ -33,7 +33,7 @@ fn concurrent_readers_see_consistent_pages() {
             let mut checked = 0u64;
             for round in 0..200u32 {
                 let idx = ((t * 7919 + round * 104729) as usize) % ids.len();
-                let page = pool.fetch(ids[idx]);
+                let page = pool.fetch(ids[idx]).unwrap();
                 assert_eq!(page.read_u32(0), idx as u32 * 31 + 7);
                 checked += 1;
             }
@@ -46,6 +46,8 @@ fn concurrent_readers_see_consistent_pages() {
 
 #[test]
 fn concurrent_writers_and_readers_do_not_corrupt() {
+    // Offsets 12/16: past the 8-byte page header (whose bytes 4..8
+    // hold the checksum the pool stamps on write-back).
     let (disk, pool, ids) = setup(8, 4);
     let writer = {
         let pool = Arc::clone(&pool);
@@ -56,9 +58,10 @@ fn concurrent_writers_and_readers_do_not_corrupt() {
                     pool.with_page_mut(*id, |p| {
                         // Both fields updated together; readers must
                         // never see them torn apart.
-                        p.write_u32(4, round);
-                        p.write_u32(8, round.wrapping_mul(i as u32 + 1));
-                    });
+                        p.write_u32(12, round);
+                        p.write_u32(16, round.wrapping_mul(i as u32 + 1));
+                    })
+                    .unwrap();
                 }
             }
         })
@@ -69,20 +72,22 @@ fn concurrent_writers_and_readers_do_not_corrupt() {
         std::thread::spawn(move || {
             for round in 0..400u32 {
                 let idx = (round as usize * 13) % ids.len();
-                let page = pool.fetch(ids[idx]);
-                let a = page.read_u32(4);
-                let b = page.read_u32(8);
+                let page = pool.fetch(ids[idx]).unwrap();
+                let a = page.read_u32(12);
+                let b = page.read_u32(16);
                 assert_eq!(b, a.wrapping_mul(idx as u32 + 1), "torn page snapshot observed");
             }
         })
     };
     writer.join().unwrap();
     reader.join().unwrap();
-    // After a flush, the disk agrees with the final state.
-    pool.flush_all();
+    // After a flush, the disk agrees with the final state — and the
+    // flushed images carry valid checksums.
+    pool.flush_all().unwrap();
     for (i, id) in ids.iter().enumerate() {
-        let p = disk.read_page(*id);
-        assert_eq!(p.read_u32(4), 100);
-        assert_eq!(p.read_u32(8), 100u32.wrapping_mul(i as u32 + 1));
+        let p = disk.read_page(*id).unwrap();
+        assert_eq!(p.read_u32(12), 100);
+        assert_eq!(p.read_u32(16), 100u32.wrapping_mul(i as u32 + 1));
+        assert!(p.verify_checksum(), "write-back stamped the page");
     }
 }

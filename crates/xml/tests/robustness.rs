@@ -4,6 +4,30 @@
 use proptest::prelude::*;
 use sjos_xml::Document;
 
+/// A well-formed single-root document: nested open tags, a text
+/// payload, matching close tags. ASCII-only so byte surgery below
+/// stays on char boundaries.
+fn build_doc(tag_draws: &[usize], text_draw: usize) -> String {
+    // The vendored proptest shim ignores string regexes, so tag and
+    // text content are drawn as indices into fixed ASCII vocabularies.
+    const TAGS: [&str; 8] = ["a", "bb", "node", "x", "item", "tag", "q", "name"];
+    const TEXTS: [&str; 4] = ["", "t", "some text", "x y z"];
+    let tags: Vec<&str> = tag_draws.iter().map(|&i| TAGS[i % TAGS.len()]).collect();
+    let mut s = String::new();
+    for t in &tags {
+        s.push('<');
+        s.push_str(t);
+        s.push('>');
+    }
+    s.push_str(TEXTS[text_draw % TEXTS.len()]);
+    for t in tags.iter().rev() {
+        s.push_str("</");
+        s.push_str(t);
+        s.push('>');
+    }
+    s
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -45,6 +69,46 @@ proptest! {
             (Ok(a), Ok(b)) => prop_assert_eq!(a.len(), b.len()),
             (Err(a), Err(b)) => prop_assert_eq!(a, b),
             _ => prop_assert!(false, "non-deterministic parse"),
+        }
+    }
+
+    /// Every strict prefix of a well-formed document is an error —
+    /// truncation (a torn file, a short read) must be *reported*, not
+    /// parsed into a silently smaller document. And it must never
+    /// panic.
+    #[test]
+    fn truncated_documents_always_error(
+        tags in prop::collection::vec(0..8usize, 1..6),
+        text in 0..4usize,
+        cut_draw in 0..10_000usize,
+    ) {
+        let full = build_doc(&tags, text);
+        prop_assert!(Document::parse(&full).is_ok(), "fixture must be well-formed: {full}");
+        let cut = 1 + cut_draw % (full.len() - 1); // 1..len: a strict, non-empty prefix
+        let prefix = &full[..cut];
+        prop_assert!(
+            Document::parse(prefix).is_err(),
+            "truncation at byte {cut} parsed silently: {prefix}"
+        );
+    }
+
+    /// Smashing one byte of a well-formed document never panics the
+    /// parser, whatever it turns into.
+    #[test]
+    fn corrupted_documents_never_panic(
+        tags in prop::collection::vec(0..8usize, 1..6),
+        text in 0..4usize,
+        pos_draw in 0..10_000usize,
+        junk_draw in 0..8usize,
+    ) {
+        const JUNK: [u8; 8] = [b'<', b'>', b'&', b'/', b'=', b'"', b'\0', 0xFF];
+        let mut bytes = build_doc(&tags, text).into_bytes();
+        let i = pos_draw % bytes.len();
+        bytes[i] = JUNK[junk_draw];
+        // 0xFF breaks UTF-8; the parser only sees &str, so that case
+        // is rejected before it — everything else must not panic.
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = Document::parse(&s);
         }
     }
 

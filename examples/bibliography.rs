@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    the publication (pattern node 0).
     let mut ordered = sjos::parse_pattern("//inproceedings[./cite]/title")?;
     ordered.set_order_by(PnId(0));
-    let plan = db.optimize(&ordered, Algorithm::Fp);
+    let plan = db.optimize(&ordered, Algorithm::Fp).expect("optimizes");
     let res = db.execute(&ordered, &plan.plan)?;
     println!(
         "\n//inproceedings[./cite]/title order by node 0\n  plan {} (pipelined: {})\n  {} matches, {} sorts",

@@ -70,7 +70,7 @@ fn main() {
         out.optimized.plan
     );
     let t1 = Instant::now();
-    let twig = db.holistic(&twig_pattern);
+    let twig = db.holistic(&twig_pattern).expect("holistic evaluates");
     println!(
         "  TwigStack:         {:>8.2} ms, {} matches — {} path solutions",
         t1.elapsed().as_secs_f64() * 1e3,

@@ -29,7 +29,7 @@ fn main() {
         Algorithm::DpapLd,
         Algorithm::Fp,
     ] {
-        let o = db.optimize(&pattern, alg);
+        let o = db.optimize(&pattern, alg).expect("optimizes");
         println!(
             "{:<10} {:>8} {:>10} {:>10} {:>12.0}",
             alg.name(),
@@ -43,7 +43,7 @@ fn main() {
     println!("\n== the T_e knob (DPAP-EB) ==");
     println!("{:<6} {:>8} {:>12}", "T_e", "plans", "est. cost");
     for te in 1..=pattern.len() {
-        let o = db.optimize(&pattern, Algorithm::DpapEb { te });
+        let o = db.optimize(&pattern, Algorithm::DpapEb { te }).expect("optimizes");
         println!("{:<6} {:>8} {:>12.0}", te, o.stats.plans_considered, o.estimated_cost);
     }
 
@@ -53,7 +53,7 @@ fn main() {
         let doc = fold_document(&base, fold);
         let n = doc.len();
         let db = Database::from_document(doc);
-        let o = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
+        let o = db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).expect("optimizes");
         println!(
             "x{:<7} {:>10}  {} (left-deep: {}, pipelined: {})",
             fold,

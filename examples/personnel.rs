@@ -37,7 +37,7 @@ fn main() {
     for alg in algorithms {
         let t0 = Instant::now();
         let pattern = sjos::parse_pattern(query).unwrap();
-        let optimized = db.optimize(&pattern, alg);
+        let optimized = db.optimize(&pattern, alg).expect("optimizes");
         let opt_ms = t0.elapsed().as_secs_f64() * 1e3;
         let result = db.execute(&pattern, &optimized.plan).unwrap();
         match reference {

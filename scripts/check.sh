@@ -16,6 +16,9 @@ cargo build --workspace --all-targets
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+echo "==> chaos suite (Table-1 queries under 200 fixed-seed fault plans)"
+cargo test --quiet --test chaos
+
 echo "==> cargo bench --no-run (criterion harnesses compile)"
 cargo bench --workspace --no-run --quiet
 

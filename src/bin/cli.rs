@@ -178,16 +178,18 @@ fn command(session: &mut Session, rest: &str) {
         "holistic" => match sjos::parse_pattern(arg) {
             Ok(pattern) => {
                 let t0 = std::time::Instant::now();
-                let res = session.db.holistic(&pattern);
-                println!(
-                    "holistic twig join: {} matches in {:.3} ms \
-                     ({} stream elements, {} path solutions, {} pushes)",
-                    res.metrics.matches,
-                    t0.elapsed().as_secs_f64() * 1e3,
-                    res.metrics.stream_elements,
-                    res.metrics.path_solutions,
-                    res.metrics.stack_pushes,
-                );
+                match session.db.holistic(&pattern) {
+                    Ok(res) => println!(
+                        "holistic twig join: {} matches in {:.3} ms \
+                         ({} stream elements, {} path solutions, {} pushes)",
+                        res.metrics.matches,
+                        t0.elapsed().as_secs_f64() * 1e3,
+                        res.metrics.stream_elements,
+                        res.metrics.path_solutions,
+                        res.metrics.stack_pushes,
+                    ),
+                    Err(e) => println!("holistic evaluation failed: {e}"),
+                }
             }
             Err(e) => println!("{e}"),
         },
@@ -232,7 +234,13 @@ fn run_query(session: &Session, query: &str, mode: Mode) {
             return;
         }
     };
-    let optimized = session.db.optimize(&pattern, session.algorithm);
+    let optimized = match session.db.optimize(&pattern, session.algorithm) {
+        Ok(o) => o,
+        Err(e) => {
+            println!("optimization failed: {e}");
+            return;
+        }
+    };
     let est = session.db.estimates(&pattern);
     println!(
         "-- {} | {:.3} ms | {} plans considered",

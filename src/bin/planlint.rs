@@ -22,7 +22,9 @@ use sjos::core::{mutate_plan, Algorithm, PlanMutation};
 use sjos::datagen::{dblp::dblp, mbench::mbench, pers::pers, GenConfig};
 use sjos::explain::explain;
 use sjos::{Database, Document};
-use sjos_planck::{lint_execution, lint_optimizers, lint_plan_with, PlanExpectations, Report};
+use sjos_planck::{
+    lint_error_surfacing, lint_execution, lint_optimizers, lint_plan_with, PlanExpectations, Report,
+};
 
 /// Fallback document when neither `--xml` nor `--gen` is given: big
 /// enough that the optimizers make non-trivial choices.
@@ -183,7 +185,7 @@ fn run(opts: &Options) -> Result<bool, String> {
     }
 
     let (algorithm, mut expect) = parse_algo(&opts.algo)?;
-    let optimized = db.optimize(&pattern, algorithm);
+    let optimized = db.optimize(&pattern, algorithm).map_err(|e| e.to_string())?;
     let mut plan = optimized.plan;
     if let Some(name) = &opts.mutate {
         let mutation = parse_mutation(name)?;
@@ -214,6 +216,9 @@ fn run(opts: &Options) -> Result<bool, String> {
         // Dynamic half (PL034): run the plan and verify the batch
         // stream delivers what the static rules proved it claims.
         report.absorb("exec", lint_execution(db.store(), &pattern, &plan));
+        // Error discipline (PL035): the same plan on a fault-armed
+        // store copy must fail with a typed storage error.
+        report.absorb("exec", lint_error_surfacing(db.store(), &pattern, &plan));
     }
     if opts.cross {
         let cross = lint_optimizers(&pattern, &estimates, &model);
@@ -241,7 +246,14 @@ fn selftest(db: &Database, pattern: &sjos::Pattern) -> Result<bool, String> {
     ];
     println!("== optimizer plans (expected clean) ==");
     for (alg, expect) in algorithms {
-        let optimized = db.optimize(pattern, alg);
+        let optimized = match db.optimize(pattern, alg) {
+            Ok(o) => o,
+            Err(e) => {
+                println!("  {:<12} FAILED to optimize: {e}", alg.name());
+                ok = false;
+                continue;
+            }
+        };
         let mut report =
             lint_plan_with(pattern, &optimized.plan, expect, Some((&estimates, &model)));
         report.absorb("exec", lint_execution(db.store(), pattern, &optimized.plan));
@@ -253,8 +265,18 @@ fn selftest(db: &Database, pattern: &sjos::Pattern) -> Result<bool, String> {
         }
     }
 
+    println!("== error surfacing (PL035, expected clean) ==");
+    let base =
+        db.optimize(pattern, Algorithm::Dpp { lookahead: true }).map_err(|e| e.to_string())?.plan;
+    let surfacing = lint_error_surfacing(db.store(), pattern, &base);
+    if surfacing.is_clean() {
+        println!("  clean (fault-armed execution reports a typed storage error)");
+    } else {
+        print!("{}", surfacing.render());
+        ok = false;
+    }
+
     println!("== mutated plans (expected caught) ==");
-    let base = db.optimize(pattern, Algorithm::Dpp { lookahead: true }).plan;
     for mutation in PlanMutation::ALL {
         let name = mutation_name(mutation);
         let Some(mutated) = mutate_plan(pattern, &base, mutation) else {

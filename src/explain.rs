@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn explain_renders_every_operator() {
         let (db, pattern) = setup();
-        let optimized = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
+        let optimized = db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).unwrap();
         let est = db.estimates(&pattern);
         let text = explain(&optimized.plan, &pattern, &est, db.cost_model());
         assert_eq!(text.matches("Scan").count(), 3, "three scans expected:\n{text}");
@@ -146,7 +146,7 @@ mod tests {
     fn explain_marks_filtered_scans() {
         let db = Database::from_xml("<e><n>x</n><n>y</n></e>").unwrap();
         let pattern = crate::parse_pattern("//e/n[text()='x']").unwrap();
-        let optimized = db.optimize(&pattern, Algorithm::Fp);
+        let optimized = db.optimize(&pattern, Algorithm::Fp).unwrap();
         let est = db.estimates(&pattern);
         let text = explain(&optimized.plan, &pattern, &est, db.cost_model());
         assert!(text.contains("[filtered]"), "{text}");

@@ -48,8 +48,12 @@ pub use sjos_stats as stats;
 pub use sjos_storage as storage;
 pub use sjos_xml as xml;
 
+pub use sjos_core::OptimizerError;
 pub use sjos_core::{optimize, Algorithm, CostModel, OptimizedPlan};
-pub use sjos_exec::{execute, BatchedResult, PlanNode, QueryResult, TupleBatch, BATCH_ROWS};
+pub use sjos_exec::{
+    execute, BatchedResult, CancelToken, EngineError, GuardBreach, PlanNode, QueryGuard,
+    QueryResult, TupleBatch, BATCH_ROWS,
+};
 pub use sjos_pattern::{parse_pattern, Pattern};
 pub use sjos_stats::{Catalog, PatternEstimates};
 pub use sjos_storage::{StoreConfig, XmlStore};
@@ -62,8 +66,12 @@ pub enum Error {
     Xml(sjos_xml::ParseError),
     /// Query text failed to parse.
     Query(sjos_pattern::PatternParseError),
-    /// A plan failed validation (optimizer/executor mismatch — a bug).
-    Exec(sjos_exec::ExecError),
+    /// The optimizer failed to produce a usable plan (broken
+    /// estimates or an internal search bug).
+    Optimize(sjos_core::OptimizerError),
+    /// Execution failed: invalid plan, storage fault, or a resource-
+    /// guard breach.
+    Exec(sjos_exec::EngineError),
 }
 
 impl fmt::Display for Error {
@@ -71,6 +79,7 @@ impl fmt::Display for Error {
         match self {
             Error::Xml(e) => write!(f, "{e}"),
             Error::Query(e) => write!(f, "{e}"),
+            Error::Optimize(e) => write!(f, "{e}"),
             Error::Exec(e) => write!(f, "{e}"),
         }
     }
@@ -88,8 +97,13 @@ impl From<sjos_pattern::PatternParseError> for Error {
         Error::Query(e)
     }
 }
-impl From<sjos_exec::ExecError> for Error {
-    fn from(e: sjos_exec::ExecError) -> Self {
+impl From<sjos_core::OptimizerError> for Error {
+    fn from(e: sjos_core::OptimizerError) -> Self {
+        Error::Optimize(e)
+    }
+}
+impl From<sjos_exec::EngineError> for Error {
+    fn from(e: sjos_exec::EngineError) -> Self {
         Error::Exec(e)
     }
 }
@@ -160,14 +174,32 @@ impl Database {
     }
 
     /// Optimize a pattern with the given algorithm.
-    pub fn optimize(&self, pattern: &Pattern, algorithm: Algorithm) -> OptimizedPlan {
+    pub fn optimize(
+        &self,
+        pattern: &Pattern,
+        algorithm: Algorithm,
+    ) -> Result<OptimizedPlan, Error> {
         let est = self.estimates(pattern);
-        optimize(pattern, &est, &self.model, algorithm)
+        Ok(optimize(pattern, &est, &self.model, algorithm)?)
     }
 
     /// Execute an explicit plan for a pattern.
     pub fn execute(&self, pattern: &Pattern, plan: &PlanNode) -> Result<QueryResult, Error> {
         Ok(execute(&self.store, pattern, plan)?)
+    }
+
+    /// Execute an explicit plan under a resource [`QueryGuard`]:
+    /// deadline, batch budget, memory budget, and cancellation are
+    /// checked at every batch boundary, so a runaway plan stops
+    /// within one batch of tripping a limit. On a breach the error
+    /// carries the metrics accumulated up to the stop.
+    pub fn execute_guarded(
+        &self,
+        pattern: &Pattern,
+        plan: &PlanNode,
+        guard: &Arc<QueryGuard>,
+    ) -> Result<QueryResult, Error> {
+        Ok(sjos_exec::execute_guarded(&self.store, pattern, plan, guard)?)
     }
 
     /// Execute an explicit plan, keeping the root operator's columnar
@@ -197,8 +229,8 @@ impl Database {
     /// instead of a binary structural join plan — the multi-way
     /// alternative the paper's future work points at. Returns
     /// canonical rows plus twig-level counters.
-    pub fn holistic(&self, pattern: &Pattern) -> sjos_exec::holistic::TwigResult {
-        sjos_exec::holistic::evaluate(&self.store, pattern)
+    pub fn holistic(&self, pattern: &Pattern) -> Result<sjos_exec::holistic::TwigResult, Error> {
+        Ok(sjos_exec::holistic::evaluate(&self.store, pattern)?)
     }
 
     /// Parse, optimize (with DPP — the paper's recommendation for
@@ -210,7 +242,7 @@ impl Database {
     /// Parse, optimize with a chosen algorithm, and execute.
     pub fn query_with(&self, query: &str, algorithm: Algorithm) -> Result<QueryOutcome, Error> {
         let pattern = parse_pattern(query)?;
-        let optimized = self.optimize(&pattern, algorithm);
+        let optimized = self.optimize(&pattern, algorithm)?;
         let result = self.execute(&pattern, &optimized.plan)?;
         Ok(QueryOutcome { optimized, result })
     }

@@ -32,7 +32,7 @@ fn check(db: &Database, query: &str, seed: u64) {
 
     let mut plans: Vec<(String, PlanNode)> = optimizers()
         .into_iter()
-        .map(|alg| (alg.name().to_string(), db.optimize(&pattern, alg).plan))
+        .map(|alg| (alg.name().to_string(), db.optimize(&pattern, alg).unwrap().plan))
         .collect();
     let mut rng = StdRng::seed_from_u64(seed);
     for i in 0..2 {

@@ -1,0 +1,107 @@
+//! Chaos suite: the paper's Table-1 queries executed under hundreds
+//! of seeded storage fault plans.
+//!
+//! The discipline under test is the robustness contract of the whole
+//! stack: a query against a misbehaving disk either *recovers* (the
+//! buffer pool's retries absorb the faults and the answer is
+//! bit-identical to the fault-free run) or *fails with a typed
+//! storage error* — never a panic, never a silently wrong answer.
+
+use sjos::datagen::{paper_queries, pers::pers, DataSet, GenConfig};
+use sjos::storage::{FaultPlan, RetryPolicy, StoreConfig, XmlStore};
+use sjos::{Algorithm, Database, EngineError};
+
+/// Seeds swept per fault preset; two presets per seed gives the suite
+/// its ≥200 distinct seeded fault plans.
+const SEEDS: u64 = 100;
+
+#[test]
+fn table1_queries_survive_two_hundred_seeded_fault_plans() {
+    let doc = pers(GenConfig::sized(1_500));
+    let db = Database::from_document(doc.clone());
+
+    // Optimize each Pers query and record its fault-free answer once.
+    let cases: Vec<_> = paper_queries()
+        .into_iter()
+        .filter(|q| q.dataset == DataSet::Pers)
+        .map(|q| {
+            let pattern = q.pattern();
+            let optimized =
+                db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).expect("optimizes");
+            let baseline =
+                db.execute(&pattern, &optimized.plan).expect("clean run").canonical_rows();
+            (q.id, pattern, optimized.plan, baseline)
+        })
+        .collect();
+    assert!(!cases.is_empty(), "Pers workload must not be empty");
+
+    let store = XmlStore::load_faulty(
+        doc,
+        StoreConfig { retry: RetryPolicy::no_backoff(4), ..StoreConfig::default() },
+        FaultPlan::none(),
+    );
+    let fault = store.fault().expect("faulty store exposes its fault handle").clone();
+
+    let mut plans_run = 0u32;
+    let mut recovered = 0u32;
+    let mut failed = 0u32;
+    for seed in 0..SEEDS {
+        for plan in [FaultPlan::light(seed), FaultPlan::heavy(seed)] {
+            // Quiesce, drop every cached frame so the next queries hit
+            // physical reads again, then arm the seeded plan.
+            fault.set_plan(FaultPlan::none());
+            store.pool().reset_cache().expect("cache reset on a quiet disk");
+            fault.set_plan(plan);
+            plans_run += 1;
+            for (id, pattern, plan_node, baseline) in &cases {
+                match sjos::execute(&store, pattern, plan_node) {
+                    Ok(res) => {
+                        assert_eq!(
+                            &res.canonical_rows(),
+                            baseline,
+                            "{id} diverged from the fault-free answer after recovery \
+                             (seed {seed})"
+                        );
+                        recovered += 1;
+                    }
+                    Err(EngineError::Storage(_)) => failed += 1,
+                    Err(e) => {
+                        panic!("{id}: non-storage failure under disk faults (seed {seed}): {e}")
+                    }
+                }
+            }
+        }
+    }
+
+    assert_eq!(plans_run, 2 * SEEDS as u32);
+    assert!(recovered > 0, "no query ever recovered — retry budget is broken");
+    assert!(failed > 0, "no fault plan ever defeated the retries — injection is broken");
+}
+
+#[test]
+fn sticky_corruption_names_the_page_in_the_error() {
+    let doc = pers(GenConfig::sized(400));
+    let store = XmlStore::load_faulty(
+        doc,
+        StoreConfig { retry: RetryPolicy::no_backoff(2), ..StoreConfig::default() },
+        FaultPlan { seed: 7, sticky_corrupt: 1.0, ..FaultPlan::none() },
+    );
+    let db_doc = store.document().clone();
+    let pattern = sjos::parse_pattern("//manager//employee/name").unwrap();
+    let catalog = sjos::Catalog::build(&db_doc);
+    let est = sjos::PatternEstimates::new(&catalog, &db_doc, &pattern);
+    let optimized = sjos::optimize(
+        &pattern,
+        &est,
+        &sjos::CostModel::default(),
+        Algorithm::Dpp { lookahead: true },
+    )
+    .unwrap();
+    let err = sjos::execute(&store, &pattern, &optimized.plan).unwrap_err();
+    let rendered = err.to_string();
+    assert!(
+        matches!(err, EngineError::Storage(_)),
+        "total corruption must surface as a storage error, got: {rendered}"
+    );
+    assert!(rendered.contains("page"), "error should name the failing page: {rendered}");
+}

@@ -101,7 +101,7 @@ fn order_by_plans_deliver_sorted_output() {
     for target in 0..3u16 {
         pattern.set_order_by(sjos::pattern::PnId(target));
         for alg in [Algorithm::Dpp { lookahead: true }, Algorithm::Fp] {
-            let optimized = db.optimize(&pattern, alg);
+            let optimized = db.optimize(&pattern, alg).unwrap();
             let result = db.execute(&pattern, &optimized.plan).unwrap();
             let col =
                 result.schema.position(sjos::pattern::PnId(target)).expect("order-by column bound");
@@ -127,7 +127,10 @@ fn tiny_buffer_pool_does_not_change_answers() {
     // hold pins across steps).
     let db_small = Database::from_document_with(
         doc,
-        sjos::StoreConfig { buffer_pool_bytes: 2 * sjos::storage::PAGE_SIZE },
+        sjos::StoreConfig {
+            buffer_pool_bytes: 2 * sjos::storage::PAGE_SIZE,
+            ..sjos::StoreConfig::default()
+        },
         sjos::CostModel::default(),
     );
     let got = db_small.query("//manager//employee/name").unwrap();

@@ -23,7 +23,7 @@ fn holistic_matches_binary_plans_on_all_paper_queries() {
             .unwrap()
             .result
             .canonical_rows();
-        let twig = db.holistic(&pattern);
+        let twig = db.holistic(&pattern).unwrap();
         assert_eq!(twig.rows, binary, "{}", q.id);
     }
 }
@@ -42,7 +42,7 @@ fn holistic_matches_naive_on_edge_cases() {
         let pattern = sjos::parse_pattern(query).unwrap();
         let expected = naive::evaluate(&doc, &pattern);
         let db = Database::from_document(doc);
-        let got = db.holistic(&pattern);
+        let got = db.holistic(&pattern).unwrap();
         assert_eq!(got.rows, expected, "{xml} {query}");
     }
 }
@@ -51,7 +51,7 @@ fn holistic_matches_naive_on_edge_cases() {
 fn holistic_path_solution_counts_are_consistent() {
     let db = Database::from_document(pers(GenConfig::sized(3_000)));
     let pattern = sjos::parse_pattern("//manager[.//employee/name][.//department]").unwrap();
-    let res = db.holistic(&pattern);
+    let res = db.holistic(&pattern).unwrap();
     assert_eq!(res.metrics.matches as usize, res.rows.len());
     assert!(res.metrics.path_solutions >= res.metrics.matches.min(1));
     assert!(res.metrics.stream_elements > 0);
@@ -134,7 +134,7 @@ proptest! {
         let pattern = build_pattern(&pat);
         let expected = naive::evaluate(&doc, &pattern);
         let db = Database::from_document(doc);
-        let got = db.holistic(&pattern);
+        let got = db.holistic(&pattern).unwrap();
         prop_assert_eq!(got.rows, expected);
     }
 }

@@ -83,7 +83,7 @@ fn merge_join_in_larger_plans_agrees_with_stack_tree() {
             }
         }
     }
-    let optimized = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
+    let optimized = db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).unwrap();
     let rewritten = rewrite(&optimized.plan);
     let a = db.execute(&pattern, &optimized.plan).unwrap();
     let b = db.execute(&pattern, &rewritten).unwrap();
@@ -102,7 +102,7 @@ fn optimizer_picks_merge_join_when_model_prefers_it() {
     };
     let db = Database::from_document_with(doc, sjos::StoreConfig::default(), expensive_io);
     let pattern = sjos::parse_pattern("//manager[.//employee/name][./department]").unwrap();
-    let optimized = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
+    let optimized = db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).unwrap();
     let mj = count_algo(&optimized.plan, JoinAlgo::MergeJoin);
     let anc = count_algo(&optimized.plan, JoinAlgo::StackTreeAnc);
     assert!(
@@ -123,6 +123,6 @@ fn default_model_prefers_stack_tree_on_large_outputs() {
     // rescan term dominates; the default model should avoid it.
     let pattern =
         sjos::parse_pattern("//manager[.//employee/name][.//manager/department/name]").unwrap();
-    let optimized = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
+    let optimized = db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).unwrap();
     assert_eq!(count_algo(&optimized.plan, JoinAlgo::MergeJoin), 0, "{}", optimized.plan);
 }

@@ -15,9 +15,9 @@ fn dp_and_dpp_find_the_same_cost_on_all_pers_queries() {
     let db = pers_db();
     for q in paper_queries().into_iter().filter(|q| q.dataset == DataSet::Pers) {
         let pattern = q.pattern();
-        let dp = db.optimize(&pattern, Algorithm::Dp);
-        let dpp = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
-        let dpp_nl = db.optimize(&pattern, Algorithm::Dpp { lookahead: false });
+        let dp = db.optimize(&pattern, Algorithm::Dp).unwrap();
+        let dpp = db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).unwrap();
+        let dpp_nl = db.optimize(&pattern, Algorithm::Dpp { lookahead: false }).unwrap();
         let rel = |a: f64, b: f64| (a - b).abs() / a.max(b).max(1.0);
         assert!(rel(dp.estimated_cost, dpp.estimated_cost) < 1e-9, "{}", q.id);
         assert!(rel(dp.estimated_cost, dpp_nl.estimated_cost) < 1e-9, "{}", q.id);
@@ -29,14 +29,14 @@ fn heuristics_never_beat_the_optimum() {
     let db = pers_db();
     for q in paper_queries().into_iter().filter(|q| q.dataset == DataSet::Pers) {
         let pattern = q.pattern();
-        let opt = db.optimize(&pattern, Algorithm::Dp).estimated_cost;
+        let opt = db.optimize(&pattern, Algorithm::Dp).unwrap().estimated_cost;
         for alg in [
             Algorithm::DpapEb { te: 1 },
             Algorithm::DpapEb { te: 3 },
             Algorithm::DpapLd,
             Algorithm::Fp,
         ] {
-            let h = db.optimize(&pattern, alg).estimated_cost;
+            let h = db.optimize(&pattern, alg).unwrap().estimated_cost;
             assert!(h >= opt - 1e-6, "{} via {}: {h} < {opt}", q.id, alg.name());
         }
     }
@@ -47,9 +47,9 @@ fn fp_plans_are_pipelined_ld_plans_are_left_deep() {
     let db = pers_db();
     for q in paper_queries().into_iter().filter(|q| q.dataset == DataSet::Pers) {
         let pattern = q.pattern();
-        let fp = db.optimize(&pattern, Algorithm::Fp);
+        let fp = db.optimize(&pattern, Algorithm::Fp).unwrap();
         assert!(fp.plan.is_fully_pipelined(), "{}: {}", q.id, fp.plan);
-        let ld = db.optimize(&pattern, Algorithm::DpapLd);
+        let ld = db.optimize(&pattern, Algorithm::DpapLd).unwrap();
         assert!(ld.plan.is_left_deep(), "{}: {}", q.id, ld.plan);
     }
 }
@@ -60,7 +60,7 @@ fn search_effort_ordering_on_the_fig1_query() {
     // DPAP-LD > FP in plans considered.
     let db = pers_db();
     let pattern = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").unwrap().pattern();
-    let count = |alg| db.optimize(&pattern, alg).stats.plans_considered;
+    let count = |alg| db.optimize(&pattern, alg).unwrap().stats.plans_considered;
     let dp = count(Algorithm::Dp);
     let dpp_nl = count(Algorithm::Dpp { lookahead: false });
     let dpp = count(Algorithm::Dpp { lookahead: true });
@@ -77,10 +77,10 @@ fn search_effort_ordering_on_the_fig1_query() {
 fn growing_te_converges_to_dpp() {
     let db = pers_db();
     let pattern = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").unwrap().pattern();
-    let opt = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
+    let opt = db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).unwrap();
     let mut costs = vec![];
     for te in 1..=pattern.len() {
-        let eb = db.optimize(&pattern, Algorithm::DpapEb { te });
+        let eb = db.optimize(&pattern, Algorithm::DpapEb { te }).unwrap();
         costs.push(eb.estimated_cost);
     }
     // Larger Te: plan quality is (weakly) increasing towards optimal.
@@ -95,8 +95,9 @@ fn bad_plans_are_worse_than_optimized_plans() {
     let db = pers_db();
     for q in paper_queries().into_iter().filter(|q| q.dataset == DataSet::Pers) {
         let pattern = q.pattern();
-        let opt = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
-        let bad = db.optimize(&pattern, Algorithm::WorstRandom { samples: 64, seed: 2003 });
+        let opt = db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).unwrap();
+        let bad =
+            db.optimize(&pattern, Algorithm::WorstRandom { samples: 64, seed: 2003 }).unwrap();
         assert!(
             bad.estimated_cost >= opt.estimated_cost,
             "{}: bad {} < opt {}",
@@ -116,8 +117,8 @@ fn optimal_plan_executes_faster_than_bad_plan_at_scale() {
     let doc = fold_document(&base, 4);
     let db = Database::from_document(doc);
     let pattern = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").unwrap().pattern();
-    let opt = db.optimize(&pattern, Algorithm::Dpp { lookahead: true });
-    let bad = db.optimize(&pattern, Algorithm::WorstRandom { samples: 64, seed: 7 });
+    let opt = db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).unwrap();
+    let bad = db.optimize(&pattern, Algorithm::WorstRandom { samples: 64, seed: 7 }).unwrap();
     let opt_res = db.execute(&pattern, &opt.plan).unwrap();
     let bad_res = db.execute(&pattern, &bad.plan).unwrap();
     assert_eq!(opt_res.canonical_rows(), bad_res.canonical_rows());

@@ -101,7 +101,7 @@ proptest! {
             Algorithm::DpapLd,
             Algorithm::WorstRandom { samples: 3, seed: 5 },
         ] {
-            let optimized = db.optimize(&pattern, alg);
+            let optimized = db.optimize(&pattern, alg).unwrap();
             let result = db.execute(&pattern, &optimized.plan).unwrap();
             prop_assert_eq!(result.canonical_rows(), expected.clone(), "{}", alg.name());
         }

@@ -25,7 +25,7 @@ fn wildcard_queries_match_naive() {
             let got = db.query_with(q, alg).unwrap().result.canonical_rows();
             assert_eq!(got, expected, "{q} via {}", alg.name());
         }
-        let twig = db.holistic(&pattern);
+        let twig = db.holistic(&pattern).unwrap();
         assert_eq!(twig.rows, expected, "{q} via holistic");
     }
 }
