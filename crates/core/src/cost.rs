@@ -110,7 +110,8 @@ impl CostModel {
     /// Cost of MPMGJN joining |A|=`a` with |B|=`b`, producing `out`
     /// pairs. Charged for both inputs plus a pessimistic rescan term
     /// proportional to the output (nested ancestors revisit their
-    /// descendants' windows — the inefficiency [1] measured against
+    /// descendants' windows — the inefficiency the stack-tree paper
+    /// measured against
     /// this algorithm; we price it at eight stack-op units per pair
     /// so it only wins on merge-dominated, low-output joins).
     pub fn mpmgjn(&self, a: f64, b: f64, out: f64) -> f64 {

@@ -13,6 +13,7 @@ use sjos_exec::PlanNode;
 
 use crate::error::OptimizerError;
 use crate::status::{SearchContext, Status, StatusKey};
+use crate::trace::{SearchTrace, TraceEvent};
 
 /// Run the DP search, returning the optimal plan and its estimated
 /// cost.
@@ -22,9 +23,43 @@ use crate::status::{SearchContext, Status, StatusKey};
 /// any final status — impossible for a well-formed pattern, reported
 /// instead of panicking.
 pub fn optimize_dp(ctx: &mut SearchContext<'_>) -> Result<(PlanNode, f64), OptimizerError> {
+    optimize_dp_traced(ctx, None)
+}
+
+/// [`optimize_dp`] with an optional [`SearchTrace`] recording every
+/// status kept and every duplicate derivation discarded, for offline
+/// admissibility certification. On success the trace's `optimum` is
+/// set to the returned cost.
+///
+/// # Errors
+/// Same as [`optimize_dp`].
+pub fn optimize_dp_traced(
+    ctx: &mut SearchContext<'_>,
+    mut trace: Option<&mut SearchTrace>,
+) -> Result<(PlanNode, f64), OptimizerError> {
+    fn emit(trace: &mut Option<&mut SearchTrace>, event: TraceEvent) {
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(event);
+        }
+    }
+    let tracing = trace.is_some();
     let start = ctx.start_status();
+    if tracing {
+        let event = TraceEvent::Generated {
+            key: start.key(),
+            level: start.level(ctx.pattern),
+            cost: start.cost,
+            ub: ctx.ub_cost(&start),
+        };
+        emit(&mut trace, event);
+    }
     if start.is_final() {
-        return Ok(ctx.finalize(&start));
+        let (plan, cost) = ctx.finalize(&start);
+        emit(&mut trace, TraceEvent::Finalized { key: start.key(), cost });
+        if let Some(t) = trace.as_deref_mut() {
+            t.optimum = cost;
+        }
+        return Ok((plan, cost));
     }
     let mut current: HashMap<StatusKey, Status> = HashMap::new();
     current.insert(start.key(), start);
@@ -33,25 +68,51 @@ pub fn optimize_dp(ctx: &mut SearchContext<'_>) -> Result<(PlanNode, f64), Optim
         let mut next: HashMap<StatusKey, Status> = HashMap::new();
         for status in current.values() {
             for succ in ctx.expand_all_orderings(status) {
-                match next.entry(succ.key()) {
+                // Snapshot the trace fields before the entry consumes
+                // the status; the untraced path pays nothing.
+                let snapshot = if tracing {
+                    Some((succ.key(), succ.level(ctx.pattern), succ.cost, ctx.ub_cost(&succ)))
+                } else {
+                    None
+                };
+                let dominated_by = match next.entry(succ.key()) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
                         if succ.cost < e.get().cost {
                             e.insert(succ);
+                            None
+                        } else {
+                            Some(e.get().cost)
                         }
                     }
                     std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert(succ);
+                        None
                     }
+                };
+                if let Some((key, level, cost, ub)) = snapshot {
+                    let event = match dominated_by {
+                        Some(known) => TraceEvent::Dominated { key, cost, known },
+                        None => TraceEvent::Generated { key, level, cost, ub },
+                    };
+                    emit(&mut trace, event);
                 }
             }
         }
         current = next;
     }
-    let best = current
-        .values()
-        .map(|s| ctx.finalize(s))
+    let mut finalized = Vec::with_capacity(current.len());
+    for status in current.values() {
+        let (plan, cost) = ctx.finalize(status);
+        emit(&mut trace, TraceEvent::Finalized { key: status.key(), cost });
+        finalized.push((plan, cost));
+    }
+    let best = finalized
+        .into_iter()
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .ok_or(OptimizerError::NoPlanFound { algorithm: "DP" })?;
+    if let Some(t) = trace {
+        t.optimum = best.1;
+    }
     debug_assert!(
         best.0.validate(ctx.pattern).is_ok(),
         "DP produced an invalid plan: {}",
@@ -108,6 +169,50 @@ mod tests {
     fn branching_pattern_explores_bushy_space() {
         let (plan, _, _) = run(XML, "//a[./b/c][./d]");
         assert_eq!(plan.join_count(), 3);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_every_level() {
+        let doc = Document::parse(XML).unwrap();
+        let pattern = parse_pattern("//a[./b/c][./d]").unwrap();
+        let catalog = Catalog::build(&doc);
+        let est = PatternEstimates::new(&catalog, &doc, &pattern);
+        let model = CostModel::default();
+        let mut plain_ctx = SearchContext::new(&pattern, &est, &model);
+        let (_, plain_cost) = optimize_dp(&mut plain_ctx).unwrap();
+        let mut ctx = SearchContext::new(&pattern, &est, &model);
+        let mut trace = crate::trace::SearchTrace::new("DP");
+        let (_, cost) = optimize_dp_traced(&mut ctx, Some(&mut trace)).unwrap();
+        assert!((cost - plain_cost).abs() < 1e-9);
+        assert_eq!(trace.optimum, cost);
+        for level in 0..=pattern.edge_count() {
+            assert!(
+                trace.events.iter().any(|e| matches!(
+                    e,
+                    crate::trace::TraceEvent::Generated { level: l, .. } if *l == level
+                )),
+                "no Generated event at level {level}"
+            );
+        }
+        let finals = trace.count(|e| matches!(e, crate::trace::TraceEvent::Finalized { .. }));
+        assert!(finals >= 1);
+        // The text format round-trips the full recorded trace.
+        let reparsed = crate::trace::SearchTrace::from_text(&trace.to_text()).unwrap();
+        assert_eq!(reparsed, trace);
+    }
+
+    #[test]
+    fn traced_single_node_pattern_records_generation_and_finalize() {
+        let doc = Document::parse(XML).unwrap();
+        let pattern = parse_pattern("//b").unwrap();
+        let catalog = Catalog::build(&doc);
+        let est = PatternEstimates::new(&catalog, &doc, &pattern);
+        let model = CostModel::default();
+        let mut ctx = SearchContext::new(&pattern, &est, &model);
+        let mut trace = crate::trace::SearchTrace::new("DP");
+        let (_, cost) = optimize_dp_traced(&mut ctx, Some(&mut trace)).unwrap();
+        assert_eq!(trace.optimum, cost);
+        assert_eq!(trace.events.len(), 2, "{:?}", trace.events);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use sjos_exec::PlanNode;
 
 use crate::error::OptimizerError;
 use crate::status::{SearchContext, Status, StatusKey};
+use crate::trace::{SearchTrace, TraceEvent};
 
 /// Configuration of the pruned search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,9 +90,29 @@ pub fn optimize_dpp(
     ctx: &mut SearchContext<'_>,
     config: DppConfig,
 ) -> Result<(PlanNode, f64), OptimizerError> {
+    optimize_dpp_traced(ctx, config, None)
+}
+
+/// [`optimize_dpp`] with an optional [`SearchTrace`] recording every
+/// search decision for offline admissibility certification.
+///
+/// When DPAP-EB retries with a doubled `T_e`, the trace is cleared at
+/// each attempt so only the successful attempt's decisions remain. On
+/// success the trace's `optimum` is set to the returned cost.
+///
+/// # Errors
+/// Same as [`optimize_dpp`].
+pub fn optimize_dpp_traced(
+    ctx: &mut SearchContext<'_>,
+    config: DppConfig,
+    mut trace: Option<&mut SearchTrace>,
+) -> Result<(PlanNode, f64), OptimizerError> {
     let mut config = config;
     loop {
-        if let Some(found) = optimize_dpp_once(ctx, config) {
+        if let Some(t) = trace.as_deref_mut() {
+            t.clear();
+        }
+        if let Some(found) = optimize_dpp_once(ctx, config, trace.as_deref_mut()) {
             debug_assert!(
                 found.0.validate(ctx.pattern).is_ok(),
                 "DPP produced an invalid plan: {}",
@@ -102,6 +123,9 @@ pub fn optimize_dpp(
                 "DPAP-LD produced a bushy plan: {}",
                 found.0
             );
+            if let Some(t) = trace.as_deref_mut() {
+                t.optimum = found.1;
+            }
             return Ok(found);
         }
         // Only an expansion bound can cut off every path to a final
@@ -114,10 +138,30 @@ pub fn optimize_dpp(
     }
 }
 
-fn optimize_dpp_once(ctx: &mut SearchContext<'_>, config: DppConfig) -> Option<(PlanNode, f64)> {
+/// Record `event` if a trace is attached; the closure keeps event
+/// construction (notably `ub_cost` calls) off the untraced hot path.
+fn emit(trace: &mut Option<&mut SearchTrace>, event: impl FnOnce() -> TraceEvent) {
+    if let Some(t) = trace.as_deref_mut() {
+        t.record(event());
+    }
+}
+
+fn optimize_dpp_once(
+    ctx: &mut SearchContext<'_>,
+    config: DppConfig,
+    mut trace: Option<&mut SearchTrace>,
+) -> Option<(PlanNode, f64)> {
     let start = ctx.start_status();
+    emit(&mut trace, || TraceEvent::Generated {
+        key: start.key(),
+        level: start.level(ctx.pattern),
+        cost: start.cost,
+        ub: ctx.ub_cost(&start),
+    });
     if start.is_final() {
-        return Some(ctx.finalize(&start));
+        let (plan, cost) = ctx.finalize(&start);
+        emit(&mut trace, || TraceEvent::Finalized { key: start.key(), cost });
+        return Some((plan, cost));
     }
     let mut best_cost: HashMap<StatusKey, f64> = HashMap::new();
     let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
@@ -134,15 +178,26 @@ fn optimize_dpp_once(ctx: &mut SearchContext<'_>, config: DppConfig) -> Option<(
         // found after this one was enqueued.
         if let Some(&known) = best_cost.get(&status.key()) {
             if status.cost > known {
+                emit(&mut trace, || TraceEvent::Dominated {
+                    key: status.key(),
+                    cost: status.cost,
+                    known,
+                });
                 continue;
             }
         }
         // Pruning Rule: dead once it cannot beat the best full plan.
         if status.cost >= min_cost {
+            emit(&mut trace, || TraceEvent::Pruned {
+                key: status.key(),
+                cost: status.cost,
+                bound: min_cost,
+            });
             continue;
         }
         if status.is_final() {
             let (plan, cost) = ctx.finalize(&status);
+            emit(&mut trace, || TraceEvent::Finalized { key: status.key(), cost });
             if cost < min_cost {
                 min_cost = cost;
                 best = Some((plan, cost));
@@ -152,23 +207,40 @@ fn optimize_dpp_once(ctx: &mut SearchContext<'_>, config: DppConfig) -> Option<(
         let level = status.level(ctx.pattern);
         if let Some(te) = config.expansion_bound {
             if expansions_per_level[level] >= te {
+                emit(&mut trace, || TraceEvent::BudgetSkipped { level });
                 continue;
             }
             expansions_per_level[level] += 1;
         }
         for succ in ctx.expand(&status, config.left_deep_only) {
             if config.lookahead && !succ.is_final() && ctx.is_deadend(&succ) {
+                emit(&mut trace, || TraceEvent::LookaheadSkipped {
+                    key: succ.key(),
+                    cost: succ.cost,
+                });
                 continue;
             }
             if succ.cost >= min_cost {
+                emit(&mut trace, || TraceEvent::Pruned {
+                    key: succ.key(),
+                    cost: succ.cost,
+                    bound: min_cost,
+                });
                 continue;
             }
             let key = succ.key();
             let known = best_cost.get(&key).copied().unwrap_or(f64::INFINITY);
             if succ.cost >= known {
+                emit(&mut trace, || TraceEvent::Dominated { key, cost: succ.cost, known });
                 continue;
             }
             best_cost.insert(key, succ.cost);
+            emit(&mut trace, || TraceEvent::Generated {
+                key: succ.key(),
+                level: succ.level(ctx.pattern),
+                cost: succ.cost,
+                ub: ctx.ub_cost(&succ),
+            });
             let priority = succ.cost + if config.use_ub_cost { ctx.ub_cost(&succ) } else { 0.0 };
             heap.push(QueueEntry { priority, status: succ });
         }
@@ -300,6 +372,45 @@ mod tests {
             optimize_dpp(&mut ctx, DppConfig { expansion_bound: Some(0), ..DppConfig::default() })
                 .unwrap();
         plan.validate(&pattern).unwrap();
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_prunes_admissibly() {
+        let (pattern, est, model) = ctx_parts(XML, "//a[./b[./c][./e]][./d/e]");
+        let mut plain = SearchContext::new(&pattern, &est, &model);
+        let (_, plain_cost) = optimize_dpp(&mut plain, DppConfig::default()).unwrap();
+        let mut ctx = SearchContext::new(&pattern, &est, &model);
+        let mut trace = SearchTrace::new("DPP");
+        let (_, cost) =
+            optimize_dpp_traced(&mut ctx, DppConfig::default(), Some(&mut trace)).unwrap();
+        assert!((cost - plain_cost).abs() < 1e-9 * plain_cost.max(1.0));
+        assert_eq!(trace.optimum, cost);
+        assert!(trace.count(|e| matches!(e, TraceEvent::Generated { .. })) > 0);
+        assert!(trace.count(|e| matches!(e, TraceEvent::Finalized { .. })) >= 1);
+        // Every prune decision was justified: the discarded status's
+        // sunk cost already met the recorded bound, and no bound was
+        // below the final optimum.
+        for event in &trace.events {
+            if let TraceEvent::Pruned { cost: c, bound, .. } = event {
+                assert!(*c >= *bound - 1e-9, "pruned below bound");
+                assert!(*bound >= trace.optimum - 1e-9, "bound below optimum");
+            }
+        }
+        let reparsed = SearchTrace::from_text(&trace.to_text()).unwrap();
+        assert_eq!(reparsed, trace);
+    }
+
+    #[test]
+    fn traced_eb_retry_keeps_only_final_attempt() {
+        let (pattern, est, model) = ctx_parts(XML, "//a[./b/c][./d/e]");
+        let mut ctx = SearchContext::new(&pattern, &est, &model);
+        let mut trace = SearchTrace::new("DPAP-EB");
+        let config = DppConfig { expansion_bound: Some(0), ..DppConfig::default() };
+        let (plan, cost) = optimize_dpp_traced(&mut ctx, config, Some(&mut trace)).unwrap();
+        plan.validate(&pattern).unwrap();
+        assert_eq!(trace.optimum, cost);
+        // The successful attempt starts from a fresh root generation.
+        assert!(matches!(trace.events.first(), Some(TraceEvent::Generated { level: 0, .. })));
     }
 
     #[test]

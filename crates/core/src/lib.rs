@@ -46,6 +46,7 @@ pub mod fp;
 pub mod optimizer;
 pub mod random;
 pub mod status;
+pub mod trace;
 
 pub use calibrate::{calibrate, CalibrationReport};
 pub use cost::{CostFactors, CostModel, DescCostVariant};
@@ -54,4 +55,5 @@ pub use optimizer::{optimize, Algorithm, OptimizedPlan, OptimizerStats};
 pub use random::{
     mutate_plan, random_plan, random_plan_with, worst_random_plan, PlanMutation, RandomPlanConfig,
 };
-pub use status::{check_status, Cluster, Status, StatusKey, StatusViolation};
+pub use status::{check_key, check_status, Cluster, Status, StatusKey, StatusViolation};
+pub use trace::{SearchTrace, TraceEvent, TraceParseError};

@@ -28,11 +28,14 @@ use crate::cost::CostModel;
 /// the DP-family searches.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StatusViolation {
-    /// A pattern node appears in no cluster or in more than one.
-    NotPartition {
-        /// Node missing from the partition, if any.
+    /// A pattern node appears in no cluster.
+    UnboundNodes {
+        /// Nodes missing from the partition.
         missing: Vec<PnId>,
-        /// Node covered by more than one cluster, if any.
+    },
+    /// A pattern node appears in more than one cluster.
+    OverlappingNodes {
+        /// Nodes covered by more than one cluster.
         duplicated: Vec<PnId>,
     },
     /// A cluster's node set is not connected in the pattern.
@@ -45,46 +48,74 @@ pub enum StatusViolation {
         /// Index into `status.clusters`.
         cluster: usize,
     },
-    /// A cost or cardinality is NaN, infinite, or negative.
-    NonFiniteCost {
-        /// Human-readable description of the offending quantity.
-        detail: String,
+    /// The status's accumulated cost is NaN, infinite, or negative.
+    NonFiniteStatusCost {
+        /// The offending cost value.
+        cost: f64,
+    },
+    /// A cluster's cardinality estimate is NaN, infinite, or negative.
+    NonFiniteClusterCard {
+        /// Index into `status.clusters`.
+        cluster: usize,
+        /// The offending cardinality value.
+        card: f64,
     },
 }
 
 /// Check every structural invariant of `status` against `pattern`,
 /// returning all violations (empty ⇔ the status is valid).
 pub fn check_status(pattern: &Pattern, status: &Status) -> Vec<StatusViolation> {
+    let parts: Vec<(NodeSet, PnId)> =
+        status.clusters.iter().map(|c| (c.nodes, c.ordered_by)).collect();
+    let mut out = check_parts(pattern, &parts);
+    for (i, c) in status.clusters.iter().enumerate() {
+        if !c.card.is_finite() || c.card < 0.0 {
+            out.push(StatusViolation::NonFiniteClusterCard { cluster: i, card: c.card });
+        }
+    }
+    if !status.cost.is_finite() || status.cost < 0.0 {
+        out.push(StatusViolation::NonFiniteStatusCost { cost: status.cost });
+    }
+    out
+}
+
+/// Check the Definition-4 conditions that a bare [`StatusKey`] can
+/// witness — partition, connectivity, and ordering membership; the
+/// cost/cardinality conditions need a full [`Status`]. This is what
+/// lets `planck` certify a recorded search trace: every key in the
+/// trace must itself be a legal status identity.
+pub fn check_key(pattern: &Pattern, key: &StatusKey) -> Vec<StatusViolation> {
+    check_parts(pattern, &key.parts())
+}
+
+fn check_parts(pattern: &Pattern, parts: &[(NodeSet, PnId)]) -> Vec<StatusViolation> {
     let mut out = Vec::new();
     let mut seen = NodeSet::empty();
     let mut duplicated = Vec::new();
-    for (i, c) in status.clusters.iter().enumerate() {
-        for node in c.nodes.iter() {
+    let pattern_nodes = NodeSet::full(pattern.len());
+    for (i, &(nodes, ordered_by)) in parts.iter().enumerate() {
+        for node in nodes.iter() {
             if seen.contains(node) && !duplicated.contains(&node) {
                 duplicated.push(node);
             }
             seen.insert(node);
         }
-        if !pattern.is_connected(c.nodes) {
+        // A set with members outside the pattern is no sub-pattern at
+        // all (possible only for keys parsed from an external trace);
+        // report it as disconnected rather than walking bogus ids.
+        if !nodes.is_subset(pattern_nodes) || !pattern.is_connected(nodes) {
             out.push(StatusViolation::DisconnectedCluster { cluster: i });
         }
-        if !c.nodes.contains(c.ordered_by) {
+        if !nodes.contains(ordered_by) {
             out.push(StatusViolation::OrderedByOutsideCluster { cluster: i });
-        }
-        if !c.card.is_finite() || c.card < 0.0 {
-            out.push(StatusViolation::NonFiniteCost {
-                detail: format!("cluster {i} cardinality is {}", c.card),
-            });
         }
     }
     let missing: Vec<PnId> = pattern.node_ids().filter(|id| !seen.contains(*id)).collect();
-    if !missing.is_empty() || !duplicated.is_empty() {
-        out.push(StatusViolation::NotPartition { missing, duplicated });
+    if !missing.is_empty() {
+        out.push(StatusViolation::UnboundNodes { missing });
     }
-    if !status.cost.is_finite() || status.cost < 0.0 {
-        out.push(StatusViolation::NonFiniteCost {
-            detail: format!("status cost is {}", status.cost),
-        });
+    if !duplicated.is_empty() {
+        out.push(StatusViolation::OverlappingNodes { duplicated });
     }
     out
 }
@@ -117,6 +148,36 @@ pub struct Status {
 /// for cost, and only the cheaper needs to survive.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StatusKey(Vec<(u64, u16)>);
+
+impl StatusKey {
+    /// Rebuild a key from `(cluster nodes, ordered-by)` pairs, e.g.
+    /// when deserializing a recorded search trace. Parts are sorted
+    /// into the canonical order [`Status::key`] uses.
+    pub fn from_parts(mut parts: Vec<(NodeSet, PnId)>) -> StatusKey {
+        parts.sort_by_key(|&(nodes, _)| nodes.0);
+        StatusKey(parts.into_iter().map(|(nodes, by)| (nodes.0, by.0)).collect())
+    }
+
+    /// The `(cluster nodes, ordered-by)` pairs this key encodes. A key
+    /// is a complete status identity: together with the pure
+    /// cardinality function (`cluster_cardinality` is determined by
+    /// the node set alone) it suffices to replay dead-end tests and
+    /// `ubCost` computations without the original [`Status`].
+    pub fn parts(&self) -> Vec<(NodeSet, PnId)> {
+        self.0.iter().map(|&(nodes, by)| (NodeSet(nodes), PnId(by))).collect()
+    }
+
+    /// Number of joins performed (the paper's *level*) for a key of
+    /// `pattern` — total nodes minus remaining clusters.
+    pub fn level(&self, pattern: &Pattern) -> usize {
+        pattern.len().saturating_sub(self.0.len())
+    }
+
+    /// True when the key identifies a final status (one cluster).
+    pub fn is_final(&self) -> bool {
+        self.0.len() == 1
+    }
+}
 
 impl Status {
     /// Canonical identity.
@@ -242,6 +303,61 @@ impl<'a> SearchContext<'a> {
             return false;
         }
         !self.remaining_edges(status).iter().any(|&i| self.joinable(status, i))
+    }
+
+    /// Replay the Definition-6 dead-end test from a bare status key.
+    /// `None` when the key is malformed (a node outside every cluster)
+    /// — certification treats that as a separate violation.
+    pub fn is_deadend_key(&self, key: &StatusKey) -> Option<bool> {
+        let parts = key.parts();
+        if parts.len() <= 1 {
+            return Some(false);
+        }
+        let mut any_joinable = false;
+        for e in self.pattern.edges() {
+            let iu = parts.iter().position(|p| p.0.contains(e.parent))?;
+            let iv = parts.iter().position(|p| p.0.contains(e.child))?;
+            if iu != iv && parts[iu].1 == e.parent && parts[iv].1 == e.child {
+                any_joinable = true;
+            }
+        }
+        Some(!any_joinable)
+    }
+
+    /// Recompute `ubCost` from a bare status key. Cluster
+    /// cardinalities are recomputed through
+    /// [`sjos_stats::PatternEstimates::cluster_cardinality`], which is
+    /// a pure function of the node set — so the value matches what
+    /// [`SearchContext::ub_cost`] produced during the original search.
+    /// `None` when the key is malformed.
+    pub fn ub_cost_key(&self, key: &StatusKey) -> Option<f64> {
+        let parts: Vec<(NodeSet, PnId, f64)> = key
+            .parts()
+            .into_iter()
+            .map(|(nodes, by)| (nodes, by, self.estimates.cluster_cardinality(self.pattern, nodes)))
+            .collect();
+        self.ub_cost_parts(&parts)
+    }
+
+    /// `ubCost` over `(nodes, ordered-by, cardinality)` cluster parts:
+    /// each un-evaluated edge charged as a worst-case join of the
+    /// current clusters plus a re-sort of its output.
+    fn ub_cost_parts(&self, parts: &[(NodeSet, PnId, f64)]) -> Option<f64> {
+        let mut ub = 0.0;
+        for e in self.pattern.edges() {
+            let iu = parts.iter().position(|p| p.0.contains(e.parent))?;
+            let iv = parts.iter().position(|p| p.0.contains(e.child))?;
+            if iu == iv {
+                continue;
+            }
+            let (cu, cv) = (&parts[iu], &parts[iv]);
+            let merged = cu.0.union(cv.0);
+            let out = self.estimates.cluster_cardinality(self.pattern, merged);
+            let join =
+                self.model.stj_anc(cu.2, cv.2, out).max(self.model.stj_desc(cu.2, cv.2, out));
+            ub += join + self.model.sort(out);
+        }
+        Some(ub)
     }
 
     /// All successor statuses of `status` (the paper's `pM(S)`
@@ -416,20 +532,9 @@ impl<'a> SearchContext<'a> {
     /// only to order the DPP priority queue (any estimate preserves
     /// correctness; see paper §3.2).
     pub fn ub_cost(&self, status: &Status) -> f64 {
-        let mut ub = 0.0;
-        for edge_idx in self.remaining_edges(status) {
-            let e = self.pattern.edges()[edge_idx];
-            let cu = &status.clusters[status.cluster_of(e.parent)];
-            let cv = &status.clusters[status.cluster_of(e.child)];
-            let merged = cu.nodes.union(cv.nodes);
-            let out = self.estimates.cluster_cardinality(self.pattern, merged);
-            let join = self
-                .model
-                .stj_anc(cu.card, cv.card, out)
-                .max(self.model.stj_desc(cu.card, cv.card, out));
-            ub += join + self.model.sort(out);
-        }
-        ub
+        let parts: Vec<(NodeSet, PnId, f64)> =
+            status.clusters.iter().map(|c| (c.nodes, c.ordered_by, c.card)).collect();
+        self.ub_cost_parts(&parts).expect("a valid status covers every pattern node")
     }
 
     /// Turn a final status into a complete plan, appending the
@@ -610,6 +715,84 @@ mod tests {
             from_bc_ld.len()
         );
         assert!(from_bc_ld.iter().all(|x| x.is_left_deep()));
+    }
+
+    #[test]
+    fn key_parts_round_trip_and_replay_matches() {
+        let (_d, p, e) = setup(XML, "//a/b/c");
+        let m = CostModel::default();
+        let mut ctx = SearchContext::new(&p, &e, &m);
+        let start = ctx.start_status();
+        let mut frontier = vec![start];
+        let mut seen = 0;
+        while let Some(s) = frontier.pop() {
+            let key = s.key();
+            assert_eq!(StatusKey::from_parts(key.parts()), key, "round trip");
+            assert_eq!(key.level(&p), s.level(&p));
+            assert_eq!(key.is_final(), s.is_final());
+            assert!(check_key(&p, &key).is_empty());
+            assert_eq!(ctx.is_deadend_key(&key), Some(ctx.is_deadend(&s)));
+            let replayed = ctx.ub_cost_key(&key).unwrap();
+            let original = ctx.ub_cost(&s);
+            assert!(
+                (replayed - original).abs() <= 1e-9 * original.max(1.0),
+                "ubCost replay {replayed} != original {original}"
+            );
+            seen += 1;
+            if !s.is_final() {
+                frontier.extend(ctx.expand(&s, false));
+            }
+        }
+        assert!(seen > 4, "walked only {seen} statuses");
+    }
+
+    #[test]
+    fn check_key_rejects_malformed_keys() {
+        let (_d, p, _e) = setup(XML, "//a/b/c");
+        // Node 2 missing, node 0 duplicated.
+        let bad = StatusKey::from_parts(vec![
+            (NodeSet::singleton(PnId(0)), PnId(0)),
+            (NodeSet::singleton(PnId(0)), PnId(0)),
+            (NodeSet::singleton(PnId(1)), PnId(1)),
+        ]);
+        let violations = check_key(&p, &bad);
+        assert!(violations.iter().any(|v| matches!(v, StatusViolation::UnboundNodes { .. })));
+        assert!(violations.iter().any(|v| matches!(v, StatusViolation::OverlappingNodes { .. })));
+
+        // {a, c} without b: disconnected. Ordered by b: outside.
+        let mut ac = NodeSet::singleton(PnId(0));
+        ac.insert(PnId(2));
+        let bad =
+            StatusKey::from_parts(vec![(ac, PnId(1)), (NodeSet::singleton(PnId(1)), PnId(1))]);
+        let violations = check_key(&p, &bad);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, StatusViolation::DisconnectedCluster { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, StatusViolation::OrderedByOutsideCluster { .. })));
+
+        // Out-of-range node: reported, not panicked.
+        let bad = StatusKey::from_parts(vec![(
+            NodeSet::full(3).union(NodeSet::singleton(PnId(40))),
+            PnId(0),
+        )]);
+        assert!(!check_key(&p, &bad).is_empty());
+
+        // Malformed keys fail replay gracefully.
+        let (_d2, p2, e2) = setup(XML, "//a/b/c");
+        let m = CostModel::default();
+        let ctx = SearchContext::new(&p2, &e2, &m);
+        let missing = StatusKey::from_parts(vec![(NodeSet::singleton(PnId(0)), PnId(0))]);
+        // One cluster == final, so deadend is Some(false); ub skips
+        // no-cluster edges — use a two-part key with a hole instead.
+        let holed = StatusKey::from_parts(vec![
+            (NodeSet::singleton(PnId(0)), PnId(0)),
+            (NodeSet::singleton(PnId(1)), PnId(1)),
+        ]);
+        assert_eq!(ctx.is_deadend_key(&holed), None, "node 2 unbound");
+        assert_eq!(ctx.ub_cost_key(&holed), None);
+        let _ = missing;
     }
 
     #[test]

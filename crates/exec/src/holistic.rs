@@ -1,7 +1,7 @@
 //! Holistic twig joins (TwigStack).
 //!
 //! The SJOS paper's future work points at "multi-way structural joins
-//! as in [5]" — Bruno, Koudas & Srivastava's *Holistic Twig Joins*
+//! as in \[5\]" — Bruno, Koudas & Srivastava's *Holistic Twig Joins*
 //! (SIGMOD 2002). Instead of ordering binary structural joins, a
 //! holistic join evaluates the whole twig at once with one linked
 //! stack per pattern node:

@@ -47,5 +47,5 @@ pub use executor::{
 };
 pub use guard::{CancelToken, GuardedOp, QueryGuard};
 pub use metrics::ExecMetrics;
-pub use plan::{JoinAlgo, PlanNode};
+pub use plan::{JoinAlgo, OperatorContract, PlanNode};
 pub use tuple::{Entry, Schema, Tuple, TupleBatch, BATCH_ROWS};

@@ -17,6 +17,35 @@ pub enum JoinAlgo {
     MergeJoin,
 }
 
+impl JoinAlgo {
+    /// True when the variant emits output ordered by the ancestor-side
+    /// join node (Stack-Tree-Anc, MPMGJN); false for the
+    /// descendant-ordered Stack-Tree-Desc.
+    pub fn orders_by_ancestor(self) -> bool {
+        matches!(self, JoinAlgo::StackTreeAnc | JoinAlgo::MergeJoin)
+    }
+}
+
+/// The physical-property contract one operator declares at its
+/// boundaries: the pattern node its output stream is ordered by, the
+/// ordering each input stream must arrive in, and whether the operator
+/// blocks (must consume its whole input before emitting anything).
+///
+/// Contracts are *declarations* — what the operator promises assuming
+/// its inputs honor theirs. The `planck` dataflow pass propagates
+/// proven orderings bottom-up and compares them against these
+/// declarations; a mismatch means the declaration is unfounded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorContract {
+    /// Pattern node the operator's output is ordered by.
+    pub output_order: PnId,
+    /// Required input orderings, one per input in left-to-right order
+    /// (empty for leaves; a sort accepts any input order).
+    pub input_orders: Vec<PnId>,
+    /// True when the operator is blocking (breaks the pipeline).
+    pub blocking: bool,
+}
+
 /// A physical evaluation plan (the paper's rooted labelled tree of
 /// access methods, §2.3).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,12 +100,43 @@ impl PlanNode {
     pub fn ordered_by(&self) -> PnId {
         match self {
             PlanNode::IndexScan { pnode } => *pnode,
-            PlanNode::StructuralJoin { anc, desc, algo, .. } => match algo {
-                JoinAlgo::StackTreeAnc | JoinAlgo::MergeJoin => *anc,
-                JoinAlgo::StackTreeDesc => *desc,
-            },
+            PlanNode::StructuralJoin { anc, desc, algo, .. } => {
+                if algo.orders_by_ancestor() {
+                    *anc
+                } else {
+                    *desc
+                }
+            }
             PlanNode::Sort { by, .. } => *by,
         }
+    }
+
+    /// The order/blocking contract this operator declares, independent
+    /// of whether its subtree can actually honor it. `output_order`
+    /// always equals [`PlanNode::ordered_by`]; `input_orders` states
+    /// what the stack-tree algorithms require of each input (§2.2's
+    /// ordering constraint); `blocking` is true exactly for sorts.
+    pub fn contract(&self) -> OperatorContract {
+        match self {
+            PlanNode::IndexScan { pnode } => {
+                OperatorContract { output_order: *pnode, input_orders: Vec::new(), blocking: false }
+            }
+            PlanNode::StructuralJoin { anc, desc, .. } => OperatorContract {
+                output_order: self.ordered_by(),
+                input_orders: vec![*anc, *desc],
+                blocking: false,
+            },
+            // A sort consumes its input in any order, so it imposes no
+            // input requirement — at the price of blocking.
+            PlanNode::Sort { by, .. } => {
+                OperatorContract { output_order: *by, input_orders: Vec::new(), blocking: true }
+            }
+        }
+    }
+
+    /// True when this node (not its subtree) is a blocking operator.
+    pub fn is_blocking_op(&self) -> bool {
+        matches!(self, PlanNode::Sort { .. })
     }
 
     /// Number of explicit sort operators in the plan. Zero ⇔ the plan
@@ -320,6 +380,40 @@ mod tests {
         p.validate(&pat).unwrap();
         assert!(!p.is_left_deep());
         assert!(p.is_fully_pipelined());
+    }
+
+    #[test]
+    fn contracts_declare_order_and_blocking() {
+        let j = join(scan(0), scan(1), 0, 1, Axis::Child, JoinAlgo::StackTreeAnc);
+        let c = j.contract();
+        assert_eq!(c.output_order, PnId(0));
+        assert_eq!(c.input_orders, vec![PnId(0), PnId(1)]);
+        assert!(!c.blocking);
+        assert!(!j.is_blocking_op());
+
+        let d = join(scan(0), scan(1), 0, 1, Axis::Child, JoinAlgo::StackTreeDesc).contract();
+        assert_eq!(d.output_order, PnId(1));
+
+        let s = PlanNode::Sort { input: Box::new(j), by: PnId(1) };
+        let sc = s.contract();
+        assert_eq!(sc.output_order, PnId(1));
+        assert!(sc.input_orders.is_empty(), "a sort accepts any input order");
+        assert!(sc.blocking);
+        assert!(s.is_blocking_op());
+
+        let leaf = scan(2).contract();
+        assert_eq!(leaf.output_order, PnId(2));
+        assert!(leaf.input_orders.is_empty());
+        assert!(!leaf.blocking);
+    }
+
+    #[test]
+    fn contract_output_order_matches_ordered_by() {
+        for algo in [JoinAlgo::StackTreeAnc, JoinAlgo::StackTreeDesc, JoinAlgo::MergeJoin] {
+            let j = join(scan(0), scan(1), 0, 1, Axis::Child, algo);
+            assert_eq!(j.contract().output_order, j.ordered_by());
+            assert_eq!(algo.orders_by_ancestor(), j.ordered_by() == PnId(0));
+        }
     }
 
     #[test]

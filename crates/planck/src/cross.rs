@@ -147,7 +147,7 @@ pub fn lint_optimizers(
 /// Sweep the status space checking `ubCost` sanity (PL033): finite and
 /// non-negative everywhere, exactly zero at final statuses, and
 /// finalization never *reduces* cost. Visits at most
-/// [`MAX_STATUSES_SWEPT`] distinct statuses.
+/// `MAX_STATUSES_SWEPT` (4096) distinct statuses.
 pub fn lint_search_space(
     pattern: &Pattern,
     estimates: &PatternEstimates,

@@ -1,0 +1,365 @@
+//! Order-property dataflow over the plan IR (rules PL040–PL043).
+//!
+//! An abstract interpreter for physical plans: each operator's output
+//! stream is described by a point in a small property lattice —
+//! provably-sorted-by(node), duplicate-free, document-order,
+//! blocking-free — and per-operator *transfer functions* propagate
+//! those facts bottom-up from the scans. Where
+//! [`crate::plan_rules::lint_plan`] checks what each operator
+//! *declares* ([`sjos_exec::OperatorContract`]), this pass checks what
+//! the tree can *prove*: a declaration is only as good as the facts
+//! beneath it.
+//!
+//! From the fixpoint the pass emits:
+//!
+//! * **PL040** `redundant-sort` — a [`PlanNode::Sort`] whose input is
+//!   already proven sorted by the requested node (correct but
+//!   wasteful: the only warning-severity rule);
+//! * **PL041** `unsorted-merge-input` — a stack-tree or merge join
+//!   consuming a stream not provably sorted by the node it keys on;
+//! * **PL042** `static-non-blocking` — a plan claimed fully-pipelined
+//!   (FP output) that the pass cannot prove pipeline-safe; a clean
+//!   report is a static proof of Theorem 3.1's sort-freeness, leaving
+//!   the dynamic batch check (PL034) as a cross-check;
+//! * **PL043** `order-contract-mismatch` — an operator's declared
+//!   output ordering that the inferred facts cannot substantiate.
+
+use sjos_exec::PlanNode;
+use sjos_pattern::{Pattern, PnId};
+
+use crate::diag::{Report, Rule};
+use crate::plan_rules::PlanExpectations;
+
+/// What the dataflow pass can prove about one stream's ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderFact {
+    /// Proven sorted by this pattern node's document position.
+    Sorted(PnId),
+    /// No ordering provable — the lattice's top element.
+    Unknown,
+}
+
+impl OrderFact {
+    /// True when the fact proves the stream sorted by `node`.
+    pub fn proves(self, node: PnId) -> bool {
+        self == OrderFact::Sorted(node)
+    }
+}
+
+/// Inferred physical properties of one operator's output stream — the
+/// abstract value the transfer functions propagate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanProperties {
+    /// Proven output ordering.
+    pub order: OrderFact,
+    /// No two output tuples are identical (each pattern node bound at
+    /// most once below this operator).
+    pub duplicate_free: bool,
+    /// The ordering column's values appear in document order — true
+    /// for scans and sorts by construction, preserved by joins whose
+    /// ordering side delivers it.
+    pub document_order: bool,
+    /// The subtree contains no blocking operator.
+    pub blocking_free: bool,
+}
+
+/// Result of the dataflow pass over one plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataflowAnalysis {
+    /// Properties proven for the root output stream.
+    pub root: PlanProperties,
+    /// The pass *proved* the plan pipeline-safe: no blocking operator
+    /// anywhere, every join input's ordering requirement discharged,
+    /// and the root's declared ordering substantiated.
+    pub proved_pipelined: bool,
+    /// PL040–PL043 diagnostics.
+    pub report: Report,
+}
+
+/// Run the dataflow pass and return the full analysis.
+pub fn analyze_plan(
+    pattern: &Pattern,
+    plan: &PlanNode,
+    expect: PlanExpectations,
+) -> DataflowAnalysis {
+    let mut report = Report::default();
+    let root = transfer(plan, "root", &mut report);
+
+    let declared = plan.ordered_by();
+    if !root.order.proves(declared) {
+        let label = if declared.index() < pattern.len() {
+            format!("{} ({declared:?})", pattern.node(declared).tag)
+        } else {
+            format!("{declared:?}")
+        };
+        report.push(
+            Rule::OrderContractMismatch,
+            "root",
+            format!(
+                "plan declares output ordered by {label}, but dataflow proves {:?}",
+                root.order
+            ),
+        );
+    }
+
+    let proved_pipelined = root.blocking_free
+        && !report.violates(Rule::UnsortedMergeInput)
+        && !report.violates(Rule::OrderContractMismatch);
+    if expect.fully_pipelined && !proved_pipelined {
+        report.push(
+            Rule::StaticNonBlocking,
+            "root",
+            if root.blocking_free {
+                "claimed fully-pipelined plan has order facts the dataflow pass cannot prove"
+                    .to_string()
+            } else {
+                "claimed fully-pipelined plan contains a blocking operator".to_string()
+            },
+        );
+    }
+
+    DataflowAnalysis { root, proved_pipelined, report }
+}
+
+/// Run the dataflow pass, keeping only the diagnostics.
+pub fn lint_dataflow(pattern: &Pattern, plan: &PlanNode, expect: PlanExpectations) -> Report {
+    analyze_plan(pattern, plan, expect).report
+}
+
+/// The lattice point a holistic twig join (TwigStack-style) would
+/// deliver for the whole `pattern`: root-ordered, duplicate-free,
+/// document-order, non-blocking. No plan operator produces it today;
+/// it documents the transfer function a holistic operator would get
+/// and anchors the comparison with binary stack-tree plans.
+pub fn holistic_properties(pattern: &Pattern) -> PlanProperties {
+    PlanProperties {
+        order: OrderFact::Sorted(pattern.root()),
+        duplicate_free: true,
+        document_order: true,
+        blocking_free: true,
+    }
+}
+
+/// Per-operator transfer function: fold the children's properties into
+/// this operator's, emitting diagnostics where a requirement cannot be
+/// discharged.
+fn transfer(plan: &PlanNode, path: &str, report: &mut Report) -> PlanProperties {
+    match plan {
+        // A tag-index scan streams one binding list in document order:
+        // sorted by its own node, no duplicates, nothing blocking.
+        PlanNode::IndexScan { pnode } => PlanProperties {
+            order: OrderFact::Sorted(*pnode),
+            duplicate_free: true,
+            document_order: true,
+            blocking_free: true,
+        },
+        // A sort *establishes* order by `by` whatever arrives — at the
+        // price of blocking. If the input was already proven in that
+        // order the sort is redundant (PL040); if `by` is a column the
+        // input does not even bind, the declared output ordering is
+        // unfounded (PL043).
+        PlanNode::Sort { input, by } => {
+            let inner = transfer(input, &format!("{path}.in"), report);
+            if !input.bound_nodes().contains(by) {
+                report.push(
+                    Rule::OrderContractMismatch,
+                    path,
+                    format!(
+                        "sort declares output ordered by {by:?}, which its input does not bind"
+                    ),
+                );
+                return PlanProperties {
+                    order: OrderFact::Unknown,
+                    duplicate_free: inner.duplicate_free,
+                    document_order: false,
+                    blocking_free: false,
+                };
+            }
+            if inner.order.proves(*by) {
+                report.push(
+                    Rule::RedundantSort,
+                    path,
+                    format!(
+                        "input is already proven sorted by {by:?}; this sort only blocks the \
+                         pipeline"
+                    ),
+                );
+            }
+            PlanProperties {
+                order: OrderFact::Sorted(*by),
+                duplicate_free: inner.duplicate_free,
+                document_order: true,
+                blocking_free: false,
+            }
+        }
+        // Stack-tree and merge joins require each input sorted by its
+        // join node (§2.2); only then is the declared output order
+        // provable. The ordering side's document-order fact carries
+        // through; duplicate-freedom needs both inputs duplicate-free
+        // and disjoint.
+        PlanNode::StructuralJoin { left, right, anc, desc, algo, .. } => {
+            let l = transfer(left, &format!("{path}.left"), report);
+            let r = transfer(right, &format!("{path}.right"), report);
+            let mut proven = true;
+            if !l.order.proves(*anc) {
+                report.push(
+                    Rule::UnsortedMergeInput,
+                    path,
+                    format!(
+                        "left input must arrive sorted by {anc:?}; dataflow proves {:?}",
+                        l.order
+                    ),
+                );
+                proven = false;
+            }
+            if !r.order.proves(*desc) {
+                report.push(
+                    Rule::UnsortedMergeInput,
+                    path,
+                    format!(
+                        "right input must arrive sorted by {desc:?}; dataflow proves {:?}",
+                        r.order
+                    ),
+                );
+                proven = false;
+            }
+            let (out_node, side_doc) = if algo.orders_by_ancestor() {
+                (*anc, l.document_order)
+            } else {
+                (*desc, r.document_order)
+            };
+            let left_bound = left.bound_nodes();
+            let overlap = right.bound_nodes().iter().any(|n| left_bound.contains(n));
+            PlanProperties {
+                order: if proven { OrderFact::Sorted(out_node) } else { OrderFact::Unknown },
+                duplicate_free: l.duplicate_free && r.duplicate_free && !overlap,
+                document_order: proven && side_doc,
+                blocking_free: l.blocking_free && r.blocking_free,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjos_exec::JoinAlgo;
+    use sjos_pattern::{parse_pattern, Axis};
+
+    fn scan(i: u16) -> PlanNode {
+        PlanNode::IndexScan { pnode: PnId(i) }
+    }
+
+    fn join(l: PlanNode, r: PlanNode, anc: u16, desc: u16, algo: JoinAlgo) -> PlanNode {
+        PlanNode::StructuralJoin {
+            left: Box::new(l),
+            right: Box::new(r),
+            anc: PnId(anc),
+            desc: PnId(desc),
+            axis: Axis::Child,
+            algo,
+        }
+    }
+
+    fn sort(input: PlanNode, by: u16) -> PlanNode {
+        PlanNode::Sort { input: Box::new(input), by: PnId(by) }
+    }
+
+    #[test]
+    fn pipelined_chain_is_proved_statically() {
+        let pattern = parse_pattern("//a/b/c").unwrap();
+        let plan = join(
+            join(scan(0), scan(1), 0, 1, JoinAlgo::StackTreeDesc),
+            scan(2),
+            1,
+            2,
+            JoinAlgo::StackTreeDesc,
+        );
+        let expect = PlanExpectations { fully_pipelined: true, left_deep: false };
+        let analysis = analyze_plan(&pattern, &plan, expect);
+        assert!(analysis.report.is_clean(), "{}", analysis.report);
+        assert!(analysis.proved_pipelined);
+        assert_eq!(analysis.root.order, OrderFact::Sorted(PnId(2)));
+        assert!(analysis.root.duplicate_free);
+        assert!(analysis.root.document_order);
+        assert!(analysis.root.blocking_free);
+    }
+
+    #[test]
+    fn redundant_sort_is_flagged_as_warning_only() {
+        let pattern = parse_pattern("//a/b").unwrap();
+        let inner = join(scan(0), scan(1), 0, 1, JoinAlgo::StackTreeDesc);
+        let by = inner.ordered_by().0;
+        let plan = sort(inner, by);
+        let report = lint_dataflow(&pattern, &plan, PlanExpectations::default());
+        assert!(report.violates(Rule::RedundantSort), "{report}");
+        assert!(
+            !report.violates(Rule::OrderContractMismatch),
+            "a redundant sort still delivers its declared order: {report}"
+        );
+        assert_eq!(Rule::RedundantSort.severity(), crate::diag::Severity::Warning);
+    }
+
+    #[test]
+    fn necessary_sort_is_not_flagged() {
+        let pattern = parse_pattern("//a/b/c").unwrap();
+        // STJ-A output is ordered by anc=1; re-sorting by 1's child
+        // requirement... build: (a⋈b ordered by a), sort by 1, join c.
+        let inner = join(scan(0), scan(1), 0, 1, JoinAlgo::StackTreeAnc);
+        let plan = join(sort(inner, 1), scan(2), 1, 2, JoinAlgo::StackTreeDesc);
+        let report = lint_dataflow(&pattern, &plan, PlanExpectations::default());
+        assert!(!report.violates(Rule::RedundantSort), "{report}");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn unsorted_join_input_is_flagged_and_poisons_the_proof() {
+        let pattern = parse_pattern("//a/b/c").unwrap();
+        // Left input ordered by 0 but the join keys on 1.
+        let inner = join(scan(0), scan(1), 0, 1, JoinAlgo::StackTreeAnc);
+        let plan = join(inner, scan(2), 1, 2, JoinAlgo::StackTreeDesc);
+        let report = lint_dataflow(&pattern, &plan, PlanExpectations::default());
+        assert!(report.violates(Rule::UnsortedMergeInput), "{report}");
+        // The root's declared order survives only on proven inputs.
+        let analysis = analyze_plan(&pattern, &plan, PlanExpectations::default());
+        assert!(!analysis.proved_pipelined);
+    }
+
+    #[test]
+    fn duplicate_leaf_breaks_duplicate_freedom() {
+        let pattern = parse_pattern("//a/b").unwrap();
+        let plan = join(scan(0), scan(0), 0, 1, JoinAlgo::StackTreeDesc);
+        let analysis = analyze_plan(&pattern, &plan, PlanExpectations::default());
+        assert!(!analysis.root.duplicate_free);
+        // scan(0) is sorted by 0, not by the required desc=1.
+        assert!(analysis.report.violates(Rule::UnsortedMergeInput));
+    }
+
+    #[test]
+    fn sort_by_unbound_column_is_a_contract_mismatch() {
+        let pattern = parse_pattern("//a/b").unwrap();
+        let plan = sort(join(scan(0), scan(1), 0, 1, JoinAlgo::StackTreeDesc), 7);
+        let report = lint_dataflow(&pattern, &plan, PlanExpectations::default());
+        assert!(report.violates(Rule::OrderContractMismatch), "{report}");
+    }
+
+    #[test]
+    fn blocking_plan_fails_the_static_pipelining_proof() {
+        let pattern = parse_pattern("//a/b").unwrap();
+        let inner = join(scan(0), scan(1), 0, 1, JoinAlgo::StackTreeAnc);
+        let plan = sort(inner, 1);
+        let expect = PlanExpectations { fully_pipelined: true, left_deep: false };
+        let analysis = analyze_plan(&pattern, &plan, expect);
+        assert!(analysis.report.violates(Rule::StaticNonBlocking), "{}", analysis.report);
+        assert!(!analysis.proved_pipelined);
+        assert!(!analysis.root.blocking_free);
+    }
+
+    #[test]
+    fn holistic_lattice_point_is_the_best_possible() {
+        let pattern = parse_pattern("//a[./b][./c]").unwrap();
+        let h = holistic_properties(&pattern);
+        assert_eq!(h.order, OrderFact::Sorted(pattern.root()));
+        assert!(h.duplicate_free && h.document_order && h.blocking_free);
+    }
+}

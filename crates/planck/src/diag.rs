@@ -42,6 +42,11 @@ pub enum Rule {
     /// PL023: status cost and cluster cardinalities are finite and
     /// non-negative.
     StatusCostSane,
+    /// PL024: no pattern node sits in two clusters at once.
+    ClusterOverlap,
+    /// PL025: every cluster cardinality estimate is finite and
+    /// non-negative.
+    ClusterCardFinite,
     /// PL030: DPP (and DPP') find the same plan cost as exhaustive DP.
     DppMatchesDp,
     /// PL031: FP's plan is the cheapest sort-free stack-tree plan.
@@ -61,11 +66,56 @@ pub enum Rule {
     /// query into an `Err`, never a panic or a silently wrong answer,
     /// and an optimizer that cannot produce a plan must say so.
     ErrorSurfaced,
+    /// PL040: a sort whose input the dataflow pass already proves
+    /// sorted by the requested node is redundant.
+    RedundantSort,
+    /// PL041: an order-sensitive operator consumes a stream not
+    /// provably sorted by the node it requires.
+    UnsortedMergeInput,
+    /// PL042: a plan claimed fully-pipelined is *proved* non-blocking
+    /// by dataflow alone — no execution needed.
+    StaticNonBlocking,
+    /// PL043: an operator's declared output ordering disagrees with
+    /// the ordering the dataflow pass infers.
+    OrderContractMismatch,
+    /// PL050: every recorded prune decision was admissible — the
+    /// discarded status's sunk cost already met a witnessed bound no
+    /// lower than the final optimum.
+    PruneAdmissible,
+    /// PL051: every lookahead skip discarded a replay-verified
+    /// Definition-6 dead end.
+    LookaheadAdmissible,
+    /// PL052: the trace is internally consistent — keys well-formed,
+    /// levels and `ubCost` values reproducible from the status
+    /// lattice, optimum equal to the best finalized cost.
+    TraceConsistent,
+    /// PL053: the search provably covered the status space — at least
+    /// one finalization, every level reached, no expansion-budget
+    /// cutoffs.
+    TraceComplete,
+}
+
+/// How severe a fired rule is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// The plan is correct but wasteful.
+    Warning,
+    /// The invariant is broken; the artifact is wrong.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
 }
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 23] = [
+    pub const ALL: [Rule; 33] = [
         Rule::BindingPartition,
         Rule::EdgeExists,
         Rule::EdgeOrientation,
@@ -83,12 +133,22 @@ impl Rule {
         Rule::ClusterConnected,
         Rule::ClusterOrderMember,
         Rule::StatusCostSane,
+        Rule::ClusterOverlap,
+        Rule::ClusterCardFinite,
         Rule::DppMatchesDp,
         Rule::FpCheapestPipelined,
         Rule::HeuristicNotBelowOptimal,
         Rule::UbCostSane,
         Rule::BatchContract,
         Rule::ErrorSurfaced,
+        Rule::RedundantSort,
+        Rule::UnsortedMergeInput,
+        Rule::StaticNonBlocking,
+        Rule::OrderContractMismatch,
+        Rule::PruneAdmissible,
+        Rule::LookaheadAdmissible,
+        Rule::TraceConsistent,
+        Rule::TraceComplete,
     ];
 
     /// The stable diagnostic id.
@@ -111,12 +171,33 @@ impl Rule {
             Rule::ClusterConnected => "PL021",
             Rule::ClusterOrderMember => "PL022",
             Rule::StatusCostSane => "PL023",
+            Rule::ClusterOverlap => "PL024",
+            Rule::ClusterCardFinite => "PL025",
             Rule::DppMatchesDp => "PL030",
             Rule::FpCheapestPipelined => "PL031",
             Rule::HeuristicNotBelowOptimal => "PL032",
             Rule::UbCostSane => "PL033",
             Rule::BatchContract => "PL034",
             Rule::ErrorSurfaced => "PL035",
+            Rule::RedundantSort => "PL040",
+            Rule::UnsortedMergeInput => "PL041",
+            Rule::StaticNonBlocking => "PL042",
+            Rule::OrderContractMismatch => "PL043",
+            Rule::PruneAdmissible => "PL050",
+            Rule::LookaheadAdmissible => "PL051",
+            Rule::TraceConsistent => "PL052",
+            Rule::TraceComplete => "PL053",
+        }
+    }
+
+    /// How bad a firing is. Only [`Rule::RedundantSort`] is a
+    /// warning — the plan still returns correct answers, it just pays
+    /// for a sort it does not need; every other rule marks the
+    /// artifact wrong.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::RedundantSort => Severity::Warning,
+            _ => Severity::Error,
         }
     }
 
@@ -140,12 +221,22 @@ impl Rule {
             Rule::ClusterConnected => "cluster-connected",
             Rule::ClusterOrderMember => "cluster-order-member",
             Rule::StatusCostSane => "status-cost-sane",
+            Rule::ClusterOverlap => "cluster-overlap",
+            Rule::ClusterCardFinite => "cluster-card-finite",
             Rule::DppMatchesDp => "dpp-matches-dp",
             Rule::FpCheapestPipelined => "fp-cheapest-pipelined",
             Rule::HeuristicNotBelowOptimal => "heuristic-not-below-optimal",
             Rule::UbCostSane => "ub-cost-sane",
             Rule::BatchContract => "batch-contract",
             Rule::ErrorSurfaced => "error-surfaced",
+            Rule::RedundantSort => "redundant-sort",
+            Rule::UnsortedMergeInput => "unsorted-merge-input",
+            Rule::StaticNonBlocking => "static-non-blocking",
+            Rule::OrderContractMismatch => "order-contract-mismatch",
+            Rule::PruneAdmissible => "prune-admissible",
+            Rule::LookaheadAdmissible => "lookahead-admissible",
+            Rule::TraceConsistent => "trace-consistent",
+            Rule::TraceComplete => "trace-complete",
         }
     }
 
@@ -224,6 +315,16 @@ impl Rule {
                  (Definition 4); anything else is unrepresentable"
             }
             Rule::StatusCostSane => "status costs accumulate non-negative move costs (§3.1.1)",
+            Rule::ClusterOverlap => {
+                "Definition 4 (§3.1.1) makes a status's clusters a \
+                 *partition*: a node bound by two clusters would be \
+                 joined with itself"
+            }
+            Rule::ClusterCardFinite => {
+                "cluster cardinalities feed ubCost and every move cost \
+                 (§3.1.1); a NaN, infinite or negative cardinality \
+                 poisons the Expanding Rule's priorities"
+            }
             Rule::DppMatchesDp => {
                 "DPP's pruning rules discard only provably non-optimal \
                  statuses, so DPP and DP must agree on the optimal cost \
@@ -258,6 +359,52 @@ impl Rule {
                  faults that survive the buffer pool's retries must \
                  surface as typed execution errors, and an optimizer \
                  that cannot plan must report why"
+            }
+            Rule::RedundantSort => {
+                "a sort whose input already arrives in the requested \
+                 order burns the blocking cost the status model exists \
+                 to avoid (§3.1.1's ordered clusters; Theorem 3.1)"
+            }
+            Rule::UnsortedMergeInput => {
+                "stack-tree and merge operators silently produce wrong \
+                 answers on unsorted input (§2.2); the dataflow pass \
+                 must be able to *prove* each consumed stream sorted by \
+                 the node the operator keys on"
+            }
+            Rule::StaticNonBlocking => {
+                "FP plans are sort-free and non-blocking by construction \
+                 (§3.4, Theorem 3.1); the dataflow pass must prove it \
+                 from operator contracts alone, leaving the dynamic \
+                 batch check (PL034) as a cross-check, not the proof"
+            }
+            Rule::OrderContractMismatch => {
+                "each operator declares the ordering of its output \
+                 (§2.2's ordering constraint); if the inferred ordering \
+                 disagrees, downstream operators were costed against a \
+                 contract the plan does not deliver"
+            }
+            Rule::PruneAdmissible => {
+                "the Pruning Rule (§3.2) may discard a status only when \
+                 its sunk cost already reaches the cost of a complete \
+                 plan found earlier; a prune below the final optimum \
+                 could have discarded the optimal plan"
+            }
+            Rule::LookaheadAdmissible => {
+                "the Lookahead Rule (§3.2) may discard only Definition-6 \
+                 dead ends — statuses no sequence of moves can complete; \
+                 skipping a live status risks losing the optimum"
+            }
+            Rule::TraceConsistent => {
+                "a search trace is evidence only if it is replayable: \
+                 every status key must satisfy Definition 4, and the \
+                 recorded levels and ubCost values must match what the \
+                 status lattice recomputes (§3.1.1-3.2)"
+            }
+            Rule::TraceComplete => {
+                "optimality needs coverage: a final status must be \
+                 reached, every level of Definition 4's lattice must be \
+                 generated, and no expansion budget may have cut \
+                 branches off (§3.1.1, §3.3.1)"
             }
         }
     }
@@ -331,6 +478,31 @@ impl Report {
         }
     }
 
+    /// Machine-readable JSON rendering for CI annotation: an object
+    /// with a `clean` flag and one entry per diagnostic carrying the
+    /// stable rule id, severity, plan-node path, and message.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"clean\":");
+        out.push_str(if self.is_clean() { "true" } else { "false" });
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\
+                 \"location\":\"{}\",\"message\":\"{}\"}}",
+                d.rule.id(),
+                d.rule.name(),
+                d.rule.severity(),
+                json_escape(&d.location),
+                json_escape(&d.message),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Multi-line human-readable rendering: one line per diagnostic
     /// followed by each fired rule's explanation.
     pub fn render(&self) -> String {
@@ -355,6 +527,23 @@ impl fmt::Display for Report {
     }
 }
 
+/// Escape `text` for embedding in a JSON string literal.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +558,42 @@ mod tests {
         assert_eq!(Rule::BindingPartition.id(), "PL001");
         assert_eq!(Rule::ClusterPartition.id(), "PL020");
         assert_eq!(Rule::DppMatchesDp.id(), "PL030");
+        assert_eq!(Rule::RedundantSort.id(), "PL040");
+        assert_eq!(Rule::PruneAdmissible.id(), "PL050");
+    }
+
+    #[test]
+    fn all_is_sorted_in_id_order() {
+        // `Report::rules` sorts by derived `Ord`, so declaration order
+        // must match id order or renderings interleave families.
+        let ids: Vec<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn only_redundant_sort_is_a_warning() {
+        for rule in Rule::ALL {
+            let expect =
+                if rule == Rule::RedundantSort { Severity::Warning } else { Severity::Error };
+            assert_eq!(rule.severity(), expect, "{rule}");
+        }
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_lists_diagnostics() {
+        let mut r = Report::default();
+        assert_eq!(r.to_json(), "{\"clean\":true,\"diagnostics\":[]}");
+        r.push(Rule::RedundantSort, "root.in", "input already \"sorted\"\nby b");
+        r.push(Rule::OrderBy, "root", "plan orders by a");
+        let json = r.to_json();
+        assert!(json.starts_with("{\"clean\":false"));
+        assert!(json.contains("\"rule\":\"PL040\""));
+        assert!(json.contains("\"severity\":\"warning\""));
+        assert!(json.contains("\\\"sorted\\\"\\nby b"));
+        assert!(json.contains("\"rule\":\"PL007\""));
+        assert!(json.contains("\"severity\":\"error\""));
     }
 
     #[test]

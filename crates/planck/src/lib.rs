@@ -18,7 +18,17 @@
 //! * the vectorized engine honors its batch contract — one *dynamic*
 //!   rule (PL034, [`lint_execution`]) runs the plan and checks that
 //!   root batches arrive sorted by the claimed ordering node and that
-//!   batch row counts reconcile with the tuple counters.
+//!   batch row counts reconcile with the tuple counters;
+//! * physical order properties are *provable*, not just declared — an
+//!   order-property dataflow pass ([`analyze_plan`]) propagates
+//!   sorted-by/duplicate-free/document-order/blocking-free facts
+//!   bottom-up and flags redundant sorts, unprovably-sorted join
+//!   inputs, unfounded order contracts, and FP plans that cannot be
+//!   proved pipeline-safe statically (PL040–PL043);
+//! * recorded optimizer search traces are admissible — the certifier
+//!   ([`certify_trace`]) replays every prune, duplicate elimination,
+//!   and lookahead skip against the status lattice and proves no
+//!   decision could have discarded the optimum (PL050–PL053).
 //!
 //! Every rule carries a stable `PL0xx` id ([`Rule::id`]), a short
 //! name, and a prose explanation citing the paper section that
@@ -30,13 +40,19 @@
 #![warn(missing_docs)]
 
 pub mod cross;
+pub mod dataflow;
 pub mod diag;
 pub mod exec_rules;
 pub mod plan_rules;
 pub mod status_rules;
+pub mod trace;
 
 pub use cross::{lint_optimizers, lint_search_space, min_pipelined_cost, MAX_CROSS_CHECK_NODES};
-pub use diag::{Diagnostic, Report, Rule};
+pub use dataflow::{
+    analyze_plan, holistic_properties, lint_dataflow, DataflowAnalysis, OrderFact, PlanProperties,
+};
+pub use diag::{Diagnostic, Report, Rule, Severity};
 pub use exec_rules::{lint_batches, lint_error_surfacing, lint_execution};
 pub use plan_rules::{lint_plan, lint_plan_with, PlanExpectations};
-pub use status_rules::lint_status;
+pub use status_rules::{lint_status, lint_status_key};
+pub use trace::{certify_trace, corrupt_trace, record_search_trace, TraceCorruption};

@@ -1,11 +1,12 @@
-//! Lints over optimizer statuses (rules PL020–PL023).
+//! Lints over optimizer statuses (rules PL020–PL025).
 //!
 //! The structural conditions themselves live in
 //! [`sjos_core::check_status`] (so the optimizers' `debug_assert!`
 //! hooks can use them without depending on this crate); here each
-//! [`StatusViolation`] is mapped to its stable rule id.
+//! [`StatusViolation`] variant is mapped to its own stable rule id
+//! with a Definition-4 citation in the rule's explanation.
 
-use sjos_core::{check_status, Status, StatusViolation};
+use sjos_core::{check_key, check_status, Status, StatusKey, StatusViolation};
 use sjos_pattern::Pattern;
 
 use crate::diag::{Report, Rule};
@@ -14,35 +15,70 @@ use crate::diag::{Report, Rule};
 pub fn lint_status(pattern: &Pattern, status: &Status) -> Report {
     let mut report = Report::default();
     for violation in check_status(pattern, status) {
-        match violation {
-            StatusViolation::NotPartition { missing, duplicated } => report.push(
-                Rule::ClusterPartition,
-                "status",
-                format!(
-                    "clusters are not a partition: missing {missing:?}, \
-                     duplicated {duplicated:?}"
-                ),
-            ),
-            StatusViolation::DisconnectedCluster { cluster } => report.push(
-                Rule::ClusterConnected,
-                format!("cluster[{cluster}]"),
-                format!(
-                    "node set {:?} is not connected in the pattern",
-                    status.clusters[cluster].nodes
-                ),
-            ),
-            StatusViolation::OrderedByOutsideCluster { cluster } => report.push(
-                Rule::ClusterOrderMember,
-                format!("cluster[{cluster}]"),
-                format!(
-                    "ordered by {:?}, which is outside the cluster",
-                    status.clusters[cluster].ordered_by
-                ),
-            ),
-            StatusViolation::NonFiniteCost { detail } => {
-                report.push(Rule::StatusCostSane, "status", detail)
-            }
-        }
+        push_violation(&mut report, &violation, |cluster| {
+            status
+                .clusters
+                .get(cluster)
+                .map(|c| format!("{:?}", c.nodes))
+                .unwrap_or_else(|| "<out of range>".to_string())
+        });
     }
     report
+}
+
+/// Lint a bare [`StatusKey`] — the form statuses take inside a
+/// recorded search trace — against the same Definition 4 conditions.
+pub fn lint_status_key(pattern: &Pattern, key: &StatusKey) -> Report {
+    let mut report = Report::default();
+    let parts = key.parts();
+    for violation in check_key(pattern, key) {
+        push_violation(&mut report, &violation, |cluster| {
+            parts
+                .get(cluster)
+                .map(|(nodes, _)| format!("{nodes:?}"))
+                .unwrap_or_else(|| "<out of range>".to_string())
+        });
+    }
+    report
+}
+
+/// Map one [`StatusViolation`] to its stable rule id. `describe`
+/// renders the offending cluster's node set for the message.
+fn push_violation(
+    report: &mut Report,
+    violation: &StatusViolation,
+    describe: impl Fn(usize) -> String,
+) {
+    match violation {
+        StatusViolation::UnboundNodes { missing } => report.push(
+            Rule::ClusterPartition,
+            "status",
+            format!("pattern nodes {missing:?} appear in no cluster"),
+        ),
+        StatusViolation::OverlappingNodes { duplicated } => report.push(
+            Rule::ClusterOverlap,
+            "status",
+            format!("pattern nodes {duplicated:?} appear in more than one cluster"),
+        ),
+        StatusViolation::DisconnectedCluster { cluster } => report.push(
+            Rule::ClusterConnected,
+            format!("cluster[{cluster}]"),
+            format!("node set {} is not connected in the pattern", describe(*cluster)),
+        ),
+        StatusViolation::OrderedByOutsideCluster { cluster } => report.push(
+            Rule::ClusterOrderMember,
+            format!("cluster[{cluster}]"),
+            "ordered by a node outside the cluster".to_string(),
+        ),
+        StatusViolation::NonFiniteStatusCost { cost } => report.push(
+            Rule::StatusCostSane,
+            "status",
+            format!("accumulated cost {cost} is not finite and non-negative"),
+        ),
+        StatusViolation::NonFiniteClusterCard { cluster, card } => report.push(
+            Rule::ClusterCardFinite,
+            format!("cluster[{cluster}]"),
+            format!("cardinality estimate {card} is not finite and non-negative"),
+        ),
+    }
 }

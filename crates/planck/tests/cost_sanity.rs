@@ -1,0 +1,121 @@
+//! Regression tests for the cost-sanity rules (PL010–PL012) against
+//! pathological cost models and degenerate calibration inputs. A
+//! calibration run over a skewed or near-empty store must never
+//! produce factors that poison every downstream estimate with NaN or
+//! ∞, and when a model *is* poisoned the linter — not the optimizer —
+//! is the component that must say so.
+
+use sjos_core::{calibrate, optimize, Algorithm, CostFactors, CostModel};
+use sjos_pattern::parse_pattern;
+use sjos_planck::{lint_plan_with, PlanExpectations, Rule};
+use sjos_stats::{Catalog, PatternEstimates};
+use sjos_storage::XmlStore;
+use sjos_xml::{Document, DocumentBuilder};
+
+fn doc() -> Document {
+    let mut b = DocumentBuilder::new();
+    b.start_element("a");
+    for i in 0..10 {
+        b.start_element("b");
+        for _ in 0..(1 + i % 3) {
+            b.start_element("c");
+            b.leaf("d", "v");
+            b.end_element();
+        }
+        b.end_element();
+    }
+    b.end_element();
+    b.finish()
+}
+
+fn lint_with_model(model: CostModel) -> sjos_planck::Report {
+    let doc = doc();
+    let pattern = parse_pattern("//a/b/c").expect("query parses");
+    let catalog = Catalog::build(&doc);
+    let estimates = PatternEstimates::new(&catalog, &doc, &pattern);
+    // Plan with a sane model so optimization itself succeeds; the
+    // poisoned model only enters at lint time.
+    let plan =
+        optimize(&pattern, &estimates, &CostModel::default(), Algorithm::Dpp { lookahead: true })
+            .expect("optimizes")
+            .plan;
+    lint_plan_with(&pattern, &plan, PlanExpectations::default(), Some((&estimates, &model)))
+}
+
+/// A NaN index factor (e.g. a calibration probe that divided by a
+/// zero sample size) must trip PL010 at the leaves, not silently
+/// propagate.
+#[test]
+fn nan_index_factor_fires_cost_finite() {
+    let model = CostModel::new(CostFactors { f_i: f64::NAN, ..CostFactors::default() });
+    let report = lint_with_model(model);
+    assert!(report.violates(Rule::CostFinite), "{}", report.render());
+}
+
+/// An infinite stack factor prices every join at ∞: PL010 again, and
+/// the cardinality rule PL012 must stay quiet (cards are untouched).
+#[test]
+fn infinite_stack_factor_fires_cost_finite_only() {
+    let model = CostModel::new(CostFactors { f_st: f64::INFINITY, ..CostFactors::default() });
+    let report = lint_with_model(model);
+    assert!(report.violates(Rule::CostFinite), "{}", report.render());
+    assert!(!report.violates(Rule::CardFinite), "{}", report.render());
+}
+
+/// A negative factor makes a join *reduce* cumulative cost below its
+/// input subtree — exactly the inversion PL011 exists to catch.
+#[test]
+fn negative_factor_fires_cost_monotonicity() {
+    let model = CostModel::new(CostFactors { f_st: -5.0, ..CostFactors::default() });
+    let report = lint_with_model(model);
+    assert!(
+        report.violates(Rule::CostMonotone) || report.violates(Rule::CostFinite),
+        "{}",
+        report.render()
+    );
+}
+
+/// A pattern whose tags are absent from the document drives every
+/// cardinality to zero. Zero must flow through scan, sort (`n log n`
+/// at n=0), and join formulas without producing NaN — the report
+/// carries no cost-rule diagnostics.
+#[test]
+fn zero_cardinality_estimates_stay_finite() {
+    let doc = doc();
+    let pattern = parse_pattern("//x/y/z").expect("query parses");
+    let catalog = Catalog::build(&doc);
+    let estimates = PatternEstimates::new(&catalog, &doc, &pattern);
+    let model = CostModel::default();
+    let plan = optimize(&pattern, &estimates, &model, Algorithm::Dpp { lookahead: true })
+        .expect("optimizes even with empty inputs")
+        .plan;
+    let report =
+        lint_plan_with(&pattern, &plan, PlanExpectations::default(), Some((&estimates, &model)));
+    for rule in [Rule::CostFinite, Rule::CostMonotone, Rule::CardFinite] {
+        assert!(!report.violates(rule), "{}", report.render());
+    }
+}
+
+/// Calibration over a flat document — the self-join probes produce
+/// zero output pairs, the degenerate case the `f_IO` solver special-
+/// cases — must still return finite positive factors, and a model
+/// built from them must lint clean.
+#[test]
+fn calibration_with_zero_output_joins_yields_finite_factors() {
+    let mut b = DocumentBuilder::new();
+    b.start_element("root");
+    for _ in 0..64 {
+        b.leaf("m", "x");
+    }
+    b.end_element();
+    let store = XmlStore::load(b.finish());
+    let report = calibrate(&store, 64, 3);
+    let f = report.factors;
+    for v in [f.f_i, f.f_s, f.f_io, f.f_st] {
+        assert!(v.is_finite() && v > 0.0, "degenerate calibration produced {f:?}");
+    }
+    let lint = lint_with_model(report.model());
+    for rule in [Rule::CostFinite, Rule::CostMonotone, Rule::CardFinite] {
+        assert!(!lint.violates(rule), "{}", lint.render());
+    }
+}

@@ -289,13 +289,26 @@ fn scan_cluster(fx: &Fixture, id: u16) -> Cluster {
 fn status_fixtures_fire_their_rules() {
     let fx = fixture("//a/b/c");
 
-    // PL020: node 2 missing, node 0 bound twice.
+    // PL020 + PL024: node 2 missing, node 0 bound twice — the missing
+    // and overlapping halves of "not a partition" each get their own
+    // stable id.
     let not_partition = Status {
         clusters: vec![scan_cluster(&fx, 0), scan_cluster(&fx, 0), scan_cluster(&fx, 1)],
         cost: 3.0,
     };
     let report = lint_status(&fx.pattern, &not_partition);
     assert!(report.violates(Rule::ClusterPartition), "{}", report.render());
+    assert!(report.violates(Rule::ClusterOverlap), "{}", report.render());
+
+    // PL024 alone: every node bound, but node 1 twice ({a,b} ∪ {b,c}).
+    let mut left = scan_cluster(&fx, 0);
+    left.nodes = left.nodes.union(NodeSet::singleton(PnId(1)));
+    let mut right = scan_cluster(&fx, 1);
+    right.nodes = right.nodes.union(NodeSet::singleton(PnId(2)));
+    let overlapping = Status { clusters: vec![left, right], cost: 3.0 };
+    let report = lint_status(&fx.pattern, &overlapping);
+    assert!(report.violates(Rule::ClusterOverlap), "{}", report.render());
+    assert!(!report.violates(Rule::ClusterPartition), "{}", report.render());
 
     // PL021: {a, c} skips b, so the cluster is disconnected.
     let mut gap = scan_cluster(&fx, 0);
@@ -321,6 +334,18 @@ fn status_fixtures_fire_their_rules() {
     };
     let report = lint_status(&fx.pattern, &nan_cost);
     assert!(report.violates(Rule::StatusCostSane), "{}", report.render());
+
+    // PL025: one cluster's cardinality estimate is NaN; the status
+    // cost itself stays sane, so only the cluster rule may fire.
+    let mut nan_card_cluster = scan_cluster(&fx, 1);
+    nan_card_cluster.card = f64::NAN;
+    let nan_card = Status {
+        clusters: vec![scan_cluster(&fx, 0), nan_card_cluster, scan_cluster(&fx, 2)],
+        cost: 3.0,
+    };
+    let report = lint_status(&fx.pattern, &nan_card);
+    assert!(report.violates(Rule::ClusterCardFinite), "{}", report.render());
+    assert!(!report.violates(Rule::StatusCostSane), "{}", report.render());
 }
 
 // ---- cross-checks (PL030–PL033) ------------------------------------

@@ -25,4 +25,28 @@ cargo bench --workspace --no-run --quiet
 echo "==> planlint selftest"
 cargo run --quiet --bin planlint -- --query '//a/b/c' --selftest >/dev/null
 
+echo "==> planlint certify (DP + DPP traces over the three corpora)"
+for spec in "pers:3000:'//manager//employee/name'" \
+            "dblp:3000:'//dblp/article[./author][./title]'" \
+            "mbench:1500:'//eNest//eNest/eOccasional'"; do
+  gen="${spec%%:*}"; rest="${spec#*:}"
+  n="${rest%%:*}"; query="${rest#*:}"; query="${query%\'}"; query="${query#\'}"
+  for algo in dp dpp; do
+    cargo run --quiet --bin planlint -- certify \
+      --gen "$gen:$n" --query "$query" --algo "$algo" --json >/dev/null
+  done
+done
+
+echo "==> planlint certify rejects a corrupted trace (expected exit 1)"
+if cargo run --quiet --bin planlint -- certify --query '//a/b/c' \
+    --corrupt inflate-ubcost --json >/dev/null; then
+  echo "corrupted trace certified clean" >&2
+  exit 1
+fi
+
+echo "==> cargo doc (missing docs are errors; vendored stubs excluded)"
+RUSTDOCFLAGS="-D warnings -D missing_docs" cargo doc --no-deps --quiet \
+  -p sjos -p sjos-xml -p sjos-storage -p sjos-pattern -p sjos-stats \
+  -p sjos-exec -p sjos-core -p sjos-datagen -p sjos-planck -p sjos-bench
+
 echo "all checks passed"

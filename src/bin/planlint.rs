@@ -11,9 +11,18 @@
 //! cargo run --bin planlint -- --query '//a/b/c' --mutate flip-axis
 //! # optimizer cross-checks (DPP==DP, FP optimality, ubCost shape)
 //! cargo run --bin planlint -- --query '//a/b/c' --cross
-//! # the full mutation battery
+//! # order-property dataflow: prove the FP plan pipeline-safe statically
+//! cargo run --bin planlint -- dataflow --query '//a/b/c' --algo fp
+//! # record a DPP search trace and certify its admissibility
+//! cargo run --bin planlint -- certify --gen pers:5000 --query '//manager//employee'
+//! # prove the certifier rejects doctored evidence
+//! cargo run --bin planlint -- certify --query '//a/b/c' --corrupt inflate-ubcost
+//! # the full battery: mutations, dataflow, certification
 //! cargo run --bin planlint -- --query '//a/b/c' --selftest
 //! ```
+//!
+//! `--json` switches any mode's report to machine-readable JSON (rule
+//! id, severity, plan node path, message) for CI annotation.
 //!
 //! Exit status: 0 when clean, 1 when any rule fired, 2 on usage
 //! errors.
@@ -23,7 +32,9 @@ use sjos::datagen::{dblp::dblp, mbench::mbench, pers::pers, GenConfig};
 use sjos::explain::explain;
 use sjos::{Database, Document};
 use sjos_planck::{
-    lint_error_surfacing, lint_execution, lint_optimizers, lint_plan_with, PlanExpectations, Report,
+    analyze_plan, certify_trace, corrupt_trace, lint_dataflow, lint_error_surfacing,
+    lint_execution, lint_optimizers, lint_plan_with, record_search_trace, PlanExpectations, Report,
+    TraceCorruption,
 };
 
 /// Fallback document when neither `--xml` nor `--gen` is given: big
@@ -36,14 +47,28 @@ const SAMPLE: &str = "<a>\
     <d><e/></d>\
 </a>";
 
+/// Which analysis mode to run (leading positional argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    /// Structural lint + dynamic cross-check (the default).
+    Lint,
+    /// Order-property dataflow only (PL040–PL043).
+    Dataflow,
+    /// Record and certify a search trace (PL050–PL053).
+    Certify,
+}
+
 struct Options {
+    command: Command,
     xml: Option<String>,
     gen: Option<String>,
     query: String,
     algo: String,
     mutate: Option<String>,
+    corrupt: Option<String>,
     cross: bool,
     selftest: bool,
+    json: bool,
 }
 
 fn main() {
@@ -53,9 +78,12 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: planlint [--xml <file> | --gen pers:<n>|dblp:<n>|mbench:<n>] \
+                "usage: planlint [dataflow|certify] \
+                 [--xml <file> | --gen pers:<n>|dblp:<n>|mbench:<n>] \
                  --query <pattern> [--algo dp|dpp|dpp-nl|dpap-eb:<te>|dpap-ld|fp|random:<seed>] \
-                 [--mutate <mutation>] [--cross] [--selftest]"
+                 [--mutate <mutation>] \
+                 [--corrupt inflate-ubcost|drop-finalized|cheap-prune] \
+                 [--cross] [--selftest] [--json]"
             );
             std::process::exit(2);
         }
@@ -71,15 +99,31 @@ fn main() {
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
+        command: Command::Lint,
         xml: None,
         gen: None,
         query: String::new(),
         algo: "dpp".to_string(),
         mutate: None,
+        corrupt: None,
         cross: false,
         selftest: false,
+        json: false,
     };
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
+    if let Some(first) = it.peek() {
+        match first.as_str() {
+            "dataflow" => {
+                opts.command = Command::Dataflow;
+                it.next();
+            }
+            "certify" => {
+                opts.command = Command::Certify;
+                it.next();
+            }
+            _ => {}
+        }
+    }
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--xml" => opts.xml = Some(it.next().ok_or("--xml needs a file")?.clone()),
@@ -87,13 +131,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--query" => opts.query = it.next().ok_or("--query needs a pattern")?.clone(),
             "--algo" => opts.algo = it.next().ok_or("--algo needs a name")?.clone(),
             "--mutate" => opts.mutate = Some(it.next().ok_or("--mutate needs a name")?.clone()),
+            "--corrupt" => opts.corrupt = Some(it.next().ok_or("--corrupt needs a kind")?.clone()),
             "--cross" => opts.cross = true,
             "--selftest" => opts.selftest = true,
+            "--json" => opts.json = true,
             other => return Err(format!("unknown argument {other}")),
         }
     }
     if opts.query.is_empty() {
         return Err("--query is required".into());
+    }
+    if opts.corrupt.is_some() && opts.command != Command::Certify {
+        return Err("--corrupt only applies to the certify command".into());
+    }
+    if opts.mutate.is_some() && opts.command == Command::Certify {
+        return Err("certify records a fresh search trace; --mutate does not apply".into());
     }
     Ok(opts)
 }
@@ -174,6 +226,16 @@ fn mutation_name(m: PlanMutation) -> &'static str {
     }
 }
 
+/// Print `report` in the selected format and return its cleanliness.
+fn finish(opts: &Options, report: &Report) -> bool {
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    report.is_clean()
+}
+
 fn run(opts: &Options) -> Result<bool, String> {
     let db = load(opts)?;
     let pattern = sjos::parse_pattern(&opts.query).map_err(|e| e.to_string())?;
@@ -182,6 +244,9 @@ fn run(opts: &Options) -> Result<bool, String> {
 
     if opts.selftest {
         return selftest(&db, &pattern);
+    }
+    if opts.command == Command::Certify {
+        return run_certify(opts, &pattern, &estimates, &model);
     }
 
     let (algorithm, mut expect) = parse_algo(&opts.algo)?;
@@ -195,23 +260,48 @@ fn run(opts: &Options) -> Result<bool, String> {
             // The mutated plan is only wrong *as* an FP claim.
             expect.fully_pipelined = true;
         }
-        println!("plan ({}, mutated by {name}):", algorithm.name());
-    } else {
+        if !opts.json {
+            println!("plan ({}, mutated by {name}):", algorithm.name());
+        }
+    } else if !opts.json {
         println!("plan ({}, estimated cost {:.1}):", algorithm.name(), optimized.estimated_cost);
     }
 
     // `explain` resolves node labels through the pattern; fall back to
     // the compact rendering when a corrupted plan references unknown
     // nodes.
-    let renderable = plan.bound_nodes().iter().all(|id| id.index() < pattern.len());
-    if renderable {
-        print!("{}", explain(&plan, &pattern, &estimates, &model));
-    } else {
-        println!("{plan}");
+    if !opts.json {
+        let renderable = plan.bound_nodes().iter().all(|id| id.index() < pattern.len());
+        if renderable {
+            print!("{}", explain(&plan, &pattern, &estimates, &model));
+        } else {
+            println!("{plan}");
+        }
+        println!();
     }
-    println!();
+
+    if opts.command == Command::Dataflow {
+        let analysis = analyze_plan(&pattern, &plan, expect);
+        if !opts.json {
+            let p = analysis.root;
+            println!(
+                "dataflow: order {:?}, duplicate-free {}, document-order {}, blocking-free {}, \
+                 proved pipelined {}",
+                p.order,
+                p.duplicate_free,
+                p.document_order,
+                p.blocking_free,
+                analysis.proved_pipelined
+            );
+        }
+        return Ok(finish(opts, &analysis.report));
+    }
 
     let mut report = lint_plan_with(&pattern, &plan, expect, Some((&estimates, &model)));
+    // The order-property dataflow pass runs in every lint: redundant
+    // sorts and unprovable order contracts are plan defects whichever
+    // mode asked.
+    report.absorb("dataflow", lint_dataflow(&pattern, &plan, expect));
     if opts.mutate.is_none() {
         // Dynamic half (PL034): run the plan and verify the batch
         // stream delivers what the static rules proved it claims.
@@ -224,8 +314,36 @@ fn run(opts: &Options) -> Result<bool, String> {
         let cross = lint_optimizers(&pattern, &estimates, &model);
         report.absorb("cross", cross);
     }
-    print!("{}", report.render());
-    Ok(report.is_clean())
+    Ok(finish(opts, &report))
+}
+
+/// Record a search trace for the requested algorithm, optionally
+/// corrupt it, and certify its admissibility.
+fn run_certify(
+    opts: &Options,
+    pattern: &sjos::Pattern,
+    estimates: &sjos::stats::PatternEstimates,
+    model: &sjos::core::CostModel,
+) -> Result<bool, String> {
+    let (algorithm, _) = parse_algo(&opts.algo)?;
+    let mut trace = record_search_trace(pattern, estimates, model, algorithm)?;
+    let mut label = String::new();
+    if let Some(kind) = &opts.corrupt {
+        let corruption =
+            TraceCorruption::parse(kind).ok_or_else(|| format!("unknown corruption {kind}"))?;
+        trace = corrupt_trace(&trace, corruption);
+        label = format!(", corrupted by {kind}");
+    }
+    if !opts.json {
+        println!(
+            "trace ({}, {} events, optimum {:.1}{label}):",
+            trace.algorithm,
+            trace.events.len(),
+            trace.optimum
+        );
+    }
+    let report = certify_trace(pattern, estimates, model, &trace);
+    Ok(finish(opts, &report))
 }
 
 /// Lint every optimizer's plan (must be clean), then every mutation of
@@ -256,11 +374,30 @@ fn selftest(db: &Database, pattern: &sjos::Pattern) -> Result<bool, String> {
         };
         let mut report =
             lint_plan_with(pattern, &optimized.plan, expect, Some((&estimates, &model)));
+        report.absorb("dataflow", lint_dataflow(pattern, &optimized.plan, expect));
         report.absorb("exec", lint_execution(db.store(), pattern, &optimized.plan));
         let verdict = if report.is_clean() { "clean" } else { "DIRTY" };
         println!("  {:<12} {verdict}", alg.name());
         if !report.is_clean() {
             print!("{}", report.render());
+            ok = false;
+        }
+    }
+
+    println!("== order-property dataflow (PL042, FP proved non-blocking statically) ==");
+    match db.optimize(pattern, Algorithm::Fp) {
+        Ok(fp) => {
+            let expect = PlanExpectations { fully_pipelined: true, left_deep: false };
+            let analysis = sjos_planck::analyze_plan(pattern, &fp.plan, expect);
+            if analysis.proved_pipelined && analysis.report.is_clean() {
+                println!("  clean (pipeline safety proved without execution)");
+            } else {
+                print!("{}", analysis.report.render());
+                ok = false;
+            }
+        }
+        Err(e) => {
+            println!("  FAILED to optimize with FP: {e}");
             ok = false;
         }
     }
@@ -287,7 +424,46 @@ fn selftest(db: &Database, pattern: &sjos::Pattern) -> Result<bool, String> {
             fully_pipelined: mutation == PlanMutation::WrapRootSort,
             left_deep: false,
         };
-        let report = lint_plan_with(pattern, &mutated, expect, Some((&estimates, &model)));
+        let mut report = lint_plan_with(pattern, &mutated, expect, Some((&estimates, &model)));
+        report.absorb("dataflow", lint_dataflow(pattern, &mutated, expect));
+        if report.is_clean() {
+            println!("  {name:<18} MISSED");
+            ok = false;
+        } else {
+            let rules: Vec<&str> = report.rules().iter().map(|r| r.id()).collect();
+            println!("  {name:<18} caught by {}", rules.join(", "));
+        }
+    }
+
+    println!("== search-trace certification (expected clean) ==");
+    for algorithm in [Algorithm::Dp, Algorithm::Dpp { lookahead: true }] {
+        match record_search_trace(pattern, &estimates, &model, algorithm) {
+            Ok(trace) => {
+                let report = certify_trace(pattern, &estimates, &model, &trace);
+                if report.is_clean() {
+                    println!(
+                        "  {:<12} certified ({} events)",
+                        algorithm.name(),
+                        trace.events.len()
+                    );
+                } else {
+                    print!("{}", report.render());
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                println!("  {:<12} FAILED to record a trace: {e}", algorithm.name());
+                ok = false;
+            }
+        }
+    }
+
+    println!("== corrupted traces (expected caught) ==");
+    let honest =
+        record_search_trace(pattern, &estimates, &model, Algorithm::Dpp { lookahead: true })?;
+    for (corruption, name) in TraceCorruption::ALL {
+        let doctored = corrupt_trace(&honest, corruption);
+        let report = certify_trace(pattern, &estimates, &model, &doctored);
         if report.is_clean() {
             println!("  {name:<18} MISSED");
             ok = false;

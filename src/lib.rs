@@ -215,7 +215,7 @@ impl Database {
     }
 
     /// Measure this machine's cost factors against the loaded data
-    /// (see [`sjos_core::calibrate`]) and return a database handle
+    /// (see [`fn@sjos_core::calibrate`]) and return a database handle
     /// whose optimizer uses them. The paper's factors are
     /// implementation-specific constants; this derives them
     /// empirically.

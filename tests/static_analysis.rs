@@ -1,0 +1,163 @@
+//! End-to-end static analysis over the paper's Table-1 workloads:
+//! the order-property dataflow pass proves FP plans pipeline-safe
+//! without execution (and execution agrees), DPP search traces
+//! certify admissible on all three generated corpora, doctored traces
+//! are rejected with typed diagnostics, and seeded plan mutations are
+//! caught statically by the PL04x rules.
+
+use sjos::core::{mutate_plan, Algorithm, PlanMutation};
+use sjos::datagen::{dblp::dblp, mbench::mbench, paper_queries, pers::pers, DataSet, GenConfig};
+use sjos::Database;
+use sjos_planck::{
+    analyze_plan, certify_trace, corrupt_trace, lint_execution, record_search_trace,
+    PlanExpectations, Rule, TraceCorruption,
+};
+
+fn databases() -> [(DataSet, Database); 3] {
+    [
+        (DataSet::Pers, Database::from_document(pers(GenConfig::sized(3_000)))),
+        (DataSet::Dblp, Database::from_document(dblp(GenConfig::sized(3_000)))),
+        (DataSet::Mbench, Database::from_document(mbench(GenConfig::sized(1_500)))),
+    ]
+}
+
+/// FP plans over every paper query are proved non-blocking by the
+/// dataflow pass (PL042 stays quiet), and running them confirms the
+/// proof (PL034 stays quiet): the static and dynamic verdicts agree.
+#[test]
+fn fp_plans_proved_pipelined_statically_and_dynamically() {
+    let dbs = databases();
+    for q in paper_queries() {
+        let db = &dbs.iter().find(|(ds, _)| *ds == q.dataset).unwrap().1;
+        let pattern = q.pattern();
+        let plan = db.optimize(&pattern, Algorithm::Fp).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let expect = PlanExpectations { fully_pipelined: true, left_deep: false };
+        let analysis = analyze_plan(&pattern, &plan.plan, expect);
+        assert!(analysis.proved_pipelined, "{}: FP plan not proved pipelined", q.id);
+        assert!(
+            !analysis.report.violates(Rule::StaticNonBlocking),
+            "{}: {}",
+            q.id,
+            analysis.report.render()
+        );
+        let dynamic = lint_execution(db.store(), &pattern, &plan.plan);
+        assert!(
+            !dynamic.violates(Rule::BatchContract),
+            "{}: execution contradicts the static proof\n{}",
+            q.id,
+            dynamic.render()
+        );
+    }
+}
+
+/// Honest DPP (and DP) search traces over every paper query certify
+/// admissible on all three corpora.
+#[test]
+fn search_traces_certify_clean_on_all_datasets() {
+    let dbs = databases();
+    for q in paper_queries() {
+        let db = &dbs.iter().find(|(ds, _)| *ds == q.dataset).unwrap().1;
+        let pattern = q.pattern();
+        let estimates = db.estimates(&pattern);
+        let model = *db.cost_model();
+        for algorithm in [Algorithm::Dp, Algorithm::Dpp { lookahead: true }] {
+            let trace = record_search_trace(&pattern, &estimates, &model, algorithm)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            assert!(!trace.events.is_empty(), "{}: empty trace", q.id);
+            let report = certify_trace(&pattern, &estimates, &model, &trace);
+            assert!(
+                report.is_clean(),
+                "{}/{}: honest trace rejected\n{}",
+                q.id,
+                algorithm.name(),
+                report.render()
+            );
+        }
+    }
+}
+
+/// A trace whose ubCost entries were inflated after the fact — the
+/// forged evidence that "the bound justified this prune" — is
+/// rejected with a typed PL052 diagnostic naming the recomputed value.
+#[test]
+fn corrupted_traces_are_rejected_with_typed_diagnostics() {
+    let dbs = databases();
+    for (ds, db) in &dbs {
+        let q = paper_queries().into_iter().find(|q| q.dataset == *ds).unwrap();
+        let pattern = q.pattern();
+        let estimates = db.estimates(&pattern);
+        let model = *db.cost_model();
+        let honest =
+            record_search_trace(&pattern, &estimates, &model, Algorithm::Dpp { lookahead: true })
+                .unwrap();
+        for (corruption, name) in TraceCorruption::ALL {
+            let doctored = corrupt_trace(&honest, corruption);
+            let report = certify_trace(&pattern, &estimates, &model, &doctored);
+            assert!(!report.is_clean(), "{}: {name} corruption certified clean", q.id);
+            let expected = match corruption {
+                TraceCorruption::InflateUbCost => Rule::TraceConsistent,
+                TraceCorruption::DropFinalized => Rule::TraceComplete,
+                TraceCorruption::CheapPrune => Rule::PruneAdmissible,
+            };
+            assert!(
+                report.violates(expected),
+                "{}: {name} caught by {:?}, expected {expected:?}",
+                q.id,
+                report.rules()
+            );
+        }
+    }
+}
+
+/// Round-tripping an honest trace through its text serialization does
+/// not change the certifier's verdict: the format carries everything
+/// certification needs.
+#[test]
+fn serialized_traces_certify_identically() {
+    let db = Database::from_document(pers(GenConfig::sized(2_000)));
+    let q = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").unwrap();
+    let pattern = q.pattern();
+    let estimates = db.estimates(&pattern);
+    let model = *db.cost_model();
+    let trace =
+        record_search_trace(&pattern, &estimates, &model, Algorithm::Dpp { lookahead: true })
+            .unwrap();
+    let reparsed = sjos::core::SearchTrace::from_text(&trace.to_text()).unwrap();
+    let report = certify_trace(&pattern, &estimates, &model, &reparsed);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+/// At least one seeded plan mutation per paper query is rejected by
+/// the *static* dataflow rules alone — before any execution.
+#[test]
+fn plan_mutations_rejected_statically_by_dataflow() {
+    let dbs = databases();
+    for q in paper_queries() {
+        let db = &dbs.iter().find(|(ds, _)| *ds == q.dataset).unwrap().1;
+        let pattern = q.pattern();
+        let base = db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).unwrap().plan;
+        let mut rejected = 0usize;
+        for mutation in PlanMutation::ALL {
+            let Some(mutated) = mutate_plan(&pattern, &base, mutation) else {
+                continue;
+            };
+            let expect = PlanExpectations {
+                fully_pipelined: mutation == PlanMutation::WrapRootSort,
+                left_deep: false,
+            };
+            let analysis = analyze_plan(&pattern, &mutated, expect);
+            let dataflow_hit = [
+                Rule::RedundantSort,
+                Rule::UnsortedMergeInput,
+                Rule::StaticNonBlocking,
+                Rule::OrderContractMismatch,
+            ]
+            .iter()
+            .any(|r| analysis.report.violates(*r));
+            if dataflow_hit {
+                rejected += 1;
+            }
+        }
+        assert!(rejected >= 1, "{}: no mutation caught by PL040-PL043", q.id);
+    }
+}
