@@ -32,6 +32,7 @@ struct Row {
     matches: u64,
     stack_pushes: u64,
     stack_pops: u64,
+    peak_bytes: u64,
     tuple_ms: f64,
     batched_ms: f64,
 }
@@ -112,6 +113,7 @@ fn main() -> ExitCode {
             matches: bm.output_tuples,
             stack_pushes: bm.stack_pushes,
             stack_pops: bm.stack_pops,
+            peak_bytes: bm.peak_bytes,
             tuple_ms,
             batched_ms,
         });
@@ -184,13 +186,15 @@ fn render_json(rows: &[Row], summary: &[(String, f64)]) -> String {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"id\": \"{}\", \"dataset\": \"{}\", \"matches\": {}, \
-             \"stack_pushes\": {}, \"stack_pops\": {}, \"tuple_at_a_time_ms\": {:.3}, \
+             \"stack_pushes\": {}, \"stack_pops\": {}, \"peak_bytes\": {}, \
+             \"tuple_at_a_time_ms\": {:.3}, \
              \"batched_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
             r.id,
             r.dataset,
             r.matches,
             r.stack_pushes,
             r.stack_pops,
+            r.peak_bytes,
             r.tuple_ms,
             r.batched_ms,
             r.speedup(),

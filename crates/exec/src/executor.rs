@@ -146,6 +146,20 @@ pub fn execute_with_batch_rows(
     execute_opts(store, pattern, plan, true, batch_rows, &Arc::new(QueryGuard::unlimited()))
 }
 
+/// [`execute_guarded`] with an explicit batch granularity — the
+/// entry point planck's bound-soundness lint (PL064) replays plans
+/// through, so the guard's pull counter and the metrics' peak-bytes
+/// high-water mark are both observable at any batch size.
+pub fn execute_guarded_with_batch_rows(
+    store: &XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+    batch_rows: usize,
+    guard: &Arc<QueryGuard>,
+) -> Result<QueryResult, EngineError> {
+    execute_opts(store, pattern, plan, true, batch_rows, guard)
+}
+
 /// Execute `plan` and keep the root operator's batches as emitted,
 /// without flattening to row-major tuples. This is the inspection
 /// entry point for planck's `PL034` executed-plan lint.

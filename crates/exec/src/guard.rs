@@ -136,6 +136,20 @@ impl QueryGuard {
         self.cancel.clone()
     }
 
+    /// The memory budget in bytes, if one is set — exposed so a
+    /// static admission check (planck's resource-bound pass) can
+    /// compare a plan's worst-case footprint against the budget
+    /// *before* execution.
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.memory_budget
+    }
+
+    /// The batch-pull budget, if one is set (see
+    /// [`Self::memory_budget`] for the static-admission use case).
+    pub fn batch_budget(&self) -> Option<u64> {
+        self.batch_budget
+    }
+
     /// Batches pulled so far across guarded boundaries.
     pub fn batches_pulled(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)

@@ -28,6 +28,15 @@ pub struct ExecMetrics {
     /// Descendant-window tuples visited by merge joins (MPMGJN's
     /// rescan traffic).
     pub merge_rescans: AtomicU64,
+    /// Bytes of operator buffering currently live (reservations minus
+    /// releases) — unlike [`crate::QueryGuard`]'s cumulative
+    /// reservation counter, this tracks the instantaneous footprint.
+    pub cur_bytes: AtomicU64,
+    /// High-water mark of [`Self::cur_bytes`]: the peak instantaneous
+    /// buffering the execution reached. The static resource-bound
+    /// analysis (planck's PL064) checks its worst-case bound against
+    /// this observation.
+    pub peak_bytes: AtomicU64,
 }
 
 /// Point-in-time copy of [`ExecMetrics`].
@@ -51,6 +60,8 @@ pub struct MetricsSnapshot {
     pub scanned_records: u64,
     /// Descendant-window tuples revisited by merge joins.
     pub merge_rescans: u64,
+    /// Peak instantaneous operator-buffer footprint in bytes.
+    pub peak_bytes: u64,
 }
 
 impl ExecMetrics {
@@ -71,6 +82,33 @@ impl ExecMetrics {
             sort_operations: self.sort_operations.load(Ordering::Relaxed),
             scanned_records: self.scanned_records.load(Ordering::Relaxed),
             merge_rescans: self.merge_rescans.load(Ordering::Relaxed),
+            peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Account `bytes` of newly live operator buffering and advance
+    /// the peak high-water mark.
+    pub fn reserve_bytes(&self, bytes: u64) {
+        let cur = self.cur_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_bytes.fetch_max(cur, Ordering::Relaxed);
+    }
+
+    /// Release `bytes` of operator buffering (buffer dropped or its
+    /// contents handed downstream). Saturates at zero so a release
+    /// raced against a snapshot can never wrap.
+    pub fn release_bytes(&self, bytes: u64) {
+        let mut cur = self.cur_bytes.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.cur_bytes.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
         }
     }
 
@@ -93,5 +131,27 @@ mod tests {
         assert_eq!(s.stack_pushes, 3);
         assert_eq!(s.output_tuples, 1);
         assert_eq!(s.sort_operations, 0);
+    }
+
+    #[test]
+    fn peak_bytes_is_a_high_water_mark() {
+        let m = ExecMetrics::new();
+        m.reserve_bytes(100);
+        m.reserve_bytes(50);
+        m.release_bytes(120);
+        m.reserve_bytes(10);
+        let s = m.snapshot();
+        assert_eq!(s.peak_bytes, 150, "peak is the maximum, not the final value");
+        assert_eq!(m.cur_bytes.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn release_saturates_at_zero() {
+        let m = ExecMetrics::new();
+        m.reserve_bytes(10);
+        m.release_bytes(1_000);
+        assert_eq!(m.cur_bytes.load(Ordering::Relaxed), 0);
+        m.reserve_bytes(5);
+        assert_eq!(m.snapshot().peak_bytes, 10);
     }
 }

@@ -68,6 +68,12 @@ pub struct StackTreeJoinOp<'a> {
     /// reported to the guard — the delta is reserved once per batch.
     pairs_created: u64,
     pairs_reserved: u64,
+    /// Bytes currently accounted to [`ExecMetrics`] as live (stack
+    /// entries plus buffered Anc pairs); the remainder is released on
+    /// drop. Unlike the guard's cumulative reservation this tracks
+    /// the instantaneous footprint, so it shrinks as pairs leave via
+    /// `ready` and stack entries pop.
+    metrics_live_bytes: u64,
 }
 
 struct StackEntry {
@@ -130,6 +136,7 @@ impl<'a> StackTreeJoinOp<'a> {
             c_buffered: 0,
             pairs_created: 0,
             pairs_reserved: 0,
+            metrics_live_bytes: 0,
         })
     }
 
@@ -172,6 +179,30 @@ impl<'a> StackTreeJoinOp<'a> {
         }
     }
 
+    /// Bytes of one stack entry's tuple.
+    #[inline]
+    fn stack_entry_bytes(&self) -> u64 {
+        (self.left_width * std::mem::size_of::<Entry>()) as u64
+    }
+
+    /// Bytes of one buffered output pair.
+    #[inline]
+    fn pair_bytes(&self) -> u64 {
+        (self.schema.width() * std::mem::size_of::<Entry>()) as u64
+    }
+
+    #[inline]
+    fn reserve_live(&mut self, bytes: u64) {
+        self.metrics.reserve_bytes(bytes);
+        self.metrics_live_bytes += bytes;
+    }
+
+    #[inline]
+    fn release_live(&mut self, bytes: u64) {
+        self.metrics.release_bytes(bytes);
+        self.metrics_live_bytes = self.metrics_live_bytes.saturating_sub(bytes);
+    }
+
     /// Pop every stack entry whose interval ends before `pos`.
     fn pop_before(&mut self, pos: u32) {
         while let Some(top) = self.stack.last() {
@@ -189,6 +220,7 @@ impl<'a> StackTreeJoinOp<'a> {
         // (`pop_before` peeks the top, `step` loops on `!is_empty`).
         let entry = self.stack.pop().expect("pop from empty stack");
         self.c_pops += 1;
+        self.release_live(self.stack_entry_bytes());
         if self.algo == JoinAlgo::StackTreeAnc {
             let mut pairs = entry.self_list;
             pairs.extend(entry.inherit_list);
@@ -204,6 +236,7 @@ impl<'a> StackTreeJoinOp<'a> {
 
     fn push(&mut self, tuple: Tuple) {
         self.c_pushes += 1;
+        self.reserve_live(self.stack_entry_bytes());
         self.stack.push(StackEntry { tuple, self_list: Vec::new(), inherit_list: Vec::new() });
     }
 
@@ -276,6 +309,7 @@ impl<'a> StackTreeJoinOp<'a> {
                         pair.extend_from_slice(&self.scratch_right);
                         self.c_buffered += 1;
                         self.pairs_created += 1;
+                        self.reserve_live(self.pair_bytes());
                         self.stack[i].self_list.push(pair);
                     }
                 }
@@ -319,6 +353,12 @@ impl<'a> StackTreeJoinOp<'a> {
     }
 }
 
+impl Drop for StackTreeJoinOp<'_> {
+    fn drop(&mut self) {
+        self.metrics.release_bytes(self.metrics_live_bytes);
+    }
+}
+
 impl Operator for StackTreeJoinOp<'_> {
     fn schema(&self) -> &Arc<Schema> {
         &self.schema
@@ -336,6 +376,7 @@ impl Operator for StackTreeJoinOp<'_> {
         while out.len() < self.batch_rows {
             if let Some(t) = self.ready.pop_front() {
                 out.push_row(&t);
+                self.release_live(self.pair_bytes());
                 continue;
             }
             if self.done {
@@ -556,6 +597,16 @@ mod tests {
                 assert_eq!(s.produced_tuples, base.produced_tuples);
             }
         }
+    }
+
+    #[test]
+    fn peak_bytes_rise_while_running_and_release_on_drop() {
+        use std::sync::atomic::Ordering;
+        let (_, m) = run(JoinAlgo::StackTreeAnc, Axis::Descendant);
+        let s = m.snapshot();
+        let pair = 2 * std::mem::size_of::<Entry>() as u64;
+        assert!(s.peak_bytes >= pair, "Anc buffering must register a peak: {}", s.peak_bytes);
+        assert_eq!(m.cur_bytes.load(Ordering::Relaxed), 0, "all buffers released after drop");
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub struct MergeJoinOp<'a> {
     c_rescans: u64,
     /// Buffered rows already reported to the guard.
     reserved_rows: usize,
+    /// Live buffer bytes accounted to [`ExecMetrics`] (released on
+    /// drop — the descendant buffer never shrinks while running).
+    metrics_reserved_bytes: u64,
 }
 
 impl<'a> MergeJoinOp<'a> {
@@ -98,6 +101,7 @@ impl<'a> MergeJoinOp<'a> {
             batch_rows: BATCH_ROWS,
             c_rescans: 0,
             reserved_rows: 0,
+            metrics_reserved_bytes: 0,
         })
     }
 
@@ -174,19 +178,27 @@ impl<'a> MergeJoinOp<'a> {
     }
 
     /// Account newly buffered descendant rows against the guard's
-    /// memory budget (once per output batch).
+    /// memory budget and the live-bytes metric (once per output
+    /// batch).
     fn reserve_buffer(&mut self) -> Result<(), EngineError> {
         let rows = self.right_len();
         if rows > self.reserved_rows {
+            let bytes =
+                (rows - self.reserved_rows) * self.right_buf.len() * std::mem::size_of::<Entry>();
+            self.metrics.reserve_bytes(bytes as u64);
+            self.metrics_reserved_bytes += bytes as u64;
             if let Some(guard) = &self.guard {
-                let bytes = (rows - self.reserved_rows)
-                    * self.right_buf.len()
-                    * std::mem::size_of::<Entry>();
                 guard.reserve(bytes)?;
             }
             self.reserved_rows = rows;
         }
         Ok(())
+    }
+}
+
+impl Drop for MergeJoinOp<'_> {
+    fn drop(&mut self) {
+        self.metrics.release_bytes(self.metrics_reserved_bytes);
     }
 }
 

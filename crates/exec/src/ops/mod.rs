@@ -101,17 +101,32 @@ pub(crate) struct InputCursor<'a> {
     required_col: usize,
     batch: Option<TupleBatch>,
     pos: usize,
+    /// End-of-stream seen: later peeks return `None` without pulling
+    /// the producer again, so one operator boundary sees at most one
+    /// `None` pull — the invariant the static batch-pull bound
+    /// (planck's PL063/PL064) counts on.
+    done: bool,
 }
 
 impl<'a> InputCursor<'a> {
     pub(crate) fn new(op: BoxedOperator<'a>, required_col: usize) -> InputCursor<'a> {
-        InputCursor { op, check: OrderingCheck::new(), required_col, batch: None, pos: 0 }
+        InputCursor {
+            op,
+            check: OrderingCheck::new(),
+            required_col,
+            batch: None,
+            pos: 0,
+            done: false,
+        }
     }
 
     /// Current row, pulling the next batch if needed. `Ok(None)` at
     /// end-of-stream; a pull failure propagates.
     pub(crate) fn peek(&mut self) -> Result<Option<(&TupleBatch, usize)>, EngineError> {
         loop {
+            if self.done {
+                return Ok(None);
+            }
             match &self.batch {
                 Some(b) if self.pos < b.len() => break,
                 _ => match self.op.next_batch()? {
@@ -120,7 +135,10 @@ impl<'a> InputCursor<'a> {
                         self.batch = Some(next);
                         self.pos = 0;
                     }
-                    None => return Ok(None),
+                    None => {
+                        self.done = true;
+                        return Ok(None);
+                    }
                 },
             }
         }
@@ -148,9 +166,13 @@ impl<'a> InputCursor<'a> {
     pub(crate) fn exhaust(&mut self) -> Result<(), EngineError> {
         self.batch = None;
         self.pos = 0;
+        if self.done {
+            return Ok(());
+        }
         while let Some(next) = self.op.next_batch()? {
             self.check.check(&next, self.required_col);
         }
+        self.done = true;
         Ok(())
     }
 }

@@ -36,6 +36,9 @@ pub struct SortOp<'a> {
     metrics: Arc<ExecMetrics>,
     guard: Option<Arc<QueryGuard>>,
     batch_rows: usize,
+    /// Live buffer bytes accounted to [`ExecMetrics`] (released when
+    /// the operator drops).
+    reserved_bytes: u64,
 }
 
 impl<'a> SortOp<'a> {
@@ -63,6 +66,7 @@ impl<'a> SortOp<'a> {
             metrics,
             guard: None,
             batch_rows: BATCH_ROWS,
+            reserved_bytes: 0,
         })
     }
 
@@ -85,8 +89,11 @@ impl<'a> SortOp<'a> {
         self.buffer = (0..self.schema.width()).map(|_| Vec::new()).collect();
         let row_bytes = self.schema.width() * std::mem::size_of::<Entry>();
         while let Some(batch) = input.next_batch()? {
+            let bytes = batch.len() * row_bytes;
+            self.metrics.reserve_bytes(bytes as u64);
+            self.reserved_bytes += bytes as u64;
             if let Some(guard) = &self.guard {
-                guard.reserve(batch.len() * row_bytes)?;
+                guard.reserve(bytes)?;
             }
             for (dst, c) in self.buffer.iter_mut().enumerate() {
                 c.extend_from_slice(batch.column(dst));
@@ -103,6 +110,12 @@ impl<'a> SortOp<'a> {
         ExecMetrics::add(&self.metrics.sort_operations, 1);
         ExecMetrics::add(&self.metrics.sorted_tuples, rows as u64);
         Ok(())
+    }
+}
+
+impl Drop for SortOp<'_> {
+    fn drop(&mut self) {
+        self.metrics.release_bytes(self.reserved_bytes);
     }
 }
 
@@ -198,6 +211,21 @@ mod tests {
         let mut op = SortOp::new(Box::new(input), PnId(0), m.clone()).unwrap();
         assert!(op.next_batch().unwrap().is_none());
         assert_eq!(m.snapshot().sort_operations, 1);
+    }
+
+    #[test]
+    fn peak_bytes_track_the_materialized_buffer() {
+        use std::sync::atomic::Ordering;
+        let m = ExecMetrics::new();
+        let input = two_col_rows(&[(5, 10), (1, 30), (3, 20)]);
+        {
+            let mut op = SortOp::new(Box::new(input), PnId(0), Arc::clone(&m)).unwrap();
+            while op.next_batch().unwrap().is_some() {}
+            let live = 3 * 2 * std::mem::size_of::<Entry>() as u64;
+            assert_eq!(m.cur_bytes.load(Ordering::Relaxed), live);
+        }
+        assert_eq!(m.cur_bytes.load(Ordering::Relaxed), 0, "released on drop");
+        assert!(m.snapshot().peak_bytes > 0);
     }
 
     #[test]

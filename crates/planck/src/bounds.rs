@@ -1,0 +1,695 @@
+//! Resource-bound abstract interpretation over physical plans
+//! (PL060–PL064).
+//!
+//! A bottom-up dataflow pass propagates *guaranteed* cardinality
+//! intervals per operator — derived from the catalog's exact index
+//! list lengths and per-tag depth statistics, **not** from the cost
+//! model's point estimates — and from them worst-case peak buffering
+//! bytes and a worst-case guarded batch-pull count for the whole
+//! plan. The bounds are sound: no execution of the plan on the
+//! cataloged document can exceed them (PL064 replays executions to
+//! check exactly that), so comparing them against a [`QueryGuard`]'s
+//! budgets *before* running anything yields a static admission
+//! decision (PL062/PL063) instead of a mid-flight `GuardBreach`.
+//!
+//! ## The interval lattice
+//!
+//! Each sub-plan is summarized by
+//!
+//! * `rows = [lo, hi]` — guaranteed bounds on its output cardinality
+//!   (saturating `u64` arithmetic; `lo ≤ hi` always, PL060);
+//! * per bound column, `mult_hi` — an upper bound on how many output
+//!   tuples can share one value of that column.
+//!
+//! Scans are exact: `hi` is the index list length and `mult_hi = 1`
+//! (an element occurs once in its tag list); a value predicate drops
+//! `lo` to 0. For a structural join `L ⋈ R` on edge `a → d`, the key
+//! inequality is *structural*: any two distinct ancestors of one
+//! element sit at distinct tree levels, so one descendant binding has
+//! at most `depth_levels(a)` ancestors tagged `a` (1 for `/`), and at
+//! most `mult_hi(L, a)` left tuples carry each of them:
+//!
+//! ```text
+//! anc_matches ≤ depth_levels(a) · mult_hi(L, a)     (// axis)
+//! rows(J) ≤ min(rows(L) · rows(R), rows(R) · anc_matches)
+//! ```
+//!
+//! This keeps bounds near-linear on flat corpora (`depth_levels = 1`)
+//! instead of the astronomically useless `Π |tag|` product.
+//!
+//! ## From intervals to bytes and pulls
+//!
+//! Per operator, worst-case live buffering follows the executor's
+//! accounting exactly: a sort holds its whole input, Stack-Tree holds
+//! a stack of nested left tuples (bounded by the same depth-levels
+//! argument) plus — for the Anc variant — every not-yet-emitted
+//! output pair, MPMGJN holds the buffered descendant window (which
+//! never shrinks). In-flight [`TupleBatch`]es add a per-operator
+//! `batch_rows`-proportional term. Batch pulls: every operator
+//! boundary is a [`GuardedOp`], mid-stream batches carry at least
+//! `batch_rows` rows, and end-of-stream is observed at most once per
+//! boundary, so each operator is pulled at most
+//! `rows_hi / batch_rows + 2` times.
+//!
+//! [`GuardedOp`]: sjos_exec::GuardedOp
+//! [`TupleBatch`]: sjos_exec::TupleBatch
+#![warn(clippy::cast_possible_truncation)]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sjos_core::CostModel;
+use sjos_exec::{
+    execute_guarded_with_batch_rows, EngineError, Entry, JoinAlgo, PlanNode, QueryGuard, BATCH_ROWS,
+};
+use sjos_pattern::{Axis, Pattern, PnId};
+use sjos_stats::PatternEstimates;
+use sjos_storage::XmlStore;
+
+use crate::diag::{Report, Rule};
+
+/// Default admission memory budget: comfortably above every paper
+/// workload's worst-case bound at production batch size (the largest
+/// Table-1 plan bounds in the tens of MiB on the generated corpora)
+/// while still small enough to reject a genuinely explosive plan on a
+/// multi-query server.
+pub const DEFAULT_MEMORY_BUDGET: u64 = 256 * 1024 * 1024;
+
+/// A guaranteed `[lo, hi]` cardinality interval (saturating `u64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CardInterval {
+    /// Guaranteed minimum output rows.
+    pub lo: u64,
+    /// Guaranteed maximum output rows.
+    pub hi: u64,
+}
+
+impl CardInterval {
+    /// Does the interval contain `point` (within floating tolerance)?
+    pub fn contains(&self, point: f64) -> bool {
+        if !point.is_finite() {
+            return false;
+        }
+        let lo = self.lo as f64;
+        let hi = self.hi as f64;
+        point >= lo - lo.abs() * 1e-9 - 1e-9 && point <= hi + hi.abs() * 1e-6 + 1e-6
+    }
+}
+
+/// Static resource bounds for one operator of the plan.
+#[derive(Debug, Clone)]
+pub struct OperatorBounds {
+    /// Plan-tree path (`root`, `root.left`, `root.in`, …).
+    pub location: String,
+    /// Short operator description (`Scan n#0`, `STJ-A`, `Sort`, …).
+    pub label: String,
+    /// Guaranteed output-cardinality interval.
+    pub rows: CardInterval,
+    /// The estimator's ceiling: the product of the sub-plan's node
+    /// index-list lengths. The histogram estimate is a product of
+    /// per-node cardinalities (each at most the list length) and
+    /// `[0, 1]` edge selectivities, so it can never exceed this —
+    /// while it *can* exceed `rows.hi`, whose structural depth-levels
+    /// tightening the estimator does not see. PL061 checks the
+    /// estimate against `[rows.lo, est_hi]`.
+    pub est_hi: u64,
+    /// The cost model's point estimate for the same operator.
+    pub point_estimate: f64,
+    /// Worst-case bytes this operator keeps live in long-lived
+    /// buffers (sort buffer, join stack, pair lists, merge window).
+    pub buffer_bytes: u64,
+    /// Worst-case bytes of in-flight batches this operator holds (its
+    /// output batch under construction plus one cached batch per
+    /// input).
+    pub batch_bytes: u64,
+    /// Worst-case guarded pulls of this operator boundary.
+    pub pulls: u64,
+}
+
+/// Whole-plan resource bounds — what admission control compares
+/// against a [`QueryGuard`]'s budgets.
+#[derive(Debug, Clone)]
+pub struct ResourceBounds {
+    /// Per-operator bounds, pre-order (root first).
+    pub operators: Vec<OperatorBounds>,
+    /// Worst-case peak live bytes across the whole plan (sum of every
+    /// operator's buffer and batch terms — all buffers can be live at
+    /// once in the worst case).
+    pub peak_bytes: u64,
+    /// Worst-case total guarded batch pulls.
+    pub batch_pulls: u64,
+    /// The batch granularity the bounds were derived for.
+    pub batch_rows: usize,
+}
+
+impl ResourceBounds {
+    /// The root operator's output-cardinality interval.
+    pub fn root_rows(&self) -> CardInterval {
+        self.operators.first().map_or(CardInterval { lo: 0, hi: 0 }, |o| o.rows)
+    }
+
+    /// Render the bounds as a JSON object (embeddable in `planlint`
+    /// output).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"batch_rows\":{},\"peak_bytes\":{},\"batch_pulls\":{},\"operators\":[",
+            self.batch_rows, self.peak_bytes, self.batch_pulls
+        );
+        for (i, op) in self.operators.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"location\":\"{}\",\"op\":\"{}\",\"rows_lo\":{},\"rows_hi\":{},\
+                 \"est_hi\":{},\"point_estimate\":{:.1},\"buffer_bytes\":{},\"batch_bytes\":{},\
+                 \"pulls\":{}}}",
+                op.location,
+                op.label,
+                op.rows.lo,
+                op.rows.hi,
+                op.est_hi,
+                op.point_estimate,
+                op.buffer_bytes,
+                op.batch_bytes,
+                op.pulls
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Interval + per-column multiplicity summary of one sub-plan.
+struct SubBounds {
+    rows: CardInterval,
+    /// Product of node index-list lengths — the estimator's ceiling.
+    est_hi: u64,
+    /// Upper bound on tuples sharing one value of each bound column.
+    mult_hi: HashMap<PnId, u64>,
+    width: usize,
+}
+
+const ENTRY: u64 = std::mem::size_of::<Entry>() as u64;
+
+/// Derive guaranteed resource bounds for `plan` at granularity
+/// `batch_rows` (use [`BATCH_ROWS`] for the production default).
+pub fn analyze_bounds(
+    pattern: &Pattern,
+    estimates: &PatternEstimates,
+    model: &CostModel,
+    plan: &PlanNode,
+    batch_rows: usize,
+) -> ResourceBounds {
+    let batch_rows = batch_rows.max(1);
+    let mut operators = Vec::new();
+    walk(pattern, estimates, model, plan, "root", batch_rows as u64, &mut operators);
+    let peak_bytes = operators
+        .iter()
+        .fold(0u64, |acc, o| acc.saturating_add(o.buffer_bytes).saturating_add(o.batch_bytes));
+    let batch_pulls = operators.iter().fold(0u64, |acc, o| acc.saturating_add(o.pulls));
+    ResourceBounds { operators, peak_bytes, batch_pulls, batch_rows }
+}
+
+fn walk(
+    pattern: &Pattern,
+    estimates: &PatternEstimates,
+    model: &CostModel,
+    plan: &PlanNode,
+    path: &str,
+    batch_rows: u64,
+    out: &mut Vec<OperatorBounds>,
+) -> SubBounds {
+    // Reserve this operator's pre-order slot before recursing.
+    let slot = out.len();
+    out.push(OperatorBounds {
+        location: path.to_string(),
+        label: String::new(),
+        rows: CardInterval { lo: 0, hi: 0 },
+        est_hi: 0,
+        point_estimate: 0.0,
+        buffer_bytes: 0,
+        batch_bytes: 0,
+        pulls: 0,
+    });
+    let (point_estimate, _) = {
+        let (_, card) = model.plan_cost(plan, pattern, estimates);
+        (card, ())
+    };
+    let (label, sub, buffer_bytes, extra_out_rows, child_widths) = match plan {
+        PlanNode::IndexScan { pnode } => {
+            let (lo, hi) = estimates.node_bounds(*pnode);
+            let sub = SubBounds {
+                rows: CardInterval { lo, hi },
+                est_hi: hi,
+                mult_hi: HashMap::from([(*pnode, 1u64)]),
+                width: 1,
+            };
+            (format!("Scan {}#{}", pattern.node(*pnode).tag, pnode.0), sub, 0u64, 0u64, vec![])
+        }
+        PlanNode::Sort { input, by } => {
+            let inner =
+                walk(pattern, estimates, model, input, &format!("{path}.in"), batch_rows, out);
+            // The sort materializes its whole input.
+            let buffer = inner.rows.hi.saturating_mul(inner.width as u64).saturating_mul(ENTRY);
+            let width = inner.width;
+            let sub = SubBounds {
+                rows: inner.rows,
+                est_hi: inner.est_hi,
+                mult_hi: inner.mult_hi,
+                width: inner.width,
+            };
+            (format!("Sort by #{}", by.0), sub, buffer, 0u64, vec![width])
+        }
+        PlanNode::StructuralJoin { left, right, anc, desc, axis, algo } => {
+            let l = walk(pattern, estimates, model, left, &format!("{path}.left"), batch_rows, out);
+            let r =
+                walk(pattern, estimates, model, right, &format!("{path}.right"), batch_rows, out);
+
+            // Structural key inequality: one descendant element has at
+            // most `depth_levels(anc)` ancestors with the anc tag
+            // (distinct ancestors sit at distinct levels), exactly one
+            // parent for `/`.
+            let levels = match axis {
+                Axis::Descendant => estimates.node_depth_levels(*anc).max(1),
+                Axis::Child => 1,
+            };
+            let l_mult_anc = l.mult_hi.get(anc).copied().unwrap_or(l.rows.hi);
+            let anc_matches = l_mult_anc.saturating_mul(levels);
+            let rows_hi =
+                l.rows.hi.saturating_mul(r.rows.hi).min(r.rows.hi.saturating_mul(anc_matches));
+            let rows = CardInterval { lo: 0, hi: rows_hi };
+
+            // Multiplicities of the joined output.
+            let mut mult_hi = HashMap::with_capacity(l.mult_hi.len() + r.mult_hi.len());
+            for (&col, &m) in &l.mult_hi {
+                mult_hi.insert(col, m.saturating_mul(r.rows.hi).min(rows_hi));
+            }
+            for (&col, &m) in &r.mult_hi {
+                mult_hi.insert(col, m.saturating_mul(anc_matches).min(rows_hi));
+            }
+
+            // Stack bound: entries hold nested left tuples — distinct
+            // anc elements on the stack nest, so there are at most
+            // `depth_levels(anc)` of them regardless of axis, times
+            // the left multiplicity of the anc column.
+            let nest_levels = estimates.node_depth_levels(*anc).max(1);
+            let stack_rows = l.rows.hi.min(nest_levels.saturating_mul(l_mult_anc));
+            let width = l.width + r.width;
+            let stack_bytes = stack_rows.saturating_mul(l.width as u64).saturating_mul(ENTRY);
+            let buffer = match algo {
+                // Anc additionally parks every not-yet-emitted output
+                // pair (full output width).
+                JoinAlgo::StackTreeAnc => stack_bytes
+                    .saturating_add(rows_hi.saturating_mul(width as u64).saturating_mul(ENTRY)),
+                JoinAlgo::StackTreeDesc => stack_bytes,
+                // MPMGJN buffers the descendant window, which never
+                // shrinks over the operator's lifetime.
+                JoinAlgo::MergeJoin => {
+                    r.rows.hi.saturating_mul(r.width as u64).saturating_mul(ENTRY)
+                }
+            };
+            let label = match algo {
+                JoinAlgo::StackTreeAnc => "STJ-A",
+                JoinAlgo::StackTreeDesc => "STJ-D",
+                JoinAlgo::MergeJoin => "MPMGJN",
+            };
+            let sub = SubBounds { rows, est_hi: l.est_hi.saturating_mul(r.est_hi), mult_hi, width };
+            // A stack-tree batch may overshoot `batch_rows` by the
+            // stack depth (one descendant's matches leave together).
+            let overshoot = match algo {
+                JoinAlgo::MergeJoin => 0,
+                _ => stack_rows,
+            };
+            (
+                format!(
+                    "{label}({}{}{})",
+                    anc.0,
+                    if *axis == Axis::Child { "/" } else { "//" },
+                    desc.0
+                ),
+                sub,
+                buffer,
+                overshoot,
+                vec![l.width, r.width],
+            )
+        }
+    };
+
+    // In-flight batches: this operator's output batch under
+    // construction plus one cached input batch per child cursor.
+    let out_batch_rows = batch_rows.saturating_add(extra_out_rows);
+    let mut batch_bytes = out_batch_rows.saturating_mul(sub.width as u64).saturating_mul(ENTRY);
+    for w in child_widths {
+        batch_bytes =
+            batch_bytes.saturating_add(batch_rows.saturating_mul(w as u64).saturating_mul(ENTRY));
+    }
+
+    // Pull bound: mid-stream batches carry ≥ batch_rows rows and the
+    // terminal `None` is observed at most once per boundary.
+    let pulls = (sub.rows.hi / batch_rows).saturating_add(2);
+
+    out[slot] = OperatorBounds {
+        location: path.to_string(),
+        label,
+        rows: sub.rows,
+        est_hi: sub.est_hi,
+        point_estimate,
+        buffer_bytes,
+        batch_bytes,
+        pulls,
+    };
+    sub
+}
+
+/// PL060 + PL061: check the bound lattice itself — well-ordered,
+/// non-saturated intervals that grow monotonically up the tree, each
+/// containing the cost model's point estimate. Returns the bounds so
+/// callers lint and admit with one analysis.
+pub fn lint_bounds(
+    pattern: &Pattern,
+    estimates: &PatternEstimates,
+    model: &CostModel,
+    plan: &PlanNode,
+    batch_rows: usize,
+) -> (ResourceBounds, Report) {
+    let bounds = analyze_bounds(pattern, estimates, model, plan, batch_rows);
+    let mut report = Report::default();
+    for op in &bounds.operators {
+        if op.rows.lo > op.rows.hi {
+            report.push(
+                Rule::BoundArithmetic,
+                op.location.clone(),
+                format!("interval is inverted: lo {} > hi {}", op.rows.lo, op.rows.hi),
+            );
+        }
+        if op.rows.hi == u64::MAX || op.buffer_bytes == u64::MAX || op.pulls == u64::MAX {
+            report.push(
+                Rule::BoundArithmetic,
+                op.location.clone(),
+                "bound arithmetic saturated u64 — the bound is vacuous and cannot admit anything"
+                    .to_string(),
+            );
+        }
+        let coarse = CardInterval { lo: op.rows.lo, hi: op.est_hi };
+        if !coarse.contains(op.point_estimate) {
+            report.push(
+                Rule::BoundContainsEstimate,
+                op.location.clone(),
+                format!(
+                    "cost model estimates {:.1} rows outside [{}, {}] (guaranteed lower bound, \
+                     product of index-list lengths)",
+                    op.point_estimate, coarse.lo, coarse.hi
+                ),
+            );
+        }
+        if op.rows.hi > op.est_hi {
+            report.push(
+                Rule::BoundArithmetic,
+                op.location.clone(),
+                format!(
+                    "tightened bound {} exceeds the coarse product bound {}",
+                    op.rows.hi, op.est_hi
+                ),
+            );
+        }
+    }
+    // Monotonicity: a parent's cumulative byte/pull bound includes its
+    // subtree's, so the root totals dominate every operator's own
+    // terms.
+    for op in &bounds.operators {
+        let own = op.buffer_bytes.saturating_add(op.batch_bytes);
+        if own > bounds.peak_bytes || op.pulls > bounds.batch_pulls {
+            report.push(
+                Rule::BoundArithmetic,
+                op.location.clone(),
+                format!(
+                    "bounds shrink up the tree: operator needs {own} B / {} pulls but the plan \
+                     total is {} B / {} pulls",
+                    op.pulls, bounds.peak_bytes, bounds.batch_pulls
+                ),
+            );
+        }
+    }
+    (bounds, report)
+}
+
+/// PL062 + PL063: the admission predicate. Compares `bounds` against
+/// explicit budgets (bytes / batch pulls); `None` means unlimited. A
+/// clean report admits the plan.
+pub fn admit(
+    bounds: &ResourceBounds,
+    memory_budget: Option<u64>,
+    batch_budget: Option<u64>,
+) -> Report {
+    let mut report = Report::default();
+    if let Some(limit) = memory_budget {
+        if bounds.peak_bytes > limit {
+            report.push(
+                Rule::MemoryAdmissible,
+                "root",
+                format!(
+                    "worst-case peak {} B exceeds the {} B memory budget",
+                    bounds.peak_bytes, limit
+                ),
+            );
+        }
+    }
+    if let Some(limit) = batch_budget {
+        if bounds.batch_pulls > limit {
+            report.push(
+                Rule::BatchAdmissible,
+                "root",
+                format!(
+                    "worst-case {} batch pulls exceed the {} pull budget",
+                    bounds.batch_pulls, limit
+                ),
+            );
+        }
+    }
+    report
+}
+
+/// [`admit`] against the budgets carried by a [`QueryGuard`] — the
+/// pre-execution check a server runs before handing the guard to the
+/// executor.
+pub fn admit_guard(bounds: &ResourceBounds, guard: &QueryGuard) -> Report {
+    let budget = guard.memory_budget().map(|b| b as u64);
+    admit(bounds, budget, guard.batch_budget())
+}
+
+/// PL064 (dynamic, in the style of PL034): execute `plan` against
+/// `store` at the bounds' batch granularity and check that the
+/// observed peak buffering, batch pulls, and output cardinality all
+/// stay inside the static bounds.
+///
+/// # Errors
+/// Propagates execution failures ([`EngineError`]) — a failed run
+/// proves nothing about the bounds.
+pub fn lint_bound_soundness(
+    store: &XmlStore,
+    pattern: &Pattern,
+    bounds: &ResourceBounds,
+    plan: &PlanNode,
+) -> Result<Report, EngineError> {
+    let guard = Arc::new(QueryGuard::unlimited());
+    let result = execute_guarded_with_batch_rows(store, pattern, plan, bounds.batch_rows, &guard)?;
+    let mut report = Report::default();
+    if result.metrics.peak_bytes > bounds.peak_bytes {
+        report.push(
+            Rule::BoundSound,
+            "root",
+            format!(
+                "observed peak {} B exceeds the static bound {} B",
+                result.metrics.peak_bytes, bounds.peak_bytes
+            ),
+        );
+    }
+    let pulled = guard.batches_pulled();
+    if pulled > bounds.batch_pulls {
+        report.push(
+            Rule::BoundSound,
+            "root",
+            format!("observed {pulled} batch pulls exceed the static bound {}", bounds.batch_pulls),
+        );
+    }
+    let root = bounds.root_rows();
+    let rows = result.metrics.output_tuples;
+    if rows < root.lo || rows > root.hi {
+        report.push(
+            Rule::BoundSound,
+            "root",
+            format!("{rows} output rows fall outside the root interval [{}, {}]", root.lo, root.hi),
+        );
+    }
+    Ok(report)
+}
+
+/// One-call convenience: analyze, lint the lattice (PL060/PL061),
+/// and replay for soundness (PL064) at the default batch size.
+///
+/// # Errors
+/// Propagates execution failures ([`EngineError`]).
+pub fn lint_resources(
+    store: &XmlStore,
+    pattern: &Pattern,
+    estimates: &PatternEstimates,
+    model: &CostModel,
+    plan: &PlanNode,
+) -> Result<(ResourceBounds, Report), EngineError> {
+    let (bounds, mut report) = lint_bounds(pattern, estimates, model, plan, BATCH_ROWS);
+    let dynamic = lint_bound_soundness(store, pattern, &bounds, plan)?;
+    report.absorb("replay", dynamic);
+    Ok((bounds, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjos_pattern::parse_pattern;
+    use sjos_stats::Catalog;
+    use sjos_xml::Document;
+
+    fn setup(xml: &str, query: &str) -> (XmlStore, Pattern, PatternEstimates, CostModel) {
+        let doc = Document::parse(xml).unwrap();
+        let pattern = parse_pattern(query).unwrap();
+        let catalog = Catalog::build(&doc);
+        let estimates = PatternEstimates::new(&catalog, &doc, &pattern);
+        (XmlStore::load(doc), pattern, estimates, CostModel::default())
+    }
+
+    fn scan(i: u16) -> PlanNode {
+        PlanNode::IndexScan { pnode: PnId(i) }
+    }
+
+    fn join(
+        left: PlanNode,
+        right: PlanNode,
+        a: u16,
+        d: u16,
+        axis: Axis,
+        algo: JoinAlgo,
+    ) -> PlanNode {
+        PlanNode::StructuralJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            anc: PnId(a),
+            desc: PnId(d),
+            axis,
+            algo,
+        }
+    }
+
+    const XML: &str = "<db>\
+        <dept><emp><name>ada</name></emp><emp><name>bob</name></emp></dept>\
+        <dept><emp><name>cat</name></emp></dept>\
+      </db>";
+
+    #[test]
+    fn scan_bounds_are_exact() {
+        let (_, pattern, est, model) = setup(XML, "//dept//emp");
+        let b = analyze_bounds(&pattern, &est, &model, &scan(0), BATCH_ROWS);
+        assert_eq!(b.root_rows(), CardInterval { lo: 2, hi: 2 });
+        assert_eq!(b.operators[0].buffer_bytes, 0, "scans buffer nothing");
+        assert!(b.batch_pulls >= 2);
+    }
+
+    #[test]
+    fn depth_levels_tighten_the_join_bound() {
+        let (_, pattern, est, model) = setup(XML, "//dept//emp");
+        let plan = join(scan(0), scan(1), 0, 1, Axis::Descendant, JoinAlgo::StackTreeDesc);
+        let b = analyze_bounds(&pattern, &est, &model, &plan, BATCH_ROWS);
+        // dept occurs at one level, so each emp has ≤ 1 dept ancestor:
+        // the bound is |emp| · 1 = 3, not |dept| · |emp| = 6.
+        assert_eq!(b.root_rows().hi, 3);
+        assert_eq!(b.root_rows().lo, 0);
+    }
+
+    #[test]
+    fn lattice_is_clean_and_contains_estimates() {
+        let (_, pattern, est, model) = setup(XML, "//dept/emp/name");
+        let plan = join(
+            join(scan(0), scan(1), 0, 1, Axis::Child, JoinAlgo::StackTreeDesc),
+            scan(2),
+            1,
+            2,
+            Axis::Child,
+            JoinAlgo::StackTreeDesc,
+        );
+        let (bounds, report) = lint_bounds(&pattern, &est, &model, &plan, BATCH_ROWS);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(bounds.operators.len(), 5, "pre-order covers every operator");
+        assert_eq!(bounds.operators[0].location, "root");
+        assert_eq!(bounds.operators[1].location, "root.left");
+    }
+
+    #[test]
+    fn corrupted_bounds_fire_pl060() {
+        let (_, pattern, est, model) = setup(XML, "//dept//emp");
+        let plan = join(scan(0), scan(1), 0, 1, Axis::Descendant, JoinAlgo::StackTreeDesc);
+        let (mut bounds, _) = lint_bounds(&pattern, &est, &model, &plan, BATCH_ROWS);
+        // Invert an interval and re-run just the lattice checks via a
+        // hand-rolled report (lint_bounds recomputes, so check the
+        // helper predicate directly).
+        bounds.operators[0].rows = CardInterval { lo: 10, hi: 3 };
+        assert!(bounds.operators[0].rows.lo > bounds.operators[0].rows.hi);
+        assert!(!bounds.operators[0].rows.contains(5.0), "inverted interval contains nothing");
+    }
+
+    #[test]
+    fn sort_buffers_its_whole_input() {
+        let (_, pattern, est, model) = setup(XML, "//dept//emp");
+        let inner = join(scan(0), scan(1), 0, 1, Axis::Descendant, JoinAlgo::StackTreeAnc);
+        let plan = PlanNode::Sort { input: Box::new(inner), by: PnId(1) };
+        let b = analyze_bounds(&pattern, &est, &model, &plan, BATCH_ROWS);
+        let sort = &b.operators[0];
+        assert_eq!(sort.buffer_bytes, 3 * 2 * ENTRY, "3 rows × 2 cols");
+    }
+
+    #[test]
+    fn admission_rejects_below_and_admits_above() {
+        let (_, pattern, est, model) = setup(XML, "//dept//emp");
+        let plan = join(scan(0), scan(1), 0, 1, Axis::Descendant, JoinAlgo::StackTreeAnc);
+        let b = analyze_bounds(&pattern, &est, &model, &plan, BATCH_ROWS);
+        assert!(b.peak_bytes > 0);
+        let reject = admit(&b, Some(b.peak_bytes - 1), None);
+        assert!(reject.violates(Rule::MemoryAdmissible));
+        let accept = admit(&b, Some(b.peak_bytes), Some(b.batch_pulls));
+        assert!(accept.is_clean(), "{accept}");
+        let reject_pulls = admit(&b, None, Some(b.batch_pulls - 1));
+        assert!(reject_pulls.violates(Rule::BatchAdmissible));
+    }
+
+    #[test]
+    fn admit_guard_reads_the_guard_budgets() {
+        let (_, pattern, est, model) = setup(XML, "//dept//emp");
+        let plan = join(scan(0), scan(1), 0, 1, Axis::Descendant, JoinAlgo::StackTreeDesc);
+        let b = analyze_bounds(&pattern, &est, &model, &plan, BATCH_ROWS);
+        let tight = QueryGuard::unlimited().with_memory_budget(1);
+        assert!(admit_guard(&b, &tight).violates(Rule::MemoryAdmissible));
+        let unlimited = QueryGuard::unlimited();
+        assert!(admit_guard(&b, &unlimited).is_clean());
+    }
+
+    #[test]
+    fn replayed_execution_stays_inside_the_bounds() {
+        let (store, pattern, est, model) = setup(XML, "//dept/emp/name");
+        for algo in [JoinAlgo::StackTreeDesc, JoinAlgo::StackTreeAnc, JoinAlgo::MergeJoin] {
+            let inner = join(scan(0), scan(1), 0, 1, Axis::Child, algo);
+            let left = PlanNode::Sort { input: Box::new(inner), by: PnId(1) };
+            let plan = join(left, scan(2), 1, 2, Axis::Child, JoinAlgo::StackTreeDesc);
+            for rows in [1usize, 3, BATCH_ROWS] {
+                let b = analyze_bounds(&pattern, &est, &model, &plan, rows);
+                let report = lint_bound_soundness(&store, &pattern, &b, &plan).unwrap();
+                assert!(report.is_clean(), "{algo:?} at batch_rows={rows}: {report}");
+            }
+        }
+    }
+
+    #[test]
+    fn value_predicates_zero_the_lower_bound() {
+        let (_, pattern, est, model) = setup(XML, "//emp/name[text()='ada']");
+        let b = analyze_bounds(&pattern, &est, &model, &scan(1), BATCH_ROWS);
+        assert_eq!(b.root_rows().lo, 0, "a predicate may filter everything");
+        assert_eq!(b.root_rows().hi, 3, "…but never adds rows");
+    }
+}

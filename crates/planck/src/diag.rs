@@ -93,6 +93,23 @@ pub enum Rule {
     /// one finalization, every level reached, no expansion-budget
     /// cutoffs.
     TraceComplete,
+    /// PL060: the resource-bound arithmetic is sane — every interval
+    /// is well-ordered (`lo ≤ hi`), finite by construction, and
+    /// bounds grow monotonically up the plan tree.
+    BoundArithmetic,
+    /// PL061: every operator's derived cardinality interval contains
+    /// the cost model's point estimate.
+    BoundContainsEstimate,
+    /// PL062: the plan's worst-case peak-memory bound fits the query
+    /// guard's memory budget — the static admission predicate.
+    MemoryAdmissible,
+    /// PL063: the plan's worst-case batch-pull bound fits the query
+    /// guard's batch budget.
+    BatchAdmissible,
+    /// PL064: replayed executions never exceed the static bounds —
+    /// observed peak bytes and batch pulls stay within the derived
+    /// worst case (dynamic soundness check).
+    BoundSound,
 }
 
 /// How severe a fired rule is.
@@ -115,7 +132,7 @@ impl fmt::Display for Severity {
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 33] = [
+    pub const ALL: [Rule; 38] = [
         Rule::BindingPartition,
         Rule::EdgeExists,
         Rule::EdgeOrientation,
@@ -149,6 +166,11 @@ impl Rule {
         Rule::LookaheadAdmissible,
         Rule::TraceConsistent,
         Rule::TraceComplete,
+        Rule::BoundArithmetic,
+        Rule::BoundContainsEstimate,
+        Rule::MemoryAdmissible,
+        Rule::BatchAdmissible,
+        Rule::BoundSound,
     ];
 
     /// The stable diagnostic id.
@@ -187,6 +209,11 @@ impl Rule {
             Rule::LookaheadAdmissible => "PL051",
             Rule::TraceConsistent => "PL052",
             Rule::TraceComplete => "PL053",
+            Rule::BoundArithmetic => "PL060",
+            Rule::BoundContainsEstimate => "PL061",
+            Rule::MemoryAdmissible => "PL062",
+            Rule::BatchAdmissible => "PL063",
+            Rule::BoundSound => "PL064",
         }
     }
 
@@ -237,6 +264,11 @@ impl Rule {
             Rule::LookaheadAdmissible => "lookahead-admissible",
             Rule::TraceConsistent => "trace-consistent",
             Rule::TraceComplete => "trace-complete",
+            Rule::BoundArithmetic => "bound-arithmetic",
+            Rule::BoundContainsEstimate => "bound-contains-estimate",
+            Rule::MemoryAdmissible => "memory-admissible",
+            Rule::BatchAdmissible => "batch-admissible",
+            Rule::BoundSound => "bound-sound",
         }
     }
 
@@ -406,6 +438,39 @@ impl Rule {
                  generated, and no expansion budget may have cut \
                  branches off (§3.1.1, §3.3.1)"
             }
+            Rule::BoundArithmetic => {
+                "the admission decision is only trustworthy if the \
+                 interval lattice it computes is well-formed: lo ≤ hi \
+                 everywhere, saturating (never wrapping) arithmetic, and \
+                 bounds that can only grow as operators compose"
+            }
+            Rule::BoundContainsEstimate => {
+                "the cost model's point estimates (§2.2.2) and the \
+                 bound analysis read the same catalog; every estimate is \
+                 a product of per-node cardinalities and [0,1] edge \
+                 selectivities, so it must lie between the operator's \
+                 guaranteed lower bound and the product of its nodes' \
+                 index-list lengths — escaping that interval means one \
+                 of the two derivations is wrong"
+            }
+            Rule::MemoryAdmissible => {
+                "admission control must reject a plan whose worst-case \
+                 buffering exceeds the guard's memory budget *before* \
+                 execution — running it would only convert the static \
+                 verdict into a GuardBreach after the memory was spent"
+            }
+            Rule::BatchAdmissible => {
+                "the guard charges one batch pull per operator boundary \
+                 per batch; a plan whose worst-case pull count exceeds \
+                 the batch budget cannot finish and should be rejected \
+                 statically"
+            }
+            Rule::BoundSound => {
+                "the static bounds are upper bounds on real executions; \
+                 an observed peak footprint or pull count above the \
+                 derived worst case falsifies the analysis and voids \
+                 every admission decision it made"
+            }
         }
     }
 }
@@ -527,6 +592,28 @@ impl fmt::Display for Report {
     }
 }
 
+/// Machine-readable JSON catalog of every rule `planck` knows: one
+/// entry per rule with its stable id, short name, severity, and prose
+/// explanation. Backs `planlint rules --json` so CI can pin the rule
+/// surface.
+pub fn rule_catalog_json() -> String {
+    let mut out = String::from("{\"rules\":[");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"explanation\":\"{}\"}}",
+            rule.id(),
+            rule.name(),
+            rule.severity(),
+            json_escape(rule.explanation()),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Escape `text` for embedding in a JSON string literal.
 fn json_escape(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
@@ -560,6 +647,20 @@ mod tests {
         assert_eq!(Rule::DppMatchesDp.id(), "PL030");
         assert_eq!(Rule::RedundantSort.id(), "PL040");
         assert_eq!(Rule::PruneAdmissible.id(), "PL050");
+        assert_eq!(Rule::BoundArithmetic.id(), "PL060");
+        assert_eq!(Rule::BoundSound.id(), "PL064");
+    }
+
+    #[test]
+    fn rule_names_are_unique_across_all_families() {
+        // `Rule::ALL` spans every family (plan, status, optimizer,
+        // exec, dataflow, trace, bounds); names must not collide any
+        // more than ids do.
+        let mut names: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate rule name");
     }
 
     #[test]

@@ -28,7 +28,15 @@
 //! * recorded optimizer search traces are admissible — the certifier
 //!   ([`certify_trace`]) replays every prune, duplicate elimination,
 //!   and lookahead skip against the status lattice and proves no
-//!   decision could have discarded the optimum (PL050–PL053).
+//!   decision could have discarded the optimum (PL050–PL053);
+//! * resource consumption is *provably bounded before execution* — a
+//!   resource-bound abstract interpretation ([`analyze_bounds`])
+//!   propagates guaranteed cardinality intervals bottom-up from the
+//!   catalog's exact index statistics and derives worst-case peak
+//!   buffering bytes and batch-pull counts, which [`admit`] compares
+//!   against [`sjos_exec::QueryGuard`] budgets as a static admission
+//!   predicate; one dynamic rule replays executions to certify the
+//!   bounds are never exceeded (PL060–PL064).
 //!
 //! Every rule carries a stable `PL0xx` id ([`Rule::id`]), a short
 //! name, and a prose explanation citing the paper section that
@@ -39,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounds;
 pub mod cross;
 pub mod dataflow;
 pub mod diag;
@@ -47,11 +56,15 @@ pub mod plan_rules;
 pub mod status_rules;
 pub mod trace;
 
+pub use bounds::{
+    admit, admit_guard, analyze_bounds, lint_bound_soundness, lint_bounds, lint_resources,
+    CardInterval, OperatorBounds, ResourceBounds, DEFAULT_MEMORY_BUDGET,
+};
 pub use cross::{lint_optimizers, lint_search_space, min_pipelined_cost, MAX_CROSS_CHECK_NODES};
 pub use dataflow::{
     analyze_plan, holistic_properties, lint_dataflow, DataflowAnalysis, OrderFact, PlanProperties,
 };
-pub use diag::{Diagnostic, Report, Rule, Severity};
+pub use diag::{rule_catalog_json, Diagnostic, Report, Rule, Severity};
 pub use exec_rules::{lint_batches, lint_error_surfacing, lint_execution};
 pub use plan_rules::{lint_plan, lint_plan_with, PlanExpectations};
 pub use status_rules::{lint_status, lint_status_key};

@@ -21,6 +21,13 @@ pub struct TagStats {
     pub cardinality: u64,
     /// Number of distinct immediate-text values.
     pub distinct_values: u64,
+    /// Number of distinct tree depths (region levels) at which the
+    /// tag occurs. Because any two distinct ancestors of one node sit
+    /// at distinct levels, this bounds how many same-tag ancestors a
+    /// single element can have — the self-nesting factor the
+    /// resource-bound analysis multiplies by (1 for non-recursive
+    /// tags).
+    pub depth_levels: u64,
 }
 
 /// Per-tag statistics for a document: what a real system would keep in
@@ -49,9 +56,11 @@ impl Catalog {
         for (tag, ids) in doc.tag_lists() {
             let mut hist = PositionalHistogram::new(grid, max_pos);
             let mut values: HashSet<&str> = HashSet::new();
+            let mut levels: HashSet<u16> = HashSet::new();
             for &id in ids {
                 hist.insert(doc.region(id));
                 values.insert(doc.node(id).text.as_str());
+                levels.insert(doc.region(id).level);
             }
             per_tag.insert(
                 tag,
@@ -59,19 +68,23 @@ impl Catalog {
                     histogram: hist,
                     cardinality: ids.len() as u64,
                     distinct_values: values.len() as u64,
+                    depth_levels: levels.len() as u64,
                 },
             );
         }
         let mut all_hist = PositionalHistogram::new(grid, max_pos);
         let mut all_values: HashSet<&str> = HashSet::new();
+        let mut all_levels: HashSet<u16> = HashSet::new();
         for node in doc.nodes() {
             all_hist.insert(node.region);
             all_values.insert(node.text.as_str());
+            all_levels.insert(node.region.level);
         }
         let all = TagStats {
             histogram: all_hist,
             cardinality: doc.len() as u64,
             distinct_values: all_values.len() as u64,
+            depth_levels: all_levels.len() as u64,
         };
         Catalog { per_tag, all, grid, max_pos, total_elements: doc.len() as u64 }
     }
@@ -206,6 +219,31 @@ mod tests {
         assert!((est - 30.0).abs() < 10.0, "est {est}");
         let pc = c.join_pairs(dept, emp, Axis::Child);
         assert!((pc - 30.0).abs() < 12.0, "pc {pc}");
+    }
+
+    #[test]
+    fn depth_levels_counts_distinct_region_levels() {
+        let d = doc();
+        let c = Catalog::build(&d);
+        // db at level 0, dept at 1, emp at 2, name at 2 and 3.
+        assert_eq!(c.tag_stats(d.tag("db").unwrap()).unwrap().depth_levels, 1);
+        assert_eq!(c.tag_stats(d.tag("dept").unwrap()).unwrap().depth_levels, 1);
+        assert_eq!(c.tag_stats(d.tag("name").unwrap()).unwrap().depth_levels, 2);
+        assert_eq!(c.all_stats().depth_levels, 4, "four levels overall");
+    }
+
+    #[test]
+    fn recursive_tags_span_multiple_levels() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("m");
+        b.start_element("m");
+        b.start_element("m");
+        b.end_element();
+        b.end_element();
+        b.end_element();
+        let d = b.finish();
+        let c = Catalog::build(&d);
+        assert_eq!(c.tag_stats(d.tag("m").unwrap()).unwrap().depth_levels, 3);
     }
 
     #[test]

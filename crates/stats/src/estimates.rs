@@ -20,6 +20,17 @@ pub struct PatternEstimates {
     /// Selectivity per pattern edge (same order as `pattern.edges()`):
     /// `pairs(u, v) / (|u| * |v|)`.
     edge_sel: Vec<f64>,
+    /// Guaranteed lower bound on each node's binding-list size: the
+    /// exact index-list cardinality for predicate-free nodes, 0 when a
+    /// value predicate may filter arbitrarily.
+    node_lo: Vec<u64>,
+    /// Guaranteed upper bound on each node's binding-list size: the
+    /// exact index-list cardinality (a predicate can only shrink it).
+    node_hi: Vec<u64>,
+    /// Distinct tree depths at which each node's tag occurs (see
+    /// [`crate::TagStats::depth_levels`]); bounds per-node self-nesting
+    /// in the resource-bound analysis.
+    node_depth_levels: Vec<u64>,
 }
 
 impl PatternEstimates {
@@ -29,9 +40,12 @@ impl PatternEstimates {
     pub fn new(catalog: &Catalog, doc: &Document, pattern: &Pattern) -> PatternEstimates {
         let mut node_card = Vec::with_capacity(pattern.len());
         let mut scan_card = Vec::with_capacity(pattern.len());
+        let mut node_lo = Vec::with_capacity(pattern.len());
+        let mut node_hi = Vec::with_capacity(pattern.len());
+        let mut node_depth_levels = Vec::with_capacity(pattern.len());
         for id in pattern.node_ids() {
             let pnode = pattern.node(id);
-            let (raw, with_pred) = match catalog.stats_for_name(doc, &pnode.tag) {
+            let (raw_exact, levels, with_pred) = match catalog.stats_for_name(doc, &pnode.tag) {
                 Some(stats) => {
                     let raw = stats.cardinality as f64;
                     let sel = match &pnode.predicate {
@@ -41,12 +55,15 @@ impl PatternEstimates {
                         Some(ValuePredicate::Equals(_)) => 0.0,
                         None => 1.0,
                     };
-                    (raw, raw * sel)
+                    (stats.cardinality, stats.depth_levels, raw * sel)
                 }
-                None => (0.0, 0.0),
+                None => (0, 0, 0.0),
             };
-            scan_card.push(raw);
+            scan_card.push(raw_exact as f64);
             node_card.push(with_pred);
+            node_lo.push(if pnode.predicate.is_none() { raw_exact } else { 0 });
+            node_hi.push(raw_exact);
+            node_depth_levels.push(levels);
         }
         let mut edge_sel = Vec::with_capacity(pattern.edge_count());
         for edge in pattern.edges() {
@@ -68,7 +85,7 @@ impl PatternEstimates {
             };
             edge_sel.push(sel);
         }
-        PatternEstimates { node_card, scan_card, edge_sel }
+        PatternEstimates { node_card, scan_card, edge_sel, node_lo, node_hi, node_depth_levels }
     }
 
     /// Estimated binding-list size of one pattern node (value
@@ -86,6 +103,23 @@ impl PatternEstimates {
     /// `Pattern::edges`).
     pub fn edge_selectivity(&self, edge_idx: usize) -> f64 {
         self.edge_sel[edge_idx]
+    }
+
+    /// Guaranteed `[lo, hi]` bounds on one node's binding-list size.
+    /// Unlike [`Self::node_cardinality`] these are *sound*: the true
+    /// binding-list size always lies inside the interval (`hi` is the
+    /// exact index-list length; `lo` drops to 0 when a value predicate
+    /// may filter rows).
+    pub fn node_bounds(&self, id: PnId) -> (u64, u64) {
+        (self.node_lo[id.index()], self.node_hi[id.index()])
+    }
+
+    /// Distinct tree depths at which one node's tag occurs. Any two
+    /// distinct ancestors of a single element sit at distinct levels,
+    /// so this bounds how many bindings of this node can be ancestors
+    /// of one fixed element (1 for non-recursive tags).
+    pub fn node_depth_levels(&self, id: PnId) -> u64 {
+        self.node_depth_levels[id.index()]
     }
 
     /// Estimated size of the intermediate result binding all nodes of
@@ -204,6 +238,26 @@ mod tests {
         let j = e.join_cardinality(&p, left, right, 0);
         let c = e.cluster_cardinality(&p, left.union(right));
         assert_eq!(j, c);
+    }
+
+    #[test]
+    fn node_bounds_bracket_the_point_estimate() {
+        let (_, p, e) = estimates("//emp/name[text()='n3']");
+        for id in p.node_ids() {
+            let (lo, hi) = e.node_bounds(id);
+            let point = e.node_cardinality(id);
+            assert!(lo as f64 <= point && point <= hi as f64, "{id:?}: [{lo},{hi}] ∌ {point}");
+        }
+        // The predicate node is uncertain, the predicate-free node exact.
+        assert_eq!(e.node_bounds(PnId(1)), (0, 80));
+        assert_eq!(e.node_bounds(PnId(0)), (80, 80));
+    }
+
+    #[test]
+    fn depth_levels_reach_the_estimates() {
+        let (_, _p, e) = estimates("//dept/emp/name");
+        assert_eq!(e.node_depth_levels(PnId(0)), 1, "dept occurs at one level");
+        assert_eq!(e.node_depth_levels(PnId(2)), 1, "name occurs at one level");
     }
 
     #[test]

@@ -37,6 +37,25 @@ for spec in "pers:3000:'//manager//employee/name'" \
   done
 done
 
+echo "==> planlint admit (resource-bound admission over the three corpora)"
+cargo run --quiet --bin planlint -- admit \
+  --gen pers:3000 --query '//manager//employee/name' --json >/dev/null
+cargo run --quiet --bin planlint -- admit \
+  --gen dblp:3000 --query '//dblp/article[./author][./title]' --json >/dev/null
+cargo run --quiet --bin planlint -- admit \
+  --gen mbench:1500 --query '//eNest//eNest/eOccasional' --json >/dev/null
+
+echo "==> planlint admit rejects a starved budget (expected exit 1)"
+if cargo run --quiet --bin planlint -- admit --query '//a/b/c' \
+    --memory-budget 16B --json >/dev/null; then
+  echo "starved budget admitted" >&2
+  exit 1
+fi
+
+echo "==> planlint rules (catalog renders in both formats)"
+cargo run --quiet --bin planlint -- rules >/dev/null
+cargo run --quiet --bin planlint -- rules --json >/dev/null
+
 echo "==> planlint certify rejects a corrupted trace (expected exit 1)"
 if cargo run --quiet --bin planlint -- certify --query '//a/b/c' \
     --corrupt inflate-ubcost --json >/dev/null; then

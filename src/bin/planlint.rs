@@ -17,7 +17,11 @@
 //! cargo run --bin planlint -- certify --gen pers:5000 --query '//manager//employee'
 //! # prove the certifier rejects doctored evidence
 //! cargo run --bin planlint -- certify --query '//a/b/c' --corrupt inflate-ubcost
-//! # the full battery: mutations, dataflow, certification
+//! # static admission control: certify the plan fits a memory budget
+//! cargo run --bin planlint -- admit --query '//a/b/c' --memory-budget 64MiB --json
+//! # the machine-readable rule catalog
+//! cargo run --bin planlint -- rules --json
+//! # the full battery: mutations, dataflow, certification, bounds
 //! cargo run --bin planlint -- --query '//a/b/c' --selftest
 //! ```
 //!
@@ -32,9 +36,10 @@ use sjos::datagen::{dblp::dblp, mbench::mbench, pers::pers, GenConfig};
 use sjos::explain::explain;
 use sjos::{Database, Document};
 use sjos_planck::{
-    analyze_plan, certify_trace, corrupt_trace, lint_dataflow, lint_error_surfacing,
-    lint_execution, lint_optimizers, lint_plan_with, record_search_trace, PlanExpectations, Report,
-    TraceCorruption,
+    admit, analyze_plan, certify_trace, corrupt_trace, lint_bound_soundness, lint_bounds,
+    lint_dataflow, lint_error_surfacing, lint_execution, lint_optimizers, lint_plan_with,
+    record_search_trace, rule_catalog_json, PlanExpectations, Report, TraceCorruption,
+    DEFAULT_MEMORY_BUDGET,
 };
 
 /// Fallback document when neither `--xml` nor `--gen` is given: big
@@ -56,6 +61,10 @@ enum Command {
     Dataflow,
     /// Record and certify a search trace (PL050–PL053).
     Certify,
+    /// Resource-bound admission control (PL060–PL064).
+    Admit,
+    /// Print the rule catalog (no plan needed).
+    Rules,
 }
 
 struct Options {
@@ -69,6 +78,9 @@ struct Options {
     cross: bool,
     selftest: bool,
     json: bool,
+    memory_budget: Option<u64>,
+    batch_budget: Option<u64>,
+    batch_rows: usize,
 }
 
 fn main() {
@@ -78,11 +90,13 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: planlint [dataflow|certify] \
+                "usage: planlint [dataflow|certify|admit|rules] \
                  [--xml <file> | --gen pers:<n>|dblp:<n>|mbench:<n>] \
                  --query <pattern> [--algo dp|dpp|dpp-nl|dpap-eb:<te>|dpap-ld|fp|random:<seed>] \
                  [--mutate <mutation>] \
                  [--corrupt inflate-ubcost|drop-finalized|cheap-prune] \
+                 [--memory-budget <bytes|KiB|MiB|GiB>] [--batch-budget <pulls>] \
+                 [--batch-rows <n>] \
                  [--cross] [--selftest] [--json]"
             );
             std::process::exit(2);
@@ -109,6 +123,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         cross: false,
         selftest: false,
         json: false,
+        memory_budget: None,
+        batch_budget: None,
+        batch_rows: sjos::exec::BATCH_ROWS,
     };
     let mut it = args.iter().peekable();
     if let Some(first) = it.peek() {
@@ -119,6 +136,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "certify" => {
                 opts.command = Command::Certify;
+                it.next();
+            }
+            "admit" => {
+                opts.command = Command::Admit;
+                it.next();
+            }
+            "rules" => {
+                opts.command = Command::Rules;
                 it.next();
             }
             _ => {}
@@ -135,10 +160,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--cross" => opts.cross = true,
             "--selftest" => opts.selftest = true,
             "--json" => opts.json = true,
+            "--memory-budget" => {
+                let spec = it.next().ok_or("--memory-budget needs a size")?;
+                opts.memory_budget = Some(parse_size(spec)?);
+            }
+            "--batch-budget" => {
+                let n = it.next().ok_or("--batch-budget needs a count")?;
+                opts.batch_budget = Some(n.parse().map_err(|_| "bad batch budget")?);
+            }
+            "--batch-rows" => {
+                let n = it.next().ok_or("--batch-rows needs a count")?;
+                let n: usize = n.parse().map_err(|_| "bad batch rows")?;
+                if n == 0 {
+                    return Err("--batch-rows must be at least 1".into());
+                }
+                opts.batch_rows = n;
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    if opts.query.is_empty() {
+    if opts.query.is_empty() && opts.command != Command::Rules {
         return Err("--query is required".into());
     }
     if opts.corrupt.is_some() && opts.command != Command::Certify {
@@ -147,7 +188,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.mutate.is_some() && opts.command == Command::Certify {
         return Err("certify records a fresh search trace; --mutate does not apply".into());
     }
+    if (opts.memory_budget.is_some() || opts.batch_budget.is_some())
+        && opts.command != Command::Admit
+    {
+        return Err("budget flags only apply to the admit command".into());
+    }
     Ok(opts)
+}
+
+/// Parse a byte size: a bare number of bytes, or a number suffixed
+/// with `B`, `KiB`, `MiB`, or `GiB` (binary units).
+fn parse_size(spec: &str) -> Result<u64, String> {
+    let (digits, unit): (&str, u64) = if let Some(n) = spec.strip_suffix("GiB") {
+        (n, 1024 * 1024 * 1024)
+    } else if let Some(n) = spec.strip_suffix("MiB") {
+        (n, 1024 * 1024)
+    } else if let Some(n) = spec.strip_suffix("KiB") {
+        (n, 1024)
+    } else if let Some(n) = spec.strip_suffix('B') {
+        (n, 1)
+    } else {
+        (spec, 1)
+    };
+    let n: u64 = digits.trim().parse().map_err(|_| format!("bad size {spec}"))?;
+    n.checked_mul(unit).ok_or_else(|| format!("size {spec} overflows"))
 }
 
 fn load(opts: &Options) -> Result<Database, String> {
@@ -237,6 +301,9 @@ fn finish(opts: &Options, report: &Report) -> bool {
 }
 
 fn run(opts: &Options) -> Result<bool, String> {
+    if opts.command == Command::Rules {
+        return run_rules(opts);
+    }
     let db = load(opts)?;
     let pattern = sjos::parse_pattern(&opts.query).map_err(|e| e.to_string())?;
     let estimates = db.estimates(&pattern);
@@ -247,6 +314,9 @@ fn run(opts: &Options) -> Result<bool, String> {
     }
     if opts.command == Command::Certify {
         return run_certify(opts, &pattern, &estimates, &model);
+    }
+    if opts.command == Command::Admit {
+        return run_admit(opts, &db, &pattern);
     }
 
     let (algorithm, mut expect) = parse_algo(&opts.algo)?;
@@ -343,6 +413,65 @@ fn run_certify(
         );
     }
     let report = certify_trace(pattern, estimates, model, &trace);
+    Ok(finish(opts, &report))
+}
+
+/// Print the rule catalog: every stable rule id with its severity,
+/// name, and (in JSON) explanation. Needs no document or query.
+fn run_rules(opts: &Options) -> Result<bool, String> {
+    if opts.json {
+        println!("{}", rule_catalog_json());
+    } else {
+        for rule in sjos_planck::Rule::ALL {
+            println!("{:<6} {:<9} {}", rule.id(), format!("[{}]", rule.severity()), rule.name());
+        }
+    }
+    Ok(true)
+}
+
+/// Static admission control: derive guaranteed resource bounds for the
+/// optimized plan, lint the bound lattice (PL060/PL061), compare it
+/// against the budgets (PL062/PL063), and replay one execution to
+/// certify the bounds dynamically (PL064).
+fn run_admit(opts: &Options, db: &Database, pattern: &sjos::Pattern) -> Result<bool, String> {
+    let estimates = db.estimates(pattern);
+    let model = *db.cost_model();
+    let (algorithm, _) = parse_algo(&opts.algo)?;
+    let optimized = db.optimize(pattern, algorithm).map_err(|e| e.to_string())?;
+    let plan = optimized.plan;
+    let memory_budget = opts.memory_budget.unwrap_or(DEFAULT_MEMORY_BUDGET);
+
+    let (bounds, mut report) = lint_bounds(pattern, &estimates, &model, &plan, opts.batch_rows);
+    report.absorb("admit", admit(&bounds, Some(memory_budget), opts.batch_budget));
+    let replay =
+        lint_bound_soundness(db.store(), pattern, &bounds, &plan).map_err(|e| e.to_string())?;
+    report.absorb("replay", replay);
+
+    if opts.json {
+        println!(
+            "{{\"bounds\":{},\"memory_budget\":{memory_budget},\"batch_budget\":{},\"report\":{}}}",
+            bounds.to_json(),
+            opts.batch_budget.map_or("null".to_string(), |b| b.to_string()),
+            report.to_json()
+        );
+        return Ok(report.is_clean());
+    }
+
+    println!("plan ({}, estimated cost {:.1}):", algorithm.name(), optimized.estimated_cost);
+    print!("{}", explain(&plan, pattern, &estimates, &model));
+    println!();
+    let root = bounds.root_rows();
+    println!(
+        "bounds at batch_rows {}: output rows in [{}, {}], worst-case peak {} B, \
+         worst-case {} batch pulls",
+        bounds.batch_rows, root.lo, root.hi, bounds.peak_bytes, bounds.batch_pulls
+    );
+    match opts.batch_budget {
+        Some(b) => println!("budget: {memory_budget} B memory, {b} batch pulls"),
+        None => println!("budget: {memory_budget} B memory"),
+    }
+    println!("verdict: {}", if report.is_clean() { "ADMITTED" } else { "REJECTED" });
+    println!();
     Ok(finish(opts, &report))
 }
 
@@ -480,6 +609,51 @@ fn selftest(db: &Database, pattern: &sjos::Pattern) -> Result<bool, String> {
     } else {
         print!("{}", cross.render());
         ok = false;
+    }
+
+    println!("== resource bounds (PL060-PL064, expected admissible) ==");
+    for algorithm in [Algorithm::Dpp { lookahead: true }, Algorithm::Fp] {
+        let plan = match db.optimize(pattern, algorithm) {
+            Ok(o) => o.plan,
+            Err(e) => {
+                println!("  {:<12} FAILED to optimize: {e}", algorithm.name());
+                ok = false;
+                continue;
+            }
+        };
+        let (bounds, mut report) =
+            lint_bounds(pattern, &estimates, &model, &plan, sjos::exec::BATCH_ROWS);
+        report.absorb("admit", admit(&bounds, Some(DEFAULT_MEMORY_BUDGET), None));
+        match lint_bound_soundness(db.store(), pattern, &bounds, &plan) {
+            Ok(replay) => report.absorb("replay", replay),
+            Err(e) => {
+                println!("  {:<12} FAILED to replay: {e}", algorithm.name());
+                ok = false;
+                continue;
+            }
+        }
+        if report.is_clean() {
+            println!(
+                "  {:<12} admitted (peak bound {} B, {} pulls)",
+                algorithm.name(),
+                bounds.peak_bytes,
+                bounds.batch_pulls
+            );
+        } else {
+            print!("{}", report.render());
+            ok = false;
+        }
+    }
+
+    println!("== starved budget (expected rejected) ==");
+    let (bounds, _) = lint_bounds(pattern, &estimates, &model, &base, sjos::exec::BATCH_ROWS);
+    let starved = admit(&bounds, Some(1), Some(1));
+    if starved.is_clean() {
+        println!("  1 B / 1 pull budget MISSED");
+        ok = false;
+    } else {
+        let rules: Vec<&str> = starved.rules().iter().map(|r| r.id()).collect();
+        println!("  1 B / 1 pull budget rejected by {}", rules.join(", "));
     }
     Ok(ok)
 }

@@ -93,7 +93,7 @@ pub fn analyze_summary(result: &sjos_exec::QueryResult) -> String {
     let m = &result.metrics;
     format!(
         "matches: {}  | operator tuples: {} | scanned: {} | stack push/pop: {}/{} | \
-         buffered pairs: {} | rescans: {} | sorts: {} ({} tuples) | \
+         buffered pairs: {} | rescans: {} | sorts: {} ({} tuples) | peak buffered: {} B | \
          io: {} hits, {} reads, {} evictions | elapsed: {:.3} ms",
         m.output_tuples,
         m.produced_tuples,
@@ -104,6 +104,7 @@ pub fn analyze_summary(result: &sjos_exec::QueryResult) -> String {
         m.merge_rescans,
         m.sort_operations,
         m.sorted_tuples,
+        m.peak_bytes,
         result.io.buffer_hits,
         result.io.disk_reads,
         result.io.evictions,
@@ -158,6 +159,7 @@ mod tests {
         let out = db.query("//dept/emp/name").unwrap();
         let s = analyze_summary(&out.result);
         assert!(s.contains("matches: 2"), "{s}");
+        assert!(s.contains("peak buffered"), "{s}");
         assert!(s.contains("elapsed"), "{s}");
     }
 

@@ -32,6 +32,9 @@
 //! * [`core`] — the cost model and the five optimizers
 //! * [`datagen`] — Pers/DBLP/Mbench-shaped generators and the
 //!   benchmark query catalog
+//! * [`planck`] — the static plan analyzer, including the
+//!   resource-bound admission pass behind [`Database::resource_bounds`]
+//!   and [`Database::admit`]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -44,6 +47,7 @@ pub use sjos_core as core;
 pub use sjos_datagen as datagen;
 pub use sjos_exec as exec;
 pub use sjos_pattern as pattern;
+pub use sjos_planck as planck;
 pub use sjos_stats as stats;
 pub use sjos_storage as storage;
 pub use sjos_xml as xml;
@@ -225,6 +229,36 @@ impl Database {
         (self, report)
     }
 
+    /// Derive guaranteed resource bounds for an explicit plan at the
+    /// default batch granularity: cardinality intervals per operator
+    /// plus worst-case peak buffering bytes and batch-pull counts,
+    /// computed from the catalog's exact index statistics without
+    /// executing anything (planck's PL060–PL064 family).
+    pub fn resource_bounds(
+        &self,
+        pattern: &Pattern,
+        plan: &PlanNode,
+    ) -> sjos_planck::ResourceBounds {
+        let est = self.estimates(pattern);
+        sjos_planck::analyze_bounds(pattern, &est, &self.model, plan, BATCH_ROWS)
+    }
+
+    /// Static admission control: decide *before execution* whether
+    /// `plan` can possibly breach `guard`'s memory or batch budgets.
+    /// A clean report means no execution of the plan on this database
+    /// can trip the guard; running it is then breach-free by
+    /// construction rather than by mid-flight termination.
+    pub fn admit(
+        &self,
+        pattern: &Pattern,
+        plan: &PlanNode,
+        guard: &QueryGuard,
+    ) -> (sjos_planck::ResourceBounds, sjos_planck::Report) {
+        let bounds = self.resource_bounds(pattern, plan);
+        let report = sjos_planck::admit_guard(&bounds, guard);
+        (bounds, report)
+    }
+
     /// Evaluate a pattern with the holistic twig join (TwigStack)
     /// instead of a binary structural join plan — the multi-way
     /// alternative the paper's future work points at. Returns
@@ -282,6 +316,26 @@ mod tests {
     fn bad_query_is_an_error() {
         let db = Database::from_xml(XML).unwrap();
         assert!(matches!(db.query("//dept["), Err(Error::Query(_))));
+    }
+
+    #[test]
+    fn admission_gates_on_the_static_bound() {
+        let db = Database::from_xml(XML).unwrap();
+        let pattern = parse_pattern("//dept//name").unwrap();
+        let plan = db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).unwrap().plan;
+        let bounds = db.resource_bounds(&pattern, &plan);
+        assert!(bounds.peak_bytes > 0);
+
+        let starved = QueryGuard::unlimited().with_memory_budget(1);
+        let (_, report) = db.admit(&pattern, &plan, &starved);
+        assert!(!report.is_clean(), "a 1-byte budget must reject the plan");
+
+        let roomy = QueryGuard::unlimited().with_memory_budget(bounds.peak_bytes as usize);
+        let (_, report) = db.admit(&pattern, &plan, &roomy);
+        assert!(report.is_clean(), "{report}");
+        // Admission is a guarantee: the admitted plan runs to
+        // completion under the same guard.
+        db.execute_guarded(&pattern, &plan, &Arc::new(roomy)).unwrap();
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Integration tests pinning `planlint`'s command-line contract:
+//! exit status 0 when every rule passes, 1 when any rule fires, 2 on
+//! usage or I/O errors — across every subcommand — plus the shape of
+//! the machine-readable `--json` output CI depends on.
+
+use std::process::{Command, Output};
+
+fn planlint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_planlint")).args(args).output().expect("planlint binary runs")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("planlint exits normally")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn clean_lint_exits_zero() {
+    let out = planlint(&["--query", "//a/b/c"]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn mutated_plan_exits_one() {
+    let out = planlint(&["--query", "//a/b/c", "--mutate", "flip-axis"]);
+    assert_eq!(code(&out), 1);
+    assert!(stdout(&out).contains("PL0"), "a rule id names the violation");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        &[] as &[&str],
+        &["--query"],
+        &["--bogus-flag"],
+        &["--query", "//a/b/c", "--gen", "nope:100"],
+        &["--query", "//a/b/c", "--xml", "/nonexistent/file.xml"],
+        &["certify", "--query", "//a/b/c", "--mutate", "drop-sort"],
+        &["--query", "//a/b/c", "--corrupt", "cheap-prune"],
+        &["--query", "//a/b/c", "--memory-budget", "64MiB"],
+        &["admit", "--query", "//a/b/c", "--memory-budget", "64QiB"],
+        &["admit", "--query", "//a/b/c", "--batch-rows", "0"],
+    ] {
+        let out = planlint(args);
+        assert_eq!(code(&out), 2, "args {args:?} must be a usage error");
+    }
+}
+
+#[test]
+fn dataflow_subcommand_follows_the_contract() {
+    let out = planlint(&["dataflow", "--query", "//a/b/c", "--algo", "fp"]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = planlint(&["dataflow", "--query", "//a/b/c", "--mutate", "insert-input-sort"]);
+    assert_eq!(code(&out), 1);
+}
+
+#[test]
+fn certify_subcommand_follows_the_contract() {
+    let out = planlint(&["certify", "--query", "//a/b/c"]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = planlint(&["certify", "--query", "//a/b/c", "--corrupt", "inflate-ubcost"]);
+    assert_eq!(code(&out), 1);
+}
+
+#[test]
+fn admit_subcommand_follows_the_contract() {
+    // The sample document fits the default budget comfortably.
+    let out = planlint(&["admit", "--query", "//a/b/c"]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("ADMITTED"), "{}", stdout(&out));
+
+    // A starved budget is a finding (exit 1), not a usage error.
+    let out = planlint(&["admit", "--query", "//a/b/c", "--memory-budget", "16B"]);
+    assert_eq!(code(&out), 1);
+    assert!(stdout(&out).contains("REJECTED"), "{}", stdout(&out));
+
+    let out = planlint(&["admit", "--query", "//a/b/c", "--batch-budget", "1"]);
+    assert_eq!(code(&out), 1);
+}
+
+#[test]
+fn admit_json_carries_bounds_and_report() {
+    let out = planlint(&["admit", "--query", "//a/b/c", "--memory-budget", "64MiB", "--json"]);
+    assert_eq!(code(&out), 0);
+    let text = stdout(&out);
+    for key in [
+        "\"bounds\"",
+        "\"peak_bytes\"",
+        "\"batch_pulls\"",
+        "\"memory_budget\":67108864",
+        "\"clean\":true",
+    ] {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+}
+
+#[test]
+fn rules_subcommand_needs_no_query() {
+    let out = planlint(&["rules"]);
+    assert_eq!(code(&out), 0);
+    let text = stdout(&out);
+    for id in ["PL001", "PL034", "PL050", "PL060", "PL064"] {
+        assert!(text.contains(id), "missing {id}");
+    }
+}
+
+#[test]
+fn rules_json_lists_the_whole_catalog() {
+    let out = planlint(&["rules", "--json"]);
+    assert_eq!(code(&out), 0);
+    let text = stdout(&out);
+    assert!(text.contains("\"id\":\"PL060\""), "{text}");
+    assert!(text.contains("\"name\":\"bound-sound\""), "{text}");
+    assert!(text.contains("\"severity\":\"warning\""), "redundant-sort is a warning");
+    // One entry per rule, ids unique.
+    let count = text.matches("\"id\":\"PL0").count();
+    assert_eq!(count, sjos::planck::Rule::ALL.len());
+}
+
+#[test]
+fn json_report_is_emitted_on_findings() {
+    let out = planlint(&["--query", "//a/b/c", "--mutate", "flip-axis", "--json"]);
+    assert_eq!(code(&out), 1);
+    let text = stdout(&out);
+    assert!(text.contains("\"clean\":false"), "{text}");
+    assert!(text.contains("\"rule\":"), "{text}");
+}
