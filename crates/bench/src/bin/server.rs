@@ -1,0 +1,334 @@
+//! `server` — throughput and latency of the concurrent query service.
+//!
+//! Drives a seeded, mixed Table-1 workload of thousands of queries
+//! through [`sjos::QueryService`] across worker-thread counts, per
+//! corpus. Every query passes the full service path: plan cache
+//! (PL065-revalidated), global certified-bytes admission, guarded
+//! execution, per-session I/O attribution. The headline output is
+//! `BENCH_server.json`: throughput and latency percentiles vs. thread
+//! count, plus the plan-cache hit rate and the bound-violation count
+//! (which must be zero — a violation falsifies the admission
+//! guarantee).
+//!
+//! ```sh
+//! cargo run --release -p sjos-bench --bin server             # full run
+//! cargo run --release -p sjos-bench --bin server -- --smoke  # CI smoke
+//! ```
+//!
+//! `--smoke` runs one small corpus at 4 threads and exits nonzero
+//! unless the plan cache took hits and zero bound violations were
+//! observed. `--queries <n>` and `--threads <a,b,c>` override the
+//! defaults.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use sjos::datagen::{fold_document, paper_queries, pers::pers, DataSet, GenConfig, Workload};
+use sjos::{Algorithm, Database, QueryService, ServiceConfig};
+use sjos_bench::{dataset_size, generate};
+
+struct Args {
+    smoke: bool,
+    queries: usize,
+    threads: Vec<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { smoke: false, queries: 2_000, threads: vec![1, 2, 4] };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--queries" => {
+                args.queries = it
+                    .next()
+                    .ok_or("--queries needs a count")?
+                    .parse()
+                    .map_err(|_| "bad query count")?;
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or("--threads needs a list")?
+                    .split(',')
+                    .map(|t| t.parse().map_err(|_| format!("bad thread count {t:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    if args.smoke {
+        args.queries = args.queries.min(240);
+        args.threads = vec![4];
+    }
+    Ok(args)
+}
+
+/// Deterministic per-worker query picker (splitmix64) — no shared
+/// state, so the workload is identical run to run regardless of
+/// scheduling.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct RunOutcome {
+    corpus: &'static str,
+    threads: usize,
+    queries: u64,
+    failed: u64,
+    elapsed_secs: f64,
+    throughput_qps: f64,
+    latency_json: String,
+    cache_hits: u64,
+    cache_hit_rate: f64,
+    admitted: u64,
+    queued: u64,
+    rejected: u64,
+    bound_violations: u64,
+    max_certified_peak: u64,
+    max_measured_peak: u64,
+    peak_reserved: u64,
+    budget: u64,
+}
+
+impl RunOutcome {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"corpus\":\"{}\",\"threads\":{},\"queries\":{},\"failed\":{},\
+             \"elapsed_secs\":{:.3},\"throughput_qps\":{:.1},\"latency\":{},\
+             \"cache_hits\":{},\"cache_hit_rate\":{:.4},\"admitted\":{},\"queued\":{},\
+             \"rejected\":{},\"bound_violations\":{},\"max_certified_peak_bytes\":{},\
+             \"max_measured_peak_bytes\":{},\"peak_reserved_bytes\":{},\"budget_bytes\":{}}}",
+            self.corpus,
+            self.threads,
+            self.queries,
+            self.failed,
+            self.elapsed_secs,
+            self.throughput_qps,
+            self.latency_json,
+            self.cache_hits,
+            self.cache_hit_rate,
+            self.admitted,
+            self.queued,
+            self.rejected,
+            self.bound_violations,
+            self.max_certified_peak,
+            self.max_measured_peak,
+            self.peak_reserved,
+            self.budget,
+        )
+    }
+}
+
+/// One corpus + its slice of the Table-1 workload.
+struct Corpus {
+    name: &'static str,
+    db: Arc<Database>,
+    queries: Vec<&'static Workload>,
+}
+
+fn build_corpora(smoke: bool) -> Vec<Corpus> {
+    let all: Vec<Workload> = paper_queries();
+    let leaked: &'static [Workload] = Box::leak(all.into_boxed_slice());
+    let slice = |ds: DataSet| -> Vec<&'static Workload> {
+        leaked.iter().filter(|w| w.dataset == ds).collect()
+    };
+    if smoke {
+        // One small corpus keeps the CI smoke under a few seconds.
+        let doc = pers(GenConfig::sized(3_000));
+        return vec![Corpus {
+            name: "pers",
+            db: Arc::new(Database::from_document(doc)),
+            queries: slice(DataSet::Pers),
+        }];
+    }
+    // Pers is tiny in the paper; fold it x10 so plans actually touch
+    // pages. DBLP runs at the harness's reduced (or full) scale.
+    let pers_doc = fold_document(&pers(GenConfig::sized(dataset_size(DataSet::Pers))), 10);
+    vec![
+        Corpus {
+            name: "pers-x10",
+            db: Arc::new(Database::from_document(pers_doc)),
+            queries: slice(DataSet::Pers),
+        },
+        Corpus {
+            name: "dblp",
+            db: Arc::new(Database::from_document(generate(DataSet::Dblp))),
+            queries: slice(DataSet::Dblp),
+        },
+    ]
+}
+
+/// The algorithm mix: mostly DPP (the paper's recommendation), with a
+/// sprinkle of FP so the cache's algorithm keying is exercised.
+fn pick_algorithm(roll: u64) -> Algorithm {
+    if roll.is_multiple_of(8) {
+        Algorithm::Fp
+    } else {
+        Algorithm::Dpp { lookahead: true }
+    }
+}
+
+/// The largest certified peak across the corpus's workload under both
+/// algorithms in the mix. The service budget is provisioned from this
+/// (capacity planning): worst-case certificates on the bigger corpora
+/// legitimately exceed the library default, and a bench that rejects
+/// half its workload as `NeverFits` measures nothing. Rejection
+/// behavior itself is covered by `tests/service.rs`.
+fn max_certificate(corpus: &Corpus) -> u64 {
+    corpus
+        .queries
+        .iter()
+        .flat_map(|w| {
+            [Algorithm::Dpp { lookahead: true }, Algorithm::Fp].map(|algorithm| {
+                let pattern = w.pattern();
+                let plan = corpus.db.optimize(&pattern, algorithm).expect("optimizes").plan;
+                corpus.db.resource_bounds(&pattern, &plan).peak_bytes
+            })
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+fn run(corpus: &Corpus, threads: usize, total_queries: usize) -> RunOutcome {
+    let config = ServiceConfig::default();
+    let config = ServiceConfig {
+        memory_budget: config.memory_budget.max(2 * max_certificate(corpus)),
+        ..config
+    };
+    let service = QueryService::new(Arc::clone(&corpus.db), config);
+    let failed = AtomicU64::new(0);
+    let per_worker = total_queries.div_ceil(threads);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let session = service.session();
+            let queries = &corpus.queries;
+            let failed = &failed;
+            scope.spawn(move || {
+                let mut rng = 0x5_1705_u64 ^ ((worker as u64) << 32);
+                for _ in 0..per_worker {
+                    let roll = splitmix64(&mut rng);
+                    let w = queries[(roll as usize) % queries.len()];
+                    let algorithm = pick_algorithm(roll >> 32);
+                    if session.query_with(w.query, algorithm).is_err() {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let ran = (per_worker * threads) as u64;
+    let cache = service.cache_snapshot();
+    let adm = service.admission_snapshot();
+    let m = service.metrics();
+    RunOutcome {
+        corpus: corpus.name,
+        threads,
+        queries: ran,
+        failed: failed.into_inner(),
+        elapsed_secs: elapsed,
+        throughput_qps: if elapsed > 0.0 { ran as f64 / elapsed } else { 0.0 },
+        latency_json: sjos::service::metrics::latency_json(&m.latency_summary()),
+        cache_hits: cache.hits,
+        cache_hit_rate: cache.hit_rate(),
+        admitted: adm.admitted,
+        queued: adm.queued,
+        rejected: adm.rejected,
+        bound_violations: m.bound_violations.load(Ordering::Relaxed),
+        max_certified_peak: m.max_certified_peak.load(Ordering::Relaxed),
+        max_measured_peak: m.max_measured_peak.load(Ordering::Relaxed),
+        peak_reserved: adm.peak_in_use,
+        budget: adm.budget,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: server [--smoke] [--queries <n>] [--threads <a,b,c>]");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "server bench: {} queries per (corpus, thread-count), threads {:?}{}",
+        args.queries,
+        args.threads,
+        if args.smoke { " [smoke]" } else { "" }
+    );
+    let corpora = build_corpora(args.smoke);
+    let mut outcomes: Vec<RunOutcome> = Vec::new();
+    for corpus in &corpora {
+        eprintln!(
+            "corpus {}: {} elements, {} queries in the mix",
+            corpus.name,
+            corpus.db.document().len(),
+            corpus.queries.len()
+        );
+        for &threads in &args.threads {
+            let out = run(corpus, threads, args.queries);
+            println!(
+                "  {:>9} x{} threads: {:>8.1} q/s, cache hit rate {:.2}, \
+                 {} queued, {} rejected, {} bound violations",
+                out.corpus,
+                out.threads,
+                out.throughput_qps,
+                out.cache_hit_rate,
+                out.queued,
+                out.rejected,
+                out.bound_violations
+            );
+            outcomes.push(out);
+        }
+    }
+
+    let hits: u64 = outcomes.iter().map(|o| o.cache_hits).sum();
+    let violations: u64 = outcomes.iter().map(|o| o.bound_violations).sum();
+    let failures: u64 = outcomes.iter().map(|o| o.failed).sum();
+
+    if args.smoke {
+        // The CI gate: the cache must be doing work and the admission
+        // guarantee must hold exactly.
+        if hits == 0 {
+            eprintln!("SMOKE FAIL: zero plan-cache hits on a repeated-pattern workload");
+            return ExitCode::FAILURE;
+        }
+        if violations > 0 {
+            eprintln!("SMOKE FAIL: {violations} measured peaks exceeded their certificates");
+            return ExitCode::FAILURE;
+        }
+        if failures > 0 {
+            eprintln!("SMOKE FAIL: {failures} queries failed");
+            return ExitCode::FAILURE;
+        }
+        println!("smoke ok: {hits} cache hits, 0 bound violations, 0 failures");
+        return ExitCode::SUCCESS;
+    }
+
+    let rows: Vec<String> = outcomes.iter().map(RunOutcome::to_json).collect();
+    let json = format!(
+        "{{\n  \"bench\":\"server\",\n  \"queries_per_run\":{},\n  \"runs\":[\n    {}\n  ]\n}}\n",
+        args.queries,
+        rows.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    if violations > 0 {
+        eprintln!("FAIL: {violations} measured peaks exceeded their certificates");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

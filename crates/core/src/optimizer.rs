@@ -16,7 +16,7 @@ use crate::status::SearchContext;
 
 /// The structural join order selection algorithms of the paper, plus
 /// the random "bad plan" baseline from its evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Exhaustive level-by-level dynamic programming (§3.1).
     Dp,

@@ -49,3 +49,28 @@ pub use guard::{CancelToken, GuardedOp, QueryGuard};
 pub use metrics::{ExecMetrics, MetricsSnapshot};
 pub use plan::{JoinAlgo, OperatorContract, PlanNode};
 pub use tuple::{Entry, Schema, Tuple, TupleBatch, BATCH_ROWS};
+
+#[cfg(test)]
+mod thread_safety {
+    //! The concurrent query service shares one engine across sessions;
+    //! these assertions pin the `Send`/`Sync` audit at compile time so
+    //! a regression (an `Rc`, a non-`Send` trait object) fails here,
+    //! with a readable message, rather than deep inside the service.
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn execution_state_is_shareable() {
+        assert_send_sync::<guard::QueryGuard>();
+        assert_send_sync::<CancelToken>();
+        assert_send_sync::<ExecMetrics>();
+        assert_send_sync::<MetricsSnapshot>();
+        assert_send_sync::<EngineError>();
+        assert_send_sync::<QueryResult>();
+        assert_send_sync::<PlanNode>();
+        assert_send::<ops::BoxedOperator<'static>>();
+        assert_send::<GuardedOp<'static>>();
+    }
+}

@@ -45,7 +45,7 @@ pub trait Operator {
 }
 
 /// Boxed operator with the executor's lifetime.
-pub type BoxedOperator<'a> = Box<dyn Operator + 'a>;
+pub type BoxedOperator<'a> = Box<dyn Operator + Send + 'a>;
 
 /// Debug-only verifier of the ordering contract at one operator
 /// boundary: each batch internally sorted by the ordered column, and

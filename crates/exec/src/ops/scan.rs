@@ -24,7 +24,7 @@ use crate::tuple::{Entry, Schema, TupleBatch, BATCH_ROWS};
 /// for records read before the fault are still flushed, so partial
 /// metrics stay honest.
 pub struct IndexScanOp<'a> {
-    iter: Box<dyn Iterator<Item = Result<ElementRecord, StorageError>> + 'a>,
+    iter: Box<dyn Iterator<Item = Result<ElementRecord, StorageError>> + Send + 'a>,
     schema: Arc<Schema>,
     /// Keep-only digest (from [`sjos_storage::record::value_digest`]).
     value_filter: Option<u64>,
@@ -37,7 +37,7 @@ impl<'a> IndexScanOp<'a> {
     /// document order).
     pub fn new(
         pnode: PnId,
-        iter: impl Iterator<Item = Result<ElementRecord, StorageError>> + 'a,
+        iter: impl Iterator<Item = Result<ElementRecord, StorageError>> + Send + 'a,
         value_filter: Option<u64>,
         metrics: Arc<ExecMetrics>,
     ) -> Self {

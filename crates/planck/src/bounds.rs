@@ -477,6 +477,41 @@ pub fn admit_guard(bounds: &ResourceBounds, guard: &QueryGuard) -> Report {
     admit(bounds, budget, guard.batch_budget())
 }
 
+/// PL065: the cache-revalidation predicate. A plan cached under
+/// catalog generation (`cached_version`, `cached_fingerprint`) may be
+/// served against the live catalog only when the versions match; on
+/// mismatch the report names the drift so the cache re-derives the
+/// plan and its bounds instead of serving them. The fingerprint
+/// distinguishes a content change (statistics actually moved — the
+/// stale bounds may be unsound) from a pure generation bump
+/// (recalibration over identical statistics — still a forced
+/// re-derivation, because the cost model the plan was priced under
+/// changed).
+pub fn revalidate_cached(
+    cached_version: u64,
+    cached_fingerprint: u64,
+    live_version: u64,
+    live_fingerprint: u64,
+) -> Report {
+    let mut report = Report::default();
+    if cached_version != live_version {
+        let drift = if cached_fingerprint == live_fingerprint {
+            "statistics content unchanged, but the generation advanced"
+        } else {
+            "statistics content drifted"
+        };
+        report.push(
+            Rule::CacheRevalidated,
+            "cache",
+            format!(
+                "plan cached under catalog v{cached_version} served against v{live_version} \
+                 ({drift}); bounds must be re-derived"
+            ),
+        );
+    }
+    report
+}
+
 /// PL064 (dynamic, in the style of PL034): execute `plan` against
 /// `store` at the bounds' batch granularity and check that the
 /// observed peak buffering, batch pulls, and output cardinality all
@@ -583,6 +618,19 @@ mod tests {
         <dept><emp><name>ada</name></emp><emp><name>bob</name></emp></dept>\
         <dept><emp><name>cat</name></emp></dept>\
       </db>";
+
+    #[test]
+    fn revalidation_is_clean_only_when_versions_match() {
+        assert!(revalidate_cached(7, 0xabc, 7, 0xabc).is_clean());
+        let drifted = revalidate_cached(7, 0xabc, 9, 0xdef);
+        assert!(drifted.violates(Rule::CacheRevalidated));
+        assert!(drifted.diagnostics[0].message.contains("drifted"));
+        // A pure generation bump (same fingerprint) still forces a
+        // re-derivation, with a message that says the content held.
+        let bumped = revalidate_cached(7, 0xabc, 8, 0xabc);
+        assert!(bumped.violates(Rule::CacheRevalidated));
+        assert!(bumped.diagnostics[0].message.contains("unchanged"));
+    }
 
     #[test]
     fn scan_bounds_are_exact() {

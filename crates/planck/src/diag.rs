@@ -110,6 +110,10 @@ pub enum Rule {
     /// observed peak bytes and batch pulls stay within the derived
     /// worst case (dynamic soundness check).
     BoundSound,
+    /// PL065: a cached plan is served only after its recorded catalog
+    /// version matches the live catalog — on mismatch the plan's
+    /// bounds must be re-derived, never reused.
+    CacheRevalidated,
 }
 
 /// How severe a fired rule is.
@@ -132,7 +136,7 @@ impl fmt::Display for Severity {
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 38] = [
+    pub const ALL: [Rule; 39] = [
         Rule::BindingPartition,
         Rule::EdgeExists,
         Rule::EdgeOrientation,
@@ -171,6 +175,7 @@ impl Rule {
         Rule::MemoryAdmissible,
         Rule::BatchAdmissible,
         Rule::BoundSound,
+        Rule::CacheRevalidated,
     ];
 
     /// The stable diagnostic id.
@@ -214,6 +219,7 @@ impl Rule {
             Rule::MemoryAdmissible => "PL062",
             Rule::BatchAdmissible => "PL063",
             Rule::BoundSound => "PL064",
+            Rule::CacheRevalidated => "PL065",
         }
     }
 
@@ -269,6 +275,7 @@ impl Rule {
             Rule::MemoryAdmissible => "memory-admissible",
             Rule::BatchAdmissible => "batch-admissible",
             Rule::BoundSound => "bound-sound",
+            Rule::CacheRevalidated => "cache-revalidated",
         }
     }
 
@@ -470,6 +477,14 @@ impl Rule {
                  an observed peak footprint or pull count above the \
                  derived worst case falsifies the analysis and voids \
                  every admission decision it made"
+            }
+            Rule::CacheRevalidated => {
+                "a plan cached under one catalog generation carries \
+                 bounds derived from that generation's statistics; \
+                 serving it after the catalog changed (reload, \
+                 recalibration) would admit queries against stale \
+                 worst cases, so the cache must revalidate the version \
+                 and re-derive on mismatch"
             }
         }
     }

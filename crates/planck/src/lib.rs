@@ -58,7 +58,7 @@ pub mod trace;
 
 pub use bounds::{
     admit, admit_guard, analyze_bounds, lint_bound_soundness, lint_bounds, lint_resources,
-    CardInterval, OperatorBounds, ResourceBounds, DEFAULT_MEMORY_BUDGET,
+    revalidate_cached, CardInterval, OperatorBounds, ResourceBounds, DEFAULT_MEMORY_BUDGET,
 };
 pub use cross::{lint_optimizers, lint_search_space, min_pipelined_cost, MAX_CROSS_CHECK_NODES};
 pub use dataflow::{

@@ -1,11 +1,60 @@
 //! Per-document statistics catalog.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use sjos_pattern::Axis;
 use sjos_xml::{Document, Tag};
 
 use crate::histogram::PositionalHistogram;
+
+/// Process-wide monotonic source for catalog versions. Every build or
+/// explicit bump draws a fresh value, so two catalogs (or two
+/// generations of the same catalog) never share a version.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// FNV-1a over the catalog's summary statistics. Histogram cell
+/// contents are summarized through cardinality/distinct/depth counts
+/// plus grid geometry — enough to distinguish any two catalogs the
+/// estimator would answer differently for at the granularity cached
+/// plans care about, while staying O(tags).
+fn fingerprint_stats(
+    per_tag: &HashMap<Tag, TagStats>,
+    all: &TagStats,
+    grid: usize,
+    max_pos: u32,
+    total_elements: u64,
+) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(grid as u64);
+    mix(u64::from(max_pos));
+    mix(total_elements);
+    mix(all.cardinality);
+    mix(all.distinct_values);
+    mix(all.depth_levels);
+    let mut tags: Vec<&Tag> = per_tag.keys().collect();
+    tags.sort_by_key(|t| t.0);
+    for tag in tags {
+        let s = &per_tag[tag];
+        mix(u64::from(tag.0));
+        mix(s.cardinality);
+        mix(s.distinct_values);
+        mix(s.depth_levels);
+    }
+    h
+}
 
 /// Default grid resolution. The EDBT paper evaluates grids between
 /// 10×10 and 100×100; 32×32 keeps estimation O(1 k) work per join
@@ -41,6 +90,13 @@ pub struct Catalog {
     grid: usize,
     max_pos: u32,
     total_elements: u64,
+    /// Monotonic generation counter; bumped on every rebuild or
+    /// recalibration so consumers (plan caches) can detect staleness.
+    version: u64,
+    /// Content hash of the statistics themselves. Two catalogs built
+    /// from the same document with the same grid agree on it even
+    /// though their versions differ.
+    fingerprint: u64,
 }
 
 impl Catalog {
@@ -86,7 +142,38 @@ impl Catalog {
             distinct_values: all_values.len() as u64,
             depth_levels: all_levels.len() as u64,
         };
-        Catalog { per_tag, all, grid, max_pos, total_elements: doc.len() as u64 }
+        let total_elements = doc.len() as u64;
+        let fingerprint = fingerprint_stats(&per_tag, &all, grid, max_pos, total_elements);
+        Catalog {
+            per_tag,
+            all,
+            grid,
+            max_pos,
+            total_elements,
+            version: fresh_version(),
+            fingerprint,
+        }
+    }
+
+    /// Monotonic catalog generation. Changes whenever the catalog is
+    /// rebuilt or [`Catalog::bump_version`] is called; plan caches key
+    /// on it so a stale plan can never be served.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Content hash of the statistics (FNV-1a over per-tag stats and
+    /// grid geometry). Unlike [`Catalog::version`], it is stable
+    /// across rebuilds from identical data.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Advance the version without rebuilding statistics. Called when
+    /// something a cached plan depends on changes outside the catalog
+    /// itself — e.g. cost-model recalibration.
+    pub fn bump_version(&mut self) {
+        self.version = fresh_version();
     }
 
     /// Grid resolution used by all histograms in this catalog.
@@ -244,6 +331,27 @@ mod tests {
         let d = b.finish();
         let c = Catalog::build(&d);
         assert_eq!(c.tag_stats(d.tag("m").unwrap()).unwrap().depth_levels, 3);
+    }
+
+    #[test]
+    fn versions_are_unique_but_fingerprints_track_content() {
+        let d = doc();
+        let a = Catalog::build(&d);
+        let b = Catalog::build(&d);
+        assert_ne!(a.version(), b.version(), "every build gets a fresh version");
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same data, same fingerprint");
+        let coarse = Catalog::build_with_grid(&d, 8);
+        assert_ne!(a.fingerprint(), coarse.fingerprint(), "grid change is visible");
+    }
+
+    #[test]
+    fn bump_version_advances_monotonically_without_touching_content() {
+        let d = doc();
+        let mut c = Catalog::build(&d);
+        let (v0, f0) = (c.version(), c.fingerprint());
+        c.bump_version();
+        assert!(c.version() > v0);
+        assert_eq!(c.fingerprint(), f0);
     }
 
     #[test]

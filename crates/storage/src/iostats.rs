@@ -1,6 +1,59 @@
 //! Shared I/O and buffer-pool counters.
 
+use std::cell::RefCell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread attribution tap. While installed, every counter bump
+    /// on *any* [`IoStats`] instance performed by this thread is
+    /// mirrored into the tapped instance, letting a session account
+    /// its own traffic even though the pool and disk counters are
+    /// shared engine-wide.
+    static TAP: RefCell<Option<Arc<IoStats>>> = const { RefCell::new(None) };
+}
+
+#[inline]
+fn tap_bump(field: impl Fn(&IoStats) -> &AtomicU64, n: u64) {
+    TAP.with(|t| {
+        if let Some(tap) = t.borrow().as_ref() {
+            field(tap).fetch_add(n, Ordering::Relaxed);
+        }
+    });
+}
+
+/// RAII guard that mirrors this thread's I/O counter bumps into a
+/// session-local [`IoStats`] for the guard's lifetime.
+///
+/// The engine's pool and disk counters are global `Arc<IoStats>`
+/// shared by every session; under concurrency their deltas commingle
+/// traffic from all queries. A tap splits attribution by thread: while
+/// the guard is alive, each bump the current thread performs is also
+/// applied to the tapped instance (a direct `fetch_add`, never a
+/// recursive tap, so installing a tap cannot loop). Taps nest — the
+/// previous tap is restored on drop.
+///
+/// The guard is deliberately `!Send`: it describes *this* thread.
+#[derive(Debug)]
+pub struct IoTap {
+    prev: Option<Arc<IoStats>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl IoTap {
+    /// Install `stats` as the current thread's attribution tap.
+    pub fn install(stats: Arc<IoStats>) -> IoTap {
+        let prev = TAP.with(|t| t.borrow_mut().replace(stats));
+        IoTap { prev, _not_send: PhantomData }
+    }
+}
+
+impl Drop for IoTap {
+    fn drop(&mut self) {
+        TAP.with(|t| *t.borrow_mut() = self.prev.take());
+    }
+}
 
 /// Monotonic counters describing storage traffic. Cheap to share
 /// (`Arc<IoStats>`) and to snapshot; the executor reports deltas of
@@ -59,32 +112,38 @@ impl IoStats {
     #[inline]
     pub(crate) fn bump_hit(&self) {
         self.buffer_hits.fetch_add(1, Ordering::Relaxed);
+        tap_bump(|s| &s.buffer_hits, 1);
     }
 
     #[inline]
     pub(crate) fn bump_read(&self) {
         self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        tap_bump(|s| &s.disk_reads, 1);
     }
 
     #[inline]
     pub(crate) fn bump_write(&self) {
         self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        tap_bump(|s| &s.disk_writes, 1);
     }
 
     #[inline]
     pub(crate) fn bump_eviction(&self) {
         self.evictions.fetch_add(1, Ordering::Relaxed);
+        tap_bump(|s| &s.evictions, 1);
     }
 
     /// Record `n` logical record reads.
     #[inline]
     pub fn bump_records(&self, n: u64) {
         self.record_reads.fetch_add(n, Ordering::Relaxed);
+        tap_bump(|s| &s.record_reads, n);
     }
 
     #[inline]
     pub(crate) fn bump_retry(&self) {
         self.read_retries.fetch_add(1, Ordering::Relaxed);
+        tap_bump(|s| &s.read_retries, 1);
     }
 }
 
@@ -122,6 +181,46 @@ mod tests {
         assert_eq!(snap.buffer_hits, 2);
         assert_eq!(snap.disk_reads, 1);
         assert_eq!(snap.record_reads, 10);
+    }
+
+    #[test]
+    fn tap_mirrors_bumps_for_the_installing_thread_only() {
+        let global = Arc::new(IoStats::new());
+        let session = Arc::new(IoStats::new());
+        {
+            let _tap = IoTap::install(Arc::clone(&session));
+            global.bump_hit();
+            global.bump_records(5);
+            // A different thread's bumps are not attributed to us.
+            let g = Arc::clone(&global);
+            std::thread::spawn(move || g.bump_read()).join().unwrap();
+        }
+        // Tap dropped: further bumps stay global-only.
+        global.bump_hit();
+        let g = global.snapshot();
+        let s = session.snapshot();
+        assert_eq!(g.buffer_hits, 2);
+        assert_eq!(g.disk_reads, 1);
+        assert_eq!(g.record_reads, 5);
+        assert_eq!(s.buffer_hits, 1, "only the tapped-thread hit");
+        assert_eq!(s.disk_reads, 0, "other thread's read not attributed");
+        assert_eq!(s.record_reads, 5);
+    }
+
+    #[test]
+    fn taps_nest_and_restore_on_drop() {
+        let global = Arc::new(IoStats::new());
+        let outer = Arc::new(IoStats::new());
+        let inner = Arc::new(IoStats::new());
+        let _t1 = IoTap::install(Arc::clone(&outer));
+        {
+            let _t2 = IoTap::install(Arc::clone(&inner));
+            global.bump_read();
+        }
+        global.bump_read();
+        assert_eq!(inner.snapshot().disk_reads, 1);
+        assert_eq!(outer.snapshot().disk_reads, 1, "outer tap restored after inner drop");
+        assert_eq!(global.snapshot().disk_reads, 2);
     }
 
     #[test]

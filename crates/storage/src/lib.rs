@@ -43,7 +43,28 @@ pub use error::StorageError;
 pub use fault::{FaultPlan, FaultyDisk};
 pub use heap::HeapFile;
 pub use index::TagIndex;
-pub use iostats::IoStats;
+pub use iostats::{IoSnapshot, IoStats, IoTap};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use record::ElementRecord;
 pub use store::{StoreConfig, XmlStore};
+
+#[cfg(test)]
+mod thread_safety {
+    //! Compile-time pin of the storage layer's shareability: the query
+    //! service hands one `XmlStore` (pool, disk, fault harness, stats)
+    //! to many session threads at once.
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn storage_is_shareable() {
+        assert_send_sync::<XmlStore>();
+        assert_send_sync::<BufferPool>();
+        assert_send_sync::<HeapFile>();
+        assert_send_sync::<TagIndex>();
+        assert_send_sync::<IoStats>();
+        assert_send_sync::<FaultyDisk>();
+        assert_send_sync::<StorageError>();
+    }
+}

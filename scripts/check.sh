@@ -13,14 +13,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --workspace --all-targets"
 cargo build --workspace --all-targets
 
-echo "==> cargo test --workspace"
-cargo test --workspace --quiet
+echo "==> cargo test --workspace (2 harness threads; service/chaos tests spawn their own)"
+cargo test --workspace --quiet -- --test-threads=2
 
 echo "==> chaos suite (Table-1 queries under 200 fixed-seed fault plans)"
-cargo test --quiet --test chaos
+cargo test --quiet --test chaos -- --test-threads=1
 
 echo "==> cargo bench --no-run (criterion harnesses compile)"
 cargo bench --workspace --no-run --quiet
+
+echo "==> server bench smoke (shared-engine service: cache hits, zero bound violations)"
+cargo run --quiet -p sjos-bench --bin server -- --smoke
 
 echo "==> planlint selftest"
 cargo run --quiet --bin planlint -- --query '//a/b/c' --selftest >/dev/null

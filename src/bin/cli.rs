@@ -11,15 +11,19 @@
 //! commands (`\help`).
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 use sjos::datagen::{dblp::dblp, fold_document, mbench::mbench, pers::pers, GenConfig};
 use sjos::explain::{analyze_summary, explain};
-use sjos::{Algorithm, Database, Document};
+use sjos::{Algorithm, Database, Document, QueryService, ServiceConfig};
 
 struct Session {
-    db: Database,
+    db: Arc<Database>,
     algorithm: Algorithm,
     limit: usize,
+    /// Lazily started concurrent query service sharing `db` (the
+    /// `\service` command).
+    service: Option<(QueryService, sjos::service::Session)>,
 }
 
 fn main() {
@@ -39,7 +43,12 @@ fn main() {
         db.document().len(),
         db.document().tags().len()
     );
-    let mut session = Session { db, algorithm: Algorithm::Dpp { lookahead: true }, limit: 10 };
+    let mut session = Session {
+        db: Arc::new(db),
+        algorithm: Algorithm::Dpp { lookahead: true },
+        limit: 10,
+        service: None,
+    };
     let stdin = std::io::stdin();
     loop {
         print!("sjos> ");
@@ -125,6 +134,8 @@ fn command(session: &mut Session, rest: &str) {
                  \\analyze <query>                         plan + execution counters\n\
                  \\holistic <query>                        evaluate with the TwigStack twig join\n\
                  \\calibrate                               measure cost factors on this machine\n\
+                 \\service <query>                         serve via the admission-controlled service\n\
+                 \\service                                 print service metrics as JSON\n\
                  \\stats                                   tag cardinalities\n\
                  \\limit <n>                               rows to print (now: {})\n\
                  \\quit                                    exit",
@@ -174,6 +185,31 @@ fn command(session: &mut Session, rest: &str) {
                 report.nanos_per_unit[2],
             );
             println!("(factors are informational; restart with Database::with_calibrated_model to apply)");
+        }
+        "service" => {
+            let (service, svc_session) = session.service.get_or_insert_with(|| {
+                let service = QueryService::new(Arc::clone(&session.db), ServiceConfig::default());
+                let svc_session = service.session();
+                (service, svc_session)
+            });
+            if arg.is_empty() {
+                println!("{}", service.metrics_json());
+            } else {
+                match svc_session.query_with(arg, session.algorithm) {
+                    Ok(out) => println!(
+                        "{} rows | cache {} | waited {:.3} ms | certified {} B, measured {} B \
+                         | {} disk reads, {} buffer hits (this query)",
+                        out.result.len(),
+                        if out.cache_hit { "hit" } else { "miss" },
+                        out.waited.as_secs_f64() * 1e3,
+                        out.plan.bounds.peak_bytes,
+                        out.result.metrics.peak_bytes,
+                        out.io.disk_reads,
+                        out.io.buffer_hits,
+                    ),
+                    Err(e) => println!("service error: {e}"),
+                }
+            }
         }
         "holistic" => match sjos::parse_pattern(arg) {
             Ok(pattern) => {

@@ -35,10 +35,16 @@
 //! * [`planck`] — the static plan analyzer, including the
 //!   resource-bound admission pass behind [`Database::resource_bounds`]
 //!   and [`Database::admit`]
+//!
+//! For serving many queries concurrently over one engine, see
+//! [`service::QueryService`]: shared-engine sessions with global
+//! certified-bytes admission control, an LRU plan cache keyed by
+//! catalog version, and a JSON observability surface.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod explain;
+pub mod service;
 
 use std::fmt;
 use std::sync::Arc;
@@ -62,6 +68,8 @@ pub use sjos_pattern::{parse_pattern, Pattern};
 pub use sjos_stats::{Catalog, PatternEstimates};
 pub use sjos_storage::{StoreConfig, XmlStore};
 pub use sjos_xml::Document;
+
+pub use service::{QueryService, ServiceConfig, ServiceError, ServiceOutcome, Session};
 
 /// Anything that can go wrong between query text and query result.
 #[derive(Debug)]
@@ -226,6 +234,9 @@ impl Database {
     pub fn with_calibrated_model(mut self) -> (Database, sjos_core::CalibrationReport) {
         let report = sjos_core::calibrate(&self.store, 20_000, 5);
         self.model = report.model();
+        // Plans are priced under the model: recalibration invalidates
+        // anything cached against the old catalog generation.
+        self.catalog.bump_version();
         (self, report)
     }
 

@@ -1,0 +1,432 @@
+//! A concurrent multi-session query service over one shared engine.
+//!
+//! [`QueryService`] wraps one [`Database`] — one `XmlStore`, one
+//! buffer pool, one catalog — and serves many [`Session`]s at once,
+//! each typically owned by one worker thread. Three mechanisms make
+//! the sharing safe and observable:
+//!
+//! 1. **Global admission control** ([`admission`]). Every query's
+//!    plan carries a *certified* worst-case peak-memory bound from
+//!    [`sjos_planck::analyze_bounds`]; the controller admits queries
+//!    only while the sum of in-flight certificates fits the
+//!    service-wide budget, queueing (bounded FIFO, deadline-aware
+//!    timeout) or rejecting with [`ServiceError::Overloaded`]
+//!    otherwise. Because each query then runs under a
+//!    [`QueryGuard`] whose memory budget equals its certificate, and
+//!    certificates are sound upper bounds (PL064), the aggregate
+//!    *measured* footprint of admitted queries provably cannot exceed
+//!    the budget.
+//! 2. **Plan caching** ([`plan_cache`]). Plans are cached under
+//!    (pattern signature, algorithm, catalog version) with an LRU
+//!    bound, so repeated patterns skip DP/DPP entirely; every hit is
+//!    revalidated against the live catalog generation (PL065).
+//! 3. **Observability** ([`metrics`]). Per-session and aggregate
+//!    counters — admitted/queued/rejected, cache hit rate, latency
+//!    percentiles, certified vs. measured peaks — export as JSON via
+//!    [`QueryService::metrics_json`]. Per-session I/O uses the
+//!    storage layer's thread-local [`sjos_storage::IoTap`], so each
+//!    session sees its own buffer-pool and disk traffic even though
+//!    the underlying counters are engine-global.
+
+pub mod admission;
+pub mod metrics;
+pub mod plan_cache;
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sjos_core::Algorithm;
+use sjos_exec::{QueryGuard, QueryResult};
+use sjos_pattern::parse_pattern;
+use sjos_storage::{IoSnapshot, IoTap};
+
+use crate::{Database, Error};
+
+pub use admission::{AdmissionController, AdmissionSnapshot, RejectReason, Rejection};
+pub use metrics::{LatencySummary, ServiceMetrics, SessionMetrics};
+pub use plan_cache::{CachedPlan, PlanCache, PlanCacheSnapshot, PlanKey};
+
+/// Tuning knobs for a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Service-wide budget of certified peak bytes across all
+    /// in-flight queries.
+    pub memory_budget: u64,
+    /// Maximum queries waiting for admission before new arrivals are
+    /// rejected outright.
+    pub queue_capacity: usize,
+    /// Maximum time a query waits in the admission queue (a query
+    /// deadline shortens this further).
+    pub queue_timeout: Duration,
+    /// Maximum resident plan-cache entries.
+    pub plan_cache_capacity: usize,
+    /// Algorithm used by [`Session::query`] (the paper's
+    /// recommendation, DPP, by default).
+    pub default_algorithm: Algorithm,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            memory_budget: sjos_planck::DEFAULT_MEMORY_BUDGET,
+            queue_capacity: 64,
+            queue_timeout: Duration::from_secs(2),
+            plan_cache_capacity: 256,
+            default_algorithm: Algorithm::Dpp { lookahead: true },
+        }
+    }
+}
+
+/// Everything that can go wrong for a query passing through the
+/// service.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Parse, optimize, or execution failure from the engine.
+    Engine(Error),
+    /// Admission control turned the query away: the budget is
+    /// saturated (after queueing up to the wait limit), the queue is
+    /// full, or the certificate can never fit.
+    Overloaded(Rejection),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Engine(e) => write!(f, "{e}"),
+            ServiceError::Overloaded(r) => write!(
+                f,
+                "overloaded ({:?}): certified {} B against a {} B budget after waiting {:?}",
+                r.reason, r.certified_bytes, r.budget, r.waited
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<Error> for ServiceError {
+    fn from(e: Error) -> ServiceError {
+        ServiceError::Engine(e)
+    }
+}
+
+/// One successfully served query.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// The executed result (rows, executor metrics, elapsed time).
+    pub result: QueryResult,
+    /// The plan that ran, with its certified bounds.
+    pub plan: Arc<CachedPlan>,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Time spent waiting for admission.
+    pub waited: Duration,
+    /// This query's own I/O traffic (session-tap attributed).
+    pub io: IoSnapshot,
+}
+
+struct ServiceInner {
+    db: Arc<Database>,
+    config: ServiceConfig,
+    admission: AdmissionController,
+    cache: PlanCache,
+    metrics: ServiceMetrics,
+    sessions: Mutex<Vec<Arc<SessionMetrics>>>,
+    next_session: AtomicU64,
+}
+
+/// A shareable handle to the concurrent query service. Cloning is
+/// cheap (an `Arc` bump); all clones serve the same engine, budget,
+/// and cache.
+#[derive(Clone)]
+pub struct QueryService {
+    inner: Arc<ServiceInner>,
+}
+
+impl fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QueryService({:?}, budget {} B)", self.inner.db, self.inner.admission.budget())
+    }
+}
+
+impl QueryService {
+    /// Serve `db` under `config`. The database is taken as an `Arc`
+    /// so a CLI or test can keep using the same handle directly.
+    pub fn new(db: Arc<Database>, config: ServiceConfig) -> QueryService {
+        let admission = AdmissionController::new(config.memory_budget, config.queue_capacity);
+        let cache = PlanCache::new(config.plan_cache_capacity);
+        QueryService {
+            inner: Arc::new(ServiceInner {
+                db,
+                config,
+                admission,
+                cache,
+                metrics: ServiceMetrics::new(),
+                sessions: Mutex::new(Vec::new()),
+                next_session: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The shared database under the service.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.inner.db
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Open a session. Sessions are `Send` — hand one to each worker
+    /// thread; a session's queries execute on the calling thread and
+    /// its I/O counters attribute that thread's traffic.
+    pub fn session(&self) -> Session {
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        let metrics = Arc::new(SessionMetrics::new(id));
+        self.inner.sessions.lock().expect("session registry poisoned").push(Arc::clone(&metrics));
+        Session { inner: Arc::clone(&self.inner), metrics }
+    }
+
+    /// Admission counters and reservation state.
+    pub fn admission_snapshot(&self) -> AdmissionSnapshot {
+        self.inner.admission.snapshot()
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_snapshot(&self) -> PlanCacheSnapshot {
+        self.inner.cache.snapshot()
+    }
+
+    /// Aggregate outcome counters and latency reservoir.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.inner.metrics
+    }
+
+    /// The full observability surface as one JSON object: query
+    /// outcomes, plan-cache counters, admission state (budget vs.
+    /// peak reservation, certified vs. measured peaks, bound
+    /// violations), latency percentiles, and one entry per session.
+    pub fn metrics_json(&self) -> String {
+        let m = &self.inner.metrics;
+        let adm = self.admission_snapshot();
+        let cache = self.cache_snapshot();
+        let latency = m.latency_summary();
+        let sessions = self.inner.sessions.lock().expect("session registry poisoned");
+        let session_objs: Vec<String> = sessions.iter().map(|s| metrics::session_json(s)).collect();
+        format!(
+            "{{\n  \"queries\":{{\"admitted\":{},\"queued\":{},\"rejected\":{},\
+             \"completed\":{},\"failed\":{}}},\n  \
+             \"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"invalidations\":{},\"hit_rate\":{:.4},\"len\":{},\"capacity\":{}}},\n  \
+             \"admission\":{{\"budget_bytes\":{},\"in_use_bytes\":{},\
+             \"peak_reserved_bytes\":{},\"max_certified_peak_bytes\":{},\
+             \"max_measured_peak_bytes\":{},\"bound_violations\":{}}},\n  \
+             \"latency\":{},\n  \"sessions\":[{}]\n}}",
+            adm.admitted,
+            adm.queued,
+            adm.rejected,
+            m.completed.load(Ordering::Relaxed),
+            m.failed.load(Ordering::Relaxed),
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.invalidations,
+            cache.hit_rate(),
+            cache.len,
+            cache.capacity,
+            adm.budget,
+            adm.in_use,
+            adm.peak_in_use,
+            m.max_certified_peak.load(Ordering::Relaxed),
+            m.max_measured_peak.load(Ordering::Relaxed),
+            m.bound_violations.load(Ordering::Relaxed),
+            metrics::latency_json(&latency),
+            session_objs.join(",")
+        )
+    }
+}
+
+/// One client's handle on the service. Queries run synchronously on
+/// the calling thread; open one session per worker.
+pub struct Session {
+    inner: Arc<ServiceInner>,
+    metrics: Arc<SessionMetrics>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Session#{}", self.metrics.id)
+    }
+}
+
+impl Session {
+    /// This session's id.
+    pub fn id(&self) -> u64 {
+        self.metrics.id
+    }
+
+    /// This session's private I/O counters (tap-attributed).
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.metrics.io.snapshot()
+    }
+
+    /// Serve a query with the service's default algorithm and no
+    /// deadline.
+    pub fn query(&self, query: &str) -> Result<ServiceOutcome, ServiceError> {
+        let algorithm = self.inner.config.default_algorithm;
+        self.query_opts(query, algorithm, None)
+    }
+
+    /// Serve a query with an explicit algorithm.
+    pub fn query_with(
+        &self,
+        query: &str,
+        algorithm: Algorithm,
+    ) -> Result<ServiceOutcome, ServiceError> {
+        self.query_opts(query, algorithm, None)
+    }
+
+    /// Serve a query with an explicit algorithm and an end-to-end
+    /// deadline covering both the admission wait and execution.
+    pub fn query_opts(
+        &self,
+        query: &str,
+        algorithm: Algorithm,
+        deadline: Option<Duration>,
+    ) -> Result<ServiceOutcome, ServiceError> {
+        let outcome = self.serve(query, algorithm, deadline);
+        match &outcome {
+            Ok(_) => {
+                self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServiceError::Engine(_)) => {
+                self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServiceError::Overloaded(_)) => {
+                // The controller's `rejected` counter owns this case.
+                self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    fn serve(
+        &self,
+        query: &str,
+        algorithm: Algorithm,
+        deadline: Option<Duration>,
+    ) -> Result<ServiceOutcome, ServiceError> {
+        let inner = &*self.inner;
+        let started = Instant::now();
+        let pattern = parse_pattern(query).map_err(|e| ServiceError::Engine(Error::Query(e)))?;
+        let catalog = inner.db.catalog();
+        let key = PlanKey {
+            signature: pattern.to_string(),
+            algorithm,
+            catalog_version: catalog.version(),
+        };
+
+        // Plan: cache hit (PL065-revalidated) or optimize + certify.
+        let (cached, cache_hit) =
+            match inner.cache.get(&key, catalog.version(), catalog.fingerprint()) {
+                Some(plan) => {
+                    inner.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    (plan, true)
+                }
+                None => {
+                    let optimized =
+                        inner.db.optimize(&pattern, algorithm).map_err(ServiceError::Engine)?;
+                    let bounds = inner.db.resource_bounds(&pattern, &optimized.plan);
+                    let plan = Arc::new(CachedPlan {
+                        plan: optimized.plan,
+                        estimated_cost: optimized.estimated_cost,
+                        bounds,
+                        catalog_version: catalog.version(),
+                        catalog_fingerprint: catalog.fingerprint(),
+                    });
+                    inner.cache.insert(key, Arc::clone(&plan));
+                    (plan, false)
+                }
+            };
+
+        // Admission: reserve the certificate against the global
+        // budget, waiting at most the configured timeout (shortened
+        // by the query deadline, if any).
+        let certified = cached.bounds.peak_bytes;
+        let wait_limit = match deadline {
+            Some(d) => inner.config.queue_timeout.min(d),
+            None => inner.config.queue_timeout,
+        };
+        let permit =
+            inner.admission.admit(certified, wait_limit).map_err(ServiceError::Overloaded)?;
+        let waited = started.elapsed();
+
+        // Execute under a guard whose memory budget *is* the
+        // certificate: the static admission theorem (PL062/PL064)
+        // says this run cannot breach it.
+        let mut guard = QueryGuard::unlimited()
+            .with_memory_budget(usize::try_from(certified).unwrap_or(usize::MAX));
+        if let Some(d) = deadline {
+            guard = guard.with_deadline(d.saturating_sub(waited));
+        }
+        let guard = Arc::new(guard);
+        let io_before = self.metrics.io.snapshot();
+        let result = {
+            let _tap = IoTap::install(Arc::clone(&self.metrics.io));
+            sjos_exec::execute_guarded(inner.db.store(), &pattern, &cached.plan, &guard)
+        };
+        drop(permit);
+        let io = self.metrics.io.snapshot().since(&io_before);
+
+        match result {
+            Ok(result) => {
+                inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.record_latency(started.elapsed());
+                inner.metrics.record_peaks(result.metrics.peak_bytes, certified);
+                Ok(ServiceOutcome { result, plan: cached, cache_hit, waited, io })
+            }
+            Err(e) => Err(ServiceError::Engine(Error::Exec(e))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn service_types_are_shareable() {
+        assert_send_sync::<Database>();
+        assert_send_sync::<QueryService>();
+        assert_send_sync::<Session>();
+        assert_send_sync::<ServiceError>();
+        assert_send_sync::<ServiceOutcome>();
+    }
+
+    #[test]
+    fn second_arrival_of_a_pattern_hits_the_cache() {
+        let db = Arc::new(
+            Database::from_xml(
+                "<dept><emp><name>ada</name></emp><emp><name>bob</name></emp></dept>",
+            )
+            .unwrap(),
+        );
+        let service = QueryService::new(db, ServiceConfig::default());
+        let session = service.session();
+        let first = session.query("//dept/emp/name").unwrap();
+        assert!(!first.cache_hit);
+        let second = session.query("//dept/emp/name").unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(first.result.canonical_rows(), second.result.canonical_rows());
+        let cache = service.cache_snapshot();
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+        assert_eq!(service.admission_snapshot().admitted, 2);
+        assert_eq!(service.metrics().bound_violations.load(Ordering::Relaxed), 0);
+    }
+}

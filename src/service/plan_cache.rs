@@ -1,0 +1,261 @@
+//! LRU plan cache keyed by (pattern signature, algorithm, catalog
+//! version).
+//!
+//! Repeated Table-1-style patterns dominate a realistic workload;
+//! caching the optimizer's output (plan + estimated cost + certified
+//! resource bounds) turns the second and later arrivals of a pattern
+//! into a hash lookup instead of a DP/DPP search. Keying on the
+//! catalog version makes stale service *structurally* impossible — a
+//! catalog rebuild or recalibration changes the version, so old
+//! entries simply stop being addressable and age out via LRU. On top
+//! of the key, every hit replays planck's PL065 revalidation
+//! ([`sjos_planck::revalidate_cached`]) against the live catalog as
+//! defense in depth; a dirty entry is dropped and counted as an
+//! invalidation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sjos_core::Algorithm;
+use sjos_exec::PlanNode;
+use sjos_planck::ResourceBounds;
+
+/// Cache key: everything that determines the optimizer's output.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Canonical pattern text (the `Display` form of a parsed
+    /// [`sjos_pattern::Pattern`], so `//a[./b]` and equivalent
+    /// spellings normalize together).
+    pub signature: String,
+    /// The optimization algorithm the plan came from.
+    pub algorithm: Algorithm,
+    /// The catalog generation the plan was derived under.
+    pub catalog_version: u64,
+}
+
+/// A cached optimizer artifact: the plan, its price, and the certified
+/// resource bounds admission control charges against.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The chosen physical plan.
+    pub plan: PlanNode,
+    /// Its estimated cost under the catalog generation it was built
+    /// with.
+    pub estimated_cost: f64,
+    /// Certified worst-case resource bounds (PL060-sound).
+    pub bounds: ResourceBounds,
+    /// Catalog generation the entry was derived under.
+    pub catalog_version: u64,
+    /// Catalog content fingerprint at derivation time.
+    pub catalog_fingerprint: u64,
+}
+
+#[derive(Debug)]
+struct CacheSlot {
+    plan: std::sync::Arc<CachedPlan>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<PlanKey, CacheSlot>,
+    tick: u64,
+}
+
+/// Counter snapshot for the observability surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheSnapshot {
+    /// Lookups served from the cache (after revalidation).
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Hits discarded because PL065 revalidation failed.
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub len: u64,
+    /// Maximum resident entries.
+    pub capacity: u64,
+}
+
+impl PlanCacheSnapshot {
+    /// Hits over lookups, 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded LRU plan cache (see the module docs).
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache bounded to `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, revalidating any hit against the live catalog
+    /// generation (`live_version`, `live_fingerprint`). A dirty entry
+    /// is removed and the lookup counts as a miss.
+    pub fn get(
+        &self,
+        key: &PlanKey,
+        live_version: u64,
+        live_fingerprint: u64,
+    ) -> Option<std::sync::Arc<CachedPlan>> {
+        let mut inner = self.inner.lock().expect("plan-cache mutex poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(slot) = inner.map.get_mut(key) {
+            let entry = std::sync::Arc::clone(&slot.plan);
+            let verdict = sjos_planck::revalidate_cached(
+                entry.catalog_version,
+                entry.catalog_fingerprint,
+                live_version,
+                live_fingerprint,
+            );
+            if verdict.is_clean() {
+                slot.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry);
+            }
+            inner.map.remove(key);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Insert `plan` under `key`, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&self, key: PlanKey, plan: std::sync::Arc<CachedPlan>) {
+        let mut inner = self.inner.lock().expect("plan-cache mutex poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            // O(n) LRU scan, same policy as the buffer pool: the
+            // cache is small (hundreds of entries) and insertion is
+            // off the hot lookup path.
+            if let Some(victim) =
+                inner.map.iter().min_by_key(|(_, s)| s.last_used).map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(key, CacheSlot { plan, last_used: tick });
+    }
+
+    /// Counter snapshot.
+    pub fn snapshot(&self) -> PlanCacheSnapshot {
+        let inner = self.inner.lock().expect("plan-cache mutex poisoned");
+        PlanCacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            len: inner.map.len() as u64,
+            capacity: self.capacity as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn entry(version: u64, fingerprint: u64) -> Arc<CachedPlan> {
+        Arc::new(CachedPlan {
+            plan: PlanNode::IndexScan { pnode: sjos_pattern::PnId(0) },
+            estimated_cost: 1.0,
+            bounds: sjos_planck::ResourceBounds {
+                operators: vec![],
+                peak_bytes: 64,
+                batch_pulls: 1,
+                batch_rows: 1,
+            },
+            catalog_version: version,
+            catalog_fingerprint: fingerprint,
+        })
+    }
+
+    fn key(sig: &str, version: u64) -> PlanKey {
+        PlanKey {
+            signature: sig.to_string(),
+            algorithm: Algorithm::Dpp { lookahead: true },
+            catalog_version: version,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = PlanCache::new(4);
+        assert!(cache.get(&key("//a/b", 1), 1, 7).is_none());
+        cache.insert(key("//a/b", 1), entry(1, 7));
+        assert!(cache.get(&key("//a/b", 1), 1, 7).is_some());
+        let snap = cache.snapshot();
+        assert_eq!((snap.hits, snap.misses), (1, 1));
+        assert!((snap.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn algorithm_is_part_of_the_key() {
+        let cache = PlanCache::new(4);
+        cache.insert(key("//a/b", 1), entry(1, 7));
+        let other = PlanKey {
+            signature: "//a/b".to_string(),
+            algorithm: Algorithm::Fp,
+            catalog_version: 1,
+        };
+        assert!(cache.get(&other, 1, 7).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = PlanCache::new(2);
+        cache.insert(key("//a", 1), entry(1, 7));
+        cache.insert(key("//b", 1), entry(1, 7));
+        assert!(cache.get(&key("//a", 1), 1, 7).is_some(), "warm //a");
+        cache.insert(key("//c", 1), entry(1, 7));
+        assert!(cache.get(&key("//b", 1), 1, 7).is_none(), "//b was coldest");
+        assert!(cache.get(&key("//a", 1), 1, 7).is_some());
+        assert!(cache.get(&key("//c", 1), 1, 7).is_some());
+        assert_eq!(cache.snapshot().evictions, 1);
+    }
+
+    #[test]
+    fn stale_entry_is_invalidated_on_revalidation() {
+        let cache = PlanCache::new(4);
+        // An entry recorded under version 1 looked up while the live
+        // catalog is at version 2 (same key — simulates a recorded
+        // version diverging from its key, which PL065 exists to catch).
+        cache.insert(key("//a/b", 1), entry(1, 7));
+        assert!(cache.get(&key("//a/b", 1), 2, 8).is_none());
+        let snap = cache.snapshot();
+        assert_eq!(snap.invalidations, 1);
+        assert_eq!(snap.len, 0, "dirty entry removed");
+    }
+}

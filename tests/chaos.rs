@@ -78,6 +78,98 @@ fn table1_queries_survive_two_hundred_seeded_fault_plans() {
     assert!(failed > 0, "no fault plan ever defeated the retries — injection is broken");
 }
 
+/// The concurrent variant of the contract: eight sessions hammer ONE
+/// shared faulty store at once. Every execution must still end
+/// bit-identical to the fault-free baseline or in a typed storage
+/// error — never a panic, a wrong answer, or a deadlock (a hang here
+/// fails the suite via the harness timeout).
+#[test]
+fn eight_concurrent_sessions_survive_seeded_faults_on_one_shared_store() {
+    let doc = pers(GenConfig::sized(1_500));
+    let db = Database::from_document(doc.clone());
+    let cases: Vec<_> = paper_queries()
+        .into_iter()
+        .filter(|q| q.dataset == DataSet::Pers)
+        .map(|q| {
+            let pattern = q.pattern();
+            let optimized =
+                db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).expect("optimizes");
+            let baseline =
+                db.execute(&pattern, &optimized.plan).expect("clean run").canonical_rows();
+            (q.id, pattern, optimized.plan, baseline)
+        })
+        .collect();
+
+    let store = XmlStore::load_faulty(
+        doc,
+        StoreConfig { retry: RetryPolicy::no_backoff(4), ..StoreConfig::default() },
+        FaultPlan::none(),
+    );
+    let fault = store.fault().expect("faulty store exposes its fault handle").clone();
+
+    const THREADS: usize = 8;
+    const ROUNDS: u64 = 8;
+    const PASSES: usize = 2;
+    let mut recovered = 0u64;
+    let mut failed = 0u64;
+    for round in 0..ROUNDS {
+        // Re-arm between rounds only, while the store is quiescent:
+        // the cache reset needs an unpinned pool, and all threads have
+        // joined by the end of the previous round.
+        fault.set_plan(FaultPlan::none());
+        store.pool().reset_cache().expect("cache reset on a quiet disk");
+        fault.set_plan(if round.is_multiple_of(2) {
+            FaultPlan::light(round)
+        } else {
+            FaultPlan::heavy(round)
+        });
+
+        let (rec, fail) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let store = &store;
+                    let cases = &cases;
+                    scope.spawn(move || {
+                        let mut rec = 0u64;
+                        let mut fail = 0u64;
+                        for _ in 0..PASSES {
+                            for (id, pattern, plan_node, baseline) in cases {
+                                match sjos::execute(store, pattern, plan_node) {
+                                    Ok(res) => {
+                                        assert_eq!(
+                                            &res.canonical_rows(),
+                                            baseline,
+                                            "{id} diverged from the fault-free answer under \
+                                             concurrent faults (round {round})"
+                                        );
+                                        rec += 1;
+                                    }
+                                    Err(EngineError::Storage(_)) => fail += 1,
+                                    Err(e) => panic!(
+                                        "{id}: non-storage failure under concurrent disk \
+                                         faults (round {round}): {e}"
+                                    ),
+                                }
+                            }
+                        }
+                        (rec, fail)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .fold((0u64, 0u64), |acc, x| (acc.0 + x.0, acc.1 + x.1))
+        });
+        recovered += rec;
+        failed += fail;
+    }
+
+    let total = ROUNDS * (THREADS * PASSES * cases.len()) as u64;
+    assert_eq!(recovered + failed, total, "every execution reached a verdict");
+    assert!(recovered > 0, "no query ever recovered under concurrency");
+}
+
 #[test]
 fn sticky_corruption_names_the_page_in_the_error() {
     let doc = pers(GenConfig::sized(400));
