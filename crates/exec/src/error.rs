@@ -72,8 +72,10 @@ pub enum EngineError {
     Guard {
         /// What limit was breached.
         breach: GuardBreach,
-        /// Operator counters at the moment the guard fired.
-        partial: MetricsSnapshot,
+        /// Operator counters at the moment the guard fired
+        /// (boxed to keep the `Err` variant small — clippy
+        /// `result_large_err`).
+        partial: Box<MetricsSnapshot>,
     },
 }
 
@@ -117,7 +119,7 @@ impl From<GuardBreach> for EngineError {
     /// Wrap a breach with empty partial metrics; the executor entry
     /// points replace `partial` with the real snapshot on the way out.
     fn from(breach: GuardBreach) -> EngineError {
-        EngineError::Guard { breach, partial: MetricsSnapshot::default() }
+        EngineError::Guard { breach, partial: Box::default() }
     }
 }
 

@@ -10,7 +10,9 @@ use sjos_storage::XmlStore;
 use crate::error::EngineError;
 use crate::guard::{GuardedOp, QueryGuard};
 use crate::metrics::{ExecMetrics, MetricsSnapshot};
-use crate::ops::{BoxedOperator, IndexScanOp, MergeJoinOp, OrderingCheck, SortOp, StackTreeJoinOp};
+use crate::ops::{
+    BoxedOperator, IndexScanOp, MergeJoinOp, OrderingCheck, SortOp, SpillPolicy, StackTreeJoinOp,
+};
 use crate::plan::PlanNode;
 use crate::tuple::{Schema, Tuple, TupleBatch, BATCH_ROWS};
 
@@ -81,7 +83,7 @@ pub fn execute(
     pattern: &Pattern,
     plan: &PlanNode,
 ) -> Result<QueryResult, EngineError> {
-    execute_opts(store, pattern, plan, true, BATCH_ROWS, &Arc::new(QueryGuard::unlimited()))
+    execute_opts(store, pattern, plan, true, BATCH_ROWS, &Arc::new(QueryGuard::unlimited()), None)
 }
 
 /// [`execute`] under an explicit resource [`QueryGuard`]: deadline,
@@ -94,7 +96,50 @@ pub fn execute_guarded(
     plan: &PlanNode,
     guard: &Arc<QueryGuard>,
 ) -> Result<QueryResult, EngineError> {
-    execute_opts(store, pattern, plan, true, BATCH_ROWS, guard)
+    execute_opts(store, pattern, plan, true, BATCH_ROWS, guard, None)
+}
+
+/// [`execute_guarded`] in *spill mode*: every sort in the plan may
+/// degrade to a spill-to-disk external sort under `policy` instead of
+/// breaching the guard's memory budget. Results are bit-identical to
+/// the in-memory execution; the price is temp-page I/O, visible in
+/// the result's metrics (`spilled_runs`, `spilled_bytes`) and I/O
+/// counters (`spill_page_writes`, `spill_page_reads`). This is the
+/// entry point the service's degraded admission path uses.
+pub fn execute_guarded_spill(
+    store: &XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+    guard: &Arc<QueryGuard>,
+    policy: SpillPolicy,
+) -> Result<QueryResult, EngineError> {
+    execute_opts(store, pattern, plan, true, BATCH_ROWS, guard, Some(policy))
+}
+
+/// [`execute_guarded_spill`] without result materialization.
+pub fn execute_counting_guarded_spill(
+    store: &XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+    guard: &Arc<QueryGuard>,
+    policy: SpillPolicy,
+) -> Result<QueryResult, EngineError> {
+    execute_opts(store, pattern, plan, false, BATCH_ROWS, guard, Some(policy))
+}
+
+/// [`execute_guarded_spill`] with an explicit batch granularity — the
+/// spill twin of [`execute_guarded_with_batch_rows`], used by the
+/// differential suites to prove spilling is invisible in the answer
+/// at every batch size.
+pub fn execute_spill_with_batch_rows(
+    store: &XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+    batch_rows: usize,
+    guard: &Arc<QueryGuard>,
+    policy: SpillPolicy,
+) -> Result<QueryResult, EngineError> {
+    execute_opts(store, pattern, plan, true, batch_rows, guard, Some(policy))
 }
 
 /// Like [`execute`], but discard tuples as they are produced (the
@@ -106,7 +151,7 @@ pub fn execute_counting(
     pattern: &Pattern,
     plan: &PlanNode,
 ) -> Result<QueryResult, EngineError> {
-    execute_opts(store, pattern, plan, false, BATCH_ROWS, &Arc::new(QueryGuard::unlimited()))
+    execute_opts(store, pattern, plan, false, BATCH_ROWS, &Arc::new(QueryGuard::unlimited()), None)
 }
 
 /// [`execute_counting`] under an explicit resource [`QueryGuard`].
@@ -116,7 +161,7 @@ pub fn execute_counting_guarded(
     plan: &PlanNode,
     guard: &Arc<QueryGuard>,
 ) -> Result<QueryResult, EngineError> {
-    execute_opts(store, pattern, plan, false, BATCH_ROWS, guard)
+    execute_opts(store, pattern, plan, false, BATCH_ROWS, guard, None)
 }
 
 /// [`execute_counting`] with an explicit batch granularity.
@@ -131,7 +176,7 @@ pub fn execute_counting_with_batch_rows(
     plan: &PlanNode,
     batch_rows: usize,
 ) -> Result<QueryResult, EngineError> {
-    execute_opts(store, pattern, plan, false, batch_rows, &Arc::new(QueryGuard::unlimited()))
+    execute_opts(store, pattern, plan, false, batch_rows, &Arc::new(QueryGuard::unlimited()), None)
 }
 
 /// [`execute`] with an explicit batch granularity — the materializing
@@ -143,7 +188,7 @@ pub fn execute_with_batch_rows(
     plan: &PlanNode,
     batch_rows: usize,
 ) -> Result<QueryResult, EngineError> {
-    execute_opts(store, pattern, plan, true, batch_rows, &Arc::new(QueryGuard::unlimited()))
+    execute_opts(store, pattern, plan, true, batch_rows, &Arc::new(QueryGuard::unlimited()), None)
 }
 
 /// [`execute_guarded`] with an explicit batch granularity — the
@@ -157,7 +202,7 @@ pub fn execute_guarded_with_batch_rows(
     batch_rows: usize,
     guard: &Arc<QueryGuard>,
 ) -> Result<QueryResult, EngineError> {
-    execute_opts(store, pattern, plan, true, batch_rows, guard)
+    execute_opts(store, pattern, plan, true, batch_rows, guard, None)
 }
 
 /// Execute `plan` and keep the root operator's batches as emitted,
@@ -171,7 +216,7 @@ pub fn execute_batches(
     plan.validate(pattern).map_err(EngineError::InvalidPlan)?;
     let metrics = ExecMetrics::new();
     let guard = Arc::new(QueryGuard::unlimited());
-    let mut root = build_operator(store, pattern, plan, &metrics, BATCH_ROWS, &guard)?;
+    let mut root = build_operator(store, pattern, plan, &metrics, BATCH_ROWS, &guard, None)?;
     let mut batches = Vec::new();
     let mut count: u64 = 0;
     loop {
@@ -198,7 +243,7 @@ pub fn execute_batches(
 fn attach_partial(e: EngineError, metrics: &ExecMetrics) -> EngineError {
     match e {
         EngineError::Guard { breach, .. } => {
-            EngineError::Guard { breach, partial: metrics.snapshot() }
+            EngineError::Guard { breach, partial: Box::new(metrics.snapshot()) }
         }
         other => other,
     }
@@ -211,12 +256,13 @@ fn execute_opts(
     materialize: bool,
     batch_rows: usize,
     guard: &Arc<QueryGuard>,
+    spill: Option<SpillPolicy>,
 ) -> Result<QueryResult, EngineError> {
     plan.validate(pattern).map_err(EngineError::InvalidPlan)?;
     let metrics = ExecMetrics::new();
     let io_before = store.stats().snapshot();
     let started = Instant::now();
-    let mut root = build_operator(store, pattern, plan, &metrics, batch_rows, guard)?;
+    let mut root = build_operator(store, pattern, plan, &metrics, batch_rows, guard, spill)?;
     let mut tuples = Vec::new();
     let mut count: u64 = 0;
     let ordered_col = root.ordered_col();
@@ -264,22 +310,25 @@ fn build_operator<'a>(
     metrics: &Arc<ExecMetrics>,
     batch_rows: usize,
     guard: &Arc<QueryGuard>,
+    spill: Option<SpillPolicy>,
 ) -> Result<BoxedOperator<'a>, EngineError> {
     let op: BoxedOperator<'a> = match plan {
         PlanNode::IndexScan { pnode } => {
             Box::new(build_scan(store, pattern, *pnode, metrics).with_batch_rows(batch_rows))
         }
         PlanNode::Sort { input, by } => {
-            let child = build_operator(store, pattern, input, metrics, batch_rows, guard)?;
-            Box::new(
-                SortOp::new(child, *by, Arc::clone(metrics))?
-                    .with_batch_rows(batch_rows)
-                    .with_guard(Arc::clone(guard)),
-            )
+            let child = build_operator(store, pattern, input, metrics, batch_rows, guard, spill)?;
+            let mut sort = SortOp::new(child, *by, Arc::clone(metrics))?
+                .with_batch_rows(batch_rows)
+                .with_guard(Arc::clone(guard));
+            if let Some(policy) = spill {
+                sort = sort.with_spill(store.pool(), store.spill(), policy);
+            }
+            Box::new(sort)
         }
         PlanNode::StructuralJoin { left, right, anc, desc, axis, algo } => {
-            let l = build_operator(store, pattern, left, metrics, batch_rows, guard)?;
-            let r = build_operator(store, pattern, right, metrics, batch_rows, guard)?;
+            let l = build_operator(store, pattern, left, metrics, batch_rows, guard, spill)?;
+            let r = build_operator(store, pattern, right, metrics, batch_rows, guard, spill)?;
             match algo {
                 crate::plan::JoinAlgo::MergeJoin => Box::new(
                     MergeJoinOp::new(l, r, *anc, *desc, *axis, Arc::clone(metrics))?

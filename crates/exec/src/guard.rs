@@ -72,10 +72,13 @@ pub struct QueryGuard {
     cancel: CancelToken,
     /// Batches pulled across all guarded operator boundaries.
     batches: AtomicU64,
-    /// High-water reservation in bytes — reservations are never
-    /// released, so this bounds the *total* buffering of the query,
-    /// not the instantaneous footprint (a deliberate, conservative
-    /// simplification).
+    /// Bytes of operator buffering currently charged against the
+    /// memory budget. In-memory operators only reserve, so for them
+    /// this is the conservative cumulative total; spilling sorts call
+    /// [`QueryGuard::release`] when a run leaves memory for temp
+    /// pages, so under spill the counter tracks the *resident*
+    /// footprint — the quantity a memory budget is actually meant to
+    /// bound.
     reserved: AtomicUsize,
 }
 
@@ -181,7 +184,10 @@ impl QueryGuard {
     }
 
     /// Account `bytes` of operator buffering against the memory
-    /// budget. Reservations are cumulative and never released.
+    /// budget. In-memory operators never release, so their
+    /// reservations accumulate (a conservative over-count); spilling
+    /// operators pair this with [`QueryGuard::release`] so only the
+    /// resident footprint counts.
     pub fn reserve(&self, bytes: usize) -> Result<(), GuardBreach> {
         let total = self.reserved.fetch_add(bytes, Ordering::Relaxed) + bytes;
         if let Some(limit) = self.memory_budget {
@@ -193,6 +199,37 @@ impl QueryGuard {
             }
         }
         Ok(())
+    }
+
+    /// Return `bytes` previously [`QueryGuard::reserve`]d — called by
+    /// spilling sorts when a sorted run moves from memory to temp
+    /// pages, so the budget governs resident bytes instead of
+    /// cumulative traffic. Saturates at zero so a release raced
+    /// against a snapshot can never wrap.
+    pub fn release(&self, bytes: usize) {
+        let mut cur = self.reserved.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.reserved.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Bytes of budget headroom left, `usize::MAX` when unbudgeted —
+    /// what a spilling sort consults to flush *before* a reservation
+    /// would breach.
+    pub fn memory_headroom(&self) -> usize {
+        match self.memory_budget {
+            Some(limit) => limit.saturating_sub(self.reserved.load(Ordering::Relaxed)),
+            None => usize::MAX,
+        }
     }
 }
 
@@ -255,6 +292,19 @@ mod tests {
         g.reserve(60).unwrap();
         let err = g.reserve(60).unwrap_err();
         assert_eq!(err, GuardBreach::MemoryBudget { limit_bytes: 100, requested_bytes: 120 });
+    }
+
+    #[test]
+    fn release_restores_headroom() {
+        let g = QueryGuard::unlimited().with_memory_budget(100);
+        g.reserve(80).unwrap();
+        assert_eq!(g.memory_headroom(), 20);
+        g.release(60);
+        assert_eq!(g.memory_headroom(), 80);
+        g.reserve(70).unwrap();
+        g.release(1_000);
+        assert_eq!(g.bytes_reserved(), 0, "release saturates at zero");
+        assert_eq!(QueryGuard::unlimited().memory_headroom(), usize::MAX);
     }
 
     #[test]

@@ -42,11 +42,13 @@ pub mod tuple;
 pub use error::{EngineError, ExecError, GuardBreach};
 pub use executor::{
     execute, execute_batches, execute_counting, execute_counting_guarded,
-    execute_counting_with_batch_rows, execute_guarded, execute_guarded_with_batch_rows,
+    execute_counting_guarded_spill, execute_counting_with_batch_rows, execute_guarded,
+    execute_guarded_spill, execute_guarded_with_batch_rows, execute_spill_with_batch_rows,
     execute_with_batch_rows, BatchedResult, QueryResult,
 };
 pub use guard::{CancelToken, GuardedOp, QueryGuard};
 pub use metrics::{ExecMetrics, MetricsSnapshot};
+pub use ops::SpillPolicy;
 pub use plan::{JoinAlgo, OperatorContract, PlanNode};
 pub use tuple::{Entry, Schema, Tuple, TupleBatch, BATCH_ROWS};
 

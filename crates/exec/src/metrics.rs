@@ -37,6 +37,14 @@ pub struct ExecMetrics {
     /// analysis (planck's PL064) checks its worst-case bound against
     /// this observation.
     pub peak_bytes: AtomicU64,
+    /// Sorted runs flushed to temp pages by spilling sorts.
+    pub spilled_runs: AtomicU64,
+    /// Payload bytes written to temp pages by spilling sorts
+    /// (initial run flushes plus cascade-merge rewrites).
+    pub spilled_bytes: AtomicU64,
+    /// Cascade merge passes performed when a spill produced more runs
+    /// than the merge fan-in.
+    pub spill_merge_passes: AtomicU64,
 }
 
 /// Point-in-time copy of [`ExecMetrics`].
@@ -62,6 +70,12 @@ pub struct MetricsSnapshot {
     pub merge_rescans: u64,
     /// Peak instantaneous operator-buffer footprint in bytes.
     pub peak_bytes: u64,
+    /// Sorted runs flushed to temp pages by spilling sorts.
+    pub spilled_runs: u64,
+    /// Payload bytes written to temp pages by spilling sorts.
+    pub spilled_bytes: u64,
+    /// Cascade merge passes over spilled runs.
+    pub spill_merge_passes: u64,
 }
 
 impl ExecMetrics {
@@ -83,6 +97,9 @@ impl ExecMetrics {
             scanned_records: self.scanned_records.load(Ordering::Relaxed),
             merge_rescans: self.merge_rescans.load(Ordering::Relaxed),
             peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+            spilled_runs: self.spilled_runs.load(Ordering::Relaxed),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            spill_merge_passes: self.spill_merge_passes.load(Ordering::Relaxed),
         }
     }
 

@@ -15,7 +15,7 @@ pub mod sort;
 pub use join::StackTreeJoinOp;
 pub use merge::MergeJoinOp;
 pub use scan::IndexScanOp;
-pub use sort::SortOp;
+pub use sort::{SortOp, SpillPolicy};
 
 use std::sync::Arc;
 

@@ -1,5 +1,5 @@
 //! Resource-bound abstract interpretation over physical plans
-//! (PL060–PL064).
+//! (PL060–PL067).
 //!
 //! A bottom-up dataflow pass propagates *guaranteed* cardinality
 //! intervals per operator — derived from the catalog's exact index
@@ -11,6 +11,14 @@
 //! check exactly that), so comparing them against a [`QueryGuard`]'s
 //! budgets *before* running anything yields a static admission
 //! decision (PL062/PL063) instead of a mid-flight `GuardBreach`.
+//!
+//! A second, *degraded* admission tier covers plans the in-memory
+//! bound rejects: [`analyze_bounds_spill`] re-derives the bounds with
+//! every sort capped at a [`SpillPolicy`]'s resident footprint (the
+//! rest of the input lives in temp pages), [`admit_spill`] compares
+//! that resident bound against the same budgets (PL066), and
+//! [`lint_spill_soundness`] replays spill-mode executions to certify
+//! the cap is a real upper bound (PL067).
 //!
 //! ## The interval lattice
 //!
@@ -60,7 +68,8 @@ use std::sync::Arc;
 
 use sjos_core::CostModel;
 use sjos_exec::{
-    execute_guarded_with_batch_rows, EngineError, Entry, JoinAlgo, PlanNode, QueryGuard, BATCH_ROWS,
+    execute_guarded_with_batch_rows, execute_spill_with_batch_rows, EngineError, Entry, JoinAlgo,
+    PlanNode, QueryGuard, SpillPolicy, BATCH_ROWS,
 };
 use sjos_pattern::{Axis, Pattern, PnId};
 use sjos_stats::PatternEstimates;
@@ -200,9 +209,39 @@ pub fn analyze_bounds(
     plan: &PlanNode,
     batch_rows: usize,
 ) -> ResourceBounds {
+    analyze(pattern, estimates, model, plan, batch_rows, None)
+}
+
+/// [`analyze_bounds`] under a spill policy: every sort's buffer term
+/// is capped at the policy's *resident* bound — flush threshold plus
+/// one output batch plus the merge fan-in's decoded cursor buffers
+/// plus one run page — because an external sort parks everything past
+/// the threshold in temp pages instead of memory. All other operators
+/// are unchanged (only sorts spill), so the resulting `peak_bytes` is
+/// the worst-case resident footprint a degraded admission decision
+/// (PL066) compares against the memory budget.
+pub fn analyze_bounds_spill(
+    pattern: &Pattern,
+    estimates: &PatternEstimates,
+    model: &CostModel,
+    plan: &PlanNode,
+    batch_rows: usize,
+    policy: SpillPolicy,
+) -> ResourceBounds {
+    analyze(pattern, estimates, model, plan, batch_rows, Some(policy))
+}
+
+fn analyze(
+    pattern: &Pattern,
+    estimates: &PatternEstimates,
+    model: &CostModel,
+    plan: &PlanNode,
+    batch_rows: usize,
+    spill: Option<SpillPolicy>,
+) -> ResourceBounds {
     let batch_rows = batch_rows.max(1);
     let mut operators = Vec::new();
-    walk(pattern, estimates, model, plan, "root", batch_rows as u64, &mut operators);
+    walk(pattern, estimates, model, plan, "root", batch_rows as u64, spill, &mut operators);
     let peak_bytes = operators
         .iter()
         .fold(0u64, |acc, o| acc.saturating_add(o.buffer_bytes).saturating_add(o.batch_bytes));
@@ -210,6 +249,7 @@ pub fn analyze_bounds(
     ResourceBounds { operators, peak_bytes, batch_pulls, batch_rows }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn walk(
     pattern: &Pattern,
     estimates: &PatternEstimates,
@@ -217,6 +257,7 @@ fn walk(
     plan: &PlanNode,
     path: &str,
     batch_rows: u64,
+    spill: Option<SpillPolicy>,
     out: &mut Vec<OperatorBounds>,
 ) -> SubBounds {
     // Reserve this operator's pre-order slot before recursing.
@@ -247,10 +288,28 @@ fn walk(
             (format!("Scan {}#{}", pattern.node(*pnode).tag, pnode.0), sub, 0u64, 0u64, vec![])
         }
         PlanNode::Sort { input, by } => {
-            let inner =
-                walk(pattern, estimates, model, input, &format!("{path}.in"), batch_rows, out);
-            // The sort materializes its whole input.
-            let buffer = inner.rows.hi.saturating_mul(inner.width as u64).saturating_mul(ENTRY);
+            let inner = walk(
+                pattern,
+                estimates,
+                model,
+                input,
+                &format!("{path}.in"),
+                batch_rows,
+                spill,
+                out,
+            );
+            // The sort materializes its whole input — unless it may
+            // spill, in which case at most the policy's resident
+            // bound stays in memory at once and the rest lives in
+            // temp pages.
+            let full = inner.rows.hi.saturating_mul(inner.width as u64).saturating_mul(ENTRY);
+            let buffer = match spill {
+                Some(policy) => {
+                    let rows = usize::try_from(batch_rows).unwrap_or(usize::MAX);
+                    full.min(policy.resident_bound(inner.width, rows) as u64)
+                }
+                None => full,
+            };
             let width = inner.width;
             let sub = SubBounds {
                 rows: inner.rows,
@@ -261,9 +320,26 @@ fn walk(
             (format!("Sort by #{}", by.0), sub, buffer, 0u64, vec![width])
         }
         PlanNode::StructuralJoin { left, right, anc, desc, axis, algo } => {
-            let l = walk(pattern, estimates, model, left, &format!("{path}.left"), batch_rows, out);
-            let r =
-                walk(pattern, estimates, model, right, &format!("{path}.right"), batch_rows, out);
+            let l = walk(
+                pattern,
+                estimates,
+                model,
+                left,
+                &format!("{path}.left"),
+                batch_rows,
+                spill,
+                out,
+            );
+            let r = walk(
+                pattern,
+                estimates,
+                model,
+                right,
+                &format!("{path}.right"),
+                batch_rows,
+                spill,
+                out,
+            );
 
             // Structural key inequality: one descendant element has at
             // most `depth_levels(anc)` ancestors with the anc tag
@@ -477,6 +553,54 @@ pub fn admit_guard(bounds: &ResourceBounds, guard: &QueryGuard) -> Report {
     admit(bounds, budget, guard.batch_budget())
 }
 
+/// PL066 (+ PL063): the *degraded*-admission predicate. `bounds` must
+/// come from [`analyze_bounds_spill`] — its `peak_bytes` is then the
+/// worst-case **resident** footprint with every sort spilling, and a
+/// clean report admits the plan in spill mode even when [`admit`]
+/// rejected its in-memory bound. A violation here means not even
+/// spilling saves the plan (the guard budget is below the merge
+/// machinery's floor or a non-sort operator alone exceeds it).
+pub fn admit_spill(
+    bounds: &ResourceBounds,
+    memory_budget: Option<u64>,
+    batch_budget: Option<u64>,
+) -> Report {
+    let mut report = Report::default();
+    if let Some(limit) = memory_budget {
+        if bounds.peak_bytes > limit {
+            report.push(
+                Rule::SpillAdmissible,
+                "root",
+                format!(
+                    "worst-case resident peak {} B under spill still exceeds the {} B memory \
+                     budget",
+                    bounds.peak_bytes, limit
+                ),
+            );
+        }
+    }
+    if let Some(limit) = batch_budget {
+        if bounds.batch_pulls > limit {
+            report.push(
+                Rule::BatchAdmissible,
+                "root",
+                format!(
+                    "worst-case {} batch pulls exceed the {} pull budget",
+                    bounds.batch_pulls, limit
+                ),
+            );
+        }
+    }
+    report
+}
+
+/// [`admit_spill`] against the budgets carried by a [`QueryGuard`] —
+/// what a server consults after [`admit_guard`] rejects a plan, before
+/// refusing the query outright.
+pub fn admit_spill_guard(bounds: &ResourceBounds, guard: &QueryGuard) -> Report {
+    admit_spill(bounds, guard.memory_budget().map(|b| b as u64), guard.batch_budget())
+}
+
 /// PL065: the cache-revalidation predicate. A plan cached under
 /// catalog generation (`cached_version`, `cached_fingerprint`) may be
 /// served against the live catalog only when the versions match; on
@@ -554,6 +678,71 @@ pub fn lint_bound_soundness(
             Rule::BoundSound,
             "root",
             format!("{rows} output rows fall outside the root interval [{}, {}]", root.lo, root.hi),
+        );
+    }
+    Ok(report)
+}
+
+/// PL067 (dynamic, the spill twin of PL064): execute `plan` in spill
+/// mode under `policy` at the bounds' batch granularity and check
+/// that the observed *resident* peak, batch pulls, and output
+/// cardinality all stay inside the spill-capped static bounds — and
+/// that the run released every temp page it borrowed.
+///
+/// `bounds` must come from [`analyze_bounds_spill`] with the same
+/// `policy` and batch granularity, or the comparison is meaningless.
+///
+/// # Errors
+/// Propagates execution failures ([`EngineError`]) — a failed run
+/// proves nothing about the bounds.
+pub fn lint_spill_soundness(
+    store: &XmlStore,
+    pattern: &Pattern,
+    bounds: &ResourceBounds,
+    plan: &PlanNode,
+    policy: SpillPolicy,
+) -> Result<Report, EngineError> {
+    let guard = Arc::new(QueryGuard::unlimited());
+    let before = store.spill().live_pages();
+    let result =
+        execute_spill_with_batch_rows(store, pattern, plan, bounds.batch_rows, &guard, policy)?;
+    let mut report = Report::default();
+    if result.metrics.peak_bytes > bounds.peak_bytes {
+        report.push(
+            Rule::SpillBoundSound,
+            "root",
+            format!(
+                "observed resident peak {} B exceeds the spill-capped static bound {} B",
+                result.metrics.peak_bytes, bounds.peak_bytes
+            ),
+        );
+    }
+    let pulled = guard.batches_pulled();
+    if pulled > bounds.batch_pulls {
+        report.push(
+            Rule::SpillBoundSound,
+            "root",
+            format!("observed {pulled} batch pulls exceed the static bound {}", bounds.batch_pulls),
+        );
+    }
+    let root = bounds.root_rows();
+    let rows = result.metrics.output_tuples;
+    if rows < root.lo || rows > root.hi {
+        report.push(
+            Rule::SpillBoundSound,
+            "root",
+            format!("{rows} output rows fall outside the root interval [{}, {}]", root.lo, root.hi),
+        );
+    }
+    let after = store.spill().live_pages();
+    if after > before {
+        report.push(
+            Rule::SpillBoundSound,
+            "root",
+            format!(
+                "run leaked {} temp pages ({before} live before, {after} after)",
+                after - before
+            ),
         );
     }
     Ok(report)
@@ -730,6 +919,75 @@ mod tests {
                 let report = lint_bound_soundness(&store, &pattern, &b, &plan).unwrap();
                 assert!(report.is_clean(), "{algo:?} at batch_rows={rows}: {report}");
             }
+        }
+    }
+
+    /// A corpus wide enough that a sort's full-materialization bound
+    /// dwarfs a spill policy's resident bound.
+    fn wide_xml(emps: usize) -> String {
+        let mut xml = String::from("<db><dept>");
+        for _ in 0..emps {
+            xml.push_str("<emp><name>x</name></emp>");
+        }
+        xml.push_str("</dept></db>");
+        xml
+    }
+
+    fn wide_sort_plan() -> PlanNode {
+        let inner = join(scan(0), scan(1), 0, 1, Axis::Descendant, JoinAlgo::StackTreeDesc);
+        PlanNode::Sort { input: Box::new(inner), by: PnId(0) }
+    }
+
+    #[test]
+    fn spill_caps_the_sort_buffer_at_the_resident_bound() {
+        let (_, pattern, est, model) = setup(&wide_xml(3_000), "//dept//emp");
+        let plan = wide_sort_plan();
+        let policy = SpillPolicy::with_threshold(0);
+        let full = analyze_bounds(&pattern, &est, &model, &plan, 3);
+        let spilled = analyze_bounds_spill(&pattern, &est, &model, &plan, 3, policy);
+        let resident = policy.resident_bound(2, 3) as u64;
+        assert!(
+            full.operators[0].buffer_bytes > resident,
+            "corpus too small to exercise the cap: full {} ≤ resident {resident}",
+            full.operators[0].buffer_bytes
+        );
+        assert_eq!(spilled.operators[0].buffer_bytes, resident);
+        assert!(spilled.peak_bytes < full.peak_bytes);
+    }
+
+    #[test]
+    fn degraded_admission_admits_what_in_memory_rejects() {
+        let (_, pattern, est, model) = setup(&wide_xml(3_000), "//dept//emp");
+        let plan = wide_sort_plan();
+        let policy = SpillPolicy::with_threshold(0);
+        let full = analyze_bounds(&pattern, &est, &model, &plan, 3);
+        let spilled = analyze_bounds_spill(&pattern, &est, &model, &plan, 3, policy);
+        // A budget between the two bounds: in-memory admission rejects,
+        // degraded admission accepts the same plan.
+        let budget = spilled.peak_bytes;
+        assert!(budget < full.peak_bytes);
+        assert!(admit(&full, Some(budget), None).violates(Rule::MemoryAdmissible));
+        let degraded = admit_spill(&spilled, Some(budget), None);
+        assert!(degraded.is_clean(), "{degraded}");
+        // Below even the resident floor, spilling cannot save the plan.
+        let hopeless = admit_spill(&spilled, Some(spilled.peak_bytes - 1), None);
+        assert!(hopeless.violates(Rule::SpillAdmissible));
+        let tight = QueryGuard::unlimited().with_memory_budget(1);
+        assert!(admit_spill_guard(&spilled, &tight).violates(Rule::SpillAdmissible));
+        let unlimited = QueryGuard::unlimited();
+        assert!(admit_spill_guard(&spilled, &unlimited).is_clean());
+    }
+
+    #[test]
+    fn spill_replay_stays_inside_the_spill_bounds() {
+        let (store, pattern, est, model) = setup(&wide_xml(3_000), "//dept//emp");
+        let plan = wide_sort_plan();
+        let policy = SpillPolicy::with_threshold(4096);
+        for rows in [3usize, BATCH_ROWS] {
+            let b = analyze_bounds_spill(&pattern, &est, &model, &plan, rows, policy);
+            let report = lint_spill_soundness(&store, &pattern, &b, &plan, policy).unwrap();
+            assert!(report.is_clean(), "batch_rows={rows}: {report}");
+            assert_eq!(store.spill().live_pages(), 0, "replay leaked temp pages");
         }
     }
 

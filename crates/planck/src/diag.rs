@@ -114,6 +114,16 @@ pub enum Rule {
     /// version matches the live catalog — on mismatch the plan's
     /// bounds must be re-derived, never reused.
     CacheRevalidated,
+    /// PL066: under a spill policy, the plan's worst-case *resident*
+    /// memory bound — flush threshold plus one output batch plus the
+    /// merge fan-in's cursor buffers plus one run page — fits the
+    /// guard's memory budget; the degraded-admission predicate.
+    SpillAdmissible,
+    /// PL067: replayed spill-mode executions never exceed the
+    /// spill-capped static bounds — observed resident peak bytes stay
+    /// within the derived spill bound and the output is the same
+    /// relation the in-memory sort would produce.
+    SpillBoundSound,
 }
 
 /// How severe a fired rule is.
@@ -136,7 +146,7 @@ impl fmt::Display for Severity {
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 39] = [
+    pub const ALL: [Rule; 41] = [
         Rule::BindingPartition,
         Rule::EdgeExists,
         Rule::EdgeOrientation,
@@ -176,6 +186,8 @@ impl Rule {
         Rule::BatchAdmissible,
         Rule::BoundSound,
         Rule::CacheRevalidated,
+        Rule::SpillAdmissible,
+        Rule::SpillBoundSound,
     ];
 
     /// The stable diagnostic id.
@@ -220,6 +232,8 @@ impl Rule {
             Rule::BatchAdmissible => "PL063",
             Rule::BoundSound => "PL064",
             Rule::CacheRevalidated => "PL065",
+            Rule::SpillAdmissible => "PL066",
+            Rule::SpillBoundSound => "PL067",
         }
     }
 
@@ -276,6 +290,8 @@ impl Rule {
             Rule::BatchAdmissible => "batch-admissible",
             Rule::BoundSound => "bound-sound",
             Rule::CacheRevalidated => "cache-revalidated",
+            Rule::SpillAdmissible => "spill-admissible",
+            Rule::SpillBoundSound => "spill-bound-sound",
         }
     }
 
@@ -486,6 +502,22 @@ impl Rule {
                  worst cases, so the cache must revalidate the version \
                  and re-derive on mismatch"
             }
+            Rule::SpillAdmissible => {
+                "a plan the in-memory bound rejects may still run \
+                 degraded: an external sort keeps at most the flush \
+                 threshold, one output batch, the merge fan-in's \
+                 cursor buffers, and one run page resident at once, \
+                 so admission must compare *that* bound — not the \
+                 full-materialization bound — against the budget \
+                 before rejecting the query outright"
+            }
+            Rule::SpillBoundSound => {
+                "degraded admission is only safe if the spill-capped \
+                 bound is a real upper bound: an observed resident \
+                 peak above it means the external sort leaks \
+                 buffering the analysis did not model, voiding every \
+                 degraded admission decision"
+            }
         }
     }
 }
@@ -664,6 +696,8 @@ mod tests {
         assert_eq!(Rule::PruneAdmissible.id(), "PL050");
         assert_eq!(Rule::BoundArithmetic.id(), "PL060");
         assert_eq!(Rule::BoundSound.id(), "PL064");
+        assert_eq!(Rule::SpillAdmissible.id(), "PL066");
+        assert_eq!(Rule::SpillBoundSound.id(), "PL067");
     }
 
     #[test]

@@ -36,7 +36,14 @@
 //!   buffering bytes and batch-pull counts, which [`admit`] compares
 //!   against [`sjos_exec::QueryGuard`] budgets as a static admission
 //!   predicate; one dynamic rule replays executions to certify the
-//!   bounds are never exceeded (PL060–PL064).
+//!   bounds are never exceeded (PL060–PL064);
+//! * memory pressure degrades gracefully instead of rejecting — a
+//!   spill-mode variant of the bound analysis
+//!   ([`analyze_bounds_spill`]) caps every sort at its
+//!   [`sjos_exec::SpillPolicy`] resident footprint, [`admit_spill`]
+//!   turns that into a second-tier *degraded* admission predicate for
+//!   plans the in-memory bound rejects, and a dynamic replay certifies
+//!   the spill cap is a real upper bound (PL066–PL067).
 //!
 //! Every rule carries a stable `PL0xx` id ([`Rule::id`]), a short
 //! name, and a prose explanation citing the paper section that
@@ -57,8 +64,9 @@ pub mod status_rules;
 pub mod trace;
 
 pub use bounds::{
-    admit, admit_guard, analyze_bounds, lint_bound_soundness, lint_bounds, lint_resources,
-    revalidate_cached, CardInterval, OperatorBounds, ResourceBounds, DEFAULT_MEMORY_BUDGET,
+    admit, admit_guard, admit_spill, admit_spill_guard, analyze_bounds, analyze_bounds_spill,
+    lint_bound_soundness, lint_bounds, lint_resources, lint_spill_soundness, revalidate_cached,
+    CardInterval, OperatorBounds, ResourceBounds, DEFAULT_MEMORY_BUDGET,
 };
 pub use cross::{lint_optimizers, lint_search_space, min_pipelined_cost, MAX_CROSS_CHECK_NODES};
 pub use dataflow::{

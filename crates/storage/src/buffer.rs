@@ -1,6 +1,6 @@
 //! LRU buffer pool with pin/unpin, dirty-page write-back, checksum
-//! verification on load, and retry-with-backoff over transient read
-//! faults.
+//! verification on load, and retry-with-backoff over transient read,
+//! write, and allocate faults.
 
 use std::collections::HashMap;
 use std::ops::Deref;
@@ -18,9 +18,10 @@ use crate::page::{Page, PageId, PAGE_SIZE};
 /// the paper's experiments.
 pub const DEFAULT_CAPACITY_BYTES: usize = 16 * 1024 * 1024;
 
-/// How the pool reacts to transient read faults (see
-/// [`StorageError::is_transient`]): up to `max_attempts` reads, with
-/// exponential backoff starting at `backoff` between attempts.
+/// How the pool reacts to transient I/O faults (see
+/// [`StorageError::is_transient`]): up to `max_attempts` reads,
+/// writes, or allocations, with exponential backoff starting at
+/// `backoff` between attempts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total read attempts per fetch (first try included). Must be
@@ -124,27 +125,26 @@ impl BufferPool {
         &self.stats
     }
 
-    /// One checksum-verified read from the disk, retried per the
-    /// pool's policy. The final error after an exhausted budget is
+    /// Run one fallible disk operation under the pool's retry policy:
+    /// transient faults are retried (with exponential backoff and a
+    /// `bump` per extra attempt), permanent faults return immediately,
+    /// and an exhausted budget surfaces as
     /// [`StorageError::RetriesExhausted`] naming the last fault.
-    fn read_verified(&self, id: PageId) -> Result<Box<Page>, StorageError> {
+    fn with_retries<T>(
+        &self,
+        bump: impl Fn(&IoStats),
+        op: impl Fn() -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
         let mut last: Option<StorageError> = None;
         for attempt in 0..self.retry.max_attempts.max(1) {
             if attempt > 0 {
-                self.stats.bump_retry();
+                bump(&self.stats);
                 if !self.retry.backoff.is_zero() {
                     std::thread::sleep(self.retry.backoff * 2u32.saturating_pow(attempt - 1));
                 }
             }
-            let result = self.disk.read_page(id).and_then(|page| {
-                if page.verify_checksum() {
-                    Ok(page)
-                } else {
-                    Err(StorageError::ChecksumMismatch { page: id })
-                }
-            });
-            match result {
-                Ok(page) => return Ok(page),
+            match op() {
+                Ok(v) => return Ok(v),
                 Err(e) if e.is_transient() => last = Some(e),
                 Err(e) => return Err(e),
             }
@@ -153,6 +153,46 @@ impl BufferPool {
             attempts: self.retry.max_attempts.max(1),
             last: Box::new(last.expect("loop ran at least once and only exits Ok/permanent early")),
         })
+    }
+
+    /// One checksum-verified read from the disk, retried per the
+    /// pool's policy.
+    fn read_verified(&self, id: PageId) -> Result<Box<Page>, StorageError> {
+        self.with_retries(IoStats::bump_retry, || {
+            self.disk.read_page(id).and_then(|page| {
+                if page.verify_checksum() {
+                    Ok(page)
+                } else {
+                    Err(StorageError::ChecksumMismatch { page: id })
+                }
+            })
+        })
+    }
+
+    /// Allocate a fresh page on the underlying disk, retrying
+    /// transient allocation faults per the pool's policy — the
+    /// allocate-side twin of [`BufferPool::fetch`]'s read retries.
+    pub fn allocate(&self) -> Result<PageId, StorageError> {
+        self.with_retries(IoStats::bump_write_retry, || self.disk.allocate_page())
+    }
+
+    /// Stamp `page`'s checksum and write it straight through to disk,
+    /// retrying transient write faults per the pool's policy. If the
+    /// page is cached, the frame is updated in place (and marked
+    /// clean) so later fetches cannot observe a stale image. This is
+    /// the write path of the spill segment
+    /// ([`crate::spill::SpillSegment`]).
+    pub fn write_through(&self, id: PageId, page: &Page) -> Result<(), StorageError> {
+        let mut stamped = page.clone();
+        stamped.stamp_checksum();
+        self.with_retries(IoStats::bump_write_retry, || self.disk.write_page(id, &stamped))?;
+        let mut inner = self.inner.lock();
+        if let Some(&slot) = inner.page_table.get(&id) {
+            let frame = &mut inner.frames[slot];
+            frame.data = Arc::new(stamped.clone());
+            frame.dirty = false;
+        }
+        Ok(())
     }
 
     /// Fetch (and pin) page `id`.
@@ -197,10 +237,11 @@ impl BufferPool {
 
     /// Stamp the page's checksum and write it to disk — the single
     /// write-back path, so every image the disk holds verifies.
+    /// Transient write faults are retried like reads.
     fn write_back(&self, id: PageId, data: &Arc<Page>) -> Result<(), StorageError> {
         let mut page = (**data).clone();
         page.stamp_checksum();
-        self.disk.write_page(id, &page)
+        self.with_retries(IoStats::bump_write_retry, || self.disk.write_page(id, &page))
     }
 
     fn pick_victim(&self, inner: &Inner) -> Result<usize, StorageError> {
@@ -536,6 +577,62 @@ mod tests {
             }
             other => panic!("expected RetriesExhausted(ChecksumMismatch), got {other:?}"),
         };
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_to_success() {
+        let plan = FaultPlan { seed: 21, transient_write: 0.4, ..FaultPlan::none() };
+        let (faulty, pool, ids) = faulty_setup(8, 4, plan);
+        let mut p = Page::zeroed();
+        for (i, id) in ids.iter().enumerate() {
+            p.write_u32(16, 1000 + i as u32);
+            pool.write_through(*id, &p).unwrap();
+        }
+        assert!(faulty.injected() > 0, "the plan injected write faults");
+        assert!(pool.stats().snapshot().write_retries > 0, "retries absorbed them");
+        faulty.disarm();
+        pool.reset_cache().unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(pool.fetch(*id).unwrap().read_u32(16), 1000 + i as u32);
+        }
+    }
+
+    #[test]
+    fn write_through_updates_a_cached_frame() {
+        let (_d, pool, ids) = setup(4, 1);
+        assert_eq!(pool.fetch(ids[0]).unwrap().read_u32(0), 0);
+        let mut p = Page::zeroed();
+        p.write_u32(0, 4242);
+        pool.write_through(ids[0], &p).unwrap();
+        let r = pool.fetch(ids[0]).unwrap();
+        assert_eq!(r.read_u32(0), 4242, "no stale cached image after write-through");
+        assert!(r.verify_checksum(), "write-through stamps the checksum");
+    }
+
+    #[test]
+    fn allocate_retries_transient_allocation_faults() {
+        let plan = FaultPlan { seed: 2, transient_allocate: 0.5, ..FaultPlan::none() };
+        let (_faulty, pool, _ids) = faulty_setup(4, 0, plan);
+        let mut allocated = 0;
+        for _ in 0..16 {
+            if pool.allocate().is_ok() {
+                allocated += 1;
+            }
+        }
+        assert!(allocated > 0, "retries must get some allocations through");
+        assert!(pool.stats().snapshot().write_retries > 0);
+    }
+
+    #[test]
+    fn exhausted_write_retries_surface_typed() {
+        let plan = FaultPlan { seed: 9, transient_write: 1.0, ..FaultPlan::none() };
+        let (_faulty, pool, ids) = faulty_setup(4, 1, plan);
+        match pool.write_through(ids[0], &Page::zeroed()) {
+            Err(StorageError::RetriesExhausted { attempts: 4, last }) => {
+                assert_eq!(*last, StorageError::InjectedIo { page: ids[0] });
+            }
+            other => panic!("expected RetriesExhausted(InjectedIo), got {other:?}"),
+        }
     }
 
     #[test]

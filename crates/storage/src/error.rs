@@ -31,15 +31,21 @@ pub enum StorageError {
         /// The rendered OS error.
         detail: String,
     },
-    /// A fault-injection harness made this read fail (see
-    /// [`crate::fault::FaultPlan::transient_read`]).
+    /// A fault-injection harness made this read or write fail (see
+    /// [`crate::fault::FaultPlan::transient_read`] and
+    /// [`crate::fault::FaultPlan::transient_write`]).
     InjectedIo {
-        /// The page whose read was failed.
+        /// The page whose I/O was failed.
         page: PageId,
     },
     /// A read returned fewer bytes than a full page.
     ShortRead {
         /// The page whose read came up short.
+        page: PageId,
+    },
+    /// A write persisted fewer bytes than a full page (torn write).
+    ShortWrite {
+        /// The page whose write came up short.
         page: PageId,
     },
     /// A page image failed checksum verification on load.
@@ -73,6 +79,7 @@ impl StorageError {
         match self {
             StorageError::InjectedIo { .. }
             | StorageError::ShortRead { .. }
+            | StorageError::ShortWrite { .. }
             | StorageError::Io { .. }
             | StorageError::ChecksumMismatch { .. } => true,
             StorageError::Unallocated { .. }
@@ -97,6 +104,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::ShortRead { page } => {
                 write!(f, "short read of page {page:?}")
+            }
+            StorageError::ShortWrite { page } => {
+                write!(f, "short write of page {page:?}")
             }
             StorageError::ChecksumMismatch { page } => {
                 write!(f, "checksum mismatch on page {page:?}")
@@ -127,6 +137,7 @@ mod tests {
     fn transience_classification() {
         assert!(StorageError::InjectedIo { page: PageId(1) }.is_transient());
         assert!(StorageError::ShortRead { page: PageId(1) }.is_transient());
+        assert!(StorageError::ShortWrite { page: PageId(1) }.is_transient());
         assert!(StorageError::ChecksumMismatch { page: PageId(1) }.is_transient());
         assert!(!StorageError::Unallocated { id: PageId(1), op: "read" }.is_transient());
         assert!(!StorageError::PoolExhausted { capacity: 4 }.is_transient());

@@ -12,10 +12,14 @@
 //! plan. The RNG is a hand-rolled SplitMix64 (the workspace carries
 //! no random-number dependency).
 //!
-//! Write and allocate paths pass through untouched: the harness
-//! models a load path that succeeded followed by a degrading read
-//! path, which is why stores arm the disk only *after* bulk load (see
-//! [`crate::store::XmlStore::load_faulty`]).
+//! The write and allocate paths are injected too: a write can fail
+//! transiently ([`StorageError::InjectedIo`]), tear
+//! ([`StorageError::ShortWrite`]), or silently persist a corrupted
+//! image that only a later checksum-verified read exposes; an
+//! allocation can fail transiently. Stores still arm the disk only
+//! *after* bulk load (see [`crate::store::XmlStore::load_faulty`]), so
+//! write faults land exactly where queries write at runtime — the
+//! spill path of external sorts.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -61,9 +65,10 @@ fn page_draw(seed: u64, page: PageId, salt: u64) -> f64 {
 
 /// A seeded schedule of injected storage faults.
 ///
-/// Probabilities are per *physical read call*; retries draw afresh,
-/// so a transient fault usually heals within the buffer pool's retry
-/// budget while sticky corruption never does.
+/// Probabilities are per *physical I/O call* (read, write, or
+/// allocate); retries draw afresh, so a transient fault usually heals
+/// within the buffer pool's retry budget while sticky corruption
+/// never does.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     /// RNG seed; two runs with the same plan see the same faults in
@@ -81,6 +86,18 @@ pub struct FaultPlan {
     /// budget with [`StorageError::ChecksumMismatch`] as the final
     /// fault.
     pub sticky_corrupt: f64,
+    /// Probability a write fails with [`StorageError::InjectedIo`]
+    /// (nothing is persisted; a retry draws afresh).
+    pub transient_write: f64,
+    /// Probability a write fails with [`StorageError::ShortWrite`]
+    /// (nothing is persisted; a retry draws afresh).
+    pub short_write: f64,
+    /// Probability a write *silently* persists a bit-flipped image —
+    /// the write reports success and the damage surfaces only when a
+    /// checksum-verified read later loads the page.
+    pub corrupt_write: f64,
+    /// Probability a page allocation fails transiently.
+    pub transient_allocate: f64,
 }
 
 impl FaultPlan {
@@ -92,11 +109,16 @@ impl FaultPlan {
             short_read: 0.0,
             corrupt_read: 0.0,
             sticky_corrupt: 0.0,
+            transient_write: 0.0,
+            short_write: 0.0,
+            corrupt_write: 0.0,
+            transient_allocate: 0.0,
         }
     }
 
     /// Mild weather: occasional transient failures and corrupt reads
-    /// that the retry policy should fully absorb.
+    /// that the retry policy should fully absorb. Writes and
+    /// allocations (the spill path) see the same mild fault rates.
     pub fn light(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
@@ -104,12 +126,18 @@ impl FaultPlan {
             short_read: 0.02,
             corrupt_read: 0.02,
             sticky_corrupt: 0.0,
+            transient_write: 0.05,
+            short_write: 0.02,
+            corrupt_write: 0.0,
+            transient_allocate: 0.02,
         }
     }
 
     /// Hostile weather: frequent transient faults plus a sprinkling
     /// of permanently corrupt pages — some queries must fail, and
-    /// they must fail with a typed error.
+    /// they must fail with a typed error. Writes fail (and silently
+    /// corrupt) often enough that spilling queries exercise their
+    /// whole error surface.
     pub fn heavy(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
@@ -117,12 +145,16 @@ impl FaultPlan {
             short_read: 0.10,
             corrupt_read: 0.10,
             sticky_corrupt: 0.02,
+            transient_write: 0.25,
+            short_write: 0.10,
+            corrupt_write: 0.05,
+            transient_allocate: 0.10,
         }
     }
 }
 
 /// A [`DiskManager`] decorator that injects the faults of a
-/// [`FaultPlan`] into the read path.
+/// [`FaultPlan`] into the read, write, and allocate paths.
 pub struct FaultyDisk {
     inner: Arc<dyn DiskManager>,
     plan: Mutex<FaultPlan>,
@@ -219,10 +251,43 @@ impl DiskManager for FaultyDisk {
     }
 
     fn write_page(&self, id: PageId, page: &Page) -> Result<(), StorageError> {
+        if !self.armed.load(Ordering::SeqCst) {
+            return self.inner.write_page(id, page);
+        }
+        let plan = *self.plan.lock();
+        let draw = self.rng.lock().next_f64();
+        if draw < plan.transient_write {
+            self.bump();
+            return Err(StorageError::InjectedIo { page: id });
+        }
+        if draw < plan.transient_write + plan.short_write {
+            self.bump();
+            return Err(StorageError::ShortWrite { page: id });
+        }
+        if draw < plan.transient_write + plan.short_write + plan.corrupt_write {
+            // The treacherous case: the write "succeeds" but the image
+            // that lands is damaged. Only a later verified read can
+            // tell.
+            let mut damaged = page.clone();
+            Self::corrupt(&mut damaged, id);
+            self.bump();
+            return self.inner.write_page(id, &damaged);
+        }
         self.inner.write_page(id, page)
     }
 
     fn allocate_page(&self) -> Result<PageId, StorageError> {
+        if self.armed.load(Ordering::SeqCst) {
+            let p = self.plan.lock().transient_allocate;
+            if p > 0.0 && self.rng.lock().next_f64() < p {
+                self.bump();
+                return Err(StorageError::Io {
+                    page: None,
+                    kind: std::io::ErrorKind::Other,
+                    detail: "injected transient allocation failure".to_string(),
+                });
+            }
+        }
         self.inner.allocate_page()
     }
 
@@ -323,6 +388,70 @@ mod tests {
         let b = seq(&faulty);
         assert_eq!(a, b, "set_plan resets the RNG stream");
         assert!(faulty.injected() > 0 || a.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn armed_disk_injects_write_faults_deterministically() {
+        let run = |seed: u64| {
+            let disk = stamped_disk(8);
+            let plan = FaultPlan {
+                seed,
+                transient_write: 0.3,
+                short_write: 0.15,
+                corrupt_write: 0.1,
+                ..FaultPlan::none()
+            };
+            let faulty = FaultyDisk::new(disk, plan);
+            faulty.arm();
+            let mut p = Page::zeroed();
+            p.write_u64(64, 7);
+            p.stamp_checksum();
+            let mut outcomes = Vec::new();
+            for _ in 0..4 {
+                for i in 0..8u32 {
+                    outcomes.push(match faulty.write_page(PageId(i), &p) {
+                        Ok(()) => 'o',
+                        Err(StorageError::InjectedIo { .. }) => 't',
+                        Err(StorageError::ShortWrite { .. }) => 's',
+                        Err(e) => panic!("unexpected error {e}"),
+                    });
+                }
+            }
+            outcomes
+        };
+        assert_eq!(run(13), run(13), "same seed, same write-fault sequence");
+        assert_ne!(run(13), run(14), "different seeds diverge");
+        assert!(run(13).iter().any(|&o| o != 'o'), "the plan injects something");
+    }
+
+    #[test]
+    fn corrupt_write_persists_a_damaged_image_silently() {
+        let disk = stamped_disk(1);
+        let faulty = FaultyDisk::new(
+            Arc::clone(&disk) as Arc<dyn DiskManager>,
+            FaultPlan { seed: 5, corrupt_write: 1.0, ..FaultPlan::none() },
+        );
+        faulty.arm();
+        let mut p = Page::zeroed();
+        p.write_u64(64, 99);
+        p.stamp_checksum();
+        faulty.write_page(PageId(0), &p).expect("corrupt writes report success");
+        assert_eq!(faulty.injected(), 1);
+        let back = disk.read_page(PageId(0)).unwrap();
+        assert!(!back.verify_checksum(), "the persisted image is damaged");
+    }
+
+    #[test]
+    fn allocate_faults_are_transient_and_typed() {
+        let faulty = FaultyDisk::new(
+            stamped_disk(0),
+            FaultPlan { seed: 3, transient_allocate: 1.0, ..FaultPlan::none() },
+        );
+        faulty.arm();
+        let err = faulty.allocate_page().unwrap_err();
+        assert!(err.is_transient(), "allocation faults must be retryable: {err}");
+        faulty.disarm();
+        assert!(faulty.allocate_page().is_ok());
     }
 
     #[test]

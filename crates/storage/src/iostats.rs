@@ -72,6 +72,13 @@ pub struct IoStats {
     pub record_reads: AtomicU64,
     /// Page-read attempts beyond the first (buffer-pool retry loop).
     pub read_retries: AtomicU64,
+    /// Page-write/allocate attempts beyond the first (buffer-pool
+    /// retry loop over the write path).
+    pub write_retries: AtomicU64,
+    /// Temp pages written by spilling sorts.
+    pub spill_page_writes: AtomicU64,
+    /// Temp pages read back by spilling sorts (cache hits included).
+    pub spill_page_reads: AtomicU64,
 }
 
 /// A point-in-time copy of [`IoStats`].
@@ -89,6 +96,13 @@ pub struct IoSnapshot {
     pub record_reads: u64,
     /// Page-read attempts beyond the first (retries on faults).
     pub read_retries: u64,
+    /// Page-write/allocate attempts beyond the first (retries on
+    /// faults).
+    pub write_retries: u64,
+    /// Temp pages written by spilling sorts.
+    pub spill_page_writes: u64,
+    /// Temp pages read back by spilling sorts.
+    pub spill_page_reads: u64,
 }
 
 impl IoStats {
@@ -106,6 +120,9 @@ impl IoStats {
             evictions: self.evictions.load(Ordering::Relaxed),
             record_reads: self.record_reads.load(Ordering::Relaxed),
             read_retries: self.read_retries.load(Ordering::Relaxed),
+            write_retries: self.write_retries.load(Ordering::Relaxed),
+            spill_page_writes: self.spill_page_writes.load(Ordering::Relaxed),
+            spill_page_reads: self.spill_page_reads.load(Ordering::Relaxed),
         }
     }
 
@@ -145,6 +162,24 @@ impl IoStats {
         self.read_retries.fetch_add(1, Ordering::Relaxed);
         tap_bump(|s| &s.read_retries, 1);
     }
+
+    #[inline]
+    pub(crate) fn bump_write_retry(&self) {
+        self.write_retries.fetch_add(1, Ordering::Relaxed);
+        tap_bump(|s| &s.write_retries, 1);
+    }
+
+    #[inline]
+    pub(crate) fn bump_spill_write(&self) {
+        self.spill_page_writes.fetch_add(1, Ordering::Relaxed);
+        tap_bump(|s| &s.spill_page_writes, 1);
+    }
+
+    #[inline]
+    pub(crate) fn bump_spill_read(&self) {
+        self.spill_page_reads.fetch_add(1, Ordering::Relaxed);
+        tap_bump(|s| &s.spill_page_reads, 1);
+    }
 }
 
 impl IoSnapshot {
@@ -157,6 +192,9 @@ impl IoSnapshot {
             evictions: self.evictions.saturating_sub(earlier.evictions),
             record_reads: self.record_reads.saturating_sub(earlier.record_reads),
             read_retries: self.read_retries.saturating_sub(earlier.read_retries),
+            write_retries: self.write_retries.saturating_sub(earlier.write_retries),
+            spill_page_writes: self.spill_page_writes.saturating_sub(earlier.spill_page_writes),
+            spill_page_reads: self.spill_page_reads.saturating_sub(earlier.spill_page_reads),
         }
     }
 

@@ -35,6 +35,7 @@ pub mod index;
 pub mod iostats;
 pub mod page;
 pub mod record;
+pub mod spill;
 pub mod store;
 
 pub use buffer::{BufferPool, PageRef, RetryPolicy};
@@ -46,6 +47,7 @@ pub use index::TagIndex;
 pub use iostats::{IoSnapshot, IoStats, IoTap};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use record::ElementRecord;
+pub use spill::{SpillSegment, TempPages};
 pub use store::{StoreConfig, XmlStore};
 
 #[cfg(test)]
@@ -66,5 +68,6 @@ mod thread_safety {
         assert_send_sync::<IoStats>();
         assert_send_sync::<FaultyDisk>();
         assert_send_sync::<StorageError>();
+        assert_send_sync::<SpillSegment>();
     }
 }

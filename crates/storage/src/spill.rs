@@ -1,0 +1,245 @@
+//! Temp-page segment: the allocate-write-read-free page lifecycle
+//! behind spill-to-disk external sorts.
+//!
+//! A [`SpillSegment`] hands out scratch pages on the store's shared
+//! disk, recycling freed pages through an internal free list (the
+//! [`crate::disk::DiskManager`] allocator only ever grows, so without
+//! recycling every spilling query would leak disk space). All traffic
+//! flows through the [`BufferPool`]: writes use the pool's retried,
+//! checksum-stamping [`BufferPool::write_through`] path and reads its
+//! verified [`BufferPool::fetch`], so injected write *and* read faults
+//! are absorbed — or surfaced as typed errors — exactly like heap and
+//! index traffic.
+//!
+//! Leak discipline: callers hold temp pages only through the RAII
+//! [`TempPages`] handle, which returns every page to the free list on
+//! drop — including the error and cancellation paths, where the handle
+//! unwinds with the operator that owns it. [`SpillSegment::live_pages`]
+//! is the observable invariant: it must return to zero after every
+//! query, and tests plus the executor's debug assertions check that it
+//! does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::buffer::{BufferPool, PageRef};
+use crate::error::StorageError;
+use crate::page::{Page, PageId};
+
+/// Allocator and lifecycle accountant for spill temp pages.
+#[derive(Debug, Default)]
+pub struct SpillSegment {
+    /// Freed temp pages awaiting reuse.
+    free: Mutex<Vec<PageId>>,
+    /// Pages currently held by live [`TempPages`] handles.
+    live: AtomicU64,
+    /// Cumulative allocations served (recycled pages included).
+    allocated: AtomicU64,
+    /// Cumulative pages returned.
+    freed: AtomicU64,
+    /// Fresh disk pages ever claimed from the allocator (the segment's
+    /// on-disk footprint high-water mark).
+    grown: AtomicU64,
+}
+
+impl SpillSegment {
+    /// An empty segment (no pages claimed yet).
+    pub fn new() -> SpillSegment {
+        SpillSegment::default()
+    }
+
+    /// Claim one temp page: a recycled one when available, otherwise a
+    /// fresh page from the disk via the pool's retried allocator.
+    pub fn allocate(&self, pool: &BufferPool) -> Result<PageId, StorageError> {
+        let recycled = self.free.lock().pop();
+        let id = match recycled {
+            Some(id) => id,
+            None => {
+                let id = pool.allocate()?;
+                self.grown.fetch_add(1, Ordering::Relaxed);
+                id
+            }
+        };
+        self.live.fetch_add(1, Ordering::Relaxed);
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Write a temp page through the pool (checksum-stamped, write
+    /// faults retried).
+    pub fn write(&self, pool: &BufferPool, id: PageId, page: &Page) -> Result<(), StorageError> {
+        pool.write_through(id, page)?;
+        pool.stats().bump_spill_write();
+        Ok(())
+    }
+
+    /// Read a temp page back (checksum-verified, read faults retried).
+    pub fn read<'p>(&self, pool: &'p BufferPool, id: PageId) -> Result<PageRef<'p>, StorageError> {
+        let page = pool.fetch(id)?;
+        pool.stats().bump_spill_read();
+        Ok(page)
+    }
+
+    /// Return one page to the free list. Called by [`TempPages::drop`];
+    /// callers never free pages directly.
+    fn release(&self, id: PageId) {
+        let prev = self.live.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "spill page {id:?} freed more often than allocated");
+        self.freed.fetch_add(1, Ordering::Relaxed);
+        self.free.lock().push(id);
+    }
+
+    /// Temp pages currently held by live handles. Zero whenever no
+    /// query is mid-spill — the leak-freedom invariant.
+    pub fn live_pages(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative allocations served (recycled pages included).
+    pub fn allocated_pages(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative pages returned to the free list.
+    pub fn freed_pages(&self) -> u64 {
+        self.freed.load(Ordering::Relaxed)
+    }
+
+    /// Fresh disk pages ever claimed (on-disk footprint high-water
+    /// mark; recycling keeps this far below `allocated_pages` under
+    /// repeated spills).
+    pub fn grown_pages(&self) -> u64 {
+        self.grown.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII ownership of a set of temp pages. Every page allocated through
+/// the handle is returned to its segment when the handle drops —
+/// normal completion, early error, and cancellation all funnel through
+/// the same destructor, so spill pages cannot leak.
+#[derive(Debug)]
+pub struct TempPages<'s> {
+    segment: &'s SpillSegment,
+    pages: Vec<PageId>,
+}
+
+impl<'s> TempPages<'s> {
+    /// An empty handle on `segment`.
+    pub fn new(segment: &'s SpillSegment) -> TempPages<'s> {
+        TempPages { segment, pages: Vec::new() }
+    }
+
+    /// Allocate one more temp page into this handle.
+    pub fn allocate(&mut self, pool: &BufferPool) -> Result<PageId, StorageError> {
+        let id = self.segment.allocate(pool)?;
+        self.pages.push(id);
+        Ok(id)
+    }
+
+    /// The pages held, in allocation order.
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Number of pages held.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when no page is held.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+impl Drop for TempPages<'_> {
+    fn drop(&mut self) {
+        for id in self.pages.drain(..) {
+            self.segment.release(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+    use crate::iostats::IoStats;
+    use std::sync::Arc;
+
+    fn pool() -> BufferPool {
+        let stats = Arc::new(IoStats::new());
+        let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
+        BufferPool::new(disk, stats, 8)
+    }
+
+    #[test]
+    fn allocate_write_read_free_roundtrip() {
+        let pool = pool();
+        let seg = SpillSegment::new();
+        let mut held = TempPages::new(&seg);
+        let id = held.allocate(&pool).unwrap();
+        let mut p = Page::zeroed();
+        p.write_u64(64, 0xBEEF);
+        seg.write(&pool, id, &p).unwrap();
+        {
+            let back = seg.read(&pool, id).unwrap();
+            assert_eq!(back.read_u64(64), 0xBEEF);
+            assert!(back.verify_checksum(), "spill writes stamp checksums");
+        }
+        assert_eq!(seg.live_pages(), 1);
+        drop(held);
+        assert_eq!(seg.live_pages(), 0, "drop returns every page");
+        let snap = pool.stats().snapshot();
+        assert_eq!(snap.spill_page_writes, 1);
+        assert_eq!(snap.spill_page_reads, 1);
+    }
+
+    #[test]
+    fn freed_pages_are_recycled_not_regrown() {
+        let pool = pool();
+        let seg = SpillSegment::new();
+        let first = {
+            let mut held = TempPages::new(&seg);
+            held.allocate(&pool).unwrap()
+        };
+        let mut held = TempPages::new(&seg);
+        let second = held.allocate(&pool).unwrap();
+        assert_eq!(first, second, "the freed page is reused");
+        assert_eq!(seg.grown_pages(), 1, "the disk grew exactly once");
+        assert_eq!(seg.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn early_drop_on_the_error_path_frees_everything() {
+        let pool = pool();
+        let seg = SpillSegment::new();
+        let result: Result<(), StorageError> = (|| {
+            let mut held = TempPages::new(&seg);
+            for _ in 0..5 {
+                held.allocate(&pool)?;
+            }
+            Err(StorageError::PoolExhausted { capacity: 0 }) // simulate mid-spill failure
+        })();
+        assert!(result.is_err());
+        assert_eq!(seg.live_pages(), 0, "unwinding the handle freed all pages");
+        assert_eq!(seg.freed_pages(), 5);
+    }
+
+    #[test]
+    fn recycled_pages_accept_fresh_content() {
+        let pool = pool();
+        let seg = SpillSegment::new();
+        let mut p = Page::zeroed();
+        for round in 0..3u64 {
+            let mut held = TempPages::new(&seg);
+            let id = held.allocate(&pool).unwrap();
+            p.write_u64(100, round);
+            seg.write(&pool, id, &p).unwrap();
+            assert_eq!(seg.read(&pool, id).unwrap().read_u64(100), round);
+        }
+        assert_eq!(seg.grown_pages(), 1);
+        assert_eq!(seg.live_pages(), 0);
+    }
+}

@@ -12,6 +12,7 @@ use crate::index::{IndexScanIter, TagIndex};
 use crate::iostats::IoStats;
 use crate::page::PAGE_SIZE;
 use crate::record::{value_digest, ElementRecord};
+use crate::spill::SpillSegment;
 
 /// Knobs for building a store.
 #[derive(Debug, Clone)]
@@ -43,6 +44,7 @@ pub struct XmlStore {
     pool: BufferPool,
     heap: HeapFile,
     index: TagIndex,
+    spill: SpillSegment,
     stats: Arc<IoStats>,
 }
 
@@ -99,7 +101,16 @@ impl XmlStore {
         let frames = (config.buffer_pool_bytes / PAGE_SIZE).max(1);
         let pool = BufferPool::new(Arc::clone(&disk), Arc::clone(&stats), frames)
             .with_retry_policy(config.retry);
-        XmlStore { document: Arc::new(document), disk, fault, pool, heap, index, stats }
+        XmlStore {
+            document: Arc::new(document),
+            disk,
+            fault,
+            pool,
+            heap,
+            index,
+            spill: SpillSegment::new(),
+            stats,
+        }
     }
 
     /// The stored document.
@@ -131,6 +142,14 @@ impl XmlStore {
     /// The tag index.
     pub fn index(&self) -> &TagIndex {
         &self.index
+    }
+
+    /// The temp-page segment spilling sorts allocate from. Its
+    /// [`SpillSegment::live_pages`] must be zero whenever no query is
+    /// mid-spill — the leak-freedom invariant the chaos and spill
+    /// suites assert.
+    pub fn spill(&self) -> &SpillSegment {
+        &self.spill
     }
 
     /// Cardinality of a tag (number of elements).

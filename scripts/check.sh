@@ -25,6 +25,9 @@ cargo bench --workspace --no-run --quiet
 echo "==> server bench smoke (shared-engine service: cache hits, zero bound violations)"
 cargo run --quiet -p sjos-bench --bin server -- --smoke
 
+echo "==> spill bench smoke (external sort: spills happen, bounds hold, zero temp-page leaks)"
+cargo run --quiet -p sjos-bench --bin spill -- --smoke
+
 echo "==> planlint selftest"
 cargo run --quiet --bin planlint -- --query '//a/b/c' --selftest >/dev/null
 

@@ -196,17 +196,29 @@ fn command(session: &mut Session, rest: &str) {
                 println!("{}", service.metrics_json());
             } else {
                 match svc_session.query_with(arg, session.algorithm) {
-                    Ok(out) => println!(
-                        "{} rows | cache {} | waited {:.3} ms | certified {} B, measured {} B \
-                         | {} disk reads, {} buffer hits (this query)",
-                        out.result.len(),
-                        if out.cache_hit { "hit" } else { "miss" },
-                        out.waited.as_secs_f64() * 1e3,
-                        out.plan.bounds.peak_bytes,
-                        out.result.metrics.peak_bytes,
-                        out.io.disk_reads,
-                        out.io.buffer_hits,
-                    ),
+                    Ok(out) => {
+                        let mode = if out.degraded {
+                            format!(
+                                " | DEGRADED: spilled {} runs ({} B, {} merge passes)",
+                                out.result.metrics.spilled_runs,
+                                out.result.metrics.spilled_bytes,
+                                out.result.metrics.spill_merge_passes,
+                            )
+                        } else {
+                            String::new()
+                        };
+                        println!(
+                            "{} rows | cache {} | waited {:.3} ms | certified {} B, measured {} B \
+                             | {} disk reads, {} buffer hits (this query){mode}",
+                            out.result.len(),
+                            if out.cache_hit { "hit" } else { "miss" },
+                            out.waited.as_secs_f64() * 1e3,
+                            out.plan.bounds.peak_bytes,
+                            out.result.metrics.peak_bytes,
+                            out.io.disk_reads,
+                            out.io.buffer_hits,
+                        );
+                    }
                     Err(e) => println!("service error: {e}"),
                 }
             }

@@ -88,10 +88,12 @@ fn render(
 /// A one-paragraph summary of an executed query: plan class, work
 /// counters, and storage traffic. The `EXPLAIN ANALYZE` companion to
 /// [`explain`]. The counters are flushed batch-at-a-time by the
-/// vectorized operators but their totals are exact per tuple.
+/// vectorized operators but their totals are exact per tuple. When a
+/// sort spilled, a second segment reports the external-sort traffic;
+/// in-memory executions keep the classic one-line shape.
 pub fn analyze_summary(result: &sjos_exec::QueryResult) -> String {
     let m = &result.metrics;
-    format!(
+    let mut s = format!(
         "matches: {}  | operator tuples: {} | scanned: {} | stack push/pop: {}/{} | \
          buffered pairs: {} | rescans: {} | sorts: {} ({} tuples) | peak buffered: {} B | \
          io: {} hits, {} reads, {} evictions | elapsed: {:.3} ms",
@@ -109,7 +111,18 @@ pub fn analyze_summary(result: &sjos_exec::QueryResult) -> String {
         result.io.disk_reads,
         result.io.evictions,
         result.elapsed.as_secs_f64() * 1e3,
-    )
+    );
+    if m.spilled_runs > 0 {
+        s.push_str(&format!(
+            " | spill: {} runs, {} B, {} merge passes, {} pages written, {} pages read",
+            m.spilled_runs,
+            m.spilled_bytes,
+            m.spill_merge_passes,
+            result.io.spill_page_writes,
+            result.io.spill_page_reads,
+        ));
+    }
+    s
 }
 
 /// Sanity helper: estimated rows of the full pattern (what `explain`
@@ -161,6 +174,47 @@ mod tests {
         assert!(s.contains("matches: 2"), "{s}");
         assert!(s.contains("peak buffered"), "{s}");
         assert!(s.contains("elapsed"), "{s}");
+    }
+
+    #[test]
+    fn analyze_summary_reports_spill_traffic_only_when_spilled() {
+        use std::sync::Arc;
+
+        use sjos_exec::{JoinAlgo, PlanNode, QueryGuard, SpillPolicy};
+        use sjos_pattern::{Axis, PnId};
+
+        let mut xml = String::from("<dept>");
+        for _ in 0..3_000 {
+            xml.push_str("<emp/>");
+        }
+        xml.push_str("</dept>");
+        let db = Database::from_xml(&xml).unwrap();
+        let pattern = crate::parse_pattern("//dept//emp").unwrap();
+        let inner = PlanNode::StructuralJoin {
+            left: Box::new(PlanNode::IndexScan { pnode: PnId(0) }),
+            right: Box::new(PlanNode::IndexScan { pnode: PnId(1) }),
+            anc: PnId(0),
+            desc: PnId(1),
+            axis: Axis::Descendant,
+            algo: JoinAlgo::StackTreeDesc,
+        };
+        let plan = PlanNode::Sort { input: Box::new(inner), by: PnId(0) };
+        let guard = Arc::new(QueryGuard::unlimited());
+        let spilled = sjos_exec::execute_guarded_spill(
+            db.store(),
+            &pattern,
+            &plan,
+            &guard,
+            SpillPolicy::with_threshold(0),
+        )
+        .unwrap();
+        let s = analyze_summary(&spilled);
+        assert!(s.contains("spill:"), "{s}");
+        assert!(s.contains("pages written"), "{s}");
+
+        let resident = sjos_exec::execute(db.store(), &pattern, &plan).unwrap();
+        let s = analyze_summary(&resident);
+        assert!(!s.contains("spill:"), "in-memory summary must keep the classic shape: {s}");
     }
 
     #[test]

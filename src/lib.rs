@@ -62,7 +62,7 @@ pub use sjos_core::OptimizerError;
 pub use sjos_core::{optimize, Algorithm, CostModel, OptimizedPlan};
 pub use sjos_exec::{
     execute, BatchedResult, CancelToken, EngineError, GuardBreach, PlanNode, QueryGuard,
-    QueryResult, TupleBatch, BATCH_ROWS,
+    QueryResult, SpillPolicy, TupleBatch, BATCH_ROWS,
 };
 pub use sjos_pattern::{parse_pattern, Pattern};
 pub use sjos_stats::{Catalog, PatternEstimates};
@@ -268,6 +268,50 @@ impl Database {
         let bounds = self.resource_bounds(pattern, plan);
         let report = sjos_planck::admit_guard(&bounds, guard);
         (bounds, report)
+    }
+
+    /// [`Database::resource_bounds`] re-derived under a spill policy:
+    /// every sort's buffer term is capped at the policy's *resident*
+    /// bound because the rest of its input lives in temp pages — the
+    /// certificate behind degraded admission (planck's PL066).
+    pub fn resource_bounds_spill(
+        &self,
+        pattern: &Pattern,
+        plan: &PlanNode,
+        policy: SpillPolicy,
+    ) -> sjos_planck::ResourceBounds {
+        let est = self.estimates(pattern);
+        sjos_planck::analyze_bounds_spill(pattern, &est, &self.model, plan, BATCH_ROWS, policy)
+    }
+
+    /// Degraded static admission: like [`Database::admit`], but with
+    /// every sort allowed to spill under `policy`. A clean report
+    /// admits in spill mode a plan whose in-memory bound the guard
+    /// rejected (PL066).
+    pub fn admit_spill(
+        &self,
+        pattern: &Pattern,
+        plan: &PlanNode,
+        guard: &QueryGuard,
+        policy: SpillPolicy,
+    ) -> (sjos_planck::ResourceBounds, sjos_planck::Report) {
+        let bounds = self.resource_bounds_spill(pattern, plan, policy);
+        let report = sjos_planck::admit_spill_guard(&bounds, guard);
+        (bounds, report)
+    }
+
+    /// Execute an explicit plan with sorts spilling through the buffer
+    /// pool under `policy` — the degraded execution mode paired with
+    /// [`Database::admit_spill`]. Output is bit-identical to the
+    /// in-memory path; only the resident footprint changes.
+    pub fn execute_spill(
+        &self,
+        pattern: &Pattern,
+        plan: &PlanNode,
+        guard: &Arc<QueryGuard>,
+        policy: SpillPolicy,
+    ) -> Result<QueryResult, Error> {
+        Ok(sjos_exec::execute_guarded_spill(&self.store, pattern, plan, guard, policy)?)
     }
 
     /// Evaluate a pattern with the holistic twig join (TwigStack)

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use sjos_exec::MetricsSnapshot;
 use sjos_storage::{IoSnapshot, IoStats};
 
 /// Aggregate query-outcome counters plus the latency reservoir.
@@ -27,6 +28,18 @@ pub struct ServiceMetrics {
     pub max_measured_peak: AtomicU64,
     /// Largest certified per-query peak admitted.
     pub max_certified_peak: AtomicU64,
+    /// Queries the in-memory certificate could never fit that were
+    /// re-certified and admitted in spill mode (PL066).
+    pub degraded_admissions: AtomicU64,
+    /// Completed queries whose sorts actually spilled at least one
+    /// run to temp pages.
+    pub spilled_queries: AtomicU64,
+    /// Sorted runs flushed to temp pages across all queries.
+    pub spilled_runs: AtomicU64,
+    /// Buffered bytes released to temp pages across all queries.
+    pub spilled_bytes: AtomicU64,
+    /// Cascade merge passes performed across all queries.
+    pub spill_merge_passes: AtomicU64,
     /// Completed-query latencies in microseconds.
     latencies_us: Mutex<Vec<u64>>,
 }
@@ -51,6 +64,16 @@ impl ServiceMetrics {
         if measured > certified {
             self.bound_violations.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Fold one completed query's spill counters into the aggregates.
+    pub fn record_spill(&self, m: &MetricsSnapshot) {
+        if m.spilled_runs > 0 {
+            self.spilled_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.spilled_runs.fetch_add(m.spilled_runs, Ordering::Relaxed);
+        self.spilled_bytes.fetch_add(m.spilled_bytes, Ordering::Relaxed);
+        self.spill_merge_passes.fetch_add(m.spill_merge_passes, Ordering::Relaxed);
     }
 
     /// Latency percentiles over everything recorded so far.
@@ -107,6 +130,8 @@ pub struct SessionMetrics {
     pub completed: AtomicU64,
     /// Queries this session failed (including admission rejections).
     pub failed: AtomicU64,
+    /// Queries this session ran in degraded (spill) mode.
+    pub degraded: AtomicU64,
     /// The session's private I/O counters — every bump the session's
     /// thread performs during execution is mirrored here via
     /// [`sjos_storage::IoTap`].
@@ -120,6 +145,7 @@ impl SessionMetrics {
             id,
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
             io: Arc::new(IoStats::new()),
         }
     }
@@ -128,23 +154,28 @@ impl SessionMetrics {
 fn io_json(io: &IoSnapshot) -> String {
     format!(
         "{{\"buffer_hits\":{},\"disk_reads\":{},\"disk_writes\":{},\"evictions\":{},\
-         \"record_reads\":{},\"read_retries\":{}}}",
+         \"record_reads\":{},\"read_retries\":{},\"write_retries\":{},\
+         \"spill_page_writes\":{},\"spill_page_reads\":{}}}",
         io.buffer_hits,
         io.disk_reads,
         io.disk_writes,
         io.evictions,
         io.record_reads,
-        io.read_retries
+        io.read_retries,
+        io.write_retries,
+        io.spill_page_writes,
+        io.spill_page_reads
     )
 }
 
 /// Render one session's metrics as a JSON object.
 pub fn session_json(s: &SessionMetrics) -> String {
     format!(
-        "{{\"id\":{},\"completed\":{},\"failed\":{},\"io\":{}}}",
+        "{{\"id\":{},\"completed\":{},\"failed\":{},\"degraded\":{},\"io\":{}}}",
         s.id,
         s.completed.load(Ordering::Relaxed),
         s.failed.load(Ordering::Relaxed),
+        s.degraded.load(Ordering::Relaxed),
         io_json(&s.io.snapshot())
     )
 }
@@ -192,6 +223,23 @@ mod tests {
         assert_eq!(m.bound_violations.load(Ordering::Relaxed), 1);
         assert_eq!(m.max_measured_peak.load(Ordering::Relaxed), 300);
         assert_eq!(m.max_certified_peak.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn spill_counters_accumulate_and_count_spilling_queries_once() {
+        let m = ServiceMetrics::new();
+        m.record_spill(&MetricsSnapshot::default());
+        assert_eq!(m.spilled_queries.load(Ordering::Relaxed), 0, "no runs, no spilled query");
+        m.record_spill(&MetricsSnapshot {
+            spilled_runs: 3,
+            spilled_bytes: 4096,
+            spill_merge_passes: 1,
+            ..Default::default()
+        });
+        assert_eq!(m.spilled_queries.load(Ordering::Relaxed), 1);
+        assert_eq!(m.spilled_runs.load(Ordering::Relaxed), 3);
+        assert_eq!(m.spilled_bytes.load(Ordering::Relaxed), 4096);
+        assert_eq!(m.spill_merge_passes.load(Ordering::Relaxed), 1);
     }
 
     #[test]

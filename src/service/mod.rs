@@ -15,7 +15,12 @@
 //!    [`QueryGuard`] whose memory budget equals its certificate, and
 //!    certificates are sound upper bounds (PL064), the aggregate
 //!    *measured* footprint of admitted queries provably cannot exceed
-//!    the budget.
+//!    the budget. A certificate that can *never* fit degrades instead
+//!    of failing: the plan is re-certified in spill mode
+//!    ([`sjos_planck::analyze_bounds_spill`], PL066) where sorts park
+//!    their buffers in temp pages, and admitted under the smaller
+//!    resident certificate — the query runs slower but answers
+//!    bit-identically.
 //! 2. **Plan caching** ([`plan_cache`]). Plans are cached under
 //!    (pattern signature, algorithm, catalog version) with an LRU
 //!    bound, so repeated patterns skip DP/DPP entirely; every hit is
@@ -38,8 +43,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sjos_core::Algorithm;
-use sjos_exec::{QueryGuard, QueryResult};
-use sjos_pattern::parse_pattern;
+use sjos_exec::{PlanNode, QueryGuard, QueryResult, SpillPolicy, BATCH_ROWS};
+use sjos_pattern::{parse_pattern, Pattern};
 use sjos_storage::{IoSnapshot, IoTap};
 
 use crate::{Database, Error};
@@ -121,6 +126,11 @@ pub struct ServiceOutcome {
     pub plan: Arc<CachedPlan>,
     /// Whether the plan came from the cache.
     pub cache_hit: bool,
+    /// Whether the query ran in degraded (spill) mode: its in-memory
+    /// certificate could never fit the budget, but a spill-mode
+    /// re-certification (PL066) did, so its sorts spilled to temp
+    /// pages instead of the query being rejected.
+    pub degraded: bool,
     /// Time spent waiting for admission.
     pub waited: Duration,
     /// This query's own I/O traffic (session-tap attributed).
@@ -224,6 +234,8 @@ impl QueryService {
              \"admission\":{{\"budget_bytes\":{},\"in_use_bytes\":{},\
              \"peak_reserved_bytes\":{},\"max_certified_peak_bytes\":{},\
              \"max_measured_peak_bytes\":{},\"bound_violations\":{}}},\n  \
+             \"spill\":{{\"degraded_admissions\":{},\"spilled_queries\":{},\
+             \"spilled_runs\":{},\"spilled_bytes\":{},\"merge_passes\":{}}},\n  \
              \"latency\":{},\n  \"sessions\":[{}]\n}}",
             adm.admitted,
             adm.queued,
@@ -243,6 +255,11 @@ impl QueryService {
             m.max_certified_peak.load(Ordering::Relaxed),
             m.max_measured_peak.load(Ordering::Relaxed),
             m.bound_violations.load(Ordering::Relaxed),
+            m.degraded_admissions.load(Ordering::Relaxed),
+            m.spilled_queries.load(Ordering::Relaxed),
+            m.spilled_runs.load(Ordering::Relaxed),
+            m.spilled_bytes.load(Ordering::Relaxed),
+            m.spill_merge_passes.load(Ordering::Relaxed),
             metrics::latency_json(&latency),
             session_objs.join(",")
         )
@@ -355,14 +372,37 @@ impl Session {
 
         // Admission: reserve the certificate against the global
         // budget, waiting at most the configured timeout (shortened
-        // by the query deadline, if any).
-        let certified = cached.bounds.peak_bytes;
+        // by the query deadline, if any). A certificate that can
+        // *never* fit gets one more chance: re-certified in spill
+        // mode (PL066), where sorts park their buffers in temp pages
+        // and only the resident footprint counts.
         let wait_limit = match deadline {
             Some(d) => inner.config.queue_timeout.min(d),
             None => inner.config.queue_timeout,
         };
-        let permit =
-            inner.admission.admit(certified, wait_limit).map_err(ServiceError::Overloaded)?;
+        let (permit, certified, spill) =
+            match inner.admission.admit(cached.bounds.peak_bytes, wait_limit) {
+                Ok(permit) => (permit, cached.bounds.peak_bytes, None),
+                Err(rejection) if rejection.reason == RejectReason::NeverFits => {
+                    let budget = inner.admission.budget();
+                    let Some((policy, bounds)) =
+                        degraded_certificate(&inner.db, &pattern, &cached.plan, budget)
+                    else {
+                        // No sort to spill, or not even the spill
+                        // floor fits: the rejection stands.
+                        return Err(ServiceError::Overloaded(rejection));
+                    };
+                    let remaining = wait_limit.saturating_sub(started.elapsed());
+                    let permit = inner
+                        .admission
+                        .admit(bounds.peak_bytes, remaining)
+                        .map_err(ServiceError::Overloaded)?;
+                    inner.metrics.degraded_admissions.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                    (permit, bounds.peak_bytes, Some(policy))
+                }
+                Err(rejection) => return Err(ServiceError::Overloaded(rejection)),
+            };
         let waited = started.elapsed();
 
         // Execute under a guard whose memory budget *is* the
@@ -377,7 +417,18 @@ impl Session {
         let io_before = self.metrics.io.snapshot();
         let result = {
             let _tap = IoTap::install(Arc::clone(&self.metrics.io));
-            sjos_exec::execute_guarded(inner.db.store(), &pattern, &cached.plan, &guard)
+            match spill {
+                Some(policy) => sjos_exec::execute_guarded_spill(
+                    inner.db.store(),
+                    &pattern,
+                    &cached.plan,
+                    &guard,
+                    policy,
+                ),
+                None => {
+                    sjos_exec::execute_guarded(inner.db.store(), &pattern, &cached.plan, &guard)
+                }
+            }
         };
         drop(permit);
         let io = self.metrics.io.snapshot().since(&io_before);
@@ -387,11 +438,77 @@ impl Session {
                 inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
                 inner.metrics.record_latency(started.elapsed());
                 inner.metrics.record_peaks(result.metrics.peak_bytes, certified);
-                Ok(ServiceOutcome { result, plan: cached, cache_hit, waited, io })
+                inner.metrics.record_spill(&result.metrics);
+                Ok(ServiceOutcome {
+                    result,
+                    plan: cached,
+                    cache_hit,
+                    degraded: spill.is_some(),
+                    waited,
+                    io,
+                })
             }
             Err(e) => Err(ServiceError::Engine(Error::Exec(e))),
         }
     }
+}
+
+/// The widest sort input anywhere in `plan` (its column count), or
+/// `None` when the plan has no sort — nothing to spill, so degraded
+/// admission cannot help.
+fn max_sort_width(plan: &PlanNode) -> Option<usize> {
+    fn go(plan: &PlanNode) -> (usize, Option<usize>) {
+        match plan {
+            PlanNode::IndexScan { .. } => (1, None),
+            PlanNode::Sort { input, .. } => {
+                let (width, inner) = go(input);
+                (width, Some(inner.map_or(width, |m| m.max(width))))
+            }
+            PlanNode::StructuralJoin { left, right, .. } => {
+                let (lw, ls) = go(left);
+                let (rw, rs) = go(right);
+                let widest = match (ls, rs) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+                (lw + rw, widest)
+            }
+        }
+    }
+    go(plan).1
+}
+
+/// Find a spill policy under which `plan`'s resident certificate fits
+/// `budget`, if one exists: start from the largest threshold whose
+/// sort-local resident bound fits (keeping as much of the sort in
+/// memory as possible), and while the whole-plan certificate still
+/// overshoots — the other operators' buffers, or a sort whose full
+/// materialization is below the cap — shrink the threshold by the
+/// overshoot, down to the floor of zero. The resident peak is
+/// monotone in the threshold, so a handful of strictly-decreasing
+/// steps either certifies (PL066) or proves not even the floor fits.
+fn degraded_certificate(
+    db: &Database,
+    pattern: &Pattern,
+    plan: &PlanNode,
+    budget: u64,
+) -> Option<(SpillPolicy, sjos_planck::ResourceBounds)> {
+    let width = max_sort_width(plan)?;
+    let budget_usize = usize::try_from(budget).unwrap_or(usize::MAX);
+    let mut threshold = SpillPolicy::for_budget(budget_usize, width, BATCH_ROWS)?.threshold_bytes;
+    for _ in 0..4 {
+        let policy = SpillPolicy::with_threshold(threshold);
+        let bounds = db.resource_bounds_spill(pattern, plan, policy);
+        if sjos_planck::admit_spill(&bounds, Some(budget), None).is_clean() {
+            return Some((policy, bounds));
+        }
+        if threshold == 0 {
+            return None;
+        }
+        let over = usize::try_from(bounds.peak_bytes.saturating_sub(budget)).unwrap_or(usize::MAX);
+        threshold = threshold.saturating_sub(over.max(1));
+    }
+    None
 }
 
 #[cfg(test)]
@@ -407,6 +524,79 @@ mod tests {
         assert_send_sync::<Session>();
         assert_send_sync::<ServiceError>();
         assert_send_sync::<ServiceOutcome>();
+    }
+
+    #[test]
+    fn never_fits_query_degrades_to_spill_instead_of_rejecting() {
+        use sjos_pattern::PnId;
+
+        // A corpus whose sort input dwarfs the spill machinery's
+        // resident floor, so spilling genuinely shrinks the
+        // certificate.
+        let mut xml = String::from("<db><dept>");
+        for _ in 0..20_000 {
+            xml.push_str("<emp/>");
+        }
+        xml.push_str("</dept></db>");
+        let db = Arc::new(Database::from_xml(&xml).unwrap());
+        let query = "//dept//emp";
+        let pattern = parse_pattern(query).unwrap();
+        let algorithm = Algorithm::Dpp { lookahead: true };
+        let base = db.optimize(&pattern, algorithm).unwrap();
+        let plan = sjos_exec::PlanNode::Sort { input: Box::new(base.plan.clone()), by: PnId(0) };
+        let full = db.resource_bounds(&pattern, &plan);
+        let floor = db.resource_bounds_spill(&pattern, &plan, SpillPolicy::with_threshold(0));
+        assert!(
+            floor.peak_bytes < full.peak_bytes,
+            "corpus too small: spilling must shrink the certificate \
+             ({} vs {})",
+            floor.peak_bytes,
+            full.peak_bytes
+        );
+
+        // A budget the in-memory certificate can never fit, but the
+        // spill floor can.
+        let service = QueryService::new(
+            Arc::clone(&db),
+            ServiceConfig { memory_budget: floor.peak_bytes, ..ServiceConfig::default() },
+        );
+        // Seed the cache with the sort-rooted plan so the service
+        // serves exactly this shape.
+        let catalog = db.catalog();
+        service.inner.cache.insert(
+            PlanKey {
+                signature: pattern.to_string(),
+                algorithm,
+                catalog_version: catalog.version(),
+            },
+            Arc::new(CachedPlan {
+                plan: plan.clone(),
+                estimated_cost: base.estimated_cost,
+                bounds: full,
+                catalog_version: catalog.version(),
+                catalog_fingerprint: catalog.fingerprint(),
+            }),
+        );
+
+        let session = service.session();
+        let out = session.query(query).unwrap();
+        assert!(out.degraded, "the query must be admitted in spill mode");
+        assert!(out.result.metrics.spilled_runs > 0, "the sort must actually spill");
+        assert_eq!(
+            out.result.canonical_rows(),
+            db.execute(&pattern, &plan).unwrap().canonical_rows(),
+            "degraded execution must answer bit-identically"
+        );
+        assert_eq!(db.store().spill().live_pages(), 0, "no leaked temp pages");
+
+        let m = service.metrics();
+        assert_eq!(m.degraded_admissions.load(Ordering::Relaxed), 1);
+        assert_eq!(m.spilled_queries.load(Ordering::Relaxed), 1);
+        assert!(m.spilled_runs.load(Ordering::Relaxed) > 0);
+        assert_eq!(m.bound_violations.load(Ordering::Relaxed), 0);
+        let json = service.metrics_json();
+        assert!(json.contains("\"degraded_admissions\":1"), "{json}");
+        assert!(json.contains("\"spill_page_writes\""), "{json}");
     }
 
     #[test]

@@ -170,6 +170,102 @@ fn eight_concurrent_sessions_survive_seeded_faults_on_one_shared_store() {
     assert!(recovered > 0, "no query ever recovered under concurrency");
 }
 
+/// Spill executions against a disk that fails *writes*: the external
+/// sort pushes every run through the buffer pool to temp pages, so
+/// transient write failures, short writes, failed allocations, and
+/// silently corrupted write images all land in the spill path. The
+/// contract is unchanged — recover bit-identically or fail with a
+/// typed storage error — plus one spill-specific clause: whatever the
+/// verdict, every temp page is back on the free list afterwards.
+#[test]
+fn spilling_queries_survive_seeded_write_faults() {
+    use std::sync::Arc;
+
+    use sjos::pattern::PnId;
+    use sjos::{PlanNode, QueryGuard, SpillPolicy};
+    use sjos_exec::execute_spill_with_batch_rows;
+
+    let doc = pers(GenConfig::sized(1_500));
+    let db = Database::from_document(doc.clone());
+    let cases: Vec<_> = paper_queries()
+        .into_iter()
+        .filter(|q| q.dataset == DataSet::Pers)
+        .map(|q| {
+            let pattern = q.pattern();
+            let optimized =
+                db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).expect("optimizes");
+            // Plant a sort so the spill machinery engages; threshold 0
+            // below maximizes temp-page traffic.
+            let plan = PlanNode::Sort { input: Box::new(optimized.plan), by: PnId(0) };
+            let baseline = db.execute(&pattern, &plan).expect("clean run").canonical_rows();
+            (q.id, pattern, plan, baseline)
+        })
+        .collect();
+
+    let store = XmlStore::load_faulty(
+        doc,
+        StoreConfig { retry: RetryPolicy::no_backoff(4), ..StoreConfig::default() },
+        FaultPlan::none(),
+    );
+    let fault = store.fault().expect("faulty store exposes its fault handle").clone();
+    let guard = Arc::new(QueryGuard::unlimited());
+    let policy = SpillPolicy::with_threshold(0);
+
+    let mut recovered = 0u32;
+    let mut failed = 0u32;
+    let mut runs_spilled = 0u64;
+    for seed in 0..40u64 {
+        let write_light = FaultPlan {
+            seed,
+            transient_write: 0.10,
+            short_write: 0.05,
+            transient_allocate: 0.05,
+            ..FaultPlan::none()
+        };
+        let write_heavy = FaultPlan {
+            seed,
+            transient_write: 0.30,
+            short_write: 0.15,
+            corrupt_write: 0.10,
+            transient_allocate: 0.15,
+            ..FaultPlan::none()
+        };
+        for plan in [write_light, write_heavy] {
+            fault.set_plan(FaultPlan::none());
+            store.pool().reset_cache().expect("cache reset on a quiet disk");
+            fault.set_plan(plan);
+            for (id, pattern, plan_node, baseline) in &cases {
+                match execute_spill_with_batch_rows(&store, pattern, plan_node, 64, &guard, policy)
+                {
+                    Ok(res) => {
+                        assert_eq!(
+                            &res.canonical_rows(),
+                            baseline,
+                            "{id} diverged from the fault-free answer after write-fault \
+                             recovery (seed {seed})"
+                        );
+                        runs_spilled += res.metrics.spilled_runs;
+                        recovered += 1;
+                    }
+                    Err(EngineError::Storage(_)) => failed += 1,
+                    Err(e) => {
+                        panic!("{id}: non-storage failure under write faults (seed {seed}): {e}")
+                    }
+                }
+                assert_eq!(
+                    store.spill().live_pages(),
+                    0,
+                    "{id}: temp pages leaked under write faults (seed {seed})"
+                );
+            }
+        }
+    }
+
+    assert!(recovered > 0, "no spilling query ever recovered — write retries are broken");
+    assert!(failed > 0, "no write-fault plan ever defeated the retries — injection is broken");
+    assert!(runs_spilled > 0, "recovered runs never actually spilled — the test is vacuous");
+}
+
 #[test]
 fn sticky_corruption_names_the_page_in_the_error() {
     let doc = pers(GenConfig::sized(400));

@@ -1,0 +1,352 @@
+//! Spill-to-disk external sort: differential and degraded-admission
+//! tests.
+//!
+//! The contract under test has three clauses. *Transparency*: a
+//! spilling execution returns exactly the tuples — same values, same
+//! order — the in-memory execution returns, at every batch
+//! granularity and every flush threshold. *Degradation*: a query
+//! whose in-memory certificate breaches a starved [`QueryGuard`]
+//! completes bit-identically under the *same* budget once its sorts
+//! may spill (the paper's plans stay admissible under memory pressure
+//! instead of being rejected). *Hygiene*: no execution — successful,
+//! guard-stopped, or cancelled — leaves temp pages live in the spill
+//! segment or frames pinned in the buffer pool.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sjos::datagen::{paper_queries, pers::pers, DataSet, GenConfig};
+use sjos::{Algorithm, Database, EngineError, GuardBreach, PlanNode, QueryGuard, SpillPolicy};
+use sjos_exec::{
+    execute_guarded_spill, execute_spill_with_batch_rows, execute_with_batch_rows, naive,
+    CancelToken, JoinAlgo, BATCH_ROWS,
+};
+use sjos_pattern::{Axis, Pattern, PnId};
+use sjos_xml::{Document, DocumentBuilder};
+
+/// Granularities under test: the tuple-at-a-time degenerate case, an
+/// awkward size that never divides the row counts, and production.
+const BATCH_SIZES: [usize; 3] = [1, 3, BATCH_ROWS];
+
+/// Flush thresholds under test: spill everything, spill some, and a
+/// threshold so large nothing ever spills (the policy must then be
+/// invisible even in the metrics).
+const THRESHOLDS: [usize; 3] = [0, 4 * 1024, usize::MAX / 2];
+
+/// After every execution — however it ended — the spill segment must
+/// hold zero live temp pages and the pool zero pinned frames.
+fn assert_no_residue(db: &Database, context: &str) {
+    assert_eq!(
+        db.store().spill().live_pages(),
+        0,
+        "{context}: temp pages leaked in the spill segment"
+    );
+    assert_eq!(db.store().pool().pinned_frames(), 0, "{context}: buffer frames left pinned");
+}
+
+/// Wrap a plan in a blocking sort on the pattern root, forcing a
+/// buffering operator the spill machinery can engage. The optimizers
+/// rarely emit sorts on these corpora (stack-tree ordering usually
+/// suffices), so the suites plant one deliberately.
+fn sort_wrapped(db: &Database, pattern: &Pattern) -> PlanNode {
+    let optimized = db.optimize(pattern, Algorithm::Dpp { lookahead: true }).expect("optimizes");
+    PlanNode::Sort { input: Box::new(optimized.plan), by: PnId(0) }
+}
+
+/// A flat document wide enough that one sort materializes far more
+/// than the spill policy's resident floor — the shape that makes
+/// degraded admission genuinely cheaper than in-memory admission.
+fn wide_doc(emps: usize) -> Document {
+    let mut b = DocumentBuilder::new();
+    b.start_element("db");
+    b.start_element("dept");
+    for _ in 0..emps {
+        b.start_element("emp");
+        b.end_element();
+    }
+    b.end_element();
+    b.end_element();
+    b.finish()
+}
+
+fn wide_sort_plan() -> PlanNode {
+    let inner = PlanNode::StructuralJoin {
+        left: Box::new(PlanNode::IndexScan { pnode: PnId(0) }),
+        right: Box::new(PlanNode::IndexScan { pnode: PnId(1) }),
+        anc: PnId(0),
+        desc: PnId(1),
+        axis: Axis::Descendant,
+        algo: JoinAlgo::StackTreeDesc,
+    };
+    PlanNode::Sort { input: Box::new(inner), by: PnId(0) }
+}
+
+/// Transparency: over the Pers Table-1 workload, a sort-rooted plan
+/// executed in spill mode returns the in-memory execution's tuples
+/// bit for bit — same values, same order — at every batch granularity
+/// and every flush threshold, and the canonical rows still match the
+/// naive evaluator. Threshold 0 must actually spill; the huge
+/// threshold must not.
+#[test]
+fn spilled_sorts_match_in_memory_bit_for_bit() {
+    let doc = pers(GenConfig::sized(1_500));
+    let expected_naive: Vec<_> = paper_queries()
+        .into_iter()
+        .filter(|q| q.dataset == DataSet::Pers)
+        .map(|q| {
+            let pattern = q.pattern();
+            let rows = naive::evaluate(&doc, &pattern);
+            (q.id, pattern, rows)
+        })
+        .collect();
+    assert!(!expected_naive.is_empty(), "Pers workload must not be empty");
+    let db = Database::from_document(doc);
+    let unlimited = Arc::new(QueryGuard::unlimited());
+
+    for (id, pattern, expected) in &expected_naive {
+        let plan = sort_wrapped(&db, pattern);
+        for &rows in &BATCH_SIZES {
+            let base = execute_with_batch_rows(db.store(), pattern, &plan, rows)
+                .unwrap_or_else(|e| panic!("{id} in-memory at batch_rows={rows}: {e}"));
+            assert_eq!(&base.canonical_rows(), expected, "{id} diverged from naive");
+            for &threshold in &THRESHOLDS {
+                let policy = SpillPolicy::with_threshold(threshold);
+                let spilled = execute_spill_with_batch_rows(
+                    db.store(),
+                    pattern,
+                    &plan,
+                    rows,
+                    &unlimited,
+                    policy,
+                )
+                .unwrap_or_else(|e| {
+                    panic!("{id} spill at batch_rows={rows} threshold={threshold}: {e}")
+                });
+                assert_eq!(
+                    spilled.tuples, base.tuples,
+                    "{id} at batch_rows={rows} threshold={threshold}: spill changed the answer"
+                );
+                if threshold == 0 && !base.tuples.is_empty() {
+                    assert!(
+                        spilled.metrics.spilled_runs > 0,
+                        "{id} at batch_rows={rows}: threshold 0 never spilled"
+                    );
+                    assert!(spilled.io.spill_page_writes > 0, "{id}: runs spilled without I/O");
+                }
+                if threshold == usize::MAX / 2 {
+                    assert_eq!(
+                        spilled.metrics.spilled_runs, 0,
+                        "{id} at batch_rows={rows}: unreachable threshold spilled anyway"
+                    );
+                }
+                assert_no_residue(&db, &format!("{id} batch_rows={rows} threshold={threshold}"));
+            }
+        }
+    }
+}
+
+/// Degradation — the acceptance criterion: a sort whose full
+/// materialization breaches a starved guard in plain mode completes
+/// bit-identically under the *same* memory budget once it may spill,
+/// and the measured resident peak honors the budget the whole way.
+#[test]
+fn starved_guard_query_completes_bit_identically_via_spill() {
+    let db = Database::from_document(wide_doc(20_000));
+    let pattern = sjos::parse_pattern("//db//emp").unwrap();
+    let plan = wide_sort_plan();
+
+    // Budget exactly at the spill-mode certificate: far below the full
+    // materialization, honest about the degraded residency.
+    let floor = db.resource_bounds_spill(&pattern, &plan, SpillPolicy::with_threshold(0));
+    let full = db.resource_bounds(&pattern, &plan);
+    assert!(
+        floor.peak_bytes < full.peak_bytes,
+        "corpus too small to starve: spill floor {} ≥ full bound {}",
+        floor.peak_bytes,
+        full.peak_bytes
+    );
+    let budget = usize::try_from(floor.peak_bytes).unwrap();
+
+    let baseline = db.execute(&pattern, &plan).expect("unguarded run");
+
+    // Plain mode under the starved budget: a typed memory breach, not
+    // a panic, not a wrong answer.
+    let starved = Arc::new(QueryGuard::unlimited().with_memory_budget(budget));
+    let err = sjos_exec::execute_guarded(db.store(), &pattern, &plan, &starved).unwrap_err();
+    assert!(
+        matches!(err, EngineError::Guard { breach: GuardBreach::MemoryBudget { .. }, .. }),
+        "starved in-memory run must breach the memory budget, got: {err}"
+    );
+    assert_no_residue(&db, "starved in-memory run");
+
+    // Same budget, spill allowed: the query completes, bit-identical,
+    // actually spilling, with the resident peak inside the budget.
+    let policy = SpillPolicy::for_budget(budget, 2, BATCH_ROWS)
+        .expect("budget at the spill certificate admits a policy");
+    let guard = Arc::new(QueryGuard::unlimited().with_memory_budget(budget));
+    let spilled = execute_guarded_spill(db.store(), &pattern, &plan, &guard, policy)
+        .expect("spill run under the starved budget");
+    assert_eq!(spilled.tuples, baseline.tuples, "spill changed the answer");
+    assert!(spilled.metrics.spilled_runs > 0, "starved run never spilled");
+    assert!(
+        spilled.metrics.peak_bytes <= floor.peak_bytes,
+        "measured resident peak {} escaped the certified spill bound {}",
+        spilled.metrics.peak_bytes,
+        floor.peak_bytes
+    );
+    assert!(spilled.io.spill_page_writes > 0 && spilled.io.spill_page_reads > 0);
+    assert_no_residue(&db, "starved spill run");
+}
+
+/// Hygiene on every abnormal exit: cancellation, a batch-budget stop,
+/// and a memory breach *inside* spill mode each surface as the typed
+/// guard error and leave no temp pages or pinned frames behind.
+#[test]
+fn guard_stops_and_cancellation_leave_no_residue() {
+    let db = Database::from_document(wide_doc(3_000));
+    let pattern = sjos::parse_pattern("//db//emp").unwrap();
+    let plan = wide_sort_plan();
+    let policy = SpillPolicy::with_threshold(0);
+
+    let token = CancelToken::new();
+    token.cancel();
+    let guard = Arc::new(QueryGuard::unlimited().with_cancel_token(token));
+    let err = execute_guarded_spill(db.store(), &pattern, &plan, &guard, policy).unwrap_err();
+    assert!(
+        matches!(err, EngineError::Guard { breach: GuardBreach::Cancelled, .. }),
+        "pre-cancelled run must stop on the token, got: {err}"
+    );
+    assert_no_residue(&db, "cancelled spill run");
+
+    let guard = Arc::new(QueryGuard::unlimited().with_batch_budget(2));
+    let err = execute_guarded_spill(db.store(), &pattern, &plan, &guard, policy).unwrap_err();
+    assert!(
+        matches!(err, EngineError::Guard { breach: GuardBreach::BatchBudget { .. }, .. }),
+        "two pulls cannot finish this plan, got: {err}"
+    );
+    assert_no_residue(&db, "batch-budget spill stop");
+
+    // A budget below even one output batch: the breach fires *after*
+    // runs have gone to disk, the classic mid-spill abort.
+    let guard = Arc::new(QueryGuard::unlimited().with_memory_budget(16));
+    let err = execute_guarded_spill(db.store(), &pattern, &plan, &guard, policy).unwrap_err();
+    assert!(
+        matches!(err, EngineError::Guard { breach: GuardBreach::MemoryBudget { .. }, .. }),
+        "a 16-byte budget must breach, got: {err}"
+    );
+    assert_no_residue(&db, "mid-spill memory breach");
+}
+
+// ---------------------------------------------------------------------
+// Property-based differential: arbitrary documents × patterns ×
+// budgets × batch sizes. Every spill-mode execution either returns
+// exactly what the naive evaluator finds or stops with a typed
+// memory breach — and never leaves residue either way.
+// ---------------------------------------------------------------------
+
+const TAGS: &[&str] = &["t0", "t1", "t2", "t3"];
+
+#[derive(Debug, Clone)]
+struct TreeNode {
+    tag: usize,
+    children: Vec<TreeNode>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = TreeNode> {
+    let leaf = (0..TAGS.len()).prop_map(|tag| TreeNode { tag, children: vec![] });
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        (0..TAGS.len(), prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, children)| TreeNode { tag, children })
+    })
+}
+
+fn build_doc(root: &TreeNode) -> Document {
+    fn rec(n: &TreeNode, b: &mut DocumentBuilder) {
+        b.start_element(TAGS[n.tag]);
+        for c in &n.children {
+            rec(c, b);
+        }
+        b.end_element();
+    }
+    let mut b = DocumentBuilder::new();
+    b.start_element("root");
+    rec(root, &mut b);
+    b.end_element();
+    b.finish()
+}
+
+#[derive(Debug, Clone)]
+struct PatNode {
+    tag: usize,
+    axis_from_parent: bool,
+    children: Vec<PatNode>,
+}
+
+fn pattern_strategy() -> impl Strategy<Value = PatNode> {
+    let leaf = (0..TAGS.len(), any::<bool>()).prop_map(|(tag, ax)| PatNode {
+        tag,
+        axis_from_parent: ax,
+        children: vec![],
+    });
+    leaf.prop_recursive(3, 5, 2, |inner| {
+        (0..TAGS.len(), any::<bool>(), prop::collection::vec(inner, 0..3))
+            .prop_map(|(tag, ax, children)| PatNode { tag, axis_from_parent: ax, children })
+    })
+}
+
+fn build_pattern(root: &PatNode) -> Pattern {
+    fn rec(n: &PatNode, parent: PnId, p: &mut Pattern) {
+        for c in &n.children {
+            let axis = if c.axis_from_parent { Axis::Descendant } else { Axis::Child };
+            let id = p.add_child(parent, axis, TAGS[c.tag]);
+            rec(c, id, p);
+        }
+    }
+    let mut p = Pattern::with_root(TAGS[root.tag]);
+    let r = p.root();
+    rec(root, r, &mut p);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_budgets_spill_or_fail_typed(
+        tree in tree_strategy(),
+        pat in pattern_strategy(),
+        budget in 64usize..200_000,
+        batch_idx in 0usize..3,
+    ) {
+        let doc = build_doc(&tree);
+        let pattern = build_pattern(&pat);
+        let expected = naive::evaluate(&doc, &pattern);
+        let db = Database::from_document(doc);
+        let plan = sort_wrapped(&db, &pattern);
+        let batch_rows = BATCH_SIZES[batch_idx];
+        let width = pattern.len();
+
+        let guard = Arc::new(QueryGuard::unlimited().with_memory_budget(budget));
+        let policy = SpillPolicy::for_budget(budget, width, batch_rows)
+            .unwrap_or_else(|| SpillPolicy::with_threshold(0));
+        match execute_spill_with_batch_rows(db.store(), &pattern, &plan, batch_rows, &guard, policy)
+        {
+            Ok(result) => {
+                prop_assert_eq!(
+                    result.canonical_rows(),
+                    expected,
+                    "spill run diverged from naive at budget {} batch_rows {}",
+                    budget,
+                    batch_rows
+                );
+            }
+            Err(EngineError::Guard { breach: GuardBreach::MemoryBudget { .. }, .. }) => {}
+            Err(e) => {
+                panic!("budget {budget} batch_rows {batch_rows}: untyped failure: {e}")
+            }
+        }
+        prop_assert_eq!(db.store().spill().live_pages(), 0, "temp pages leaked");
+        prop_assert_eq!(db.store().pool().pinned_frames(), 0, "frames left pinned");
+    }
+}
