@@ -10,18 +10,25 @@
 //! ```sh
 //! cargo run --release -p sjos-bench --bin pipeline
 //! SJOS_BENCH_FULL=1 cargo run --release -p sjos-bench --bin pipeline
+//! cargo run --release -p sjos-bench --bin pipeline -- --threads 4
 //! ```
+//!
+//! `--threads <n>` (or `SJOS_BENCH_THREADS`; the flag wins) runs both
+//! granularities through the morsel-partitioned parallel engine at
+//! `n` workers — the invisibility contract must hold there too, and
+//! the thread count is recorded in the JSON.
 //!
 //! Exit status is non-zero if any query's batched run disagrees with
 //! the tuple-at-a-time run on cardinality or stack traffic.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
-use sjos_bench::{corpus_override, print_row, CorpusCache};
+use sjos_bench::{corpus_override, print_row, threads_override, CorpusCache};
 use sjos_core::Algorithm;
 use sjos_datagen::paper_queries;
-use sjos_exec::BATCH_ROWS;
+use sjos_exec::{ParallelPolicy, QueryGuard, BATCH_ROWS};
 
 /// Repetitions per (query, granularity); the median is reported.
 const REPS: usize = 5;
@@ -60,9 +67,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let threads = match threads_override() {
+        Ok(t) => t.unwrap_or(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     println!("pipeline: tuple-at-a-time (batch_rows=1) vs vectorized (batch_rows={BATCH_ROWS})");
     println!(
-        "scale: {} (set SJOS_BENCH_FULL=1 for paper sizes), {REPS} reps, median\n",
+        "scale: {} (set SJOS_BENCH_FULL=1 for paper sizes), {REPS} reps, median, \
+         {threads} thread(s)\n",
         if sjos_bench::full_scale() { "paper" } else { "reduced" }
     );
 
@@ -79,7 +94,21 @@ fn main() -> ExitCode {
             let mut times = Vec::with_capacity(REPS);
             let mut last = None;
             for _ in 0..REPS {
-                let r = bench.run_plan_counting_with_batch_rows(&pattern, &plan, batch_rows);
+                let r = if threads > 1 {
+                    sjos_exec::execute_parallel_opts(
+                        bench.store(),
+                        &pattern,
+                        &plan,
+                        false,
+                        batch_rows,
+                        &Arc::new(QueryGuard::unlimited()),
+                        ParallelPolicy::with_threads(threads),
+                    )
+                    .expect("optimizer plans are valid")
+                    .result
+                } else {
+                    bench.run_plan_counting_with_batch_rows(&pattern, &plan, batch_rows)
+                };
                 times.push(r.elapsed);
                 last = Some(r);
             }
@@ -157,7 +186,7 @@ fn main() -> ExitCode {
         summary.push((ds.to_string(), geomean));
     }
 
-    let json = render_json(&rows, &summary);
+    let json = render_json(&rows, &summary, threads);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     match std::fs::write(path, json) {
         Ok(()) => println!("\nwrote {path}"),
@@ -175,10 +204,11 @@ fn main() -> ExitCode {
 
 /// Hand-rolled JSON (the workspace deliberately carries no serde):
 /// every value is a number or a string with no escapes needed.
-fn render_json(rows: &[Row], summary: &[(String, f64)]) -> String {
+fn render_json(rows: &[Row], summary: &[(String, f64)], threads: usize) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"scale\": \"{}\",\n  \"batch_rows\": {BATCH_ROWS},\n  \"reps\": {REPS},\n",
+        "  \"scale\": \"{}\",\n  \"batch_rows\": {BATCH_ROWS},\n  \"reps\": {REPS},\n  \
+         \"threads\": {threads},\n",
         if sjos_bench::full_scale() { "paper" } else { "reduced" }
     ));
     out.push_str("  \"command\": \"cargo run --release -p sjos-bench --bin pipeline\",\n");

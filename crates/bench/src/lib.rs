@@ -85,9 +85,14 @@ pub fn corpus_override() -> Result<Option<Document>, String> {
             "--xml" => {
                 path = Some(args.next().ok_or("--xml requires a file path")?);
             }
+            // Parsed by `threads_override`; skip the value here.
+            "--threads" => {
+                args.next().ok_or("--threads requires a worker count")?;
+            }
             other => {
                 return Err(format!(
-                    "unrecognized argument `{other}` (only --xml <file> is accepted)"
+                    "unrecognized argument `{other}` (only --xml <file> and \
+                     --threads <n> are accepted)"
                 ));
             }
         }
@@ -97,6 +102,34 @@ pub fn corpus_override() -> Result<Option<Document>, String> {
         std::fs::read_to_string(&path).map_err(|e| format!("cannot read corpus {path}: {e}"))?;
     let doc = Document::parse(&text).map_err(|e| format!("corrupt corpus {path}: {e}"))?;
     Ok(Some(doc))
+}
+
+/// The worker-thread count a bench binary was pointed at, if any:
+/// `--threads <n>` on the command line or the `SJOS_BENCH_THREADS`
+/// environment variable (the flag wins). `Ok(None)` means the binary
+/// should use its default (serial execution).
+pub fn threads_override() -> Result<Option<usize>, String> {
+    let mut threads = match std::env::var("SJOS_BENCH_THREADS").ok().filter(|v| !v.is_empty()) {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("SJOS_BENCH_THREADS must be a positive integer, got `{v}`"))?,
+        ),
+        None => None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let v = args.next().ok_or("--threads requires a worker count")?;
+            threads = Some(
+                v.parse::<usize>()
+                    .map_err(|_| format!("--threads must be a positive integer, got `{v}`"))?,
+            );
+        }
+    }
+    if threads == Some(0) {
+        return Err("thread count must be at least 1".into());
+    }
+    Ok(threads)
 }
 
 /// A loaded corpus ready for measurement.
@@ -179,6 +212,20 @@ impl Bench {
         batch_rows: usize,
     ) -> QueryResult {
         sjos_exec::execute_counting_with_batch_rows(&self.store, pattern, plan, batch_rows)
+            .expect("optimizer plans are valid")
+    }
+
+    /// Execute a plan once in counting mode across `threads` workers
+    /// via the morsel-partitioned parallel engine; `threads = 1` is
+    /// the serial engine. Returns the full [`sjos_exec::ParallelOutcome`]
+    /// so callers can audit morsel counts and per-morsel snapshots.
+    pub fn run_plan_parallel_counting(
+        &self,
+        pattern: &Pattern,
+        plan: &sjos_exec::PlanNode,
+        threads: usize,
+    ) -> sjos_exec::ParallelOutcome {
+        sjos_exec::execute_parallel_counting(&self.store, pattern, plan, threads)
             .expect("optimizer plans are valid")
     }
 

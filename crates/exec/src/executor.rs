@@ -216,7 +216,7 @@ pub fn execute_batches(
     plan.validate(pattern).map_err(EngineError::InvalidPlan)?;
     let metrics = ExecMetrics::new();
     let guard = Arc::new(QueryGuard::unlimited());
-    let mut root = build_operator(store, pattern, plan, &metrics, BATCH_ROWS, &guard, None)?;
+    let mut root = build_operator(store, pattern, plan, &metrics, BATCH_ROWS, &guard, None, None)?;
     let mut batches = Vec::new();
     let mut count: u64 = 0;
     loop {
@@ -240,7 +240,7 @@ pub fn execute_batches(
 
 /// Replace a guard breach's placeholder snapshot with the real
 /// counters, so callers see how far the plan got before the stop.
-fn attach_partial(e: EngineError, metrics: &ExecMetrics) -> EngineError {
+pub(crate) fn attach_partial(e: EngineError, metrics: &ExecMetrics) -> EngineError {
     match e {
         EngineError::Guard { breach, .. } => {
             EngineError::Guard { breach, partial: Box::new(metrics.snapshot()) }
@@ -249,7 +249,7 @@ fn attach_partial(e: EngineError, metrics: &ExecMetrics) -> EngineError {
     }
 }
 
-fn execute_opts(
+pub(crate) fn execute_opts(
     store: &XmlStore,
     pattern: &Pattern,
     plan: &PlanNode,
@@ -262,7 +262,7 @@ fn execute_opts(
     let metrics = ExecMetrics::new();
     let io_before = store.stats().snapshot();
     let started = Instant::now();
-    let mut root = build_operator(store, pattern, plan, &metrics, batch_rows, guard, spill)?;
+    let mut root = build_operator(store, pattern, plan, &metrics, batch_rows, guard, spill, None)?;
     let mut tuples = Vec::new();
     let mut count: u64 = 0;
     let ordered_col = root.ordered_col();
@@ -303,7 +303,13 @@ fn execute_opts(
 /// stops within one batch even while materializing). Buffering
 /// operators additionally report their growth to the guard's memory
 /// budget.
-fn build_operator<'a>(
+///
+/// `range` restricts every leaf scan to binding-list records whose
+/// `region.start` falls in `[lo, hi)` — how the parallel executor
+/// instantiates one morsel's pipeline (see [`crate::parallel`]).
+/// `None` scans everything.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_operator<'a>(
     store: &'a XmlStore,
     pattern: &Pattern,
     plan: &PlanNode,
@@ -311,13 +317,15 @@ fn build_operator<'a>(
     batch_rows: usize,
     guard: &Arc<QueryGuard>,
     spill: Option<SpillPolicy>,
+    range: Option<(u32, u32)>,
 ) -> Result<BoxedOperator<'a>, EngineError> {
     let op: BoxedOperator<'a> = match plan {
         PlanNode::IndexScan { pnode } => {
-            Box::new(build_scan(store, pattern, *pnode, metrics).with_batch_rows(batch_rows))
+            Box::new(build_scan(store, pattern, *pnode, metrics, range).with_batch_rows(batch_rows))
         }
         PlanNode::Sort { input, by } => {
-            let child = build_operator(store, pattern, input, metrics, batch_rows, guard, spill)?;
+            let child =
+                build_operator(store, pattern, input, metrics, batch_rows, guard, spill, range)?;
             let mut sort = SortOp::new(child, *by, Arc::clone(metrics))?
                 .with_batch_rows(batch_rows)
                 .with_guard(Arc::clone(guard));
@@ -327,8 +335,9 @@ fn build_operator<'a>(
             Box::new(sort)
         }
         PlanNode::StructuralJoin { left, right, anc, desc, axis, algo } => {
-            let l = build_operator(store, pattern, left, metrics, batch_rows, guard, spill)?;
-            let r = build_operator(store, pattern, right, metrics, batch_rows, guard, spill)?;
+            let l = build_operator(store, pattern, left, metrics, batch_rows, guard, spill, range)?;
+            let r =
+                build_operator(store, pattern, right, metrics, batch_rows, guard, spill, range)?;
             match algo {
                 crate::plan::JoinAlgo::MergeJoin => Box::new(
                     MergeJoinOp::new(l, r, *anc, *desc, *axis, Arc::clone(metrics))?
@@ -351,17 +360,38 @@ fn build_scan<'a>(
     pattern: &Pattern,
     pnode: PnId,
     metrics: &Arc<ExecMetrics>,
+    range: Option<(u32, u32)>,
 ) -> IndexScanOp<'a> {
     let pat_node = pattern.node(pnode);
     let filter = pat_node.predicate.as_ref().map(|p| match p {
         ValuePredicate::Equals(v) => value_digest(v),
     });
     if pat_node.is_wildcard() {
-        // Wildcard: every element, via the heap file.
-        return IndexScanOp::new(pnode, store.scan_all(), filter, Arc::clone(metrics));
+        // Wildcard: every element, via the heap file. The partitioner
+        // never cuts a wildcard plan (the root's interval straddles
+        // any cut), but a range here stays correct regardless: filter
+        // the document-ordered heap stream by start.
+        return match range {
+            None => IndexScanOp::new(pnode, store.scan_all(), filter, Arc::clone(metrics)),
+            Some((lo, hi)) => IndexScanOp::new(
+                pnode,
+                store
+                    .scan_all()
+                    .filter(move |r| r.as_ref().map_or(true, |r| r.region.start >= lo))
+                    .take_while(move |r| r.as_ref().map_or(true, |r| r.region.start < hi)),
+                filter,
+                Arc::clone(metrics),
+            ),
+        };
     }
     match store.document().tag(&pat_node.tag) {
-        Some(t) => IndexScanOp::new(pnode, store.scan_tag(t), filter, Arc::clone(metrics)),
+        Some(t) => {
+            let iter = match range {
+                None => store.scan_tag(t),
+                Some((lo, hi)) => store.scan_tag_range(t, lo, hi),
+            };
+            IndexScanOp::new(pnode, iter, filter, Arc::clone(metrics))
+        }
         // A tag absent from the document scans an empty list.
         None => IndexScanOp::new(pnode, std::iter::empty(), filter, Arc::clone(metrics)),
     }

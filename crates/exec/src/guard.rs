@@ -14,6 +14,18 @@
 //!
 //! All checks are lock-free reads/adds; an unlimited guard costs a
 //! few relaxed atomic operations per batch.
+//!
+//! Every field is atomic, so one `Arc<QueryGuard>` is safely shared by
+//! all workers of a parallel execution (see [`crate::parallel`]): the
+//! batch and memory counters then accumulate the *aggregate* across
+//! workers — the budgets bound the whole query's footprint, not one
+//! worker's — and cancellation/deadline breaches are observed at the
+//! next batch boundary of every worker independently, so cancellation
+//! latency stays within one batch regardless of parallelism. Note the
+//! aggregate batch count of a morsel-partitioned run can exceed the
+//! serial run's (each morsel rounds up its final partial batches), so
+//! parallel admission scales the batch bound by the worker count (see
+//! `sjos-planck`'s `admit_parallel`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -183,6 +195,22 @@ impl QueryGuard {
         Ok(())
     }
 
+    /// A checkpoint that consults only cancellation and the deadline,
+    /// without consuming batch budget — for long pre-execution passes
+    /// (the parallel partitioner's cut-selection scan) that must stay
+    /// responsive to cancellation but pull no operator batches.
+    pub fn check_point(&self) -> Result<(), GuardBreach> {
+        if self.cancel.is_cancelled() {
+            return Err(GuardBreach::Cancelled);
+        }
+        if let Some((at, limit)) = self.deadline {
+            if Instant::now() >= at {
+                return Err(GuardBreach::Deadline { limit });
+            }
+        }
+        Ok(())
+    }
+
     /// Account `bytes` of operator buffering against the memory
     /// budget. In-memory operators never release, so their
     /// reservations accumulate (a conservative over-count); spilling
@@ -305,6 +333,16 @@ mod tests {
         g.release(1_000);
         assert_eq!(g.bytes_reserved(), 0, "release saturates at zero");
         assert_eq!(QueryGuard::unlimited().memory_headroom(), usize::MAX);
+    }
+
+    #[test]
+    fn check_point_observes_cancel_without_spending_batches() {
+        let g = QueryGuard::unlimited().with_batch_budget(1);
+        g.check_point().unwrap();
+        g.check_point().unwrap();
+        assert_eq!(g.batches_pulled(), 0, "checkpoints must not consume batch budget");
+        g.cancel_token().cancel();
+        assert_eq!(g.check_point().unwrap_err(), GuardBreach::Cancelled);
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! * [`ops::SortOp`] — blocking sort of an intermediate result by any
 //!   bound pattern node.
 //!
+//! [`parallel`] adds morsel-driven intra-query parallelism: valid
+//! cuts on the region `start` axis split every binding list into
+//! region-disjoint morsels whose independent executions reproduce the
+//! serial answer — and the serial metric totals — bit for bit.
+//!
 //! [`naive`] holds a navigational evaluator used as ground truth in
 //! tests (and as the paper's Example 2.2 "scan the subtree" cautionary
 //! baseline).
@@ -36,6 +41,7 @@ pub mod holistic;
 pub mod metrics;
 pub mod naive;
 pub mod ops;
+pub mod parallel;
 pub mod plan;
 pub mod tuple;
 
@@ -49,6 +55,11 @@ pub use executor::{
 pub use guard::{CancelToken, GuardedOp, QueryGuard};
 pub use metrics::{ExecMetrics, MetricsSnapshot};
 pub use ops::SpillPolicy;
+pub use parallel::{
+    execute_parallel, execute_parallel_counting, execute_parallel_guarded, execute_parallel_opts,
+    partition_regions, plan_partition, scatter, stitch, ParallelOutcome, ParallelPolicy,
+    RegionPartition,
+};
 pub use plan::{JoinAlgo, OperatorContract, PlanNode};
 pub use tuple::{Entry, Schema, Tuple, TupleBatch, BATCH_ROWS};
 
@@ -74,5 +85,8 @@ mod thread_safety {
         assert_send_sync::<PlanNode>();
         assert_send::<ops::BoxedOperator<'static>>();
         assert_send::<GuardedOp<'static>>();
+        assert_send_sync::<ParallelPolicy>();
+        assert_send_sync::<RegionPartition>();
+        assert_send_sync::<ParallelOutcome>();
     }
 }

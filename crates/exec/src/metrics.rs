@@ -78,6 +78,43 @@ pub struct MetricsSnapshot {
     pub spill_merge_passes: u64,
 }
 
+impl MetricsSnapshot {
+    /// Sum per-morsel (per-worker) snapshots into the totals of the
+    /// whole parallel execution.
+    ///
+    /// For the *work* counters — output/produced tuples, stack
+    /// traffic, buffered pairs, sorted tuples, scanned records, merge
+    /// rescans, spill counters — the sum is bit-identical to the
+    /// single-threaded run of the same plan, because region-range
+    /// partitioning restricts every operator's input to a range no
+    /// scanned interval straddles (the PL068 contract). Two counters
+    /// are *not* part of that exact contract and merge conservatively:
+    /// `sort_operations` is structural (each morsel runs its own copy
+    /// of every sort operator, so the sum is `morsels ×` the serial
+    /// count), and `peak_bytes` is interleaving-dependent (the sum of
+    /// per-worker peaks over-approximates the true aggregate peak, the
+    /// safe direction for budget comparisons).
+    pub fn merged(parts: &[MetricsSnapshot]) -> MetricsSnapshot {
+        let mut total = MetricsSnapshot::default();
+        for p in parts {
+            total.output_tuples += p.output_tuples;
+            total.produced_tuples += p.produced_tuples;
+            total.stack_pushes += p.stack_pushes;
+            total.stack_pops += p.stack_pops;
+            total.buffered_pairs += p.buffered_pairs;
+            total.sorted_tuples += p.sorted_tuples;
+            total.sort_operations += p.sort_operations;
+            total.scanned_records += p.scanned_records;
+            total.merge_rescans += p.merge_rescans;
+            total.peak_bytes += p.peak_bytes;
+            total.spilled_runs += p.spilled_runs;
+            total.spilled_bytes += p.spilled_bytes;
+            total.spill_merge_passes += p.spill_merge_passes;
+        }
+        total
+    }
+}
+
 impl ExecMetrics {
     /// Fresh shared metrics.
     pub fn new() -> Arc<ExecMetrics> {
@@ -160,6 +197,30 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.peak_bytes, 150, "peak is the maximum, not the final value");
         assert_eq!(m.cur_bytes.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn merged_sums_work_counters() {
+        let a = MetricsSnapshot {
+            output_tuples: 3,
+            stack_pushes: 10,
+            peak_bytes: 100,
+            sort_operations: 1,
+            ..MetricsSnapshot::default()
+        };
+        let b = MetricsSnapshot {
+            output_tuples: 4,
+            stack_pushes: 7,
+            peak_bytes: 60,
+            sort_operations: 1,
+            ..MetricsSnapshot::default()
+        };
+        let m = MetricsSnapshot::merged(&[a, b]);
+        assert_eq!(m.output_tuples, 7);
+        assert_eq!(m.stack_pushes, 17);
+        assert_eq!(m.peak_bytes, 160);
+        assert_eq!(m.sort_operations, 2);
+        assert_eq!(MetricsSnapshot::merged(&[]), MetricsSnapshot::default());
     }
 
     #[test]

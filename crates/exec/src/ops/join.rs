@@ -21,6 +21,16 @@
 //! counters are accumulated locally and flushed with one atomic add
 //! per counter per batch — the totals are bit-identical to the
 //! tuple-at-a-time engine for every batch size.
+//!
+//! The merge loop additionally keeps its counters *partition-exact*:
+//! every left tuple consumed is pushed (and eventually popped) even
+//! after the right stream ends, so `stack_pushes` equals the number
+//! of left tuples and `stack_pops` equals `stack_pushes` for any
+//! input. Because a region-range morsel's inputs are exactly the
+//! serial inputs restricted to its range — and a valid cut is one no
+//! scanned interval straddles, so the serial stack is empty at every
+//! cut — per-morsel counters sum bit-identically to the serial run
+//! (planck rule PL068 re-verifies this dynamically).
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -266,13 +276,26 @@ impl<'a> StackTreeJoinOp<'a> {
                     self.done = true;
                 }
             }
-            // No descendants left: flush (Anc), run the abandoned
-            // left side out, and stop.
-            (_, None) => {
+            // No descendants left, but ancestors remain: keep them on
+            // the normal push/pop path (they cannot produce output,
+            // but this keeps stack traffic equal to the number of
+            // left tuples consumed — the invariant that makes metric
+            // totals decompose exactly over region-range morsels,
+            // where a morsel's descendant slice may end before its
+            // ancestor slice does).
+            (Some(a_start), None) => {
+                self.pop_before(a_start);
+                // Invariant: `left_start` above peeked this row.
+                let t = self.left.peek_row()?.expect("left row present");
+                self.left.advance();
+                self.push(t);
+            }
+            // Both sides done: flush the remaining stack (Anc pair
+            // routing included) and stop.
+            (None, None) => {
                 while !self.stack.is_empty() {
                     self.pop_one();
                 }
-                self.left.exhaust()?;
                 self.done = true;
             }
         }

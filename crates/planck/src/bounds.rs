@@ -601,6 +601,67 @@ pub fn admit_spill_guard(bounds: &ResourceBounds, guard: &QueryGuard) -> Report 
     admit_spill(bounds, guard.memory_budget().map(|b| b as u64), guard.batch_budget())
 }
 
+/// PL062 + PL063 for a `workers`-way morsel-partitioned parallel run:
+/// admit only if `workers ×` the serial worst case fits the budgets.
+///
+/// Sound because each morsel is the same plan over a *subset* of every
+/// binding list, and the per-operator bounds are monotone in their
+/// input cardinalities — one morsel's resident peak never exceeds the
+/// serial bound, and at most `workers` morsels are resident at once.
+/// The batch bound scales the same way: the aggregate pull count of a
+/// partitioned run can exceed the serial worst case (each morsel
+/// rounds its final partial batches up), but never `workers ×` it,
+/// since every worker's own pull sequence is bounded by its morsel's
+/// (≤ serial) worst case. Conservative by design: a plan admitted
+/// serially may be rejected at high parallelism; the service then
+/// falls back to fewer workers or the serial path rather than risking
+/// an unsound admission.
+pub fn admit_parallel(
+    bounds: &ResourceBounds,
+    workers: usize,
+    memory_budget: Option<u64>,
+    batch_budget: Option<u64>,
+) -> Report {
+    let workers = workers.max(1) as u64;
+    let mut report = Report::default();
+    let peak = bounds.peak_bytes.saturating_mul(workers);
+    if let Some(limit) = memory_budget {
+        if peak > limit {
+            report.push(
+                Rule::MemoryAdmissible,
+                "root",
+                format!(
+                    "worst-case aggregate peak {peak} B across {workers} workers exceeds the \
+                     {limit} B memory budget (serial peak {} B)",
+                    bounds.peak_bytes
+                ),
+            );
+        }
+    }
+    let pulls = bounds.batch_pulls.saturating_mul(workers);
+    if let Some(limit) = batch_budget {
+        if pulls > limit {
+            report.push(
+                Rule::BatchAdmissible,
+                "root",
+                format!(
+                    "worst-case aggregate {pulls} batch pulls across {workers} workers exceed \
+                     the {limit} pull budget (serial bound {})",
+                    bounds.batch_pulls
+                ),
+            );
+        }
+    }
+    report
+}
+
+/// [`admit_parallel`] against the budgets carried by a [`QueryGuard`]
+/// (which the parallel executor shares across all workers, so its
+/// counters accumulate the aggregate the scaled bounds cap).
+pub fn admit_parallel_guard(bounds: &ResourceBounds, workers: usize, guard: &QueryGuard) -> Report {
+    admit_parallel(bounds, workers, guard.memory_budget().map(|b| b as u64), guard.batch_budget())
+}
+
 /// PL065: the cache-revalidation predicate. A plan cached under
 /// catalog generation (`cached_version`, `cached_fingerprint`) may be
 /// served against the live catalog only when the versions match; on
@@ -905,6 +966,27 @@ mod tests {
         assert!(admit_guard(&b, &tight).violates(Rule::MemoryAdmissible));
         let unlimited = QueryGuard::unlimited();
         assert!(admit_guard(&b, &unlimited).is_clean());
+    }
+
+    #[test]
+    fn admit_parallel_scales_the_bounds_by_worker_count() {
+        let (_, pattern, est, model) = setup(XML, "//dept//emp");
+        let plan = join(scan(0), scan(1), 0, 1, Axis::Descendant, JoinAlgo::StackTreeDesc);
+        let b = analyze_bounds(&pattern, &est, &model, &plan, BATCH_ROWS);
+        // A budget that fits the serial bound but not 4 workers' worth.
+        let budget = b.peak_bytes * 2;
+        assert!(admit(&b, Some(budget), None).is_clean());
+        assert!(admit_parallel(&b, 1, Some(budget), None).is_clean());
+        assert!(admit_parallel(&b, 4, Some(budget), None).violates(Rule::MemoryAdmissible));
+        // Batch budget scales the same way.
+        let pulls = b.batch_pulls * 2;
+        assert!(admit_parallel(&b, 2, None, Some(pulls)).is_clean());
+        assert!(admit_parallel(&b, 4, None, Some(pulls)).violates(Rule::BatchAdmissible));
+        // Guard variant reads the guard's budgets.
+        let guard = QueryGuard::unlimited()
+            .with_memory_budget(usize::try_from(budget).expect("test budget fits usize"));
+        assert!(admit_parallel_guard(&b, 4, &guard).violates(Rule::MemoryAdmissible));
+        assert!(admit_parallel_guard(&b, 4, &QueryGuard::unlimited()).is_clean());
     }
 
     #[test]

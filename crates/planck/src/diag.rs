@@ -124,6 +124,14 @@ pub enum Rule {
     /// within the derived spill bound and the output is the same
     /// relation the in-memory sort would produce.
     SpillBoundSound,
+    /// PL068: a morsel-partitioned parallel execution is sound — the
+    /// partitioner's cuts are strictly increasing and no scanned
+    /// record straddles one, the concatenated morsel outputs equal the
+    /// serial output sequence, and the per-morsel work counters
+    /// (cardinalities and stack traffic) sum bit-identically to the
+    /// single-threaded run: PL034's batch contract extended to
+    /// partitions.
+    PartitionSound,
 }
 
 /// How severe a fired rule is.
@@ -146,7 +154,7 @@ impl fmt::Display for Severity {
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 41] = [
+    pub const ALL: [Rule; 42] = [
         Rule::BindingPartition,
         Rule::EdgeExists,
         Rule::EdgeOrientation,
@@ -188,6 +196,7 @@ impl Rule {
         Rule::CacheRevalidated,
         Rule::SpillAdmissible,
         Rule::SpillBoundSound,
+        Rule::PartitionSound,
     ];
 
     /// The stable diagnostic id.
@@ -234,6 +243,7 @@ impl Rule {
             Rule::CacheRevalidated => "PL065",
             Rule::SpillAdmissible => "PL066",
             Rule::SpillBoundSound => "PL067",
+            Rule::PartitionSound => "PL068",
         }
     }
 
@@ -292,6 +302,7 @@ impl Rule {
             Rule::CacheRevalidated => "cache-revalidated",
             Rule::SpillAdmissible => "spill-admissible",
             Rule::SpillBoundSound => "spill-bound-sound",
+            Rule::PartitionSound => "partition-sound",
         }
     }
 
@@ -518,6 +529,16 @@ impl Rule {
                  buffering the analysis did not model, voiding every \
                  degraded admission decision"
             }
+            Rule::PartitionSound => {
+                "parallel structural joins are only free speedup if \
+                 region-range morsels are genuinely independent: a cut \
+                 straddled by any scanned interval splits an \
+                 ancestor from its descendants, so the concatenated \
+                 morsel outputs must equal the serial sequence and the \
+                 per-morsel work counters must sum bit-identically to \
+                 the single-threaded run (the batch contract of PL034 \
+                 lifted to partitions)"
+            }
         }
     }
 }
@@ -698,6 +719,8 @@ mod tests {
         assert_eq!(Rule::BoundSound.id(), "PL064");
         assert_eq!(Rule::SpillAdmissible.id(), "PL066");
         assert_eq!(Rule::SpillBoundSound.id(), "PL067");
+        assert_eq!(Rule::PartitionSound.id(), "PL068");
+        assert_eq!(Rule::PartitionSound.name(), "partition-sound");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Executed-plan checks (PL034, PL035): the lints that run a plan.
+//! Executed-plan checks (PL034, PL035, PL068): the lints that run a
+//! plan.
 //!
 //! The static rules (PL001–PL013) prove a plan *claims* the right
 //! invariants; this module executes it through the vectorized engine
@@ -15,8 +16,14 @@
 //! Interior operator boundaries are covered at runtime by the
 //! executor's debug-only ordering checks; this lint is the
 //! release-mode, externally-observable half of the same contract.
+//!
+//! [`lint_partition`] (PL068) extends the contract to morsel-driven
+//! parallel runs: it executes the plan serially and partitioned,
+//! re-scans every binding list to prove no record straddles a chosen
+//! cut, and demands the concatenated morsel outputs and the summed
+//! per-morsel work counters match the serial run bit for bit.
 
-use sjos_exec::{execute, execute_batches, BatchedResult, EngineError, PlanNode};
+use sjos_exec::{execute, execute_batches, execute_parallel, BatchedResult, EngineError, PlanNode};
 use sjos_pattern::Pattern;
 use sjos_storage::{FaultPlan, RetryPolicy, StoreConfig, XmlStore};
 
@@ -83,6 +90,158 @@ pub fn lint_error_surfacing(store: &XmlStore, pattern: &Pattern, plan: &PlanNode
         ),
     }
     report
+}
+
+/// Execute `plan` serially and as a `threads`-way morsel-partitioned
+/// parallel run, and check the partition contract (rule PL068):
+///
+/// * the partitioner's cuts are strictly increasing and *valid* — no
+///   record of any scanned binding list straddles one (verified by
+///   re-scanning the lists, not by trusting the partitioner);
+/// * the concatenated morsel outputs equal the serial output
+///   *sequence* (order included, not just the set);
+/// * the per-morsel work counters — cardinalities, stack traffic,
+///   buffered pairs, sorted tuples, scanned records, merge rescans —
+///   sum bit-identically to the single-threaded run, and each sort
+///   operator ran exactly once per morsel.
+///
+/// Serial-fallback runs (no valid cut) pass vacuously: one morsel
+/// *is* the serial execution.
+pub fn lint_partition(
+    store: &XmlStore,
+    pattern: &Pattern,
+    plan: &PlanNode,
+    threads: usize,
+) -> Report {
+    let mut report = Report::default();
+    let serial = match execute(store, pattern, plan) {
+        Ok(r) => r,
+        Err(e) => {
+            report.push(Rule::PartitionSound, "root", format!("serial baseline failed: {e}"));
+            return report;
+        }
+    };
+    let par = match execute_parallel(store, pattern, plan, threads) {
+        Ok(p) => p,
+        Err(e) => {
+            report.push(
+                Rule::PartitionSound,
+                "root",
+                format!("parallel run failed where the serial run succeeded: {e}"),
+            );
+            return report;
+        }
+    };
+
+    if !par.cuts.windows(2).all(|w| w[0] < w[1]) {
+        report.push(
+            Rule::PartitionSound,
+            "partition",
+            format!("cuts are not strictly increasing: {:?}", par.cuts),
+        );
+    }
+    // Validity, from the ground truth: re-scan every binding list the
+    // plan reads and look for an interval straddling a cut.
+    if !par.cuts.is_empty() {
+        for pnode in plan_leaves(plan) {
+            let pat_node = pattern.node(pnode);
+            if pat_node.is_wildcard() {
+                report.push(
+                    Rule::PartitionSound,
+                    format!("scan[{}]", pnode.index()),
+                    "a wildcard scan was partitioned — the document root straddles every cut",
+                );
+                continue;
+            }
+            let Some(tag) = store.document().tag(&pat_node.tag) else { continue };
+            for rec in store.scan_tag(tag) {
+                let Ok(rec) = rec else { break };
+                let r = rec.region;
+                if let Some(&c) = par.cuts.iter().find(|&&c| r.start < c && c <= r.end) {
+                    report.push(
+                        Rule::PartitionSound,
+                        format!("scan[{}]", pnode.index()),
+                        format!(
+                            "record ({}, {}) of tag `{}` straddles cut {c} — its \
+                             descendants land in a different morsel",
+                            r.start, r.end, pat_node.tag
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    if par.result.tuples != serial.tuples {
+        report.push(
+            Rule::PartitionSound,
+            "root",
+            format!(
+                "concatenated morsel outputs differ from the serial sequence \
+                 ({} rows parallel vs {} serial)",
+                par.result.tuples.len(),
+                serial.tuples.len()
+            ),
+        );
+    }
+    let s = &serial.metrics;
+    let p = &par.result.metrics;
+    let exact: [(&str, u64, u64); 8] = [
+        ("output_tuples", s.output_tuples, p.output_tuples),
+        ("produced_tuples", s.produced_tuples, p.produced_tuples),
+        ("stack_pushes", s.stack_pushes, p.stack_pushes),
+        ("stack_pops", s.stack_pops, p.stack_pops),
+        ("buffered_pairs", s.buffered_pairs, p.buffered_pairs),
+        ("sorted_tuples", s.sorted_tuples, p.sorted_tuples),
+        ("scanned_records", s.scanned_records, p.scanned_records),
+        ("merge_rescans", s.merge_rescans, p.merge_rescans),
+    ];
+    for (name, serial_v, parallel_v) in exact {
+        if serial_v != parallel_v {
+            report.push(
+                Rule::PartitionSound,
+                "metrics",
+                format!(
+                    "{name} does not sum exactly across {} morsels: serial {serial_v}, \
+                     parallel total {parallel_v}",
+                    par.morsel_count()
+                ),
+            );
+        }
+    }
+    // Sorts are structural: every morsel runs its own copy of each
+    // sort operator.
+    let expected_sorts = s.sort_operations * par.morsel_count() as u64;
+    if p.sort_operations != expected_sorts {
+        report.push(
+            Rule::PartitionSound,
+            "metrics",
+            format!(
+                "sort_operations: expected {expected_sorts} ({} per morsel × {}), got {}",
+                s.sort_operations,
+                par.morsel_count(),
+                p.sort_operations
+            ),
+        );
+    }
+    report
+}
+
+fn plan_leaves(plan: &PlanNode) -> Vec<sjos_pattern::PnId> {
+    fn walk(plan: &PlanNode, out: &mut Vec<sjos_pattern::PnId>) {
+        match plan {
+            PlanNode::IndexScan { pnode } => out.push(*pnode),
+            PlanNode::Sort { input, .. } => walk(input, out),
+            PlanNode::StructuralJoin { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, &mut out);
+    out
 }
 
 /// Lint an already-executed batch stream against the plan that
@@ -214,6 +373,39 @@ mod tests {
             let report = lint_execution(&store, &pattern, &plan);
             assert!(report.is_clean(), "{}: {}", alg.name(), report.render());
         }
+    }
+
+    #[test]
+    fn partition_lint_is_clean_across_thread_counts() {
+        // A corpus with many root-level subtrees so cuts exist.
+        let mut xml = String::from("<a>");
+        for i in 0..32 {
+            xml.push_str(&format!("<b><c>x{i}</c><e/></b>"));
+        }
+        xml.push_str("</a>");
+        let doc = Document::parse(&xml).unwrap();
+        let pattern = parse_pattern("//b/c").unwrap();
+        let catalog = Catalog::build(&doc);
+        let est = PatternEstimates::new(&catalog, &doc, &pattern);
+        let plan =
+            optimize(&pattern, &est, &CostModel::default(), Algorithm::Dpp { lookahead: true })
+                .unwrap()
+                .plan;
+        let store = XmlStore::load(doc);
+        for threads in [1, 2, 4, 8] {
+            let report = lint_partition(&store, &pattern, &plan, threads);
+            assert!(report.is_clean(), "threads={threads}: {}", report.render());
+        }
+    }
+
+    #[test]
+    fn partition_lint_fires_on_a_broken_parallel_story() {
+        // An invalid plan makes both runs fail; the lint must report
+        // under PL068, not panic.
+        let (store, pattern, _) = setup("//a/b/c");
+        let bogus = PlanNode::IndexScan { pnode: sjos_pattern::PnId(0) };
+        let report = lint_partition(&store, &pattern, &bogus, 4);
+        assert!(report.violates(Rule::PartitionSound), "{}", report.render());
     }
 
     #[test]

@@ -43,7 +43,14 @@
 //!   [`sjos_exec::SpillPolicy`] resident footprint, [`admit_spill`]
 //!   turns that into a second-tier *degraded* admission predicate for
 //!   plans the in-memory bound rejects, and a dynamic replay certifies
-//!   the spill cap is a real upper bound (PL066–PL067).
+//!   the spill cap is a real upper bound (PL066–PL067);
+//! * morsel-driven parallel runs are exact, not approximately right —
+//!   [`admit_parallel`] scales the static bounds by the worker count
+//!   before a parallel admission, and a dynamic rule
+//!   ([`lint_partition`], PL068) executes the plan serially and
+//!   partitioned, proves no scanned interval straddles a cut, and
+//!   demands outputs and summed work counters match the
+//!   single-threaded run bit for bit.
 //!
 //! Every rule carries a stable `PL0xx` id ([`Rule::id`]), a short
 //! name, and a prose explanation citing the paper section that
@@ -64,16 +71,17 @@ pub mod status_rules;
 pub mod trace;
 
 pub use bounds::{
-    admit, admit_guard, admit_spill, admit_spill_guard, analyze_bounds, analyze_bounds_spill,
-    lint_bound_soundness, lint_bounds, lint_resources, lint_spill_soundness, revalidate_cached,
-    CardInterval, OperatorBounds, ResourceBounds, DEFAULT_MEMORY_BUDGET,
+    admit, admit_guard, admit_parallel, admit_parallel_guard, admit_spill, admit_spill_guard,
+    analyze_bounds, analyze_bounds_spill, lint_bound_soundness, lint_bounds, lint_resources,
+    lint_spill_soundness, revalidate_cached, CardInterval, OperatorBounds, ResourceBounds,
+    DEFAULT_MEMORY_BUDGET,
 };
 pub use cross::{lint_optimizers, lint_search_space, min_pipelined_cost, MAX_CROSS_CHECK_NODES};
 pub use dataflow::{
     analyze_plan, holistic_properties, lint_dataflow, DataflowAnalysis, OrderFact, PlanProperties,
 };
 pub use diag::{rule_catalog_json, Diagnostic, Report, Rule, Severity};
-pub use exec_rules::{lint_batches, lint_error_surfacing, lint_execution};
+pub use exec_rules::{lint_batches, lint_error_surfacing, lint_execution, lint_partition};
 pub use plan_rules::{lint_plan, lint_plan_with, PlanExpectations};
 pub use status_rules::{lint_status, lint_status_key};
 pub use trace::{certify_trace, corrupt_trace, record_search_trace, TraceCorruption};

@@ -29,6 +29,11 @@ pub struct TagIndex {
 #[derive(Debug, Clone)]
 pub struct Posting {
     pages: Vec<PageId>,
+    /// `region.start` of each page's first record (parallel to
+    /// `pages`; the list is in document order, so these are strictly
+    /// increasing). Lets a range scan binary-search its first page
+    /// instead of reading the whole list.
+    first_starts: Vec<u32>,
     count: u64,
 }
 
@@ -56,6 +61,7 @@ impl TagIndex {
                 "tag list must be in document order"
             );
             let mut pages = Vec::new();
+            let mut first_starts = Vec::new();
             for chunk in recs.chunks(RECORDS_PER_PAGE) {
                 let id = disk.allocate_page()?;
                 let mut page = Page::zeroed();
@@ -65,9 +71,10 @@ impl TagIndex {
                 set_page_record_count(&mut page, chunk.len());
                 page.stamp_checksum();
                 disk.write_page(id, &page)?;
+                first_starts.push(chunk[0].region.start);
                 pages.push(id);
             }
-            postings.insert(tag, Posting { pages, count: recs.len() as u64 });
+            postings.insert(tag, Posting { pages, first_starts, count: recs.len() as u64 });
         }
         Ok(TagIndex { postings })
     }
@@ -108,6 +115,47 @@ impl TagIndex {
             buffered: Vec::new(),
             buf_pos: 0,
             failed: false,
+            hi: u32::MAX,
+            skip_below: 0,
+        }
+    }
+
+    /// Scan the slice of `tag`'s list whose `region.start` falls in
+    /// `[lo, hi)`, in document order.
+    ///
+    /// The per-page `first_starts` keys prune the page set to the
+    /// candidates that can hold in-range starts, so a morsel reads
+    /// `O(pages_in_range + 1)` pages instead of the whole list; the
+    /// records of the (at most one) leading boundary page that start
+    /// before `lo` are filtered out, and the scan fuses at the first
+    /// record with `start >= hi`. Region-range partitions therefore
+    /// deliver each record of the list exactly once across morsels.
+    pub fn scan_range<'a>(
+        &'a self,
+        pool: &'a BufferPool,
+        tag: Tag,
+        lo: u32,
+        hi: u32,
+    ) -> IndexScanIter<'a> {
+        let (pages, first_starts) = match self.postings.get(&tag) {
+            Some(p) => (p.pages.as_slice(), p.first_starts.as_slice()),
+            None => (&[][..], &[][..]),
+        };
+        // First candidate page: the last one whose first start is
+        // <= lo (an earlier page cannot hold starts >= lo beyond it);
+        // pages whose first start is >= hi are out entirely.
+        let begin = first_starts.partition_point(|&s| s <= lo).saturating_sub(1);
+        let end = first_starts.partition_point(|&s| s < hi);
+        let pages = if begin < end { &pages[begin..end] } else { &[][..] };
+        IndexScanIter {
+            pages,
+            pool,
+            page_idx: 0,
+            buffered: Vec::new(),
+            buf_pos: 0,
+            failed: false,
+            hi,
+            skip_below: lo,
         }
     }
 }
@@ -120,6 +168,14 @@ pub struct IndexScanIter<'a> {
     buffered: Vec<ElementRecord>,
     buf_pos: usize,
     failed: bool,
+    /// Exclusive upper bound on `region.start`: the scan fuses at the
+    /// first record at or past it (`u32::MAX` = unbounded, and region
+    /// starts are always below `u32::MAX`, so a full scan never fuses
+    /// early).
+    hi: u32,
+    /// Records with `region.start` below this are skipped (only the
+    /// leading boundary page of a range scan has any).
+    skip_below: u32,
 }
 
 impl Iterator for IndexScanIter<'_> {
@@ -133,6 +189,14 @@ impl Iterator for IndexScanIter<'_> {
             if self.buf_pos < self.buffered.len() {
                 let rec = self.buffered[self.buf_pos];
                 self.buf_pos += 1;
+                if rec.region.start < self.skip_below {
+                    continue;
+                }
+                if rec.region.start >= self.hi {
+                    // Document order: everything after is out of range.
+                    self.failed = true;
+                    return None;
+                }
                 return Some(Ok(rec));
             }
             if self.page_idx >= self.pages.len() {
@@ -207,6 +271,37 @@ mod tests {
         let total: u64 = (0..3).map(|t| index.cardinality(Tag(t))).sum();
         assert_eq!(total, 1000);
         assert_eq!(index.cardinality(Tag(99)), 0);
+    }
+
+    #[test]
+    fn range_scans_partition_the_list_and_prune_pages() {
+        let n = (RECORDS_PER_PAGE as u32) * 3 + 17;
+        let (index, pool) = setup(n, 1);
+        let all = collect(index.scan(&pool, Tag(0)));
+        // Cuts at arbitrary start values, including ones that fall
+        // mid-page and past the end.
+        let cuts = [0u32, 7, 2 * n / 3, 2 * n - 1, 2 * n + 100, u32::MAX];
+        let mut reassembled = Vec::new();
+        for w in cuts.windows(2) {
+            let part = collect(index.scan_range(&pool, Tag(0), w[0], w[1]));
+            assert!(part.iter().all(|r| r.region.start >= w[0] && r.region.start < w[1]));
+            reassembled.extend(part);
+        }
+        assert_eq!(reassembled, all, "ranges over consecutive cuts must partition the list");
+        // A narrow range reads O(1) pages, not the whole list.
+        let before = pool.stats().snapshot().record_reads;
+        let _ = collect(index.scan_range(&pool, Tag(0), 2, 4));
+        let read = pool.stats().snapshot().record_reads - before;
+        assert!(
+            read <= 2 * RECORDS_PER_PAGE as u64,
+            "narrow range decoded {read} records (page pruning broken)"
+        );
+    }
+
+    #[test]
+    fn range_scan_on_missing_tag_is_empty() {
+        let (index, pool) = setup(10, 2);
+        assert_eq!(index.scan_range(&pool, Tag(42), 0, u32::MAX).count(), 0);
     }
 
     #[test]

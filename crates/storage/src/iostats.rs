@@ -47,6 +47,19 @@ impl IoTap {
         let prev = TAP.with(|t| t.borrow_mut().replace(stats));
         IoTap { prev, _not_send: PhantomData }
     }
+
+    /// The tap currently installed on this thread, if any.
+    ///
+    /// Taps are thread-local, so work moved onto worker threads
+    /// escapes the session's attribution unless each worker
+    /// re-installs the session tap. A parallel executor captures
+    /// `IoTap::current()` on the session thread and calls
+    /// [`IoTap::install`] with the returned handle inside every
+    /// worker, so per-session counters keep partitioning the global
+    /// ones exactly even when page reads happen off-thread.
+    pub fn current() -> Option<Arc<IoStats>> {
+        TAP.with(|t| t.borrow().clone())
+    }
 }
 
 impl Drop for IoTap {
@@ -243,6 +256,32 @@ mod tests {
         assert_eq!(s.buffer_hits, 1, "only the tapped-thread hit");
         assert_eq!(s.disk_reads, 0, "other thread's read not attributed");
         assert_eq!(s.record_reads, 5);
+    }
+
+    #[test]
+    fn current_exposes_the_installed_tap_for_worker_propagation() {
+        assert!(IoTap::current().is_none());
+        let global = Arc::new(IoStats::new());
+        let session = Arc::new(IoStats::new());
+        {
+            let _tap = IoTap::install(Arc::clone(&session));
+            let handle = IoTap::current().expect("tap installed");
+            assert!(Arc::ptr_eq(&handle, &session));
+            // The captured handle re-installs on a worker thread, so
+            // the worker's bumps land in the session counters.
+            let g = Arc::clone(&global);
+            std::thread::spawn(move || {
+                let _worker_tap = IoTap::install(handle);
+                g.bump_read();
+                g.bump_records(7);
+            })
+            .join()
+            .unwrap();
+        }
+        assert!(IoTap::current().is_none(), "tap uninstalled on drop");
+        assert_eq!(session.snapshot().disk_reads, 1);
+        assert_eq!(session.snapshot().record_reads, 7);
+        assert_eq!(global.snapshot().disk_reads, 1);
     }
 
     #[test]

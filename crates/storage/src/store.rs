@@ -162,6 +162,14 @@ impl XmlStore {
         self.index.scan(&self.pool, tag)
     }
 
+    /// Scan the slice of a tag's binding list whose `region.start`
+    /// falls in `[lo, hi)`, in document order — the access path behind
+    /// region-range morsels (per-page start keys prune the page set,
+    /// so each morsel reads only its own slice of the list).
+    pub fn scan_tag_range(&self, tag: Tag, lo: u32, hi: u32) -> IndexScanIter<'_> {
+        self.index.scan_range(&self.pool, tag, lo, hi)
+    }
+
     /// Scan *every* element in document order (the heap file) — the
     /// access path behind wildcard (`*`) pattern nodes.
     pub fn scan_all(&self) -> crate::heap::HeapScan<'_> {

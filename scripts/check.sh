@@ -28,6 +28,9 @@ cargo run --quiet -p sjos-bench --bin server -- --smoke
 echo "==> spill bench smoke (external sort: spills happen, bounds hold, zero temp-page leaks)"
 cargo run --quiet -p sjos-bench --bin spill -- --smoke
 
+echo "==> parallel bench smoke (morsel partitioning happens, answers bit-identical to serial)"
+cargo run --quiet -p sjos-bench --bin parallel -- --smoke
+
 echo "==> planlint selftest"
 cargo run --quiet --bin planlint -- --query '//a/b/c' --selftest >/dev/null
 

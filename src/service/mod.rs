@@ -25,7 +25,14 @@
 //!    (pattern signature, algorithm, catalog version) with an LRU
 //!    bound, so repeated patterns skip DP/DPP entirely; every hit is
 //!    revalidated against the live catalog generation (PL065).
-//! 3. **Observability** ([`metrics`]). Per-session and aggregate
+//! 3. **Intra-query parallelism** ([`ServiceConfig::parallelism`]).
+//!    Above 1, non-degraded queries run morsel-partitioned through
+//!    [`sjos_exec::parallel`]: admission reserves `parallelism ×` the
+//!    plan's certificate (the aggregate a shared-guard morsel run is
+//!    bounded by), falling back to serial admission when the scaled
+//!    reservation does not fit; results and metric totals stay
+//!    bit-identical to the serial run (PL068).
+//! 4. **Observability** ([`metrics`]). Per-session and aggregate
 //!    counters — admitted/queued/rejected, cache hit rate, latency
 //!    percentiles, certified vs. measured peaks — export as JSON via
 //!    [`QueryService::metrics_json`]. Per-session I/O uses the
@@ -70,6 +77,13 @@ pub struct ServiceConfig {
     /// Algorithm used by [`Session::query`] (the paper's
     /// recommendation, DPP, by default).
     pub default_algorithm: Algorithm,
+    /// Worker threads per query (1 = serial, the default). Above 1,
+    /// non-degraded queries run morsel-partitioned: admission
+    /// reserves `parallelism ×` the plan's certificate (the sound
+    /// aggregate bound — see [`sjos_planck::admit_parallel`]) and
+    /// falls back to serial admission when that scaled reservation
+    /// does not fit. Degraded (spill) queries always run serially.
+    pub parallelism: usize,
 }
 
 impl Default for ServiceConfig {
@@ -80,6 +94,7 @@ impl Default for ServiceConfig {
             queue_timeout: Duration::from_secs(2),
             plan_cache_capacity: 256,
             default_algorithm: Algorithm::Dpp { lookahead: true },
+            parallelism: 1,
         }
     }
 }
@@ -135,6 +150,10 @@ pub struct ServiceOutcome {
     pub waited: Duration,
     /// This query's own I/O traffic (session-tap attributed).
     pub io: IoSnapshot,
+    /// Morsels the query ran as: 1 for serial execution (including
+    /// degraded mode and parallel runs with no valid cut), more when
+    /// the morsel partitioner actually split the work.
+    pub morsels: usize,
 }
 
 struct ServiceInner {
@@ -380,9 +399,25 @@ impl Session {
             Some(d) => inner.config.queue_timeout.min(d),
             None => inner.config.queue_timeout,
         };
-        let (permit, certified, spill) =
-            match inner.admission.admit(cached.bounds.peak_bytes, wait_limit) {
-                Ok(permit) => (permit, cached.bounds.peak_bytes, None),
+        // Parallel-first: a `parallelism > 1` service reserves
+        // `workers ×` the certificate, the aggregate a shared-guard
+        // morsel run is bounded by (sjos_planck::admit_parallel's
+        // scaling). If the scaled reservation does not fit, the query
+        // falls through to the plain serial path below rather than
+        // being rejected.
+        let workers = inner.config.parallelism.max(1);
+        let mut parallel_grant: Option<(admission::AdmissionPermit<'_>, u64)> = None;
+        if workers > 1 {
+            let scaled = cached.bounds.peak_bytes.saturating_mul(workers as u64);
+            if let Ok(permit) = inner.admission.admit(scaled, wait_limit) {
+                parallel_grant = Some((permit, scaled));
+            }
+        }
+        let remaining_wait = wait_limit.saturating_sub(started.elapsed());
+        let (permit, certified, spill, parallel) = match parallel_grant {
+            Some((permit, scaled)) => (permit, scaled, None, true),
+            None => match inner.admission.admit(cached.bounds.peak_bytes, remaining_wait) {
+                Ok(permit) => (permit, cached.bounds.peak_bytes, None, false),
                 Err(rejection) if rejection.reason == RejectReason::NeverFits => {
                     let budget = inner.admission.budget();
                     let Some((policy, bounds)) =
@@ -399,10 +434,11 @@ impl Session {
                         .map_err(ServiceError::Overloaded)?;
                     inner.metrics.degraded_admissions.fetch_add(1, Ordering::Relaxed);
                     self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
-                    (permit, bounds.peak_bytes, Some(policy))
+                    (permit, bounds.peak_bytes, Some(policy), false)
                 }
                 Err(rejection) => return Err(ServiceError::Overloaded(rejection)),
-            };
+            },
+        };
         let waited = started.elapsed();
 
         // Execute under a guard whose memory budget *is* the
@@ -416,6 +452,9 @@ impl Session {
         let guard = Arc::new(guard);
         let io_before = self.metrics.io.snapshot();
         let result = {
+            // The tap is installed on this session thread; the
+            // parallel executor mirrors it onto every worker
+            // (IoTap::current), so attribution survives the hop.
             let _tap = IoTap::install(Arc::clone(&self.metrics.io));
             match spill {
                 Some(policy) => sjos_exec::execute_guarded_spill(
@@ -424,9 +463,22 @@ impl Session {
                     &cached.plan,
                     &guard,
                     policy,
-                ),
+                )
+                .map(|r| (r, 1)),
+                None if parallel => sjos_exec::execute_parallel_guarded(
+                    inner.db.store(),
+                    &pattern,
+                    &cached.plan,
+                    &guard,
+                    sjos_exec::ParallelPolicy::with_threads(workers),
+                )
+                .map(|p| {
+                    let morsels = p.morsel_count();
+                    (p.result, morsels)
+                }),
                 None => {
                     sjos_exec::execute_guarded(inner.db.store(), &pattern, &cached.plan, &guard)
+                        .map(|r| (r, 1))
                 }
             }
         };
@@ -434,7 +486,7 @@ impl Session {
         let io = self.metrics.io.snapshot().since(&io_before);
 
         match result {
-            Ok(result) => {
+            Ok((result, morsels)) => {
                 inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
                 inner.metrics.record_latency(started.elapsed());
                 inner.metrics.record_peaks(result.metrics.peak_bytes, certified);
@@ -446,6 +498,7 @@ impl Session {
                     degraded: spill.is_some(),
                     waited,
                     io,
+                    morsels,
                 })
             }
             Err(e) => Err(ServiceError::Engine(Error::Exec(e))),
@@ -597,6 +650,36 @@ mod tests {
         let json = service.metrics_json();
         assert!(json.contains("\"degraded_admissions\":1"), "{json}");
         assert!(json.contains("\"spill_page_writes\""), "{json}");
+    }
+
+    #[test]
+    fn parallel_service_splits_queries_and_answers_identically() {
+        let mut xml = String::from("<db>");
+        for i in 0..64 {
+            xml.push_str(&format!("<dept><emp><name>p{i}</name></emp></dept>"));
+        }
+        xml.push_str("</db>");
+        let db = Arc::new(Database::from_xml(&xml).unwrap());
+        let serial = QueryService::new(Arc::clone(&db), ServiceConfig::default());
+        let parallel = QueryService::new(
+            Arc::clone(&db),
+            ServiceConfig { parallelism: 4, ..ServiceConfig::default() },
+        );
+        let query = "//dept//emp";
+        let s = serial.session().query(query).unwrap();
+        let p = parallel.session().query(query).unwrap();
+        assert_eq!(s.morsels, 1);
+        assert!(p.morsels > 1, "the forest corpus must split into morsels");
+        assert_eq!(p.result.canonical_rows(), s.result.canonical_rows());
+        assert_eq!(p.result.metrics.output_tuples, s.result.metrics.output_tuples);
+        assert_eq!(p.result.metrics.stack_pushes, s.result.metrics.stack_pushes);
+        // Admission reserved the scaled certificate, not the serial one.
+        assert!(
+            parallel.admission_snapshot().peak_in_use
+                >= 4 * serial.admission_snapshot().peak_in_use
+        );
+        // The worker-side I/O still lands in this session's tap.
+        assert!(p.io.record_reads > 0, "worker record reads must attribute to the session");
     }
 
     #[test]

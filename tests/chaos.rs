@@ -266,6 +266,77 @@ fn spilling_queries_survive_seeded_write_faults() {
     assert!(runs_spilled > 0, "recovered runs never actually spilled — the test is vacuous");
 }
 
+/// The morsel-parallel variant of the contract: a query split across
+/// 4 worker threads against a misbehaving disk either recovers with
+/// the fault-free answer — tuple-for-tuple, counters summed
+/// bit-identically — or fails with a typed storage error from
+/// whichever worker (or the partitioner's pre-pass) hit the disk
+/// first. Never a panic, a deadlock, or a silently wrong merge.
+#[test]
+fn parallel_queries_survive_seeded_fault_plans() {
+    use sjos::datagen::fold_document;
+    use sjos_exec::execute_parallel;
+
+    let doc = fold_document(&pers(GenConfig::sized(600)), 5);
+    let db = Database::from_document(doc.clone());
+    let cases: Vec<_> = paper_queries()
+        .into_iter()
+        .filter(|q| q.dataset == DataSet::Pers)
+        .map(|q| {
+            let pattern = q.pattern();
+            let optimized =
+                db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).expect("optimizes");
+            let baseline = db.execute(&pattern, &optimized.plan).expect("clean run");
+            (q.id, pattern, optimized.plan, baseline)
+        })
+        .collect();
+
+    let store = XmlStore::load_faulty(
+        doc,
+        StoreConfig { retry: RetryPolicy::no_backoff(4), ..StoreConfig::default() },
+        FaultPlan::none(),
+    );
+    let fault = store.fault().expect("faulty store exposes its fault handle").clone();
+
+    let mut recovered = 0u32;
+    let mut failed = 0u32;
+    let mut split_runs = 0u32;
+    for seed in 0..30u64 {
+        for plan in [FaultPlan::light(seed), FaultPlan::heavy(seed)] {
+            fault.set_plan(FaultPlan::none());
+            store.pool().reset_cache().expect("cache reset on a quiet disk");
+            fault.set_plan(plan);
+            for (id, pattern, plan_node, baseline) in &cases {
+                match execute_parallel(&store, pattern, plan_node, 4) {
+                    Ok(out) => {
+                        assert_eq!(
+                            out.result.tuples, baseline.tuples,
+                            "{id} diverged from the fault-free answer after parallel \
+                             recovery (seed {seed})"
+                        );
+                        assert_eq!(
+                            out.result.metrics.stack_pushes, baseline.metrics.stack_pushes,
+                            "{id}: merged stack traffic diverged under faults (seed {seed})"
+                        );
+                        if out.morsel_count() > 1 {
+                            split_runs += 1;
+                        }
+                        recovered += 1;
+                    }
+                    Err(EngineError::Storage(_)) => failed += 1,
+                    Err(e) => panic!(
+                        "{id}: non-storage failure under parallel disk faults (seed {seed}): {e}"
+                    ),
+                }
+            }
+        }
+    }
+
+    assert!(recovered > 0, "no parallel query ever recovered — retry budget is broken");
+    assert!(failed > 0, "no fault plan ever defeated the parallel path — injection is broken");
+    assert!(split_runs > 0, "recovered runs never actually partitioned — the test is vacuous");
+}
+
 #[test]
 fn sticky_corruption_names_the_page_in_the_error() {
     let doc = pers(GenConfig::sized(400));
