@@ -31,7 +31,7 @@ fn bench_lookahead(c: &mut Criterion) {
             b.iter(|| {
                 let mut ctx = SearchContext::new(&pattern, &est, &model);
                 optimize_dpp(&mut ctx, DppConfig { lookahead, ..DppConfig::default() }).unwrap().1
-            })
+            });
         });
     }
     group.finish();
@@ -46,7 +46,7 @@ fn bench_ub_cost(c: &mut Criterion) {
             b.iter(|| {
                 let mut ctx = SearchContext::new(&pattern, &est, &model);
                 optimize_dpp(&mut ctx, DppConfig { use_ub_cost, ..DppConfig::default() }).unwrap().1
-            })
+            });
         });
     }
     group.finish();
@@ -62,7 +62,7 @@ fn bench_cost_model_variant(c: &mut Criterion) {
             b.iter(|| {
                 let mut ctx = SearchContext::new(&pattern, &est, &model);
                 optimize_dpp(&mut ctx, DppConfig::default()).unwrap().1
-            })
+            });
         });
     }
     group.finish();

@@ -60,10 +60,10 @@ fn bench_sort_vs_pipelined(c: &mut Criterion) {
         PlanNode::Sort { input: Box::new(join_plan(JoinAlgo::StackTreeDesc)), by: PnId(0) };
     let mut group = c.benchmark_group("pipelined_vs_sorted");
     group.bench_function("pipelined", |b| {
-        b.iter(|| execute(&store, &pattern, &pipelined).unwrap().len())
+        b.iter(|| execute(&store, &pattern, &pipelined).unwrap().len());
     });
     group.bench_function("with_sort", |b| {
-        b.iter(|| execute(&store, &pattern, &sorted).unwrap().len())
+        b.iter(|| execute(&store, &pattern, &sorted).unwrap().len());
     });
     group.finish();
 }
@@ -88,10 +88,10 @@ fn bench_full_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("q_pers_3d_execution");
     group.sample_size(10);
     group.bench_function("optimal_plan", |b| {
-        b.iter(|| execute(&store, &pattern, &good.plan).unwrap().len())
+        b.iter(|| execute(&store, &pattern, &good.plan).unwrap().len());
     });
     group.bench_function("bad_plan", |b| {
-        b.iter(|| execute(&store, &pattern, &bad.plan).unwrap().len())
+        b.iter(|| execute(&store, &pattern, &bad.plan).unwrap().len());
     });
     group.finish();
 }
@@ -111,10 +111,10 @@ fn bench_holistic_vs_binary(c: &mut Criterion) {
     let mut group = c.benchmark_group("holistic_vs_binary");
     group.sample_size(10);
     group.bench_function("binary_optimal", |b| {
-        b.iter(|| sjos_exec::execute_counting(&store, &pattern, &plan).unwrap().len())
+        b.iter(|| sjos_exec::execute_counting(&store, &pattern, &plan).unwrap().len());
     });
     group.bench_function("twigstack", |b| {
-        b.iter(|| sjos_exec::holistic::evaluate(&store, &pattern).unwrap().rows.len())
+        b.iter(|| sjos_exec::holistic::evaluate(&store, &pattern).unwrap().rows.len());
     });
     group.finish();
 }

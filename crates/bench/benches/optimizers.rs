@@ -28,7 +28,7 @@ fn bench_algorithms(c: &mut Criterion) {
                 BenchmarkId::new(alg.name().replace([' ', '\''], "_"), q.id),
                 &pattern,
                 |b, pattern| {
-                    b.iter(|| optimize(pattern, &est, &model, alg).unwrap().estimated_cost)
+                    b.iter(|| optimize(pattern, &est, &model, alg).unwrap().estimated_cost);
                 },
             );
         }
@@ -43,7 +43,7 @@ fn bench_estimate_construction(c: &mut Criterion) {
     let catalog = Catalog::build(&doc);
     let pattern = paper_queries().into_iter().find(|q| q.id == "Q.Pers.3.d").unwrap().pattern();
     c.bench_function("pattern_estimates_build", |b| {
-        b.iter(|| PatternEstimates::new(&catalog, &doc, &pattern))
+        b.iter(|| PatternEstimates::new(&catalog, &doc, &pattern));
     });
 }
 

@@ -130,7 +130,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!(
         "parallel bench: Table 1 queries, fold x{}, threads {THREADS:?}, {} reps, \
          {cpus} cpu(s){}",

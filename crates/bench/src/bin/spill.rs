@@ -166,7 +166,7 @@ fn run_mode(
     let mut out = RunOutcome {
         corpus_emps: emps,
         mode: mode.to_string(),
-        budget_bytes: budget.map(|b| b as u64).unwrap_or(0),
+        budget_bytes: budget.map_or(0, |b| b as u64),
         certified_peak: certified,
         reps,
         rows_out: 0,

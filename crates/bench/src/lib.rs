@@ -32,7 +32,7 @@ use sjos_xml::Document;
 
 /// Whether the harness runs at the paper's full data sizes.
 pub fn full_scale() -> bool {
-    std::env::var("SJOS_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SJOS_BENCH_FULL").is_ok_and(|v| v == "1")
 }
 
 /// Node-count target for one data set at the current scale.
@@ -424,8 +424,7 @@ pub fn write_csv(
 
 /// Render one line of a fixed-width table.
 pub fn print_row(cells: &[String], widths: &[usize]) {
-    let line: Vec<String> =
-        cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+    let line: Vec<String> = cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect();
     println!("{}", line.join("  "));
 }
 

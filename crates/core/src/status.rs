@@ -612,7 +612,7 @@ mod tests {
         let mut ctx = SearchContext::new(&p, &e, &m);
         let s = ctx.start_status();
         let succs = ctx.expand(&s, false);
-        let keys: Vec<StatusKey> = succs.iter().map(|x| x.key()).collect();
+        let keys: Vec<StatusKey> = succs.iter().map(super::Status::key).collect();
         let mut dedup = keys.clone();
         dedup.sort();
         dedup.dedup();
@@ -714,7 +714,7 @@ mod tests {
             from_bc_all.len(),
             from_bc_ld.len()
         );
-        assert!(from_bc_ld.iter().all(|x| x.is_left_deep()));
+        assert!(from_bc_ld.iter().all(super::Status::is_left_deep));
     }
 
     #[test]

@@ -55,7 +55,7 @@ fn figure3_level1_has_one_status_per_edge_and_ordering() {
         assert_eq!(s.clusters.len(), 3);
     }
     // Distinct statuses (different partitions or orderings).
-    let mut keys: Vec<_> = level1.iter().map(|s| s.key()).collect();
+    let mut keys: Vec<_> = level1.iter().map(sjos_core::Status::key).collect();
     keys.sort();
     keys.dedup();
     assert_eq!(keys.len(), 6);

@@ -65,10 +65,10 @@ impl Stream {
         self.recs.get(self.pos).copied()
     }
     fn next_l(&self) -> u32 {
-        self.head().map(|e| e.region.start).unwrap_or(u32::MAX)
+        self.head().map_or(u32::MAX, |e| e.region.start)
     }
     fn next_r(&self) -> u32 {
-        self.head().map(|e| e.region.end).unwrap_or(u32::MAX)
+        self.head().map_or(u32::MAX, |e| e.region.end)
     }
     fn advance(&mut self) {
         self.pos += 1;
@@ -190,7 +190,7 @@ pub fn evaluate(store: &XmlStore, pattern: &Pattern) -> Result<TwigResult, Engin
         };
         if parent_ok {
             clean_stack(&mut stacks[q_act.index()], head.region.start);
-            let parent_len = pattern.parent(q_act).map(|p| stacks[p.index()].len()).unwrap_or(0);
+            let parent_len = pattern.parent(q_act).map_or(0, |p| stacks[p.index()].len());
             if let Some(&path_idx) = leaf_path_of.get(&q_act) {
                 // Leaf: emit path solutions directly; no push needed.
                 let path = &leaf_paths[path_idx];

@@ -126,7 +126,7 @@ impl<'a> MergeJoinOp<'a> {
     fn fill_right_until(&mut self, pos: u32) -> Result<(), EngineError> {
         while !self.right_done {
             let need_more =
-                self.right_buf[self.right_col].last().map(|e| e.region.start < pos).unwrap_or(true);
+                self.right_buf[self.right_col].last().is_none_or(|e| e.region.start < pos);
             if !need_more {
                 break;
             }

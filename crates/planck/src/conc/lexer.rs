@@ -1,0 +1,253 @@
+//! A minimal hand-rolled Rust lexer for the concurrency pass.
+//!
+//! The static concurrency rules (PL070–PL075) only need a faithful
+//! *token* view of the source — identifiers, punctuation, brace depth,
+//! and line numbers — with comments, strings, char literals, and
+//! lifetimes out of the way. A full parser (or a proc-macro crate)
+//! would drag in dependencies the vendored-stub ethos forbids; this
+//! lexer is ~200 lines, handles the constructs the workspace actually
+//! uses (nested block comments, raw strings, escapes), and degrades
+//! safely: an unrecognized byte becomes a one-character punct token
+//! that no rule pattern matches.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `lock`, `self`, ...).
+    Ident,
+    /// Numeric literal (lexed loosely; rules never read numbers).
+    Number,
+    /// Punctuation. `::` is fused into a single token; everything
+    /// else is one character.
+    Punct,
+}
+
+/// One lexed token with enough position data for diagnostics.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token text.
+    pub text: String,
+    /// Its kind.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// Brace-nesting depth: `{` is reported at the depth *outside*
+    /// it, its matching `}` at that same depth, tokens between at
+    /// depth + 1.
+    pub depth: u32,
+}
+
+impl Tok {
+    /// True when the token is the identifier `word`.
+    pub fn is(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True when the token is the punctuation `p`.
+    pub fn punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// Lex `src` into tokens, skipping whitespace, comments, strings,
+/// char literals, and lifetimes.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut depth: u32 = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut nest = 1;
+                i += 2;
+                while i < chars.len() && nest > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        nest += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        nest -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = skip_string(&chars, i, &mut line),
+            '\'' => {
+                // Char literal vs. lifetime: a literal closes with a
+                // quote within a couple of characters; a lifetime is a
+                // quote followed by an identifier with no closing
+                // quote.
+                if chars.get(i + 1) == Some(&'\\') {
+                    i += 2; // opening quote + backslash
+                    if i < chars.len() {
+                        i += 1; // escaped char
+                    }
+                    if chars.get(i) == Some(&'\'') {
+                        i += 1;
+                    }
+                } else if chars.get(i + 2) == Some(&'\'') {
+                    i += 3;
+                } else {
+                    i += 1; // lifetime: skip the quote, lex the ident
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // Raw / byte string prefixes: `r"..."`, `r#"..."#`,
+                // `b"..."`, `br#"..."#`.
+                if (text == "r" || text == "b" || text == "br")
+                    && matches!(chars.get(i), Some('"') | Some('#'))
+                {
+                    i = skip_raw_string(&chars, i, &mut line);
+                } else {
+                    toks.push(Tok { text, kind: TokKind::Ident, line, depth });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    kind: TokKind::Number,
+                    line,
+                    depth,
+                });
+            }
+            '{' => {
+                toks.push(Tok { text: "{".into(), kind: TokKind::Punct, line, depth });
+                depth += 1;
+                i += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                toks.push(Tok { text: "}".into(), kind: TokKind::Punct, line, depth });
+                i += 1;
+            }
+            ':' if chars.get(i + 1) == Some(&':') => {
+                toks.push(Tok { text: "::".into(), kind: TokKind::Punct, line, depth });
+                i += 2;
+            }
+            c => {
+                toks.push(Tok { text: c.to_string(), kind: TokKind::Punct, line, depth });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Skip a normal string literal starting at the opening quote; returns
+/// the index just past the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Skip a raw/byte string literal. `i` points at the first `#` or `"`
+/// after the prefix identifier.
+fn skip_raw_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return i; // not actually a raw string; resynchronize
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+        }
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_idents_puncts_and_depth() {
+        let toks = lex("fn f() { let g = self.inner.lock(); }");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "fn", "f", "(", ")", "{", "let", "g", "=", "self", ".", "inner", ".", "lock", "(",
+                ")", ";", "}"
+            ]
+        );
+        assert_eq!(toks[0].depth, 0);
+        assert_eq!(toks[5].depth, 1, "body tokens are one level deep");
+        assert_eq!(toks.last().unwrap().depth, 0, "closing brace back at 0");
+    }
+
+    #[test]
+    fn skips_comments_strings_chars_and_lifetimes() {
+        let toks = lex(concat!(
+            "// lock() in a comment\n",
+            "/* lock() /* nested */ still comment */\n",
+            "let s = \"lock()\"; let r = r#\"lock()\"#;\n",
+            "let c = 'x'; let e = '\\n'; fn f<'a>(x: &'a str) {}\n",
+        ));
+        assert!(!toks.iter().any(|t| t.is("lock")), "no lock token leaks: {toks:?}");
+        assert!(toks.iter().any(|t| t.is("a")), "lifetime ident survives as plain ident");
+    }
+
+    #[test]
+    fn fuses_path_separators_and_counts_lines() {
+        let toks = lex("use std::sync::Mutex;\nfn g() {}");
+        assert!(toks.iter().any(|t| t.punct("::")));
+        let g = toks.iter().find(|t| t.is("g")).unwrap();
+        assert_eq!(g.line, 2);
+    }
+}

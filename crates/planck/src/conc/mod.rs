@@ -1,0 +1,43 @@
+//! Concurrency certification: static rules PL070–PL075 and the
+//! bounded interleaving explorer behind PL076.
+//!
+//! The service/guard/spill/parallel stack built in PRs 7–9 hinges on
+//! a handful of synchronization protocols: a single admission budget
+//! guarded by a queue condvar, one atomic `QueryGuard` debited by
+//! racing morsels, a plan cache revalidated against the catalog
+//! version, and a spill temp-page free list. This module certifies
+//! those protocols two ways:
+//!
+//! 1. **Statically** ([`source`]): a hand-rolled lexer walks the
+//!    first-party sources, tracks lock-guard lifetimes, builds the
+//!    global lock acquisition graph, and enforces PL070–PL075 —
+//!    acyclic lock order, no latch held across buffer-pool/disk I/O,
+//!    guard-checked pull loops, balanced reserve/release protocols,
+//!    no blocking `std::sync` primitives on per-batch hot paths, and
+//!    `IoTap` reinstallation at every engine spawn site.
+//!
+//! 2. **Dynamically** ([`explore()`]): small deterministic models of
+//!    the live protocols run under a DFS scheduler with bounded
+//!    preemptions, exhaustively exploring interleavings and
+//!    asserting no budget overshoot, no double-free/leak, no lost
+//!    wakeup, and no stale plan served. Any violating schedule is a
+//!    concrete thread-by-thread reproducer. The models themselves
+//!    live beside the code they mirror (`src/service/models.rs`);
+//!    this crate provides the engine and the model vocabulary
+//!    ([`Model`], [`ModelMutex`], [`ModelCondvar`]).
+//!
+//! Both prongs are proven non-vacuous by seeded mutations: doctored
+//! source copies ([`StaticMutation`]) and model defect modes must
+//! each trip their rule, while the unmutated workspace certifies
+//! clean. `planlint conc` is the CLI surface.
+
+pub mod explore;
+pub mod lexer;
+pub mod source;
+
+pub use explore::{
+    explore, ExploreConfig, ExploreOutcome, Model, ModelCondvar, ModelMutex, Violation,
+};
+pub use source::{
+    apply_static_mutation, collect_sources, lint_concurrency, lint_sources, StaticMutation,
+};

@@ -132,6 +132,32 @@ pub enum Rule {
     /// single-threaded run: PL034's batch contract extended to
     /// partitions.
     PartitionSound,
+    /// PL070: the engine's lock acquisition graph is acyclic — no two
+    /// code paths take the same pair of locks in opposite orders.
+    LockOrderAcyclic,
+    /// PL071: outside the storage I/O serialization layer itself, no
+    /// lock is held across a `BufferPool`/`Disk` call.
+    NoLockAcrossIo,
+    /// PL072: every `Operator` pull loop reaches a `QueryGuard`
+    /// check — `GuardedOp` checks before each pull, the executor wraps
+    /// every operator, and no unbounded pull loop escapes both.
+    GuardCheckedPulls,
+    /// PL073: every reservation protocol (admission permits, guard
+    /// memory debits, spill temp pages) pairs its acquire site with a
+    /// release counterpart reachable on all exit paths.
+    ReserveReleaseBalanced,
+    /// PL074: no bare `std::sync::Mutex`/`RwLock` in exec/storage hot
+    /// paths — per-batch code uses atomics or `parking_lot` latches.
+    NoBareMutexHotPath,
+    /// PL075: every thread-spawn site that runs engine work reinstalls
+    /// the thread-local `IoTap` so per-session I/O attribution
+    /// survives the thread hop.
+    SpawnReinstallsTap,
+    /// PL076: a concurrency protocol model survives exhaustive
+    /// bounded-preemption interleaving exploration — no budget
+    /// overshoot, double-free, leak, lost wakeup, or stale plan
+    /// served under any explored schedule.
+    InterleavingSound,
 }
 
 /// How severe a fired rule is.
@@ -154,7 +180,7 @@ impl fmt::Display for Severity {
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 42] = [
+    pub const ALL: [Rule; 49] = [
         Rule::BindingPartition,
         Rule::EdgeExists,
         Rule::EdgeOrientation,
@@ -197,6 +223,13 @@ impl Rule {
         Rule::SpillAdmissible,
         Rule::SpillBoundSound,
         Rule::PartitionSound,
+        Rule::LockOrderAcyclic,
+        Rule::NoLockAcrossIo,
+        Rule::GuardCheckedPulls,
+        Rule::ReserveReleaseBalanced,
+        Rule::NoBareMutexHotPath,
+        Rule::SpawnReinstallsTap,
+        Rule::InterleavingSound,
     ];
 
     /// The stable diagnostic id.
@@ -244,6 +277,13 @@ impl Rule {
             Rule::SpillAdmissible => "PL066",
             Rule::SpillBoundSound => "PL067",
             Rule::PartitionSound => "PL068",
+            Rule::LockOrderAcyclic => "PL070",
+            Rule::NoLockAcrossIo => "PL071",
+            Rule::GuardCheckedPulls => "PL072",
+            Rule::ReserveReleaseBalanced => "PL073",
+            Rule::NoBareMutexHotPath => "PL074",
+            Rule::SpawnReinstallsTap => "PL075",
+            Rule::InterleavingSound => "PL076",
         }
     }
 
@@ -303,6 +343,13 @@ impl Rule {
             Rule::SpillAdmissible => "spill-admissible",
             Rule::SpillBoundSound => "spill-bound-sound",
             Rule::PartitionSound => "partition-sound",
+            Rule::LockOrderAcyclic => "lock-order-acyclic",
+            Rule::NoLockAcrossIo => "no-lock-across-io",
+            Rule::GuardCheckedPulls => "guard-checked-pulls",
+            Rule::ReserveReleaseBalanced => "reserve-release-balanced",
+            Rule::NoBareMutexHotPath => "no-bare-mutex-hot-path",
+            Rule::SpawnReinstallsTap => "spawn-reinstalls-tap",
+            Rule::InterleavingSound => "interleaving-sound",
         }
     }
 
@@ -539,6 +586,61 @@ impl Rule {
                  the single-threaded run (the batch contract of PL034 \
                  lifted to partitions)"
             }
+            Rule::LockOrderAcyclic => {
+                "two paths acquiring the same pair of locks in opposite \
+                 orders deadlock the service under the right \
+                 interleaving; a total acquisition order (equivalently, \
+                 an acyclic acquisition graph) is the classical \
+                 sufficient condition that rules the hang out for every \
+                 schedule at once"
+            }
+            Rule::NoLockAcrossIo => {
+                "a latch held across a buffer-pool or disk call \
+                 serializes every contending thread behind device \
+                 latency — and composes into deadlock with the pool's \
+                 own internal latch; only the storage I/O layer itself \
+                 (buffer pool, disk, fault injector), whose latch *is* \
+                 the documented serialization point, may do this"
+            }
+            Rule::GuardCheckedPulls => {
+                "the guard's deadline/batch/memory budgets only bind if \
+                 every pull boundary consults them: GuardedOp must \
+                 check before delegating, the executor must wrap every \
+                 operator it builds, and no operator may contain an \
+                 unbounded pull loop that neither checks the guard nor \
+                 pulls through a guarded input"
+            }
+            Rule::ReserveReleaseBalanced => {
+                "admission bytes, guard memory debits, and spill temp \
+                 pages are all counted reservations; an acquire without \
+                 a release counterpart on some exit path leaks budget \
+                 until the service starves — each protocol must pair \
+                 its increment with an RAII decrement"
+            }
+            Rule::NoBareMutexHotPath => {
+                "per-batch and per-record code runs millions of times a \
+                 second; a poisoning std::sync::Mutex there adds an \
+                 unwrap branch and syscall-backed contention where an \
+                 atomic or parking_lot latch suffices — blocking \
+                 primitives in the hot path belong to the coordination \
+                 plane, not the data plane"
+            }
+            Rule::SpawnReinstallsTap => {
+                "per-session I/O attribution rides a thread-local tap; \
+                 a spawned worker that fails to reinstall the parent's \
+                 tap silently drops its page reads from the session's \
+                 accounting, skewing every admission and metrics \
+                 decision built on it"
+            }
+            Rule::InterleavingSound => {
+                "stress tests sample schedules; the explorer enumerates \
+                 them — within a preemption bound — over small models \
+                 of the admission queue, plan-cache revalidation, \
+                 shared guard debits, and the spill free list, so a \
+                 surviving violation (overshoot, double-free, leak, \
+                 lost wakeup, stale plan) names a schedule the service \
+                 can actually reach"
+            }
         }
     }
 }
@@ -721,6 +823,10 @@ mod tests {
         assert_eq!(Rule::SpillBoundSound.id(), "PL067");
         assert_eq!(Rule::PartitionSound.id(), "PL068");
         assert_eq!(Rule::PartitionSound.name(), "partition-sound");
+        assert_eq!(Rule::LockOrderAcyclic.id(), "PL070");
+        assert_eq!(Rule::SpawnReinstallsTap.id(), "PL075");
+        assert_eq!(Rule::InterleavingSound.id(), "PL076");
+        assert_eq!(Rule::InterleavingSound.name(), "interleaving-sound");
     }
 
     #[test]

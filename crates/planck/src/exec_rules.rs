@@ -449,7 +449,7 @@ mod tests {
         };
         unsorted.batches[0] = sjos_exec::TupleBatch::from_rows(
             std::sync::Arc::clone(&unsorted.schema),
-            rows.iter().map(|t| t.as_slice()),
+            rows.iter().map(std::vec::Vec::as_slice),
         );
         let report = lint_batches(&unsorted, &plan);
         assert!(report.violates(Rule::BatchContract), "{}", report.render());

@@ -50,7 +50,19 @@
 //!   ([`lint_partition`], PL068) executes the plan serially and
 //!   partitioned, proves no scanned interval straddles a cut, and
 //!   demands outputs and summed work counters match the
-//!   single-threaded run bit for bit.
+//!   single-threaded run bit for bit;
+//! * the concurrent service stack is interleaving-sound — a
+//!   source-level pass ([`lint_concurrency`]) lexes the first-party
+//!   crates, builds the lock acquisition graph, and enforces acyclic
+//!   lock order, no latch held across buffer-pool/disk I/O,
+//!   guard-checked pull loops, balanced reserve/release protocols,
+//!   no blocking `std::sync` primitives on per-batch hot paths, and
+//!   `IoTap` reinstallation at every engine spawn site
+//!   (PL070–PL075); a deterministic bounded-preemption interleaving
+//!   explorer ([`explore()`]) exhaustively schedules small models of
+//!   the admission, plan-cache, guard-debit, and spill free-list
+//!   protocols and certifies no budget overshoot, double-free, lost
+//!   wakeup, or stale plan on any schedule (PL076).
 //!
 //! Every rule carries a stable `PL0xx` id ([`Rule::id`]), a short
 //! name, and a prose explanation citing the paper section that
@@ -62,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod conc;
 pub mod cross;
 pub mod dataflow;
 pub mod diag;
@@ -75,6 +88,10 @@ pub use bounds::{
     analyze_bounds, analyze_bounds_spill, lint_bound_soundness, lint_bounds, lint_resources,
     lint_spill_soundness, revalidate_cached, CardInterval, OperatorBounds, ResourceBounds,
     DEFAULT_MEMORY_BUDGET,
+};
+pub use conc::{
+    apply_static_mutation, collect_sources, explore, lint_concurrency, lint_sources, ExploreConfig,
+    ExploreOutcome, Model, ModelCondvar, ModelMutex, StaticMutation, Violation,
 };
 pub use cross::{lint_optimizers, lint_search_space, min_pipelined_cost, MAX_CROSS_CHECK_NODES};
 pub use dataflow::{

@@ -19,8 +19,7 @@ pub fn lint_status(pattern: &Pattern, status: &Status) -> Report {
             status
                 .clusters
                 .get(cluster)
-                .map(|c| format!("{:?}", c.nodes))
-                .unwrap_or_else(|| "<out of range>".to_string())
+                .map_or_else(|| "<out of range>".to_string(), |c| format!("{:?}", c.nodes))
         });
     }
     report
@@ -35,8 +34,7 @@ pub fn lint_status_key(pattern: &Pattern, key: &StatusKey) -> Report {
         push_violation(&mut report, &violation, |cluster| {
             parts
                 .get(cluster)
-                .map(|(nodes, _)| format!("{nodes:?}"))
-                .unwrap_or_else(|| "<out of range>".to_string())
+                .map_or_else(|| "<out of range>".to_string(), |(nodes, _)| format!("{nodes:?}"))
         });
     }
     report

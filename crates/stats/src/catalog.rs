@@ -107,7 +107,7 @@ impl Catalog {
 
     /// Build with an explicit grid resolution.
     pub fn build_with_grid(doc: &Document, grid: usize) -> Catalog {
-        let max_pos = doc.nodes().iter().map(|n| n.region.end).max().map(|m| m + 1).unwrap_or(1);
+        let max_pos = doc.nodes().iter().map(|n| n.region.end).max().map_or(1, |m| m + 1);
         let mut per_tag = HashMap::new();
         for (tag, ids) in doc.tag_lists() {
             let mut hist = PositionalHistogram::new(grid, max_pos);

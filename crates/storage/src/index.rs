@@ -101,7 +101,7 @@ impl TagIndex {
 
     /// Pages backing `tag`'s list.
     pub fn pages(&self, tag: Tag) -> &[PageId] {
-        self.postings.get(&tag).map(|p| p.pages.as_slice()).unwrap_or(&[])
+        self.postings.get(&tag).map_or(&[], |p| p.pages.as_slice())
     }
 
     /// Scan `tag`'s elements in document order through `pool`. The

@@ -115,7 +115,7 @@ impl Page {
 
 impl std::fmt::Debug for Page {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Page({} bytes)", PAGE_SIZE)
+        write!(f, "Page({PAGE_SIZE} bytes)")
     }
 }
 

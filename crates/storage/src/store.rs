@@ -56,8 +56,12 @@ impl XmlStore {
 
     /// Load `document` with explicit configuration.
     pub fn load_with(document: Document, config: StoreConfig) -> XmlStore {
-        let disk = Arc::new(InMemoryDisk::new(Arc::new(IoStats::new())));
-        Self::build(document, config, disk, None)
+        // The disk shares the store's counters so `stats()` sees every
+        // layer: a private disk instance would hide `disk_reads` from
+        // callers while the thread-local `IoTap` still observed them.
+        let stats = Arc::new(IoStats::new());
+        let disk = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
+        Self::build(document, config, disk, None, stats)
     }
 
     /// Load `document` onto a fault-injected in-memory disk. The bulk
@@ -65,10 +69,11 @@ impl XmlStore {
     /// hit exactly the query read path — the scenario the chaos suite
     /// exercises. Use [`XmlStore::fault`] to re-seed between runs.
     pub fn load_faulty(document: Document, config: StoreConfig, plan: FaultPlan) -> XmlStore {
-        let inner = Arc::new(InMemoryDisk::new(Arc::new(IoStats::new())));
+        let stats = Arc::new(IoStats::new());
+        let inner = Arc::new(InMemoryDisk::new(Arc::clone(&stats)));
         let faulty = Arc::new(FaultyDisk::new(inner, plan));
         let disk: Arc<dyn DiskManager> = Arc::clone(&faulty) as Arc<dyn DiskManager>;
-        let store = Self::build(document, config, disk, Some(Arc::clone(&faulty)));
+        let store = Self::build(document, config, disk, Some(Arc::clone(&faulty)), stats);
         faulty.arm();
         store
     }
@@ -78,8 +83,8 @@ impl XmlStore {
         config: StoreConfig,
         disk: Arc<dyn DiskManager>,
         fault: Option<Arc<FaultyDisk>>,
+        stats: Arc<IoStats>,
     ) -> XmlStore {
-        let stats = Arc::new(IoStats::new());
         let records: Vec<ElementRecord> = document
             .nodes()
             .iter()

@@ -148,7 +148,7 @@ impl Document {
 
     /// Document-order list of the elements with tag `tag`.
     pub fn elements_with_tag(&self, tag: Tag) -> &[NodeId] {
-        self.by_tag.get(&tag).map(Vec::as_slice).unwrap_or(&[])
+        self.by_tag.get(&tag).map_or(&[], Vec::as_slice)
     }
 
     /// Iterate over `(tag, element list)` pairs.

@@ -443,7 +443,7 @@ pub fn parse_declaration(body: &str) -> Result<Declaration, String> {
                     "yes" => true,
                     "no" => false,
                     other => return Err(format!("bad standalone value {other:?}")),
-                })
+                });
             }
             other => return Err(format!("unknown declaration attribute {other:?}")),
         }

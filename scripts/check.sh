@@ -65,6 +65,12 @@ echo "==> planlint rules (catalog renders in both formats)"
 cargo run --quiet --bin planlint -- rules >/dev/null
 cargo run --quiet --bin planlint -- rules --json >/dev/null
 
+echo "==> planlint conc (static pass + seed-pinned interleaving explorer certify clean)"
+cargo run --quiet --bin planlint -- conc --json >/dev/null
+
+echo "==> planlint conc --selftest (every seeded mutation + model defect is caught)"
+cargo run --quiet --bin planlint -- conc --selftest >/dev/null
+
 echo "==> planlint certify rejects a corrupted trace (expected exit 1)"
 if cargo run --quiet --bin planlint -- certify --query '//a/b/c' \
     --corrupt inflate-ubcost --json >/dev/null; then

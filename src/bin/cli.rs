@@ -86,7 +86,7 @@ fn load(args: &[String]) -> Result<Database, String> {
                     .next()
                     .ok_or("--fold needs a factor")?
                     .parse()
-                    .map_err(|_| "bad fold factor")?
+                    .map_err(|_| "bad fold factor")?;
             }
             other => file = Some(other),
         }

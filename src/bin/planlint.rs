@@ -34,12 +34,14 @@
 use sjos::core::{mutate_plan, Algorithm, PlanMutation};
 use sjos::datagen::{dblp::dblp, mbench::mbench, pers::pers, GenConfig};
 use sjos::explain::explain;
+use sjos::service::models::{healthy_models, mutated_models};
 use sjos::{Database, Document};
 use sjos_planck::{
-    admit, analyze_plan, certify_trace, corrupt_trace, lint_bound_soundness, lint_bounds,
-    lint_dataflow, lint_error_surfacing, lint_execution, lint_optimizers, lint_plan_with,
-    record_search_trace, rule_catalog_json, PlanExpectations, Report, TraceCorruption,
-    DEFAULT_MEMORY_BUDGET,
+    admit, analyze_plan, apply_static_mutation, certify_trace, collect_sources, corrupt_trace,
+    explore, lint_bound_soundness, lint_bounds, lint_dataflow, lint_error_surfacing,
+    lint_execution, lint_optimizers, lint_plan_with, lint_sources, record_search_trace,
+    rule_catalog_json, ExploreConfig, PlanExpectations, Report, Rule, StaticMutation,
+    TraceCorruption, DEFAULT_MEMORY_BUDGET,
 };
 
 /// Fallback document when neither `--xml` nor `--gen` is given: big
@@ -65,6 +67,9 @@ enum Command {
     Admit,
     /// Print the rule catalog (no plan needed).
     Rules,
+    /// Concurrency certification: the static pass (PL070–PL075) plus
+    /// the bounded interleaving explorer (PL076). Needs no plan.
+    Conc,
 }
 
 struct Options {
@@ -81,6 +86,7 @@ struct Options {
     memory_budget: Option<u64>,
     batch_budget: Option<u64>,
     batch_rows: usize,
+    root: Option<String>,
 }
 
 fn main() {
@@ -90,13 +96,13 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: planlint [dataflow|certify|admit|rules] \
+                "usage: planlint [dataflow|certify|admit|rules|conc] \
                  [--xml <file> | --gen pers:<n>|dblp:<n>|mbench:<n>] \
                  --query <pattern> [--algo dp|dpp|dpp-nl|dpap-eb:<te>|dpap-ld|fp|random:<seed>] \
                  [--mutate <mutation>] \
                  [--corrupt inflate-ubcost|drop-finalized|cheap-prune] \
                  [--memory-budget <bytes|KiB|MiB|GiB>] [--batch-budget <pulls>] \
-                 [--batch-rows <n>] \
+                 [--batch-rows <n>] [--root <dir>] \
                  [--cross] [--selftest] [--json]"
             );
             std::process::exit(2);
@@ -126,6 +132,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         memory_budget: None,
         batch_budget: None,
         batch_rows: sjos::exec::BATCH_ROWS,
+        root: None,
     };
     let mut it = args.iter().peekable();
     if let Some(first) = it.peek() {
@@ -144,6 +151,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "rules" => {
                 opts.command = Command::Rules;
+                it.next();
+            }
+            "conc" => {
+                opts.command = Command::Conc;
                 it.next();
             }
             _ => {}
@@ -176,11 +187,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 opts.batch_rows = n;
             }
+            "--root" => opts.root = Some(it.next().ok_or("--root needs a directory")?.clone()),
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    if opts.query.is_empty() && opts.command != Command::Rules {
+    if opts.query.is_empty() && !matches!(opts.command, Command::Rules | Command::Conc) {
         return Err("--query is required".into());
+    }
+    if opts.root.is_some() && opts.command != Command::Conc {
+        return Err("--root only applies to the conc command".into());
     }
     if opts.corrupt.is_some() && opts.command != Command::Certify {
         return Err("--corrupt only applies to the certify command".into());
@@ -304,6 +319,9 @@ fn run(opts: &Options) -> Result<bool, String> {
     if opts.command == Command::Rules {
         return run_rules(opts);
     }
+    if opts.command == Command::Conc {
+        return run_conc(opts);
+    }
     let db = load(opts)?;
     let pattern = sjos::parse_pattern(&opts.query).map_err(|e| e.to_string())?;
     let estimates = db.estimates(&pattern);
@@ -418,6 +436,7 @@ fn run_certify(
 
 /// Print the rule catalog: every stable rule id with its severity,
 /// name, and (in JSON) explanation. Needs no document or query.
+#[expect(clippy::unnecessary_wraps, reason = "uniform run_* signature for the dispatch table")]
 fn run_rules(opts: &Options) -> Result<bool, String> {
     if opts.json {
         println!("{}", rule_catalog_json());
@@ -427,6 +446,119 @@ fn run_rules(opts: &Options) -> Result<bool, String> {
         }
     }
     Ok(true)
+}
+
+/// Concurrency certification (PL070–PL076): run the static source
+/// pass over the workspace, then exhaustively explore the four
+/// service-protocol models under the bounded-preemption scheduler.
+/// `--selftest` additionally proves non-vacuity: every seeded static
+/// mutation and every model defect mode must be caught.
+fn run_conc(opts: &Options) -> Result<bool, String> {
+    // `CARGO_MANIFEST_DIR` is the workspace root (the sjos package
+    // lives there); `--root` overrides for out-of-tree runs.
+    let root = opts.root.clone().unwrap_or_else(|| env!("CARGO_MANIFEST_DIR").to_string());
+    let root = std::path::Path::new(&root);
+    let sources = collect_sources(root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    if sources.is_empty() {
+        return Err(format!("no sources under {} (bad --root?)", root.display()));
+    }
+    let mut report = lint_sources(&sources);
+
+    let config = ExploreConfig::default();
+    let mut outcomes = Vec::new();
+    for model in healthy_models() {
+        let outcome = explore(&model, config);
+        if let Some(v) = &outcome.violation {
+            report.push(
+                Rule::InterleavingSound,
+                format!("model:{}", outcome.model),
+                format!("{} [schedule {}]", v.message, render_trace(&v.trace)),
+            );
+        }
+        if outcome.truncated {
+            report.push(
+                Rule::InterleavingSound,
+                format!("model:{}", outcome.model),
+                format!(
+                    "exploration truncated at {} schedules — inconclusive",
+                    config.max_schedules
+                ),
+            );
+        }
+        outcomes.push(outcome);
+    }
+
+    if opts.json {
+        let models: Vec<String> = outcomes
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"model\":\"{}\",\"schedules\":{},\"max_depth\":{},\"clean\":{}}}",
+                    o.model,
+                    o.schedules,
+                    o.max_depth,
+                    o.is_clean()
+                )
+            })
+            .collect();
+        println!(
+            "{{\"files\":{},\"explorer\":[{}],\"report\":{}}}",
+            sources.len(),
+            models.join(","),
+            report.to_json()
+        );
+    } else {
+        println!(
+            "static pass: {} source files, {} diagnostics",
+            sources.len(),
+            report.diagnostics.len()
+        );
+        for o in &outcomes {
+            println!(
+                "explorer: {:<16} {} schedules, depth {}, {}",
+                o.model,
+                o.schedules,
+                o.max_depth,
+                if o.is_clean() { "clean" } else { "VIOLATION" }
+            );
+        }
+        print!("{}", report.render());
+    }
+
+    if opts.selftest {
+        let mut ok = report.is_clean();
+        println!("== seeded static mutations (expected caught) ==");
+        for mutation in StaticMutation::ALL {
+            let mut doctored = sources.clone();
+            apply_static_mutation(&mut doctored, mutation);
+            let dirty = lint_sources(&doctored);
+            if dirty.violates(mutation.expected_rule()) {
+                println!("  {:<22} caught by {}", mutation.name(), mutation.expected_rule().id());
+            } else {
+                println!("  {:<22} MISSED", mutation.name());
+                ok = false;
+            }
+        }
+        println!("== seeded model defects (expected caught) ==");
+        for (name, model) in mutated_models() {
+            let outcome = explore(&model, config);
+            match &outcome.violation {
+                Some(v) => println!("  {name:<22} caught: {}", v.message),
+                None => {
+                    println!("  {name:<22} MISSED");
+                    ok = false;
+                }
+            }
+        }
+        return Ok(ok);
+    }
+    Ok(report.is_clean())
+}
+
+/// Render an explorer trace as `T0 T1 T0 ...`.
+fn render_trace(trace: &[usize]) -> String {
+    let steps: Vec<String> = trace.iter().map(|t| format!("T{t}")).collect();
+    steps.join(" ")
 }
 
 /// Static admission control: derive guaranteed resource bounds for the

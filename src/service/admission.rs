@@ -146,6 +146,18 @@ impl AdmissionController {
         state.queue.push_back(ticket);
         self.queued.fetch_add(1, Ordering::Relaxed);
         loop {
+            // Deadline first, grant second: a waiter woken at or past
+            // its deadline must leave — never take a reservation (and
+            // bump `peak_in_use`) its caller already gave up on. The
+            // reverse order had a race where a release landing in the
+            // expiry window granted an expired ticket.
+            let waited = started.elapsed();
+            if waited >= wait_limit {
+                state.queue.retain(|&t| t != ticket);
+                // Our departure may unblock the ticket behind us.
+                self.cond.notify_all();
+                return Err(reject(RejectReason::TimedOut, waited));
+            }
             let at_head = state.queue.front() == Some(&ticket);
             if at_head && state.in_use + certified_bytes <= self.budget {
                 state.queue.pop_front();
@@ -153,13 +165,6 @@ impl AdmissionController {
                 // The next waiter may also fit in what remains.
                 self.cond.notify_all();
                 return Ok(permit);
-            }
-            let waited = started.elapsed();
-            if waited >= wait_limit {
-                state.queue.retain(|&t| t != ticket);
-                // Our departure may unblock the ticket behind us.
-                self.cond.notify_all();
-                return Err(reject(RejectReason::TimedOut, waited));
             }
             let (next, timeout) = self
                 .cond

@@ -42,6 +42,7 @@
 
 pub mod admission;
 pub mod metrics;
+pub mod models;
 pub mod plan_cache;
 
 use std::fmt;

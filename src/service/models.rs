@@ -1,0 +1,741 @@
+//! Deterministic interleaving models of the service's concurrency
+//! protocols, explored exhaustively by [`sjos_planck::explore()`]
+//! (rule PL076).
+//!
+//! Each model is a small cloneable state machine mirroring one live
+//! protocol next to the code it models:
+//!
+//! * [`AdmissionModel`] — the [`super::admission`] reserve / timeout /
+//!   release dance: a holder admits and releases while a waiter
+//!   queues under a deadline that can fire at any explored instant.
+//! * [`PlanCacheModel`] — [`super::plan_cache`] lookup racing a
+//!   catalog-version bump; the PL065 revalidation must keep a stale
+//!   plan from being served on *any* schedule.
+//! * [`GuardDebitModel`] — racing morsels debiting one shared
+//!   [`sjos_exec::QueryGuard`] atomic; the debit must be a single
+//!   atomic read-modify-write.
+//! * [`SpillFreeListModel`] — concurrent spill temp-page alloc/free
+//!   against one free list; no double-free, no leak.
+//!
+//! Every model carries a mutation mode reproducing a seeded defect
+//! (the admission model's [`AdmissionMode::GrantAfterDeadline`] is
+//! exactly the grant-before-deadline race fixed in
+//! [`super::admission`]); the non-vacuity harness asserts the
+//! explorer finds a violating schedule for each defect while the
+//! healthy variants certify clean.
+
+use sjos_planck::{Model, ModelCondvar, ModelMutex};
+
+/// All healthy models, in a fixed order — what `planlint conc`
+/// explores for the certification verdict.
+pub fn healthy_models() -> Vec<ServiceModel> {
+    vec![
+        ServiceModel::Admission(AdmissionModel::new(AdmissionMode::Healthy)),
+        ServiceModel::PlanCache(PlanCacheModel::new(PlanCacheMode::Healthy)),
+        ServiceModel::GuardDebit(GuardDebitModel::new(GuardDebitMode::Healthy)),
+        ServiceModel::SpillFreeList(SpillFreeListModel::new(SpillFreeListMode::Healthy)),
+    ]
+}
+
+/// Every seeded model defect, with a stable kebab-case name — the
+/// explorer must find a violating schedule for each.
+pub fn mutated_models() -> Vec<(&'static str, ServiceModel)> {
+    vec![
+        (
+            "grant-after-deadline",
+            ServiceModel::Admission(AdmissionModel::new(AdmissionMode::GrantAfterDeadline)),
+        ),
+        (
+            "skip-timeout-release",
+            ServiceModel::Admission(AdmissionModel::new(AdmissionMode::SkipTimeoutRelease)),
+        ),
+        (
+            "release-without-notify",
+            ServiceModel::Admission(AdmissionModel::new(AdmissionMode::ReleaseWithoutNotify)),
+        ),
+        (
+            "skip-revalidation",
+            ServiceModel::PlanCache(PlanCacheModel::new(PlanCacheMode::SkipRevalidation)),
+        ),
+        (
+            "torn-read-modify-write",
+            ServiceModel::GuardDebit(GuardDebitModel::new(GuardDebitMode::TornReadModifyWrite)),
+        ),
+        (
+            "double-free",
+            ServiceModel::SpillFreeList(SpillFreeListModel::new(SpillFreeListMode::DoubleFree)),
+        ),
+        (
+            "leak-on-error",
+            ServiceModel::SpillFreeList(SpillFreeListModel::new(SpillFreeListMode::LeakOnError)),
+        ),
+    ]
+}
+
+/// A sum over the four protocol models so callers can hold them in
+/// one collection.
+#[derive(Clone)]
+pub enum ServiceModel {
+    /// The admission reserve/timeout/release protocol.
+    Admission(AdmissionModel),
+    /// Plan-cache lookup vs. catalog-version bump.
+    PlanCache(PlanCacheModel),
+    /// Concurrent morsel debits against one guard atomic.
+    GuardDebit(GuardDebitModel),
+    /// Spill temp-page free-list alloc/free.
+    SpillFreeList(SpillFreeListModel),
+}
+
+impl Model for ServiceModel {
+    fn name(&self) -> &'static str {
+        match self {
+            ServiceModel::Admission(m) => m.name(),
+            ServiceModel::PlanCache(m) => m.name(),
+            ServiceModel::GuardDebit(m) => m.name(),
+            ServiceModel::SpillFreeList(m) => m.name(),
+        }
+    }
+    fn threads(&self) -> usize {
+        match self {
+            ServiceModel::Admission(m) => m.threads(),
+            ServiceModel::PlanCache(m) => m.threads(),
+            ServiceModel::GuardDebit(m) => m.threads(),
+            ServiceModel::SpillFreeList(m) => m.threads(),
+        }
+    }
+    fn finished(&self, t: usize) -> bool {
+        match self {
+            ServiceModel::Admission(m) => m.finished(t),
+            ServiceModel::PlanCache(m) => m.finished(t),
+            ServiceModel::GuardDebit(m) => m.finished(t),
+            ServiceModel::SpillFreeList(m) => m.finished(t),
+        }
+    }
+    fn enabled(&self, t: usize) -> bool {
+        match self {
+            ServiceModel::Admission(m) => m.enabled(t),
+            ServiceModel::PlanCache(m) => m.enabled(t),
+            ServiceModel::GuardDebit(m) => m.enabled(t),
+            ServiceModel::SpillFreeList(m) => m.enabled(t),
+        }
+    }
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        match self {
+            ServiceModel::Admission(m) => m.step(t),
+            ServiceModel::PlanCache(m) => m.step(t),
+            ServiceModel::GuardDebit(m) => m.step(t),
+            ServiceModel::SpillFreeList(m) => m.step(t),
+        }
+    }
+    fn invariant(&self) -> Result<(), String> {
+        match self {
+            ServiceModel::Admission(m) => m.invariant(),
+            ServiceModel::PlanCache(m) => m.invariant(),
+            ServiceModel::GuardDebit(m) => m.invariant(),
+            ServiceModel::SpillFreeList(m) => m.invariant(),
+        }
+    }
+    fn final_check(&self) -> Result<(), String> {
+        match self {
+            ServiceModel::Admission(m) => m.final_check(),
+            ServiceModel::PlanCache(m) => m.final_check(),
+            ServiceModel::GuardDebit(m) => m.final_check(),
+            ServiceModel::SpillFreeList(m) => m.final_check(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission: reserve / timeout / release
+// ---------------------------------------------------------------------------
+
+/// Which admission protocol variant to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionMode {
+    /// The fixed protocol: deadline checked before grant, timed-out
+    /// tickets dequeue themselves, every release notifies.
+    Healthy,
+    /// The pre-fix race: the grant check runs before the deadline
+    /// check, so a release landing in the expiry window grants an
+    /// expired ticket whose caller already left — leaking the bytes.
+    GrantAfterDeadline,
+    /// A timed-out waiter leaves without dequeuing its ticket.
+    SkipTimeoutRelease,
+    /// Release without `notify_all`; with no deadline to rescue it,
+    /// the waiter parks forever — the classic lost wakeup.
+    ReleaseWithoutNotify,
+}
+
+/// Three logical threads against a 100-byte budget: T0 admits 90 and
+/// releases it; T1 wants 20, queues, and waits under a deadline; T2
+/// is the deadline timer, whose single step may fire at any explored
+/// instant (it unparks T1 the way `wait_timeout` returning does).
+/// In [`AdmissionMode::ReleaseWithoutNotify`] the timer is disabled
+/// (an infinite deadline) so only the notify can unpark the waiter.
+#[derive(Clone)]
+pub struct AdmissionModel {
+    mode: AdmissionMode,
+    mutex: ModelMutex,
+    cond: ModelCondvar,
+    in_use: u64,
+    peak: u64,
+    queue: Vec<usize>,
+    expired: bool,
+    pc: [usize; 3],
+}
+
+const ADM_BUDGET: u64 = 100;
+const HOLDER_BYTES: u64 = 90;
+const WAITER_BYTES: u64 = 20;
+
+impl AdmissionModel {
+    /// A fresh model in `mode`.
+    pub fn new(mode: AdmissionMode) -> AdmissionModel {
+        AdmissionModel {
+            mode,
+            mutex: ModelMutex::default(),
+            cond: ModelCondvar::default(),
+            in_use: 0,
+            peak: 0,
+            queue: Vec::new(),
+            expired: false,
+            // In ReleaseWithoutNotify the timer thread starts finished.
+            pc: [0, 0, if mode == AdmissionMode::ReleaseWithoutNotify { 1 } else { 0 }],
+        }
+    }
+
+    fn grant(&mut self, bytes: u64) {
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+    }
+}
+
+impl Model for AdmissionModel {
+    fn name(&self) -> &'static str {
+        "admission"
+    }
+
+    fn threads(&self) -> usize {
+        3
+    }
+
+    fn finished(&self, t: usize) -> bool {
+        match t {
+            0 | 1 => self.pc[t] >= 4,
+            _ => self.pc[2] >= 1,
+        }
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        if self.finished(t) {
+            return false;
+        }
+        match t {
+            0 | 1 => !self.cond.is_waiting(t) && self.mutex.available(t),
+            // The timer needs no lock: it models the kernel's timeout.
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        if t == 2 {
+            // The deadline fires: wake the waiter in the expired
+            // state, exactly like `wait_timeout` returning.
+            self.expired = true;
+            self.cond.remove(1);
+            self.pc[2] = 1;
+            return Ok(());
+        }
+        let bytes = if t == 0 { HOLDER_BYTES } else { WAITER_BYTES };
+        // Both actors run the same admit loop; only T1 has a deadline
+        // (T0's wait limit is infinite).
+        match self.pc[t] {
+            0 => {
+                self.mutex.acquire(t);
+                self.pc[t] = 1;
+            }
+            1 => {
+                // The admit loop body, one wakeup at a time. A woken
+                // waiter re-acquires the mutex (what `Condvar::wait`
+                // does before returning) as part of this step.
+                if self.mutex.owner() != Some(t) {
+                    self.mutex.acquire(t);
+                }
+                let fits = self.in_use + bytes <= ADM_BUDGET;
+                let at_head = match self.queue.first() {
+                    None => true,
+                    Some(&head) => head == t,
+                };
+                let timed_out = t == 1 && self.expired;
+                let grant_first = self.mode == AdmissionMode::GrantAfterDeadline;
+                if (grant_first || !timed_out) && fits && at_head {
+                    self.queue.retain(|&q| q != t);
+                    self.grant(bytes);
+                    self.cond.notify_all();
+                    self.mutex.release(t);
+                    // The seeded race: an expired ticket granted here
+                    // belongs to a caller who already left, so the
+                    // permit is never dropped and the bytes leak.
+                    self.pc[t] = if timed_out { 4 } else { 2 };
+                } else if timed_out {
+                    if self.mode != AdmissionMode::SkipTimeoutRelease {
+                        self.queue.retain(|&q| q != t);
+                    }
+                    self.cond.notify_all();
+                    self.mutex.release(t);
+                    self.pc[t] = 4; // rejected: TimedOut.
+                } else {
+                    if !self.queue.contains(&t) {
+                        self.queue.push(t);
+                    }
+                    self.cond.wait(t);
+                    self.mutex.release(t);
+                    // stay at pc 1: the next step is the wakeup.
+                }
+            }
+            2 => {
+                // lock to drop the admitted permit.
+                self.mutex.acquire(t);
+                self.pc[t] = 3;
+            }
+            _ => {
+                self.in_use = self.in_use.saturating_sub(bytes);
+                if !(t == 0 && self.mode == AdmissionMode::ReleaseWithoutNotify) {
+                    self.cond.notify_all();
+                }
+                self.mutex.release(t);
+                self.pc[t] = 4;
+            }
+        }
+        Ok(())
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        if self.in_use > ADM_BUDGET {
+            return Err(format!("budget overshoot: in_use {} > budget {ADM_BUDGET}", self.in_use));
+        }
+        if self.peak > ADM_BUDGET {
+            return Err(format!("peak_in_use {} exceeded the budget {ADM_BUDGET}", self.peak));
+        }
+        Ok(())
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        if self.in_use != 0 {
+            return Err(format!(
+                "{} certified bytes leaked: a reservation was never released",
+                self.in_use
+            ));
+        }
+        if !self.queue.is_empty() {
+            return Err("a departed ticket was left in the admission queue".to_string());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache: lookup vs. catalog-version bump (PL065)
+// ---------------------------------------------------------------------------
+
+/// Which plan-cache protocol variant to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanCacheMode {
+    /// Every cache hit is revalidated against the live catalog
+    /// version under the cache lock (the PL065 protocol).
+    Healthy,
+    /// The seeded defect: a hit is served without revalidation.
+    SkipRevalidation,
+}
+
+/// T0 looks up and serves a plan cached at catalog version 0; T1
+/// bumps the catalog to version 1 (a DDL). On every schedule the
+/// served plan's version must equal the catalog version at serve
+/// time.
+#[derive(Clone)]
+pub struct PlanCacheModel {
+    mode: PlanCacheMode,
+    lock: ModelMutex,
+    catalog_version: u64,
+    cached_version: u64,
+    served: Option<(u64, u64)>,
+    pc: [usize; 2],
+}
+
+impl PlanCacheModel {
+    /// A fresh model in `mode`, with a version-0 plan already cached.
+    pub fn new(mode: PlanCacheMode) -> PlanCacheModel {
+        PlanCacheModel {
+            mode,
+            lock: ModelMutex::default(),
+            catalog_version: 0,
+            cached_version: 0,
+            served: None,
+            pc: [0, 0],
+        }
+    }
+}
+
+impl Model for PlanCacheModel {
+    fn name(&self) -> &'static str {
+        "plan-cache"
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn finished(&self, t: usize) -> bool {
+        self.pc[t] >= 2
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        !self.finished(t) && self.lock.available(t)
+    }
+
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        match (t, self.pc[t]) {
+            (0, 0) => {
+                self.lock.acquire(0);
+                self.pc[0] = 1;
+            }
+            (0, _) => {
+                // Hit on the cached plan; healthy code revalidates
+                // against the catalog generation before serving.
+                let mut plan = self.cached_version;
+                if self.mode == PlanCacheMode::Healthy && plan != self.catalog_version {
+                    // Re-plan against the live catalog and refresh.
+                    plan = self.catalog_version;
+                    self.cached_version = plan;
+                }
+                self.served = Some((plan, self.catalog_version));
+                self.lock.release(0);
+                self.pc[0] = 2;
+            }
+            (1, 0) => {
+                self.lock.acquire(1);
+                self.pc[1] = 1;
+            }
+            (1, _) => {
+                self.catalog_version += 1;
+                self.lock.release(1);
+                self.pc[1] = 2;
+            }
+            _ => unreachable!("stepped a finished thread"),
+        }
+        Ok(())
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        if let Some((plan, catalog)) = self.served {
+            if plan != catalog {
+                return Err(format!(
+                    "stale plan served: plan version {plan} under catalog version {catalog}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        if self.served.is_none() {
+            return Err("the lookup thread never served a plan".to_string());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guard debit: racing morsels against one atomic
+// ---------------------------------------------------------------------------
+
+/// Which guard-debit variant to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardDebitMode {
+    /// The debit is one atomic `fetch_add` — a single model step.
+    Healthy,
+    /// The seeded defect: the read-modify-write is torn into a read
+    /// step and a write step, so a racing debit is lost.
+    TornReadModifyWrite,
+}
+
+/// Two morsel threads each reserve 40 bytes from one shared counter,
+/// then release. The ghost sum of held reservations must equal the
+/// counter after every step; a torn RMW loses an update and breaks
+/// the equality.
+#[derive(Clone)]
+pub struct GuardDebitModel {
+    mode: GuardDebitMode,
+    counter: u64,
+    held: [u64; 2],
+    stashed: [u64; 2],
+    pc: [usize; 2],
+}
+
+const DEBIT: u64 = 40;
+
+impl GuardDebitModel {
+    /// A fresh model in `mode`.
+    pub fn new(mode: GuardDebitMode) -> GuardDebitModel {
+        GuardDebitModel { mode, counter: 0, held: [0, 0], stashed: [0, 0], pc: [0, 0] }
+    }
+}
+
+impl Model for GuardDebitModel {
+    fn name(&self) -> &'static str {
+        "guard-debit"
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn finished(&self, t: usize) -> bool {
+        self.pc[t] >= 3
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        !self.finished(t)
+    }
+
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        match self.pc[t] {
+            0 => {
+                if self.mode == GuardDebitMode::Healthy {
+                    // fetch_add: read and write in one atomic step.
+                    self.counter += DEBIT;
+                    self.held[t] = DEBIT;
+                    self.pc[t] = 2;
+                } else {
+                    // Torn: stash the read; the write lands later.
+                    self.stashed[t] = self.counter;
+                    self.pc[t] = 1;
+                }
+            }
+            1 => {
+                self.counter = self.stashed[t] + DEBIT;
+                self.held[t] = DEBIT;
+                self.pc[t] = 2;
+            }
+            _ => {
+                // Release is a single atomic fetch_sub either way.
+                self.counter = self.counter.saturating_sub(self.held[t]);
+                self.held[t] = 0;
+                self.pc[t] = 3;
+            }
+        }
+        Ok(())
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        // Between a torn read and its write the counter may transiently
+        // disagree for the tearing thread itself; what must NEVER
+        // happen is the counter dropping below the ghost sum once both
+        // debits landed — a lost update undercounts reserved bytes.
+        let ghost: u64 = self.held.iter().sum();
+        let mid_rmw = self.pc.contains(&1);
+        if !mid_rmw && self.counter != ghost {
+            return Err(format!(
+                "guard counter {} disagrees with {} bytes actually reserved — a debit was lost",
+                self.counter, ghost
+            ));
+        }
+        Ok(())
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        if self.counter != 0 {
+            return Err(format!("guard counter ended at {} after all releases", self.counter));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spill free list: temp-page alloc / free
+// ---------------------------------------------------------------------------
+
+/// Which spill free-list variant to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillFreeListMode {
+    /// Alloc pops under the lock; release pushes back exactly once.
+    Healthy,
+    /// The seeded defect: one thread releases its page twice.
+    DoubleFree,
+    /// The seeded defect: one thread's error path skips the release.
+    LeakOnError,
+}
+
+/// Two threads share a free list seeded with pages 0 and 1: each
+/// allocates a page, works, and releases it. At quiescence the free
+/// list must hold both pages exactly once and no page may appear on
+/// the list while also held.
+#[derive(Clone)]
+pub struct SpillFreeListModel {
+    mode: SpillFreeListMode,
+    lock: ModelMutex,
+    free: Vec<u32>,
+    holding: [Option<u32>; 2],
+    released: [u32; 2],
+    pc: [usize; 2],
+}
+
+impl SpillFreeListModel {
+    /// A fresh model in `mode`.
+    pub fn new(mode: SpillFreeListMode) -> SpillFreeListModel {
+        SpillFreeListModel {
+            mode,
+            lock: ModelMutex::default(),
+            free: vec![0, 1],
+            holding: [None, None],
+            released: [0, 0],
+            pc: [0, 0],
+        }
+    }
+
+    fn release_steps(&self, t: usize) -> usize {
+        match (self.mode, t) {
+            (SpillFreeListMode::DoubleFree, 0) => 2,
+            (SpillFreeListMode::LeakOnError, 0) => 0,
+            _ => 1,
+        }
+    }
+}
+
+impl Model for SpillFreeListModel {
+    fn name(&self) -> &'static str {
+        "spill-free-list"
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn finished(&self, t: usize) -> bool {
+        self.pc[t] > self.release_steps(t)
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        !self.finished(t) && self.lock.available(t)
+    }
+
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        if self.pc[t] == 0 {
+            // Alloc: lock, pop, unlock — one statement-scoped latch.
+            self.lock.acquire(t);
+            self.holding[t] = self.free.pop();
+            self.lock.release(t);
+            self.pc[t] = 1;
+            return Ok(());
+        }
+        // Release (possibly doubled by the mutation).
+        self.lock.acquire(t);
+        if let Some(page) = self.holding[t] {
+            self.free.push(page);
+            self.released[t] += 1;
+            if self.released[t] as usize >= self.release_steps(t) {
+                self.holding[t] = None;
+            }
+        }
+        self.lock.release(t);
+        self.pc[t] += 1;
+        Ok(())
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        for (t, held) in self.holding.iter().enumerate() {
+            if let Some(page) = held {
+                if self.released[t] > 0 && self.free.contains(page) {
+                    return Err(format!(
+                        "page {page} is on the free list while T{t} still holds it (double free)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        let mut pages = self.free.clone();
+        pages.sort_unstable();
+        if pages != vec![0, 1] {
+            return Err(format!(
+                "free list ended as {pages:?}, expected exactly [0, 1] — a temp page was \
+                 leaked or double-freed"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjos_planck::{explore, ExploreConfig};
+
+    #[test]
+    fn healthy_models_certify_clean() {
+        for model in healthy_models() {
+            let outcome = explore(&model, ExploreConfig::default());
+            assert!(
+                outcome.is_clean(),
+                "{} must certify clean: {:?}",
+                outcome.model,
+                outcome.violation
+            );
+            assert!(outcome.schedules > 1, "{}: exploration must branch", outcome.model);
+        }
+    }
+
+    #[test]
+    fn every_model_mutation_is_caught() {
+        for (name, model) in mutated_models() {
+            let outcome = explore(&model, ExploreConfig::default());
+            assert!(
+                outcome.violation.is_some(),
+                "mutation {name} must produce a violating schedule"
+            );
+            assert!(!outcome.truncated, "mutation {name} must be found within the budget");
+        }
+    }
+
+    #[test]
+    fn grant_after_deadline_leaks_the_reservation() {
+        let outcome = explore(
+            &AdmissionModel::new(AdmissionMode::GrantAfterDeadline),
+            ExploreConfig::default(),
+        );
+        let v = outcome.violation.expect("the pre-fix race must be found");
+        assert!(v.message.contains("leaked"), "{v}");
+    }
+
+    #[test]
+    fn release_without_notify_is_a_lost_wakeup() {
+        let outcome = explore(
+            &AdmissionModel::new(AdmissionMode::ReleaseWithoutNotify),
+            ExploreConfig::default(),
+        );
+        let v = outcome.violation.expect("the lost wakeup must be found");
+        assert!(v.message.contains("lost wakeup"), "{v}");
+    }
+
+    #[test]
+    fn skip_revalidation_serves_a_stale_plan() {
+        let outcome = explore(
+            &PlanCacheModel::new(PlanCacheMode::SkipRevalidation),
+            ExploreConfig::default(),
+        );
+        let v = outcome.violation.expect("the stale serve must be found");
+        assert!(v.message.contains("stale plan"), "{v}");
+    }
+
+    #[test]
+    fn exploration_of_models_is_deterministic() {
+        for model in healthy_models() {
+            let a = explore(&model, ExploreConfig::default());
+            let b = explore(&model, ExploreConfig::default());
+            assert_eq!(a.schedules, b.schedules, "{}", a.model);
+            assert_eq!(a.max_depth, b.max_depth, "{}", a.model);
+        }
+    }
+}

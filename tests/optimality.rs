@@ -86,7 +86,7 @@ fn growing_te_converges_to_dpp() {
     // Larger Te: plan quality is (weakly) increasing towards optimal.
     let last = *costs.last().unwrap();
     assert!(last >= opt.estimated_cost - 1e-6);
-    let best_seen = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let best_seen = costs.iter().copied().fold(f64::INFINITY, f64::min);
     assert!(best_seen >= opt.estimated_cost - 1e-6, "EB can never beat DPP");
 }
 

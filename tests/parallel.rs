@@ -268,3 +268,79 @@ proptest! {
         prop_assert_eq!(partition.ranges(), vec![(0u32, u32::MAX)]);
     }
 }
+
+/// The tap partition is *exact* at every worker count: with one
+/// session tapped and nothing else running, the session tap's delta
+/// equals the global store delta bit for bit — every worker thread
+/// reinstalled the tap, and no read escaped attribution.
+#[test]
+fn tap_delta_partitions_the_global_delta_at_every_thread_count() {
+    let db = corpus(DataSet::Pers);
+    let q = paper_queries().into_iter().find(|q| q.id == "Q.Pers.1.a").expect("catalog query");
+    let pattern = q.pattern();
+    let plan = db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).expect("optimizes").plan;
+
+    for threads in [2usize, 8] {
+        let stats = Arc::new(IoStats::default());
+        let global_before = db.store().stats().snapshot();
+        let tap_before = stats.snapshot();
+        {
+            let _tap = IoTap::install(Arc::clone(&stats));
+            execute_parallel(db.store(), &pattern, &plan, threads).expect("parallel run");
+        }
+        let global = db.store().stats().snapshot().since(&global_before);
+        let tapped = stats.snapshot().since(&tap_before);
+        assert!(tapped.record_reads > 0, "{threads} threads: no attributed reads");
+        assert_eq!(
+            (tapped.record_reads, tapped.buffer_hits, tapped.disk_reads),
+            (global.record_reads, global.buffer_hits, global.disk_reads),
+            "{threads} threads: a worker's I/O escaped the session tap"
+        );
+    }
+}
+
+/// The error-exit path keeps attribution exact too: when a worker
+/// dies mid-query on a guard breach, every read it issued before
+/// dying — and every read its aborted siblings issued — still lands
+/// in the session tap. Nothing leaks to the void on the abort path.
+#[test]
+fn dying_worker_io_still_lands_in_the_session_tap() {
+    let db = corpus(DataSet::Pers);
+    let q = paper_queries().into_iter().find(|q| q.id == "Q.Pers.1.a").expect("catalog query");
+    let pattern = q.pattern();
+    let plan = db.optimize(&pattern, Algorithm::Dpp { lookahead: true }).expect("optimizes").plan;
+    // A budget tiny enough that a worker breaches mid-morsel, but not
+    // so tiny the run dies before the workers touch storage.
+    let guard = Arc::new(QueryGuard::unlimited().with_memory_budget(512));
+
+    let stats = Arc::new(IoStats::default());
+    let global_before = db.store().stats().snapshot();
+    let err = {
+        let _tap = IoTap::install(Arc::clone(&stats));
+        execute_parallel_opts(
+            db.store(),
+            &pattern,
+            &plan,
+            true,
+            BATCH_ROWS,
+            &guard,
+            ParallelPolicy::with_threads(4),
+        )
+        .expect_err("a 512 B budget must breach")
+    };
+    match err {
+        EngineError::Guard { breach: GuardBreach::MemoryBudget { .. }, .. } => {}
+        other => panic!("expected a memory breach, got {other}"),
+    }
+    let global = db.store().stats().snapshot().since(&global_before);
+    let tapped = stats.snapshot();
+    assert_eq!(
+        (tapped.record_reads, tapped.buffer_hits, tapped.disk_reads),
+        (global.record_reads, global.buffer_hits, global.disk_reads),
+        "a dying worker's I/O escaped the session tap on the abort path"
+    );
+    assert!(
+        tapped.record_reads + tapped.buffer_hits > 0,
+        "the workers died before doing any I/O — the error path ran vacuously"
+    );
+}

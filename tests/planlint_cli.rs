@@ -128,3 +128,53 @@ fn json_report_is_emitted_on_findings() {
     assert!(text.contains("\"clean\":false"), "{text}");
     assert!(text.contains("\"rule\":"), "{text}");
 }
+
+#[test]
+fn conc_subcommand_certifies_the_workspace_clean() {
+    let out = planlint(&["conc"]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("static pass"), "names the static prong: {text}");
+    assert!(text.contains("explorer"), "names the dynamic prong: {text}");
+}
+
+#[test]
+fn conc_json_reports_files_and_explorer_outcomes() {
+    let out = planlint(&["conc", "--json"]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    for field in ["\"files\":", "\"explorer\":", "\"schedules\":", "\"clean\":true"] {
+        assert!(text.contains(field), "{field} missing from conc --json: {text}");
+    }
+}
+
+/// The explorer's search order is seed-pinned: two runs over the same
+/// tree must emit byte-identical JSON (schedule counts included), so
+/// CI replays the identical schedule set every time.
+#[test]
+fn conc_json_is_deterministic_across_runs() {
+    let a = planlint(&["conc", "--json"]);
+    let b = planlint(&["conc", "--json"]);
+    assert_eq!(code(&a), 0);
+    assert_eq!(stdout(&a), stdout(&b), "conc --json must be run-to-run deterministic");
+}
+
+#[test]
+fn conc_selftest_proves_non_vacuity() {
+    let out = planlint(&["conc", "--selftest"]);
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn conc_usage_errors_exit_two() {
+    // An empty --root has no sources to certify; --root outside conc
+    // is a flag misuse.
+    for args in [
+        &["conc", "--root", "/nonexistent/dir"] as &[&str],
+        &["--query", "//a/b/c", "--root", "."],
+        &["rules", "--root", "."],
+    ] {
+        let out = planlint(args);
+        assert_eq!(code(&out), 2, "args {args:?} must be a usage error");
+    }
+}

@@ -1,0 +1,76 @@
+//! Drift test: the rule tables in DESIGN.md §7/§13 and the live
+//! planck catalog (`planlint rules --json` renders the same
+//! [`sjos_planck::Rule::ALL`]) must agree exactly.
+//!
+//! Every rule table in DESIGN.md puts the rule id in column one and
+//! the kebab-case name in column two, so one scan over the document
+//! recovers the full documented catalog. The test fails when a rule
+//! ships without a documentation row, when a documented rule no
+//! longer exists, when a name drifts, or when an id is documented
+//! twice — the exact ways the catalog and the design doc fall out of
+//! step.
+
+use std::collections::BTreeMap;
+
+use sjos_planck::{rule_catalog_json, Rule};
+
+/// `(id, name)` pairs of every `| PLxxx | name | ...` table row in
+/// DESIGN.md, in document order.
+fn design_rows() -> Vec<(String, String)> {
+    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md"))
+        .expect("DESIGN.md is readable");
+    let mut rows = Vec::new();
+    for line in design.lines() {
+        let mut cols = line.split('|').map(str::trim);
+        let Some("") = cols.next() else { continue };
+        let Some(id) = cols.next() else { continue };
+        if id.len() != 5 || !id.starts_with("PL") || !id[2..].bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        let name = cols.next().expect("a rule row has a name column");
+        rows.push((id.to_string(), name.to_string()));
+    }
+    rows
+}
+
+#[test]
+fn design_rule_tables_match_the_live_catalog_exactly() {
+    let rows = design_rows();
+    assert!(rows.len() >= Rule::ALL.len(), "DESIGN.md lost its rule tables");
+
+    let mut documented: BTreeMap<String, String> = BTreeMap::new();
+    for (id, name) in rows {
+        let prev = documented.insert(id.clone(), name);
+        assert!(prev.is_none(), "{id} is documented twice in DESIGN.md");
+    }
+
+    let catalog: BTreeMap<&str, &str> = Rule::ALL.iter().map(|r| (r.id(), r.name())).collect();
+    assert_eq!(catalog.len(), Rule::ALL.len(), "duplicate rule ids in the catalog");
+
+    for (id, name) in &catalog {
+        let doc_name = documented
+            .get(*id)
+            .unwrap_or_else(|| panic!("{id} ({name}) has no DESIGN.md table row"));
+        assert_eq!(doc_name, name, "{id}: DESIGN.md name drifted from the catalog");
+    }
+    for id in documented.keys() {
+        assert!(
+            catalog.contains_key(id.as_str()),
+            "{id} is documented in DESIGN.md but absent from the catalog"
+        );
+    }
+}
+
+/// The machine-readable catalog (`planlint rules --json` prints this
+/// verbatim) carries every rule id and name too — the CLI surface
+/// cannot drift from `Rule::ALL` either.
+#[test]
+fn rules_json_carries_every_rule() {
+    let json = rule_catalog_json();
+    for rule in Rule::ALL {
+        let id_field = format!("\"id\":\"{}\"", rule.id());
+        let name_field = format!("\"name\":\"{}\"", rule.name());
+        assert!(json.contains(&id_field), "{} missing from rules --json", rule.id());
+        assert!(json.contains(&name_field), "{} name missing from rules --json", rule.id());
+    }
+}

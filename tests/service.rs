@@ -328,3 +328,85 @@ fn metrics_json_has_all_sections() {
         assert!(json.contains(needle), "missing {needle} in {json}");
     }
 }
+
+/// Satellite regression for the queue-timeout edge: a deadline-
+/// timed-out waiter must leave the admission state exactly as it
+/// found it — ticket gone from the queue, `in_use` untouched, and
+/// (the high-water witness) `peak_in_use` unchanged. The queue must
+/// not be wedged for the next arrival.
+#[test]
+fn timed_out_waiter_leaves_no_trace_in_the_admission_state() {
+    use sjos::service::AdmissionController;
+
+    let ctl = AdmissionController::new(100, 4);
+    let held = ctl.admit(90, Duration::ZERO).expect("fits the empty budget");
+    let before = ctl.snapshot();
+    assert_eq!(before.peak_in_use, 90);
+
+    let err = ctl.admit(20, Duration::from_millis(30)).expect_err("cannot fit behind 90");
+    assert_eq!(err.reason, RejectReason::TimedOut);
+
+    let after = ctl.snapshot();
+    assert_eq!(after.waiting, 0, "the timed-out ticket must leave the queue");
+    assert_eq!(after.in_use, 90, "a rejected waiter must not hold bytes");
+    assert_eq!(
+        after.peak_in_use, before.peak_in_use,
+        "high-water witness moved: the expired waiter took a reservation"
+    );
+    assert_eq!(after.rejected, before.rejected + 1);
+
+    // The departure must not wedge the queue for the next arrival.
+    drop(held);
+    let next = ctl.admit(20, Duration::ZERO).expect("freed budget admits immediately");
+    assert_eq!(next.certified_bytes(), 20);
+    assert_eq!(ctl.snapshot().peak_in_use, 90, "20 B after the release never beats the 90 B peak");
+}
+
+/// Hammer the release-vs-deadline race the fixed admit loop closes:
+/// the holder's release lands right around the waiter's expiry. On
+/// every outcome the admission state must stay exact — a granted
+/// waiter releases normally, a timed-out waiter vanishes without
+/// touching `peak_in_use`, and the high-water mark never exceeds the
+/// single holder's 90 bytes (the waiter's 20 can only ever be
+/// reserved after the 90 left).
+#[test]
+fn release_racing_the_deadline_never_corrupts_the_high_water_mark() {
+    use sjos::service::AdmissionController;
+
+    let ctl = Arc::new(AdmissionController::new(100, 4));
+    let mut timeouts = 0u32;
+    let mut grants = 0u32;
+    for round in 0..40 {
+        let held = ctl.admit(90, Duration::ZERO).expect("budget starts free");
+        let c = Arc::clone(&ctl);
+        // Stagger the deadline across rounds so the release lands
+        // before, around, and after expiry.
+        let limit = Duration::from_micros(200 * (round % 5));
+        let waiter = std::thread::spawn(move || c.admit(20, limit).map(|p| p.certified_bytes()));
+        std::thread::sleep(Duration::from_micros(300));
+        drop(held);
+        match waiter.join().expect("waiter thread survives") {
+            Ok(bytes) => {
+                assert_eq!(bytes, 20);
+                grants += 1;
+            }
+            Err(rej) => {
+                assert_eq!(rej.reason, RejectReason::TimedOut);
+                timeouts += 1;
+            }
+        }
+        let snap = ctl.snapshot();
+        assert_eq!(snap.waiting, 0, "round {round}: a ticket was left behind");
+        assert_eq!(snap.in_use, 0, "round {round}: a reservation leaked");
+        assert_eq!(
+            snap.peak_in_use, 90,
+            "round {round}: the high-water mark moved — an expired waiter was granted \
+             while the holder still held its 90 bytes"
+        );
+    }
+    // Both edges of the race must actually occur for the hammering to
+    // mean anything; with deadlines from 0 to 800us around a 300us
+    // release, each side shows up well before 40 rounds.
+    assert!(timeouts > 0, "no waiter ever timed out — the race window never opened");
+    assert!(grants > 0, "no waiter was ever granted — the release path went untested");
+}
